@@ -1,0 +1,92 @@
+// Experiment E4 — analyzer throughput (paper section 5.3).
+//
+// Claim: "the design and implementation of a usable program analyzer is a
+// major challenge"; template matching must scale to "large classes of
+// programs". Series: statements/second of the Program Analyzer as program
+// size grows, for navigational (template-matching heavy) and Maryland
+// (already high-level) programs.
+
+#include <benchmark/benchmark.h>
+
+#include "analyze/analyzer.h"
+#include "bench_util.h"
+
+namespace dbpc {
+namespace {
+
+/// Builds a program with `loops` navigational report loops.
+Program NavigationalProgram(int loops) {
+  std::string source = "PROGRAM BIG-NAV.\n";
+  for (int i = 0; i < loops; ++i) {
+    const char* div = i % 2 == 0 ? "MACHINERY" : "TEXTILES";
+    source += "  FIND ANY DIV (DIV-NAME = '" + std::string(div) + "').\n";
+    source += "  FIND FIRST EMP WITHIN DIV-EMP.\n";
+    source += "  WHILE DB-STATUS = '0000' DO\n";
+    source += "    GET EMP-NAME INTO N.\n";
+    source += "    DISPLAY N.\n";
+    source += "    FIND NEXT EMP WITHIN DIV-EMP.\n";
+    source += "  END-WHILE.\n";
+  }
+  source += "END PROGRAM.\n";
+  return bench::MustParseProgram(source);
+}
+
+/// Builds a program with `loops` Maryland report loops.
+Program MarylandProgram(int loops) {
+  std::string source = "PROGRAM BIG-MD.\n";
+  for (int i = 0; i < loops; ++i) {
+    source +=
+        "  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, "
+        "EMP(AGE > " +
+        std::to_string(20 + i % 40) + ")) DO\n";
+    source += "    GET EMP-NAME OF E INTO N.\n";
+    source += "    DISPLAY N.\n";
+    source += "  END-FOR.\n";
+  }
+  source += "END PROGRAM.\n";
+  return bench::MustParseProgram(source);
+}
+
+void BM_AnalyzeNavigational(benchmark::State& state) {
+  Database db = bench::FilledCompany(2, 4);
+  ProgramAnalyzer analyzer(db.schema());
+  Program program = NavigationalProgram(static_cast<int>(state.range(0)));
+  size_t statements = program.StatementCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(program));
+  }
+  state.counters["statements"] = static_cast<double>(statements);
+  state.counters["statements_per_s"] = benchmark::Counter(
+      static_cast<double>(statements),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_AnalyzeMaryland(benchmark::State& state) {
+  Database db = bench::FilledCompany(2, 4);
+  ProgramAnalyzer analyzer(db.schema());
+  Program program = MarylandProgram(static_cast<int>(state.range(0)));
+  size_t statements = program.StatementCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(program));
+  }
+  state.counters["statements"] = static_cast<double>(statements);
+  state.counters["statements_per_s"] = benchmark::Counter(
+      static_cast<double>(statements),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_AnalyzeNavigational)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AnalyzeMaryland)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dbpc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E5 — data translation throughput (paper section 1).
+//
+// Claim: "transforming the database to match the schema can be accomplished
+// with a modest effort" (relative to program conversion). Series:
+// records/second of the data translator per transformation kind and
+// database size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dbpc {
+namespace {
+
+void RunTranslation(benchmark::State& state,
+                    std::vector<TransformationPtr> owned) {
+  Database source = bench::FilledCompany(static_cast<int>(state.range(0)), 64);
+  std::vector<const Transformation*> plan;
+  for (const TransformationPtr& t : owned) plan.push_back(t.get());
+  size_t records = source.RecordCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TranslateDatabase(source, plan));
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(records),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Translate_Identity(benchmark::State& state) {
+  RunTranslation(state, {});
+}
+
+void BM_Translate_RenameField(benchmark::State& state) {
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeRenameField("EMP", "AGE", "YEARS"));
+  RunTranslation(state, std::move(owned));
+}
+
+void BM_Translate_IntroduceIntermediate(benchmark::State& state) {
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeIntroduceIntermediate(bench::Figure44Params()));
+  RunTranslation(state, std::move(owned));
+}
+
+void BM_Translate_ChangeSetOrder(benchmark::State& state) {
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeChangeSetOrder("DIV-EMP", {"AGE", "EMP-NAME"}));
+  RunTranslation(state, std::move(owned));
+}
+
+void BM_Translate_MaterializeVirtual(benchmark::State& state) {
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeMaterializeVirtualField("EMP", "DIV-NAME"));
+  RunTranslation(state, std::move(owned));
+}
+
+void BM_Translate_RoundTripFig44(benchmark::State& state) {
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeIntroduceIntermediate(bench::Figure44Params()));
+  owned.push_back(owned[0]->Inverse());
+  RunTranslation(state, std::move(owned));
+}
+
+BENCHMARK(BM_Translate_Identity)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Translate_RenameField)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Translate_IntroduceIntermediate)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Translate_ChangeSetOrder)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Translate_MaterializeVirtual)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Translate_RoundTripFig44)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbpc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+#ifndef DBPC_BENCH_BENCH_UTIL_H_
+#define DBPC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "restructure/transformation.h"
+#include "testing/fixtures.h"
+
+namespace dbpc::bench {
+
+/// Aborts the benchmark on unexpected library errors (benchmarks must not
+/// silently measure failure paths).
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T Value(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+inline Program MustParseProgram(const std::string& source) {
+  return Value(ParseProgram(source), "parse program");
+}
+
+/// The Figure 4.2 -> 4.4 restructuring used across benchmarks.
+inline IntroduceIntermediateParams Figure44Params() {
+  IntroduceIntermediateParams p;
+  p.set_name = "DIV-EMP";
+  p.intermediate = "DEPT";
+  p.upper_set = "DIV-DEPT";
+  p.lower_set = "DEPT-EMP";
+  p.group_field = "DEPT-NAME";
+  return p;
+}
+
+/// A company database with `divisions` x `emps_per_div` employees.
+inline Database FilledCompany(int divisions, int emps_per_div) {
+  Database db = testing::MakeDatabase(testing::CompanyDdl());
+  testing::FillCompany(&db, divisions, emps_per_div);
+  return db;
+}
+
+}  // namespace dbpc::bench
+
+#endif  // DBPC_BENCH_BENCH_UTIL_H_

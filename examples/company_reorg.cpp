@@ -1,0 +1,158 @@
+// The paper's own worked example in full: Figures 4.2, 4.3 and 4.4.
+//
+// Shows the Conversion Analyzer's classified schema diff, the Program
+// Analyzer's access-pattern sequences (Su's notation, section 4.1), and the
+// conversion of the two FIND statements of section 4.2 into exactly the
+// forms the paper prints — including the inserted SORT and the pushed-down
+// DEPT qualification.
+
+#include <cstdio>
+
+#include "analyze/analyzer.h"
+#include "convert/converter.h"
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "restructure/transformation.h"
+#include "schema/ddl_parser.h"
+#include "supervisor/supervisor.h"
+
+namespace {
+
+// Figure 4.3, verbatim modulo PIC 9 for the numeric AGE.
+constexpr const char* kFigure43 = R"(
+SCHEMA NAME IS COMPANY-NAME
+RECORD SECTION;
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC 9(2).
+    DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+)";
+
+// The two FIND statements of section 4.2, wrapped into report loops.
+constexpr const char* kPrograms = R"(
+PROGRAM FIG42-QUERIES.
+  DISPLAY 'EMPLOYEES OLDER THAN 30:'.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+  DISPLAY 'SALES OF MACHINERY:'.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP(DEPT-NAME = 'SALES')) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)";
+
+}  // namespace
+
+int main() {
+  using namespace dbpc;
+
+  Schema source_schema = std::move(ParseDdl(kFigure43)).value();
+  std::printf("=== Figure 4.3: source schema ===\n%s\n",
+              source_schema.ToDdl().c_str());
+
+  Database db = std::move(Database::Create(source_schema)).value();
+  RecordId machinery = db.StoreRecord({"DIV",
+                                       {{"DIV-NAME", Value::String("MACHINERY")},
+                                        {"DIV-LOC", Value::String("EAST")}},
+                                       {}})
+                           .value();
+  RecordId textiles = db.StoreRecord({"DIV",
+                                      {{"DIV-NAME", Value::String("TEXTILES")},
+                                       {"DIV-LOC", Value::String("SOUTH")}},
+                                      {}})
+                          .value();
+  auto emp = [&db](const char* n, const char* d, int64_t a, RecordId o) {
+    (void)db.StoreRecord({"EMP",
+                          {{"EMP-NAME", Value::String(n)},
+                           {"DEPT-NAME", Value::String(d)},
+                           {"AGE", Value::Int(a)}},
+                          {{"DIV-EMP", o}}});
+  };
+  emp("ADAMS", "SALES", 34, machinery);
+  emp("BAKER", "SALES", 28, machinery);
+  emp("CLARK", "PLANG", 45, machinery);
+  emp("DAVIS", "SALES", 31, textiles);
+
+  Program program = std::move(ParseProgram(kPrograms)).value();
+
+  // The Program Analyzer's view: Su access-pattern sequences.
+  ProgramAnalyzer analyzer(db.schema());
+  Analysis analysis = std::move(analyzer.Analyze(program)).value();
+  std::printf("=== access-pattern sequences (section 4.1 notation) ===\n");
+  for (const AccessSequence& seq : analysis.sequences) {
+    std::printf("%s\n", seq.ToString().c_str());
+  }
+
+  // Figure 4.2 -> 4.4.
+  IntroduceIntermediateParams params;
+  params.set_name = "DIV-EMP";
+  params.intermediate = "DEPT";
+  params.upper_set = "DIV-DEPT";
+  params.lower_set = "DEPT-EMP";
+  params.group_field = "DEPT-NAME";
+  TransformationPtr split = MakeIntroduceIntermediate(params);
+
+  ConversionSupervisor supervisor =
+      std::move(ConversionSupervisor::Create(db.schema(), {split.get()},
+                                             SupervisorOptions{}))
+          .value();
+  std::printf("=== Figure 4.4: restructured schema ===\n%s\n",
+              supervisor.target_schema().ToDdl().c_str());
+
+  std::printf("=== Conversion Analyzer: classified changes ===\n");
+  for (const SchemaChange& change : supervisor.changes()) {
+    std::printf("  %s\n", change.ToString().c_str());
+  }
+  std::printf("\n");
+
+  PipelineOutcome outcome =
+      std::move(supervisor.ConvertProgram(program)).value();
+  std::printf("=== converted FIND statements ===\n");
+  for (const Stmt& s : outcome.conversion.converted.body) {
+    if (s.kind == StmtKind::kForEach && s.retrieval.has_value()) {
+      std::printf("  %s\n", s.retrieval->ToString().c_str());
+    }
+  }
+  std::printf("\n(paper, section 4.2: the first becomes SORT(FIND(...)) ON "
+              "(EMP-NAME),\n the second qualifies DEPT directly)\n\n");
+  std::printf("optimizer: %d predicate(s) pushed, %d sort(s) removed\n\n",
+              outcome.optimizer_stats.predicates_pushed,
+              outcome.optimizer_stats.sorts_removed);
+
+  Database target = std::move(supervisor.TranslateDatabase(db)).value();
+  EquivalenceReport report =
+      std::move(CheckEquivalence(db, program, target,
+                                 outcome.conversion.converted, IoScript()))
+          .value();
+  std::printf("=== runs equivalently: %s ===\n",
+              report.equivalent ? "YES" : "NO");
+  std::printf("--- output of both programs ---\n%s",
+              report.target_trace.ToString().c_str());
+  return report.equivalent ? 0 : 1;
+}

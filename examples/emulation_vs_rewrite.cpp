@@ -1,0 +1,131 @@
+// Strategy comparison (paper section 2.1.2): after the Figure 4.2 -> 4.4
+// restructuring, the same workload runs
+//   (a) natively      — the original program on the original database,
+//   (b) rewritten     — the converted program on the restructured database,
+//   (c) DML emulation — the original program through per-run call mapping,
+//   (d) bridge        — the original program on a per-run reconstruction.
+//
+// The paper's qualitative claim: (c) and (d) suffer "degraded efficiency"
+// and cannot exploit the new structure; rewriting can. The printed engine
+// operation counts and timings make that claim concrete.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bridge/bridge.h"
+#include "emulate/emulator.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+#include "restructure/transformation.h"
+#include "supervisor/supervisor.h"
+#include "testing/fixtures.h"
+
+namespace {
+
+constexpr const char* kWorkload = R"(
+PROGRAM WORKLOAD.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'DIV-0003'),
+      DIV-EMP, EMP(DEPT-NAME = 'SALES')) DO
+    GET EMP-NAME OF E INTO N.
+    WRITE REPORT FROM N.
+  END-FOR.
+END PROGRAM.
+)";
+
+struct Measurement {
+  double millis = 0;
+  uint64_t ops = 0;
+};
+
+template <typename Fn>
+Measurement Measure(dbpc::Database* db, Fn&& fn) {
+  db->ResetStats();
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  Measurement m;
+  m.millis = std::chrono::duration<double, std::milli>(end - start).count();
+  m.ops = db->stats().Total();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dbpc;
+
+  Database source_db = testing::MakeDatabase(testing::CompanyDdl());
+  testing::FillCompany(&source_db, /*divisions=*/16, /*emps_per_div=*/64);
+
+  IntroduceIntermediateParams params;
+  params.set_name = "DIV-EMP";
+  params.intermediate = "DEPT";
+  params.upper_set = "DIV-DEPT";
+  params.lower_set = "DEPT-EMP";
+  params.group_field = "DEPT-NAME";
+  TransformationPtr split = MakeIntroduceIntermediate(params);
+  std::vector<const Transformation*> plan{split.get()};
+
+  Program program = std::move(ParseProgram(kWorkload)).value();
+
+  ConversionSupervisor supervisor =
+      std::move(ConversionSupervisor::Create(source_db.schema(), plan,
+                                             SupervisorOptions{}))
+          .value();
+  PipelineOutcome outcome =
+      std::move(supervisor.ConvertProgram(program)).value();
+  Database target_db = std::move(supervisor.TranslateDatabase(source_db)).value();
+
+  std::printf("database: %zu records; workload: one qualified report\n\n",
+              source_db.RecordCount());
+  std::printf("%-22s %12s %12s\n", "strategy", "engine ops", "time (ms)");
+
+  // (a) native.
+  {
+    Database db = source_db;
+    Measurement m = Measure(&db, [&] {
+      Interpreter interp(&db, IoScript());
+      (void)interp.Run(program);
+    });
+    std::printf("%-22s %12llu %12.3f\n", "native (source db)",
+                static_cast<unsigned long long>(m.ops), m.millis);
+  }
+  // (b) rewritten.
+  {
+    Database db = target_db;
+    Measurement m = Measure(&db, [&] {
+      Interpreter interp(&db, IoScript());
+      (void)interp.Run(outcome.conversion.converted);
+    });
+    std::printf("%-22s %12llu %12.3f\n", "rewritten (converted)",
+                static_cast<unsigned long long>(m.ops), m.millis);
+  }
+  // (c) emulation.
+  {
+    DmlEmulator emulator =
+        std::move(DmlEmulator::Create(source_db.schema(), plan)).value();
+    Database db = target_db;
+    Measurement m = Measure(&db, [&] {
+      (void)emulator.Run(program, &db, IoScript());
+    });
+    std::printf("%-22s %12llu %12.3f\n", "dml-emulation",
+                static_cast<unsigned long long>(m.ops), m.millis);
+  }
+  // (d) bridge (differential on: read-only workload skips write-back).
+  {
+    BridgeRunner bridge =
+        std::move(BridgeRunner::Create(source_db.schema(), plan)).value();
+    Database db = target_db;
+    Measurement m = Measure(&db, [&] {
+      (void)bridge.Run(program, &db, IoScript(), {.differential = true});
+    });
+    std::printf("%-22s %12llu %12.3f\n", "bridge (differential)",
+                static_cast<unsigned long long>(m.ops), m.millis);
+  }
+
+  std::printf("\nexpected shape (paper section 2.1.2): rewritten is close to "
+              "native;\nemulation pays per-call mapping and order "
+              "reconstruction; the bridge\npays a full reconstruction per "
+              "run.\n");
+  return 0;
+}

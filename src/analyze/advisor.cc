@@ -1,0 +1,139 @@
+#include "analyze/advisor.h"
+
+#include <functional>
+#include <map>
+
+#include "analyze/analyzer.h"
+#include "common/string_util.h"
+#include "engine/find_query.h"
+
+namespace dbpc {
+
+namespace {
+
+/// The record-type context flowing into step `index` of a resolved query.
+std::string ContextBefore(const Schema& schema, const FindQuery& query,
+                          size_t index) {
+  std::string context;
+  for (size_t i = 0; i < index && i < query.steps.size(); ++i) {
+    const PathStep& step = query.steps[i];
+    if (step.kind == PathStep::Kind::kSet) {
+      const SetDef* set = schema.FindSet(step.name);
+      if (set != nullptr) context = ToUpper(set->member);
+    } else {
+      context = ToUpper(step.name);
+    }
+  }
+  return context;
+}
+
+void AdviseJoins(const Schema& schema, const Retrieval& retrieval,
+                 std::vector<Advice>* out) {
+  Retrieval resolved = retrieval;
+  if (!ResolveFindQuery(schema, &resolved.query).ok()) return;
+  for (size_t i = 0; i < resolved.query.steps.size(); ++i) {
+    const PathStep& step = resolved.query.steps[i];
+    if (step.kind != PathStep::Kind::kJoin) continue;
+    std::string source = ContextBefore(schema, resolved.query, i);
+    if (source.empty()) continue;
+    // An association between the joined types in either direction makes the
+    // value join suspicious: the programmer may not know the access path
+    // exists (the paper's "may not be aware of all the access paths").
+    const SetDef* down = schema.FindSetBetween(source, step.name);
+    const SetDef* up = schema.FindSetBetween(step.name, source);
+    if (down != nullptr || up != nullptr) {
+      const SetDef* set = down != nullptr ? down : up;
+      out->push_back(
+          {"join-duplicates-association",
+           "JOIN " + step.name + " THROUGH (" + step.join_target_field +
+               ", " + step.join_source_field + ") relates " + source +
+               " and " + step.name + ", which set " + set->name +
+               " already associates; traverse the set instead"});
+    }
+  }
+}
+
+/// Fields assigned by GET <field> OF <cursor> into host variables inside
+/// one loop body (direct statements only).
+std::map<std::string, std::string> CursorFieldVars(const Stmt& loop) {
+  std::map<std::string, std::string> var_to_field;
+  for (const Stmt& s : loop.body) {
+    if (s.kind == StmtKind::kGetField &&
+        EqualsIgnoreCase(s.cursor, loop.cursor)) {
+      var_to_field[s.target_var] = ToUpper(s.field);
+    }
+  }
+  return var_to_field;
+}
+
+/// True when the condition is a single comparison `var <op> literal` for a
+/// var in `var_to_field`; returns the suggested qualification text.
+bool SuggestsQualification(const HostCond& cond,
+                           const std::map<std::string, std::string>& vars,
+                           std::string* suggestion) {
+  if (cond.kind != HostCond::Kind::kCompare || cond.operands.size() != 2) {
+    return false;
+  }
+  const HostExpr& lhs = cond.operands[0];
+  const HostExpr& rhs = cond.operands[1];
+  if (lhs.kind != HostExpr::Kind::kVar ||
+      rhs.kind != HostExpr::Kind::kLiteral) {
+    return false;
+  }
+  auto it = vars.find(lhs.var);
+  if (it == vars.end()) return false;
+  *suggestion = it->second + std::string(" ") + CompareOpSymbol(cond.op) +
+                " " + rhs.literal.ToLiteral();
+  return true;
+}
+
+void AdviseFilters(const Stmt& loop, std::vector<Advice>* out) {
+  if (!loop.retrieval.has_value()) return;
+  std::map<std::string, std::string> vars = CursorFieldVars(loop);
+  if (vars.empty()) return;
+  for (const Stmt& s : loop.body) {
+    if (s.kind != StmtKind::kIf || !s.cond.has_value()) continue;
+    std::string suggestion;
+    if (SuggestsQualification(*s.cond, vars, &suggestion)) {
+      out->push_back(
+          {"filter-after-retrieval",
+           "loop over " + loop.retrieval->query.target_type +
+               " filters with IF " + s.cond->ToString() +
+               "; move the test into the FIND qualification as (" +
+               suggestion + ")"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Advice> AdviseProgram(const Schema& schema,
+                                  const Program& program) {
+  std::vector<Advice> out;
+
+  // Run the analyzer once for the "process first" suspicion, which it
+  // already detects as an issue during lifting.
+  ProgramAnalyzer analyzer(schema);
+  Result<Analysis> analysis = analyzer.Analyze(program);
+  if (analysis.ok()) {
+    for (const AnalysisIssue& issue : analysis->issues) {
+      if (issue.kind == AnalysisIssue::Kind::kAmbiguousOwnerSelection) {
+        out.push_back({"process-first-suspicion", issue.detail});
+      }
+    }
+  }
+
+  const Program& subject = analysis.ok() ? analysis->lifted : program;
+  VisitStmts(subject.body, [&](const Stmt& s) {
+    if ((s.kind == StmtKind::kForEach || s.kind == StmtKind::kRetrieve) &&
+        s.retrieval.has_value()) {
+      AdviseJoins(schema, *s.retrieval, &out);
+    }
+    if (s.kind == StmtKind::kForEach) {
+      AdviseFilters(s, &out);
+    }
+  });
+  return out;
+}
+
+}  // namespace dbpc

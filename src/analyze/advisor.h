@@ -1,0 +1,43 @@
+#ifndef DBPC_ANALYZE_ADVISOR_H_
+#define DBPC_ANALYZE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// A program-improvement suggestion. Paper section 5.3: "If a program
+/// analyzer can be successfully constructed, it could be used as a
+/// programmer's aid during initial writing of database application
+/// programs. Application programmers may misunderstand or misuse data
+/// relationships ... Program 'improvement' of this kind should be a
+/// natural byproduct of a good program analyzer."
+struct Advice {
+  /// Stable kebab-case kind:
+  ///  - "join-duplicates-association": a value join relates two types that
+  ///    the schema already associates; the set traversal is cheaper and
+  ///    conversion-friendlier.
+  ///  - "filter-after-retrieval": a loop retrieves unqualified records and
+  ///    immediately filters with IF; the test belongs in the FIND
+  ///    qualification.
+  ///  - "process-first-suspicion": a FIND ANY whose predicate may match
+  ///    several records feeds a member scan ("process all" vs "process the
+  ///    first", section 3.2).
+  std::string kind;
+  std::string detail;
+
+  std::string ToString() const { return kind + ": " + detail; }
+};
+
+/// Inspects a program against a schema and returns improvement advice.
+/// Purely advisory: the program is valid and convertible (or not)
+/// regardless.
+std::vector<Advice> AdviseProgram(const Schema& schema,
+                                  const Program& program);
+
+}  // namespace dbpc
+
+#endif  // DBPC_ANALYZE_ADVISOR_H_

@@ -1,0 +1,639 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+const char* ConvertibilityName(Convertibility c) {
+  switch (c) {
+    case Convertibility::kAutomatic:
+      return "automatic";
+    case Convertibility::kNeedsAnalyst:
+      return "needs-analyst";
+    case Convertibility::kNotConvertible:
+      return "not-convertible";
+  }
+  return "?";
+}
+
+const char* AnalysisIssueKindName(AnalysisIssue::Kind kind) {
+  switch (kind) {
+    case AnalysisIssue::Kind::kRuntimeVariability:
+      return "runtime-variability";
+    case AnalysisIssue::Kind::kStatusCodeDependence:
+      return "status-code-dependence";
+    case AnalysisIssue::Kind::kOrderDependence:
+      return "order-dependence";
+    case AnalysisIssue::Kind::kAmbiguousOwnerSelection:
+      return "ambiguous-owner-selection";
+    case AnalysisIssue::Kind::kUnliftedNavigation:
+      return "unlifted-navigation";
+    case AnalysisIssue::Kind::kProceduralConstraint:
+      return "procedural-constraint";
+  }
+  return "?";
+}
+
+std::string AnalysisIssue::ToString() const {
+  return std::string(AnalysisIssueKindName(kind)) + ": " + detail;
+}
+
+bool Analysis::HasIssue(AnalysisIssue::Kind kind) const {
+  for (const AnalysisIssue& issue : issues) {
+    if (issue.kind == kind) return true;
+  }
+  return false;
+}
+
+void CollectExprVars(const HostExpr& expr, std::vector<std::string>* out) {
+  switch (expr.kind) {
+    case HostExpr::Kind::kLiteral:
+      return;
+    case HostExpr::Kind::kVar:
+      out->push_back(expr.var);
+      return;
+    case HostExpr::Kind::kBinary:
+      for (const HostExpr& c : expr.children) CollectExprVars(c, out);
+      return;
+  }
+}
+
+void CollectCondVars(const HostCond& cond, std::vector<std::string>* out) {
+  for (const HostExpr& e : cond.operands) CollectExprVars(e, out);
+  for (const HostCond& c : cond.children) CollectCondVars(c, out);
+}
+
+namespace {
+
+bool ExprMentions(const HostExpr& expr, const std::string& var) {
+  std::vector<std::string> vars;
+  CollectExprVars(expr, &vars);
+  return std::find(vars.begin(), vars.end(), var) != vars.end();
+}
+
+bool CondMentions(const HostCond& cond, const std::string& var) {
+  std::vector<std::string> vars;
+  CollectCondVars(cond, &vars);
+  return std::find(vars.begin(), vars.end(), var) != vars.end();
+}
+
+/// Any expression/condition in this statement subtree referencing DB-STATUS.
+bool StmtMentionsDbStatus(const Stmt& stmt) {
+  for (const HostExpr& e : stmt.exprs) {
+    if (ExprMentions(e, "DB-STATUS")) return true;
+  }
+  if (stmt.cond.has_value() && CondMentions(*stmt.cond, "DB-STATUS")) {
+    return true;
+  }
+  for (const auto& [field, e] : stmt.assignments) {
+    if (ExprMentions(e, "DB-STATUS")) return true;
+  }
+  for (const Stmt& s : stmt.body) {
+    if (StmtMentionsDbStatus(s)) return true;
+  }
+  for (const Stmt& s : stmt.else_body) {
+    if (StmtMentionsDbStatus(s)) return true;
+  }
+  return false;
+}
+
+bool IsNavKind(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kNavFind:
+    case StmtKind::kNavGet:
+    case StmtKind::kNavStore:
+    case StmtKind::kNavModify:
+    case StmtKind::kNavErase:
+    case StmtKind::kConnect:
+    case StmtKind::kDisconnect:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The canonical status-loop guard: DB-STATUS = '0000'.
+bool IsStatusLoop(const Stmt& stmt) {
+  if (stmt.kind != StmtKind::kWhile || !stmt.cond.has_value()) return false;
+  const HostCond& c = *stmt.cond;
+  if (c.kind != HostCond::Kind::kCompare || c.op != CompareOp::kEq) {
+    return false;
+  }
+  if (c.operands.size() != 2) return false;
+  const HostExpr& lhs = c.operands[0];
+  const HostExpr& rhs = c.operands[1];
+  return lhs.kind == HostExpr::Kind::kVar && lhs.var == "DB-STATUS" &&
+         rhs.kind == HostExpr::Kind::kLiteral && rhs.literal.is_string() &&
+         rhs.literal.as_string() == "0000";
+}
+
+/// Collects equality-compared fields from an AND-only predicate. Returns
+/// false when the predicate contains OR/NOT (no uniqueness guarantee).
+bool CollectEqualityFields(const Predicate& pred,
+                           std::vector<std::string>* out) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kCompare:
+      if (pred.op() == CompareOp::kEq) out->push_back(ToUpper(pred.field()));
+      return true;
+    case Predicate::Kind::kAnd:
+      return CollectEqualityFields(*pred.lhs_child(), out) &&
+             CollectEqualityFields(*pred.rhs_child(), out);
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot:
+      return false;
+  }
+  return false;
+}
+
+/// State threaded through the lifting walk.
+struct LiftState {
+  const Schema* schema = nullptr;
+  std::vector<AnalysisIssue>* issues = nullptr;
+  int cursor_counter = 0;
+  /// Record type (upper) -> innermost cursor bound to it.
+  std::map<std::string, std::string> cursor_of_type;
+  /// Record type (upper) -> set its enclosing scan traverses.
+  std::map<std::string, std::string> scanned_set_of_type;
+  /// Abstract current of run-unit ("" = unknown).
+  std::string run_unit_type;
+
+  std::string NewCursor() {
+    return "CUR-" + std::to_string(++cursor_counter);
+  }
+};
+
+std::optional<Stmt> TryBuildForEach(const std::vector<Stmt>& stmts, size_t i,
+                                    LiftState* st, size_t* consumed);
+
+/// Rewrites a status-loop body (without its trailing FIND NEXT) into
+/// Maryland-level statements. Returns nullopt when anything in the body
+/// defeats the template (currency disturbance, status-code logic, fields
+/// of the wrong record type).
+std::optional<std::vector<Stmt>> TryLiftLoopBody(const std::vector<Stmt>& body,
+                                                 LiftState* st) {
+  std::vector<Stmt> out;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Stmt& s = body[i];
+    switch (s.kind) {
+      case StmtKind::kNavGet: {
+        const std::string& type = st->run_unit_type;
+        auto cur = st->cursor_of_type.find(type);
+        if (type.empty() || cur == st->cursor_of_type.end()) return std::nullopt;
+        const RecordTypeDef* rec = st->schema->FindRecordType(type);
+        if (rec == nullptr || !rec->HasField(s.field)) return std::nullopt;
+        Stmt g;
+        g.kind = StmtKind::kGetField;
+        g.field = s.field;
+        g.cursor = cur->second;
+        g.target_var = s.target_var;
+        out.push_back(std::move(g));
+        break;
+      }
+      case StmtKind::kNavModify: {
+        const std::string& type = st->run_unit_type;
+        auto cur = st->cursor_of_type.find(type);
+        if (type.empty() || cur == st->cursor_of_type.end()) return std::nullopt;
+        // Modifying the scanned set's sort key would re-position the record
+        // mid-scan; the template refuses.
+        auto scanned = st->scanned_set_of_type.find(type);
+        if (scanned != st->scanned_set_of_type.end()) {
+          const SetDef* set = st->schema->FindSet(scanned->second);
+          if (set != nullptr) {
+            for (const auto& [field, expr] : s.assignments) {
+              for (const std::string& key : set->keys) {
+                if (EqualsIgnoreCase(field, key)) return std::nullopt;
+              }
+            }
+          }
+        }
+        Stmt m;
+        m.kind = StmtKind::kModify;
+        m.cursor = cur->second;
+        m.assignments = s.assignments;
+        out.push_back(std::move(m));
+        break;
+      }
+      case StmtKind::kNavFind: {
+        size_t consumed = 0;
+        std::optional<Stmt> lifted = TryBuildForEach(body, i, st, &consumed);
+        if (!lifted.has_value()) return std::nullopt;
+        out.push_back(std::move(*lifted));
+        i += consumed - 1;
+        st->run_unit_type.clear();  // inner loop leaves currency behind
+        break;
+      }
+      case StmtKind::kNavStore:
+      case StmtKind::kNavErase:
+      case StmtKind::kConnect:
+      case StmtKind::kDisconnect:
+      case StmtKind::kCallDml:
+        return std::nullopt;
+      case StmtKind::kIf: {
+        if (s.cond.has_value() && CondMentions(*s.cond, "DB-STATUS")) {
+          return std::nullopt;
+        }
+        Stmt copy = s;
+        std::optional<std::vector<Stmt>> then_body =
+            TryLiftLoopBody(s.body, st);
+        if (!then_body.has_value()) return std::nullopt;
+        std::optional<std::vector<Stmt>> else_body =
+            TryLiftLoopBody(s.else_body, st);
+        if (!else_body.has_value()) return std::nullopt;
+        copy.body = std::move(*then_body);
+        copy.else_body = std::move(*else_body);
+        out.push_back(std::move(copy));
+        break;
+      }
+      case StmtKind::kWhile: {
+        if (s.cond.has_value() && CondMentions(*s.cond, "DB-STATUS")) {
+          return std::nullopt;
+        }
+        Stmt copy = s;
+        std::optional<std::vector<Stmt>> inner = TryLiftLoopBody(s.body, st);
+        if (!inner.has_value()) return std::nullopt;
+        copy.body = std::move(*inner);
+        out.push_back(std::move(copy));
+        break;
+      }
+      case StmtKind::kForEach: {
+        Stmt copy = s;
+        std::string target;
+        if (s.retrieval.has_value()) target = ToUpper(s.retrieval->query.target_type);
+        auto saved_cursor = st->cursor_of_type;
+        if (!target.empty()) st->cursor_of_type[target] = s.cursor;
+        std::optional<std::vector<Stmt>> inner = TryLiftLoopBody(s.body, st);
+        st->cursor_of_type = std::move(saved_cursor);
+        if (!inner.has_value()) return std::nullopt;
+        copy.body = std::move(*inner);
+        out.push_back(std::move(copy));
+        break;
+      }
+      default: {
+        if (StmtMentionsDbStatus(s)) return std::nullopt;
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Attempts the two loop templates starting at stmts[i]:
+///  (a) FIND ANY <O> (pred). FIND FIRST <M> WITHIN <S>. WHILE DB-STATUS ...
+///  (b) FIND FIRST <M> WITHIN <S>. WHILE DB-STATUS ...
+/// Returns the replacement FOR EACH and sets *consumed.
+std::optional<Stmt> TryBuildForEach(const std::vector<Stmt>& stmts, size_t i,
+                                    LiftState* st, size_t* consumed) {
+  const Schema& schema = *st->schema;
+  size_t first_idx = i;
+  std::optional<Predicate> owner_pred;
+  std::string owner_type;
+  bool has_owner_find = false;
+
+  if (stmts[i].kind == StmtKind::kNavFind &&
+      stmts[i].nav_find->mode == NavFind::Mode::kAny && i + 2 < stmts.size()) {
+    // Candidate (a); only commit if the next two statements fit.
+    if (stmts[i + 1].kind == StmtKind::kNavFind &&
+        stmts[i + 1].nav_find->mode == NavFind::Mode::kFirst &&
+        IsStatusLoop(stmts[i + 2])) {
+      has_owner_find = true;
+      owner_type = ToUpper(stmts[i].nav_find->record_type);
+      owner_pred = stmts[i].nav_find->pred;
+      first_idx = i + 1;
+    }
+  }
+  if (stmts[first_idx].kind != StmtKind::kNavFind ||
+      stmts[first_idx].nav_find->mode != NavFind::Mode::kFirst ||
+      first_idx + 1 >= stmts.size() || !IsStatusLoop(stmts[first_idx + 1])) {
+    return std::nullopt;
+  }
+  const NavFind& first = *stmts[first_idx].nav_find;
+  const Stmt& loop = stmts[first_idx + 1];
+  if (loop.body.empty()) return std::nullopt;
+  const Stmt& last = loop.body.back();
+  if (last.kind != StmtKind::kNavFind ||
+      last.nav_find->mode != NavFind::Mode::kNext ||
+      !EqualsIgnoreCase(last.nav_find->record_type, first.record_type) ||
+      !EqualsIgnoreCase(last.nav_find->set_name, first.set_name) ||
+      last.nav_find->pred != first.pred) {
+    return std::nullopt;
+  }
+  const SetDef* set = schema.FindSet(first.set_name);
+  if (set == nullptr || !EqualsIgnoreCase(set->member, first.record_type)) {
+    return std::nullopt;
+  }
+
+  // Build the FIND path.
+  FindQuery query;
+  query.target_type = ToUpper(first.record_type);
+  if (has_owner_find) {
+    if (!EqualsIgnoreCase(set->owner, owner_type)) return std::nullopt;
+    // The owner must be reachable through a system-owned set.
+    const SetDef* sys = nullptr;
+    for (const SetDef* cand : schema.SetsWithMember(owner_type)) {
+      if (cand->system_owned()) {
+        sys = cand;
+        break;
+      }
+    }
+    if (sys == nullptr) return std::nullopt;
+    query.start = "SYSTEM";
+    query.steps.push_back(PathStep::Make(PathStep::Kind::kSet, ToUpper(sys->name)));
+    PathStep owner_step;
+    owner_step.kind = PathStep::Kind::kRecord;
+    owner_step.name = owner_type;
+    owner_step.qualification = owner_pred;
+    query.steps.push_back(std::move(owner_step));
+    // "Process the first" vs "process all" (section 3.2): the original
+    // FIND ANY stopped at one owner; the path visits all matches.
+    if (!owner_pred.has_value() ||
+        !SelectsAtMostOne(schema, owner_type, *owner_pred)) {
+      st->issues->push_back(
+          {AnalysisIssue::Kind::kAmbiguousOwnerSelection,
+           "FIND ANY " + owner_type +
+               (owner_pred.has_value() ? " (" + owner_pred->ToString() + ")"
+                                       : "") +
+               " may match several records; the lifted path processes all"});
+    }
+  } else if (set->system_owned()) {
+    query.start = "SYSTEM";
+  } else {
+    // The occurrence must come from an enclosing cursor over the owner type.
+    auto cur = st->cursor_of_type.find(ToUpper(set->owner));
+    if (cur == st->cursor_of_type.end()) return std::nullopt;
+    query.start = cur->second;
+  }
+  query.steps.push_back(PathStep::Make(PathStep::Kind::kSet, ToUpper(set->name)));
+  PathStep member_step;
+  member_step.kind = PathStep::Kind::kRecord;
+  member_step.name = ToUpper(set->member);
+  member_step.qualification = first.pred;
+  query.steps.push_back(std::move(member_step));
+
+  // Lift the loop body under the new cursor.
+  std::string member_type = ToUpper(first.record_type);
+  std::string cursor = st->NewCursor();
+  auto saved_cursors = st->cursor_of_type;
+  auto saved_scans = st->scanned_set_of_type;
+  std::string saved_run_unit = st->run_unit_type;
+  st->cursor_of_type[member_type] = cursor;
+  st->scanned_set_of_type[member_type] = ToUpper(set->name);
+  st->run_unit_type = member_type;
+  std::vector<Stmt> body_without_next(loop.body.begin(),
+                                      std::prev(loop.body.end()));
+  std::optional<std::vector<Stmt>> lifted_body =
+      TryLiftLoopBody(body_without_next, st);
+  st->cursor_of_type = std::move(saved_cursors);
+  st->scanned_set_of_type = std::move(saved_scans);
+  st->run_unit_type = saved_run_unit;
+  if (!lifted_body.has_value()) return std::nullopt;
+
+  Stmt for_each;
+  for_each.kind = StmtKind::kForEach;
+  for_each.cursor = cursor;
+  Retrieval retrieval;
+  retrieval.query = std::move(query);
+  for_each.retrieval = std::move(retrieval);
+  for_each.body = std::move(*lifted_body);
+  *consumed = (first_idx - i) + 2;
+  return for_each;
+}
+
+/// Top-level lifting walk. Statements the templates cannot absorb pass
+/// through unchanged (and are reported as unlifted navigation afterwards).
+std::vector<Stmt> LiftBlock(const std::vector<Stmt>& stmts, LiftState* st) {
+  std::vector<Stmt> out;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    const Stmt& s = stmts[i];
+    if (s.kind == StmtKind::kNavFind) {
+      size_t consumed = 0;
+      std::optional<Stmt> lifted = TryBuildForEach(stmts, i, st, &consumed);
+      if (lifted.has_value()) {
+        out.push_back(std::move(*lifted));
+        i += consumed - 1;
+        st->run_unit_type.clear();
+        continue;
+      }
+      // Track currency for diagnostics even when unlifted.
+      st->run_unit_type = ToUpper(s.nav_find->record_type);
+      out.push_back(s);
+      continue;
+    }
+    if (s.kind == StmtKind::kIf || s.kind == StmtKind::kWhile) {
+      Stmt copy = s;
+      copy.body = LiftBlock(s.body, st);
+      copy.else_body = LiftBlock(s.else_body, st);
+      out.push_back(std::move(copy));
+      continue;
+    }
+    if (s.kind == StmtKind::kForEach) {
+      Stmt copy = s;
+      std::string target;
+      if (s.retrieval.has_value()) {
+        target = ToUpper(s.retrieval->query.target_type);
+      }
+      auto saved = st->cursor_of_type;
+      if (!target.empty()) st->cursor_of_type[target] = s.cursor;
+      copy.body = LiftBlock(s.body, st);
+      st->cursor_of_type = std::move(saved);
+      out.push_back(std::move(copy));
+      continue;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Sets traversed by a retrieval (used for order-dependence reporting).
+/// Steps are matched against the schema because program retrievals are
+/// unresolved (record and set names share one identifier space).
+std::vector<std::string> SetsInPath(const Schema& schema,
+                                    const FindQuery& query) {
+  std::vector<std::string> out;
+  for (const PathStep& step : query.steps) {
+    if (step.qualification.has_value()) continue;
+    if (schema.FindSet(step.name) != nullptr) {
+      out.push_back(ToUpper(step.name));
+    }
+  }
+  return out;
+}
+
+bool BlockEmitsOutput(const std::vector<Stmt>& body) {
+  for (const Stmt& s : body) {
+    if (s.kind == StmtKind::kDisplay || s.kind == StmtKind::kWrite) return true;
+    if (BlockEmitsOutput(s.body) || BlockEmitsOutput(s.else_body)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SelectsAtMostOne(const Schema& schema, const std::string& type,
+                      const Predicate& pred) {
+  std::vector<std::string> eq_fields;
+  if (!CollectEqualityFields(pred, &eq_fields)) return false;
+  auto covered = [&eq_fields](const std::vector<std::string>& key_fields) {
+    if (key_fields.empty()) return false;
+    for (const std::string& k : key_fields) {
+      bool found = false;
+      for (const std::string& f : eq_fields) {
+        if (EqualsIgnoreCase(f, k)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  // Full sort key of a system-owned set: duplicates are rejected within the
+  // single occurrence, so equality on the key selects at most one record.
+  for (const SetDef* set : schema.SetsWithMember(type)) {
+    if (set->system_owned() && set->ordering == SetOrdering::kSortedByKeys &&
+        covered(set->keys)) {
+      return true;
+    }
+  }
+  for (const ConstraintDef& c : schema.constraints()) {
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, type) && covered(c.fields)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Analysis> ProgramAnalyzer::Analyze(const Program& program) const {
+  Analysis analysis;
+
+  LiftState state;
+  state.schema = &schema_;
+  state.issues = &analysis.issues;
+  analysis.lifted = program;
+  if (options_.lift_templates) {
+    analysis.lifted.body = LiftBlock(program.body, &state);
+  }
+
+  // Residual navigation / run-time variability.
+  VisitStmts(analysis.lifted.body, [&](const Stmt& s) {
+    if (IsNavKind(s.kind)) {
+      analysis.fully_lifted = false;
+      analysis.issues.push_back(
+          {AnalysisIssue::Kind::kUnliftedNavigation,
+           "statement not covered by any template: " +
+               [&s] {
+                 std::string text;
+                 s.AppendSource(&text, 0);
+                 return Trim(text);
+               }()});
+    }
+    if (s.kind == StmtKind::kCallDml) {
+      analysis.issues.push_back(
+          {AnalysisIssue::Kind::kRuntimeVariability,
+           "DML verb of CALL DML(" + s.verb_var + ", " + s.record_type +
+               ") is determined at run time"});
+    }
+  });
+
+  // Status-code dependence in the lifted form.
+  for (const Stmt& s : analysis.lifted.body) {
+    if (StmtMentionsDbStatus(s)) {
+      analysis.issues.push_back({AnalysisIssue::Kind::kStatusCodeDependence,
+                                 "program logic branches on DB-STATUS"});
+      break;
+    }
+  }
+
+  // Order dependence: unsorted retrieval order reaching program output.
+  VisitStmts(analysis.lifted.body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::kForEach || !s.retrieval.has_value()) return;
+    if (!s.retrieval->sort_on.empty()) return;
+    if (!BlockEmitsOutput(s.body)) return;
+    for (const std::string& set_name :
+         SetsInPath(schema_, s.retrieval->query)) {
+      if (std::find(analysis.order_dependent_sets.begin(),
+                    analysis.order_dependent_sets.end(),
+                    set_name) == analysis.order_dependent_sets.end()) {
+        analysis.order_dependent_sets.push_back(set_name);
+      }
+    }
+    analysis.issues.push_back(
+        {AnalysisIssue::Kind::kOrderDependence,
+         "output order depends on member ordering of " +
+             Join(SetsInPath(schema_, s.retrieval->query), ", ")});
+  });
+
+  // Procedural constraint detection (section 5.3): a STORE guarded by a
+  // condition over data read from the would-be owner's record type.
+  {
+    std::map<std::string, std::string> var_source_type;   // var -> record type
+    std::map<std::string, std::string> cursor_type;       // cursor -> type
+    std::function<void(const std::vector<Stmt>&)> walk =
+        [&](const std::vector<Stmt>& body) {
+          for (const Stmt& s : body) {
+            if (s.kind == StmtKind::kForEach && s.retrieval.has_value()) {
+              cursor_type[s.cursor] = ToUpper(s.retrieval->query.target_type);
+            }
+            if (s.kind == StmtKind::kGetField) {
+              auto it = cursor_type.find(s.cursor);
+              if (it != cursor_type.end()) {
+                var_source_type[s.target_var] = it->second;
+              }
+            }
+            if (s.kind == StmtKind::kIf && s.cond.has_value()) {
+              std::vector<std::string> vars;
+              CollectCondVars(*s.cond, &vars);
+              VisitStmts(s.body, [&](const Stmt& inner) {
+                if (inner.kind != StmtKind::kStore) return;
+                for (const Stmt::OwnerSelect& sel : inner.owners) {
+                  const SetDef* set = schema_.FindSet(sel.set_name);
+                  if (set == nullptr) continue;
+                  for (const std::string& v : vars) {
+                    auto src = var_source_type.find(v);
+                    if (src != var_source_type.end() &&
+                        EqualsIgnoreCase(src->second, set->owner)) {
+                      analysis.issues.push_back(
+                          {AnalysisIssue::Kind::kProceduralConstraint,
+                           "STORE " + inner.record_type + " into " +
+                               set->name +
+                               " is guarded by program logic over " +
+                               set->owner +
+                               " data (existence check in the program, not "
+                               "the model)"});
+                      return;
+                    }
+                  }
+                }
+              });
+            }
+            walk(s.body);
+            walk(s.else_body);
+          }
+        };
+    walk(analysis.lifted.body);
+  }
+
+  // Su access-pattern sequences from the lifted form.
+  DBPC_ASSIGN_OR_RETURN(analysis.sequences,
+                        DeriveProgramSequences(schema_, analysis.lifted));
+
+  // Classification.
+  if (analysis.HasIssue(AnalysisIssue::Kind::kRuntimeVariability)) {
+    analysis.convertibility = Convertibility::kNotConvertible;
+  } else if (analysis.HasIssue(AnalysisIssue::Kind::kUnliftedNavigation) ||
+             analysis.HasIssue(AnalysisIssue::Kind::kStatusCodeDependence) ||
+             analysis.HasIssue(
+                 AnalysisIssue::Kind::kAmbiguousOwnerSelection)) {
+    analysis.convertibility = Convertibility::kNeedsAnalyst;
+  } else {
+    analysis.convertibility = Convertibility::kAutomatic;
+  }
+  return analysis;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,113 @@
+#ifndef DBPC_ANALYZE_ANALYZER_H_
+#define DBPC_ANALYZE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/access_pattern.h"
+#include "lang/ast.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// How convertible a program is (paper sections 2.1.1 / 3.2: operational
+/// tools succeed on 65-70% of programs automatically; a completely
+/// automated system is probably impossible, so the remainder is split
+/// between analyst-assisted and refused).
+enum class Convertibility {
+  kAutomatic,      ///< The full pipeline can run unattended.
+  kNeedsAnalyst,   ///< Conversion is possible but an analyst must confirm
+                   ///< flagged decisions (ambiguous owners, residual
+                   ///< navigation, status-code logic).
+  kNotConvertible, ///< Run-time variability defeats static analysis.
+};
+
+const char* ConvertibilityName(Convertibility c);
+
+/// One problem or property the analyzer discovered.
+struct AnalysisIssue {
+  enum class Kind {
+    /// DML verb determined at run time (CALL DML) — section 3.2's "what
+    /// appeared to be a read might become an update".
+    kRuntimeVariability,
+    /// The program branches on DB-STATUS outside a recognized template.
+    kStatusCodeDependence,
+    /// Output order depends on set member ordering; restructurings that
+    /// change ordering need a compensating SORT.
+    kOrderDependence,
+    /// A FIND ANY used as loop context may match several records ("process
+    /// all" vs "process the first", section 3.2).
+    kAmbiguousOwnerSelection,
+    /// Navigational statements the templates could not lift.
+    kUnliftedNavigation,
+    /// An integrity check enforced in program logic (section 5.3).
+    kProceduralConstraint,
+  };
+  Kind kind;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+const char* AnalysisIssueKindName(AnalysisIssue::Kind kind);
+
+/// Analyzer output: the lifted program plus everything the Program
+/// Converter and the Conversion Analyst need to know about it.
+struct Analysis {
+  /// The program with navigational loops lifted to FOR EACH over FIND
+  /// paths wherever a template matched. Runs equivalently to the input.
+  Program lifted;
+  /// True when no navigational/currency statements remain in `lifted`.
+  bool fully_lifted = true;
+  std::vector<AnalysisIssue> issues;
+  Convertibility convertibility = Convertibility::kAutomatic;
+  /// Su access-pattern sequences of every database operation (derived from
+  /// the lifted form).
+  std::vector<AccessSequence> sequences;
+  /// Sets whose member ordering reaches program output (order dependence).
+  std::vector<std::string> order_dependent_sets;
+
+  bool HasIssue(AnalysisIssue::Kind kind) const;
+};
+
+/// Analyzer configuration (the lifting switch exists for the ablation
+/// experiment: how much of the corpus is automatic *because of* template
+/// matching).
+struct AnalyzerOptions {
+  /// Match navigational loop templates and lift them to FIND paths. With
+  /// this off, every navigational statement is reported as unlifted.
+  bool lift_templates = true;
+};
+
+/// The Program Analyzer of Figure 4.1: matches language templates against
+/// the program to recover its access patterns, performs the dataflow checks
+/// of section 3.2, and classifies convertibility.
+class ProgramAnalyzer {
+ public:
+  explicit ProgramAnalyzer(const Schema& schema, AnalyzerOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  /// Analyzes one program. Errors indicate malformed programs (unknown
+  /// record types in DML, unresolvable FIND paths) — not inconvertibility,
+  /// which is reported through `Analysis::convertibility`.
+  Result<Analysis> Analyze(const Program& program) const;
+
+ private:
+  const Schema& schema_;
+  AnalyzerOptions options_;
+};
+
+/// True when `pred` provably selects at most one record of `type` under
+/// `schema`'s uniqueness machinery: an equality on the sole sort key of a
+/// system-owned set of the type (duplicates are rejected within an
+/// occurrence) or equalities covering a uniqueness constraint.
+bool SelectsAtMostOne(const Schema& schema, const std::string& type,
+                      const Predicate& pred);
+
+/// Collects host variable names referenced by an expression / condition.
+void CollectExprVars(const HostExpr& expr, std::vector<std::string>* out);
+void CollectCondVars(const HostCond& cond, std::vector<std::string>* out);
+
+}  // namespace dbpc
+
+#endif  // DBPC_ANALYZE_ANALYZER_H_

@@ -1,0 +1,87 @@
+#include "bridge/bridge.h"
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+Result<BridgeRunner> BridgeRunner::Create(
+    Schema source, std::vector<const Transformation*> plan) {
+  DBPC_RETURN_IF_ERROR(source.Validate());
+  Result<std::vector<TransformationPtr>> inverses = InversePlan(source, plan);
+  if (!inverses.ok()) {
+    return Status::Unsupported("bridge requires invertible restructurings: " +
+                               inverses.status().message());
+  }
+  return BridgeRunner(std::move(source), std::move(plan),
+                      std::move(inverses).value());
+}
+
+namespace {
+
+/// Cheap content fingerprint of a database for the differential check.
+std::string Fingerprint(const Database& db) {
+  std::string out;
+  for (RecordId id : db.raw_store().AllRecords()) {
+    const StoredRecord* rec = db.raw_store().Get(id);
+    out += rec->type;
+    out += '|';
+    for (const auto& [field, value] : rec->fields) {
+      out += field;
+      out += '=';
+      out += value.ToLiteral();
+      out += ';';
+    }
+    for (const SetDef& set : db.schema().sets()) {
+      RecordId owner = db.raw_store().OwnerOf(ToUpper(set.name), id);
+      if (owner != 0) {
+        out += set.name;
+        out += '@';
+        out += std::to_string(owner);
+        out += ';';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BridgeRunner::BridgeRun> BridgeRunner::Run(
+    const Program& source_program, Database* target_db,
+    const IoScript& script, Options options) const {
+  BridgeRun out;
+
+  // Reconstruct the source-shaped database from the target (per run).
+  std::vector<const Transformation*> inverse_plan;
+  inverse_plan.reserve(inverses_.size());
+  for (const TransformationPtr& t : inverses_) inverse_plan.push_back(t.get());
+  DBPC_ASSIGN_OR_RETURN(Database reconstruction,
+                        TranslateDatabase(*target_db, inverse_plan));
+  out.records_reconstructed = reconstruction.RecordCount();
+
+  // Differential file: remember the pre-run content so unchanged runs skip
+  // the write-back entirely.
+  std::string before;
+  if (options.differential) before = Fingerprint(reconstruction);
+
+  Interpreter interp(&reconstruction, script);
+  DBPC_ASSIGN_OR_RETURN(out.run, interp.Run(source_program));
+
+  bool changed = true;
+  if (options.differential) {
+    changed = Fingerprint(reconstruction) != before;
+  }
+  if (changed) {
+    // Forward retranslation of the updated reconstruction replaces the
+    // target contents.
+    DBPC_ASSIGN_OR_RETURN(Database new_target,
+                          TranslateDatabase(reconstruction, plan_));
+    out.records_retranslated = new_target.RecordCount();
+    out.retranslated = true;
+    *target_db = std::move(new_target);
+  }
+  return out;
+}
+
+}  // namespace dbpc

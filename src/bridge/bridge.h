@@ -1,0 +1,70 @@
+#ifndef DBPC_BRIDGE_BRIDGE_H_
+#define DBPC_BRIDGE_BRIDGE_H_
+
+#include <vector>
+
+#include "lang/interpreter.h"
+#include "restructure/transformation.h"
+
+namespace dbpc {
+
+/// The bridge-program strategy (paper section 2.1.2): the source program's
+/// access requirements are met by dynamically reconstructing from the
+/// target database the portion of the source database it needs; updates are
+/// reflected back by retranslating changed data, which "differential file
+/// techniques can be used to ease".
+///
+/// This implementation reconstructs the full source-shaped database per run
+/// (the strategy's dominant cost), executes the unmodified source program
+/// against it, and writes back by forward retranslation. With
+/// `differential` enabled, a change journal (our differential file) lets
+/// read-only runs skip retranslation entirely.
+class BridgeRunner {
+ public:
+  struct Options {
+    /// Use the differential technique for write-back.
+    bool differential = true;
+  };
+
+  /// Every transformation in `plan` must have an inverse (Housel's
+  /// condition) or creation fails: a bridge cannot reconstruct the source
+  /// portion from a lossy restructuring. Transformations must outlive the
+  /// runner.
+  static Result<BridgeRunner> Create(Schema source,
+                                     std::vector<const Transformation*> plan);
+
+  struct BridgeRun {
+    RunResult run;
+    /// Records materialized to rebuild the source view (per run).
+    size_t records_reconstructed = 0;
+    /// Whether write-back retranslation happened.
+    bool retranslated = false;
+    /// Records pushed back to the target during write-back.
+    size_t records_retranslated = 0;
+  };
+
+  /// Runs the unmodified source program over a reconstruction of
+  /// `target_db`, then propagates any updates back into `target_db`.
+  Result<BridgeRun> Run(const Program& source_program, Database* target_db,
+                        const IoScript& script, Options options) const;
+  Result<BridgeRun> Run(const Program& source_program, Database* target_db,
+                        const IoScript& script) const {
+    return Run(source_program, target_db, script, Options());
+  }
+
+ private:
+  BridgeRunner(Schema source, std::vector<const Transformation*> plan,
+               std::vector<TransformationPtr> inverses)
+      : source_schema_(std::move(source)),
+        plan_(std::move(plan)),
+        inverses_(std::move(inverses)) {}
+
+  Schema source_schema_;
+  std::vector<const Transformation*> plan_;
+  /// Inverses in reverse plan order (target -> source direction).
+  std::vector<TransformationPtr> inverses_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_BRIDGE_BRIDGE_H_

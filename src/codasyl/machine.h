@@ -1,0 +1,128 @@
+#ifndef DBPC_CODASYL_MACHINE_H_
+#define DBPC_CODASYL_MACHINE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/predicate.h"
+
+namespace dbpc {
+
+/// DB-STATUS register values. The five-character DBTG codes are reduced to
+/// the three outcomes conversion research cares about: success, end of a
+/// set scan, and no record found. Programs branch on these (the paper's
+/// "status code dependency" difficulty, section 3.2).
+namespace db_status {
+inline constexpr const char* kOk = "0000";
+inline constexpr const char* kEndOfSet = "0307";
+inline constexpr const char* kNotFound = "0326";
+}  // namespace db_status
+
+/// A CODASYL DBTG-style navigational DML machine over a `Database`.
+///
+/// The machine maintains the classic currency indicators:
+///  - current of run-unit (the record most recently found/stored),
+///  - current of each record type,
+///  - current of each set (the member or owner most recently touched
+///    within that set, which positions FIND NEXT and defines the "current
+///    occurrence" used by FIND FIRST and by AUTOMATIC STORE connection).
+///
+/// Every verb sets DB-STATUS rather than failing: status-code branching is
+/// application logic in this model. Genuine misuse (unknown set names,
+/// type errors) still returns a non-OK Status.
+class CodasylMachine {
+ public:
+  explicit CodasylMachine(Database* db) : db_(db) {}
+
+  /// FIND ANY <record> (qualification): scans records of the type in
+  /// storage order and makes the first match current. DB-STATUS 0326 when
+  /// none matches.
+  Status FindAny(const std::string& record_type, const Predicate* pred,
+                 const HostEnv& host_env);
+
+  /// FIND DUPLICATE <record> (qualification): continues the FIND ANY scan
+  /// after the current of the record type.
+  Status FindDuplicate(const std::string& record_type, const Predicate* pred,
+                       const HostEnv& host_env);
+
+  /// FIND FIRST <record> WITHIN <set>: first member of the current
+  /// occurrence of the set. For system-owned sets the single occurrence is
+  /// used; otherwise the occurrence is determined by the set's currency
+  /// (its owner side). DB-STATUS 0307 when the occurrence is empty.
+  Status FindFirst(const std::string& record_type, const std::string& set_name,
+                   const Predicate* using_pred, const HostEnv& host_env);
+
+  /// FIND NEXT <record> WITHIN <set> [USING (pred)]: member after the
+  /// current of the set, optionally skipping to the next member satisfying
+  /// `using_pred` (the paper's FIND NEXT ... USING template).
+  /// DB-STATUS 0307 at end of set.
+  Status FindNext(const std::string& record_type, const std::string& set_name,
+                  const Predicate* using_pred, const HostEnv& host_env);
+
+  /// FIND OWNER WITHIN <set>: owner of the current occurrence of the set.
+  Status FindOwner(const std::string& set_name);
+
+  /// GET: reads a field of the current of run-unit (virtual fields
+  /// resolve through their set).
+  Result<Value> Get(const std::string& field) const;
+
+  /// STORE: creates a record; AUTOMATIC set memberships connect to the
+  /// current occurrence of each such set (classic DBTG set selection via
+  /// currency). DB-STATUS 0326 when a required current occurrence is not
+  /// established; constraint violations surface as DB-STATUS 0326 too,
+  /// with the message recorded in last_error().
+  Status StoreRecord(const std::string& record_type, const FieldMap& fields);
+
+  /// MODIFY: updates fields of the current of run-unit.
+  Status Modify(const FieldMap& updates);
+
+  /// ERASE: erases the current of run-unit (characterizing members
+  /// cascade; MANDATORY members block, reported via DB-STATUS).
+  Status Erase();
+
+  /// CONNECT current of run-unit into the current occurrence of the set.
+  Status Connect(const std::string& set_name);
+
+  /// DISCONNECT current of run-unit from the set.
+  Status Disconnect(const std::string& set_name);
+
+  /// The DB-STATUS register after the last verb.
+  const std::string& db_status() const { return status_; }
+
+  /// Human-readable detail of the last non-0000 status (not part of the
+  /// 1979 interface; used in diagnostics).
+  const std::string& last_error() const { return last_error_; }
+
+  RecordId current_of_run_unit() const { return cur_run_unit_; }
+  RecordId CurrentOfType(const std::string& record_type) const;
+  RecordId CurrentOfSet(const std::string& set_name) const;
+
+  /// Clears all currency indicators and DB-STATUS (run-unit restart).
+  void Reset();
+
+  Database* database() { return db_; }
+  const Database* database() const { return db_; }
+
+ private:
+  /// Establishes currency after a successful find/store of `id`.
+  void MakeCurrent(RecordId id);
+
+  void SetStatus(const char* code) {
+    status_ = code;
+    if (status_ == db_status::kOk) last_error_.clear();
+  }
+
+  Database* db_;
+  RecordId cur_run_unit_ = 0;
+  std::map<std::string, RecordId> cur_of_type_;
+  std::map<std::string, RecordId> cur_of_set_;
+  std::string status_ = db_status::kOk;
+  std::string last_error_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_CODASYL_MACHINE_H_

@@ -1,0 +1,220 @@
+#include "common/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace dbpc {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == '#';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      // Trailing hyphens belong to punctuation/next token, not the name.
+      while (i > start + 1 && input[i - 1] == '-') --i;
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = ToUpper(input.substr(start, i - start));
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      bool is_float = false;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      Token t;
+      t.text = input.substr(start, i - start);
+      t.line = line;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::stod(t.text);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::stoll(t.text);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        if (input[i] == '\n') ++line;
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(line));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == ":=") {
+        Token t;
+        t.kind = TokenKind::kPunct;
+        t.text = two;
+        t.line = line;
+        out.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = ".,;:()=<>+-*/&";
+    if (kSingles.find(c) != std::string::npos) {
+      Token t;
+      t.kind = TokenKind::kPunct;
+      t.text = std::string(1, c);
+      t.line = line;
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+const Token& TokenCursor::Peek(size_t lookahead) const {
+  size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Token TokenCursor::Next() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenCursor::ConsumeIdent(const std::string& upper_name) {
+  if (Peek().IsIdent(upper_name)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::ConsumePunct(const std::string& p) {
+  if (Peek().IsPunct(p)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectIdent(const std::string& upper_name) {
+  if (ConsumeIdent(upper_name)) return Status::OK();
+  return ErrorHere("expected '" + upper_name + "'");
+}
+
+Status TokenCursor::ExpectPunct(const std::string& p) {
+  if (ConsumePunct(p)) return Status::OK();
+  return ErrorHere("expected '" + p + "'");
+}
+
+Result<std::string> TokenCursor::TakeIdentifier(const std::string& what) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere("expected " + what);
+  }
+  return Next().text;
+}
+
+Result<int64_t> TokenCursor::TakeInteger(const std::string& what) {
+  if (Peek().kind != TokenKind::kInteger) {
+    return ErrorHere("expected " + what);
+  }
+  return Next().int_value;
+}
+
+std::string TokenCursor::TextBetween(size_t from, size_t to) const {
+  std::string out;
+  for (size_t i = from; i < to && i < tokens_.size(); ++i) {
+    const Token& t = tokens_[i];
+    if (t.kind == TokenKind::kEnd) break;
+    std::string piece = t.text;
+    if (t.kind == TokenKind::kString) {
+      piece = Value::String(t.text).ToLiteral();
+    }
+    bool glue = t.kind == TokenKind::kPunct &&
+                (t.text == "," || t.text == ")" || t.text == ".");
+    if (!out.empty() && !glue) out += ' ';
+    out += piece;
+  }
+  return out;
+}
+
+Status TokenCursor::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  std::string got =
+      t.kind == TokenKind::kEnd ? "end of input" : "'" + t.text + "'";
+  return Status::ParseError(message + ", got " + got + " at line " +
+                            std::to_string(t.line));
+}
+
+}  // namespace dbpc

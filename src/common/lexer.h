@@ -1,0 +1,91 @@
+#ifndef DBPC_COMMON_LEXER_H_
+#define DBPC_COMMON_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbpc {
+
+/// Token classes shared by the DDL, Maryland DML, and CPL parsers.
+enum class TokenKind {
+  kIdentifier,  ///< COBOL-flavoured: letters, digits, '_', '-', '#'
+  kInteger,
+  kFloat,
+  kString,  ///< single-quoted, '' escapes a quote
+  kPunct,   ///< one of . , ; : ( ) = < > <= >= <> + - * /
+  kEnd,
+};
+
+/// One lexed token. `text` holds the canonical form: identifiers upper-cased
+/// (all framework languages are case-insensitive), punctuation verbatim,
+/// strings unquoted/unescaped.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+
+  bool Is(TokenKind k, const std::string& t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(const std::string& upper_name) const {
+    return kind == TokenKind::kIdentifier && text == upper_name;
+  }
+  bool IsPunct(const std::string& p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+};
+
+/// Lexes the whole input. Hyphens bind into identifiers (DIV-EMP is one
+/// token); subtraction must therefore be written with surrounding spaces.
+/// Comments run from "--" to end of line.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+/// Cursor over a token vector with the usual recursive-descent helpers.
+/// Errors carry the line number of the offending token.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t lookahead = 0) const;
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  Token Next();
+
+  /// Consumes the next token if it is the given identifier / punctuation.
+  bool ConsumeIdent(const std::string& upper_name);
+  bool ConsumePunct(const std::string& p);
+
+  /// Requires and consumes, otherwise a parse error naming what was wanted.
+  Status ExpectIdent(const std::string& upper_name);
+  Status ExpectPunct(const std::string& p);
+
+  /// Consumes any identifier and returns its text.
+  Result<std::string> TakeIdentifier(const std::string& what);
+
+  /// Consumes an integer literal.
+  Result<int64_t> TakeInteger(const std::string& what);
+
+  /// Error status pinned at the current token.
+  Status ErrorHere(const std::string& message) const;
+
+  /// Save/restore support for limited backtracking.
+  size_t Position() const { return pos_; }
+  void SeekTo(size_t pos) { pos_ = pos < tokens_.size() ? pos : tokens_.size() - 1; }
+
+  /// Canonical text of tokens in [from, to): identifiers/punctuation as
+  /// lexed, strings re-quoted. Used to echo source clauses in reports.
+  std::string TextBetween(size_t from, size_t to) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_LEXER_H_

@@ -1,0 +1,68 @@
+#ifndef DBPC_COMMON_RESULT_H_
+#define DBPC_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dbpc {
+
+/// Either a value of type `T` or a non-OK `Status`, following the
+/// `arrow::Result` shape. Accessing the value of an error result is a
+/// programming error (checked by assertion in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status. Constructing from an OK status is an
+  /// internal error and is converted into one.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Unwraps a `Result` expression into `lhs`, propagating errors.
+#define DBPC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define DBPC_CONCAT_INNER(a, b) a##b
+#define DBPC_CONCAT(a, b) DBPC_CONCAT_INNER(a, b)
+
+#define DBPC_ASSIGN_OR_RETURN(lhs, expr) \
+  DBPC_ASSIGN_OR_RETURN_IMPL(DBPC_CONCAT(_dbpc_result_, __LINE__), lhs, expr)
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace dbpc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kConstraintViolation:
+      return "constraint-violation";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kTypeError:
+      return "type-error";
+    case StatusCode::kNotConvertible:
+      return "not-convertible";
+    case StatusCode::kNeedsAnalyst:
+      return "needs-analyst";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace dbpc

@@ -1,0 +1,102 @@
+#ifndef DBPC_COMMON_STATUS_H_
+#define DBPC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dbpc {
+
+/// Machine-readable classification of an error, loosely following the
+/// Arrow/RocksDB convention of a small closed enum plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Named schema object / record does not exist.
+  kAlreadyExists,     ///< Duplicate definition or key violation.
+  kConstraintViolation,  ///< Database integrity constraint rejected an update.
+  kParseError,        ///< DDL/DML/CPL text did not parse.
+  kTypeError,         ///< Value used with an incompatible field type.
+  kNotConvertible,    ///< Program conversion refused (paper section 3.2).
+  kNeedsAnalyst,      ///< Conversion requires an interactive decision.
+  kUnsupported,       ///< Feature intentionally outside this implementation.
+  kInternal,          ///< Invariant breach inside the library.
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid-argument", ...). Stable; used in error text and tests.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+///
+/// `Status` is cheap to copy for the OK case and carries a message for
+/// errors. Library code never throws; every fallible public entry point
+/// returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotConvertible(std::string msg) {
+    return Status(StatusCode::kNotConvertible, std::move(msg));
+  }
+  static Status NeedsAnalyst(std::string msg) {
+    return Status(StatusCode::kNeedsAnalyst, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller. Standard Arrow-style macro.
+#define DBPC_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dbpc::Status _dbpc_status = (expr);         \
+    if (!_dbpc_status.ok()) return _dbpc_status;  \
+  } while (false)
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_STATUS_H_

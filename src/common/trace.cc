@@ -1,0 +1,49 @@
+#include "common/trace.h"
+
+namespace dbpc {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTerminalOut:
+      return "terminal-out";
+    case TraceEventKind::kTerminalIn:
+      return "terminal-in";
+    case TraceEventKind::kFileRead:
+      return "file-read";
+    case TraceEventKind::kFileWrite:
+      return "file-write";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  std::string out = TraceEventKindName(kind);
+  if (!channel.empty()) {
+    out += "(";
+    out += channel;
+    out += ")";
+  }
+  out += ": ";
+  out += payload;
+  return out;
+}
+
+std::string Trace::ToString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+ptrdiff_t Trace::FirstDivergence(const Trace& a, const Trace& b) {
+  size_t n = std::min(a.events_.size(), b.events_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a.events_[i] == b.events_[i])) return static_cast<ptrdiff_t>(i);
+  }
+  if (a.events_.size() != b.events_.size()) return static_cast<ptrdiff_t>(n);
+  return -1;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,83 @@
+#ifndef DBPC_COMMON_TRACE_H_
+#define DBPC_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbpc {
+
+/// Kind of externally observable program action. Database interactions are
+/// deliberately *not* trace events: the paper's operational definition of
+/// "runs equivalently" (section 1.1) compares a program's behaviour with
+/// the exception of database operations.
+enum class TraceEventKind {
+  kTerminalOut,  ///< DISPLAY to the operator's terminal.
+  kTerminalIn,   ///< ACCEPT from the operator's terminal.
+  kFileRead,     ///< READ from a non-database file.
+  kFileWrite,    ///< WRITE to a non-database file.
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One observable I/O action.
+struct TraceEvent {
+  TraceEventKind kind;
+  /// File name for file events; empty for terminal events.
+  std::string channel;
+  /// The text displayed / written, or the text read / accepted.
+  std::string payload;
+
+  bool operator==(const TraceEvent& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// Ordered record of a program run's observable behaviour, plus the
+/// scripted inputs it consumes. The equivalence checker replays two
+/// programs against identical input scripts and compares traces.
+class Trace {
+ public:
+  void RecordTerminalOut(std::string text) {
+    events_.push_back({TraceEventKind::kTerminalOut, "", std::move(text)});
+  }
+  void RecordTerminalIn(std::string text) {
+    events_.push_back({TraceEventKind::kTerminalIn, "", std::move(text)});
+  }
+  void RecordFileRead(std::string file, std::string text) {
+    events_.push_back(
+        {TraceEventKind::kFileRead, std::move(file), std::move(text)});
+  }
+  void RecordFileWrite(std::string file, std::string text) {
+    events_.push_back(
+        {TraceEventKind::kFileWrite, std::move(file), std::move(text)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  bool operator==(const Trace& other) const = default;
+
+  /// One event per line; used in test failure output and EXPERIMENTS.md.
+  std::string ToString() const;
+
+  /// First index at which the two traces differ, or -1 when equal
+  /// (a shorter trace that is a prefix differs at its length).
+  static ptrdiff_t FirstDivergence(const Trace& a, const Trace& b);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Scripted environment for deterministic runs: terminal input lines and
+/// named input file contents (line-oriented).
+struct IoScript {
+  std::vector<std::string> terminal_input;
+  std::map<std::string, std::vector<std::string>> input_files;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_TRACE_H_

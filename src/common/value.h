@@ -1,0 +1,90 @@
+#ifndef DBPC_COMMON_VALUE_H_
+#define DBPC_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace dbpc {
+
+/// Field types supported by every data model in the framework. 1979-era
+/// schemas (PIC X / PIC 9) map onto strings and integers; doubles cover
+/// derived numeric data.
+enum class FieldType {
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* FieldTypeName(FieldType type);
+
+/// Unit type representing the null value inside Value's variant.
+struct NullTag {
+  bool operator==(const NullTag&) const { return true; }
+};
+
+/// A dynamically typed database value. `Value` is the single currency
+/// between the storage layer, the DML evaluators, and the host-language
+/// interpreter. Null is explicit because the paper's constraint discussion
+/// (section 3.1) hinges on null vs. non-null existence semantics.
+class Value {
+ public:
+  /// Constructs null.
+  Value() : repr_(NullTag{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: ints widen to double; anything else is a type error.
+  Result<double> ToNumeric() const;
+
+  /// True when the value's dynamic type matches `type` (null matches all).
+  bool Matches(FieldType type) const;
+
+  /// Coerces to `type` where a lossless conversion exists (int -> double,
+  /// digit-string -> int, ...). Null coerces to null.
+  Result<Value> CoerceTo(FieldType type) const;
+
+  /// Display form: ints and doubles in decimal, strings verbatim,
+  /// null as "<null>". Used by DISPLAY/WRITE and by traces.
+  std::string ToDisplay() const;
+
+  /// Round-trippable literal form: strings quoted, null as NULL.
+  std::string ToLiteral() const;
+
+  /// Total ordering within a type: null < everything; cross-type numeric
+  /// compare allowed between int and double; other cross-type comparisons
+  /// order by type index (deterministic, used only for sorting).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<NullTag, int64_t, double, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_VALUE_H_

@@ -1,0 +1,153 @@
+#include "convert/converter.h"
+
+#include "common/string_util.h"
+#include "restructure/rewrite_util.h"
+
+namespace dbpc {
+
+namespace {
+
+std::string MembershipText(const SetDef& s) {
+  return std::string(InsertionClassName(s.insertion)) + "/" +
+         RetentionClassName(s.retention);
+}
+
+}  // namespace
+
+std::vector<SchemaChange> ClassifySchemaChanges(const Schema& source,
+                                                const Schema& target) {
+  std::vector<SchemaChange> out;
+  for (const RecordTypeDef& r : source.record_types()) {
+    const RecordTypeDef* t = target.FindRecordType(r.name);
+    if (t == nullptr) {
+      out.push_back({"record-type-removed", r.name});
+      continue;
+    }
+    for (const FieldDef& f : r.fields) {
+      const FieldDef* tf = t->FindField(f.name);
+      if (tf == nullptr) {
+        out.push_back({"field-removed", r.name + "." + f.name});
+      } else if (f.is_virtual != tf->is_virtual) {
+        out.push_back({tf->is_virtual ? "field-virtualized"
+                                      : "field-materialized",
+                       r.name + "." + f.name});
+      } else if (f.type != tf->type) {
+        out.push_back({"field-retyped", r.name + "." + f.name});
+      }
+    }
+    for (const FieldDef& tf : t->fields) {
+      if (!r.HasField(tf.name)) {
+        out.push_back({"field-added", r.name + "." + tf.name});
+      }
+    }
+  }
+  for (const RecordTypeDef& t : target.record_types()) {
+    if (source.FindRecordType(t.name) == nullptr) {
+      out.push_back({"record-type-added", t.name});
+    }
+  }
+  for (const SetDef& s : source.sets()) {
+    const SetDef* t = target.FindSet(s.name);
+    if (t == nullptr) {
+      out.push_back({"set-removed", s.name});
+      continue;
+    }
+    if (!EqualsIgnoreCase(s.owner, t->owner) ||
+        !EqualsIgnoreCase(s.member, t->member)) {
+      out.push_back({"set-relinked", s.name + ": " + s.owner + "->" +
+                                         s.member + " becomes " + t->owner +
+                                         "->" + t->member});
+    }
+    if (s.keys != t->keys || s.ordering != t->ordering) {
+      out.push_back({"set-order-changed", s.name});
+    }
+    if (s.insertion != t->insertion || s.retention != t->retention) {
+      out.push_back({"set-membership-changed",
+                     s.name + ": " + MembershipText(s) + " becomes " +
+                         MembershipText(*t)});
+    }
+    if (s.member_characterizes_owner != t->member_characterizes_owner) {
+      out.push_back({t->member_characterizes_owner ? "dependency-added"
+                                                   : "dependency-removed",
+                     s.name});
+    }
+  }
+  for (const SetDef& t : target.sets()) {
+    if (source.FindSet(t.name) == nullptr) {
+      out.push_back({"set-added", t.name + " (" + t.owner + " -> " + t.member +
+                                      ")"});
+    }
+  }
+  for (const ConstraintDef& c : source.constraints()) {
+    if (target.FindConstraint(c.name) == nullptr) {
+      out.push_back({"constraint-removed", c.ToString()});
+    }
+  }
+  for (const ConstraintDef& c : target.constraints()) {
+    if (source.FindConstraint(c.name) == nullptr) {
+      out.push_back({"constraint-added", c.ToString()});
+    }
+  }
+  return out;
+}
+
+Result<ProgramConverter> ProgramConverter::Create(
+    Schema source, std::vector<const Transformation*> plan,
+    AnalyzerOptions analyzer_options) {
+  DBPC_RETURN_IF_ERROR(source.Validate());
+  std::vector<Schema> schemas;
+  schemas.push_back(std::move(source));
+  for (const Transformation* t : plan) {
+    DBPC_ASSIGN_OR_RETURN(Schema next, t->ApplyToSchema(schemas.back()));
+    schemas.push_back(std::move(next));
+  }
+  return ProgramConverter(std::move(schemas), std::move(plan),
+                          analyzer_options);
+}
+
+Result<ConversionResult> ProgramConverter::Convert(
+    const Program& source_program) const {
+  ConversionResult result;
+  ProgramAnalyzer analyzer(schemas_.front(), analyzer_options_);
+  DBPC_ASSIGN_OR_RETURN(result.analysis, analyzer.Analyze(source_program));
+  result.outcome = result.analysis.convertibility;
+  result.converted = result.analysis.lifted;
+  if (result.outcome == Convertibility::kNotConvertible) {
+    result.notes.push_back(
+        "conversion refused: program behaviour varies at run time");
+    return result;
+  }
+
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    Status s = plan_[i]->RewriteProgram(
+        schemas_[i], schemas_[i + 1], result.analysis.order_dependent_sets,
+        &result.converted, &result.notes);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kNeedsAnalyst) {
+        result.notes.push_back("step '" + plan_[i]->Name() +
+                               "' needs analyst review: " + s.message());
+        if (result.outcome == Convertibility::kAutomatic) {
+          result.outcome = Convertibility::kNeedsAnalyst;
+        }
+        continue;
+      }
+      return s;
+    }
+  }
+
+  // Sanity: every retrieval must resolve against the target schema. A
+  // failure here is a transformation-rule bug, not an input problem.
+  Status resolve_status = Status::OK();
+  rewrite::ForEachRetrievalMut(&result.converted, [&](Retrieval* r) {
+    FindQuery probe = r->query;  // validate on a copy; keep steps unresolved
+    Status s = ResolveFindQuery(target_schema(), &probe);
+    if (!s.ok() && resolve_status.ok()) resolve_status = s;
+  });
+  if (!resolve_status.ok() && result.outcome == Convertibility::kAutomatic) {
+    return Status::Internal("converted program does not fit target schema: " +
+                            resolve_status.message());
+  }
+  return result;
+}
+
+}  // namespace dbpc

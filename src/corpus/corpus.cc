@@ -1,0 +1,281 @@
+#include "corpus/corpus.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "lang/parser.h"
+
+namespace dbpc {
+
+const char* CorpusShapeName(CorpusShape shape) {
+  switch (shape) {
+    case CorpusShape::kMarylandReport:
+      return "maryland-report";
+    case CorpusShape::kSortedReport:
+      return "sorted-report";
+    case CorpusShape::kNavigationalReport:
+      return "navigational-report";
+    case CorpusShape::kNestedNavigational:
+      return "nested-navigational";
+    case CorpusShape::kUpdate:
+      return "update";
+    case CorpusShape::kDeletion:
+      return "deletion";
+    case CorpusShape::kStore:
+      return "store";
+    case CorpusShape::kFileReport:
+      return "file-report";
+    case CorpusShape::kAmbiguousOwner:
+      return "ambiguous-owner";
+    case CorpusShape::kStatusDependent:
+      return "status-dependent";
+    case CorpusShape::kEraseInScan:
+      return "erase-in-scan";
+    case CorpusShape::kRuntimeVariable:
+      return "runtime-variable";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Small deterministic generator (no global state, reproducible corpora).
+class Rng {
+ public:
+  explicit Rng(unsigned seed) : state_(seed == 0 ? 1u : seed) {}
+
+  unsigned Next() {
+    state_ = state_ * 1103515245u + 12345u;
+    return (state_ >> 16) & 0x7fff;
+  }
+  int Range(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(Next() % static_cast<unsigned>(hi - lo + 1));
+  }
+  template <size_t N>
+  const char* Pick(const char* const (&pool)[N]) {
+    return pool[Next() % N];
+  }
+
+ private:
+  unsigned state_;
+};
+
+constexpr const char* kDivs[] = {"MACHINERY", "TEXTILES", "DIV-0000",
+                                 "DIV-0001", "DIV-0002"};
+constexpr const char* kDepts[] = {"SALES", "PLANNING", "PLANG", "ADMIN"};
+constexpr const char* kLocs[] = {"EAST", "WEST", "SOUTH"};
+
+Program MustParse(const std::string& source) {
+  Result<Program> p = ParseProgram(source);
+  if (!p.ok()) {
+    std::fprintf(stderr, "corpus template failed to parse: %s\n%s\n",
+                 p.status().ToString().c_str(), source.c_str());
+    std::abort();
+  }
+  return std::move(p).value();
+}
+
+std::string Fmt(const char* format, ...) {
+  char buf[4096];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+Program MakeProgram(CorpusShape shape, int index, Rng* rng) {
+  const char* div = rng->Pick(kDivs);
+  const char* dept = rng->Pick(kDepts);
+  const char* loc = rng->Pick(kLocs);
+  int age = rng->Range(22, 60);
+  switch (shape) {
+    case CorpusShape::kMarylandReport:
+      if (index % 2 == 0) {
+        return MustParse(Fmt(R"(
+PROGRAM RPT-%d.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > %d)) DO
+    GET EMP-NAME OF E INTO N.
+    GET DIV-NAME OF E INTO D.
+    DISPLAY N & ' OF ' & D.
+  END-FOR.
+END PROGRAM.)",
+                             index, age));
+      }
+      return MustParse(Fmt(R"(
+PROGRAM RPT-%d.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = '%s'), DIV-EMP,
+      EMP(DEPT-NAME = '%s')) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)",
+                           index, div, dept));
+    case CorpusShape::kSortedReport:
+      return MustParse(Fmt(R"(
+PROGRAM SRT-%d.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP,
+      EMP(AGE >= %d))) ON (%s) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)",
+                           index, age, index % 2 == 0 ? "AGE" : "EMP-NAME"));
+    case CorpusShape::kNavigationalReport:
+      return MustParse(Fmt(R"(
+PROGRAM NAV-%d.
+  FIND ANY DIV (DIV-NAME = '%s').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    GET AGE INTO A.
+    DISPLAY N & ' AGE ' & A.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)",
+                           index, div));
+    case CorpusShape::kNestedNavigational:
+      return MustParse(Fmt(R"(
+PROGRAM NST-%d.
+  FIND FIRST DIV WITHIN ALL-DIV.
+  WHILE DB-STATUS = '0000' DO
+    GET DIV-NAME INTO D.
+    DISPLAY 'DIV ' & D.
+    FIND FIRST EMP WITHIN DIV-EMP USING (AGE >= %d).
+    WHILE DB-STATUS = '0000' DO
+      GET EMP-NAME INTO N.
+      DISPLAY '  ' & N.
+      FIND NEXT EMP WITHIN DIV-EMP USING (AGE >= %d).
+    END-WHILE.
+    FIND NEXT DIV WITHIN ALL-DIV.
+  END-WHILE.
+END PROGRAM.)",
+                           index, age, age));
+    case CorpusShape::kUpdate:
+      return MustParse(Fmt(R"(
+PROGRAM UPD-%d.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = '%s'), DIV-EMP,
+      EMP(AGE < %d)) DO
+    MODIFY E SET (AGE = %d).
+  END-FOR.
+  DISPLAY 'UPDATED'.
+END PROGRAM.)",
+                           index, div, age, age));
+    case CorpusShape::kDeletion:
+      return MustParse(Fmt(R"(
+PROGRAM DEL-%d.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > %d)) DO
+    DELETE E.
+  END-FOR.
+  DISPLAY 'PURGED'.
+END PROGRAM.)",
+                           index, age));
+    case CorpusShape::kStore:
+      return MustParse(Fmt(R"(
+PROGRAM STO-%d.
+  STORE EMP (EMP-NAME = 'NEW-%04d', DEPT-NAME = '%s', AGE = %d)
+    IN DIV-EMP WHERE (DIV-NAME = '%s').
+  DISPLAY 'STORED'.
+END PROGRAM.)",
+                           index, index, dept, age, div));
+    case CorpusShape::kFileReport:
+      return MustParse(Fmt(R"(
+PROGRAM FIL-%d.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    WRITE REPORT FROM N.
+  END-FOR.
+END PROGRAM.)",
+                           index));
+    case CorpusShape::kAmbiguousOwner:
+      return MustParse(Fmt(R"(
+PROGRAM AMB-%d.
+  FIND ANY DIV (DIV-LOC = '%s').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)",
+                           index, loc));
+    case CorpusShape::kStatusDependent:
+      return MustParse(Fmt(R"(
+PROGRAM STA-%d.
+  STORE EMP (EMP-NAME = 'CHK-%04d', AGE = %d)
+    IN DIV-EMP WHERE (DIV-NAME = '%s').
+  IF DB-STATUS = '0000' THEN
+    DISPLAY 'OK'.
+  ELSE
+    DISPLAY 'FAIL'.
+  END-IF.
+END PROGRAM.)",
+                           index, index, age, div));
+    case CorpusShape::kEraseInScan:
+      return MustParse(Fmt(R"(
+PROGRAM ERA-%d.
+  FIND ANY DIV (DIV-NAME = '%s').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    ERASE.
+    FIND FIRST EMP WITHIN DIV-EMP.
+  END-WHILE.
+  DISPLAY 'CLEARED'.
+END PROGRAM.)",
+                           index, div));
+    case CorpusShape::kRuntimeVariable:
+      return MustParse(Fmt(R"(
+PROGRAM VAR-%d.
+  ACCEPT V.
+  CALL DML(V, EMP).
+  DISPLAY 'DONE'.
+END PROGRAM.)",
+                           index));
+  }
+  std::abort();
+}
+
+}  // namespace
+
+std::vector<CorpusProgram> GenerateCompanyCorpus(const CorpusMix& mix,
+                                                 unsigned seed) {
+  Rng rng(seed);
+  std::vector<CorpusProgram> out;
+  int index = 0;
+  auto add = [&](CorpusShape shape, int count) {
+    for (int i = 0; i < count; ++i) {
+      out.push_back({shape, MakeProgram(shape, ++index, &rng)});
+    }
+  };
+  add(CorpusShape::kMarylandReport, mix.maryland_reports);
+  add(CorpusShape::kSortedReport, mix.sorted_reports);
+  add(CorpusShape::kNavigationalReport, mix.navigational_reports);
+  add(CorpusShape::kNestedNavigational, mix.nested_navigational);
+  add(CorpusShape::kUpdate, mix.updates);
+  add(CorpusShape::kDeletion, mix.deletions);
+  add(CorpusShape::kStore, mix.stores);
+  add(CorpusShape::kFileReport, mix.file_reports);
+  add(CorpusShape::kAmbiguousOwner, mix.ambiguous_owner);
+  add(CorpusShape::kStatusDependent, mix.status_dependent);
+  add(CorpusShape::kEraseInScan, mix.erase_in_scan);
+  add(CorpusShape::kRuntimeVariable, mix.runtime_variable);
+  return out;
+}
+
+std::vector<CorpusProgram> GenerateCompanyCorpus(int n, unsigned seed) {
+  CorpusMix base;
+  std::vector<CorpusProgram> out;
+  unsigned round_seed = seed;
+  while (static_cast<int>(out.size()) < n) {
+    std::vector<CorpusProgram> batch = GenerateCompanyCorpus(base, round_seed);
+    for (CorpusProgram& p : batch) {
+      if (static_cast<int>(out.size()) >= n) break;
+      out.push_back(std::move(p));
+    }
+    round_seed = round_seed * 31u + 7u;
+  }
+  return out;
+}
+
+}  // namespace dbpc

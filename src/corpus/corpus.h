@@ -1,0 +1,72 @@
+#ifndef DBPC_CORPUS_CORPUS_H_
+#define DBPC_CORPUS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace dbpc {
+
+/// Shape categories of generated application programs over the COMPANY
+/// schema. The mix approximates a 1979 application system: mostly report
+/// writers and updates, a tail of programs exhibiting the section 3.2
+/// difficulties (the shapes that defeat automatic conversion).
+enum class CorpusShape {
+  kMarylandReport,       ///< FOR EACH over a FIND path, DISPLAY fields
+  kSortedReport,         ///< SORT-wrapped retrieval
+  kNavigationalReport,   ///< FIND ANY + FIRST/NEXT loop (liftable)
+  kNestedNavigational,   ///< owner loop with nested member loop (liftable)
+  kUpdate,               ///< FOR EACH ... MODIFY
+  kDeletion,             ///< FOR EACH ... DELETE
+  kStore,                ///< STORE with owner selection
+  kFileReport,           ///< order-dependent WRITE to a report file
+  kAmbiguousOwner,       ///< FIND ANY on a non-unique predicate (analyst)
+  kStatusDependent,      ///< branches on DB-STATUS after a store (analyst)
+  kEraseInScan,          ///< navigational loop containing ERASE (analyst)
+  kRuntimeVariable,      ///< CALL DML with a run-time verb (refused)
+};
+
+const char* CorpusShapeName(CorpusShape shape);
+
+/// A generated program plus its shape (for per-category reporting).
+struct CorpusProgram {
+  CorpusShape shape;
+  Program program;
+};
+
+/// Mix of shapes in a generated corpus, as counts per category.
+struct CorpusMix {
+  int maryland_reports = 4;
+  int sorted_reports = 2;
+  int navigational_reports = 4;
+  int nested_navigational = 2;
+  int updates = 3;
+  int deletions = 1;
+  int stores = 3;
+  int file_reports = 2;
+  int ambiguous_owner = 2;
+  int status_dependent = 1;
+  int erase_in_scan = 1;
+  int runtime_variable = 1;
+
+  int Total() const {
+    return maryland_reports + sorted_reports + navigational_reports +
+           nested_navigational + updates + deletions + stores + file_reports +
+           ambiguous_owner + status_dependent + erase_in_scan +
+           runtime_variable;
+  }
+};
+
+/// Generates a deterministic corpus over the COMPANY schema
+/// (testing::CompanyDdl). Variants within a category differ in predicates,
+/// fields and literals, derived from `seed`.
+std::vector<CorpusProgram> GenerateCompanyCorpus(const CorpusMix& mix,
+                                                 unsigned seed = 1979);
+
+/// A corpus of `n` programs with the default mix scaled up.
+std::vector<CorpusProgram> GenerateCompanyCorpus(int n, unsigned seed = 1979);
+
+}  // namespace dbpc
+
+#endif  // DBPC_CORPUS_CORPUS_H_

@@ -1,0 +1,558 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+Result<Database> Database::Create(Schema schema) {
+  DBPC_RETURN_IF_ERROR(schema.Validate());
+  return Database(std::move(schema));
+}
+
+namespace {
+
+/// Canonicalizes field map keys to upper case so lookups are uniform.
+FieldMap CanonicalFields(const FieldMap& in) {
+  FieldMap out;
+  for (const auto& [name, value] : in) {
+    out[ToUpper(name)] = value;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<std::string>> Database::UniqueKeyOf(
+    const ConstraintDef& c, const FieldMap& fields) const {
+  std::string key;
+  for (const std::string& f : c.fields) {
+    auto it = fields.find(ToUpper(f));
+    if (it == fields.end() || it->second.is_null()) {
+      // Null key components exempt the record from uniqueness, the
+      // standard interpretation for partial keys.
+      return std::optional<std::string>();
+    }
+    key += it->second.ToLiteral();
+    key += "\x1f";
+  }
+  return std::optional<std::string>(std::move(key));
+}
+
+Result<RecordId> Database::StoreRecord(const StoreRequest& request) {
+  const RecordTypeDef* type = schema_.FindRecordType(request.type);
+  if (type == nullptr) {
+    return Status::NotFound("record type " + request.type);
+  }
+  FieldMap incoming = CanonicalFields(request.fields);
+  FieldMap fields;
+  for (const FieldDef& f : type->fields) {
+    std::string fname = ToUpper(f.name);
+    auto it = incoming.find(fname);
+    if (f.is_virtual) {
+      if (it != incoming.end()) {
+        return Status::InvalidArgument("cannot store virtual field " +
+                                       type->name + "." + f.name);
+      }
+      continue;
+    }
+    if (it == incoming.end()) {
+      fields[fname] = f.default_value;
+      continue;
+    }
+    DBPC_ASSIGN_OR_RETURN(Value coerced, it->second.CoerceTo(f.type));
+    fields[fname] = std::move(coerced);
+    incoming.erase(it);
+  }
+  if (!incoming.empty()) {
+    return Status::InvalidArgument("unknown field " + incoming.begin()->first +
+                                   " for record type " + type->name);
+  }
+
+  // Plan connections before touching storage.
+  struct PlannedLink {
+    const SetDef* set;
+    RecordId owner;
+  };
+  std::vector<PlannedLink> links;
+  std::map<std::string, RecordId> requested;
+  for (const auto& [set_name, owner] : request.connect) {
+    requested[ToUpper(set_name)] = owner;
+  }
+  for (const SetDef* set : schema_.SetsWithMember(type->name)) {
+    std::string sname = ToUpper(set->name);
+    auto it = requested.find(sname);
+    if (set->system_owned()) {
+      // Every record of the member type belongs to the singular occurrence.
+      links.push_back({set, kSystemOwner});
+      if (it != requested.end()) requested.erase(it);
+      continue;
+    }
+    if (it != requested.end()) {
+      RecordId owner = it->second;
+      const StoredRecord* owner_rec = store_.Get(owner);
+      if (owner_rec == nullptr) {
+        return Status::NotFound("owner record " + std::to_string(owner) +
+                                " for set " + set->name);
+      }
+      if (!EqualsIgnoreCase(owner_rec->type, set->owner)) {
+        return Status::TypeError("record " + std::to_string(owner) +
+                                 " is a " + owner_rec->type + ", not a " +
+                                 set->owner + " (owner of " + set->name + ")");
+      }
+      links.push_back({set, owner});
+      requested.erase(it);
+      continue;
+    }
+    bool must_connect = set->insertion == InsertionClass::kAutomatic;
+    for (const ConstraintDef& c : schema_.constraints()) {
+      if (c.kind == ConstraintKind::kExistence &&
+          EqualsIgnoreCase(c.set_name, set->name)) {
+        must_connect = true;
+      }
+    }
+    if (must_connect) {
+      return Status::ConstraintViolation(
+          "record type " + type->name + " is an AUTOMATIC member of set " +
+          set->name + " but no owner was supplied");
+    }
+  }
+  if (!requested.empty()) {
+    return Status::InvalidArgument("record type " + type->name +
+                                   " is not a member of set " +
+                                   requested.begin()->first);
+  }
+
+  // Field-level constraints.
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kNonNull &&
+        EqualsIgnoreCase(c.record, type->name)) {
+      for (const std::string& f : c.fields) {
+        auto it = fields.find(ToUpper(f));
+        if (it == fields.end() || it->second.is_null()) {
+          return Status::ConstraintViolation("field " + type->name + "." + f +
+                                             " may not be null (" + c.name +
+                                             ")");
+        }
+      }
+    }
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, type->name)) {
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                            UniqueKeyOf(c, fields));
+      if (key.has_value() && unique_index_[c.name].count(*key) > 0) {
+        return Status::ConstraintViolation("duplicate key for " + c.name +
+                                           " on " + type->name);
+      }
+    }
+    if (c.kind == ConstraintKind::kCardinalityLimit) {
+      const SetDef* set = schema_.FindSet(c.set_name);
+      for (const PlannedLink& link : links) {
+        if (link.set == set) {
+          DBPC_RETURN_IF_ERROR(
+              CheckCardinality(c, *set, link.owner, fields, /*exclude=*/0));
+        }
+      }
+    }
+  }
+
+  RecordId id = store_.Insert(ToUpper(type->name), std::move(fields));
+  ++stats_.records_written;
+  for (const PlannedLink& link : links) {
+    Status s = ConnectInternal(*link.set, id, link.owner);
+    if (!s.ok()) {
+      // Roll back: unlink what was linked, drop the record.
+      for (const PlannedLink& done : links) {
+        if (done.set == link.set) break;
+        (void)store_.Unlink(ToUpper(done.set->name), id);
+      }
+      (void)store_.Remove(id);
+      return s;
+    }
+  }
+  // Maintain uniqueness indexes only after full success.
+  const StoredRecord* rec = store_.Get(id);
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, type->name)) {
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                            UniqueKeyOf(c, rec->fields));
+      if (key.has_value()) unique_index_[c.name][*key] = id;
+    }
+  }
+  return id;
+}
+
+int Database::CompareByKeys(const SetDef& set, RecordId a, RecordId b) const {
+  const StoredRecord* ra = store_.Get(a);
+  const StoredRecord* rb = store_.Get(b);
+  stats_.records_read += 2;
+  for (const std::string& key : set.keys) {
+    std::string k = ToUpper(key);
+    auto ia = ra->fields.find(k);
+    auto ib = rb->fields.find(k);
+    Value va = ia == ra->fields.end() ? Value() : ia->second;
+    Value vb = ib == rb->fields.end() ? Value() : ib->second;
+    int cmp = va.Compare(vb);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+Result<size_t> Database::SortedPosition(const SetDef& set, RecordId owner,
+                                        RecordId member) const {
+  const std::vector<RecordId>& members =
+      store_.Members(ToUpper(set.name), owner);
+  if (set.ordering == SetOrdering::kChronological) return members.size();
+  size_t pos = 0;
+  for (RecordId existing : members) {
+    ++stats_.members_scanned;
+    int cmp = CompareByKeys(set, existing, member);
+    if (cmp == 0) {
+      return Status::ConstraintViolation(
+          "duplicate set key in occurrence of " + set.name);
+    }
+    if (cmp > 0) break;
+    ++pos;
+  }
+  return pos;
+}
+
+Status Database::CheckCardinality(const ConstraintDef& c, const SetDef& set,
+                                  RecordId owner,
+                                  const FieldMap& new_member_fields,
+                                  RecordId exclude_member) const {
+  const std::vector<RecordId>& members =
+      store_.Members(ToUpper(set.name), owner);
+  int64_t count = 0;
+  if (c.group_field.empty()) {
+    count = static_cast<int64_t>(members.size());
+    if (exclude_member != 0) {
+      for (RecordId m : members) {
+        if (m == exclude_member) {
+          --count;
+          break;
+        }
+      }
+    }
+  } else {
+    std::string gf = ToUpper(c.group_field);
+    auto it = new_member_fields.find(gf);
+    Value group = it == new_member_fields.end() ? Value() : it->second;
+    for (RecordId m : members) {
+      if (m == exclude_member) continue;
+      ++stats_.members_scanned;
+      const StoredRecord* rec = store_.Get(m);
+      auto mit = rec->fields.find(gf);
+      Value mv = mit == rec->fields.end() ? Value() : mit->second;
+      if (mv == group) ++count;
+    }
+  }
+  if (count + 1 > c.limit) {
+    return Status::ConstraintViolation(
+        "cardinality limit " + std::to_string(c.limit) + " of " + c.name +
+        " on set " + set.name + " exceeded");
+  }
+  return Status::OK();
+}
+
+Status Database::ConnectInternal(const SetDef& set, RecordId member,
+                                 RecordId owner) {
+  DBPC_ASSIGN_OR_RETURN(size_t pos, SortedPosition(set, owner, member));
+  DBPC_RETURN_IF_ERROR(store_.Link(ToUpper(set.name), owner, member, pos));
+  ++stats_.links_changed;
+  return Status::OK();
+}
+
+Status Database::EraseRecord(RecordId id) {
+  const StoredRecord* rec = store_.Get(id);
+  if (rec == nullptr) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  std::string type = rec->type;
+  // Owned members: cascade, disconnect, or refuse.
+  for (const SetDef* set : schema_.SetsOwnedBy(type)) {
+    std::vector<RecordId> members = store_.Members(ToUpper(set->name), id);
+    if (members.empty()) continue;
+    if (set->member_characterizes_owner) {
+      for (RecordId m : members) {
+        DBPC_RETURN_IF_ERROR(EraseRecord(m));
+      }
+      continue;
+    }
+    if (set->retention == RetentionClass::kMandatory) {
+      return Status::ConstraintViolation(
+          "record owns MANDATORY members in set " + set->name);
+    }
+    for (RecordId m : members) {
+      DBPC_RETURN_IF_ERROR(store_.Unlink(ToUpper(set->name), m));
+      ++stats_.links_changed;
+    }
+  }
+  // Remove from sets where this record is a member.
+  for (const SetDef* set : schema_.SetsWithMember(type)) {
+    if (store_.IsMember(ToUpper(set->name), id)) {
+      DBPC_RETURN_IF_ERROR(store_.Unlink(ToUpper(set->name), id));
+      ++stats_.links_changed;
+    }
+  }
+  // Drop uniqueness index entries.
+  const StoredRecord* current = store_.Get(id);
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, type)) {
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                            UniqueKeyOf(c, current->fields));
+      if (key.has_value()) unique_index_[c.name].erase(*key);
+    }
+  }
+  DBPC_RETURN_IF_ERROR(store_.Remove(id));
+  ++stats_.records_erased;
+  return Status::OK();
+}
+
+Status Database::ModifyRecord(RecordId id, const FieldMap& updates) {
+  StoredRecord* rec = store_.GetMutable(id);
+  if (rec == nullptr) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  const RecordTypeDef* type = schema_.FindRecordType(rec->type);
+  FieldMap canonical = CanonicalFields(updates);
+  FieldMap next = rec->fields;
+  for (const auto& [name, value] : canonical) {
+    const FieldDef* f = type->FindField(name);
+    if (f == nullptr) {
+      return Status::NotFound("field " + rec->type + "." + name);
+    }
+    if (f->is_virtual) {
+      return Status::InvalidArgument("cannot modify virtual field " +
+                                     rec->type + "." + name);
+    }
+    DBPC_ASSIGN_OR_RETURN(Value coerced, value.CoerceTo(f->type));
+    next[name] = std::move(coerced);
+  }
+
+  // Field constraints against the post-image.
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kNonNull &&
+        EqualsIgnoreCase(c.record, rec->type)) {
+      for (const std::string& f : c.fields) {
+        auto it = next.find(ToUpper(f));
+        if (it == next.end() || it->second.is_null()) {
+          return Status::ConstraintViolation("field " + rec->type + "." + f +
+                                             " may not be null (" + c.name +
+                                             ")");
+        }
+      }
+    }
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, rec->type)) {
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> old_key,
+                            UniqueKeyOf(c, rec->fields));
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> new_key,
+                            UniqueKeyOf(c, next));
+      if (new_key.has_value() && new_key != old_key) {
+        auto& index = unique_index_[c.name];
+        auto hit = index.find(*new_key);
+        if (hit != index.end() && hit->second != id) {
+          return Status::ConstraintViolation("duplicate key for " + c.name +
+                                             " on " + rec->type);
+        }
+      }
+    }
+    if (c.kind == ConstraintKind::kCardinalityLimit &&
+        !c.group_field.empty()) {
+      const SetDef* set = schema_.FindSet(c.set_name);
+      if (set != nullptr && EqualsIgnoreCase(set->member, rec->type)) {
+        std::string gf = ToUpper(c.group_field);
+        auto changed = canonical.find(gf);
+        if (changed != canonical.end()) {
+          RecordId owner = store_.OwnerOf(ToUpper(set->name), id);
+          if (owner != 0) {
+            DBPC_RETURN_IF_ERROR(
+                CheckCardinality(c, *set, owner, next, /*exclude=*/id));
+          }
+        }
+      }
+    }
+  }
+
+  // Does any set key change? Then re-place within each affected occurrence.
+  std::vector<const SetDef*> resort;
+  for (const SetDef* set : schema_.SetsWithMember(rec->type)) {
+    if (set->ordering != SetOrdering::kSortedByKeys) continue;
+    for (const std::string& key : set->keys) {
+      auto it = canonical.find(ToUpper(key));
+      if (it != canonical.end()) {
+        auto old_it = rec->fields.find(ToUpper(key));
+        Value old_val = old_it == rec->fields.end() ? Value() : old_it->second;
+        if (!(old_val == it->second)) {
+          resort.push_back(set);
+          break;
+        }
+      }
+    }
+  }
+
+  // Apply; maintain unique indexes.
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, rec->type)) {
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> old_key,
+                            UniqueKeyOf(c, rec->fields));
+      if (old_key.has_value()) unique_index_[c.name].erase(*old_key);
+    }
+  }
+  rec->fields = std::move(next);
+  ++stats_.records_written;
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kUniqueness &&
+        EqualsIgnoreCase(c.record, rec->type)) {
+      DBPC_ASSIGN_OR_RETURN(std::optional<std::string> new_key,
+                            UniqueKeyOf(c, rec->fields));
+      if (new_key.has_value()) unique_index_[c.name][*new_key] = id;
+    }
+  }
+  for (const SetDef* set : resort) {
+    RecordId owner = store_.OwnerOf(ToUpper(set->name), id);
+    if (owner == 0) continue;
+    DBPC_RETURN_IF_ERROR(store_.Unlink(ToUpper(set->name), id));
+    Result<size_t> pos = SortedPosition(*set, owner, id);
+    if (!pos.ok()) {
+      // Duplicate key at new position: relink at end to keep structural
+      // integrity, then report the violation.
+      (void)store_.LinkLast(ToUpper(set->name), owner, id);
+      return pos.status();
+    }
+    DBPC_RETURN_IF_ERROR(store_.Link(ToUpper(set->name), owner, id, *pos));
+    stats_.links_changed += 2;
+  }
+  return Status::OK();
+}
+
+Status Database::Connect(const std::string& set_name, RecordId member,
+                         RecordId owner) {
+  const SetDef* set = schema_.FindSet(set_name);
+  if (set == nullptr) return Status::NotFound("set " + set_name);
+  const StoredRecord* mrec = store_.Get(member);
+  if (mrec == nullptr) {
+    return Status::NotFound("record " + std::to_string(member));
+  }
+  if (!EqualsIgnoreCase(mrec->type, set->member)) {
+    return Status::TypeError("record " + std::to_string(member) +
+                             " is not a " + set->member);
+  }
+  if (set->system_owned()) {
+    owner = kSystemOwner;
+  } else {
+    const StoredRecord* orec = store_.Get(owner);
+    if (orec == nullptr) {
+      return Status::NotFound("owner record " + std::to_string(owner));
+    }
+    if (!EqualsIgnoreCase(orec->type, set->owner)) {
+      return Status::TypeError("record " + std::to_string(owner) +
+                               " is not a " + set->owner);
+    }
+  }
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind == ConstraintKind::kCardinalityLimit &&
+        EqualsIgnoreCase(c.set_name, set->name)) {
+      DBPC_RETURN_IF_ERROR(
+          CheckCardinality(c, *set, owner, mrec->fields, /*exclude=*/0));
+    }
+  }
+  return ConnectInternal(*set, member, owner);
+}
+
+Status Database::Disconnect(const std::string& set_name, RecordId member) {
+  const SetDef* set = schema_.FindSet(set_name);
+  if (set == nullptr) return Status::NotFound("set " + set_name);
+  if (set->retention == RetentionClass::kMandatory) {
+    return Status::ConstraintViolation("set " + set->name +
+                                       " membership is MANDATORY");
+  }
+  DBPC_RETURN_IF_ERROR(store_.Unlink(ToUpper(set->name), member));
+  ++stats_.links_changed;
+  return Status::OK();
+}
+
+Result<std::string> Database::TypeOf(RecordId id) const {
+  const StoredRecord* rec = store_.Get(id);
+  if (rec == nullptr) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  return rec->type;
+}
+
+Result<Value> Database::GetField(RecordId id, const std::string& field) const {
+  const StoredRecord* rec = store_.Get(id);
+  if (rec == nullptr) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  ++stats_.records_read;
+  const RecordTypeDef* type = schema_.FindRecordType(rec->type);
+  const FieldDef* f = type->FindField(field);
+  if (f == nullptr) {
+    return Status::NotFound("field " + rec->type + "." + field);
+  }
+  if (!f->is_virtual) {
+    auto it = rec->fields.find(ToUpper(f->name));
+    return it == rec->fields.end() ? Value() : it->second;
+  }
+  RecordId owner = store_.OwnerOf(ToUpper(f->via_set), id);
+  if (owner == 0 || owner == kSystemOwner) return Value();
+  return GetField(owner, f->using_field);
+}
+
+Result<FieldMap> Database::GetAllFields(RecordId id) const {
+  const StoredRecord* rec = store_.Get(id);
+  if (rec == nullptr) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  const RecordTypeDef* type = schema_.FindRecordType(rec->type);
+  FieldMap out;
+  for (const FieldDef& f : type->fields) {
+    DBPC_ASSIGN_OR_RETURN(Value v, GetField(id, f.name));
+    out[ToUpper(f.name)] = std::move(v);
+  }
+  return out;
+}
+
+std::vector<RecordId> Database::Members(const std::string& set_name,
+                                        RecordId owner) const {
+  const std::vector<RecordId>& members =
+      store_.Members(ToUpper(set_name), owner);
+  stats_.members_scanned += members.size();
+  return members;
+}
+
+RecordId Database::OwnerOf(const std::string& set_name,
+                           RecordId member) const {
+  ++stats_.members_scanned;
+  return store_.OwnerOf(ToUpper(set_name), member);
+}
+
+std::vector<RecordId> Database::AllOfType(const std::string& type) const {
+  std::vector<RecordId> out = store_.AllOfType(ToUpper(type));
+  stats_.records_read += out.size();
+  return out;
+}
+
+std::function<Result<Value>(const std::string&)> Database::FieldGetter(
+    RecordId id) const {
+  return [this, id](const std::string& field) { return GetField(id, field); };
+}
+
+Result<std::vector<RecordId>> Database::SelectWhere(
+    const std::string& type, const Predicate& pred,
+    const HostEnv& host_env) const {
+  std::vector<RecordId> out;
+  for (RecordId id : AllOfType(type)) {
+    DBPC_ASSIGN_OR_RETURN(bool keep, pred.Evaluate(FieldGetter(id), host_env));
+    if (keep) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,156 @@
+#ifndef DBPC_ENGINE_DATABASE_H_
+#define DBPC_ENGINE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/predicate.h"
+#include "schema/schema.h"
+#include "storage/store.h"
+
+namespace dbpc {
+
+/// Cumulative operation counters. Benchmarks diff these to attribute cost
+/// (e.g. the emulation strategy's extra record touches, paper section 2.1.2).
+struct OpStats {
+  uint64_t records_read = 0;
+  uint64_t records_written = 0;
+  uint64_t records_erased = 0;
+  uint64_t members_scanned = 0;
+  uint64_t links_changed = 0;
+
+  uint64_t Total() const {
+    return records_read + records_written + records_erased + members_scanned +
+           links_changed;
+  }
+};
+
+/// A STORE request: new record contents plus the set occurrences it joins.
+/// For each AUTOMATIC set the member participates in, `connect` must name
+/// the owner (system-owned sets connect implicitly); MANUAL sets connect
+/// only when requested.
+struct StoreRequest {
+  std::string type;
+  FieldMap fields;
+  /// set name -> owner record id.
+  std::map<std::string, RecordId> connect;
+};
+
+/// A schema-conforming database instance: storage plus full enforcement of
+/// the schema's structural rules and explicit integrity constraints
+/// (paper section 3.1). All three data-model facades and the conversion
+/// baselines operate through this one engine.
+class Database {
+ public:
+  /// Validates the schema and creates an empty instance.
+  static Result<Database> Create(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  // --- update operations ------------------------------------------------
+
+  /// Stores a new record, connects it into sets, and enforces every
+  /// applicable constraint. On success returns the record id.
+  Result<RecordId> StoreRecord(const StoreRequest& request);
+
+  /// Erases a record with CODASYL ERASE semantics: characterizing members
+  /// are erased recursively, OPTIONAL members are disconnected, and
+  /// MANDATORY (non-characterizing) members block the erase.
+  Status EraseRecord(RecordId id);
+
+  /// Updates fields of an existing record; re-sorts set positions when a
+  /// set key changes and re-checks constraints.
+  Status ModifyRecord(RecordId id, const FieldMap& updates);
+
+  /// Connects `member` into the `set_name` occurrence owned by `owner`
+  /// (MANUAL sets, or reconnect of OPTIONAL members).
+  Status Connect(const std::string& set_name, RecordId member, RecordId owner);
+
+  /// Disconnects `member` from `set_name`. Fails for MANDATORY sets.
+  Status Disconnect(const std::string& set_name, RecordId member);
+
+  // --- read operations ----------------------------------------------------
+
+  bool Exists(RecordId id) const { return store_.Exists(id); }
+
+  /// Record type name of `id`.
+  Result<std::string> TypeOf(RecordId id) const;
+
+  /// Field value, resolving VIRTUAL fields through their set to the owner
+  /// (null when the record is unconnected). Unknown fields are errors.
+  Result<Value> GetField(RecordId id, const std::string& field) const;
+
+  /// All fields of the record including resolved virtual fields.
+  Result<FieldMap> GetAllFields(RecordId id) const;
+
+  /// Ordered members of a set occurrence. For system-owned sets pass
+  /// `kSystemOwner` (or use SystemMembers).
+  std::vector<RecordId> Members(const std::string& set_name,
+                                RecordId owner) const;
+
+  std::vector<RecordId> SystemMembers(const std::string& set_name) const {
+    return Members(set_name, kSystemOwner);
+  }
+
+  /// Owner of `member` in `set_name`; 0 when not connected.
+  RecordId OwnerOf(const std::string& set_name, RecordId member) const;
+
+  /// All records of a type in insertion order (Access A via A scans).
+  std::vector<RecordId> AllOfType(const std::string& type) const;
+
+  /// Records of `type` satisfying `pred`.
+  Result<std::vector<RecordId>> SelectWhere(const std::string& type,
+                                            const Predicate& pred,
+                                            const HostEnv& host_env) const;
+
+  /// Number of live records across all types.
+  size_t RecordCount() const { return store_.LiveCount(); }
+
+  /// Field-getter closure for `id`, for use with Predicate::Evaluate.
+  std::function<Result<Value>(const std::string&)> FieldGetter(
+      RecordId id) const;
+
+  const OpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OpStats(); }
+
+  /// Direct storage access for the data translator and tests. Mutating
+  /// through this bypasses constraint enforcement.
+  Store& mutable_store() { return store_; }
+  const Store& raw_store() const { return store_; }
+
+ private:
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Key string for a uniqueness constraint, or nullopt if any field null.
+  Result<std::optional<std::string>> UniqueKeyOf(
+      const ConstraintDef& c, const FieldMap& fields) const;
+
+  /// Compares two member records by a set's key fields.
+  int CompareByKeys(const SetDef& set, RecordId a, RecordId b) const;
+
+  /// Position at which `member` belongs in `set`'s occurrence of `owner`;
+  /// fails on duplicate full key (paper section 4.2).
+  Result<size_t> SortedPosition(const SetDef& set, RecordId owner,
+                                RecordId member) const;
+
+  Status CheckCardinality(const ConstraintDef& c, const SetDef& set,
+                          RecordId owner, const FieldMap& new_member_fields,
+                          RecordId exclude_member) const;
+
+  Status ConnectInternal(const SetDef& set, RecordId member, RecordId owner);
+
+  Schema schema_;
+  Store store_;
+  /// constraint name -> serialized key -> record id.
+  std::unordered_map<std::string, std::unordered_map<std::string, RecordId>>
+      unique_index_;
+  mutable OpStats stats_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_ENGINE_DATABASE_H_

@@ -1,0 +1,478 @@
+#include "engine/find_query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+bool PathStep::operator==(const PathStep& other) const {
+  return kind == other.kind && name == other.name &&
+         qualification == other.qualification &&
+         join_target_field == other.join_target_field &&
+         join_source_field == other.join_source_field;
+}
+
+std::string PathStep::ToString() const {
+  std::string out;
+  if (kind == Kind::kJoin) {
+    out = "JOIN " + name + " THROUGH (" + join_target_field + ", " +
+          join_source_field + ")";
+  } else {
+    out = name;
+  }
+  if (qualification.has_value()) {
+    out += "(";
+    out += qualification->ToString();
+    out += ")";
+  }
+  return out;
+}
+
+std::string FindQuery::ToString() const {
+  std::string out = "FIND(" + target_type + ": " + start;
+  for (const PathStep& step : steps) {
+    out += ", ";
+    out += step.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Retrieval::ToString() const {
+  if (sort_on.empty()) return query.ToString();
+  return "SORT(" + query.ToString() + ") ON (" + Join(sort_on, ", ") + ")";
+}
+
+Status ResolveFindQuery(const Schema& schema, FindQuery* query) {
+  // The record type context produced by the previous step; empty when the
+  // next step must be the opening system-owned set.
+  std::string context;
+  bool at_start = true;
+  if (!query->starts_at_system()) {
+    // Collection start: the caller's collection holds records of the target
+    // type of a previous FIND. We cannot know that type statically here, so
+    // the first step fixes the context: a record step names it directly, a
+    // set step implies its owner type.
+    at_start = false;
+  }
+  for (size_t i = 0; i < query->steps.size(); ++i) {
+    PathStep& step = query->steps[i];
+    if (step.kind == PathStep::Kind::kJoin) {
+      // Su's value join: relate the current entities to an unassociated
+      // type through comparable fields.
+      if (at_start) {
+        return Status::InvalidArgument(
+            "path cannot open with a value join; there is nothing to join "
+            "from");
+      }
+      const RecordTypeDef* target = schema.FindRecordType(step.name);
+      if (target == nullptr) {
+        return Status::NotFound("join target record type " + step.name);
+      }
+      if (!target->HasField(step.join_target_field)) {
+        return Status::NotFound("join field " + step.name + "." +
+                                step.join_target_field);
+      }
+      if (!context.empty()) {
+        const RecordTypeDef* source_rec = schema.FindRecordType(context);
+        if (source_rec != nullptr &&
+            !source_rec->HasField(step.join_source_field)) {
+          return Status::NotFound("join field " + context + "." +
+                                  step.join_source_field);
+        }
+      }
+      if (step.qualification.has_value()) {
+        std::vector<std::string> fields;
+        step.qualification->CollectFields(&fields);
+        for (const std::string& f : fields) {
+          if (!target->HasField(f)) {
+            return Status::NotFound("qualification field " + step.name + "." +
+                                    f);
+          }
+        }
+      }
+      context = target->name;
+      continue;
+    }
+    const SetDef* set = schema.FindSet(step.name);
+    const RecordTypeDef* rec = schema.FindRecordType(step.name);
+    if (set != nullptr && rec != nullptr) {
+      return Status::InvalidArgument("name " + step.name +
+                                     " is both a set and a record type");
+    }
+    if (set == nullptr && rec == nullptr) {
+      return Status::NotFound("path step " + step.name +
+                              " is neither a set nor a record type");
+    }
+    if (set != nullptr) {
+      if (step.qualification.has_value()) {
+        return Status::InvalidArgument("set step " + step.name +
+                                       " cannot carry a qualification");
+      }
+      step.kind = PathStep::Kind::kSet;
+      if (at_start) {
+        if (!set->system_owned()) {
+          return Status::InvalidArgument(
+              "path from SYSTEM must open with a system-owned set, not " +
+              step.name);
+        }
+        at_start = false;
+      } else if (!context.empty() &&
+                 !EqualsIgnoreCase(set->owner, context)) {
+        return Status::InvalidArgument("set " + step.name + " is owned by " +
+                                       set->owner + ", not by " + context);
+      }
+      context = set->member;
+    } else {
+      if (at_start) {
+        return Status::InvalidArgument(
+            "path from SYSTEM must open with a set, not record " + step.name);
+      }
+      step.kind = PathStep::Kind::kRecord;
+      if (!context.empty() && !EqualsIgnoreCase(rec->name, context)) {
+        return Status::InvalidArgument("record step " + step.name +
+                                       " does not match path context " +
+                                       context);
+      }
+      context = rec->name;
+      if (step.qualification.has_value()) {
+        std::vector<std::string> fields;
+        step.qualification->CollectFields(&fields);
+        for (const std::string& f : fields) {
+          if (!rec->HasField(f)) {
+            return Status::NotFound("qualification field " + step.name + "." +
+                                    f);
+          }
+        }
+      }
+    }
+  }
+  if (context.empty()) {
+    return Status::InvalidArgument("FIND path is empty");
+  }
+  if (!EqualsIgnoreCase(context, query->target_type)) {
+    return Status::InvalidArgument("FIND path ends at " + context +
+                                   " but targets " + query->target_type);
+  }
+  return Status::OK();
+}
+
+CollectionEnv EmptyCollectionEnv() {
+  return [](const std::string& name) -> Result<std::vector<RecordId>> {
+    return Status::NotFound("collection variable " + name);
+  };
+}
+
+Result<std::vector<RecordId>> EvaluateFind(const Database& db,
+                                           const FindQuery& query,
+                                           const HostEnv& host_env,
+                                           const CollectionEnv& collections) {
+  std::vector<RecordId> current;
+  bool have_current = false;
+  if (!query.starts_at_system()) {
+    DBPC_ASSIGN_OR_RETURN(current, collections(query.start));
+    have_current = true;
+  }
+  for (const PathStep& step : query.steps) {
+    switch (step.kind) {
+      case PathStep::Kind::kUnresolved:
+        return Status::InvalidArgument(
+            "FIND path not resolved against a schema: " + query.ToString());
+      case PathStep::Kind::kSet: {
+        std::vector<RecordId> next;
+        if (!have_current) {
+          next = db.SystemMembers(ToUpper(step.name));
+          have_current = true;
+        } else {
+          for (RecordId owner : current) {
+            std::vector<RecordId> members =
+                db.Members(ToUpper(step.name), owner);
+            next.insert(next.end(), members.begin(), members.end());
+          }
+        }
+        current = std::move(next);
+        break;
+      }
+      case PathStep::Kind::kRecord: {
+        if (!step.qualification.has_value()) break;
+        std::vector<RecordId> kept;
+        for (RecordId id : current) {
+          DBPC_ASSIGN_OR_RETURN(
+              bool keep,
+              step.qualification->Evaluate(db.FieldGetter(id), host_env));
+          if (keep) kept.push_back(id);
+        }
+        current = std::move(kept);
+        break;
+      }
+      case PathStep::Kind::kJoin: {
+        // Value join: targets whose join field equals some incoming
+        // record's source field. Result is deduplicated, first-match order.
+        std::vector<Value> source_values;
+        source_values.reserve(current.size());
+        for (RecordId id : current) {
+          DBPC_ASSIGN_OR_RETURN(Value v,
+                                db.GetField(id, step.join_source_field));
+          source_values.push_back(std::move(v));
+        }
+        std::vector<RecordId> joined;
+        for (RecordId candidate : db.AllOfType(ToUpper(step.name))) {
+          DBPC_ASSIGN_OR_RETURN(
+              Value target_value,
+              db.GetField(candidate, step.join_target_field));
+          bool matches = false;
+          for (const Value& v : source_values) {
+            std::optional<int> cmp = QueryCompare(target_value, v);
+            if (cmp.has_value() && *cmp == 0) {
+              matches = true;
+              break;
+            }
+          }
+          if (!matches) continue;
+          if (step.qualification.has_value()) {
+            DBPC_ASSIGN_OR_RETURN(bool keep,
+                                  step.qualification->Evaluate(
+                                      db.FieldGetter(candidate), host_env));
+            if (!keep) continue;
+          }
+          joined.push_back(candidate);
+        }
+        current = std::move(joined);
+        have_current = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+Result<std::vector<RecordId>> SortRecords(const Database& db,
+                                          std::vector<RecordId> ids,
+                                          const std::vector<std::string>& on) {
+  // Materialize sort keys first so comparator cannot fail mid-sort.
+  std::vector<std::pair<std::vector<Value>, RecordId>> keyed;
+  keyed.reserve(ids.size());
+  for (RecordId id : ids) {
+    std::vector<Value> key;
+    key.reserve(on.size());
+    for (const std::string& field : on) {
+      DBPC_ASSIGN_OR_RETURN(Value v, db.GetField(id, field));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), id);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < a.first.size(); ++i) {
+                       int cmp = a.first[i].Compare(b.first[i]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  std::vector<RecordId> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, id] : keyed) out.push_back(id);
+  return out;
+}
+
+Result<std::vector<RecordId>> EvaluateRetrieval(
+    const Database& db, const Retrieval& retrieval, const HostEnv& host_env,
+    const CollectionEnv& collections) {
+  DBPC_ASSIGN_OR_RETURN(
+      std::vector<RecordId> ids,
+      EvaluateFind(db, retrieval.query, host_env, collections));
+  if (retrieval.sort_on.empty()) return ids;
+  return SortRecords(db, std::move(ids), retrieval.sort_on);
+}
+
+namespace {
+
+Result<Operand> ParseOperand(TokenCursor* cur) {
+  const Token& t = cur->Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger:
+      cur->Next();
+      return Operand::Literal(Value::Int(t.int_value));
+    case TokenKind::kFloat:
+      cur->Next();
+      return Operand::Literal(Value::Double(t.float_value));
+    case TokenKind::kString:
+      cur->Next();
+      return Operand::Literal(Value::String(t.text));
+    case TokenKind::kPunct:
+      if (t.text == ":") {
+        cur->Next();
+        DBPC_ASSIGN_OR_RETURN(std::string name,
+                              cur->TakeIdentifier("host variable name"));
+        return Operand::HostVar(std::move(name));
+      }
+      if (t.text == "-") {
+        cur->Next();
+        const Token& num = cur->Peek();
+        if (num.kind == TokenKind::kInteger) {
+          cur->Next();
+          return Operand::Literal(Value::Int(-num.int_value));
+        }
+        if (num.kind == TokenKind::kFloat) {
+          cur->Next();
+          return Operand::Literal(Value::Double(-num.float_value));
+        }
+        return cur->ErrorHere("expected number after '-'");
+      }
+      break;
+    case TokenKind::kIdentifier:
+      if (t.text == "NULL") {
+        cur->Next();
+        return Operand::Literal(Value::Null());
+      }
+      break;
+    default:
+      break;
+  }
+  return cur->ErrorHere("expected literal or :host-variable");
+}
+
+Result<Predicate> ParseComparison(TokenCursor* cur) {
+  DBPC_ASSIGN_OR_RETURN(std::string field, cur->TakeIdentifier("field name"));
+  if (cur->ConsumeIdent("IS")) {
+    bool negated = cur->ConsumeIdent("NOT");
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("NULL"));
+    return Predicate::Compare(
+        std::move(field), negated ? CompareOp::kIsNotNull : CompareOp::kIsNull,
+        Operand::Literal(Value::Null()));
+  }
+  CompareOp op;
+  const Token& t = cur->Peek();
+  if (t.IsPunct("=")) {
+    op = CompareOp::kEq;
+  } else if (t.IsPunct("<>")) {
+    op = CompareOp::kNe;
+  } else if (t.IsPunct("<")) {
+    op = CompareOp::kLt;
+  } else if (t.IsPunct("<=")) {
+    op = CompareOp::kLe;
+  } else if (t.IsPunct(">")) {
+    op = CompareOp::kGt;
+  } else if (t.IsPunct(">=")) {
+    op = CompareOp::kGe;
+  } else {
+    return cur->ErrorHere("expected comparison operator");
+  }
+  cur->Next();
+  DBPC_ASSIGN_OR_RETURN(Operand rhs, ParseOperand(cur));
+  return Predicate::Compare(std::move(field), op, std::move(rhs));
+}
+
+Result<Predicate> ParseOrExpr(TokenCursor* cur);
+
+Result<Predicate> ParseUnary(TokenCursor* cur) {
+  if (cur->ConsumeIdent("NOT")) {
+    DBPC_ASSIGN_OR_RETURN(Predicate inner, ParseUnary(cur));
+    return Predicate::Not(std::move(inner));
+  }
+  if (cur->ConsumePunct("(")) {
+    DBPC_ASSIGN_OR_RETURN(Predicate inner, ParseOrExpr(cur));
+    DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+    return inner;
+  }
+  return ParseComparison(cur);
+}
+
+Result<Predicate> ParseAndExpr(TokenCursor* cur) {
+  DBPC_ASSIGN_OR_RETURN(Predicate lhs, ParseUnary(cur));
+  while (cur->ConsumeIdent("AND")) {
+    DBPC_ASSIGN_OR_RETURN(Predicate rhs, ParseUnary(cur));
+    lhs = Predicate::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<Predicate> ParseOrExpr(TokenCursor* cur) {
+  DBPC_ASSIGN_OR_RETURN(Predicate lhs, ParseAndExpr(cur));
+  while (cur->ConsumeIdent("OR")) {
+    DBPC_ASSIGN_OR_RETURN(Predicate rhs, ParseAndExpr(cur));
+    lhs = Predicate::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(TokenCursor* cur) { return ParseOrExpr(cur); }
+
+Result<FindQuery> ParseFindQuery(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("FIND"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+  FindQuery query;
+  DBPC_ASSIGN_OR_RETURN(query.target_type,
+                        cur->TakeIdentifier("target record type"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct(":"));
+  DBPC_ASSIGN_OR_RETURN(query.start,
+                        cur->TakeIdentifier("SYSTEM or collection name"));
+  while (cur->ConsumePunct(",")) {
+    PathStep step;
+    if (cur->ConsumeIdent("JOIN")) {
+      step.kind = PathStep::Kind::kJoin;
+      DBPC_ASSIGN_OR_RETURN(step.name,
+                            cur->TakeIdentifier("join target type"));
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("THROUGH"));
+      DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+      DBPC_ASSIGN_OR_RETURN(step.join_target_field,
+                            cur->TakeIdentifier("join target field"));
+      DBPC_RETURN_IF_ERROR(cur->ExpectPunct(","));
+      DBPC_ASSIGN_OR_RETURN(step.join_source_field,
+                            cur->TakeIdentifier("join source field"));
+      DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+    } else {
+      DBPC_ASSIGN_OR_RETURN(step.name, cur->TakeIdentifier("path step name"));
+    }
+    if (cur->ConsumePunct("(")) {
+      DBPC_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate(cur));
+      DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+      step.qualification = std::move(pred);
+    }
+    query.steps.push_back(std::move(step));
+  }
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+  return query;
+}
+
+Result<Retrieval> ParseRetrieval(TokenCursor* cur) {
+  Retrieval retrieval;
+  if (cur->Peek().IsIdent("SORT")) {
+    cur->Next();
+    DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+    DBPC_ASSIGN_OR_RETURN(retrieval.query, ParseFindQuery(cur));
+    DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+    do {
+      DBPC_ASSIGN_OR_RETURN(std::string field,
+                            cur->TakeIdentifier("sort field"));
+      retrieval.sort_on.push_back(std::move(field));
+    } while (cur->ConsumePunct(","));
+    DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+    return retrieval;
+  }
+  DBPC_ASSIGN_OR_RETURN(retrieval.query, ParseFindQuery(cur));
+  return retrieval;
+}
+
+Result<FindQuery> ParseFindQuery(const std::string& text) {
+  DBPC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  TokenCursor cur(std::move(tokens));
+  DBPC_ASSIGN_OR_RETURN(FindQuery query, ParseFindQuery(&cur));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after FIND");
+  return query;
+}
+
+Result<Retrieval> ParseRetrieval(const std::string& text) {
+  DBPC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  TokenCursor cur(std::move(tokens));
+  DBPC_ASSIGN_OR_RETURN(Retrieval retrieval, ParseRetrieval(&cur));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after retrieval");
+  return retrieval;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,209 @@
+#include "engine/textio.h"
+
+#include <map>
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+/// Record types ordered so set owners precede members (load connects
+/// AUTOMATIC memberships as it stores).
+Result<std::vector<std::string>> TopoTypes(const Schema& schema) {
+  std::vector<std::string> types;
+  std::map<std::string, int> indegree;
+  for (const RecordTypeDef& r : schema.record_types()) {
+    types.push_back(ToUpper(r.name));
+    indegree[ToUpper(r.name)] = 0;
+  }
+  std::multimap<std::string, std::string> edges;
+  for (const SetDef& s : schema.sets()) {
+    if (s.system_owned() || EqualsIgnoreCase(s.owner, s.member)) continue;
+    edges.emplace(ToUpper(s.owner), ToUpper(s.member));
+    ++indegree[ToUpper(s.member)];
+  }
+  std::vector<std::string> order;
+  std::vector<std::string> ready;
+  for (const std::string& t : types) {
+    if (indegree[t] == 0) ready.push_back(t);
+  }
+  while (!ready.empty()) {
+    std::string t = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(t);
+    auto [lo, hi] = edges.equal_range(t);
+    for (auto it = lo; it != hi; ++it) {
+      if (--indegree[it->second] == 0) ready.push_back(it->second);
+    }
+  }
+  if (order.size() != types.size()) {
+    return Status::Unsupported("cyclic owner/member graph");
+  }
+  return order;
+}
+
+/// Records of `type` in an order that preserves chronological-set member
+/// sequences on reload.
+std::vector<RecordId> OrderedRecords(const Database& db,
+                                     const std::string& type) {
+  const SetDef* chrono = nullptr;
+  for (const SetDef* s : db.schema().SetsWithMember(type)) {
+    if (s->ordering == SetOrdering::kChronological) {
+      chrono = s;
+      break;
+    }
+  }
+  std::vector<RecordId> all = db.AllOfType(type);
+  if (chrono == nullptr) return all;
+  std::vector<RecordId> ordered;
+  std::map<RecordId, bool> seen;
+  std::vector<RecordId> owners =
+      chrono->system_owned()
+          ? std::vector<RecordId>{kSystemOwner}
+          : db.AllOfType(ToUpper(chrono->owner));
+  for (RecordId owner : owners) {
+    for (RecordId m : db.Members(ToUpper(chrono->name), owner)) {
+      ordered.push_back(m);
+      seen[m] = true;
+    }
+  }
+  for (RecordId id : all) {
+    if (!seen.count(id)) ordered.push_back(id);
+  }
+  return ordered;
+}
+
+}  // namespace
+
+std::string DumpDatabaseText(const Database& db) {
+  std::string out = "DATABASE " + db.schema().name() + ".\n";
+  Result<std::vector<std::string>> order = TopoTypes(db.schema());
+  std::vector<std::string> types =
+      order.ok() ? *order : std::vector<std::string>{};
+  std::map<RecordId, size_t> seq;
+  for (const std::string& type : types) {
+    for (RecordId id : OrderedRecords(db, type)) {
+      size_t n = seq.size() + 1;
+      seq[id] = n;
+      const StoredRecord* rec = db.raw_store().Get(id);
+      out += "RECORD " + rec->type + " " + std::to_string(n) + " (";
+      bool first = true;
+      for (const auto& [field, value] : rec->fields) {
+        if (value.is_null()) continue;
+        if (!first) out += ", ";
+        first = false;
+        out += field + " = " + value.ToLiteral();
+      }
+      out += ")";
+      for (const SetDef& set : db.schema().sets()) {
+        if (set.system_owned()) continue;
+        if (!EqualsIgnoreCase(set.member, rec->type)) continue;
+        RecordId owner = db.OwnerOf(set.name, id);
+        if (owner == 0) continue;
+        auto it = seq.find(owner);
+        if (it == seq.end()) continue;  // owner not dumped (shouldn't happen)
+        out += " IN " + ToUpper(set.name) + " " + std::to_string(it->second);
+      }
+      out += ".\n";
+    }
+  }
+  out += "END DATABASE.\n";
+  return out;
+}
+
+Result<Database> LoadDatabaseText(const Schema& schema,
+                                  const std::string& text) {
+  DBPC_ASSIGN_OR_RETURN(Database db, Database::Create(schema));
+  DBPC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  TokenCursor cur(std::move(tokens));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("DATABASE"));
+  DBPC_RETURN_IF_ERROR(cur.TakeIdentifier("schema name").status());
+  DBPC_RETURN_IF_ERROR(cur.ExpectPunct("."));
+
+  std::map<int64_t, RecordId> seq_to_id;
+  while (cur.ConsumeIdent("RECORD")) {
+    StoreRequest request;
+    DBPC_ASSIGN_OR_RETURN(request.type, cur.TakeIdentifier("record type"));
+    DBPC_ASSIGN_OR_RETURN(int64_t seq, cur.TakeInteger("sequence number"));
+    DBPC_RETURN_IF_ERROR(cur.ExpectPunct("("));
+    if (!cur.Peek().IsPunct(")")) {
+      do {
+        DBPC_ASSIGN_OR_RETURN(std::string field,
+                              cur.TakeIdentifier("field name"));
+        DBPC_RETURN_IF_ERROR(cur.ExpectPunct("="));
+        const Token& t = cur.Peek();
+        Value value;
+        switch (t.kind) {
+          case TokenKind::kInteger:
+            value = Value::Int(t.int_value);
+            cur.Next();
+            break;
+          case TokenKind::kFloat:
+            value = Value::Double(t.float_value);
+            cur.Next();
+            break;
+          case TokenKind::kString:
+            value = Value::String(t.text);
+            cur.Next();
+            break;
+          case TokenKind::kPunct:
+            if (t.text == "-") {
+              cur.Next();
+              const Token& num = cur.Peek();
+              if (num.kind == TokenKind::kInteger) {
+                value = Value::Int(-num.int_value);
+              } else if (num.kind == TokenKind::kFloat) {
+                value = Value::Double(-num.float_value);
+              } else {
+                return cur.ErrorHere("expected number after '-'");
+              }
+              cur.Next();
+              break;
+            }
+            return cur.ErrorHere("expected literal");
+          case TokenKind::kIdentifier:
+            if (t.text == "NULL") {
+              cur.Next();
+              break;
+            }
+            return cur.ErrorHere("expected literal");
+          default:
+            return cur.ErrorHere("expected literal");
+        }
+        request.fields[ToUpper(field)] = std::move(value);
+      } while (cur.ConsumePunct(","));
+    }
+    DBPC_RETURN_IF_ERROR(cur.ExpectPunct(")"));
+    while (cur.ConsumeIdent("IN")) {
+      DBPC_ASSIGN_OR_RETURN(std::string set_name,
+                            cur.TakeIdentifier("set name"));
+      DBPC_ASSIGN_OR_RETURN(int64_t owner_seq,
+                            cur.TakeInteger("owner sequence number"));
+      auto it = seq_to_id.find(owner_seq);
+      if (it == seq_to_id.end()) {
+        return Status::ParseError("record " + std::to_string(seq) +
+                                  " references owner " +
+                                  std::to_string(owner_seq) +
+                                  " which has not been loaded yet");
+      }
+      request.connect[ToUpper(set_name)] = it->second;
+    }
+    DBPC_RETURN_IF_ERROR(cur.ExpectPunct("."));
+    Result<RecordId> id = db.StoreRecord(request);
+    if (!id.ok()) {
+      return Status(id.status().code(),
+                    "loading record " + std::to_string(seq) + ": " +
+                        id.status().message());
+    }
+    seq_to_id[seq] = *id;
+  }
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("END"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("DATABASE"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectPunct("."));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after END DATABASE");
+  return db;
+}
+
+}  // namespace dbpc

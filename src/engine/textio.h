@@ -1,0 +1,32 @@
+#ifndef DBPC_ENGINE_TEXTIO_H_
+#define DBPC_ENGINE_TEXTIO_H_
+
+#include <string>
+
+#include "engine/database.h"
+
+namespace dbpc {
+
+/// Serializes a database instance to a line-oriented text form (the 1979
+/// equivalent of an unload tape):
+///
+///   DATABASE <schema-name>.
+///   RECORD <type> #<n> (FIELD = literal, ...) [IN <set> #<owner-n>, ...].
+///   END DATABASE.
+///
+/// `#<n>` are per-dump sequence numbers (not storage ids); owners are
+/// referenced by their sequence number, and records are emitted in
+/// owner-before-member order so a load can connect as it goes. Member
+/// order within chronological sets is preserved.
+std::string DumpDatabaseText(const Database& db);
+
+/// Loads a dump produced by DumpDatabaseText into an empty database over
+/// `schema` (which must match the dump's structural expectations; all
+/// constraints are enforced during the load). The schema name in the dump
+/// is informational and not required to match.
+Result<Database> LoadDatabaseText(const Schema& schema,
+                                  const std::string& text);
+
+}  // namespace dbpc
+
+#endif  // DBPC_ENGINE_TEXTIO_H_

@@ -1,0 +1,39 @@
+#include "equivalence/checker.h"
+
+namespace dbpc {
+
+Result<Trace> TraceOf(const Database& db, const Program& program,
+                      const IoScript& script) {
+  Database copy = db;
+  Interpreter interp(&copy, script);
+  DBPC_ASSIGN_OR_RETURN(RunResult run, interp.Run(program));
+  return run.trace;
+}
+
+Result<EquivalenceReport> CheckEquivalence(const Database& source_db,
+                                           const Program& source_program,
+                                           const Database& target_db,
+                                           const Program& target_program,
+                                           const IoScript& script) {
+  EquivalenceReport report;
+  DBPC_ASSIGN_OR_RETURN(report.source_trace,
+                        TraceOf(source_db, source_program, script));
+  DBPC_ASSIGN_OR_RETURN(report.target_trace,
+                        TraceOf(target_db, target_program, script));
+  report.divergence =
+      Trace::FirstDivergence(report.source_trace, report.target_trace);
+  report.equivalent = report.divergence < 0;
+  if (!report.equivalent) {
+    size_t idx = static_cast<size_t>(report.divergence);
+    auto text = [idx](const Trace& t) {
+      return idx < t.events().size() ? t.events()[idx].ToString()
+                                     : std::string("<no event>");
+    };
+    report.detail = "traces diverge at event " + std::to_string(idx) +
+                    ": source " + text(report.source_trace) + " vs target " +
+                    text(report.target_trace);
+  }
+  return report;
+}
+
+}  // namespace dbpc

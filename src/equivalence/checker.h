@@ -1,0 +1,43 @@
+#ifndef DBPC_EQUIVALENCE_CHECKER_H_
+#define DBPC_EQUIVALENCE_CHECKER_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "lang/ast.h"
+#include "lang/interpreter.h"
+
+namespace dbpc {
+
+/// Verdict of the operational "runs equivalently" check (paper section
+/// 1.1): except with respect to the database, the converted program must
+/// preserve the input/output behaviour of the original — identical terminal
+/// interactions and identical reads/writes of non-database files.
+struct EquivalenceReport {
+  bool equivalent = false;
+  /// Index of the first differing trace event (-1 when equivalent).
+  ptrdiff_t divergence = -1;
+  /// Human-readable explanation of the divergence.
+  std::string detail;
+  Trace source_trace;
+  Trace target_trace;
+};
+
+/// Runs `source_program` against a copy of `source_db` and `target_program`
+/// against a copy of `target_db` under the same I/O script, then compares
+/// the non-database I/O traces event by event. Database state changes are
+/// deliberately NOT compared (the definition permits different database
+/// interactions).
+Result<EquivalenceReport> CheckEquivalence(const Database& source_db,
+                                           const Program& source_program,
+                                           const Database& target_db,
+                                           const Program& target_program,
+                                           const IoScript& script);
+
+/// Convenience: runs a program against a copy of `db` and returns its trace.
+Result<Trace> TraceOf(const Database& db, const Program& program,
+                      const IoScript& script);
+
+}  // namespace dbpc
+
+#endif  // DBPC_EQUIVALENCE_CHECKER_H_

@@ -1,0 +1,364 @@
+#include "generate/generator.h"
+
+#include <functional>
+#include <optional>
+
+#include "analyze/analyzer.h"
+#include "common/string_util.h"
+
+namespace dbpc {
+
+std::string GenerateCplSource(const Program& program) {
+  return program.ToSource();
+}
+
+namespace {
+
+/// Context for lowering: which cursor (if any) each record type is bound to
+/// by an enclosing *lowered* loop, so nested paths can start from currency.
+struct LowerCtx {
+  const Schema* schema = nullptr;
+  int* loops_lowered = nullptr;
+  /// Cursors of enclosing lowered loops: record type -> cursor name. A GET
+  /// against the innermost lowered cursor becomes a plain navigational GET.
+  std::map<std::string, std::string> lowered_cursor_of_type;
+  std::string innermost_cursor;  ///< cursor whose record is current
+};
+
+bool LowerBlock(const std::vector<Stmt>& body, LowerCtx* ctx,
+                std::vector<Stmt>* out);
+
+/// Shapes of FIND paths expressible navigationally.
+struct NavPlan {
+  std::optional<NavFind> owner_find;  ///< FIND ANY <O> (pred), when needed
+  NavFind first;                      ///< FIND FIRST <M> WITHIN <S> [USING]
+};
+
+std::optional<NavPlan> PlanPath(const Schema& schema, const Stmt& loop,
+                                const LowerCtx& ctx) {
+  if (!loop.retrieval.has_value() || !loop.retrieval->sort_on.empty()) {
+    return std::nullopt;
+  }
+  FindQuery query = loop.retrieval->query;
+  if (!ResolveFindQuery(schema, &query).ok()) return std::nullopt;
+  const std::vector<PathStep>& steps = query.steps;
+  auto make_first = [&](const std::string& member, const std::string& set,
+                        const std::optional<Predicate>& pred) {
+    NavFind f;
+    f.mode = NavFind::Mode::kFirst;
+    f.record_type = ToUpper(member);
+    f.set_name = ToUpper(set);
+    f.pred = pred;
+    return f;
+  };
+  if (query.starts_at_system()) {
+    // [sysset, M(pred?)]
+    if (steps.size() == 2 && steps[0].kind == PathStep::Kind::kSet &&
+        steps[1].kind == PathStep::Kind::kRecord) {
+      NavPlan plan;
+      plan.first =
+          make_first(steps[1].name, steps[0].name, steps[1].qualification);
+      return plan;
+    }
+    if (steps.size() == 1 && steps[0].kind == PathStep::Kind::kSet) {
+      const SetDef* set = schema.FindSet(steps[0].name);
+      NavPlan plan;
+      plan.first = make_first(set->member, steps[0].name, std::nullopt);
+      return plan;
+    }
+    // [sysset, O(pred), S, M(pred?)] with a uniquely-selecting owner.
+    if (steps.size() == 4 && steps[0].kind == PathStep::Kind::kSet &&
+        steps[1].kind == PathStep::Kind::kRecord &&
+        steps[2].kind == PathStep::Kind::kSet &&
+        steps[3].kind == PathStep::Kind::kRecord &&
+        steps[1].qualification.has_value() &&
+        SelectsAtMostOne(schema, steps[1].name, *steps[1].qualification)) {
+      NavPlan plan;
+      NavFind any;
+      any.mode = NavFind::Mode::kAny;
+      any.record_type = ToUpper(steps[1].name);
+      any.pred = steps[1].qualification;
+      plan.owner_find = std::move(any);
+      plan.first =
+          make_first(steps[3].name, steps[2].name, steps[3].qualification);
+      return plan;
+    }
+    return std::nullopt;
+  }
+  // Collection start: must be an enclosing lowered cursor whose record type
+  // owns the first set, and that cursor's record must still be current —
+  // which holds only when this loop is the first navigational statement of
+  // the enclosing body; we conservatively require the start cursor to be
+  // the innermost lowered cursor.
+  if (steps.size() == 2 && steps[0].kind == PathStep::Kind::kSet &&
+      steps[1].kind == PathStep::Kind::kRecord) {
+    const SetDef* set = schema.FindSet(steps[0].name);
+    auto it = ctx.lowered_cursor_of_type.find(ToUpper(set->owner));
+    if (it != ctx.lowered_cursor_of_type.end() &&
+        EqualsIgnoreCase(it->second, query.start) &&
+        EqualsIgnoreCase(ctx.innermost_cursor, query.start)) {
+      NavPlan plan;
+      plan.first =
+          make_first(steps[1].name, steps[0].name, steps[1].qualification);
+      return plan;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Lowers one FOR EACH; returns false when the loop must stay high-level.
+bool LowerForEach(const Stmt& loop, LowerCtx* ctx, std::vector<Stmt>* out) {
+  std::optional<NavPlan> plan = PlanPath(*ctx->schema, loop, *ctx);
+  if (!plan.has_value()) return false;
+
+  // Lower the body with this loop's cursor innermost.
+  LowerCtx inner = *ctx;
+  std::string member_type = ToUpper(loop.retrieval->query.target_type);
+  inner.lowered_cursor_of_type[member_type] = loop.cursor;
+  inner.innermost_cursor = loop.cursor;
+  std::vector<Stmt> body;
+  // Body statements must only touch this loop's cursor navigationally.
+  for (const Stmt& s : loop.body) {
+    switch (s.kind) {
+      case StmtKind::kGetField: {
+        if (!EqualsIgnoreCase(s.cursor, loop.cursor)) return false;
+        Stmt get;
+        get.kind = StmtKind::kNavGet;
+        get.field = s.field;
+        get.target_var = s.target_var;
+        body.push_back(std::move(get));
+        break;
+      }
+      case StmtKind::kModify: {
+        if (!EqualsIgnoreCase(s.cursor, loop.cursor)) return false;
+        // Changing the scanned set's sort key mid-scan is not expressible.
+        const SetDef* set = nullptr;
+        for (const PathStep& step : loop.retrieval->query.steps) {
+          const SetDef* cand = ctx->schema->FindSet(step.name);
+          if (cand != nullptr) set = cand;
+        }
+        if (set != nullptr) {
+          for (const auto& [field, expr] : s.assignments) {
+            for (const std::string& key : set->keys) {
+              if (EqualsIgnoreCase(field, key)) return false;
+            }
+          }
+        }
+        Stmt mod;
+        mod.kind = StmtKind::kNavModify;
+        mod.assignments = s.assignments;
+        body.push_back(std::move(mod));
+        break;
+      }
+      case StmtKind::kDelete:
+      case StmtKind::kStore:
+      case StmtKind::kRetrieve:
+        return false;
+      case StmtKind::kForEach: {
+        // Nested loops lower recursively or not at all (a high-level inner
+        // loop would not disturb currency, but a GET after it would read
+        // the wrong record; be conservative).
+        std::vector<Stmt> lowered_inner;
+        if (!LowerForEach(s, &inner, &lowered_inner)) return false;
+        for (Stmt& st : lowered_inner) body.push_back(std::move(st));
+        // After an inner navigational loop the run-unit is no longer this
+        // loop's record; further GETs would misbind.
+        inner.innermost_cursor.clear();
+        break;
+      }
+      case StmtKind::kIf:
+      case StmtKind::kWhile: {
+        // Host-only control flow: recurse, requiring no navigational
+        // lowering inside (keep it simple and correct).
+        Stmt copy = s;
+        std::vector<Stmt> then_body;
+        if (!LowerBlock(s.body, &inner, &then_body)) return false;
+        std::vector<Stmt> else_body;
+        if (!LowerBlock(s.else_body, &inner, &else_body)) return false;
+        copy.body = std::move(then_body);
+        copy.else_body = std::move(else_body);
+        body.push_back(std::move(copy));
+        break;
+      }
+      default:
+        body.push_back(s);
+        break;
+    }
+  }
+
+  if (plan->owner_find.has_value()) {
+    Stmt any;
+    any.kind = StmtKind::kNavFind;
+    any.nav_find = plan->owner_find;
+    out->push_back(std::move(any));
+  }
+  Stmt first;
+  first.kind = StmtKind::kNavFind;
+  first.nav_find = plan->first;
+  out->push_back(std::move(first));
+
+  Stmt loop_stmt;
+  loop_stmt.kind = StmtKind::kWhile;
+  loop_stmt.cond = HostCond::Compare(HostExpr::Var("DB-STATUS"), CompareOp::kEq,
+                                     HostExpr::Lit(Value::String("0000")));
+  loop_stmt.body = std::move(body);
+  Stmt next;
+  next.kind = StmtKind::kNavFind;
+  NavFind next_find = plan->first;
+  next_find.mode = NavFind::Mode::kNext;
+  next.nav_find = std::move(next_find);
+  loop_stmt.body.push_back(std::move(next));
+  out->push_back(std::move(loop_stmt));
+  ++(*ctx->loops_lowered);
+  return true;
+}
+
+bool LowerBlock(const std::vector<Stmt>& body, LowerCtx* ctx,
+                std::vector<Stmt>* out) {
+  for (const Stmt& s : body) {
+    if (s.kind == StmtKind::kForEach) {
+      std::vector<Stmt> lowered;
+      LowerCtx attempt = *ctx;
+      if (LowerForEach(s, &attempt, &lowered)) {
+        ctx->loops_lowered = attempt.loops_lowered;
+        for (Stmt& st : lowered) out->push_back(std::move(st));
+        continue;
+      }
+      // Keep the loop high-level; still visit nested blocks for lowering.
+      Stmt copy = s;
+      std::vector<Stmt> inner;
+      if (!LowerBlock(s.body, ctx, &inner)) return false;
+      copy.body = std::move(inner);
+      out->push_back(std::move(copy));
+      continue;
+    }
+    if (s.kind == StmtKind::kIf || s.kind == StmtKind::kWhile) {
+      Stmt copy = s;
+      std::vector<Stmt> then_body;
+      if (!LowerBlock(s.body, ctx, &then_body)) return false;
+      std::vector<Stmt> else_body;
+      if (!LowerBlock(s.else_body, ctx, &else_body)) return false;
+      copy.body = std::move(then_body);
+      copy.else_body = std::move(else_body);
+      out->push_back(std::move(copy));
+      continue;
+    }
+    out->push_back(s);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<LoweringResult> LowerToNavigational(const Schema& schema,
+                                           const Program& program) {
+  LoweringResult result;
+  result.program.name = program.name;
+  LowerCtx ctx;
+  ctx.schema = &schema;
+  ctx.loops_lowered = &result.loops_lowered;
+  if (!LowerBlock(program.body, &ctx, &result.program.body)) {
+    return Status::Internal("lowering walk failed");
+  }
+  return result;
+}
+
+namespace {
+
+Result<std::string> SequelFromSteps(const Schema& schema,
+                                    const std::vector<PathStep>& steps,
+                                    size_t end, int indent);
+
+/// Renders WHERE text of a predicate (our predicate syntax is already
+/// SEQUEL-compatible for comparisons/AND/OR/NOT).
+std::string WhereText(const std::optional<Predicate>& pred) {
+  return pred.has_value() ? pred->ToString() : "";
+}
+
+Result<std::string> SequelFromSteps(const Schema& schema,
+                                    const std::vector<PathStep>& steps,
+                                    size_t end, int indent) {
+  // steps[0..end] ends with a record step (possibly implicit). Find the
+  // record type and qualification at the end.
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string type;
+  std::optional<Predicate> qual;
+  size_t i = end;
+  if (steps[i].kind == PathStep::Kind::kRecord) {
+    type = ToUpper(steps[i].name);
+    qual = steps[i].qualification;
+    if (i == 0) {
+      return pad + "SELECT * FROM " + type +
+             (qual.has_value() ? "\n" + pad + "WHERE " + WhereText(qual) : "");
+    }
+    --i;
+  } else {
+    const SetDef* set = schema.FindSet(steps[i].name);
+    if (set == nullptr) return Status::NotFound("set " + steps[i].name);
+    type = ToUpper(set->member);
+  }
+  // steps[i] is now a set step feeding `type`.
+  if (steps[i].kind != PathStep::Kind::kSet) {
+    return Status::Unsupported("irregular path shape for SEQUEL generation");
+  }
+  const SetDef* set = schema.FindSet(steps[i].name);
+  if (set == nullptr) return Status::NotFound("set " + steps[i].name);
+  std::string clause;
+  if (set->system_owned()) {
+    // Root: plain select over the member relation.
+    std::string out = pad + "SELECT * FROM " + type;
+    if (qual.has_value()) out += "\n" + pad + "WHERE " + WhereText(qual);
+    return out;
+  }
+  // Join column: the member's virtual field derived through this set.
+  const RecordTypeDef* rec = schema.FindRecordType(type);
+  const FieldDef* join = nullptr;
+  for (const FieldDef& f : rec->fields) {
+    if (f.is_virtual && EqualsIgnoreCase(f.via_set, set->name)) {
+      join = &f;
+      break;
+    }
+  }
+  if (join == nullptr) {
+    return Status::Unsupported(
+        "set " + set->name + " exposes no virtual field on " + type +
+        " to serve as the relational join column");
+  }
+  if (i == 0) {
+    return Status::Unsupported("path cannot open with a non-system set");
+  }
+  // Sub-select over the owner side: steps[0 .. i-1].
+  DBPC_ASSIGN_OR_RETURN(std::string subquery,
+                        SequelFromSteps(schema, steps, i - 1, indent + 2));
+  // Rewrite the sub-select's projection to the join key.
+  size_t star = subquery.find("SELECT *");
+  if (star != std::string::npos) {
+    subquery.replace(star, 8, "SELECT " + ToUpper(join->using_field));
+  }
+  std::string out = pad + "SELECT * FROM " + type + "\n" + pad + "WHERE ";
+  if (qual.has_value()) out += WhereText(qual) + "\n" + pad + "  AND ";
+  out += ToUpper(join->name) + " IN (\n" + subquery + "\n" + pad + ")";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> GenerateSequel(const Schema& schema,
+                                   const Retrieval& retrieval) {
+  Retrieval resolved = retrieval;
+  DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &resolved.query));
+  if (!resolved.query.starts_at_system()) {
+    return Status::Unsupported(
+        "SEQUEL generation requires a SYSTEM-rooted path");
+  }
+  DBPC_ASSIGN_OR_RETURN(
+      std::string sql,
+      SequelFromSteps(schema, resolved.query.steps,
+                      resolved.query.steps.size() - 1, 0));
+  if (!resolved.sort_on.empty()) {
+    sql += "\nORDER BY " + Join(resolved.sort_on, ", ");
+  }
+  return sql;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,47 @@
+#ifndef DBPC_GENERATE_GENERATOR_H_
+#define DBPC_GENERATE_GENERATOR_H_
+
+#include <string>
+
+#include "engine/find_query.h"
+#include "lang/ast.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// The Program Generator of Figure 4.1 produces target programs from the
+/// optimized representation. Three targets are supported, mirroring the
+/// paper's observation that conversion "at a level of abstraction removed
+/// from an actual DBMS language" allows DBMS-to-DBMS conversion:
+///  - canonical CPL source (the Maryland-DML dialect),
+///  - navigational CODASYL-dialect CPL (FIND FIRST/NEXT templates), and
+///  - SEQUEL-flavoured query text per retrieval (the paper's example (A)).
+
+/// Canonical CPL source (identical to Program::ToSource; provided for
+/// symmetry).
+std::string GenerateCplSource(const Program& program);
+
+/// Result of lowering to the navigational dialect.
+struct LoweringResult {
+  Program program;
+  /// FOR EACH loops rewritten into FIND FIRST/NEXT templates. Loops that
+  /// cannot be expressed navigationally (SORT wrappers, cross-cursor GETs,
+  /// deletions during scan) remain at the Maryland level.
+  int loops_lowered = 0;
+};
+
+/// Rewrites FOR EACH loops into CODASYL navigational templates (the exact
+/// inverse of the analyzer's lifting, tested as a round-trip property).
+Result<LoweringResult> LowerToNavigational(const Schema& schema,
+                                           const Program& program);
+
+/// Renders one retrieval as a SEQUEL-flavoured SELECT with nested IN
+/// sub-selects, resolving each set traversal through the member's virtual
+/// field (the relational representation's join column). Fails when a
+/// traversed set exposes no virtual field to join on.
+Result<std::string> GenerateSequel(const Schema& schema,
+                                   const Retrieval& retrieval);
+
+}  // namespace dbpc
+
+#endif  // DBPC_GENERATE_GENERATOR_H_

@@ -1,0 +1,272 @@
+#include "hierarchical/hierarchical.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+Result<HierarchicalMachine> HierarchicalMachine::Attach(Database* db) {
+  HierarchicalMachine machine(db);
+  const Schema& schema = db->schema();
+  for (const RecordTypeDef& r : schema.record_types()) {
+    int parents = 0;
+    for (const SetDef* s : schema.SetsWithMember(r.name)) {
+      if (!s->system_owned()) ++parents;
+    }
+    if (parents > 1) {
+      return Status::Unsupported(
+          "record type " + r.name + " has " + std::to_string(parents) +
+          " parents; the schema is a network, not a hierarchy");
+    }
+    if (parents == 0) machine.roots_.push_back(ToUpper(r.name));
+  }
+  if (machine.roots_.empty()) {
+    return Status::Unsupported("schema has no root record type");
+  }
+  return machine;
+}
+
+std::vector<const SetDef*> HierarchicalMachine::ChildSets(
+    const std::string& type) const {
+  std::vector<const SetDef*> out;
+  for (const SetDef* s : db_->schema().SetsOwnedBy(type)) {
+    if (!s->system_owned()) out.push_back(s);
+  }
+  return out;
+}
+
+void HierarchicalMachine::AppendSubtree(RecordId id,
+                                        std::vector<RecordId>* out) const {
+  out->push_back(id);
+  Result<std::string> type = db_->TypeOf(id);
+  if (!type.ok()) return;
+  for (const SetDef* set : ChildSets(*type)) {
+    for (RecordId child : db_->Members(set->name, id)) {
+      AppendSubtree(child, out);
+    }
+  }
+}
+
+std::vector<RecordId> HierarchicalMachine::HierarchicSequence() const {
+  std::vector<RecordId> out;
+  for (const std::string& root : roots_) {
+    // Roots come in system-set order when one exists, else storage order.
+    std::vector<RecordId> root_records;
+    const SetDef* sys = nullptr;
+    for (const SetDef* s : db_->schema().SetsWithMember(root)) {
+      if (s->system_owned()) sys = s;
+    }
+    root_records = sys != nullptr ? db_->SystemMembers(sys->name)
+                                  : db_->AllOfType(root);
+    for (RecordId id : root_records) AppendSubtree(id, &out);
+  }
+  return out;
+}
+
+Status HierarchicalMachine::GetUnique(const std::vector<Ssa>& path,
+                                      const HostEnv& host_env) {
+  if (path.empty()) return Status::InvalidArgument("empty SSA path");
+  // Walk the hierarchic sequence keeping track of which ancestors match.
+  // Simpler equivalent: recursively search qualified children level by
+  // level starting from the qualified roots.
+  std::vector<RecordId> level;
+  {
+    const std::string& root_type = ToUpper(path[0].segment);
+    const SetDef* sys = nullptr;
+    for (const SetDef* s : db_->schema().SetsWithMember(root_type)) {
+      if (s->system_owned()) sys = s;
+    }
+    std::vector<RecordId> roots = sys != nullptr
+                                      ? db_->SystemMembers(sys->name)
+                                      : db_->AllOfType(root_type);
+    for (RecordId id : roots) {
+      bool keep = true;
+      if (path[0].qualification.has_value()) {
+        DBPC_ASSIGN_OR_RETURN(
+            keep, path[0].qualification->Evaluate(db_->FieldGetter(id),
+                                                  host_env));
+      }
+      if (keep) level.push_back(id);
+    }
+  }
+  RecordId parent_of_match = 0;
+  for (size_t depth = 1; depth < path.size() && !level.empty(); ++depth) {
+    const Ssa& ssa = path[depth];
+    std::vector<RecordId> next;
+    RecordId first_parent = 0;
+    for (RecordId parent : level) {
+      Result<std::string> ptype = db_->TypeOf(parent);
+      if (!ptype.ok()) continue;
+      for (const SetDef* set : ChildSets(*ptype)) {
+        if (!EqualsIgnoreCase(set->member, ssa.segment)) continue;
+        for (RecordId child : db_->Members(set->name, parent)) {
+          bool keep = true;
+          if (ssa.qualification.has_value()) {
+            DBPC_ASSIGN_OR_RETURN(
+                keep, ssa.qualification->Evaluate(db_->FieldGetter(child),
+                                                  host_env));
+          }
+          if (keep) {
+            if (next.empty()) first_parent = parent;
+            next.push_back(child);
+          }
+        }
+      }
+    }
+    level = std::move(next);
+    parent_of_match = first_parent;
+  }
+  if (level.empty()) {
+    status_ = dli_status::kNotFound;
+    return Status::OK();
+  }
+  position_ = level.front();
+  parent_ = path.size() == 1 ? 0 : parent_of_match;
+  status_ = dli_status::kOk;
+  return Status::OK();
+}
+
+Status HierarchicalMachine::GetNext(const std::string& segment_type,
+                                    const HostEnv& host_env) {
+  (void)host_env;
+  std::vector<RecordId> sequence = HierarchicSequence();
+  size_t start = 0;
+  if (position_ != 0) {
+    auto it = std::find(sequence.begin(), sequence.end(), position_);
+    if (it != sequence.end()) {
+      start = static_cast<size_t>(it - sequence.begin()) + 1;
+    }
+  }
+  for (size_t i = start; i < sequence.size(); ++i) {
+    if (!segment_type.empty()) {
+      Result<std::string> type = db_->TypeOf(sequence[i]);
+      if (!type.ok() || !EqualsIgnoreCase(*type, segment_type)) continue;
+    }
+    position_ = sequence[i];
+    // Parent for GNP purposes: the record's hierarchical parent.
+    parent_ = 0;
+    Result<std::string> type = db_->TypeOf(position_);
+    if (type.ok()) {
+      for (const SetDef* s : db_->schema().SetsWithMember(*type)) {
+        if (!s->system_owned()) {
+          parent_ = db_->OwnerOf(s->name, position_);
+        }
+      }
+    }
+    status_ = dli_status::kOk;
+    return Status::OK();
+  }
+  status_ = dli_status::kEndOfDatabase;
+  return Status::OK();
+}
+
+Status HierarchicalMachine::GetNextWithinParent(
+    const std::string& segment_type, const HostEnv& host_env) {
+  (void)host_env;
+  RecordId parent = parent_;
+  if (parent == 0) {
+    // Current position is the parent for the scan.
+    parent = position_;
+  }
+  if (parent == 0) {
+    status_ = dli_status::kNotFound;
+    return Status::OK();
+  }
+  std::vector<RecordId> subtree;
+  AppendSubtree(parent, &subtree);
+  size_t start = 0;
+  auto it = std::find(subtree.begin(), subtree.end(), position_);
+  if (it != subtree.end()) {
+    start = static_cast<size_t>(it - subtree.begin()) + 1;
+  }
+  for (size_t i = start; i < subtree.size(); ++i) {
+    if (subtree[i] == parent) continue;
+    if (!segment_type.empty()) {
+      Result<std::string> type = db_->TypeOf(subtree[i]);
+      if (!type.ok() || !EqualsIgnoreCase(*type, segment_type)) continue;
+    }
+    position_ = subtree[i];
+    parent_ = parent;
+    status_ = dli_status::kOk;
+    return Status::OK();
+  }
+  status_ = dli_status::kNotFound;  // GE: no more under this parent
+  return Status::OK();
+}
+
+Status HierarchicalMachine::Insert(const std::string& segment_type,
+                                   const FieldMap& fields,
+                                   const std::vector<Ssa>& parent_path,
+                                   const HostEnv& host_env) {
+  StoreRequest request;
+  request.type = segment_type;
+  request.fields = fields;
+  if (!parent_path.empty()) {
+    DBPC_RETURN_IF_ERROR(GetUnique(parent_path, host_env));
+    if (status_ != dli_status::kOk) return Status::OK();  // GE reported
+    RecordId parent = position_;
+    Result<std::string> ptype = db_->TypeOf(parent);
+    if (!ptype.ok()) return ptype.status();
+    const SetDef* edge = nullptr;
+    for (const SetDef* set : ChildSets(*ptype)) {
+      if (EqualsIgnoreCase(set->member, segment_type)) edge = set;
+    }
+    if (edge == nullptr) {
+      return Status::InvalidArgument(segment_type + " is not a child of " +
+                                     *ptype);
+    }
+    request.connect[edge->name] = parent;
+  }
+  Result<RecordId> id = db_->StoreRecord(request);
+  if (!id.ok()) {
+    if (id.status().code() == StatusCode::kConstraintViolation) {
+      status_ = dli_status::kNotFound;
+      return Status::OK();
+    }
+    return id.status();
+  }
+  position_ = *id;
+  status_ = dli_status::kOk;
+  return Status::OK();
+}
+
+Status HierarchicalMachine::Replace(const FieldMap& updates) {
+  if (position_ == 0) {
+    return Status::InvalidArgument("REPL with no current segment");
+  }
+  Status s = db_->ModifyRecord(position_, updates);
+  if (!s.ok() && s.code() == StatusCode::kConstraintViolation) {
+    status_ = dli_status::kNotFound;
+    return Status::OK();
+  }
+  if (s.ok()) status_ = dli_status::kOk;
+  return s;
+}
+
+Status HierarchicalMachine::Delete() {
+  if (position_ == 0) {
+    return Status::InvalidArgument("DLET with no current segment");
+  }
+  // IMS semantics: the whole dependent subtree goes. Erase bottom-up so
+  // MANDATORY memberships never block.
+  std::vector<RecordId> subtree;
+  AppendSubtree(position_, &subtree);
+  for (auto it = subtree.rbegin(); it != subtree.rend(); ++it) {
+    if (!db_->Exists(*it)) continue;  // characterizing cascade got it
+    DBPC_RETURN_IF_ERROR(db_->EraseRecord(*it));
+  }
+  position_ = 0;
+  parent_ = 0;
+  status_ = dli_status::kOk;
+  return Status::OK();
+}
+
+Result<Value> HierarchicalMachine::Get(const std::string& field) const {
+  if (position_ == 0) {
+    return Status::InvalidArgument("GET with no current segment");
+  }
+  return db_->GetField(position_, field);
+}
+
+}  // namespace dbpc

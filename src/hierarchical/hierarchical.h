@@ -1,0 +1,97 @@
+#ifndef DBPC_HIERARCHICAL_HIERARCHICAL_H_
+#define DBPC_HIERARCHICAL_HIERARCHICAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/predicate.h"
+
+namespace dbpc {
+
+/// DL/I-style status codes (reduced set).
+namespace dli_status {
+inline constexpr const char* kOk = "  ";
+inline constexpr const char* kNotFound = "GE";
+inline constexpr const char* kEndOfDatabase = "GB";
+}  // namespace dli_status
+
+/// An IMS-flavoured hierarchical view over an owner-coupled-set database.
+///
+/// The hierarchy is derived from the schema: record types that are members
+/// of no non-system set are root segments; each non-system set is a
+/// parent/child edge. Schemas where a type has more than one non-system
+/// parent set are not hierarchies and are rejected — exactly the structural
+/// gap that made IMS <-> CODASYL conversion interesting in 1979.
+///
+/// The machine exposes the hierarchic sequence (pre-order over roots and
+/// their subtrees) with the classic verbs: GET UNIQUE (path-qualified
+/// direct access), GET NEXT, GET NEXT WITHIN PARENT, plus ISRT/REPL/DLET.
+/// DLET removes the whole dependent subtree (IMS semantics).
+class HierarchicalMachine {
+ public:
+  /// One level of a segment search argument: segment type plus optional
+  /// qualification.
+  struct Ssa {
+    std::string segment;
+    std::optional<Predicate> qualification;
+  };
+
+  /// Fails unless the schema is tree-shaped.
+  static Result<HierarchicalMachine> Attach(Database* db);
+
+  /// GET UNIQUE: first segment in hierarchic sequence matching the SSA
+  /// path from the root. Establishes position and parentage.
+  Status GetUnique(const std::vector<Ssa>& path, const HostEnv& host_env);
+
+  /// GET NEXT [segment type]: next segment in hierarchic sequence,
+  /// optionally restricted to one type. Status GB at end of database.
+  Status GetNext(const std::string& segment_type, const HostEnv& host_env);
+
+  /// GET NEXT WITHIN PARENT: next segment below the current parent
+  /// (established by the last GET UNIQUE / GET NEXT).
+  Status GetNextWithinParent(const std::string& segment_type,
+                             const HostEnv& host_env);
+
+  /// ISRT: inserts a segment under the parent selected by `path`
+  /// (qualified SSAs down to the parent level).
+  Status Insert(const std::string& segment_type, const FieldMap& fields,
+                const std::vector<Ssa>& parent_path, const HostEnv& host_env);
+
+  /// REPL: updates fields of the current segment.
+  Status Replace(const FieldMap& updates);
+
+  /// DLET: deletes the current segment and its whole subtree.
+  Status Delete();
+
+  /// Field of the current segment.
+  Result<Value> Get(const std::string& field) const;
+
+  const std::string& status() const { return status_; }
+  RecordId position() const { return position_; }
+
+  /// The full hierarchic sequence (pre-order), exposed for tests and for
+  /// order-transformation experiments (Mehl & Wang, paper section 2.2).
+  std::vector<RecordId> HierarchicSequence() const;
+
+  /// Root record types in declaration order.
+  const std::vector<std::string>& roots() const { return roots_; }
+  /// Child sets of a type in declaration order.
+  std::vector<const SetDef*> ChildSets(const std::string& type) const;
+
+ private:
+  explicit HierarchicalMachine(Database* db) : db_(db) {}
+
+  void AppendSubtree(RecordId id, std::vector<RecordId>* out) const;
+
+  Database* db_;
+  std::vector<std::string> roots_;
+  RecordId position_ = 0;
+  RecordId parent_ = 0;
+  std::string status_ = dli_status::kOk;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_HIERARCHICAL_HIERARCHICAL_H_

@@ -1,0 +1,248 @@
+#include "ir/access_pattern.h"
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+const char* TerminalOpName(TerminalOp op) {
+  switch (op) {
+    case TerminalOp::kRetrieve:
+      return "RETRIEVE";
+    case TerminalOp::kStore:
+      return "STORE";
+    case TerminalOp::kModify:
+      return "MODIFY";
+    case TerminalOp::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+std::string AccessPattern::ToString() const {
+  switch (kind) {
+    case AccessPatternKind::kDirect: {
+      std::string out = "ACCESS " + target + " via " + target;
+      if (condition.has_value()) out += " (" + condition->ToString() + ")";
+      return out;
+    }
+    case AccessPatternKind::kValueJoin:
+      return "ACCESS " + target + " via " + via + " through (" + target_field +
+             ", " + via_field + ")";
+    case AccessPatternKind::kAssociationByEntity:
+    case AccessPatternKind::kEntityByAssociation: {
+      std::string out = "ACCESS " + target + " via " + via;
+      if (condition.has_value()) out += " (" + condition->ToString() + ")";
+      return out;
+    }
+    case AccessPatternKind::kSort:
+      return "SORT ON (" + Join(sort_fields, ", ") + ")";
+    case AccessPatternKind::kTerminal:
+      return TerminalOpName(terminal);
+  }
+  return "?";
+}
+
+std::string AccessSequence::ToString() const {
+  std::string out;
+  for (const AccessPattern& p : patterns) {
+    out += p.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> AccessSequence::AssociationsUsed() const {
+  std::vector<std::string> out;
+  for (const AccessPattern& p : patterns) {
+    if (p.kind == AccessPatternKind::kAssociationByEntity) {
+      out.push_back(p.target);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AccessSequence::EntitiesUsed() const {
+  std::vector<std::string> out;
+  auto add = [&out](const std::string& name) {
+    if (name.empty()) return;
+    for (const std::string& n : out) {
+      if (n == name) return;
+    }
+    out.push_back(name);
+  };
+  for (const AccessPattern& p : patterns) {
+    switch (p.kind) {
+      case AccessPatternKind::kDirect:
+        add(p.target);
+        break;
+      case AccessPatternKind::kValueJoin:
+        add(p.target);
+        add(p.via);
+        break;
+      case AccessPatternKind::kEntityByAssociation:
+        add(p.target);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<AccessSequence> DeriveAccessSequence(const Schema& schema,
+                                            const Retrieval& retrieval,
+                                            TerminalOp op) {
+  Retrieval resolved = retrieval;
+  DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &resolved.query));
+  AccessSequence seq;
+  std::string context;  // entity type produced by the previous pattern
+  if (!resolved.query.starts_at_system()) {
+    // A collection start stands for the entities already at hand; the first
+    // set step will reference them.
+    context = "";  // unknown statically; filled by the first record step
+  }
+  for (size_t i = 0; i < resolved.query.steps.size(); ++i) {
+    const PathStep& step = resolved.query.steps[i];
+    if (step.kind == PathStep::Kind::kJoin) {
+      AccessPattern join;
+      join.kind = AccessPatternKind::kValueJoin;
+      join.target = ToUpper(step.name);
+      join.via = context;
+      join.target_field = ToUpper(step.join_target_field);
+      join.via_field = ToUpper(step.join_source_field);
+      join.condition = step.qualification;
+      seq.patterns.push_back(std::move(join));
+      context = ToUpper(step.name);
+      continue;
+    }
+    if (step.kind == PathStep::Kind::kSet) {
+      const SetDef* set = schema.FindSet(step.name);
+      if (set->system_owned()) {
+        // The opening system-owned set is pure mechanics: the entities are
+        // selected directly. Represent as ACCESS member via member; any
+        // qualification comes from the following record step.
+        AccessPattern direct;
+        direct.kind = AccessPatternKind::kDirect;
+        direct.target = ToUpper(set->member);
+        // Absorb an immediately following record qualification.
+        if (i + 1 < resolved.query.steps.size() &&
+            resolved.query.steps[i + 1].kind == PathStep::Kind::kRecord) {
+          direct.condition = resolved.query.steps[i + 1].qualification;
+          ++i;
+        }
+        seq.patterns.push_back(std::move(direct));
+        context = ToUpper(set->member);
+        continue;
+      }
+      // ACCESS <set> via <owner>; then ACCESS <member> via <set>.
+      AccessPattern assoc;
+      assoc.kind = AccessPatternKind::kAssociationByEntity;
+      assoc.target = ToUpper(set->name);
+      assoc.via = context.empty() ? ToUpper(set->owner) : context;
+      seq.patterns.push_back(std::move(assoc));
+      AccessPattern entity;
+      entity.kind = AccessPatternKind::kEntityByAssociation;
+      entity.target = ToUpper(set->member);
+      entity.via = ToUpper(set->name);
+      if (i + 1 < resolved.query.steps.size() &&
+          resolved.query.steps[i + 1].kind == PathStep::Kind::kRecord) {
+        entity.condition = resolved.query.steps[i + 1].qualification;
+        ++i;
+      }
+      seq.patterns.push_back(std::move(entity));
+      context = ToUpper(set->member);
+      continue;
+    }
+    // A bare record step (start of a collection path, or mid-path filter).
+    AccessPattern direct;
+    direct.kind = AccessPatternKind::kDirect;
+    direct.target = ToUpper(step.name);
+    direct.condition = step.qualification;
+    seq.patterns.push_back(std::move(direct));
+    context = ToUpper(step.name);
+  }
+  if (!resolved.sort_on.empty()) {
+    AccessPattern sort;
+    sort.kind = AccessPatternKind::kSort;
+    sort.sort_fields = resolved.sort_on;
+    seq.patterns.push_back(std::move(sort));
+  }
+  AccessPattern terminal;
+  terminal.kind = AccessPatternKind::kTerminal;
+  terminal.terminal = op;
+  seq.patterns.push_back(std::move(terminal));
+  return seq;
+}
+
+namespace {
+
+Status CollectFromBlock(const Schema& schema, const std::vector<Stmt>& body,
+                        std::vector<AccessSequence>* out) {
+  for (const Stmt& stmt : body) {
+    switch (stmt.kind) {
+      case StmtKind::kForEach:
+      case StmtKind::kRetrieve: {
+        if (stmt.retrieval.has_value()) {
+          // The terminal op is MODIFY/DELETE when the loop body updates the
+          // cursor, RETRIEVE otherwise.
+          TerminalOp op = TerminalOp::kRetrieve;
+          for (const Stmt& inner : stmt.body) {
+            if (inner.kind == StmtKind::kModify && inner.cursor == stmt.cursor) {
+              op = TerminalOp::kModify;
+            }
+            if (inner.kind == StmtKind::kDelete && inner.cursor == stmt.cursor) {
+              op = TerminalOp::kDelete;
+            }
+          }
+          DBPC_ASSIGN_OR_RETURN(AccessSequence seq,
+                                DeriveAccessSequence(schema, *stmt.retrieval, op));
+          out->push_back(std::move(seq));
+        }
+        break;
+      }
+      case StmtKind::kStore: {
+        AccessSequence seq;
+        for (const Stmt::OwnerSelect& sel : stmt.owners) {
+          const SetDef* set = schema.FindSet(sel.set_name);
+          if (set == nullptr) {
+            return Status::NotFound("set " + sel.set_name);
+          }
+          AccessPattern owner;
+          owner.kind = AccessPatternKind::kDirect;
+          owner.target = ToUpper(set->owner);
+          owner.condition = sel.pred;
+          seq.patterns.push_back(std::move(owner));
+          AccessPattern assoc;
+          assoc.kind = AccessPatternKind::kAssociationByEntity;
+          assoc.target = ToUpper(set->name);
+          assoc.via = ToUpper(set->owner);
+          seq.patterns.push_back(std::move(assoc));
+        }
+        AccessPattern terminal;
+        terminal.kind = AccessPatternKind::kTerminal;
+        terminal.terminal = TerminalOp::kStore;
+        seq.patterns.push_back(std::move(terminal));
+        out->push_back(std::move(seq));
+        break;
+      }
+      default:
+        break;
+    }
+    DBPC_RETURN_IF_ERROR(CollectFromBlock(schema, stmt.body, out));
+    DBPC_RETURN_IF_ERROR(CollectFromBlock(schema, stmt.else_body, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<AccessSequence>> DeriveProgramSequences(
+    const Schema& schema, const Program& program) {
+  std::vector<AccessSequence> out;
+  // Top-level call visits nested blocks itself; avoid double recursion by
+  // only calling on the top-level body (CollectFromBlock recurses).
+  DBPC_RETURN_IF_ERROR(CollectFromBlock(schema, program.body, &out));
+  return out;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,92 @@
+#ifndef DBPC_IR_ACCESS_PATTERN_H_
+#define DBPC_IR_ACCESS_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/find_query.h"
+#include "lang/ast.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// Su's four basic access patterns (paper section 4.1), plus SORT and the
+/// terminal operations, expressed over entity types (record types) and
+/// association types (owner-coupled sets):
+///
+///   ACCESS A via A                 -- kDirect: select entities by condition
+///   ACCESS A via B through (Ai,Bj) -- kValueJoin: relate unassociated types
+///   ACCESS AB via B                -- kAssociationByEntity
+///   ACCESS A via AB                -- kEntityByAssociation
+///
+/// A sequence of these describes a program's data traversal independent of
+/// the schema's representation in any particular DBMS, which is what lets
+/// conversion happen "at a level of abstraction removed from an actual
+/// DBMS language".
+enum class AccessPatternKind {
+  kDirect,
+  kValueJoin,
+  kAssociationByEntity,
+  kEntityByAssociation,
+  kSort,
+  kTerminal,
+};
+
+/// Terminal operation of a sequence.
+enum class TerminalOp { kRetrieve, kStore, kModify, kDelete };
+
+const char* TerminalOpName(TerminalOp op);
+
+/// One element of an access sequence.
+struct AccessPattern {
+  AccessPatternKind kind = AccessPatternKind::kDirect;
+  /// What is being accessed (entity type or association/set name).
+  std::string target;
+  /// What it is accessed via (entity type, association, or self).
+  std::string via;
+  /// Value-join fields (kValueJoin only).
+  std::string target_field;
+  std::string via_field;
+  /// Data condition applied at this step.
+  std::optional<Predicate> condition;
+  /// Sort fields (kSort) / terminal op (kTerminal).
+  std::vector<std::string> sort_fields;
+  TerminalOp terminal = TerminalOp::kRetrieve;
+
+  bool operator==(const AccessPattern&) const = default;
+
+  /// Paper-style rendering, e.g. "ACCESS EMP via DIV-EMP".
+  std::string ToString() const;
+};
+
+/// An ordered access-pattern sequence (one database traversal).
+struct AccessSequence {
+  std::vector<AccessPattern> patterns;
+
+  bool operator==(const AccessSequence&) const = default;
+
+  std::string ToString() const;
+
+  /// Association (set) names traversed, in order.
+  std::vector<std::string> AssociationsUsed() const;
+  /// Entity (record) types touched, in order of first touch.
+  std::vector<std::string> EntitiesUsed() const;
+};
+
+/// Derives the access sequence of a retrieval (resolved or unresolved FIND;
+/// the query is resolved against `schema` internally) with terminal `op`.
+Result<AccessSequence> DeriveAccessSequence(const Schema& schema,
+                                            const Retrieval& retrieval,
+                                            TerminalOp op);
+
+/// Derives the access sequences of every database operation in a program
+/// whose DML is at the Maryland level (retrievals, stores, cursor updates).
+/// Navigational statements are not represented here — the analyzer lifts
+/// them first.
+Result<std::vector<AccessSequence>> DeriveProgramSequences(
+    const Schema& schema, const Program& program);
+
+}  // namespace dbpc
+
+#endif  // DBPC_IR_ACCESS_PATTERN_H_

@@ -1,0 +1,142 @@
+#include "ir/compile.h"
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+Result<Retrieval> CompileAccessSequence(const Schema& schema,
+                                        const AccessSequence& sequence) {
+  if (sequence.patterns.empty()) {
+    return Status::InvalidArgument("empty access sequence");
+  }
+  Retrieval out;
+  FindQuery& query = out.query;
+  query.start = "SYSTEM";
+  std::string context;  // current entity type
+  bool saw_terminal = false;
+
+  for (size_t i = 0; i < sequence.patterns.size(); ++i) {
+    const AccessPattern& p = sequence.patterns[i];
+    if (saw_terminal) {
+      return Status::InvalidArgument(
+          "access pattern after the terminal operation");
+    }
+    switch (p.kind) {
+      case AccessPatternKind::kDirect: {
+        const RecordTypeDef* rec = schema.FindRecordType(p.target);
+        if (rec == nullptr) {
+          return Status::NotFound("entity type " + p.target);
+        }
+        if (context.empty()) {
+          // Opening selection: reach the type through a system-owned set.
+          const SetDef* sys = nullptr;
+          for (const SetDef* s : schema.SetsWithMember(p.target)) {
+            if (s->system_owned()) sys = s;
+          }
+          if (sys == nullptr) {
+            return Status::Unsupported(
+                "entity type " + p.target +
+                " has no system-owned set to open the path with");
+          }
+          query.steps.push_back(
+              PathStep::Make(PathStep::Kind::kSet, ToUpper(sys->name)));
+          PathStep step;
+          step.kind = PathStep::Kind::kRecord;
+          step.name = ToUpper(p.target);
+          step.qualification = p.condition;
+          query.steps.push_back(std::move(step));
+        } else if (EqualsIgnoreCase(context, p.target)) {
+          // Additional selection on the current entities.
+          PathStep step;
+          step.kind = PathStep::Kind::kRecord;
+          step.name = ToUpper(p.target);
+          step.qualification = p.condition;
+          query.steps.push_back(std::move(step));
+        } else {
+          return Status::InvalidArgument(
+              "direct access to " + p.target + " does not follow from " +
+              context + " (expected an association or join)");
+        }
+        context = ToUpper(p.target);
+        break;
+      }
+      case AccessPatternKind::kAssociationByEntity: {
+        const SetDef* set = schema.FindSet(p.target);
+        if (set == nullptr) {
+          return Status::NotFound("association " + p.target);
+        }
+        if (!context.empty() && !EqualsIgnoreCase(set->owner, context)) {
+          return Status::InvalidArgument("association " + p.target +
+                                         " is not owned by " + context);
+        }
+        query.steps.push_back(
+            PathStep::Make(PathStep::Kind::kSet, ToUpper(set->name)));
+        // The entity step may be supplied by the following
+        // kEntityByAssociation pattern; otherwise synthesize it.
+        if (i + 1 < sequence.patterns.size() &&
+            sequence.patterns[i + 1].kind ==
+                AccessPatternKind::kEntityByAssociation &&
+            EqualsIgnoreCase(sequence.patterns[i + 1].via, set->name)) {
+          const AccessPattern& entity = sequence.patterns[i + 1];
+          if (!EqualsIgnoreCase(entity.target, set->member)) {
+            return Status::InvalidArgument("entity " + entity.target +
+                                           " is not the member of " +
+                                           set->name);
+          }
+          PathStep step;
+          step.kind = PathStep::Kind::kRecord;
+          step.name = ToUpper(set->member);
+          step.qualification = entity.condition;
+          query.steps.push_back(std::move(step));
+          ++i;
+        } else {
+          query.steps.push_back(
+              PathStep::Make(PathStep::Kind::kRecord, ToUpper(set->member)));
+        }
+        context = ToUpper(set->member);
+        break;
+      }
+      case AccessPatternKind::kEntityByAssociation:
+        return Status::InvalidArgument(
+            "ACCESS " + p.target + " via " + p.via +
+            " must follow the matching association access");
+      case AccessPatternKind::kValueJoin: {
+        if (context.empty()) {
+          return Status::InvalidArgument(
+              "value join cannot open an access sequence");
+        }
+        PathStep step;
+        step.kind = PathStep::Kind::kJoin;
+        step.name = ToUpper(p.target);
+        step.join_target_field = ToUpper(p.target_field);
+        step.join_source_field = ToUpper(p.via_field);
+        step.qualification = p.condition;
+        query.steps.push_back(std::move(step));
+        context = ToUpper(p.target);
+        break;
+      }
+      case AccessPatternKind::kSort:
+        out.sort_on = p.sort_fields;
+        break;
+      case AccessPatternKind::kTerminal:
+        if (p.terminal != TerminalOp::kRetrieve) {
+          return Status::Unsupported(
+              std::string("only RETRIEVE sequences compile to queries; got ") +
+              TerminalOpName(p.terminal));
+        }
+        saw_terminal = true;
+        break;
+    }
+  }
+  if (!saw_terminal) {
+    return Status::InvalidArgument("access sequence has no terminal");
+  }
+  if (context.empty()) {
+    return Status::InvalidArgument("access sequence touches no entities");
+  }
+  query.target_type = context;
+  DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &query));
+  return out;
+}
+
+}  // namespace dbpc

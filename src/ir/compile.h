@@ -1,0 +1,27 @@
+#ifndef DBPC_IR_COMPILE_H_
+#define DBPC_IR_COMPILE_H_
+
+#include "ir/access_pattern.h"
+
+namespace dbpc {
+
+/// Compiles an access-pattern sequence back into an executable retrieval —
+/// the Program Generator's direction in Figure 4.1 (abstract target program
+/// -> target program). Supported sequences are retrievals: any mix of
+///   ACCESS A via A (cond)                  — direct selection
+///   ACCESS AB via B / ACCESS A via AB      — association traversal pairs
+///   ACCESS A via B through (Ai, Bj) (cond) — value join
+///   SORT ON (...)
+/// ending in RETRIEVE. The compiled query is resolved against `schema`
+/// before being returned, so success guarantees executability.
+///
+/// Together with DeriveAccessSequence this closes the loop the paper's
+/// section 4.1 sketches: "since the conversion takes place at a level of
+/// abstraction that is removed from an actual DBMS language, conversion
+/// from one DBMS to another ... is possible."
+Result<Retrieval> CompileAccessSequence(const Schema& schema,
+                                        const AccessSequence& sequence);
+
+}  // namespace dbpc
+
+#endif  // DBPC_IR_COMPILE_H_

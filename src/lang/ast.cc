@@ -1,0 +1,239 @@
+#include "lang/ast.h"
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+std::string HostExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToLiteral();
+    case Kind::kVar:
+      return var;
+    case Kind::kBinary:
+      return "(" + children[0].ToString() + " " + std::string(1, op) + " " +
+             children[1].ToString() + ")";
+  }
+  return "?";
+}
+
+std::string HostCond::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      if (op == CompareOp::kIsNull || op == CompareOp::kIsNotNull) {
+        return operands[0].ToString() + " " + CompareOpSymbol(op);
+      }
+      return operands[0].ToString() + " " + CompareOpSymbol(op) + " " +
+             operands[1].ToString();
+    case Kind::kAnd:
+      return "(" + children[0].ToString() + " AND " + children[1].ToString() +
+             ")";
+    case Kind::kOr:
+      return "(" + children[0].ToString() + " OR " + children[1].ToString() +
+             ")";
+    case Kind::kNot:
+      return "(NOT " + children[0].ToString() + ")";
+  }
+  return "?";
+}
+
+std::string NavFind::ToString() const {
+  switch (mode) {
+    case Mode::kAny:
+    case Mode::kDuplicate: {
+      std::string out = mode == Mode::kAny ? "FIND ANY " : "FIND DUPLICATE ";
+      out += record_type;
+      if (pred.has_value()) out += " (" + pred->ToString() + ")";
+      return out;
+    }
+    case Mode::kFirst:
+    case Mode::kNext: {
+      std::string out = mode == Mode::kFirst ? "FIND FIRST " : "FIND NEXT ";
+      out += record_type + " WITHIN " + set_name;
+      if (pred.has_value()) out += " USING (" + pred->ToString() + ")";
+      return out;
+    }
+    case Mode::kOwner:
+      return "FIND OWNER WITHIN " + set_name;
+  }
+  return "?";
+}
+
+namespace {
+
+void Indent(std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+void AppendExprList(std::string* out, const std::vector<HostExpr>& exprs) {
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += exprs[i].ToString();
+  }
+}
+
+void AppendAssignments(
+    std::string* out,
+    const std::vector<std::pair<std::string, HostExpr>>& assignments) {
+  *out += "(";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += assignments[i].first + " = " + assignments[i].second.ToString();
+  }
+  *out += ")";
+}
+
+void AppendBlock(std::string* out, const std::vector<Stmt>& body, int indent) {
+  for (const Stmt& s : body) s.AppendSource(out, indent);
+}
+
+}  // namespace
+
+void Stmt::AppendSource(std::string* out, int indent) const {
+  Indent(out, indent);
+  switch (kind) {
+    case StmtKind::kLet:
+      *out += "LET " + target_var + " = " + exprs[0].ToString() + ".\n";
+      return;
+    case StmtKind::kDisplay:
+      *out += "DISPLAY ";
+      AppendExprList(out, exprs);
+      *out += ".\n";
+      return;
+    case StmtKind::kAccept:
+      *out += "ACCEPT " + target_var + ".\n";
+      return;
+    case StmtKind::kRead:
+      *out += "READ " + file + " INTO " + target_var + ".\n";
+      return;
+    case StmtKind::kWrite:
+      *out += "WRITE " + file + " FROM ";
+      AppendExprList(out, exprs);
+      *out += ".\n";
+      return;
+    case StmtKind::kIf:
+      *out += "IF " + cond->ToString() + " THEN\n";
+      AppendBlock(out, body, indent + 1);
+      if (!else_body.empty()) {
+        Indent(out, indent);
+        *out += "ELSE\n";
+        AppendBlock(out, else_body, indent + 1);
+      }
+      Indent(out, indent);
+      *out += "END-IF.\n";
+      return;
+    case StmtKind::kWhile:
+      *out += "WHILE " + cond->ToString() + " DO\n";
+      AppendBlock(out, body, indent + 1);
+      Indent(out, indent);
+      *out += "END-WHILE.\n";
+      return;
+    case StmtKind::kForEach:
+      *out += "FOR EACH " + cursor + " IN ";
+      if (retrieval.has_value()) {
+        *out += retrieval->ToString();
+      } else {
+        *out += "COLLECTION " + collection_var;
+      }
+      *out += " DO\n";
+      AppendBlock(out, body, indent + 1);
+      Indent(out, indent);
+      *out += "END-FOR.\n";
+      return;
+    case StmtKind::kRetrieve:
+      *out += "RETRIEVE " + target_var + " = " + retrieval->ToString() + ".\n";
+      return;
+    case StmtKind::kGetField:
+      *out += "GET " + field + " OF " + cursor + " INTO " + target_var + ".\n";
+      return;
+    case StmtKind::kStore: {
+      *out += "STORE " + record_type + " ";
+      AppendAssignments(out, assignments);
+      for (const OwnerSelect& o : owners) {
+        *out += " IN " + o.set_name + " WHERE (" + o.pred.ToString() + ")";
+      }
+      *out += ".\n";
+      return;
+    }
+    case StmtKind::kModify:
+      *out += "MODIFY " + cursor + " SET ";
+      AppendAssignments(out, assignments);
+      *out += ".\n";
+      return;
+    case StmtKind::kDelete:
+      *out += "DELETE " + cursor + ".\n";
+      return;
+    case StmtKind::kNavFind:
+      *out += nav_find->ToString() + ".\n";
+      return;
+    case StmtKind::kNavGet:
+      *out += "GET " + field + " INTO " + target_var + ".\n";
+      return;
+    case StmtKind::kNavStore:
+      *out += "STORE " + record_type + " ";
+      AppendAssignments(out, assignments);
+      *out += " USING CURRENCY.\n";
+      return;
+    case StmtKind::kNavModify:
+      *out += "MODIFY SET ";
+      AppendAssignments(out, assignments);
+      *out += ".\n";
+      return;
+    case StmtKind::kNavErase:
+      *out += "ERASE.\n";
+      return;
+    case StmtKind::kConnect:
+      *out += "CONNECT " + set_name + ".\n";
+      return;
+    case StmtKind::kDisconnect:
+      *out += "DISCONNECT " + set_name + ".\n";
+      return;
+    case StmtKind::kCallDml:
+      *out += "CALL DML(" + verb_var + ", " + record_type + ").\n";
+      return;
+    case StmtKind::kStop:
+      *out += "STOP.\n";
+      return;
+  }
+}
+
+std::string Program::ToSource() const {
+  std::string out = "PROGRAM " + name + ".\n";
+  AppendBlock(&out, body, 1);
+  out += "END PROGRAM.\n";
+  return out;
+}
+
+namespace {
+
+size_t CountStmts(const std::vector<Stmt>& body) {
+  size_t n = 0;
+  for (const Stmt& s : body) {
+    n += 1 + CountStmts(s.body) + CountStmts(s.else_body);
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t Program::StatementCount() const { return CountStmts(body); }
+
+void VisitStmts(const std::vector<Stmt>& body,
+                const std::function<void(const Stmt&)>& fn) {
+  for (const Stmt& s : body) {
+    fn(s);
+    VisitStmts(s.body, fn);
+    VisitStmts(s.else_body, fn);
+  }
+}
+
+void VisitStmtsMutable(std::vector<Stmt>* body,
+                       const std::function<void(Stmt*)>& fn) {
+  for (Stmt& s : *body) {
+    fn(&s);
+    VisitStmtsMutable(&s.body, fn);
+    VisitStmtsMutable(&s.else_body, fn);
+  }
+}
+
+}  // namespace dbpc

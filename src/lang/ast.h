@@ -1,0 +1,199 @@
+#ifndef DBPC_LANG_AST_H_
+#define DBPC_LANG_AST_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "engine/find_query.h"
+#include "engine/predicate.h"
+
+namespace dbpc {
+
+/// Arithmetic/string expression over host variables and literals.
+/// Operators: + - * / on numbers, & for string concatenation.
+struct HostExpr {
+  enum class Kind { kLiteral, kVar, kBinary };
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string var;
+  char op = 0;
+  /// Exactly two children for kBinary.
+  std::vector<HostExpr> children;
+
+  static HostExpr Lit(Value v) {
+    HostExpr e;
+    e.kind = Kind::kLiteral;
+    e.literal = std::move(v);
+    return e;
+  }
+  static HostExpr Var(std::string name) {
+    HostExpr e;
+    e.kind = Kind::kVar;
+    e.var = std::move(name);
+    return e;
+  }
+  static HostExpr Binary(char op, HostExpr lhs, HostExpr rhs) {
+    HostExpr e;
+    e.kind = Kind::kBinary;
+    e.op = op;
+    e.children.push_back(std::move(lhs));
+    e.children.push_back(std::move(rhs));
+    return e;
+  }
+
+  bool operator==(const HostExpr&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Boolean condition over host expressions (IF / WHILE guards).
+struct HostCond {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind = Kind::kCompare;
+  CompareOp op = CompareOp::kEq;
+  /// Exactly two operands for kCompare (one for IS NULL forms).
+  std::vector<HostExpr> operands;
+  /// Two children for kAnd/kOr, one for kNot.
+  std::vector<HostCond> children;
+
+  static HostCond Compare(HostExpr lhs, CompareOp op, HostExpr rhs) {
+    HostCond c;
+    c.kind = Kind::kCompare;
+    c.op = op;
+    c.operands.push_back(std::move(lhs));
+    c.operands.push_back(std::move(rhs));
+    return c;
+  }
+
+  bool operator==(const HostCond&) const = default;
+
+  std::string ToString() const;
+};
+
+/// A navigational (CODASYL-dialect) FIND statement.
+struct NavFind {
+  enum class Mode { kAny, kDuplicate, kFirst, kNext, kOwner };
+  Mode mode = Mode::kAny;
+  std::string record_type;  ///< empty for kOwner
+  std::string set_name;     ///< kFirst/kNext/kOwner
+  /// Qualification for kAny/kDuplicate; USING predicate for kFirst/kNext.
+  std::optional<Predicate> pred;
+
+  bool operator==(const NavFind&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Statement kinds of CPL, the framework's host language. The language
+/// deliberately contains two embedded DML levels:
+///  - the high-level Maryland DML (FOR EACH over FIND paths, qualified
+///    STORE/MODIFY/DELETE), and
+///  - the navigational CODASYL dialect (FIND FIRST/NEXT with currency,
+///    GET, navigational STORE/MODIFY/ERASE, CONNECT/DISCONNECT),
+/// because the paper's program analysis problem is precisely recognizing
+/// the second and lifting it to the level of the first.
+enum class StmtKind {
+  kLet,
+  kDisplay,
+  kAccept,
+  kRead,
+  kWrite,
+  kIf,
+  kWhile,
+  kForEach,
+  kRetrieve,
+  kGetField,   ///< GET <field> OF <cursor> INTO <var>
+  kStore,      ///< Maryland STORE with WHERE owner selection
+  kModify,     ///< MODIFY <cursor> SET (...)
+  kDelete,     ///< DELETE <cursor>
+  kNavFind,
+  kNavGet,     ///< GET <field> INTO <var> (current of run-unit)
+  kNavStore,   ///< STORE <type> (...) USING CURRENCY
+  kNavModify,  ///< MODIFY SET (...)
+  kNavErase,   ///< ERASE
+  kConnect,
+  kDisconnect,
+  kCallDml,  ///< CALL DML(<verb-var>, <type>) — run-time-variable DML verb
+  kStop,
+};
+
+/// One statement. A single struct with per-kind fields keeps program
+/// rewriting (the Program Converter's job) simple and uniform.
+struct Stmt {
+  StmtKind kind = StmtKind::kStop;
+
+  // kLet/kAccept/kRead/kGetField/kNavGet: assignment target.
+  std::string target_var;
+  // kRead/kWrite: non-database file name.
+  std::string file;
+  // kLet (single), kDisplay/kWrite (list).
+  std::vector<HostExpr> exprs;
+  // kIf/kWhile guard.
+  std::optional<HostCond> cond;
+  // kIf THEN / kWhile / kForEach body.
+  std::vector<Stmt> body;
+  // kIf ELSE body.
+  std::vector<Stmt> else_body;
+  // kForEach/kGetField/kModify/kDelete: cursor name.
+  std::string cursor;
+  // kForEach/kRetrieve: the retrieval; empty when iterating a collection.
+  std::optional<Retrieval> retrieval;
+  // kForEach over a previously retrieved collection variable.
+  std::string collection_var;
+  // kStore/kNavStore/kCallDml: record type.
+  std::string record_type;
+  // kStore/kNavStore/kModify/kNavModify: field assignments.
+  std::vector<std::pair<std::string, HostExpr>> assignments;
+
+  /// Owner selection of a Maryland STORE: connect into `set_name` choosing
+  /// the owner record satisfying `pred` (must identify exactly one).
+  struct OwnerSelect {
+    std::string set_name;
+    Predicate pred;
+    bool operator==(const OwnerSelect&) const = default;
+  };
+  std::vector<OwnerSelect> owners;
+
+  // kNavFind payload.
+  std::optional<NavFind> nav_find;
+  // kGetField/kNavGet: field name. kConnect/kDisconnect: unused.
+  std::string field;
+  // kConnect/kDisconnect: set name.
+  std::string set_name;
+  // kCallDml: host variable holding the DML verb at run time.
+  std::string verb_var;
+
+  bool operator==(const Stmt&) const = default;
+
+  /// Renders this statement (and nested blocks) as CPL source.
+  void AppendSource(std::string* out, int indent) const;
+};
+
+/// A complete CPL database program.
+struct Program {
+  std::string name;
+  std::vector<Stmt> body;
+
+  bool operator==(const Program&) const = default;
+
+  /// Canonical source text; `ParseProgram` round-trips it.
+  std::string ToSource() const;
+
+  /// Total statement count including nested blocks (program size metric
+  /// for the analyzer-throughput experiment).
+  size_t StatementCount() const;
+};
+
+/// Statement-tree traversal helpers (pre-order). The mutable visitor is the
+/// workhorse of the Program Converter.
+void VisitStmts(const std::vector<Stmt>& body,
+                const std::function<void(const Stmt&)>& fn);
+void VisitStmtsMutable(std::vector<Stmt>* body,
+                       const std::function<void(Stmt*)>& fn);
+
+}  // namespace dbpc
+
+#endif  // DBPC_LANG_AST_H_

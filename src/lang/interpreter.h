@@ -1,0 +1,89 @@
+#ifndef DBPC_LANG_INTERPRETER_H_
+#define DBPC_LANG_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codasyl/machine.h"
+#include "common/trace.h"
+#include "engine/database.h"
+#include "lang/ast.h"
+
+namespace dbpc {
+
+/// Interpreter limits.
+struct RunOptions {
+  /// Statement executions before the run aborts (runaway-loop guard for
+  /// generated corpus programs).
+  size_t max_steps = 2'000'000;
+};
+
+/// Outcome of one program run.
+struct RunResult {
+  /// The observable (non-database) behaviour — what "runs equivalently"
+  /// compares (paper section 1.1).
+  Trace trace;
+  /// Statements executed.
+  size_t steps = 0;
+  /// True when the program ended via STOP or by falling off the end (as
+  /// opposed to the step limit, which returns an error instead).
+  bool completed = false;
+};
+
+/// Executes CPL programs against a database. Each `Run` starts from fresh
+/// host state (variables, currency, file positions) but shares the
+/// database, so a sequence of runs models an application system's programs
+/// operating on one database.
+class Interpreter {
+ public:
+  /// `db` must outlive the interpreter. `script` supplies terminal input
+  /// and the contents of non-database input files.
+  Interpreter(Database* db, IoScript script, RunOptions options = {});
+
+  /// Runs the program to completion; the trace captures terminal and file
+  /// I/O. Database errors that a 1979 application would see as DB-STATUS
+  /// codes do not abort the run; genuine misuse (unknown names, type
+  /// errors) returns a non-OK status.
+  Result<RunResult> Run(const Program& program);
+
+  /// The DB-STATUS register visible to the last run's final statement
+  /// (exposed for tests).
+  const std::string& last_db_status() const { return status_; }
+
+ private:
+  Result<Value> EvalExpr(const HostExpr& expr) const;
+  Result<bool> EvalCond(const HostCond& cond) const;
+  Result<Value> LookupVar(const std::string& name) const;
+  HostEnv MakeHostEnv() const;
+  CollectionEnv MakeCollectionEnv() const;
+
+  Status ExecBlock(const std::vector<Stmt>& body);
+  Status ExecStmt(const Stmt& stmt);
+  Status ExecForEach(const Stmt& stmt);
+  Status ExecStore(const Stmt& stmt);
+  Status ExecCallDml(const Stmt& stmt);
+
+  Result<std::vector<RecordId>> EvalRetrieval(const Retrieval& retrieval);
+  Result<FieldMap> EvalAssignments(
+      const std::vector<std::pair<std::string, HostExpr>>& assignments) const;
+
+  Database* db_;
+  CodasylMachine machine_;
+  IoScript script_;
+  RunOptions options_;
+
+  Trace trace_;
+  std::map<std::string, Value> vars_;
+  std::map<std::string, std::vector<RecordId>> collections_;
+  std::map<std::string, RecordId> cursors_;
+  std::map<std::string, size_t> file_pos_;
+  size_t terminal_pos_ = 0;
+  size_t steps_ = 0;
+  bool stopped_ = false;
+  std::string status_ = "0000";
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_LANG_INTERPRETER_H_

@@ -1,0 +1,27 @@
+#ifndef DBPC_LANG_PARSER_H_
+#define DBPC_LANG_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace dbpc {
+
+/// Parses a CPL program:
+///
+///   PROGRAM <name>.
+///     <statement>*
+///   END PROGRAM.
+///
+/// Statements are '.'-terminated. The statement grammar is documented on
+/// `StmtKind`; `Program::ToSource()` produces text this parser accepts
+/// (round-trip property, tested).
+Result<Program> ParseProgram(const std::string& text);
+
+/// Parses a single statement (testing / template construction aid).
+Result<Stmt> ParseStatement(const std::string& text);
+
+}  // namespace dbpc
+
+#endif  // DBPC_LANG_PARSER_H_

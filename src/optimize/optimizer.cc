@@ -1,0 +1,194 @@
+#include "optimize/optimizer.h"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "common/string_util.h"
+#include "engine/find_query.h"
+#include "restructure/rewrite_util.h"
+
+namespace dbpc {
+
+namespace {
+
+/// Splits an AND-only predicate into conjuncts. Returns false on OR/NOT.
+bool Flatten(const Predicate& pred, std::vector<Predicate>* out) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kCompare:
+      out->push_back(pred);
+      return true;
+    case Predicate::Kind::kAnd:
+      return Flatten(*pred.lhs_child(), out) &&
+             Flatten(*pred.rhs_child(), out);
+    default:
+      return false;
+  }
+}
+
+std::optional<Predicate> Combine(std::vector<Predicate> conjuncts) {
+  if (conjuncts.empty()) return std::nullopt;
+  Predicate combined = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    combined = Predicate::And(std::move(combined), std::move(conjuncts[i]));
+  }
+  return combined;
+}
+
+/// One pushdown pass over a resolved query. Returns number of conjuncts
+/// moved.
+int PushdownPass(const Schema& schema, FindQuery* query) {
+  int moved = 0;
+  for (size_t i = 0; i < query->steps.size(); ++i) {
+    PathStep& step = query->steps[i];
+    if (step.kind != PathStep::Kind::kRecord ||
+        !step.qualification.has_value()) {
+      continue;
+    }
+    const RecordTypeDef* rec = schema.FindRecordType(step.name);
+    if (rec == nullptr) continue;
+    std::vector<Predicate> conjuncts;
+    if (!Flatten(*step.qualification, &conjuncts)) continue;
+    std::vector<Predicate> stay;
+    for (Predicate& c : conjuncts) {
+      const FieldDef* f = rec->FindField(c.field());
+      bool pushed = false;
+      if (f != nullptr && f->is_virtual) {
+        // Find the nearest preceding set step named f->via_set.
+        for (size_t j = i; j-- > 0;) {
+          if (query->steps[j].kind == PathStep::Kind::kSet &&
+              EqualsIgnoreCase(query->steps[j].name, f->via_set)) {
+            const SetDef* set = schema.FindSet(f->via_set);
+            Predicate climbed = c;
+            climbed.RenameField(c.field(), ToUpper(f->using_field));
+            // Attach to the owner record step just before the set step, or
+            // insert one.
+            if (j > 0 &&
+                query->steps[j - 1].kind == PathStep::Kind::kRecord &&
+                EqualsIgnoreCase(query->steps[j - 1].name, set->owner)) {
+              rewrite::AndOnto(&query->steps[j - 1].qualification,
+                               std::move(climbed));
+            } else {
+              PathStep owner_step;
+              owner_step.kind = PathStep::Kind::kRecord;
+              owner_step.name = ToUpper(set->owner);
+              owner_step.qualification = std::move(climbed);
+              query->steps.insert(
+                  query->steps.begin() + static_cast<ptrdiff_t>(j),
+                  std::move(owner_step));
+              ++i;  // our own step index shifted
+            }
+            pushed = true;
+            ++moved;
+            break;
+          }
+        }
+      }
+      if (!pushed) stay.push_back(std::move(c));
+    }
+    query->steps[i].qualification = Combine(std::move(stay));
+  }
+  return moved;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> NaturalOrderKeys(
+    const Schema& schema, const FindQuery& query) {
+  if (!query.starts_at_system()) return std::nullopt;
+  bool single = true;        // at most one record flows into the next step
+  bool single_at_last = true;
+  const SetDef* last_set = nullptr;
+  for (const PathStep& step : query.steps) {
+    if (step.kind == PathStep::Kind::kSet) {
+      const SetDef* set = schema.FindSet(step.name);
+      if (set == nullptr) return std::nullopt;
+      single_at_last = single;
+      last_set = set;
+      single = false;
+    } else {
+      if (!step.qualification.has_value()) continue;
+      if (SelectsAtMostOne(schema, step.name, *step.qualification)) {
+        single = true;
+        continue;
+      }
+      // Equality on the full sort key of the set just traversed selects at
+      // most one member per occurrence; with a single occurrence upstream
+      // that is at most one record overall.
+      if (single_at_last && last_set != nullptr &&
+          last_set->ordering == SetOrdering::kSortedByKeys) {
+        std::vector<Predicate> conjuncts;
+        if (Flatten(*step.qualification, &conjuncts)) {
+          bool covered = !last_set->keys.empty();
+          for (const std::string& key : last_set->keys) {
+            bool found = false;
+            for (const Predicate& c : conjuncts) {
+              if (c.op() == CompareOp::kEq &&
+                  EqualsIgnoreCase(c.field(), key)) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) covered = false;
+          }
+          if (covered) single = true;
+        }
+      }
+    }
+  }
+  if (last_set == nullptr || !single_at_last) return std::nullopt;
+  if (last_set->ordering != SetOrdering::kSortedByKeys) return std::nullopt;
+  std::vector<std::string> keys;
+  for (const std::string& k : last_set->keys) keys.push_back(ToUpper(k));
+  return keys;
+}
+
+namespace {
+
+bool IsPrefixOf(const std::vector<std::string>& prefix,
+                const std::vector<std::string>& full) {
+  if (prefix.size() > full.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (!EqualsIgnoreCase(prefix[i], full[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status OptimizeRetrieval(const Schema& schema, Retrieval* retrieval,
+                         OptimizerStats* stats) {
+  DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &retrieval->query));
+  // Predicate pushdown to a fixed point (chained virtuals climb one level
+  // per pass).
+  while (true) {
+    int moved = PushdownPass(schema, &retrieval->query);
+    if (moved == 0) break;
+    stats->predicates_pushed += moved;
+    DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &retrieval->query));
+  }
+  // Redundant SORT elimination: stable-sorting by a prefix of the natural
+  // order keys is the identity.
+  if (!retrieval->sort_on.empty()) {
+    std::optional<std::vector<std::string>> natural =
+        NaturalOrderKeys(schema, retrieval->query);
+    if (natural.has_value() && IsPrefixOf(retrieval->sort_on, *natural)) {
+      retrieval->sort_on.clear();
+      ++stats->sorts_removed;
+    }
+  }
+  return Status::OK();
+}
+
+Status OptimizeProgram(const Schema& schema, Program* program,
+                       OptimizerStats* stats) {
+  Status status = Status::OK();
+  rewrite::ForEachRetrievalMut(program, [&](Retrieval* r) {
+    Status s = OptimizeRetrieval(schema, r, stats);
+    if (!s.ok() && status.ok()) status = s;
+  });
+  return status;
+}
+
+}  // namespace dbpc

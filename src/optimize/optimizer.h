@@ -1,0 +1,53 @@
+#ifndef DBPC_OPTIMIZE_OPTIMIZER_H_
+#define DBPC_OPTIMIZE_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// What the optimizer did (benchmarked in the optimizer-effect experiment).
+struct OptimizerStats {
+  int predicates_pushed = 0;
+  int sorts_removed = 0;
+
+  bool Changed() const { return predicates_pushed > 0 || sorts_removed > 0; }
+};
+
+/// The Optimizer of Figure 4.1: refines the converted program representation,
+/// "improving access paths, algorithms, and data handling" (paper section
+/// 5.4). Two rewrites are implemented, both of which the Figure 4.2 -> 4.4
+/// conversion needs to produce the paper's hand-optimized target programs:
+///
+///  1. Predicate pushdown through VIRTUAL fields: a qualification on a
+///     member field that derives from a set owner moves onto the owner's
+///     path step (EMP(DEPT-NAME = 'SALES') becomes DEPT(DEPT-NAME =
+///     'SALES') in the paper's second converted FIND), repeated to a fixed
+///     point so chained virtuals climb multiple levels.
+///
+///  2. Redundant-SORT elimination: a SORT whose key list is already the
+///     natural order of the path (single traversed occurrence of a set
+///     sorted by the same keys) is dropped.
+///
+/// The program must already be valid against `schema`.
+Status OptimizeProgram(const Schema& schema, Program* program,
+                       OptimizerStats* stats);
+
+/// Optimizes a single retrieval (exposed for tests and benches).
+Status OptimizeRetrieval(const Schema& schema, Retrieval* retrieval,
+                         OptimizerStats* stats);
+
+/// The key list producing the natural global order of a SYSTEM-rooted
+/// query's result, or nullopt when the result order is occurrence-grouped
+/// or statically unknown. Exposed for the emulation baseline, which
+/// reconstructs source ordering on every call.
+std::optional<std::vector<std::string>> NaturalOrderKeys(
+    const Schema& schema, const FindQuery& query);
+
+}  // namespace dbpc
+
+#endif  // DBPC_OPTIMIZE_OPTIMIZER_H_

@@ -1,0 +1,80 @@
+#ifndef DBPC_RELATIONAL_RELATIONAL_H_
+#define DBPC_RELATIONAL_RELATIONAL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/predicate.h"
+
+namespace dbpc {
+
+struct SelectQuery;
+
+/// WHERE clause of the SEQUEL-flavoured subset: comparisons, AND/OR/NOT,
+/// and `field IN (SELECT ...)` sub-selects (the shape the paper's example
+/// (A) uses and the Program Generator emits).
+struct WhereExpr {
+  enum class Kind { kCompare, kAnd, kOr, kNot, kIn };
+  Kind kind = Kind::kCompare;
+  // kCompare / kIn subject field.
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+  // kAnd/kOr: two children; kNot: one.
+  std::vector<WhereExpr> children;
+  // kIn: uncorrelated sub-select projecting one column.
+  std::unique_ptr<SelectQuery> subquery;
+
+  WhereExpr() = default;
+  WhereExpr(WhereExpr&&) = default;
+  WhereExpr& operator=(WhereExpr&&) = default;
+
+  std::string ToString() const;
+};
+
+/// SELECT <cols|*> FROM <relation> [WHERE ...] [ORDER BY cols].
+struct SelectQuery {
+  /// Empty means SELECT *.
+  std::vector<std::string> projection;
+  std::string from;
+  std::optional<WhereExpr> where;
+  std::vector<std::string> order_by;
+
+  std::string ToString() const;
+};
+
+/// Parses the SEQUEL subset.
+Result<SelectQuery> ParseSelect(const std::string& text);
+
+/// A projected result row.
+using Row = std::vector<Value>;
+
+/// Evaluates a select against a database (relations = record types; the
+/// evaluator ignores sets entirely). Sub-selects evaluate eagerly
+/// (uncorrelated). Rows follow storage order, then ORDER BY.
+Result<std::vector<Row>> EvaluateSelect(const Database& db,
+                                        const SelectQuery& query,
+                                        const HostEnv& host_env);
+
+/// Record ids satisfying the query (ignores projection).
+Result<std::vector<RecordId>> EvaluateSelectIds(const Database& db,
+                                                const SelectQuery& query,
+                                                const HostEnv& host_env);
+
+/// Maps an owner-coupled-set schema to its relational representation:
+/// virtual fields become actual columns (they are the join columns the
+/// sets implemented), sets disappear, uniqueness and non-null constraints
+/// carry over, existence and cardinality constraints are dropped — they
+/// are not expressible in the 1979 relational model, the paper's section
+/// 3.1 point.
+Result<Schema> RelationalizeSchema(const Schema& network);
+
+/// Translates a network database instance into its relational form.
+Result<Database> RelationalizeData(const Database& network);
+
+}  // namespace dbpc
+
+#endif  // DBPC_RELATIONAL_RELATIONAL_H_

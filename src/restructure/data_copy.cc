@@ -1,0 +1,181 @@
+#include "restructure/data_copy.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+/// Record types of `schema` ordered so that set owners precede members.
+Result<std::vector<std::string>> TopoOrderTypes(const Schema& schema) {
+  std::vector<std::string> types;
+  std::map<std::string, int> indegree;
+  for (const RecordTypeDef& r : schema.record_types()) {
+    types.push_back(ToUpper(r.name));
+    indegree[ToUpper(r.name)] = 0;
+  }
+  std::multimap<std::string, std::string> edges;  // owner -> member
+  for (const SetDef& s : schema.sets()) {
+    if (s.system_owned()) continue;
+    std::string owner = ToUpper(s.owner);
+    std::string member = ToUpper(s.member);
+    if (owner == member) continue;  // self-sets: no ordering constraint
+    edges.emplace(owner, member);
+    ++indegree[member];
+  }
+  std::vector<std::string> order;
+  std::vector<std::string> ready;
+  for (const std::string& t : types) {
+    if (indegree[t] == 0) ready.push_back(t);
+  }
+  while (!ready.empty()) {
+    std::string t = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(t);
+    auto [lo, hi] = edges.equal_range(t);
+    for (auto it = lo; it != hi; ++it) {
+      if (--indegree[it->second] == 0) ready.push_back(it->second);
+    }
+  }
+  if (order.size() != types.size()) {
+    return Status::Unsupported("cyclic owner/member graph in schema " +
+                               schema.name());
+  }
+  return order;
+}
+
+/// Orders the records of `type` so that members of chronological target
+/// sets are visited in source occurrence order (target append order then
+/// reproduces it).
+std::vector<RecordId> OrderedRecordsOfType(const Database& source,
+                                           const std::string& type,
+                                           const CopySpec& spec,
+                                           const Schema& target_schema) {
+  // Find a source set with this member whose target counterpart is
+  // chronological; occurrence order must be preserved for it.
+  const SetDef* ordering_set = nullptr;
+  for (const SetDef* s : source.schema().SetsWithMember(type)) {
+    // Self-sets cannot drive the emission order: owners must still precede
+    // members, which the id order already guarantees for them.
+    if (EqualsIgnoreCase(s->owner, s->member)) continue;
+    std::optional<std::string> mapped =
+        spec.map_set ? spec.map_set(ToUpper(s->name))
+                     : std::optional<std::string>(ToUpper(s->name));
+    if (!mapped.has_value()) continue;
+    const SetDef* target_set = target_schema.FindSet(*mapped);
+    if (target_set != nullptr &&
+        target_set->ordering == SetOrdering::kChronological) {
+      ordering_set = s;
+      break;
+    }
+  }
+  std::vector<RecordId> all = source.AllOfType(type);
+  if (ordering_set == nullptr) return all;
+
+  std::vector<RecordId> ordered;
+  std::vector<RecordId> owners;
+  if (ordering_set->system_owned()) {
+    owners.push_back(kSystemOwner);
+  } else {
+    owners = source.AllOfType(ToUpper(ordering_set->owner));
+  }
+  std::map<RecordId, bool> seen;
+  for (RecordId owner : owners) {
+    for (RecordId m : source.Members(ToUpper(ordering_set->name), owner)) {
+      ordered.push_back(m);
+      seen[m] = true;
+    }
+  }
+  for (RecordId id : all) {
+    if (!seen.count(id)) ordered.push_back(id);
+  }
+  return ordered;
+}
+
+}  // namespace
+
+Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
+                                                  Database* target,
+                                                  const CopySpec& spec) {
+  std::map<RecordId, RecordId> id_map;
+  struct DeferredLink {
+    std::string target_set;
+    RecordId member;
+    RecordId owner;
+  };
+  std::vector<DeferredLink> deferred_links;
+  DBPC_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                        TopoOrderTypes(source.schema()));
+  for (const std::string& type : order) {
+    std::optional<std::string> target_type =
+        spec.map_type ? spec.map_type(type) : std::optional<std::string>(type);
+    if (!target_type.has_value()) continue;
+    for (RecordId id :
+         OrderedRecordsOfType(source, type, spec, target->schema())) {
+      const StoredRecord* rec = source.raw_store().Get(id);
+      StoreRequest request;
+      request.type = *target_type;
+      for (const auto& [field, value] : rec->fields) {
+        std::optional<std::string> target_field =
+            spec.map_field ? spec.map_field(type, field)
+                           : std::optional<std::string>(field);
+        if (!target_field.has_value()) continue;
+        request.fields[ToUpper(*target_field)] = value;
+      }
+      if (spec.extra_fields) {
+        DBPC_ASSIGN_OR_RETURN(FieldMap extra, spec.extra_fields(source, id, type));
+        for (auto& [field, value] : extra) {
+          request.fields[ToUpper(field)] = std::move(value);
+        }
+      }
+      for (const SetDef* set : source.schema().SetsWithMember(type)) {
+        if (set->system_owned()) continue;
+        RecordId owner = source.OwnerOf(ToUpper(set->name), id);
+        if (owner == 0) continue;
+        std::optional<std::string> target_set =
+            spec.map_set ? spec.map_set(ToUpper(set->name))
+                         : std::optional<std::string>(ToUpper(set->name));
+        if (!target_set.has_value()) continue;
+        if (EqualsIgnoreCase(set->owner, set->member)) {
+          // Self-set: the owner may not be copied yet; connect afterwards.
+          deferred_links.push_back({ToUpper(*target_set), id, owner});
+          continue;
+        }
+        auto mapped_owner = id_map.find(owner);
+        if (mapped_owner == id_map.end()) {
+          return Status::Internal("owner of record " + std::to_string(id) +
+                                  " in set " + set->name +
+                                  " was not copied first");
+        }
+        request.connect[ToUpper(*target_set)] = mapped_owner->second;
+      }
+      if (spec.extra_connects) {
+        DBPC_ASSIGN_OR_RETURN(
+            auto extra, spec.extra_connects(source, id, type, id_map, target));
+        for (const auto& [set, owner] : extra) {
+          request.connect[ToUpper(set)] = owner;
+        }
+      }
+      Result<RecordId> new_id = target->StoreRecord(request);
+      if (!new_id.ok()) {
+        return Status(new_id.status().code(),
+                      "translating record " + std::to_string(id) + " of " +
+                          type + ": " + new_id.status().message());
+      }
+      id_map[id] = *new_id;
+    }
+  }
+  // Self-set memberships connect once every record of the type exists.
+  for (const DeferredLink& link : deferred_links) {
+    auto member = id_map.find(link.member);
+    auto owner = id_map.find(link.owner);
+    if (member == id_map.end() || owner == id_map.end()) continue;
+    DBPC_RETURN_IF_ERROR(
+        target->Connect(link.target_set, member->second, owner->second));
+  }
+  return id_map;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,55 @@
+#ifndef DBPC_RESTRUCTURE_DATA_COPY_H_
+#define DBPC_RESTRUCTURE_DATA_COPY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "engine/database.h"
+
+namespace dbpc {
+
+/// Declarative description of how records flow from a source database into
+/// a target database under a restructuring. All hooks are optional;
+/// defaults copy names/values unchanged. The copier stores records in
+/// owner-before-member order and preserves member ordering for sets that
+/// are chronological in the target.
+struct CopySpec {
+  /// Target record type name for a source type; nullopt drops the type.
+  std::function<std::optional<std::string>(const std::string& type)> map_type;
+
+  /// Target field name for a source field; nullopt drops the field.
+  std::function<std::optional<std::string>(const std::string& type,
+                                           const std::string& field)>
+      map_field;
+
+  /// Target set name for a source set membership; nullopt drops it.
+  std::function<std::optional<std::string>(const std::string& set_name)>
+      map_set;
+
+  /// Additional target fields for a record (e.g. materialized virtuals).
+  std::function<Result<FieldMap>(const Database& source, RecordId id,
+                                 const std::string& type)>
+      extra_fields;
+
+  /// Additional target set connections. May create helper records in
+  /// `target` (the intermediate-record transformation does). `id_map` maps
+  /// already-copied source records to target ids.
+  std::function<Result<std::map<std::string, RecordId>>(
+      const Database& source, RecordId id, const std::string& type,
+      const std::map<RecordId, RecordId>& id_map, Database* target)>
+      extra_connects;
+};
+
+/// Copies every record and membership of `source` into `target` (an empty
+/// database over the restructured schema) according to `spec`. Constraint
+/// enforcement stays on, so a translation that would produce an invalid
+/// target database fails loudly. Returns the source->target id map.
+Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
+                                                  Database* target,
+                                                  const CopySpec& spec);
+
+}  // namespace dbpc
+
+#endif  // DBPC_RESTRUCTURE_DATA_COPY_H_

@@ -1,0 +1,341 @@
+#include "restructure/plan_parser.h"
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+Status ExpectClauseEnd(TokenCursor* cur) {
+  if (cur->ConsumePunct(".") || cur->ConsumePunct(";")) return Status::OK();
+  return cur->ErrorHere("expected '.' ending plan clause");
+}
+
+Result<std::vector<std::string>> ParseNameList(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+  std::vector<std::string> names;
+  do {
+    DBPC_ASSIGN_OR_RETURN(std::string name, cur->TakeIdentifier("field name"));
+    names.push_back(std::move(name));
+  } while (cur->ConsumePunct(","));
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+  return names;
+}
+
+Result<Value> ParseLiteral(TokenCursor* cur) {
+  const Token& t = cur->Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger:
+      cur->Next();
+      return Value::Int(t.int_value);
+    case TokenKind::kFloat:
+      cur->Next();
+      return Value::Double(t.float_value);
+    case TokenKind::kString:
+      cur->Next();
+      return Value::String(t.text);
+    case TokenKind::kIdentifier:
+      if (t.text == "NULL") {
+        cur->Next();
+        return Value::Null();
+      }
+      break;
+    default:
+      break;
+  }
+  return cur->ErrorHere("expected literal");
+}
+
+Result<TransformationPtr> ParseRename(TokenCursor* cur) {
+  if (cur->ConsumeIdent("RECORD")) {
+    DBPC_ASSIGN_OR_RETURN(std::string old_name,
+                          cur->TakeIdentifier("record name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("TO"));
+    DBPC_ASSIGN_OR_RETURN(std::string new_name,
+                          cur->TakeIdentifier("new record name"));
+    return MakeRenameRecord(std::move(old_name), std::move(new_name));
+  }
+  if (cur->ConsumeIdent("FIELD")) {
+    DBPC_ASSIGN_OR_RETURN(std::string field, cur->TakeIdentifier("field name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("OF"));
+    DBPC_ASSIGN_OR_RETURN(std::string record,
+                          cur->TakeIdentifier("record name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("TO"));
+    DBPC_ASSIGN_OR_RETURN(std::string new_name,
+                          cur->TakeIdentifier("new field name"));
+    return MakeRenameField(std::move(record), std::move(field),
+                           std::move(new_name));
+  }
+  if (cur->ConsumeIdent("SET")) {
+    DBPC_ASSIGN_OR_RETURN(std::string old_name, cur->TakeIdentifier("set name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("TO"));
+    DBPC_ASSIGN_OR_RETURN(std::string new_name,
+                          cur->TakeIdentifier("new set name"));
+    return MakeRenameSet(std::move(old_name), std::move(new_name));
+  }
+  return cur->ErrorHere("expected RECORD, FIELD or SET after RENAME");
+}
+
+Result<TransformationPtr> ParseAddField(TokenCursor* cur) {
+  FieldDef field;
+  DBPC_ASSIGN_OR_RETURN(field.name, cur->TakeIdentifier("field name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("TO"));
+  DBPC_ASSIGN_OR_RETURN(std::string record, cur->TakeIdentifier("record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("TYPE"));
+  if (cur->Peek().kind == TokenKind::kInteger && cur->Peek().int_value == 9) {
+    cur->Next();
+    field.type = FieldType::kInt;
+  } else {
+    DBPC_ASSIGN_OR_RETURN(std::string pic, cur->TakeIdentifier("PIC code"));
+    if (pic == "X") {
+      field.type = FieldType::kString;
+    } else if (pic == "F") {
+      field.type = FieldType::kDouble;
+    } else {
+      return cur->ErrorHere("unknown type code '" + pic + "'");
+    }
+  }
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+  DBPC_ASSIGN_OR_RETURN(int64_t width, cur->TakeInteger("type width"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+  field.pic_width = static_cast<int>(width);
+  if (cur->ConsumeIdent("DEFAULT")) {
+    DBPC_ASSIGN_OR_RETURN(field.default_value, ParseLiteral(cur));
+  }
+  return MakeAddField(std::move(record), std::move(field));
+}
+
+Result<TransformationPtr> ParseIntroduce(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("RECORD"));
+  IntroduceIntermediateParams p;
+  DBPC_ASSIGN_OR_RETURN(p.intermediate,
+                        cur->TakeIdentifier("intermediate record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BETWEEN"));
+  DBPC_ASSIGN_OR_RETURN(p.set_name, cur->TakeIdentifier("set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("GROUPING"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BY"));
+  DBPC_ASSIGN_OR_RETURN(p.group_field, cur->TakeIdentifier("group field"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("AS"));
+  DBPC_ASSIGN_OR_RETURN(p.upper_set, cur->TakeIdentifier("upper set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("AND"));
+  DBPC_ASSIGN_OR_RETURN(p.lower_set, cur->TakeIdentifier("lower set name"));
+  return MakeIntroduceIntermediate(std::move(p));
+}
+
+Result<TransformationPtr> ParseCollapse(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("RECORD"));
+  IntroduceIntermediateParams p;
+  DBPC_ASSIGN_OR_RETURN(p.intermediate,
+                        cur->TakeIdentifier("intermediate record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BETWEEN"));
+  DBPC_ASSIGN_OR_RETURN(p.upper_set, cur->TakeIdentifier("upper set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("AND"));
+  DBPC_ASSIGN_OR_RETURN(p.lower_set, cur->TakeIdentifier("lower set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("INTO"));
+  DBPC_ASSIGN_OR_RETURN(p.set_name, cur->TakeIdentifier("collapsed set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("GROUPING"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BY"));
+  DBPC_ASSIGN_OR_RETURN(p.group_field, cur->TakeIdentifier("group field"));
+  return MakeCollapseIntermediate(std::move(p));
+}
+
+Result<TransformationPtr> ParseOrderSet(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+  DBPC_ASSIGN_OR_RETURN(std::string set_name, cur->TakeIdentifier("set name"));
+  if (cur->ConsumeIdent("CHRONOLOGICALLY")) {
+    return MakeChangeSetOrder(std::move(set_name), {});
+  }
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BY"));
+  DBPC_ASSIGN_OR_RETURN(std::vector<std::string> keys, ParseNameList(cur));
+  return MakeChangeSetOrder(std::move(set_name), std::move(keys));
+}
+
+Result<TransformationPtr> ParseMakeSet(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+  DBPC_ASSIGN_OR_RETURN(std::string set_name, cur->TakeIdentifier("set name"));
+  InsertionClass insertion;
+  if (cur->ConsumeIdent("AUTOMATIC")) {
+    insertion = InsertionClass::kAutomatic;
+  } else if (cur->ConsumeIdent("MANUAL")) {
+    insertion = InsertionClass::kManual;
+  } else {
+    return cur->ErrorHere("expected AUTOMATIC or MANUAL");
+  }
+  RetentionClass retention;
+  if (cur->ConsumeIdent("MANDATORY")) {
+    retention = RetentionClass::kMandatory;
+  } else if (cur->ConsumeIdent("OPTIONAL")) {
+    retention = RetentionClass::kOptional;
+  } else {
+    return cur->ErrorHere("expected MANDATORY or OPTIONAL");
+  }
+  return MakeChangeMembershipClass(std::move(set_name), insertion, retention);
+}
+
+Result<TransformationPtr> ParseAddConstraint(TokenCursor* cur) {
+  ConstraintDef c;
+  DBPC_ASSIGN_OR_RETURN(c.name, cur->TakeIdentifier("constraint name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+  DBPC_ASSIGN_OR_RETURN(std::string kind,
+                        cur->TakeIdentifier("constraint kind"));
+  if (kind == "NON-NULL" || kind == "UNIQUE") {
+    c.kind = kind == "UNIQUE" ? ConstraintKind::kUniqueness
+                              : ConstraintKind::kNonNull;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_ASSIGN_OR_RETURN(c.record, cur->TakeIdentifier("record name"));
+    DBPC_ASSIGN_OR_RETURN(c.fields, ParseNameList(cur));
+  } else if (kind == "EXISTENCE") {
+    c.kind = ConstraintKind::kExistence;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+    DBPC_ASSIGN_OR_RETURN(c.set_name, cur->TakeIdentifier("set name"));
+  } else if (kind == "CARDINALITY") {
+    c.kind = ConstraintKind::kCardinalityLimit;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+    DBPC_ASSIGN_OR_RETURN(c.set_name, cur->TakeIdentifier("set name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("LIMIT"));
+    DBPC_ASSIGN_OR_RETURN(c.limit, cur->TakeInteger("limit"));
+    if (cur->ConsumeIdent("PER")) {
+      DBPC_ASSIGN_OR_RETURN(c.group_field, cur->TakeIdentifier("group field"));
+    }
+  } else {
+    return cur->ErrorHere("unknown constraint kind '" + kind + "'");
+  }
+  return MakeAddConstraint(std::move(c));
+}
+
+Result<TransformationPtr> ParseSplit(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("RECORD"));
+  SplitRecordParams p;
+  DBPC_ASSIGN_OR_RETURN(p.record, cur->TakeIdentifier("record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("MOVING"));
+  DBPC_ASSIGN_OR_RETURN(p.moved_fields, ParseNameList(cur));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("TO"));
+  DBPC_ASSIGN_OR_RETURN(p.detail, cur->TakeIdentifier("detail record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("LINKED"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BY"));
+  DBPC_ASSIGN_OR_RETURN(p.set_name, cur->TakeIdentifier("set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("USING"));
+  DBPC_ASSIGN_OR_RETURN(p.link_field, cur->TakeIdentifier("link field"));
+  return MakeSplitRecordVertical(std::move(p));
+}
+
+Result<TransformationPtr> ParseMerge(TokenCursor* cur) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("RECORD"));
+  SplitRecordParams p;
+  DBPC_ASSIGN_OR_RETURN(p.detail, cur->TakeIdentifier("detail record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("INTO"));
+  DBPC_ASSIGN_OR_RETURN(p.record, cur->TakeIdentifier("record name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("MOVING"));
+  DBPC_ASSIGN_OR_RETURN(p.moved_fields, ParseNameList(cur));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("LINKED"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("BY"));
+  DBPC_ASSIGN_OR_RETURN(p.set_name, cur->TakeIdentifier("set name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("USING"));
+  DBPC_ASSIGN_OR_RETURN(p.link_field, cur->TakeIdentifier("link field"));
+  return MakeMergeRecords(std::move(p));
+}
+
+Result<TransformationPtr> ParseClause(TokenCursor* cur) {
+  if (cur->ConsumeIdent("RENAME")) return ParseRename(cur);
+  if (cur->ConsumeIdent("ADD")) {
+    if (cur->ConsumeIdent("FIELD")) return ParseAddField(cur);
+    if (cur->ConsumeIdent("CONSTRAINT")) return ParseAddConstraint(cur);
+    return cur->ErrorHere("expected FIELD or CONSTRAINT after ADD");
+  }
+  if (cur->ConsumeIdent("REMOVE")) {
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("FIELD"));
+    DBPC_ASSIGN_OR_RETURN(std::string field, cur->TakeIdentifier("field name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("OF"));
+    DBPC_ASSIGN_OR_RETURN(std::string record,
+                          cur->TakeIdentifier("record name"));
+    return MakeRemoveField(std::move(record), std::move(field));
+  }
+  if (cur->ConsumeIdent("INTRODUCE")) return ParseIntroduce(cur);
+  if (cur->ConsumeIdent("COLLAPSE")) return ParseCollapse(cur);
+  if (cur->ConsumeIdent("ORDER")) return ParseOrderSet(cur);
+  if (cur->ConsumeIdent("MAKE")) return ParseMakeSet(cur);
+  if (cur->ConsumeIdent("DROP")) {
+    if (cur->ConsumeIdent("DEPENDENCY")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("OF"));
+      DBPC_ASSIGN_OR_RETURN(std::string set_name,
+                            cur->TakeIdentifier("set name"));
+      return MakeDropDependency(std::move(set_name));
+    }
+    if (cur->ConsumeIdent("CONSTRAINT")) {
+      DBPC_ASSIGN_OR_RETURN(std::string name,
+                            cur->TakeIdentifier("constraint name"));
+      return MakeDropConstraint(std::move(name));
+    }
+    return cur->ErrorHere("expected DEPENDENCY or CONSTRAINT after DROP");
+  }
+  if (cur->ConsumeIdent("MATERIALIZE")) {
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("FIELD"));
+    DBPC_ASSIGN_OR_RETURN(std::string field, cur->TakeIdentifier("field name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("OF"));
+    DBPC_ASSIGN_OR_RETURN(std::string record,
+                          cur->TakeIdentifier("record name"));
+    return MakeMaterializeVirtualField(std::move(record), std::move(field));
+  }
+  if (cur->ConsumeIdent("VIRTUALIZE")) {
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("FIELD"));
+    DBPC_ASSIGN_OR_RETURN(std::string field, cur->TakeIdentifier("field name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("OF"));
+    DBPC_ASSIGN_OR_RETURN(std::string record,
+                          cur->TakeIdentifier("record name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("VIA"));
+    DBPC_ASSIGN_OR_RETURN(std::string via, cur->TakeIdentifier("set name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("USING"));
+    DBPC_ASSIGN_OR_RETURN(std::string using_field,
+                          cur->TakeIdentifier("owner field"));
+    return MakeVirtualizeField(std::move(record), std::move(field),
+                               std::move(via), std::move(using_field));
+  }
+  if (cur->ConsumeIdent("SPLIT")) return ParseSplit(cur);
+  if (cur->ConsumeIdent("MERGE")) return ParseMerge(cur);
+  return cur->ErrorHere("unknown plan clause");
+}
+
+}  // namespace
+
+Result<RestructuringPlan> ParsePlan(const std::string& text) {
+  DBPC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  TokenCursor cur(std::move(tokens));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("RESTRUCTURE"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("PLAN"));
+  RestructuringPlan plan;
+  DBPC_ASSIGN_OR_RETURN(plan.name, cur.TakeIdentifier("plan name"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+  while (!cur.Peek().IsIdent("END")) {
+    if (cur.AtEnd()) return cur.ErrorHere("unterminated plan");
+    size_t clause_start = cur.Position();
+    DBPC_ASSIGN_OR_RETURN(TransformationPtr step, ParseClause(&cur));
+    plan.clauses.push_back(cur.TextBetween(clause_start, cur.Position()));
+    DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+    plan.steps.push_back(std::move(step));
+  }
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("END"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("PLAN"));
+  (void)(cur.ConsumePunct(".") || cur.ConsumePunct(";"));
+  if (!cur.AtEnd()) return cur.ErrorHere("trailing input after END PLAN");
+  return plan;
+}
+
+std::string PlanToSource(const RestructuringPlan& plan) {
+  std::string out = "RESTRUCTURE PLAN " + plan.name + ".\n";
+  if (plan.clauses.size() == plan.steps.size()) {
+    for (const std::string& clause : plan.clauses) {
+      out += "  " + clause + ".\n";
+    }
+  } else {
+    for (const TransformationPtr& step : plan.steps) {
+      out += "  -- " + step->Describe() + "\n";
+    }
+  }
+  out += "END PLAN.\n";
+  return out;
+}
+
+}  // namespace dbpc

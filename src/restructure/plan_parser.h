@@ -1,0 +1,68 @@
+#ifndef DBPC_RESTRUCTURE_PLAN_PARSER_H_
+#define DBPC_RESTRUCTURE_PLAN_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "restructure/transformation.h"
+
+namespace dbpc {
+
+/// A parsed restructuring definition: the framework's second input
+/// ("Given also ... a definition of a restructuring to some new (logical)
+/// form", paper section 1.1), as an explicit artifact rather than API
+/// calls. Owns its transformations.
+struct RestructuringPlan {
+  std::string name;
+  std::vector<TransformationPtr> steps;
+  /// Source clause per step, captured by the parser (used by
+  /// PlanToSource). Empty for plans assembled through the API.
+  std::vector<std::string> clauses;
+
+  /// Borrowed view in plan order (for ProgramConverter / supervisors).
+  std::vector<const Transformation*> View() const {
+    std::vector<const Transformation*> out;
+    out.reserve(steps.size());
+    for (const TransformationPtr& t : steps) out.push_back(t.get());
+    return out;
+  }
+};
+
+/// Parses the plan language. Clauses end with '.'; identifiers follow the
+/// DDL rules. Grammar:
+///
+///   RESTRUCTURE PLAN <name>.
+///     RENAME RECORD <old> TO <new>.
+///     RENAME FIELD <field> OF <record> TO <new>.
+///     RENAME SET <old> TO <new>.
+///     ADD FIELD <field> TO <record> TYPE X(<n>)|9(<n>)|F(<n>)
+///         [DEFAULT <literal>].
+///     REMOVE FIELD <field> OF <record>.
+///     INTRODUCE RECORD <inter> BETWEEN <set> GROUPING BY <field>
+///         AS <upper-set> AND <lower-set>.
+///     COLLAPSE RECORD <inter> BETWEEN <upper-set> AND <lower-set>
+///         INTO <set> GROUPING BY <field>.
+///     ORDER SET <set> BY (<field> {, <field>}).
+///     ORDER SET <set> CHRONOLOGICALLY.
+///     MAKE SET <set> AUTOMATIC|MANUAL MANDATORY|OPTIONAL.
+///     DROP DEPENDENCY OF <set>.
+///     ADD CONSTRAINT <name> IS <constraint-body-as-in-DDL>.
+///     DROP CONSTRAINT <name>.
+///     MATERIALIZE FIELD <field> OF <record>.
+///     VIRTUALIZE FIELD <field> OF <record> VIA <set> USING <field>.
+///     SPLIT RECORD <record> MOVING (<field> {, <field>}) TO <detail>
+///         LINKED BY <set> USING <link-field>.
+///     MERGE RECORD <detail> INTO <record> MOVING (<field> {, <field>})
+///         LINKED BY <set> USING <link-field>.
+///   END PLAN.
+Result<RestructuringPlan> ParsePlan(const std::string& text);
+
+/// Renders a plan back to its source form (round-trips through ParsePlan
+/// when the plan was parsed; API-assembled plans render their steps'
+/// Describe() text as comments instead).
+std::string PlanToSource(const RestructuringPlan& plan);
+
+}  // namespace dbpc
+
+#endif  // DBPC_RESTRUCTURE_PLAN_PARSER_H_

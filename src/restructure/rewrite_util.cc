@@ -1,0 +1,140 @@
+#include "restructure/rewrite_util.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace dbpc::rewrite {
+
+namespace {
+
+void WalkTypedImpl(
+    std::vector<Stmt>* body, std::map<std::string, std::string> cursor_type,
+    std::map<std::string, std::string>* collection_type,
+    const std::function<void(Stmt*, const std::map<std::string, std::string>&)>&
+        fn) {
+  for (Stmt& s : *body) {
+    if (s.kind == StmtKind::kRetrieve && s.retrieval.has_value()) {
+      (*collection_type)[s.target_var] =
+          ToUpper(s.retrieval->query.target_type);
+    }
+    std::map<std::string, std::string> inner = cursor_type;
+    if (s.kind == StmtKind::kForEach) {
+      std::string type;
+      if (s.retrieval.has_value()) {
+        type = ToUpper(s.retrieval->query.target_type);
+      } else {
+        auto it = collection_type->find(s.collection_var);
+        if (it != collection_type->end()) type = it->second;
+      }
+      if (!type.empty()) inner[s.cursor] = type;
+    }
+    fn(&s, inner);
+    WalkTypedImpl(&s.body, inner, collection_type, fn);
+    WalkTypedImpl(&s.else_body, inner, collection_type, fn);
+  }
+}
+
+}  // namespace
+
+void WalkTyped(
+    Program* program,
+    const std::function<void(Stmt*, const std::map<std::string, std::string>&)>&
+        fn) {
+  std::map<std::string, std::string> collections;
+  WalkTypedImpl(&program->body, {}, &collections, fn);
+}
+
+void ForEachRetrievalMut(Program* program,
+                         const std::function<void(Retrieval*)>& fn) {
+  VisitStmtsMutable(&program->body, [&fn](Stmt* s) {
+    if ((s->kind == StmtKind::kForEach || s->kind == StmtKind::kRetrieve) &&
+        s->retrieval.has_value()) {
+      fn(&s->retrieval.value());
+    }
+  });
+}
+
+int SpliceSetStep(FindQuery* query, const std::string& set_name,
+                  const std::vector<PathStep>& replacement) {
+  int count = 0;
+  std::vector<PathStep> steps;
+  for (PathStep& step : query->steps) {
+    if (!step.qualification.has_value() &&
+        EqualsIgnoreCase(step.name, set_name)) {
+      steps.insert(steps.end(), replacement.begin(), replacement.end());
+      ++count;
+    } else {
+      steps.push_back(std::move(step));
+    }
+  }
+  query->steps = std::move(steps);
+  return count;
+}
+
+bool PathUsesSet(const FindQuery& query, const std::string& set_name) {
+  for (const PathStep& step : query.steps) {
+    if (EqualsIgnoreCase(step.name, set_name) &&
+        !step.qualification.has_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  for (const std::string& n : names) {
+    if (EqualsIgnoreCase(n, name)) return true;
+  }
+  return false;
+}
+
+std::optional<Operand> ExtractEqualityConjunct(std::optional<Predicate>* pred,
+                                               const std::string& field) {
+  if (!pred->has_value()) return std::nullopt;
+  std::vector<Predicate> conjuncts;
+  std::function<bool(const Predicate&)> flatten =
+      [&](const Predicate& p) -> bool {
+    switch (p.kind()) {
+      case Predicate::Kind::kCompare:
+        conjuncts.push_back(p);
+        return true;
+      case Predicate::Kind::kAnd:
+        return flatten(*p.lhs_child()) && flatten(*p.rhs_child());
+      default:
+        return false;
+    }
+  };
+  if (!flatten(pred->value())) return std::nullopt;
+  std::optional<Operand> found;
+  std::vector<Predicate> rest;
+  for (Predicate& c : conjuncts) {
+    if (!found.has_value() && c.op() == CompareOp::kEq &&
+        EqualsIgnoreCase(c.field(), field)) {
+      found = c.operand();
+    } else {
+      rest.push_back(std::move(c));
+    }
+  }
+  if (!found.has_value()) return std::nullopt;
+  if (rest.empty()) {
+    pred->reset();
+  } else {
+    Predicate combined = rest[0];
+    for (size_t i = 1; i < rest.size(); ++i) {
+      combined = Predicate::And(std::move(combined), rest[i]);
+    }
+    *pred = std::move(combined);
+  }
+  return found;
+}
+
+void AndOnto(std::optional<Predicate>* pred, Predicate extra) {
+  if (pred->has_value()) {
+    *pred = Predicate::And(std::move(pred->value()), std::move(extra));
+  } else {
+    *pred = std::move(extra);
+  }
+}
+
+}  // namespace dbpc::rewrite

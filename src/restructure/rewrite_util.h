@@ -1,0 +1,49 @@
+#ifndef DBPC_RESTRUCTURE_REWRITE_UTIL_H_
+#define DBPC_RESTRUCTURE_REWRITE_UTIL_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace dbpc::rewrite {
+
+/// Pre-order statement walk over a program maintaining cursor -> record
+/// type bindings (from FOR EACH statements and RETRIEVE collections); the
+/// map passed to `fn` types the cursors in scope at that statement.
+void WalkTyped(
+    Program* program,
+    const std::function<void(Stmt*, const std::map<std::string, std::string>&)>&
+        fn);
+
+/// Applies `fn` to every retrieval (FOR EACH / RETRIEVE) in the program.
+void ForEachRetrievalMut(Program* program,
+                         const std::function<void(Retrieval*)>& fn);
+
+/// Replaces every unqualified path step named `set_name` with `replacement`.
+/// Returns the number of replacements.
+int SpliceSetStep(FindQuery* query, const std::string& set_name,
+                  const std::vector<PathStep>& replacement);
+
+/// True when the path contains an unqualified step named `set_name`.
+bool PathUsesSet(const FindQuery& query, const std::string& set_name);
+
+/// Case-insensitive membership test.
+bool Contains(const std::vector<std::string>& names, const std::string& name);
+
+/// Removes one `field = <operand>` conjunct from an AND-only predicate and
+/// returns its operand; `pred` may become nullopt. Returns nullopt (and
+/// leaves `pred` unchanged) when the predicate contains OR/NOT or no such
+/// conjunct.
+std::optional<Operand> ExtractEqualityConjunct(std::optional<Predicate>* pred,
+                                               const std::string& field);
+
+/// AND-combines `extra` onto an optional predicate.
+void AndOnto(std::optional<Predicate>* pred, Predicate extra);
+
+}  // namespace dbpc::rewrite
+
+#endif  // DBPC_RESTRUCTURE_REWRITE_UTIL_H_

@@ -1,0 +1,543 @@
+#include "restructure/transformation.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/string_util.h"
+#include "restructure/data_copy.h"
+#include "restructure/rewrite_util.h"
+
+namespace dbpc {
+
+namespace {
+
+// --- rename record -----------------------------------------------------------
+
+class RenameRecord final : public Transformation {
+ public:
+  RenameRecord(std::string old_name, std::string new_name)
+      : old_(ToUpper(old_name)), new_(ToUpper(new_name)) {}
+
+  std::string Name() const override { return "rename-record"; }
+  std::string Describe() const override {
+    return "rename record type " + old_ + " to " + new_;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(old_);
+    if (rec == nullptr) return Status::NotFound("record type " + old_);
+    if (out.FindRecordType(new_) != nullptr || out.FindSet(new_) != nullptr) {
+      return Status::AlreadyExists("name " + new_);
+    }
+    rec->name = new_;
+    for (SetDef& s : out.mutable_sets()) {
+      if (EqualsIgnoreCase(s.owner, old_)) s.owner = new_;
+      if (EqualsIgnoreCase(s.member, old_)) s.member = new_;
+    }
+    for (ConstraintDef& c :
+         out.mutable_constraints()) {
+      if (EqualsIgnoreCase(c.record, old_)) c.record = new_;
+    }
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.map_type = [this](const std::string& type) {
+      return std::optional<std::string>(EqualsIgnoreCase(type, old_) ? new_
+                                                                     : type);
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeRenameRecord(new_, old_);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes*) const override {
+    rewrite::ForEachRetrievalMut(program, [this](Retrieval* r) {
+      if (EqualsIgnoreCase(r->query.target_type, old_)) {
+        r->query.target_type = new_;
+      }
+      for (PathStep& step : r->query.steps) {
+        if (EqualsIgnoreCase(step.name, old_)) step.name = new_;
+      }
+    });
+    VisitStmtsMutable(&program->body, [this](Stmt* s) {
+      if (EqualsIgnoreCase(s->record_type, old_)) s->record_type = new_;
+      if (s->nav_find.has_value() &&
+          EqualsIgnoreCase(s->nav_find->record_type, old_)) {
+        s->nav_find->record_type = new_;
+      }
+    });
+    return Status::OK();
+  }
+
+ private:
+  std::string old_;
+  std::string new_;
+};
+
+// --- rename field ------------------------------------------------------------
+
+class RenameField final : public Transformation {
+ public:
+  RenameField(std::string record, std::string old_name, std::string new_name)
+      : record_(ToUpper(record)),
+        old_(ToUpper(old_name)),
+        new_(ToUpper(new_name)) {}
+
+  std::string Name() const override { return "rename-field"; }
+  std::string Describe() const override {
+    return "rename field " + record_ + "." + old_ + " to " + new_;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(record_);
+    if (rec == nullptr) return Status::NotFound("record type " + record_);
+    FieldDef* field = nullptr;
+    for (FieldDef& f : rec->fields) {
+      if (EqualsIgnoreCase(f.name, old_)) field = &f;
+      if (EqualsIgnoreCase(f.name, new_)) {
+        return Status::AlreadyExists("field " + record_ + "." + new_);
+      }
+    }
+    if (field == nullptr) {
+      return Status::NotFound("field " + record_ + "." + old_);
+    }
+    field->name = new_;
+    // References from set keys of sets whose member is this record.
+    for (SetDef& s : out.mutable_sets()) {
+      if (EqualsIgnoreCase(s.member, record_)) {
+        for (std::string& key : s.keys) {
+          if (EqualsIgnoreCase(key, old_)) key = new_;
+        }
+      }
+    }
+    // References from virtual fields deriving through a set owned by this
+    // record type.
+    for (RecordTypeDef& r :
+         out.mutable_record_types()) {
+      for (FieldDef& f : r.fields) {
+        if (!f.is_virtual) continue;
+        const SetDef* via = out.FindSet(f.via_set);
+        if (via != nullptr && EqualsIgnoreCase(via->owner, record_) &&
+            EqualsIgnoreCase(f.using_field, old_)) {
+          f.using_field = new_;
+        }
+      }
+    }
+    // Constraint field references.
+    for (ConstraintDef& c :
+         out.mutable_constraints()) {
+      if (EqualsIgnoreCase(c.record, record_)) {
+        for (std::string& f : c.fields) {
+          if (EqualsIgnoreCase(f, old_)) f = new_;
+        }
+      }
+      const SetDef* set = out.FindSet(c.set_name);
+      if (set != nullptr && EqualsIgnoreCase(set->member, record_) &&
+          EqualsIgnoreCase(c.group_field, old_)) {
+        c.group_field = new_;
+      }
+    }
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.map_field = [this](const std::string& type, const std::string& field)
+        -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, record_) && EqualsIgnoreCase(field, old_)) {
+        return new_;
+      }
+      return field;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeRenameField(record_, new_, old_);
+  }
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes*) const override {
+    // Retrieval paths: qualifications on steps of this record type and SORT
+    // fields of retrievals targeting it.
+    rewrite::ForEachRetrievalMut(program, [this](Retrieval* r) {
+      for (PathStep& step : r->query.steps) {
+        if (EqualsIgnoreCase(step.name, record_) &&
+            step.qualification.has_value()) {
+          step.qualification->RenameField(old_, new_);
+        }
+      }
+      if (EqualsIgnoreCase(r->query.target_type, record_)) {
+        for (std::string& f : r->sort_on) {
+          if (EqualsIgnoreCase(f, old_)) f = new_;
+        }
+      }
+    });
+    // Owner selections of stores into sets owned by this record type.
+    const Schema& schema = source;
+    VisitStmtsMutable(&program->body, [this, &schema](Stmt* s) {
+      if (s->kind == StmtKind::kStore) {
+        if (EqualsIgnoreCase(s->record_type, record_)) {
+          for (auto& [field, expr] : s->assignments) {
+            if (EqualsIgnoreCase(field, old_)) field = new_;
+          }
+        }
+        for (Stmt::OwnerSelect& sel : s->owners) {
+          const SetDef* set = schema.FindSet(sel.set_name);
+          if (set != nullptr && EqualsIgnoreCase(set->owner, record_)) {
+            sel.pred.RenameField(old_, new_);
+          }
+        }
+      }
+      if (s->nav_find.has_value() && s->nav_find->pred.has_value() &&
+          EqualsIgnoreCase(s->nav_find->record_type, record_)) {
+        s->nav_find->pred->RenameField(old_, new_);
+      }
+    });
+    // GET / MODIFY statements typed through their cursors.
+    rewrite::WalkTyped(program, [this](Stmt* s,
+                              const std::map<std::string, std::string>& types) {
+      auto cursor_is_record = [&](const std::string& cursor) {
+        auto it = types.find(cursor);
+        return it != types.end() && EqualsIgnoreCase(it->second, record_);
+      };
+      if (s->kind == StmtKind::kGetField && cursor_is_record(s->cursor) &&
+          EqualsIgnoreCase(s->field, old_)) {
+        s->field = new_;
+      }
+      if (s->kind == StmtKind::kModify && cursor_is_record(s->cursor)) {
+        for (auto& [field, expr] : s->assignments) {
+          if (EqualsIgnoreCase(field, old_)) field = new_;
+        }
+      }
+    });
+    return Status::OK();
+  }
+
+ private:
+  std::string record_;
+  std::string old_;
+  std::string new_;
+};
+
+// --- rename set --------------------------------------------------------------
+
+class RenameSet final : public Transformation {
+ public:
+  RenameSet(std::string old_name, std::string new_name)
+      : old_(ToUpper(old_name)), new_(ToUpper(new_name)) {}
+
+  std::string Name() const override { return "rename-set"; }
+  std::string Describe() const override {
+    return "rename set " + old_ + " to " + new_;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    SetDef* set = out.FindSet(old_);
+    if (set == nullptr) return Status::NotFound("set " + old_);
+    if (out.FindSet(new_) != nullptr || out.FindRecordType(new_) != nullptr) {
+      return Status::AlreadyExists("name " + new_);
+    }
+    set->name = new_;
+    for (RecordTypeDef& r :
+         out.mutable_record_types()) {
+      for (FieldDef& f : r.fields) {
+        if (f.is_virtual && EqualsIgnoreCase(f.via_set, old_)) {
+          f.via_set = new_;
+        }
+      }
+    }
+    for (ConstraintDef& c :
+         out.mutable_constraints()) {
+      if (EqualsIgnoreCase(c.set_name, old_)) c.set_name = new_;
+    }
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.map_set = [this](const std::string& set) {
+      return std::optional<std::string>(EqualsIgnoreCase(set, old_) ? new_
+                                                                    : set);
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeRenameSet(new_, old_);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes*) const override {
+    rewrite::ForEachRetrievalMut(program, [this](Retrieval* r) {
+      for (PathStep& step : r->query.steps) {
+        if (EqualsIgnoreCase(step.name, old_)) step.name = new_;
+      }
+    });
+    VisitStmtsMutable(&program->body, [this](Stmt* s) {
+      if (EqualsIgnoreCase(s->set_name, old_)) s->set_name = new_;
+      for (Stmt::OwnerSelect& sel : s->owners) {
+        if (EqualsIgnoreCase(sel.set_name, old_)) sel.set_name = new_;
+      }
+      if (s->nav_find.has_value() &&
+          EqualsIgnoreCase(s->nav_find->set_name, old_)) {
+        s->nav_find->set_name = new_;
+      }
+    });
+    return Status::OK();
+  }
+
+ private:
+  std::string old_;
+  std::string new_;
+};
+
+// --- add / remove field --------------------------------------------------------
+
+class AddField final : public Transformation {
+ public:
+  AddField(std::string record, FieldDef field)
+      : record_(ToUpper(record)), field_(std::move(field)) {
+    field_.name = ToUpper(field_.name);
+  }
+
+  std::string Name() const override { return "add-field"; }
+  std::string Describe() const override {
+    return "add field " + record_ + "." + field_.name + " default " +
+           field_.default_value.ToLiteral();
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(record_);
+    if (rec == nullptr) return Status::NotFound("record type " + record_);
+    if (rec->HasField(field_.name)) {
+      return Status::AlreadyExists("field " + record_ + "." + field_.name);
+    }
+    rec->fields.push_back(field_);
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.extra_fields = [this](const Database&, RecordId,
+                               const std::string& type) -> Result<FieldMap> {
+      FieldMap out;
+      if (EqualsIgnoreCase(type, record_) && !field_.is_virtual) {
+        out[field_.name] = field_.default_value;
+      }
+      return out;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeRemoveField(record_, field_.name);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program*,
+                        RewriteNotes*) const override {
+    return Status::OK();  // old programs cannot reference the new field
+  }
+
+ private:
+  std::string record_;
+  FieldDef field_;
+};
+
+class RemoveField final : public Transformation {
+ public:
+  RemoveField(std::string record, std::string field)
+      : record_(ToUpper(record)), field_(ToUpper(field)) {}
+
+  std::string Name() const override { return "remove-field"; }
+  std::string Describe() const override {
+    return "remove field " + record_ + "." + field_;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(record_);
+    if (rec == nullptr) return Status::NotFound("record type " + record_);
+    size_t before = rec->fields.size();
+    std::erase_if(rec->fields, [this](const FieldDef& f) {
+      return EqualsIgnoreCase(f.name, field_);
+    });
+    if (rec->fields.size() == before) {
+      return Status::NotFound("field " + record_ + "." + field_);
+    }
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.map_field = [this](const std::string& type, const std::string& field)
+        -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, record_) && EqualsIgnoreCase(field, field_)) {
+        return std::nullopt;
+      }
+      return field;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  // Information-losing: the dropped values cannot be reconstructed.
+  bool HasInverse() const override { return false; }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    bool referenced = false;
+    rewrite::ForEachRetrievalMut(program, [this, &referenced](Retrieval* r) {
+      for (PathStep& step : r->query.steps) {
+        if (EqualsIgnoreCase(step.name, record_) &&
+            step.qualification.has_value()) {
+          std::vector<std::string> fields;
+          step.qualification->CollectFields(&fields);
+          if (rewrite::Contains(fields, field_)) referenced = true;
+        }
+      }
+      if (EqualsIgnoreCase(r->query.target_type, record_) &&
+          rewrite::Contains(r->sort_on, field_)) {
+        referenced = true;
+      }
+    });
+    rewrite::WalkTyped(program, [this, &referenced](
+                           Stmt* s,
+                           const std::map<std::string, std::string>& types) {
+      auto cursor_is_record = [&](const std::string& cursor) {
+        auto it = types.find(cursor);
+        return it != types.end() && EqualsIgnoreCase(it->second, record_);
+      };
+      if (s->kind == StmtKind::kGetField && cursor_is_record(s->cursor) &&
+          EqualsIgnoreCase(s->field, field_)) {
+        referenced = true;
+      }
+      if ((s->kind == StmtKind::kModify && cursor_is_record(s->cursor)) ||
+          (s->kind == StmtKind::kStore &&
+           EqualsIgnoreCase(s->record_type, record_))) {
+        for (const auto& [field, expr] : s->assignments) {
+          if (EqualsIgnoreCase(field, field_)) referenced = true;
+        }
+      }
+    });
+    if (referenced) {
+      notes->push_back("program reads or writes removed field " + record_ +
+                       "." + field_ + "; behaviour cannot be preserved");
+      return Status::NeedsAnalyst("removed field " + record_ + "." + field_ +
+                                  " is referenced by the program");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string record_;
+  std::string field_;
+};
+
+}  // namespace
+
+TransformationPtr MakeRenameRecord(std::string old_name, std::string new_name) {
+  return std::make_unique<RenameRecord>(std::move(old_name),
+                                        std::move(new_name));
+}
+
+TransformationPtr MakeRenameField(std::string record, std::string old_name,
+                                  std::string new_name) {
+  return std::make_unique<RenameField>(std::move(record), std::move(old_name),
+                                       std::move(new_name));
+}
+
+TransformationPtr MakeRenameSet(std::string old_name, std::string new_name) {
+  return std::make_unique<RenameSet>(std::move(old_name), std::move(new_name));
+}
+
+TransformationPtr MakeAddField(std::string record, FieldDef field) {
+  return std::make_unique<AddField>(std::move(record), std::move(field));
+}
+
+TransformationPtr MakeRemoveField(std::string record, std::string field) {
+  return std::make_unique<RemoveField>(std::move(record), std::move(field));
+}
+
+Result<Schema> ApplyPlanToSchema(
+    const Schema& source, const std::vector<const Transformation*>& plan) {
+  Schema current = source;
+  for (const Transformation* t : plan) {
+    DBPC_ASSIGN_OR_RETURN(current, t->ApplyToSchema(current));
+  }
+  return current;
+}
+
+Result<std::vector<TransformationPtr>> InversePlan(
+    const Schema& source, const std::vector<const Transformation*>& plan) {
+  // Chain the intermediate schemas so each step inverts against the schema
+  // it was applied to.
+  std::vector<Schema> schemas;
+  schemas.push_back(source);
+  for (const Transformation* t : plan) {
+    DBPC_ASSIGN_OR_RETURN(Schema next, t->ApplyToSchema(schemas.back()));
+    schemas.push_back(std::move(next));
+  }
+  std::vector<TransformationPtr> inverses;
+  for (size_t i = plan.size(); i-- > 0;) {
+    const Transformation* t = plan[i];
+    if (!t->HasInverse()) {
+      return Status::Unsupported("transformation '" + t->Name() + "' (" +
+                                 t->Describe() + ") loses information");
+    }
+    TransformationPtr inverse = t->InverseGiven(schemas[i]);
+    if (inverse == nullptr) {
+      return Status::Internal("transformation '" + t->Name() +
+                              "' reports an inverse but cannot build it");
+    }
+    inverses.push_back(std::move(inverse));
+  }
+  return inverses;
+}
+
+Result<Database> TranslateDatabase(
+    const Database& source, const std::vector<const Transformation*>& plan) {
+  if (plan.empty()) {
+    DBPC_ASSIGN_OR_RETURN(Database copy, Database::Create(source.schema()));
+    CopySpec identity;
+    DBPC_RETURN_IF_ERROR(CopyDatabase(source, &copy, identity).status());
+    return copy;
+  }
+  // Chain through intermediate databases.
+  const Database* current = &source;
+  std::optional<Database> holder;
+  for (const Transformation* t : plan) {
+    DBPC_ASSIGN_OR_RETURN(Schema next_schema,
+                          t->ApplyToSchema(current->schema()));
+    DBPC_ASSIGN_OR_RETURN(Database next, Database::Create(next_schema));
+    DBPC_RETURN_IF_ERROR(t->TranslateData(*current, &next));
+    holder = std::move(next);
+    current = &holder.value();
+  }
+  return std::move(holder).value();
+}
+
+}  // namespace dbpc

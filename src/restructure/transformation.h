@@ -1,0 +1,173 @@
+#ifndef DBPC_RESTRUCTURE_TRANSFORMATION_H_
+#define DBPC_RESTRUCTURE_TRANSFORMATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "lang/ast.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// Free-text note produced during program rewriting for the Conversion
+/// Analyst (the interactive element of the Figure 4.1 framework).
+using RewriteNotes = std::vector<std::string>;
+
+/// One schema restructuring. A transformation knows how to
+///  (1) rewrite the schema,
+///  (2) translate a database instance to the new schema, and
+///  (3) rewrite a (lifted, Maryland-level) program so it "runs
+///      equivalently" against the restructured database,
+/// and reports whether a lossless inverse exists (Housel's condition for
+/// his substitution-based conversion method, paper section 2.2).
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+
+  /// Stable identifier, e.g. "rename-field".
+  virtual std::string Name() const = 0;
+
+  /// Human-readable parameterized description.
+  virtual std::string Describe() const = 0;
+
+  /// Produces the restructured schema. The result is validated.
+  virtual Result<Schema> ApplyToSchema(const Schema& source) const = 0;
+
+  /// Translates every record and set membership of `source` into `target`,
+  /// which must be an empty database over ApplyToSchema(source.schema()).
+  virtual Status TranslateData(const Database& source,
+                               Database* target) const = 0;
+
+  /// True when the source database can be reconstructed from the target
+  /// (no information loss).
+  virtual bool HasInverse() const { return false; }
+
+  /// The inverse transformation when HasInverse(); nullptr otherwise.
+  virtual std::unique_ptr<Transformation> Inverse() const { return nullptr; }
+
+  /// Like Inverse(), but with the source schema available for
+  /// transformations whose inverse parameters live there (set-order
+  /// changes revert to the source ordering; materialized virtual fields
+  /// re-derive through their original set). Defaults to Inverse().
+  virtual std::unique_ptr<Transformation> InverseGiven(
+      const Schema& source) const {
+    (void)source;
+    return Inverse();
+  }
+
+  /// Rewrites `program` (already lifted to the Maryland level, with
+  /// `order_dependent_sets` from the analyzer) so its behaviour against the
+  /// target database matches its old behaviour against the source.
+  /// Appends analyst-facing notes for decisions worth reviewing.
+  virtual Status RewriteProgram(const Schema& source, const Schema& target,
+                                const std::vector<std::string>& order_dependent_sets,
+                                Program* program,
+                                RewriteNotes* notes) const = 0;
+};
+
+using TransformationPtr = std::unique_ptr<Transformation>;
+
+// --- catalog ---------------------------------------------------------------
+
+/// Renames a record type everywhere (schema, data, program paths).
+TransformationPtr MakeRenameRecord(std::string old_name, std::string new_name);
+
+/// Renames a field of one record type.
+TransformationPtr MakeRenameField(std::string record, std::string old_name,
+                                  std::string new_name);
+
+/// Renames a set type.
+TransformationPtr MakeRenameSet(std::string old_name, std::string new_name);
+
+/// Adds an actual field with a default value (applied to existing records).
+TransformationPtr MakeAddField(std::string record, FieldDef field);
+
+/// Removes a field. Information-losing: HasInverse() is false and programs
+/// referencing the field make the rewrite fail with kNotConvertible.
+TransformationPtr MakeRemoveField(std::string record, std::string field);
+
+/// The Figure 4.2 -> 4.4 restructuring: splits set `set_name` (O -> M) into
+/// O -> I (set `upper_set`) and I -> M (set `lower_set`) where the new
+/// record type `intermediate` has one actual field `group_field` absorbed
+/// from M (distinct values per owner become I records). M keeps
+/// `group_field` as a VIRTUAL field, so reads are unchanged.
+struct IntroduceIntermediateParams {
+  std::string set_name;       ///< existing O -> M set to split
+  std::string intermediate;   ///< new record type name (e.g. DEPT)
+  std::string upper_set;      ///< new O -> I set (e.g. DIV-DEPT)
+  std::string lower_set;      ///< new I -> M set (e.g. DEPT-EMP)
+  std::string group_field;    ///< field of M to hoist (e.g. DEPT-NAME)
+};
+TransformationPtr MakeIntroduceIntermediate(IntroduceIntermediateParams p);
+
+/// Inverse of the above: collapses O -> I -> M back to O -> M, turning the
+/// intermediate's identity field back into an actual field of M.
+TransformationPtr MakeCollapseIntermediate(IntroduceIntermediateParams p);
+
+/// Changes a set's member ordering (sort keys or chronological). Programs
+/// whose output order depended on the old ordering get a compensating SORT.
+TransformationPtr MakeChangeSetOrder(std::string set_name,
+                                     std::vector<std::string> new_keys);
+
+/// Changes insertion/retention class of a set.
+TransformationPtr MakeChangeMembershipClass(std::string set_name,
+                                            InsertionClass insertion,
+                                            RetentionClass retention);
+
+/// Removes the characterizing (owner-dependency) property of a set. Erases
+/// of the owner no longer cascade, so converted programs that DELETE owners
+/// get explicit member-deletion loops inserted (Su's example, section 4.1).
+TransformationPtr MakeDropDependency(std::string set_name);
+
+/// Adds / removes an explicit integrity constraint. Data is checked against
+/// a new constraint during translation.
+TransformationPtr MakeAddConstraint(ConstraintDef constraint);
+TransformationPtr MakeDropConstraint(std::string constraint_name);
+
+/// Turns a VIRTUAL field into an actual stored field (copying current
+/// derived values) and vice versa.
+TransformationPtr MakeMaterializeVirtualField(std::string record,
+                                              std::string field);
+TransformationPtr MakeVirtualizeField(std::string record, std::string field,
+                                      std::string via_set,
+                                      std::string using_field);
+
+/// Vertical record split: moves `moved_fields` of `record` out into a new
+/// record type `detail` that privately owns the original through the new
+/// 1:1 set `set_name` (detail -> record). The moved fields stay readable on
+/// `record` as VIRTUAL fields; `link_field` (a uniquely-identifying stored
+/// field of `record`, e.g. its key) is copied onto the detail so programs
+/// can address it. STOREs of `record` are rewritten to create the detail
+/// first; MODIFYs of moved fields need an analyst (they would have to write
+/// through the 1:1 set).
+struct SplitRecordParams {
+  std::string record;      ///< record type to split (e.g. EMP)
+  std::string detail;      ///< new record type holding the moved fields
+  std::string set_name;    ///< new 1:1 set, owner = detail, member = record
+  std::string link_field;  ///< identifying stored field of `record`
+  std::vector<std::string> moved_fields;
+};
+TransformationPtr MakeSplitRecordVertical(SplitRecordParams p);
+
+/// Inverse of the vertical split: folds the detail's fields back into the
+/// member record as stored data and drops the detail type and the 1:1 set.
+TransformationPtr MakeMergeRecords(SplitRecordParams p);
+
+/// Applies a plan of transformations in order: schemas chain, data chains
+/// through intermediate databases, program rewrites chain.
+Result<Schema> ApplyPlanToSchema(const Schema& source,
+                                 const std::vector<const Transformation*>& plan);
+Result<Database> TranslateDatabase(const Database& source,
+                                   const std::vector<const Transformation*>& plan);
+
+/// Builds the inverse plan (target -> source direction, reverse order),
+/// resolving schema-dependent inverses against the chained intermediate
+/// schemas. Fails when any step reports no inverse (information loss).
+Result<std::vector<TransformationPtr>> InversePlan(
+    const Schema& source, const std::vector<const Transformation*>& plan);
+
+}  // namespace dbpc
+
+#endif  // DBPC_RESTRUCTURE_TRANSFORMATION_H_

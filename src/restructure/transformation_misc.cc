@@ -1,0 +1,582 @@
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "restructure/data_copy.h"
+#include "restructure/rewrite_util.h"
+#include "restructure/transformation.h"
+
+namespace dbpc {
+
+namespace {
+
+using rewrite::Contains;
+using rewrite::ForEachRetrievalMut;
+using rewrite::PathUsesSet;
+using rewrite::WalkTyped;
+
+// --- change set order ---------------------------------------------------------
+
+class ChangeSetOrder final : public Transformation {
+ public:
+  ChangeSetOrder(std::string set_name, std::vector<std::string> new_keys)
+      : set_name_(ToUpper(set_name)) {
+    for (std::string& k : new_keys) new_keys_.push_back(ToUpper(k));
+  }
+
+  std::string Name() const override { return "change-set-order"; }
+  std::string Describe() const override {
+    return "order set " + set_name_ +
+           (new_keys_.empty() ? " chronologically"
+                              : " by (" + Join(new_keys_, ", ") + ")");
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    SetDef* set = out.FindSet(set_name_);
+    if (set == nullptr) return Status::NotFound("set " + set_name_);
+    set->keys = new_keys_;
+    set->ordering = new_keys_.empty() ? SetOrdering::kChronological
+                                      : SetOrdering::kSortedByKeys;
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    // Identity copy; the target's sorted insertion re-orders occurrences.
+    CopySpec spec;
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr InverseGiven(const Schema& source) const override {
+    const SetDef* set = source.FindSet(set_name_);
+    if (set == nullptr) return nullptr;
+    return MakeChangeSetOrder(set_name_,
+                              set->ordering == SetOrdering::kSortedByKeys
+                                  ? set->keys
+                                  : std::vector<std::string>{});
+  }
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>& order_dependent_sets,
+                        Program* program, RewriteNotes* notes) const override {
+    const SetDef* old_set = source.FindSet(set_name_);
+    if (old_set == nullptr) return Status::NotFound("set " + set_name_);
+    if (!Contains(order_dependent_sets, set_name_)) return Status::OK();
+    if (old_set->ordering == SetOrdering::kChronological) {
+      notes->push_back("output depended on chronological order of " +
+                       set_name_ +
+                       ", which the restructured database does not retain");
+      return Status::NeedsAnalyst("old chronological order of " + set_name_ +
+                                  " cannot be reconstructed");
+    }
+    std::vector<std::string> old_keys = old_set->keys;
+    std::string member = ToUpper(old_set->member);
+    ForEachRetrievalMut(program, [&, this](Retrieval* r) {
+      if (!PathUsesSet(r->query, set_name_)) return;
+      if (!r->sort_on.empty()) return;  // explicit order already
+      if (!EqualsIgnoreCase(r->query.target_type, member)) return;
+      r->sort_on = old_keys;
+      notes->push_back("inserted SORT ON (" + Join(old_keys, ", ") +
+                       ") to preserve the old " + set_name_ + " ordering");
+    });
+    return Status::OK();
+  }
+
+ private:
+  std::string set_name_;
+  std::vector<std::string> new_keys_;
+};
+
+// --- change membership class ---------------------------------------------------
+
+class ChangeMembershipClass final : public Transformation {
+ public:
+  ChangeMembershipClass(std::string set_name, InsertionClass insertion,
+                        RetentionClass retention)
+      : set_name_(ToUpper(set_name)),
+        insertion_(insertion),
+        retention_(retention) {}
+
+  std::string Name() const override { return "change-membership-class"; }
+  std::string Describe() const override {
+    return std::string("make set ") + set_name_ + " " +
+           InsertionClassName(insertion_) + "/" + RetentionClassName(retention_);
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    SetDef* set = out.FindSet(set_name_);
+    if (set == nullptr) return Status::NotFound("set " + set_name_);
+    set->insertion = insertion_;
+    set->retention = retention_;
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    // Identity copy. A MANUAL->AUTOMATIC tightening fails loudly for any
+    // source member that is unconnected — correct: the instance does not
+    // satisfy the target schema.
+    CopySpec spec;
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr InverseGiven(const Schema& source) const override {
+    const SetDef* set = source.FindSet(set_name_);
+    if (set == nullptr) return nullptr;
+    return MakeChangeMembershipClass(set_name_, set->insertion,
+                                     set->retention);
+  }
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    const SetDef* old_set = source.FindSet(set_name_);
+    if (old_set == nullptr) return Status::NotFound("set " + set_name_);
+    std::string member = ToUpper(old_set->member);
+    bool tightened_insertion =
+        old_set->insertion == InsertionClass::kManual &&
+        insertion_ == InsertionClass::kAutomatic;
+    bool tightened_retention =
+        old_set->retention == RetentionClass::kOptional &&
+        retention_ == RetentionClass::kMandatory;
+    bool needs_analyst = false;
+    VisitStmts(program->body, [&](const Stmt& s) {
+      if (tightened_insertion && s.kind == StmtKind::kStore &&
+          EqualsIgnoreCase(s.record_type, member)) {
+        bool connects = std::any_of(
+            s.owners.begin(), s.owners.end(), [this](const auto& o) {
+              return EqualsIgnoreCase(o.set_name, set_name_);
+            });
+        if (!connects) {
+          notes->push_back("STORE " + member + " supplies no owner for now-"
+                           "AUTOMATIC set " + set_name_ +
+                           "; an owner selection must be added by hand");
+          needs_analyst = true;
+        }
+      }
+      if (tightened_retention && s.kind == StmtKind::kDisconnect &&
+          EqualsIgnoreCase(s.set_name, set_name_)) {
+        notes->push_back("DISCONNECT from now-MANDATORY set " + set_name_ +
+                         " will fail at run time");
+        needs_analyst = true;
+      }
+    });
+    if (needs_analyst) {
+      return Status::NeedsAnalyst("membership tightening on " + set_name_ +
+                                  " invalidates program statements");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string set_name_;
+  InsertionClass insertion_;
+  RetentionClass retention_;
+};
+
+// --- dependency (characterizing member) changes --------------------------------
+
+class SetDependency final : public Transformation {
+ public:
+  SetDependency(std::string set_name, bool characterizing)
+      : set_name_(ToUpper(set_name)), characterizing_(characterizing) {}
+
+  std::string Name() const override {
+    return characterizing_ ? "add-dependency" : "drop-dependency";
+  }
+  std::string Describe() const override {
+    return characterizing_
+               ? "make " + set_name_ + " members characterize their owner"
+               : "drop owner-dependency of " + set_name_ + " members";
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    SetDef* set = out.FindSet(set_name_);
+    if (set == nullptr) return Status::NotFound("set " + set_name_);
+    set->member_characterizes_owner = characterizing_;
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return std::make_unique<SetDependency>(set_name_, !characterizing_);
+  }
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    if (characterizing_) return Status::OK();  // erases only get stronger
+    // Su's rule (section 4.1): the old program relied on "delete owner
+    // implies delete members". The system no longer enforces it, so the
+    // converter inserts explicit member-deletion loops before owner DELETEs.
+    const SetDef* set = source.FindSet(set_name_);
+    if (set == nullptr) return Status::NotFound("set " + set_name_);
+    std::string owner = ToUpper(set->owner);
+    std::string member = ToUpper(set->member);
+    int counter = 0;
+    // Collect cursors typed as the owner, then patch blocks.
+    std::map<std::string, std::string> cursor_types;  // cursor -> type
+    WalkTyped(program,
+              [&](Stmt* s, const std::map<std::string, std::string>& types) {
+                if (s->kind == StmtKind::kDelete) {
+                  auto it = types.find(s->cursor);
+                  if (it != types.end()) cursor_types[s->cursor] = it->second;
+                }
+              });
+    std::function<void(std::vector<Stmt>*)> patch =
+        [&](std::vector<Stmt>* body) {
+          for (size_t i = 0; i < body->size(); ++i) {
+            Stmt& s = (*body)[i];
+            patch(&s.body);
+            patch(&s.else_body);
+            if (s.kind != StmtKind::kDelete) continue;
+            auto it = cursor_types.find(s.cursor);
+            if (it == cursor_types.end() ||
+                !EqualsIgnoreCase(it->second, owner)) {
+              continue;
+            }
+            // FOR EACH tmp IN FIND(member: <owner-cursor>, set, member) DO
+            //   DELETE tmp. END-FOR.
+            Stmt loop;
+            loop.kind = StmtKind::kForEach;
+            loop.cursor = "DEP-" + std::to_string(++counter);
+            Retrieval r;
+            r.query.target_type = member;
+            r.query.start = s.cursor;
+            r.query.steps.push_back(
+                PathStep::Make(PathStep::Kind::kUnresolved, set_name_));
+            r.query.steps.push_back(
+                PathStep::Make(PathStep::Kind::kUnresolved, member));
+            loop.retrieval = std::move(r);
+            Stmt del;
+            del.kind = StmtKind::kDelete;
+            del.cursor = loop.cursor;
+            loop.body.push_back(std::move(del));
+            body->insert(body->begin() + static_cast<ptrdiff_t>(i),
+                         std::move(loop));
+            ++i;  // skip the owner DELETE we just guarded
+            notes->push_back(
+                "inserted explicit deletion of " + member + " members of " +
+                set_name_ + " before DELETE of their owner (dependency was "
+                "dropped from the schema)");
+          }
+        };
+    patch(&program->body);
+    return Status::OK();
+  }
+
+ private:
+  std::string set_name_;
+  bool characterizing_;
+};
+
+// --- constraints ----------------------------------------------------------------
+
+class AddConstraintT final : public Transformation {
+ public:
+  explicit AddConstraintT(ConstraintDef constraint)
+      : constraint_(std::move(constraint)) {}
+
+  std::string Name() const override { return "add-constraint"; }
+  std::string Describe() const override {
+    return "add " + constraint_.ToString();
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    DBPC_RETURN_IF_ERROR(out.AddConstraint(constraint_));
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    // Identity copy with the new constraint enforced: data that violates it
+    // fails translation, exactly the "information not preserved" case the
+    // paper calls a different, harder problem.
+    CopySpec spec;
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeDropConstraint(constraint_.name);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    // Updates may newly fail with DB-STATUS 0326; paper section 5.2 calls
+    // this desired-but-not-strictly-equivalent behaviour.
+    bool touches = false;
+    VisitStmts(program->body, [&](const Stmt& s) {
+      if (s.kind == StmtKind::kStore || s.kind == StmtKind::kModify) {
+        touches = true;
+      }
+    });
+    if (touches) {
+      notes->push_back("program updates may now be rejected by " +
+                       constraint_.name +
+                       "; the new behaviour reflects the changed "
+                       "application requirements (paper section 5.2)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  ConstraintDef constraint_;
+};
+
+class DropConstraintT final : public Transformation {
+ public:
+  explicit DropConstraintT(std::string name) : name_(ToUpper(name)) {}
+
+  std::string Name() const override { return "drop-constraint"; }
+  std::string Describe() const override { return "drop constraint " + name_; }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    DBPC_RETURN_IF_ERROR(out.DropConstraint(name_));
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return false; }  // target may drift
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>&, Program*,
+                        RewriteNotes* notes) const override {
+    const ConstraintDef* c = source.FindConstraint(name_);
+    if (c != nullptr) {
+      notes->push_back("constraint " + name_ +
+                       " is no longer enforced by the model; any program "
+                       "that relied on rejection must now check itself");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+};
+
+// --- materialize / virtualize fields --------------------------------------------
+
+class MaterializeVirtualField final : public Transformation {
+ public:
+  MaterializeVirtualField(std::string record, std::string field)
+      : record_(ToUpper(record)), field_(ToUpper(field)) {}
+
+  std::string Name() const override { return "materialize-virtual-field"; }
+  std::string Describe() const override {
+    return "store " + record_ + "." + field_ + " as actual data";
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(record_);
+    if (rec == nullptr) return Status::NotFound("record type " + record_);
+    FieldDef* f = nullptr;
+    for (FieldDef& candidate : rec->fields) {
+      if (EqualsIgnoreCase(candidate.name, field_)) f = &candidate;
+    }
+    if (f == nullptr) return Status::NotFound("field " + record_ + "." + field_);
+    if (!f->is_virtual) {
+      return Status::InvalidArgument(record_ + "." + field_ +
+                                     " is already actual");
+    }
+    f->is_virtual = false;
+    f->via_set.clear();
+    f->using_field.clear();
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.extra_fields = [this](const Database& src, RecordId id,
+                               const std::string& type) -> Result<FieldMap> {
+      FieldMap out;
+      if (EqualsIgnoreCase(type, record_)) {
+        DBPC_ASSIGN_OR_RETURN(Value v, src.GetField(id, field_));
+        out[field_] = std::move(v);
+      }
+      return out;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr InverseGiven(const Schema& source) const override {
+    const RecordTypeDef* rec = source.FindRecordType(record_);
+    if (rec == nullptr) return nullptr;
+    const FieldDef* f = rec->FindField(field_);
+    if (f == nullptr || !f->is_virtual) return nullptr;
+    return MakeVirtualizeField(record_, field_, f->via_set, f->using_field);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program*,
+                        RewriteNotes*) const override {
+    return Status::OK();  // reads were already answered through the set
+  }
+
+ private:
+  std::string record_;
+  std::string field_;
+};
+
+class VirtualizeField final : public Transformation {
+ public:
+  VirtualizeField(std::string record, std::string field, std::string via_set,
+                  std::string using_field)
+      : record_(ToUpper(record)),
+        field_(ToUpper(field)),
+        via_set_(ToUpper(via_set)),
+        using_field_(ToUpper(using_field)) {}
+
+  std::string Name() const override { return "virtualize-field"; }
+  std::string Describe() const override {
+    return "derive " + record_ + "." + field_ + " via " + via_set_ +
+           " using " + using_field_;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(record_);
+    if (rec == nullptr) return Status::NotFound("record type " + record_);
+    FieldDef* f = nullptr;
+    for (FieldDef& candidate : rec->fields) {
+      if (EqualsIgnoreCase(candidate.name, field_)) f = &candidate;
+    }
+    if (f == nullptr) return Status::NotFound("field " + record_ + "." + field_);
+    if (f->is_virtual) {
+      return Status::InvalidArgument(record_ + "." + field_ +
+                                     " is already virtual");
+    }
+    f->is_virtual = true;
+    f->via_set = via_set_;
+    f->using_field = using_field_;
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    // Verify the stored values agree with the derivation; otherwise the
+    // restructuring loses information and must be refused.
+    for (RecordId id : source.AllOfType(record_)) {
+      DBPC_ASSIGN_OR_RETURN(Value stored, source.GetField(id, field_));
+      RecordId owner = source.OwnerOf(via_set_, id);
+      Value derived;
+      if (owner != 0 && owner != kSystemOwner) {
+        DBPC_ASSIGN_OR_RETURN(derived, source.GetField(owner, using_field_));
+      }
+      if (!(stored == derived)) {
+        return Status::ConstraintViolation(
+            "record " + std::to_string(id) + ": stored " + record_ + "." +
+            field_ + " = " + stored.ToDisplay() +
+            " disagrees with owner-derived value " + derived.ToDisplay() +
+            "; virtualization would lose information");
+      }
+    }
+    CopySpec spec;
+    spec.map_field = [this](const std::string& type, const std::string& field)
+        -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, record_) && EqualsIgnoreCase(field, field_)) {
+        return std::nullopt;
+      }
+      return field;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeMaterializeVirtualField(record_, field_);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    // Writes to the now-derived field must be dropped; reads are unchanged.
+    bool dropped = false;
+    VisitStmtsMutable(&program->body, [&, this](Stmt* s) {
+      if ((s->kind == StmtKind::kStore &&
+           EqualsIgnoreCase(s->record_type, record_)) ||
+          s->kind == StmtKind::kModify || s->kind == StmtKind::kNavModify) {
+        size_t before = s->assignments.size();
+        std::erase_if(s->assignments, [this](const auto& kv) {
+          return EqualsIgnoreCase(kv.first, field_);
+        });
+        if (s->assignments.size() != before) dropped = true;
+      }
+    });
+    if (dropped) {
+      notes->push_back("assignments to " + record_ + "." + field_ +
+                       " were dropped; the value now derives from the " +
+                       via_set_ + " owner");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string record_;
+  std::string field_;
+  std::string via_set_;
+  std::string using_field_;
+};
+
+}  // namespace
+
+TransformationPtr MakeChangeSetOrder(std::string set_name,
+                                     std::vector<std::string> new_keys) {
+  return std::make_unique<ChangeSetOrder>(std::move(set_name),
+                                          std::move(new_keys));
+}
+
+TransformationPtr MakeChangeMembershipClass(std::string set_name,
+                                            InsertionClass insertion,
+                                            RetentionClass retention) {
+  return std::make_unique<ChangeMembershipClass>(std::move(set_name),
+                                                 insertion, retention);
+}
+
+TransformationPtr MakeDropDependency(std::string set_name) {
+  return std::make_unique<SetDependency>(std::move(set_name), false);
+}
+
+TransformationPtr MakeAddConstraint(ConstraintDef constraint) {
+  return std::make_unique<AddConstraintT>(std::move(constraint));
+}
+
+TransformationPtr MakeDropConstraint(std::string constraint_name) {
+  return std::make_unique<DropConstraintT>(std::move(constraint_name));
+}
+
+TransformationPtr MakeMaterializeVirtualField(std::string record,
+                                              std::string field) {
+  return std::make_unique<MaterializeVirtualField>(std::move(record),
+                                                   std::move(field));
+}
+
+TransformationPtr MakeVirtualizeField(std::string record, std::string field,
+                                      std::string via_set,
+                                      std::string using_field) {
+  return std::make_unique<VirtualizeField>(std::move(record), std::move(field),
+                                           std::move(via_set),
+                                           std::move(using_field));
+}
+
+}  // namespace dbpc

@@ -1,0 +1,410 @@
+#include <algorithm>
+#include <map>
+
+#include "analyze/analyzer.h"
+#include "common/string_util.h"
+#include "restructure/data_copy.h"
+#include "restructure/rewrite_util.h"
+#include "restructure/transformation.h"
+
+namespace dbpc {
+
+namespace {
+
+using rewrite::ForEachRetrievalMut;
+using rewrite::WalkTyped;
+
+void Canonicalize(SplitRecordParams* p) {
+  p->record = ToUpper(p->record);
+  p->detail = ToUpper(p->detail);
+  p->set_name = ToUpper(p->set_name);
+  p->link_field = ToUpper(p->link_field);
+  for (std::string& f : p->moved_fields) f = ToUpper(f);
+}
+
+bool IsMoved(const SplitRecordParams& p, const std::string& field) {
+  for (const std::string& f : p.moved_fields) {
+    if (EqualsIgnoreCase(f, field)) return true;
+  }
+  return false;
+}
+
+/// Name of the uniqueness constraint the split adds on the detail's link
+/// copy (needed so STORE owner selections are unambiguous).
+std::string LinkConstraintName(const SplitRecordParams& p) {
+  return "UNIQ-" + p.detail + "-" + p.link_field;
+}
+
+class SplitRecordVertical final : public Transformation {
+ public:
+  explicit SplitRecordVertical(SplitRecordParams p) : p_(std::move(p)) {
+    Canonicalize(&p_);
+  }
+
+  std::string Name() const override { return "split-record-vertical"; }
+  std::string Describe() const override {
+    return "move fields (" + Join(p_.moved_fields, ", ") + ") of " +
+           p_.record + " into new record type " + p_.detail + " linked by " +
+           p_.set_name;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(p_.record);
+    if (rec == nullptr) return Status::NotFound("record type " + p_.record);
+    if (out.FindRecordType(p_.detail) != nullptr ||
+        out.FindSet(p_.detail) != nullptr) {
+      return Status::AlreadyExists("name " + p_.detail);
+    }
+    if (out.FindSet(p_.set_name) != nullptr) {
+      return Status::AlreadyExists("set " + p_.set_name);
+    }
+    const FieldDef* link = rec->FindField(p_.link_field);
+    if (link == nullptr || link->is_virtual) {
+      return Status::InvalidArgument("link field " + p_.record + "." +
+                                     p_.link_field +
+                                     " must be a stored field");
+    }
+    if (!SelectsAtMostOne(
+            source, p_.record,
+            Predicate::Compare(p_.link_field, CompareOp::kEq,
+                               Operand::Literal(Value::String("X"))))) {
+      return Status::InvalidArgument(
+          "link field " + p_.record + "." + p_.link_field +
+          " does not uniquely identify records (no covering key or "
+          "uniqueness constraint)");
+    }
+    if (p_.moved_fields.empty()) {
+      return Status::InvalidArgument("no fields to move");
+    }
+    if (IsMoved(p_, p_.link_field)) {
+      return Status::InvalidArgument("link field cannot be moved");
+    }
+    // Moved fields must be stored fields and must not be sort keys of any
+    // set the record participates in (virtual keys cannot order).
+    RecordTypeDef detail;
+    detail.name = p_.detail;
+    FieldDef link_copy = *link;
+    link_copy.name = p_.link_field;
+    detail.fields.push_back(link_copy);
+    for (const std::string& moved : p_.moved_fields) {
+      FieldDef* f = nullptr;
+      for (FieldDef& candidate : rec->fields) {
+        if (EqualsIgnoreCase(candidate.name, moved)) f = &candidate;
+      }
+      if (f == nullptr) {
+        return Status::NotFound("field " + p_.record + "." + moved);
+      }
+      if (f->is_virtual) {
+        return Status::InvalidArgument("field " + p_.record + "." + moved +
+                                       " is virtual; split moves stored data");
+      }
+      for (const SetDef* set : source.SetsWithMember(p_.record)) {
+        for (const std::string& key : set->keys) {
+          if (EqualsIgnoreCase(key, moved)) {
+            return Status::InvalidArgument(
+                "field " + moved + " is a sort key of set " + set->name +
+                "; it cannot become virtual");
+          }
+        }
+      }
+      detail.fields.push_back(*f);
+      // The member keeps the field virtually, derived through the new set.
+      f->is_virtual = true;
+      f->via_set = p_.set_name;
+      f->using_field = f->name;
+      f->pic_width = 0;
+    }
+    DBPC_RETURN_IF_ERROR(out.AddRecordType(std::move(detail)));
+    SetDef set;
+    set.name = p_.set_name;
+    set.owner = p_.detail;
+    set.member = p_.record;
+    set.insertion = InsertionClass::kAutomatic;
+    set.retention = RetentionClass::kMandatory;
+    set.ordering = SetOrdering::kChronological;
+    // The detail exists for its (single) member and dies with it.
+    set.member_characterizes_owner = false;
+    DBPC_RETURN_IF_ERROR(out.AddSet(std::move(set)));
+    ConstraintDef unique;
+    unique.name = LinkConstraintName(p_);
+    unique.kind = ConstraintKind::kUniqueness;
+    unique.record = p_.detail;
+    unique.fields = {p_.link_field};
+    DBPC_RETURN_IF_ERROR(out.AddConstraint(std::move(unique)));
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.map_field = [this](const std::string& type, const std::string& field)
+        -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, p_.record) && IsMoved(p_, field)) {
+        return std::nullopt;
+      }
+      return field;
+    };
+    spec.extra_connects =
+        [this](const Database& src, RecordId id, const std::string& type,
+               const std::map<RecordId, RecordId>&, Database* tgt)
+        -> Result<std::map<std::string, RecordId>> {
+      std::map<std::string, RecordId> out;
+      if (!EqualsIgnoreCase(type, p_.record)) return out;
+      StoreRequest detail;
+      detail.type = p_.detail;
+      DBPC_ASSIGN_OR_RETURN(Value link, src.GetField(id, p_.link_field));
+      detail.fields[p_.link_field] = std::move(link);
+      for (const std::string& moved : p_.moved_fields) {
+        DBPC_ASSIGN_OR_RETURN(Value v, src.GetField(id, moved));
+        detail.fields[moved] = std::move(v);
+      }
+      DBPC_ASSIGN_OR_RETURN(RecordId detail_id, tgt->StoreRecord(detail));
+      out[p_.set_name] = detail_id;
+      return out;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override { return MakeMergeRecords(p_); }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    // Reads of moved fields keep working (virtual). Writes cannot be
+    // expressed without a write-through mechanism: analyst.
+    bool writes_moved = false;
+    WalkTyped(program, [&](Stmt* s,
+                           const std::map<std::string, std::string>& types) {
+      if (s->kind == StmtKind::kModify) {
+        auto it = types.find(s->cursor);
+        if (it != types.end() && EqualsIgnoreCase(it->second, p_.record)) {
+          for (const auto& [field, expr] : s->assignments) {
+            if (IsMoved(p_, field)) writes_moved = true;
+          }
+        }
+      }
+    });
+    // STOREs of the record: moved-field assignments relocate into a
+    // preceding detail STORE; the member store connects via the link.
+    std::function<void(std::vector<Stmt>*)> patch =
+        [&](std::vector<Stmt>* body) {
+          for (size_t i = 0; i < body->size(); ++i) {
+            Stmt& s = (*body)[i];
+            patch(&s.body);
+            patch(&s.else_body);
+            if (s.kind != StmtKind::kStore ||
+                !EqualsIgnoreCase(s.record_type, p_.record)) {
+              continue;
+            }
+            // Find the link value among the assignments.
+            std::optional<HostExpr> link_expr;
+            for (const auto& [field, expr] : s.assignments) {
+              if (EqualsIgnoreCase(field, p_.link_field)) link_expr = expr;
+            }
+            if (!link_expr.has_value() ||
+                (link_expr->kind != HostExpr::Kind::kLiteral &&
+                 link_expr->kind != HostExpr::Kind::kVar)) {
+              notes->push_back("STORE " + p_.record +
+                               " does not assign a simple " + p_.link_field +
+                               " value; the detail record cannot be linked");
+              writes_moved = true;
+              continue;
+            }
+            Stmt detail_store;
+            detail_store.kind = StmtKind::kStore;
+            detail_store.record_type = p_.detail;
+            detail_store.assignments.emplace_back(p_.link_field, *link_expr);
+            std::erase_if(s.assignments, [&](const auto& kv) {
+              if (IsMoved(p_, kv.first)) {
+                detail_store.assignments.emplace_back(kv.first, kv.second);
+                return true;
+              }
+              return false;
+            });
+            Operand link_operand =
+                link_expr->kind == HostExpr::Kind::kLiteral
+                    ? Operand::Literal(link_expr->literal)
+                    : Operand::HostVar(link_expr->var);
+            Stmt::OwnerSelect sel;
+            sel.set_name = p_.set_name;
+            sel.pred = Predicate::Compare(p_.link_field, CompareOp::kEq,
+                                          link_operand);
+            s.owners.push_back(std::move(sel));
+            body->insert(body->begin() + static_cast<ptrdiff_t>(i),
+                         std::move(detail_store));
+            ++i;  // skip over the member store we just handled
+          }
+        };
+    patch(&program->body);
+    if (writes_moved) {
+      notes->push_back("program writes moved field(s) of " + p_.record +
+                       "; write-through to " + p_.detail +
+                       " must be added by hand");
+      return Status::NeedsAnalyst("writes to split-off fields of " +
+                                  p_.record);
+    }
+    return Status::OK();
+  }
+
+ private:
+  SplitRecordParams p_;
+};
+
+class MergeRecords final : public Transformation {
+ public:
+  explicit MergeRecords(SplitRecordParams p) : p_(std::move(p)) {
+    Canonicalize(&p_);
+  }
+
+  std::string Name() const override { return "merge-records"; }
+  std::string Describe() const override {
+    return "fold " + p_.detail + " back into " + p_.record +
+           " and drop set " + p_.set_name;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    RecordTypeDef* rec = out.FindRecordType(p_.record);
+    const RecordTypeDef* detail = out.FindRecordType(p_.detail);
+    const SetDef* set = out.FindSet(p_.set_name);
+    if (rec == nullptr || detail == nullptr || set == nullptr) {
+      return Status::NotFound("split structure " + p_.record + "/" +
+                              p_.detail + "/" + p_.set_name);
+    }
+    if (!EqualsIgnoreCase(set->owner, p_.detail) ||
+        !EqualsIgnoreCase(set->member, p_.record)) {
+      return Status::InvalidArgument("set " + p_.set_name +
+                                     " does not link " + p_.detail + " -> " +
+                                     p_.record);
+    }
+    for (const std::string& moved : p_.moved_fields) {
+      const FieldDef* src = detail->FindField(moved);
+      if (src == nullptr) {
+        return Status::NotFound("field " + p_.detail + "." + moved);
+      }
+      FieldDef* f = nullptr;
+      for (FieldDef& candidate : rec->fields) {
+        if (EqualsIgnoreCase(candidate.name, moved)) f = &candidate;
+      }
+      if (f == nullptr) {
+        return Status::NotFound("field " + p_.record + "." + moved);
+      }
+      f->is_virtual = false;
+      f->via_set.clear();
+      f->using_field.clear();
+      f->type = src->type;
+      if (f->pic_width == 0) f->pic_width = src->pic_width;
+    }
+    (void)out.DropConstraint(LinkConstraintName(p_));
+    DBPC_RETURN_IF_ERROR(out.DropSet(p_.set_name));
+    DBPC_RETURN_IF_ERROR(out.DropRecordType(p_.detail));
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    CopySpec spec;
+    spec.map_type = [this](const std::string& type) -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, p_.detail)) return std::nullopt;
+      return type;
+    };
+    spec.map_set = [this](const std::string& set) -> std::optional<std::string> {
+      if (EqualsIgnoreCase(set, p_.set_name)) return std::nullopt;
+      return set;
+    };
+    spec.extra_fields = [this](const Database& src, RecordId id,
+                               const std::string& type) -> Result<FieldMap> {
+      FieldMap out;
+      if (!EqualsIgnoreCase(type, p_.record)) return out;
+      for (const std::string& moved : p_.moved_fields) {
+        DBPC_ASSIGN_OR_RETURN(Value v, src.GetField(id, moved));
+        out[moved] = std::move(v);
+      }
+      return out;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeSplitRecordVertical(p_);
+  }
+
+  Status RewriteProgram(const Schema&, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    // Programs addressing the detail directly cannot be preserved.
+    bool targets_detail = false;
+    ForEachRetrievalMut(program, [&](Retrieval* r) {
+      if (EqualsIgnoreCase(r->query.target_type, p_.detail)) {
+        targets_detail = true;
+      }
+    });
+    // Detail stores produced by a prior split fold back into the member
+    // store: drop the detail store and merge its assignments.
+    std::function<void(std::vector<Stmt>*)> patch =
+        [&](std::vector<Stmt>* body) {
+          for (size_t i = 0; i < body->size(); ++i) {
+            Stmt& s = (*body)[i];
+            patch(&s.body);
+            patch(&s.else_body);
+            if (s.kind != StmtKind::kStore ||
+                !EqualsIgnoreCase(s.record_type, p_.detail)) {
+              continue;
+            }
+            // Find the following member store that links through the set.
+            size_t member_idx = i + 1;
+            while (member_idx < body->size()) {
+              const Stmt& m = (*body)[member_idx];
+              if (m.kind == StmtKind::kStore &&
+                  EqualsIgnoreCase(m.record_type, p_.record)) {
+                break;
+              }
+              ++member_idx;
+            }
+            if (member_idx >= body->size()) {
+              notes->push_back("detail STORE " + p_.detail +
+                               " has no matching member STORE; dropped");
+              body->erase(body->begin() + static_cast<ptrdiff_t>(i));
+              --i;
+              continue;
+            }
+            Stmt& member = (*body)[member_idx];
+            for (const auto& [field, expr] : s.assignments) {
+              if (EqualsIgnoreCase(field, p_.link_field)) continue;
+              member.assignments.emplace_back(field, expr);
+            }
+            std::erase_if(member.owners, [this](const Stmt::OwnerSelect& o) {
+              return EqualsIgnoreCase(o.set_name, p_.set_name);
+            });
+            body->erase(body->begin() + static_cast<ptrdiff_t>(i));
+            --i;
+          }
+        };
+    patch(&program->body);
+    if (targets_detail) {
+      notes->push_back("program retrieves " + p_.detail +
+                       " records, which the merged schema no longer has");
+      return Status::NeedsAnalyst("program depends on merged record type " +
+                                  p_.detail);
+    }
+    return Status::OK();
+  }
+
+ private:
+  SplitRecordParams p_;
+};
+
+}  // namespace
+
+TransformationPtr MakeSplitRecordVertical(SplitRecordParams p) {
+  return std::make_unique<SplitRecordVertical>(std::move(p));
+}
+
+TransformationPtr MakeMergeRecords(SplitRecordParams p) {
+  return std::make_unique<MergeRecords>(std::move(p));
+}
+
+}  // namespace dbpc

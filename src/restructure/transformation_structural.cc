@@ -1,0 +1,606 @@
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "restructure/data_copy.h"
+#include "restructure/rewrite_util.h"
+#include "restructure/transformation.h"
+
+namespace dbpc {
+
+namespace {
+
+using rewrite::AndOnto;
+using rewrite::Contains;
+using rewrite::ExtractEqualityConjunct;
+using rewrite::ForEachRetrievalMut;
+using rewrite::PathUsesSet;
+using rewrite::SpliceSetStep;
+using rewrite::WalkTyped;
+
+int g_rewrite_temp_counter = 0;
+
+/// Converts a field-assignment expression into a predicate operand,
+/// inserting a LET temporary before `stmt_index` in `block` when the
+/// expression is not directly a literal or variable.
+Operand OperandForExpr(const HostExpr& expr, std::vector<Stmt>* block,
+                       size_t stmt_index) {
+  if (expr.kind == HostExpr::Kind::kLiteral) {
+    return Operand::Literal(expr.literal);
+  }
+  if (expr.kind == HostExpr::Kind::kVar) {
+    return Operand::HostVar(expr.var);
+  }
+  std::string temp = "CNV-TMP-" + std::to_string(++g_rewrite_temp_counter);
+  Stmt let;
+  let.kind = StmtKind::kLet;
+  let.target_var = temp;
+  let.exprs.push_back(expr);
+  block->insert(block->begin() + static_cast<ptrdiff_t>(stmt_index),
+                std::move(let));
+  return Operand::HostVar(temp);
+}
+
+/// Applies `fn` to every statement block bottom-up so `fn` may insert or
+/// remove statements (receives the block and mutates it in place).
+void ForEachBlock(std::vector<Stmt>* body,
+                  const std::function<void(std::vector<Stmt>*)>& fn) {
+  for (Stmt& s : *body) {
+    ForEachBlock(&s.body, fn);
+    ForEachBlock(&s.else_body, fn);
+  }
+  fn(body);
+}
+
+// --- introduce / collapse intermediate record -------------------------------
+
+class IntroduceIntermediate final : public Transformation {
+ public:
+  explicit IntroduceIntermediate(IntroduceIntermediateParams p) : p_(p) {
+    p_.set_name = ToUpper(p_.set_name);
+    p_.intermediate = ToUpper(p_.intermediate);
+    p_.upper_set = ToUpper(p_.upper_set);
+    p_.lower_set = ToUpper(p_.lower_set);
+    p_.group_field = ToUpper(p_.group_field);
+  }
+
+  std::string Name() const override { return "introduce-intermediate"; }
+  std::string Describe() const override {
+    return "split set " + p_.set_name + " into " + p_.upper_set + " -> " +
+           p_.intermediate + " -> " + p_.lower_set + " grouping by " +
+           p_.group_field;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    const SetDef* old_set = out.FindSet(p_.set_name);
+    if (old_set == nullptr) return Status::NotFound("set " + p_.set_name);
+    std::string owner = old_set->owner;
+    std::string member = old_set->member;
+    RecordTypeDef* member_rec = out.FindRecordType(member);
+    const FieldDef* group = member_rec->FindField(p_.group_field);
+    if (group == nullptr) {
+      return Status::NotFound("field " + member + "." + p_.group_field);
+    }
+    if (group->is_virtual) {
+      return Status::InvalidArgument("group field " + member + "." +
+                                     p_.group_field + " is virtual");
+    }
+    FieldType group_type = group->type;
+    int group_width = group->pic_width;
+    SetDef old_copy = *old_set;
+
+    // New intermediate record type: the group field plus virtual copies of
+    // the owner's actual fields (so owner data keeps flowing downward).
+    RecordTypeDef inter;
+    inter.name = p_.intermediate;
+    FieldDef group_actual;
+    group_actual.name = p_.group_field;
+    group_actual.type = group_type;
+    group_actual.pic_width = group_width;
+    inter.fields.push_back(group_actual);
+    const RecordTypeDef* owner_rec = out.FindRecordType(owner);
+    for (const FieldDef& f : owner_rec->fields) {
+      if (f.is_virtual) continue;
+      if (EqualsIgnoreCase(f.name, p_.group_field)) continue;
+      FieldDef v;
+      v.name = f.name;
+      v.type = f.type;
+      v.is_virtual = true;
+      v.via_set = p_.upper_set;
+      v.using_field = f.name;
+      inter.fields.push_back(std::move(v));
+    }
+    DBPC_RETURN_IF_ERROR(out.AddRecordType(std::move(inter)));
+
+    SetDef upper;
+    upper.name = p_.upper_set;
+    upper.owner = owner;
+    upper.member = p_.intermediate;
+    upper.insertion = InsertionClass::kAutomatic;
+    upper.retention = RetentionClass::kMandatory;
+    upper.ordering = SetOrdering::kSortedByKeys;
+    upper.keys = {p_.group_field};
+    upper.member_characterizes_owner = true;  // groups die with the owner
+    DBPC_RETURN_IF_ERROR(out.AddSet(std::move(upper)));
+
+    SetDef lower = old_copy;
+    lower.name = p_.lower_set;
+    lower.owner = p_.intermediate;
+    lower.member = member;
+    DBPC_RETURN_IF_ERROR(out.AddSet(std::move(lower)));
+    DBPC_RETURN_IF_ERROR(out.DropSet(p_.set_name));
+
+    // The member's group field becomes virtual through the lower set; any
+    // virtual member field that derived through the old set re-derives
+    // through the intermediate (which mirrors the owner's fields).
+    for (FieldDef& f : member_rec->fields) {
+      if (EqualsIgnoreCase(f.name, p_.group_field)) {
+        f.is_virtual = true;
+        f.via_set = p_.lower_set;
+        f.using_field = p_.group_field;
+      } else if (f.is_virtual && EqualsIgnoreCase(f.via_set, p_.set_name)) {
+        f.via_set = p_.lower_set;
+      }
+    }
+    // Constraints referencing the old set follow the lower set.
+    for (ConstraintDef& c : out.mutable_constraints()) {
+      if (EqualsIgnoreCase(c.set_name, p_.set_name)) {
+        c.set_name = p_.lower_set;
+      }
+    }
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    const SetDef* old_set = source.schema().FindSet(p_.set_name);
+    if (old_set == nullptr) return Status::NotFound("set " + p_.set_name);
+    std::string member = ToUpper(old_set->member);
+    // (target owner id, group literal) -> intermediate record id.
+    auto inter_cache =
+        std::make_shared<std::map<std::pair<RecordId, std::string>, RecordId>>();
+
+    CopySpec spec;
+    spec.map_field = [this, member](const std::string& type,
+                                    const std::string& field)
+        -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, member) &&
+          EqualsIgnoreCase(field, p_.group_field)) {
+        return std::nullopt;  // becomes virtual
+      }
+      return field;
+    };
+    spec.map_set = [this](const std::string& set) -> std::optional<std::string> {
+      if (EqualsIgnoreCase(set, p_.set_name)) return std::nullopt;
+      return set;
+    };
+    spec.extra_connects =
+        [this, member, inter_cache](
+            const Database& src, RecordId id, const std::string& type,
+            const std::map<RecordId, RecordId>& id_map,
+            Database* tgt) -> Result<std::map<std::string, RecordId>> {
+      std::map<std::string, RecordId> out;
+      if (!EqualsIgnoreCase(type, member)) return out;
+      RecordId src_owner = src.OwnerOf(p_.set_name, id);
+      if (src_owner == 0) return out;  // unconnected member
+      auto mapped = id_map.find(src_owner);
+      if (mapped == id_map.end()) {
+        return Status::Internal("owner not yet copied");
+      }
+      DBPC_ASSIGN_OR_RETURN(Value group, src.GetField(id, p_.group_field));
+      std::pair<RecordId, std::string> key{mapped->second, group.ToLiteral()};
+      auto hit = inter_cache->find(key);
+      RecordId inter_id;
+      if (hit != inter_cache->end()) {
+        inter_id = hit->second;
+      } else {
+        StoreRequest req;
+        req.type = p_.intermediate;
+        req.fields[p_.group_field] = group;
+        req.connect[p_.upper_set] = mapped->second;
+        DBPC_ASSIGN_OR_RETURN(inter_id, tgt->StoreRecord(req));
+        (*inter_cache)[key] = inter_id;
+      }
+      out[p_.lower_set] = inter_id;
+      return out;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeCollapseIntermediate(p_);
+  }
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>& order_dependent_sets,
+                        Program* program, RewriteNotes* notes) const override {
+    const SetDef* old_set = source.FindSet(p_.set_name);
+    if (old_set == nullptr) return Status::NotFound("set " + p_.set_name);
+    // Navigational statements the analyzer could not lift cannot be
+    // spliced; they would reference the dropped set at run time.
+    VisitStmts(program->body, [&](const Stmt& s) {
+      bool references =
+          (s.nav_find.has_value() &&
+           EqualsIgnoreCase(s.nav_find->set_name, p_.set_name)) ||
+          EqualsIgnoreCase(s.set_name, p_.set_name);
+      if (references) {
+        notes->push_back(
+            "navigational statement still references " + p_.set_name +
+            ", which the restructured schema replaces; it must be rewritten "
+            "by hand");
+      }
+    });
+    bool order_dependent = Contains(order_dependent_sets, p_.set_name);
+    std::vector<std::string> old_keys = old_set->keys;
+    std::string member = ToUpper(old_set->member);
+
+    // Retrieval paths: S -> upper, I, lower; preserve order with SORT when
+    // the program's output depended on the old member order.
+    ForEachRetrievalMut(program, [&, this](Retrieval* r) {
+      std::vector<PathStep> replacement;
+      replacement.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.upper_set));
+      replacement.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.intermediate));
+      replacement.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.lower_set));
+      int spliced = SpliceSetStep(&r->query, p_.set_name, replacement);
+      if (spliced > 0 && order_dependent && r->sort_on.empty() &&
+          EqualsIgnoreCase(r->query.target_type, member)) {
+        if (old_set->ordering == SetOrdering::kSortedByKeys) {
+          r->sort_on = old_keys;
+          notes->push_back("inserted SORT ON (" + Join(old_keys, ", ") +
+                           ") to preserve the old " + p_.set_name +
+                           " ordering");
+        } else {
+          notes->push_back("old chronological order of " + p_.set_name +
+                           " is not reconstructible; output order may differ");
+        }
+      }
+    });
+
+    // Maryland STOREs of the member: the group-field assignment moves into
+    // the owner selection; an idempotent intermediate STORE is inserted so
+    // missing groups are created on demand.
+    ForEachBlock(&program->body, [&, this](std::vector<Stmt>* block) {
+      for (size_t i = 0; i < block->size(); ++i) {
+        {
+          const Stmt& probe = (*block)[i];
+          if (probe.kind != StmtKind::kStore ||
+              !EqualsIgnoreCase(probe.record_type, member)) {
+            continue;
+          }
+          bool uses_set = std::any_of(
+              probe.owners.begin(), probe.owners.end(),
+              [this](const Stmt::OwnerSelect& o) {
+                return EqualsIgnoreCase(o.set_name, p_.set_name);
+              });
+          if (!uses_set) continue;
+        }
+        size_t store_idx = i;
+        // Pull the group-field assignment out of the store.
+        std::optional<HostExpr> group_expr;
+        std::erase_if((*block)[store_idx].assignments, [&](const auto& kv) {
+          if (EqualsIgnoreCase(kv.first, p_.group_field)) {
+            group_expr = kv.second;
+            return true;
+          }
+          return false;
+        });
+        Predicate owner_pred =
+            std::find_if((*block)[store_idx].owners.begin(),
+                         (*block)[store_idx].owners.end(),
+                         [this](const Stmt::OwnerSelect& o) {
+                           return EqualsIgnoreCase(o.set_name, p_.set_name);
+                         })
+                ->pred;
+        Predicate group_conjunct = Predicate::Compare(
+            p_.group_field, CompareOp::kIsNull, Operand::Literal(Value::Null()));
+        std::optional<Operand> group_operand;
+        if (group_expr.has_value()) {
+          // May insert a LET temporary before the store.
+          Operand op = OperandForExpr(*group_expr, block, store_idx);
+          if (group_expr->kind == HostExpr::Kind::kBinary) ++store_idx;
+          group_conjunct =
+              Predicate::Compare(p_.group_field, CompareOp::kEq, op);
+          group_operand = std::move(op);
+        } else {
+          notes->push_back("STORE " + member + " has no " + p_.group_field +
+                           " value; the member will join a null group");
+        }
+        // Insert the idempotent group creator before the member store.
+        Stmt create_group;
+        create_group.kind = StmtKind::kStore;
+        create_group.record_type = p_.intermediate;
+        if (group_expr.has_value()) {
+          HostExpr value = group_operand->kind == Operand::Kind::kHostVar
+                               ? HostExpr::Var(group_operand->host_var)
+                               : HostExpr::Lit(group_operand->literal);
+          create_group.assignments.emplace_back(p_.group_field,
+                                                std::move(value));
+        }
+        Stmt::OwnerSelect upper_sel;
+        upper_sel.set_name = p_.upper_set;
+        upper_sel.pred = owner_pred;
+        create_group.owners.push_back(std::move(upper_sel));
+        block->insert(block->begin() + static_cast<ptrdiff_t>(store_idx),
+                      std::move(create_group));
+        ++store_idx;  // the member store moved down by one
+        // Rewrite the member store's selection to find the intermediate;
+        // owner-qualifying fields remain reachable because the intermediate
+        // carries virtual copies of the owner's fields.
+        Stmt& store = (*block)[store_idx];
+        auto sel = std::find_if(store.owners.begin(), store.owners.end(),
+                                [this](const Stmt::OwnerSelect& o) {
+                                  return EqualsIgnoreCase(o.set_name,
+                                                          p_.set_name);
+                                });
+        sel->set_name = p_.lower_set;
+        sel->pred = Predicate::And(owner_pred, std::move(group_conjunct));
+        i = store_idx;
+      }
+    });
+    return Status::OK();
+  }
+
+ private:
+  IntroduceIntermediateParams p_;
+};
+
+// --- collapse intermediate ----------------------------------------------------
+
+class CollapseIntermediate final : public Transformation {
+ public:
+  explicit CollapseIntermediate(IntroduceIntermediateParams p) : p_(p) {
+    p_.set_name = ToUpper(p_.set_name);
+    p_.intermediate = ToUpper(p_.intermediate);
+    p_.upper_set = ToUpper(p_.upper_set);
+    p_.lower_set = ToUpper(p_.lower_set);
+    p_.group_field = ToUpper(p_.group_field);
+  }
+
+  std::string Name() const override { return "collapse-intermediate"; }
+  std::string Describe() const override {
+    return "collapse " + p_.upper_set + " -> " + p_.intermediate + " -> " +
+           p_.lower_set + " into set " + p_.set_name;
+  }
+
+  Result<Schema> ApplyToSchema(const Schema& source) const override {
+    Schema out = source;
+    const SetDef* upper = out.FindSet(p_.upper_set);
+    const SetDef* lower = out.FindSet(p_.lower_set);
+    if (upper == nullptr || lower == nullptr) {
+      return Status::NotFound("sets " + p_.upper_set + "/" + p_.lower_set);
+    }
+    if (!EqualsIgnoreCase(upper->member, p_.intermediate) ||
+        !EqualsIgnoreCase(lower->owner, p_.intermediate)) {
+      return Status::InvalidArgument(p_.intermediate +
+                                     " does not link the two sets");
+    }
+    std::string owner = upper->owner;
+    std::string member = lower->member;
+    SetDef collapsed = *lower;
+    collapsed.name = p_.set_name;
+    collapsed.owner = owner;
+    collapsed.member = member;
+    // The member regains the group field as stored data; virtual fields that
+    // derived through the lower set re-derive through the collapsed set.
+    RecordTypeDef* member_rec = out.FindRecordType(member);
+    const RecordTypeDef* inter_rec = out.FindRecordType(p_.intermediate);
+    const FieldDef* group = inter_rec->FindField(p_.group_field);
+    if (group == nullptr) {
+      return Status::NotFound("field " + p_.intermediate + "." +
+                              p_.group_field);
+    }
+    for (FieldDef& f : member_rec->fields) {
+      if (EqualsIgnoreCase(f.name, p_.group_field)) {
+        f.is_virtual = false;
+        f.via_set.clear();
+        f.using_field.clear();
+        f.type = group->type;
+        if (f.pic_width == 0) f.pic_width = group->pic_width;
+      } else if (f.is_virtual && EqualsIgnoreCase(f.via_set, p_.lower_set)) {
+        f.via_set = p_.set_name;
+      }
+    }
+    for (ConstraintDef& c : out.mutable_constraints()) {
+      if (EqualsIgnoreCase(c.set_name, p_.lower_set)) c.set_name = p_.set_name;
+      if (EqualsIgnoreCase(c.set_name, p_.upper_set) ||
+          EqualsIgnoreCase(c.record, p_.intermediate)) {
+        // Constraints on the vanishing level vanish with it.
+        c.set_name.clear();
+        c.record.clear();
+      }
+    }
+    std::erase_if(out.mutable_constraints(), [](const ConstraintDef& c) {
+      return c.record.empty() && c.set_name.empty() &&
+             (c.kind == ConstraintKind::kExistence ||
+              c.kind == ConstraintKind::kCardinalityLimit);
+    });
+    DBPC_RETURN_IF_ERROR(out.DropSet(p_.upper_set));
+    DBPC_RETURN_IF_ERROR(out.DropSet(p_.lower_set));
+    DBPC_RETURN_IF_ERROR(out.AddSet(std::move(collapsed)));
+    DBPC_RETURN_IF_ERROR(out.DropRecordType(p_.intermediate));
+    DBPC_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+
+  Status TranslateData(const Database& source, Database* target) const override {
+    const SetDef* lower = source.schema().FindSet(p_.lower_set);
+    if (lower == nullptr) return Status::NotFound("set " + p_.lower_set);
+    std::string member = ToUpper(lower->member);
+    CopySpec spec;
+    spec.map_type = [this](const std::string& type) -> std::optional<std::string> {
+      if (EqualsIgnoreCase(type, p_.intermediate)) return std::nullopt;
+      return type;
+    };
+    spec.map_set = [this](const std::string& set) -> std::optional<std::string> {
+      if (EqualsIgnoreCase(set, p_.upper_set) ||
+          EqualsIgnoreCase(set, p_.lower_set)) {
+        return std::nullopt;
+      }
+      return set;
+    };
+    spec.extra_fields = [this, member](const Database& src, RecordId id,
+                                       const std::string& type)
+        -> Result<FieldMap> {
+      FieldMap out;
+      if (EqualsIgnoreCase(type, member)) {
+        DBPC_ASSIGN_OR_RETURN(Value v, src.GetField(id, p_.group_field));
+        out[p_.group_field] = std::move(v);
+      }
+      return out;
+    };
+    spec.extra_connects =
+        [this, member](const Database& src, RecordId id,
+                       const std::string& type,
+                       const std::map<RecordId, RecordId>& id_map,
+                       Database*) -> Result<std::map<std::string, RecordId>> {
+      std::map<std::string, RecordId> out;
+      if (!EqualsIgnoreCase(type, member)) return out;
+      RecordId inter = src.OwnerOf(p_.lower_set, id);
+      if (inter == 0) return out;
+      RecordId owner = src.OwnerOf(p_.upper_set, inter);
+      if (owner == 0) return out;
+      auto mapped = id_map.find(owner);
+      if (mapped == id_map.end()) return Status::Internal("owner not copied");
+      out[p_.set_name] = mapped->second;
+      return out;
+    };
+    return CopyDatabase(source, target, spec).status();
+  }
+
+  bool HasInverse() const override { return true; }
+  TransformationPtr Inverse() const override {
+    return MakeIntroduceIntermediate(p_);
+  }
+
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    // Programs that retrieve the intermediate entities themselves cannot be
+    // preserved: those entities no longer exist.
+    bool targets_intermediate = false;
+    ForEachRetrievalMut(program, [&, this](Retrieval* r) {
+      if (EqualsIgnoreCase(r->query.target_type, p_.intermediate)) {
+        targets_intermediate = true;
+      }
+    });
+    if (targets_intermediate) {
+      notes->push_back("program retrieves " + p_.intermediate +
+                       " records, which the restructured schema no longer "
+                       "represents as entities");
+      return Status::NeedsAnalyst("program depends on collapsed record type " +
+                                  p_.intermediate);
+    }
+
+    // Path splice: upper, I(qual?), lower -> S with the intermediate's
+    // qualification folded into the member step.
+    ForEachRetrievalMut(program, [&, this](Retrieval* r) {
+      std::vector<PathStep> steps;
+      for (size_t i = 0; i < r->query.steps.size(); ++i) {
+        PathStep& step = r->query.steps[i];
+        bool is_upper = !step.qualification.has_value() &&
+                        EqualsIgnoreCase(step.name, p_.upper_set);
+        if (!is_upper) {
+          steps.push_back(std::move(step));
+          continue;
+        }
+        // Expect [upper][I(qual?)]?[lower][member(qual?)]?.
+        std::optional<Predicate> inter_qual;
+        size_t j = i + 1;
+        if (j < r->query.steps.size() &&
+            EqualsIgnoreCase(r->query.steps[j].name, p_.intermediate)) {
+          inter_qual = r->query.steps[j].qualification;
+          ++j;
+        }
+        if (j < r->query.steps.size() &&
+            EqualsIgnoreCase(r->query.steps[j].name, p_.lower_set) &&
+            !r->query.steps[j].qualification.has_value()) {
+          // Collapse.
+          steps.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.set_name));
+          i = j;
+          if (inter_qual.has_value()) {
+            // Fold onto the following member step (create one if absent).
+            if (i + 1 < r->query.steps.size() &&
+                r->query.steps[i + 1].kind != PathStep::Kind::kSet) {
+              AndOnto(&r->query.steps[i + 1].qualification,
+                      std::move(*inter_qual));
+            } else {
+              const SetDef* lower = source.FindSet(p_.lower_set);
+              PathStep member_step;
+              member_step.kind = PathStep::Kind::kUnresolved;
+              member_step.name = ToUpper(lower->member);
+              member_step.qualification = std::move(inter_qual);
+              steps.push_back(std::move(member_step));
+            }
+          }
+        } else {
+          steps.push_back(std::move(step));
+        }
+      }
+      r->query.steps = std::move(steps);
+    });
+
+    // STOREs: group creators become no-ops (drop them); member stores
+    // regain the group-field assignment extracted from the selection.
+    const SetDef* lower = source.FindSet(p_.lower_set);
+    std::string member = lower == nullptr ? "" : ToUpper(lower->member);
+    bool failed = false;
+    ForEachBlock(&program->body, [&, this](std::vector<Stmt>* block) {
+      std::erase_if(*block, [this](const Stmt& s) {
+        return s.kind == StmtKind::kStore &&
+               EqualsIgnoreCase(s.record_type, p_.intermediate);
+      });
+      for (Stmt& s : *block) {
+        if (s.kind != StmtKind::kStore || !EqualsIgnoreCase(s.record_type, member)) {
+          continue;
+        }
+        for (Stmt::OwnerSelect& sel : s.owners) {
+          if (!EqualsIgnoreCase(sel.set_name, p_.lower_set)) continue;
+          std::optional<Predicate> pred = sel.pred;
+          std::optional<Operand> group =
+              ExtractEqualityConjunct(&pred, p_.group_field);
+          if (!group.has_value()) {
+            notes->push_back(
+                "cannot determine " + p_.group_field + " value for STORE " +
+                member + "; owner selection does not pin the group");
+            failed = true;
+            continue;
+          }
+          HostExpr value = group->kind == Operand::Kind::kLiteral
+                               ? HostExpr::Lit(group->literal)
+                               : HostExpr::Var(group->host_var);
+          s.assignments.emplace_back(p_.group_field, std::move(value));
+          sel.set_name = p_.set_name;
+          if (pred.has_value()) {
+            sel.pred = std::move(*pred);
+          } else {
+            notes->push_back("owner selection for STORE " + member +
+                             " became empty after extracting the group");
+            failed = true;
+          }
+        }
+      }
+    });
+    if (failed) {
+      return Status::NeedsAnalyst(
+          "collapse rewrite could not reconstruct all STORE statements");
+    }
+    return Status::OK();
+  }
+
+ private:
+  IntroduceIntermediateParams p_;
+};
+
+}  // namespace
+
+TransformationPtr MakeIntroduceIntermediate(IntroduceIntermediateParams p) {
+  return std::make_unique<IntroduceIntermediate>(std::move(p));
+}
+
+TransformationPtr MakeCollapseIntermediate(IntroduceIntermediateParams p) {
+  return std::make_unique<CollapseIntermediate>(std::move(p));
+}
+
+}  // namespace dbpc

@@ -1,0 +1,258 @@
+#include "schema/ddl_parser.h"
+
+#include "common/lexer.h"
+
+namespace dbpc {
+
+namespace {
+
+/// '.' ends every DDL clause; ';' is tolerated as in the paper's figure.
+Status ExpectClauseEnd(TokenCursor* cur) {
+  if (cur->ConsumePunct(".") || cur->ConsumePunct(";")) return Status::OK();
+  return cur->ErrorHere("expected '.' ending clause");
+}
+
+Result<std::vector<std::string>> ParseNameList(TokenCursor* cur,
+                                               const std::string& what) {
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+  std::vector<std::string> names;
+  do {
+    DBPC_ASSIGN_OR_RETURN(std::string name, cur->TakeIdentifier(what));
+    names.push_back(std::move(name));
+  } while (cur->ConsumePunct(","));
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+  return names;
+}
+
+/// PIC 9(...) lexes as identifier "PIC" then integer token 9, so the PIC
+/// code is matched by token kind, not text.
+Result<FieldDef> ParseField(TokenCursor* cur) {
+  FieldDef field;
+  DBPC_ASSIGN_OR_RETURN(field.name, cur->TakeIdentifier("field name"));
+  if (cur->ConsumeIdent("VIRTUAL")) {
+    field.is_virtual = true;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("VIA"));
+    DBPC_ASSIGN_OR_RETURN(field.via_set, cur->TakeIdentifier("set name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("USING"));
+    DBPC_ASSIGN_OR_RETURN(field.using_field,
+                          cur->TakeIdentifier("owner field name"));
+    DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+    return field;
+  }
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("PIC"));
+  if (cur->Peek().kind == TokenKind::kInteger &&
+      cur->Peek().int_value == 9) {
+    cur->Next();
+    field.type = FieldType::kInt;
+  } else {
+    DBPC_ASSIGN_OR_RETURN(std::string pic, cur->TakeIdentifier("PIC code"));
+    if (pic == "X") {
+      field.type = FieldType::kString;
+    } else if (pic == "F") {
+      field.type = FieldType::kDouble;
+    } else {
+      return cur->ErrorHere("unknown PIC code '" + pic + "'");
+    }
+  }
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct("("));
+  DBPC_ASSIGN_OR_RETURN(int64_t width, cur->TakeInteger("PIC width"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectPunct(")"));
+  field.pic_width = static_cast<int>(width);
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+  return field;
+}
+
+Result<RecordTypeDef> ParseRecord(TokenCursor* cur) {
+  RecordTypeDef record;
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("NAME"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+  DBPC_ASSIGN_OR_RETURN(record.name, cur->TakeIdentifier("record name"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("FIELDS"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ARE"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+  while (!cur->Peek().IsIdent("END")) {
+    DBPC_ASSIGN_OR_RETURN(FieldDef field, ParseField(cur));
+    record.fields.push_back(std::move(field));
+  }
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("END"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("RECORD"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+  return record;
+}
+
+Result<SetDef> ParseSet(TokenCursor* cur) {
+  SetDef set;
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("NAME"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+  DBPC_ASSIGN_OR_RETURN(set.name, cur->TakeIdentifier("set name"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+  bool saw_member = false;
+  while (true) {
+    if (cur->ConsumeIdent("END")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      break;
+    }
+    if (cur->ConsumeIdent("OWNER")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+      DBPC_ASSIGN_OR_RETURN(set.owner, cur->TakeIdentifier("owner name"));
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      continue;
+    }
+    if (cur->ConsumeIdent("MEMBER")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+      DBPC_ASSIGN_OR_RETURN(std::string name,
+                            cur->TakeIdentifier("member name"));
+      if (name == "CHARACTERIZING") {
+        set.member_characterizes_owner = true;
+      } else {
+        set.member = std::move(name);
+        saw_member = true;
+      }
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      continue;
+    }
+    if (cur->ConsumeIdent("SET")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("KEYS"));
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ARE"));
+      DBPC_ASSIGN_OR_RETURN(set.keys, ParseNameList(cur, "key field"));
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      continue;
+    }
+    if (cur->ConsumeIdent("ORDER")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("CHRONOLOGICAL"));
+      set.ordering = SetOrdering::kChronological;
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      continue;
+    }
+    if (cur->ConsumeIdent("INSERTION")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+      if (cur->ConsumeIdent("AUTOMATIC")) {
+        set.insertion = InsertionClass::kAutomatic;
+      } else if (cur->ConsumeIdent("MANUAL")) {
+        set.insertion = InsertionClass::kManual;
+      } else {
+        return cur->ErrorHere("expected AUTOMATIC or MANUAL");
+      }
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      continue;
+    }
+    if (cur->ConsumeIdent("RETENTION")) {
+      DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+      if (cur->ConsumeIdent("MANDATORY")) {
+        set.retention = RetentionClass::kMandatory;
+      } else if (cur->ConsumeIdent("OPTIONAL")) {
+        set.retention = RetentionClass::kOptional;
+      } else {
+        return cur->ErrorHere("expected MANDATORY or OPTIONAL");
+      }
+      DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+      continue;
+    }
+    return cur->ErrorHere("unexpected clause in SET");
+  }
+  if (set.owner.empty() || !saw_member) {
+    return Status::ParseError("set " + set.name +
+                              " missing OWNER or MEMBER clause");
+  }
+  if (set.keys.empty()) set.ordering = SetOrdering::kChronological;
+  return set;
+}
+
+Result<ConstraintDef> ParseConstraint(TokenCursor* cur) {
+  ConstraintDef c;
+  DBPC_ASSIGN_OR_RETURN(c.name, cur->TakeIdentifier("constraint name"));
+  DBPC_RETURN_IF_ERROR(cur->ExpectIdent("IS"));
+  DBPC_ASSIGN_OR_RETURN(std::string kind, cur->TakeIdentifier("constraint kind"));
+  if (kind == "NON-NULL" || kind == "UNIQUE") {
+    c.kind = kind == "UNIQUE" ? ConstraintKind::kUniqueness
+                              : ConstraintKind::kNonNull;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_ASSIGN_OR_RETURN(c.record, cur->TakeIdentifier("record name"));
+    DBPC_ASSIGN_OR_RETURN(c.fields, ParseNameList(cur, "field name"));
+  } else if (kind == "EXISTENCE") {
+    c.kind = ConstraintKind::kExistence;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+    DBPC_ASSIGN_OR_RETURN(c.set_name, cur->TakeIdentifier("set name"));
+  } else if (kind == "CARDINALITY") {
+    c.kind = ConstraintKind::kCardinalityLimit;
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("ON"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("SET"));
+    DBPC_ASSIGN_OR_RETURN(c.set_name, cur->TakeIdentifier("set name"));
+    DBPC_RETURN_IF_ERROR(cur->ExpectIdent("LIMIT"));
+    DBPC_ASSIGN_OR_RETURN(c.limit, cur->TakeInteger("limit"));
+    if (cur->ConsumeIdent("PER")) {
+      DBPC_ASSIGN_OR_RETURN(c.group_field,
+                            cur->TakeIdentifier("group field"));
+    }
+  } else {
+    return cur->ErrorHere("unknown constraint kind '" + kind + "'");
+  }
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(cur));
+  return c;
+}
+
+}  // namespace
+
+Result<Schema> ParseDdl(const std::string& text) {
+  DBPC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  TokenCursor cur(std::move(tokens));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SCHEMA"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("NAME"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("IS"));
+  DBPC_ASSIGN_OR_RETURN(std::string name, cur.TakeIdentifier("schema name"));
+  Schema schema(name);
+  // An optional clause terminator after the schema name (the figure omits it).
+  (void)(cur.ConsumePunct(".") || cur.ConsumePunct(";"));
+
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("RECORD"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SECTION"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+  while (cur.ConsumeIdent("RECORD")) {
+    DBPC_ASSIGN_OR_RETURN(RecordTypeDef record, ParseRecord(&cur));
+    DBPC_RETURN_IF_ERROR(schema.AddRecordType(std::move(record)));
+  }
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("END"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("RECORD"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SECTION"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SET"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SECTION"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+  while (cur.ConsumeIdent("SET")) {
+    DBPC_ASSIGN_OR_RETURN(SetDef set, ParseSet(&cur));
+    DBPC_RETURN_IF_ERROR(schema.AddSet(std::move(set)));
+  }
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("END"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SET"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SECTION"));
+  DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+
+  if (cur.ConsumeIdent("CONSTRAINT")) {
+    DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SECTION"));
+    DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+    while (cur.ConsumeIdent("CONSTRAINT")) {
+      DBPC_ASSIGN_OR_RETURN(ConstraintDef c, ParseConstraint(&cur));
+      DBPC_RETURN_IF_ERROR(schema.AddConstraint(std::move(c)));
+    }
+    DBPC_RETURN_IF_ERROR(cur.ExpectIdent("END"));
+    DBPC_RETURN_IF_ERROR(cur.ExpectIdent("CONSTRAINT"));
+    DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SECTION"));
+    DBPC_RETURN_IF_ERROR(ExpectClauseEnd(&cur));
+  }
+
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("END"));
+  DBPC_RETURN_IF_ERROR(cur.ExpectIdent("SCHEMA"));
+  (void)(cur.ConsumePunct(".") || cur.ConsumePunct(";"));
+  if (!cur.AtEnd()) {
+    return cur.ErrorHere("trailing input after END SCHEMA");
+  }
+  DBPC_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace dbpc

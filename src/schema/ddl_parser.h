@@ -1,0 +1,49 @@
+#ifndef DBPC_SCHEMA_DDL_PARSER_H_
+#define DBPC_SCHEMA_DDL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// Parses the Maryland DDL dialect of Figure 4.3, extended with optional
+/// INSERTION / RETENTION / ORDER clauses and a CONSTRAINT SECTION so that
+/// the full schema model of `Schema` is expressible in text.
+///
+/// Grammar (clauses end with '.'; ';' is accepted as a synonym, matching
+/// the figure's "RECORD SECTION;"):
+///
+///   SCHEMA NAME IS <id>
+///   RECORD SECTION.
+///     RECORD NAME IS <id>. FIELDS ARE.
+///       <id> PIC X(<n>).                       -- string field
+///       <id> PIC 9(<n>).                       -- integer field
+///       <id> PIC F(<n>).                       -- floating field
+///       <id> VIRTUAL VIA <set> USING <field>.  -- derived from owner
+///     END RECORD.
+///   END RECORD SECTION.
+///   SET SECTION.
+///     SET NAME IS <id>. OWNER IS <id|SYSTEM>. MEMBER IS <id>.
+///       [SET KEYS ARE (<f> {, <f>}).]
+///       [ORDER IS CHRONOLOGICAL.]
+///       [INSERTION IS AUTOMATIC|MANUAL.]
+///       [RETENTION IS MANDATORY|OPTIONAL.]
+///       [MEMBER IS CHARACTERIZING.]
+///     END SET.
+///   END SET SECTION.
+///   [CONSTRAINT SECTION.
+///     CONSTRAINT <id> IS NON-NULL ON <rec> (<f>{, <f>}).
+///     CONSTRAINT <id> IS UNIQUE ON <rec> (<f>{, <f>}).
+///     CONSTRAINT <id> IS EXISTENCE ON SET <set>.
+///     CONSTRAINT <id> IS CARDINALITY ON SET <set> LIMIT <n> [PER <f>].
+///   END CONSTRAINT SECTION.]
+///   END SCHEMA.
+///
+/// The result is validated (`Schema::Validate`) before being returned.
+Result<Schema> ParseDdl(const std::string& text);
+
+}  // namespace dbpc
+
+#endif  // DBPC_SCHEMA_DDL_PARSER_H_

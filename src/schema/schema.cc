@@ -1,0 +1,399 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+const char* InsertionClassName(InsertionClass c) {
+  return c == InsertionClass::kAutomatic ? "AUTOMATIC" : "MANUAL";
+}
+
+const char* RetentionClassName(RetentionClass c) {
+  return c == RetentionClass::kMandatory ? "MANDATORY" : "OPTIONAL";
+}
+
+const char* ConstraintKindName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kNonNull:
+      return "NON-NULL";
+    case ConstraintKind::kUniqueness:
+      return "UNIQUE";
+    case ConstraintKind::kExistence:
+      return "EXISTENCE";
+    case ConstraintKind::kCardinalityLimit:
+      return "CARDINALITY";
+  }
+  return "UNKNOWN";
+}
+
+std::string ConstraintDef::ToString() const {
+  std::string out = "CONSTRAINT ";
+  out += name;
+  out += " IS ";
+  out += ConstraintKindName(kind);
+  switch (kind) {
+    case ConstraintKind::kNonNull:
+    case ConstraintKind::kUniqueness:
+      out += " ON " + record + " (" + Join(fields, ", ") + ")";
+      break;
+    case ConstraintKind::kExistence:
+      out += " ON SET " + set_name;
+      break;
+    case ConstraintKind::kCardinalityLimit:
+      out += " ON SET " + set_name + " LIMIT " + std::to_string(limit);
+      if (!group_field.empty()) out += " PER " + group_field;
+      break;
+  }
+  return out;
+}
+
+const FieldDef* RecordTypeDef::FindField(const std::string& field_name) const {
+  for (const FieldDef& f : fields) {
+    if (EqualsIgnoreCase(f.name, field_name)) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RecordTypeDef::ActualFieldNames() const {
+  std::vector<std::string> out;
+  for (const FieldDef& f : fields) {
+    if (!f.is_virtual) out.push_back(f.name);
+  }
+  return out;
+}
+
+Status Schema::AddRecordType(RecordTypeDef def) {
+  if (!IsIdentifier(def.name)) {
+    return Status::InvalidArgument("bad record type name '" + def.name + "'");
+  }
+  if (FindRecordType(def.name) != nullptr) {
+    return Status::AlreadyExists("record type " + def.name);
+  }
+  for (size_t i = 0; i < def.fields.size(); ++i) {
+    if (!IsIdentifier(def.fields[i].name)) {
+      return Status::InvalidArgument("bad field name '" + def.fields[i].name +
+                                     "' in " + def.name);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(def.fields[i].name, def.fields[j].name)) {
+        return Status::AlreadyExists("field " + def.fields[i].name + " in " +
+                                     def.name);
+      }
+    }
+  }
+  record_types_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::AddSet(SetDef def) {
+  if (!IsIdentifier(def.name)) {
+    return Status::InvalidArgument("bad set name '" + def.name + "'");
+  }
+  if (FindSet(def.name) != nullptr) {
+    return Status::AlreadyExists("set " + def.name);
+  }
+  sets_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::AddConstraint(ConstraintDef def) {
+  if (!IsIdentifier(def.name)) {
+    return Status::InvalidArgument("bad constraint name '" + def.name + "'");
+  }
+  if (FindConstraint(def.name) != nullptr) {
+    return Status::AlreadyExists("constraint " + def.name);
+  }
+  constraints_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::DropRecordType(const std::string& name) {
+  auto it = std::find_if(
+      record_types_.begin(), record_types_.end(),
+      [&](const RecordTypeDef& r) { return EqualsIgnoreCase(r.name, name); });
+  if (it == record_types_.end()) {
+    return Status::NotFound("record type " + name);
+  }
+  record_types_.erase(it);
+  return Status::OK();
+}
+
+Status Schema::DropSet(const std::string& name) {
+  auto it = std::find_if(sets_.begin(), sets_.end(), [&](const SetDef& s) {
+    return EqualsIgnoreCase(s.name, name);
+  });
+  if (it == sets_.end()) return Status::NotFound("set " + name);
+  sets_.erase(it);
+  return Status::OK();
+}
+
+Status Schema::DropConstraint(const std::string& name) {
+  auto it = std::find_if(
+      constraints_.begin(), constraints_.end(),
+      [&](const ConstraintDef& c) { return EqualsIgnoreCase(c.name, name); });
+  if (it == constraints_.end()) return Status::NotFound("constraint " + name);
+  constraints_.erase(it);
+  return Status::OK();
+}
+
+const RecordTypeDef* Schema::FindRecordType(const std::string& name) const {
+  for (const RecordTypeDef& r : record_types_) {
+    if (EqualsIgnoreCase(r.name, name)) return &r;
+  }
+  return nullptr;
+}
+
+RecordTypeDef* Schema::FindRecordType(const std::string& name) {
+  return const_cast<RecordTypeDef*>(
+      static_cast<const Schema*>(this)->FindRecordType(name));
+}
+
+const SetDef* Schema::FindSet(const std::string& name) const {
+  for (const SetDef& s : sets_) {
+    if (EqualsIgnoreCase(s.name, name)) return &s;
+  }
+  return nullptr;
+}
+
+SetDef* Schema::FindSet(const std::string& name) {
+  return const_cast<SetDef*>(static_cast<const Schema*>(this)->FindSet(name));
+}
+
+const ConstraintDef* Schema::FindConstraint(const std::string& name) const {
+  for (const ConstraintDef& c : constraints_) {
+    if (EqualsIgnoreCase(c.name, name)) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const SetDef*> Schema::SetsOwnedBy(const std::string& owner) const {
+  std::vector<const SetDef*> out;
+  for (const SetDef& s : sets_) {
+    if (EqualsIgnoreCase(s.owner, owner)) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const SetDef*> Schema::SetsWithMember(
+    const std::string& member) const {
+  std::vector<const SetDef*> out;
+  for (const SetDef& s : sets_) {
+    if (EqualsIgnoreCase(s.member, member)) out.push_back(&s);
+  }
+  return out;
+}
+
+const SetDef* Schema::FindSetBetween(const std::string& owner,
+                                     const std::string& member) const {
+  const SetDef* found = nullptr;
+  for (const SetDef& s : sets_) {
+    if (EqualsIgnoreCase(s.owner, owner) && EqualsIgnoreCase(s.member, member)) {
+      if (found != nullptr) return nullptr;  // ambiguous
+      found = &s;
+    }
+  }
+  return found;
+}
+
+Status Schema::Validate() const {
+  for (const SetDef& s : sets_) {
+    if (!s.system_owned() && FindRecordType(s.owner) == nullptr) {
+      return Status::NotFound("set " + s.name + " owner " + s.owner);
+    }
+    const RecordTypeDef* member = FindRecordType(s.member);
+    if (member == nullptr) {
+      return Status::NotFound("set " + s.name + " member " + s.member);
+    }
+    for (const std::string& key : s.keys) {
+      const FieldDef* key_field = member->FindField(key);
+      if (key_field == nullptr) {
+        return Status::NotFound("set " + s.name + " key field " + key +
+                                " in member " + s.member);
+      }
+      if (key_field->is_virtual) {
+        return Status::InvalidArgument("set " + s.name + " key field " + key +
+                                       " is virtual; sort keys must be "
+                                       "stored data");
+      }
+    }
+    if (s.ordering == SetOrdering::kSortedByKeys && s.keys.empty()) {
+      return Status::InvalidArgument("set " + s.name +
+                                     " sorted but has no keys");
+    }
+  }
+  for (const RecordTypeDef& r : record_types_) {
+    for (const FieldDef& f : r.fields) {
+      if (!f.is_virtual) continue;
+      const SetDef* via = FindSet(f.via_set);
+      if (via == nullptr) {
+        return Status::NotFound("virtual field " + r.name + "." + f.name +
+                                " via unknown set " + f.via_set);
+      }
+      if (!EqualsIgnoreCase(via->member, r.name)) {
+        return Status::InvalidArgument("virtual field " + r.name + "." +
+                                       f.name + ": record is not a member of " +
+                                       f.via_set);
+      }
+      if (via->system_owned()) {
+        return Status::InvalidArgument("virtual field " + r.name + "." +
+                                       f.name + " via system-owned set");
+      }
+      const RecordTypeDef* owner = FindRecordType(via->owner);
+      if (owner == nullptr || !owner->HasField(f.using_field)) {
+        return Status::NotFound("virtual field " + r.name + "." + f.name +
+                                " using unknown owner field " + f.using_field);
+      }
+      const FieldDef* src = owner->FindField(f.using_field);
+      if (src->type != f.type) {
+        return Status::TypeError("virtual field " + r.name + "." + f.name +
+                                 " type differs from " + via->owner + "." +
+                                 f.using_field);
+      }
+    }
+  }
+  // Virtual fields may chain (a virtual field derived from the owner's own
+  // virtual field); reject cyclic chains, which could never resolve.
+  for (const RecordTypeDef& r : record_types_) {
+    for (const FieldDef& f : r.fields) {
+      if (!f.is_virtual) continue;
+      const FieldDef* cur = &f;
+      const RecordTypeDef* cur_rec = &r;
+      size_t hops = 0;
+      while (cur->is_virtual) {
+        if (++hops > record_types_.size() + 1) {
+          return Status::InvalidArgument("virtual field chain through " +
+                                         r.name + "." + f.name + " is cyclic");
+        }
+        const SetDef* via = FindSet(cur->via_set);
+        cur_rec = FindRecordType(via->owner);
+        cur = cur_rec->FindField(cur->using_field);
+      }
+    }
+  }
+  for (const ConstraintDef& c : constraints_) {
+    switch (c.kind) {
+      case ConstraintKind::kNonNull:
+      case ConstraintKind::kUniqueness: {
+        const RecordTypeDef* r = FindRecordType(c.record);
+        if (r == nullptr) {
+          return Status::NotFound("constraint " + c.name + " record " +
+                                  c.record);
+        }
+        if (c.fields.empty()) {
+          return Status::InvalidArgument("constraint " + c.name +
+                                         " names no fields");
+        }
+        for (const std::string& f : c.fields) {
+          if (!r->HasField(f)) {
+            return Status::NotFound("constraint " + c.name + " field " +
+                                    c.record + "." + f);
+          }
+        }
+        break;
+      }
+      case ConstraintKind::kExistence: {
+        if (FindSet(c.set_name) == nullptr) {
+          return Status::NotFound("constraint " + c.name + " set " +
+                                  c.set_name);
+        }
+        break;
+      }
+      case ConstraintKind::kCardinalityLimit: {
+        const SetDef* s = FindSet(c.set_name);
+        if (s == nullptr) {
+          return Status::NotFound("constraint " + c.name + " set " +
+                                  c.set_name);
+        }
+        if (c.limit <= 0) {
+          return Status::InvalidArgument("constraint " + c.name +
+                                         " non-positive limit");
+        }
+        if (!c.group_field.empty()) {
+          const RecordTypeDef* member = FindRecordType(s->member);
+          if (member == nullptr || !member->HasField(c.group_field)) {
+            return Status::NotFound("constraint " + c.name + " group field " +
+                                    c.group_field);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string PicClause(const FieldDef& f) {
+  std::string out = "PIC ";
+  out += f.type == FieldType::kString ? "X" : (f.type == FieldType::kInt ? "9" : "F");
+  out += "(";
+  out += std::to_string(f.pic_width > 0 ? f.pic_width : 10);
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string Schema::ToDdl() const {
+  std::string out;
+  out += "SCHEMA NAME IS " + name_ + "\n";
+  out += "RECORD SECTION.\n";
+  for (const RecordTypeDef& r : record_types_) {
+    out += "  RECORD NAME IS " + r.name + ".\n";
+    out += "  FIELDS ARE.\n";
+    for (const FieldDef& f : r.fields) {
+      if (f.is_virtual) {
+        out += "    " + f.name + " VIRTUAL VIA " + f.via_set + " USING " +
+               f.using_field + ".\n";
+      } else {
+        out += "    " + f.name + " " + PicClause(f) + ".\n";
+      }
+    }
+    out += "  END RECORD.\n";
+  }
+  out += "END RECORD SECTION.\n";
+  out += "SET SECTION.\n";
+  for (const SetDef& s : sets_) {
+    out += "  SET NAME IS " + s.name + ".\n";
+    out += "  OWNER IS " + s.owner + ".\n";
+    out += "  MEMBER IS " + s.member + ".\n";
+    if (!s.keys.empty()) {
+      out += "  SET KEYS ARE (" + Join(s.keys, ", ") + ").\n";
+    }
+    if (s.ordering == SetOrdering::kChronological) {
+      out += "  ORDER IS CHRONOLOGICAL.\n";
+    }
+    if (s.insertion != InsertionClass::kAutomatic) {
+      out += std::string("  INSERTION IS ") + InsertionClassName(s.insertion) +
+             ".\n";
+    }
+    if (s.retention != RetentionClass::kMandatory) {
+      out += std::string("  RETENTION IS ") + RetentionClassName(s.retention) +
+             ".\n";
+    }
+    if (s.member_characterizes_owner) {
+      out += "  MEMBER IS CHARACTERIZING.\n";
+    }
+    out += "  END SET.\n";
+  }
+  out += "END SET SECTION.\n";
+  if (!constraints_.empty()) {
+    out += "CONSTRAINT SECTION.\n";
+    for (const ConstraintDef& c : constraints_) {
+      out += "  " + c.ToString() + ".\n";
+    }
+    out += "END CONSTRAINT SECTION.\n";
+  }
+  out += "END SCHEMA.\n";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return name_ == other.name_ && record_types_ == other.record_types_ &&
+         sets_ == other.sets_ && constraints_ == other.constraints_;
+}
+
+}  // namespace dbpc

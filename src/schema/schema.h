@@ -1,0 +1,190 @@
+#ifndef DBPC_SCHEMA_SCHEMA_H_
+#define DBPC_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dbpc {
+
+/// One field of a record type. Mirrors the Figure 4.3 DDL: actual fields
+/// carry a PIC clause (type + display width); virtual fields are derived
+/// through a set from the owner record (VIRTUAL VIA <set> USING <field>).
+struct FieldDef {
+  std::string name;
+  FieldType type = FieldType::kString;
+  /// Display width from the PIC clause, e.g. PIC X(20) -> 20. Zero means
+  /// unspecified (fields created programmatically).
+  int pic_width = 0;
+  /// True for VIRTUAL fields; `via_set`/`using_field` identify the source.
+  bool is_virtual = false;
+  std::string via_set;
+  std::string using_field;
+  /// Default supplied on STORE when the program omits the field.
+  Value default_value;
+
+  bool operator==(const FieldDef&) const = default;
+};
+
+/// CODASYL insertion class: AUTOMATIC members are connected into their set
+/// occurrence by the system at STORE time; MANUAL members require an
+/// explicit CONNECT.
+enum class InsertionClass { kAutomatic, kManual };
+
+/// CODASYL retention class: MANDATORY members must belong to some
+/// occurrence of the set for their whole life; OPTIONAL members may be
+/// disconnected.
+enum class RetentionClass { kMandatory, kOptional };
+
+/// Member ordering within a set occurrence.
+enum class SetOrdering {
+  kSortedByKeys,   ///< ascending by `keys` (the Figure 4.3 SET KEYS clause)
+  kChronological,  ///< insertion (FIFO) order
+};
+
+const char* InsertionClassName(InsertionClass c);
+const char* RetentionClassName(RetentionClass c);
+
+/// An owner-coupled set type (Figure 4.3 SET SECTION). `owner` may be the
+/// distinguished name SYSTEM for singular (system-owned) sets.
+struct SetDef {
+  std::string name;
+  std::string owner;
+  std::string member;
+  InsertionClass insertion = InsertionClass::kAutomatic;
+  RetentionClass retention = RetentionClass::kMandatory;
+  SetOrdering ordering = SetOrdering::kSortedByKeys;
+  /// Member fields forming the sort key; duplicates of the full key are
+  /// rejected within one occurrence (paper section 4.2).
+  std::vector<std::string> keys;
+  /// Su's "characterizing entity" dependency: erasing the owner erases the
+  /// members (the EMP -> EMP.DEPENDENT example of section 4.1).
+  bool member_characterizes_owner = false;
+
+  bool system_owned() const { return owner == "SYSTEM"; }
+
+  bool operator==(const SetDef&) const = default;
+};
+
+/// Kinds of explicit integrity constraints (paper section 3.1). Existence
+/// and uniqueness are expressible in 1979 models; cardinality limits are
+/// the paper's example of a rule "maintained only by user programs".
+enum class ConstraintKind {
+  kNonNull,           ///< Named fields may not be null.
+  kUniqueness,        ///< Named fields form a unique key of the record type.
+  kExistence,         ///< Member may not exist outside an owner occurrence.
+  kCardinalityLimit,  ///< At most `limit` members per owner, optionally per
+                      ///< distinct value of `group_field` (e.g. a course may
+                      ///< be offered at most twice per YEAR).
+};
+
+const char* ConstraintKindName(ConstraintKind kind);
+
+/// One declared integrity constraint.
+struct ConstraintDef {
+  std::string name;
+  ConstraintKind kind = ConstraintKind::kNonNull;
+  /// Subject record type (kNonNull, kUniqueness) .
+  std::string record;
+  /// Subject set (kExistence, kCardinalityLimit).
+  std::string set_name;
+  std::vector<std::string> fields;
+  int64_t limit = 0;
+  std::string group_field;
+
+  std::string ToString() const;
+
+  bool operator==(const ConstraintDef&) const = default;
+};
+
+/// One record type (Figure 4.3 RECORD SECTION entry).
+struct RecordTypeDef {
+  std::string name;
+  std::vector<FieldDef> fields;
+
+  const FieldDef* FindField(const std::string& field_name) const;
+  bool HasField(const std::string& field_name) const {
+    return FindField(field_name) != nullptr;
+  }
+  /// Names of non-virtual fields, in declaration order.
+  std::vector<std::string> ActualFieldNames() const;
+
+  bool operator==(const RecordTypeDef&) const = default;
+};
+
+/// A complete database schema: record types, owner-coupled sets, and
+/// explicit integrity constraints. This single description is the input to
+/// all three data-model facades and to the conversion pipeline; the paper
+/// calls such explicitness "a necessary base for database program
+/// conversion systems" (section 3.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a record type; fails on duplicate names.
+  Status AddRecordType(RecordTypeDef def);
+  /// Adds a set type; fails on duplicate names. Owner/member references are
+  /// checked by Validate(), not here, so construction order is free.
+  Status AddSet(SetDef def);
+  Status AddConstraint(ConstraintDef def);
+
+  /// Removes by name (used by schema transformations).
+  Status DropRecordType(const std::string& name);
+  Status DropSet(const std::string& name);
+  Status DropConstraint(const std::string& name);
+
+  const RecordTypeDef* FindRecordType(const std::string& name) const;
+  RecordTypeDef* FindRecordType(const std::string& name);
+  const SetDef* FindSet(const std::string& name) const;
+  SetDef* FindSet(const std::string& name);
+  const ConstraintDef* FindConstraint(const std::string& name) const;
+
+  const std::vector<RecordTypeDef>& record_types() const {
+    return record_types_;
+  }
+  const std::vector<SetDef>& sets() const { return sets_; }
+  const std::vector<ConstraintDef>& constraints() const { return constraints_; }
+
+  /// Mutable views for schema transformations. Callers must re-Validate().
+  std::vector<RecordTypeDef>& mutable_record_types() { return record_types_; }
+  std::vector<SetDef>& mutable_sets() { return sets_; }
+  std::vector<ConstraintDef>& mutable_constraints() { return constraints_; }
+
+  /// Sets owned by `owner` record type / with `member` record type.
+  std::vector<const SetDef*> SetsOwnedBy(const std::string& owner) const;
+  std::vector<const SetDef*> SetsWithMember(const std::string& member) const;
+
+  /// The set linking `owner` to `member`, if exactly one exists.
+  const SetDef* FindSetBetween(const std::string& owner,
+                               const std::string& member) const;
+
+  /// Structural well-formedness: every set's owner/member exists, virtual
+  /// fields resolve through a set to an owner field of matching type, set
+  /// keys name member fields, constraints reference real objects.
+  Status Validate() const;
+
+  /// Serializes to the Figure 4.3 DDL dialect; `DdlParser` round-trips it.
+  std::string ToDdl() const;
+
+  /// Structural equality (used by transformation inverse tests).
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::string name_;
+  std::vector<RecordTypeDef> record_types_;
+  std::vector<SetDef> sets_;
+  std::vector<ConstraintDef> constraints_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_SCHEMA_SCHEMA_H_

@@ -1,0 +1,111 @@
+#include "storage/store.h"
+
+#include <algorithm>
+
+namespace dbpc {
+
+RecordId Store::Insert(std::string type, FieldMap fields) {
+  RecordId id = next_id_++;
+  StoredRecord rec;
+  rec.id = id;
+  rec.type = std::move(type);
+  rec.fields = std::move(fields);
+  records_.emplace(id, std::move(rec));
+  return id;
+}
+
+Status Store::Remove(RecordId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  records_.erase(it);
+  return Status::OK();
+}
+
+const StoredRecord* Store::Get(RecordId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+StoredRecord* Store::GetMutable(RecordId id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<RecordId> Store::AllOfType(const std::string& type) const {
+  std::vector<RecordId> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.type == type) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RecordId> Store::AllRecords() const {
+  std::vector<RecordId> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(id);
+  return out;
+}
+
+Status Store::Link(const std::string& set_name, RecordId owner,
+                   RecordId member, size_t position) {
+  SetIndex& idx = sets_[set_name];
+  if (idx.owner_of.count(member) > 0) {
+    return Status::AlreadyExists("record " + std::to_string(member) +
+                                 " already a member of " + set_name);
+  }
+  std::vector<RecordId>& members = idx.members_of[owner];
+  if (position > members.size()) position = members.size();
+  members.insert(members.begin() + static_cast<ptrdiff_t>(position), member);
+  idx.owner_of[member] = owner;
+  return Status::OK();
+}
+
+Status Store::LinkLast(const std::string& set_name, RecordId owner,
+                       RecordId member) {
+  SetIndex& idx = sets_[set_name];
+  if (idx.owner_of.count(member) > 0) {
+    return Status::AlreadyExists("record " + std::to_string(member) +
+                                 " already a member of " + set_name);
+  }
+  idx.members_of[owner].push_back(member);
+  idx.owner_of[member] = owner;
+  return Status::OK();
+}
+
+Status Store::Unlink(const std::string& set_name, RecordId member) {
+  auto set_it = sets_.find(set_name);
+  if (set_it == sets_.end()) {
+    return Status::NotFound("set " + set_name + " has no occurrences");
+  }
+  SetIndex& idx = set_it->second;
+  auto it = idx.owner_of.find(member);
+  if (it == idx.owner_of.end()) {
+    return Status::NotFound("record " + std::to_string(member) +
+                            " not a member of " + set_name);
+  }
+  std::vector<RecordId>& members = idx.members_of[it->second];
+  members.erase(std::remove(members.begin(), members.end(), member),
+                members.end());
+  idx.owner_of.erase(it);
+  return Status::OK();
+}
+
+RecordId Store::OwnerOf(const std::string& set_name, RecordId member) const {
+  auto set_it = sets_.find(set_name);
+  if (set_it == sets_.end()) return 0;
+  auto it = set_it->second.owner_of.find(member);
+  return it == set_it->second.owner_of.end() ? 0 : it->second;
+}
+
+const std::vector<RecordId>& Store::Members(const std::string& set_name,
+                                            RecordId owner) const {
+  static const std::vector<RecordId> kEmpty;
+  auto set_it = sets_.find(set_name);
+  if (set_it == sets_.end()) return kEmpty;
+  auto it = set_it->second.members_of.find(owner);
+  return it == set_it->second.members_of.end() ? kEmpty : it->second;
+}
+
+}  // namespace dbpc

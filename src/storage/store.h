@@ -1,0 +1,101 @@
+#ifndef DBPC_STORAGE_STORE_H_
+#define DBPC_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace dbpc {
+
+/// Stable identifier of a stored record. Zero is never a valid id.
+using RecordId = uint64_t;
+
+/// Pseudo-owner id used for the single occurrence of a SYSTEM-owned set.
+inline constexpr RecordId kSystemOwner = static_cast<RecordId>(-1);
+
+/// Field name (canonical upper case) to value.
+using FieldMap = std::map<std::string, Value>;
+
+/// One stored record instance. Only actual (non-virtual) fields are
+/// materialized; virtual fields are resolved by the engine layer.
+struct StoredRecord {
+  RecordId id = 0;
+  std::string type;
+  FieldMap fields;
+};
+
+/// Untyped record heap plus owner-coupled set membership, shared by all
+/// three data-model facades. The store knows nothing about schemas; the
+/// `Database` engine layers validation and constraint enforcement on top.
+///
+/// Set occurrences are kept as explicit ordered member lists per owner, the
+/// in-memory analogue of 1970s chain/pointer-array set implementations.
+class Store {
+ public:
+  /// Inserts a record and returns its new id.
+  RecordId Insert(std::string type, FieldMap fields);
+
+  /// Removes a record. The caller must already have disconnected it from
+  /// every set (the engine's Erase handles ordering).
+  Status Remove(RecordId id);
+
+  bool Exists(RecordId id) const { return records_.count(id) > 0; }
+  const StoredRecord* Get(RecordId id) const;
+  StoredRecord* GetMutable(RecordId id);
+
+  /// All live records of `type`, in ascending id (i.e. insertion) order.
+  std::vector<RecordId> AllOfType(const std::string& type) const;
+
+  /// All live record ids in insertion order.
+  std::vector<RecordId> AllRecords() const;
+
+  size_t LiveCount() const { return records_.size(); }
+
+  // --- set membership -------------------------------------------------
+
+  /// Links `member` into the `set_name` occurrence owned by `owner` at
+  /// `position` within the member list. Fails if already a member.
+  Status Link(const std::string& set_name, RecordId owner, RecordId member,
+              size_t position);
+
+  /// Appends `member` to the occurrence owned by `owner`.
+  Status LinkLast(const std::string& set_name, RecordId owner,
+                  RecordId member);
+
+  /// Unlinks `member` from its occurrence of `set_name`.
+  Status Unlink(const std::string& set_name, RecordId member);
+
+  /// Owner of `member` within `set_name`, or 0 when not a member.
+  RecordId OwnerOf(const std::string& set_name, RecordId member) const;
+
+  /// Ordered members of the occurrence owned by `owner`; empty when the
+  /// occurrence is empty or absent.
+  const std::vector<RecordId>& Members(const std::string& set_name,
+                                       RecordId owner) const;
+
+  bool IsMember(const std::string& set_name, RecordId member) const {
+    return OwnerOf(set_name, member) != 0;
+  }
+
+  /// Deep copy (used by the bridge baseline and by benchmarks).
+  Store Clone() const { return *this; }
+
+ private:
+  struct SetIndex {
+    std::unordered_map<RecordId, RecordId> owner_of;
+    std::unordered_map<RecordId, std::vector<RecordId>> members_of;
+  };
+
+  RecordId next_id_ = 1;
+  std::map<RecordId, StoredRecord> records_;
+  std::unordered_map<std::string, SetIndex> sets_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_STORAGE_STORE_H_

@@ -1,0 +1,127 @@
+#include "supervisor/supervisor.h"
+
+namespace dbpc {
+
+AnalystPolicy ApproveAllAnalyst() {
+  return [](const std::string&) { return true; };
+}
+
+AnalystPolicy RejectAllAnalyst() {
+  return [](const std::string&) { return false; };
+}
+
+Result<ConversionSupervisor> ConversionSupervisor::Create(
+    Schema source, std::vector<const Transformation*> plan,
+    SupervisorOptions options) {
+  DBPC_ASSIGN_OR_RETURN(
+      ProgramConverter converter,
+      ProgramConverter::Create(std::move(source), plan, options.analyzer));
+  return ConversionSupervisor(std::move(converter), std::move(plan),
+                              std::move(options));
+}
+
+Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
+    const Program& program) const {
+  PipelineOutcome outcome;
+  DBPC_ASSIGN_OR_RETURN(outcome.conversion, converter_.Convert(program));
+  outcome.classification = outcome.conversion.outcome;
+
+  switch (outcome.classification) {
+    case Convertibility::kNotConvertible:
+      outcome.accepted = false;
+      return outcome;
+    case Convertibility::kAutomatic:
+      outcome.accepted = true;
+      break;
+    case Convertibility::kNeedsAnalyst: {
+      // One question per analyst-relevant finding; all must be approved.
+      bool all_approved = true;
+      auto ask = [&](const std::string& question) {
+        bool answer =
+            options_.analyst ? options_.analyst(question) : false;
+        outcome.analyst_log.emplace_back(question, answer);
+        if (!answer) all_approved = false;
+      };
+      for (const AnalysisIssue& issue : outcome.conversion.analysis.issues) {
+        switch (issue.kind) {
+          case AnalysisIssue::Kind::kAmbiguousOwnerSelection:
+          case AnalysisIssue::Kind::kUnliftedNavigation:
+          case AnalysisIssue::Kind::kStatusCodeDependence:
+            ask(issue.ToString());
+            break;
+          default:
+            break;  // informational
+        }
+      }
+      for (const std::string& note : outcome.conversion.notes) {
+        ask(note);
+      }
+      outcome.accepted = all_approved;
+      break;
+    }
+  }
+
+  if (outcome.accepted && options_.run_optimizer) {
+    DBPC_RETURN_IF_ERROR(OptimizeProgram(converter_.target_schema(),
+                                         &outcome.conversion.converted,
+                                         &outcome.optimizer_stats));
+  }
+  return outcome;
+}
+
+std::string SystemConversionReport::ToText() const {
+  std::string out;
+  out += "=== application system conversion report ===\n";
+  for (const PipelineOutcome& o : outcomes) {
+    out += "program " + o.conversion.converted.name + ": " +
+           ConvertibilityName(o.classification) +
+           (o.accepted ? " (accepted)" : " (not converted)") + "\n";
+    for (const AnalysisIssue& issue : o.conversion.analysis.issues) {
+      out += "  issue: " + issue.ToString() + "\n";
+    }
+    for (const std::string& note : o.conversion.notes) {
+      out += "  note: " + note + "\n";
+    }
+    for (const auto& [question, answer] : o.analyst_log) {
+      out += std::string("  analyst ") + (answer ? "approved" : "rejected") +
+             ": " + question + "\n";
+    }
+  }
+  out += "summary: " + std::to_string(outcomes.size()) + " programs, " +
+         std::to_string(automatic) + " automatic, " +
+         std::to_string(needs_analyst) + " analyst, " +
+         std::to_string(refused) + " refused; " +
+         std::to_string(accepted) + " accepted -> system " +
+         (fully_converted() ? "fully converted" : "NOT fully converted") +
+         "\n";
+  return out;
+}
+
+Result<SystemConversionReport> ConversionSupervisor::ConvertSystem(
+    const std::vector<Program>& programs) const {
+  SystemConversionReport report;
+  for (const Program& program : programs) {
+    DBPC_ASSIGN_OR_RETURN(PipelineOutcome outcome, ConvertProgram(program));
+    switch (outcome.classification) {
+      case Convertibility::kAutomatic:
+        ++report.automatic;
+        break;
+      case Convertibility::kNeedsAnalyst:
+        ++report.needs_analyst;
+        break;
+      case Convertibility::kNotConvertible:
+        ++report.refused;
+        break;
+    }
+    if (outcome.accepted) ++report.accepted;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+Result<Database> ConversionSupervisor::TranslateDatabase(
+    const Database& source) const {
+  return dbpc::TranslateDatabase(source, plan_);
+}
+
+}  // namespace dbpc

@@ -1,0 +1,109 @@
+#ifndef DBPC_SUPERVISOR_SUPERVISOR_H_
+#define DBPC_SUPERVISOR_SUPERVISOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "convert/converter.h"
+#include "optimize/optimizer.h"
+
+namespace dbpc {
+
+/// The Conversion Analyst's decision procedure. The supervisor asks one
+/// question per analyst-facing issue or note; returning true approves the
+/// proposed handling, false rejects the conversion.
+using AnalystPolicy = std::function<bool(const std::string& question)>;
+
+/// An analyst that approves everything (assisted mode) / rejects everything
+/// (strictly automatic mode).
+AnalystPolicy ApproveAllAnalyst();
+AnalystPolicy RejectAllAnalyst();
+
+/// Supervisor configuration.
+struct SupervisorOptions {
+  bool run_optimizer = true;
+  /// Null behaves like RejectAllAnalyst(): only kAutomatic conversions are
+  /// accepted.
+  AnalystPolicy analyst;
+  /// Program Analyzer configuration (lifting ablation switch).
+  AnalyzerOptions analyzer;
+};
+
+/// Outcome of the full Figure 4.1 pipeline for one program.
+struct PipelineOutcome {
+  /// The analyzer/converter classification.
+  Convertibility classification = Convertibility::kAutomatic;
+  /// True when a converted program was produced (automatic, or every
+  /// analyst question was approved).
+  bool accepted = false;
+  ConversionResult conversion;
+  OptimizerStats optimizer_stats;
+  /// Questions asked of the analyst and the answers given.
+  std::vector<std::pair<std::string, bool>> analyst_log;
+};
+
+/// Result of converting a whole application system (paper section 1.1:
+/// "a database application system is converted when each program actually
+/// existing in the source system has been converted").
+struct SystemConversionReport {
+  std::vector<PipelineOutcome> outcomes;
+  int automatic = 0;
+  int needs_analyst = 0;
+  int refused = 0;
+  int accepted = 0;
+
+  bool fully_converted() const {
+    return accepted == static_cast<int>(outcomes.size());
+  }
+
+  /// Analyst-facing text report: per-program classification, notes and
+  /// questions, plus the summary line.
+  std::string ToText() const;
+};
+
+/// The Program Conversion Supervisor (Figure 4.1): drives Conversion
+/// Analyzer, Program Analyzer, Program Converter, Optimizer and Program
+/// Generator over one schema restructuring, consulting the Conversion
+/// Analyst where the pipeline cannot proceed automatically.
+class ConversionSupervisor {
+ public:
+  /// Transformations must outlive the supervisor.
+  static Result<ConversionSupervisor> Create(
+      Schema source, std::vector<const Transformation*> plan,
+      SupervisorOptions options = {});
+
+  /// Converts one program through the full pipeline.
+  Result<PipelineOutcome> ConvertProgram(const Program& program) const;
+
+  /// Converts every program of an application system and tallies the
+  /// outcome buckets.
+  Result<SystemConversionReport> ConvertSystem(
+      const std::vector<Program>& programs) const;
+
+  /// Translates a database instance along the same plan.
+  Result<Database> TranslateDatabase(const Database& source) const;
+
+  const Schema& source_schema() const { return converter_.source_schema(); }
+  const Schema& target_schema() const { return converter_.target_schema(); }
+  /// The Conversion Analyzer's classified schema changes.
+  const std::vector<SchemaChange>& changes() const {
+    return converter_.changes();
+  }
+
+ private:
+  ConversionSupervisor(ProgramConverter converter,
+                       std::vector<const Transformation*> plan,
+                       SupervisorOptions options)
+      : converter_(std::move(converter)),
+        plan_(std::move(plan)),
+        options_(std::move(options)) {}
+
+  ProgramConverter converter_;
+  std::vector<const Transformation*> plan_;
+  SupervisorOptions options_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_SUPERVISOR_SUPERVISOR_H_

@@ -1,0 +1,143 @@
+#include "analyze/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+bool HasKind(const std::vector<Advice>& advice, const std::string& kind) {
+  for (const Advice& a : advice) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(AdvisorTest, CleanProgramGetsNoAdvice) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  EXPECT_TRUE(AdviseProgram(db.schema(), p).empty());
+}
+
+TEST(AdvisorTest, JoinOverExistingAssociationFlagged) {
+  // The paper's "a programmer may try to relate two files through two data
+  // items which are not related in application terms" — or, as here, relate
+  // associated types the hard way.
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-LOC = 'EAST'),
+      JOIN EMP THROUGH (DIV-NAME, DIV-NAME)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  std::vector<Advice> advice = AdviseProgram(db.schema(), p);
+  ASSERT_TRUE(HasKind(advice, "join-duplicates-association"));
+  EXPECT_NE(advice[0].detail.find("DIV-EMP"), std::string::npos);
+}
+
+TEST(AdvisorTest, JoinToUnrelatedTypeNotFlagged) {
+  Schema schema = MakeCompanyDatabase().schema();
+  RecordTypeDef loc;
+  loc.name = "LOCATION";
+  loc.fields.push_back({.name = "LOC-CODE", .type = FieldType::kString});
+  ASSERT_TRUE(schema.AddRecordType(loc).ok());
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH L IN FIND(LOCATION: SYSTEM, ALL-DIV, DIV,
+      JOIN LOCATION THROUGH (LOC-CODE, DIV-LOC)) DO
+    GET LOC-CODE OF L INTO C.
+    DISPLAY C.
+  END-FOR.
+END PROGRAM.)");
+  EXPECT_FALSE(HasKind(AdviseProgram(schema, p),
+                       "join-duplicates-association"));
+}
+
+TEST(AdvisorTest, FilterAfterRetrievalFlagged) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET AGE OF E INTO A.
+    IF A > 30 THEN
+      GET EMP-NAME OF E INTO N.
+      DISPLAY N.
+    END-IF.
+  END-FOR.
+END PROGRAM.)");
+  std::vector<Advice> advice = AdviseProgram(db.schema(), p);
+  ASSERT_TRUE(HasKind(advice, "filter-after-retrieval"));
+  bool mentions = false;
+  for (const Advice& a : advice) {
+    if (a.detail.find("AGE > 30") != std::string::npos) mentions = true;
+  }
+  EXPECT_TRUE(mentions);
+}
+
+TEST(AdvisorTest, FilterOnHostInputNotFlagged) {
+  // A test against terminal input is not a data qualification.
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  ACCEPT LIMIT.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    IF LIMIT = 'Y' THEN
+      DISPLAY 'X'.
+    END-IF.
+  END-FOR.
+END PROGRAM.)");
+  EXPECT_FALSE(HasKind(AdviseProgram(db.schema(), p),
+                       "filter-after-retrieval"));
+}
+
+TEST(AdvisorTest, ProcessFirstSuspicionFromNavigationalShape) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-LOC = 'EAST').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_TRUE(HasKind(AdviseProgram(db.schema(), p),
+                      "process-first-suspicion"));
+}
+
+TEST(AdvisorTest, AdviceOnLiftedFormCoversNavigationalFilters) {
+  // The filter advice applies to navigational programs too, through the
+  // lifted form.
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET AGE INTO A.
+    IF A > 40 THEN
+      DISPLAY 'SENIOR'.
+    END-IF.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_TRUE(HasKind(AdviseProgram(db.schema(), p),
+                      "filter-after-retrieval"));
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,355 @@
+#include "analyze/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+Analysis MustAnalyze(const Schema& schema, const std::string& source) {
+  Result<Program> p = ParseProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status();
+  ProgramAnalyzer analyzer(schema);
+  Result<Analysis> a = analyzer.Analyze(*p);
+  EXPECT_TRUE(a.ok()) << a.status();
+  return a.ok() ? *a : Analysis();
+}
+
+/// The lifted program must run identically to the original (lifting is a
+/// semantics-preserving rewrite on the same schema).
+void ExpectLiftEquivalent(const std::string& source) {
+  Database db = MakeCompanyDatabase();
+  Program original = *ParseProgram(source);
+  Analysis analysis = MustAnalyze(db.schema(), source);
+  Result<EquivalenceReport> report =
+      CheckEquivalence(db, original, db, analysis.lifted, IoScript());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->equivalent)
+      << report->detail << "\nlifted:\n"
+      << analysis.lifted.ToSource();
+}
+
+constexpr const char* kSimpleNavLoop = R"(
+PROGRAM NAV.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)";
+
+TEST(AnalyzerTest, LiftsFindAnyPlusLoop) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), kSimpleNavLoop);
+  EXPECT_TRUE(a.fully_lifted);
+  EXPECT_EQ(a.convertibility, Convertibility::kAutomatic);
+  ASSERT_EQ(a.lifted.body.size(), 1u);
+  const Stmt& loop = a.lifted.body[0];
+  EXPECT_EQ(loop.kind, StmtKind::kForEach);
+  ASSERT_TRUE(loop.retrieval.has_value());
+  EXPECT_EQ(loop.retrieval->query.ToString(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+            "DIV-EMP, EMP)");
+  ASSERT_EQ(loop.body.size(), 2u);
+  EXPECT_EQ(loop.body[0].kind, StmtKind::kGetField);
+}
+
+TEST(AnalyzerTest, LiftedProgramRunsEquivalently) {
+  ExpectLiftEquivalent(kSimpleNavLoop);
+}
+
+TEST(AnalyzerTest, LiftsSystemSetLoop) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FIND FIRST DIV WITHIN ALL-DIV.
+  WHILE DB-STATUS = '0000' DO
+    GET DIV-NAME INTO D.
+    DISPLAY D.
+    FIND NEXT DIV WITHIN ALL-DIV.
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_TRUE(a.fully_lifted);
+  EXPECT_EQ(a.convertibility, Convertibility::kAutomatic);
+  EXPECT_EQ(a.lifted.body[0].retrieval->query.ToString(),
+            "FIND(DIV: SYSTEM, ALL-DIV, DIV)");
+}
+
+TEST(AnalyzerTest, LiftsNestedLoops) {
+  const char* source = R"(
+PROGRAM NST.
+  FIND FIRST DIV WITHIN ALL-DIV.
+  WHILE DB-STATUS = '0000' DO
+    GET DIV-NAME INTO D.
+    DISPLAY 'DIV ' & D.
+    FIND FIRST EMP WITHIN DIV-EMP USING (AGE >= 30).
+    WHILE DB-STATUS = '0000' DO
+      GET EMP-NAME INTO N.
+      DISPLAY '  ' & N.
+      FIND NEXT EMP WITHIN DIV-EMP USING (AGE >= 30).
+    END-WHILE.
+    FIND NEXT DIV WITHIN ALL-DIV.
+  END-WHILE.
+END PROGRAM.)";
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), source);
+  EXPECT_TRUE(a.fully_lifted) << a.lifted.ToSource();
+  EXPECT_EQ(a.convertibility, Convertibility::kAutomatic);
+  // Outer FOR EACH over divisions, inner FOR EACH starting at the outer
+  // cursor.
+  const Stmt& outer = a.lifted.body[0];
+  ASSERT_EQ(outer.kind, StmtKind::kForEach);
+  bool found_inner = false;
+  for (const Stmt& s : outer.body) {
+    if (s.kind == StmtKind::kForEach) {
+      found_inner = true;
+      EXPECT_EQ(s.retrieval->query.start, outer.cursor);
+    }
+  }
+  EXPECT_TRUE(found_inner);
+  ExpectLiftEquivalent(source);
+}
+
+TEST(AnalyzerTest, LiftsUsingPredicate) {
+  const char* source = R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP USING (DEPT-NAME = 'SALES').
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP USING (DEPT-NAME = 'SALES').
+  END-WHILE.
+END PROGRAM.)";
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), source);
+  EXPECT_TRUE(a.fully_lifted);
+  ExpectLiftEquivalent(source);
+}
+
+TEST(AnalyzerTest, MismatchedUsingPredicatesNotLifted) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FIND FIRST EMP WITHIN DIV-EMP USING (AGE > 30).
+  WHILE DB-STATUS = '0000' DO
+    FIND NEXT EMP WITHIN DIV-EMP USING (AGE > 40).
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_FALSE(a.fully_lifted);
+  EXPECT_EQ(a.convertibility, Convertibility::kNeedsAnalyst);
+}
+
+TEST(AnalyzerTest, AmbiguousOwnerFlagged) {
+  // DIV-LOC is not a unique key: several divisions may match, and the
+  // lifted path visits all while FIND ANY stopped at the first.
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-LOC = 'EAST').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kAmbiguousOwnerSelection));
+  EXPECT_EQ(a.convertibility, Convertibility::kNeedsAnalyst);
+}
+
+TEST(AnalyzerTest, UniqueKeyOwnerNotFlagged) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), kSimpleNavLoop);
+  EXPECT_FALSE(a.HasIssue(AnalysisIssue::Kind::kAmbiguousOwnerSelection));
+}
+
+TEST(AnalyzerTest, EraseInsideScanNotLifted) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    ERASE.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_FALSE(a.fully_lifted);
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kUnliftedNavigation));
+  EXPECT_EQ(a.convertibility, Convertibility::kNeedsAnalyst);
+}
+
+TEST(AnalyzerTest, ModifyOfScannedSetKeyNotLifted) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    MODIFY SET (EMP-NAME = 'X').
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)");
+  EXPECT_FALSE(a.fully_lifted);
+}
+
+TEST(AnalyzerTest, ModifyOfNonKeyFieldLifted) {
+  const char* source = R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    MODIFY SET (AGE = 99).
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+  DISPLAY 'DONE'.
+END PROGRAM.)";
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), source);
+  EXPECT_TRUE(a.fully_lifted) << a.lifted.ToSource();
+  ExpectLiftEquivalent(source);
+}
+
+TEST(AnalyzerTest, RuntimeVariabilityRefused) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  ACCEPT V.
+  CALL DML(V, EMP).
+END PROGRAM.)");
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kRuntimeVariability));
+  EXPECT_EQ(a.convertibility, Convertibility::kNotConvertible);
+}
+
+TEST(AnalyzerTest, StatusCodeDependenceFlagged) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  STORE EMP (EMP-NAME = 'X') IN DIV-EMP WHERE (DIV-NAME = 'MACHINERY').
+  IF DB-STATUS = '0000' THEN DISPLAY 'OK'. END-IF.
+END PROGRAM.)");
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kStatusCodeDependence));
+  EXPECT_EQ(a.convertibility, Convertibility::kNeedsAnalyst);
+}
+
+TEST(AnalyzerTest, StatusLoopItselfNotFlagged) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), kSimpleNavLoop);
+  EXPECT_FALSE(a.HasIssue(AnalysisIssue::Kind::kStatusCodeDependence));
+}
+
+TEST(AnalyzerTest, OrderDependenceDetected) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    WRITE REPORT FROM N.
+  END-FOR.
+END PROGRAM.)");
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kOrderDependence));
+  EXPECT_EQ(a.order_dependent_sets,
+            (std::vector<std::string>{"ALL-DIV", "DIV-EMP"}));
+  // Informational only: still automatic.
+  EXPECT_EQ(a.convertibility, Convertibility::kAutomatic);
+}
+
+TEST(AnalyzerTest, SortedRetrievalNotOrderDependent) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  EXPECT_FALSE(a.HasIssue(AnalysisIssue::Kind::kOrderDependence));
+}
+
+TEST(AnalyzerTest, LoopWithoutOutputNotOrderDependent) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    MODIFY E SET (AGE = 1).
+  END-FOR.
+END PROGRAM.)");
+  EXPECT_FALSE(a.HasIssue(AnalysisIssue::Kind::kOrderDependence));
+}
+
+TEST(AnalyzerTest, ProceduralConstraintDetected) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), R"(
+PROGRAM P.
+  FOR EACH D IN FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY')) DO
+    GET DIV-NAME OF D INTO DN.
+  END-FOR.
+  IF DN IS NOT NULL THEN
+    STORE EMP (EMP-NAME = 'NEW') IN DIV-EMP WHERE (DIV-NAME = :DN).
+  END-IF.
+END PROGRAM.)");
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kProceduralConstraint));
+}
+
+TEST(AnalyzerTest, AccessSequencesDerived) {
+  Database db = MakeCompanyDatabase();
+  Analysis a = MustAnalyze(db.schema(), kSimpleNavLoop);
+  ASSERT_EQ(a.sequences.size(), 1u);
+  EXPECT_EQ(a.sequences[0].ToString(),
+            "ACCESS DIV via DIV (DIV-NAME = 'MACHINERY')\n"
+            "ACCESS DIV-EMP via DIV\n"
+            "ACCESS EMP via DIV-EMP\n"
+            "RETRIEVE\n");
+}
+
+TEST(AnalyzerOptionsTest, LiftingCanBeDisabled) {
+  Database db = MakeCompanyDatabase();
+  AnalyzerOptions options;
+  options.lift_templates = false;
+  ProgramAnalyzer analyzer(db.schema(), options);
+  Analysis a = *analyzer.Analyze(*ParseProgram(kSimpleNavLoop));
+  EXPECT_FALSE(a.fully_lifted);
+  EXPECT_TRUE(a.HasIssue(AnalysisIssue::Kind::kUnliftedNavigation));
+  EXPECT_EQ(a.convertibility, Convertibility::kNeedsAnalyst);
+}
+
+TEST(SelectsAtMostOneTest, SystemSetKeyEquality) {
+  Database db = MakeCompanyDatabase();
+  Predicate unique = Predicate::Compare(
+      "DIV-NAME", CompareOp::kEq, Operand::Literal(Value::String("X")));
+  EXPECT_TRUE(SelectsAtMostOne(db.schema(), "DIV", unique));
+  Predicate loc = Predicate::Compare("DIV-LOC", CompareOp::kEq,
+                                     Operand::Literal(Value::String("EAST")));
+  EXPECT_FALSE(SelectsAtMostOne(db.schema(), "DIV", loc));
+  // Inequality on the key is not unique.
+  Predicate range = Predicate::Compare("DIV-NAME", CompareOp::kGt,
+                                       Operand::Literal(Value::String("A")));
+  EXPECT_FALSE(SelectsAtMostOne(db.schema(), "DIV", range));
+  // OR defeats the guarantee even with key equalities on both sides.
+  Predicate either = Predicate::Or(unique, unique);
+  EXPECT_FALSE(SelectsAtMostOne(db.schema(), "DIV", either));
+  // AND with extra conjuncts keeps it.
+  Predicate both = Predicate::And(unique, loc);
+  EXPECT_TRUE(SelectsAtMostOne(db.schema(), "DIV", both));
+}
+
+TEST(SelectsAtMostOneTest, UniquenessConstraint) {
+  Database db = testing::MakeSchoolDatabase();
+  Predicate cno = Predicate::Compare("CNO", CompareOp::kEq,
+                                     Operand::Literal(Value::String("CS101")));
+  EXPECT_TRUE(SelectsAtMostOne(db.schema(), "COURSE", cno));
+  Predicate cname = Predicate::Compare(
+      "CNAME", CompareOp::kEq, Operand::Literal(Value::String("INTRO")));
+  EXPECT_FALSE(SelectsAtMostOne(db.schema(), "COURSE", cname));
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,211 @@
+#include "codasyl/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+Predicate NameIs(const std::string& field, const std::string& value) {
+  return Predicate::Compare(field, CompareOp::kEq,
+                            Operand::Literal(Value::String(value)));
+}
+
+TEST(CodasylMachineTest, FindAnyEstablishesCurrency) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("DIV-NAME", "MACHINERY");
+  ASSERT_TRUE(m.FindAny("DIV", &p, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_NE(m.current_of_run_unit(), 0u);
+  EXPECT_EQ(m.CurrentOfType("DIV"), m.current_of_run_unit());
+  EXPECT_EQ(m.Get("DIV-LOC")->as_string(), "EAST");
+}
+
+TEST(CodasylMachineTest, FindAnyNotFoundSetsStatus) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("DIV-NAME", "NOWHERE");
+  ASSERT_TRUE(m.FindAny("DIV", &p, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.db_status(), db_status::kNotFound);
+}
+
+TEST(CodasylMachineTest, FindFirstNextWalksSetInOrder) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("DIV-NAME", "MACHINERY");
+  ASSERT_TRUE(m.FindAny("DIV", &p, EmptyHostEnv()).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(m.FindFirst("EMP", "DIV-EMP", nullptr, EmptyHostEnv()).ok());
+  while (m.db_status() == db_status::kOk) {
+    names.push_back(m.Get("EMP-NAME")->as_string());
+    ASSERT_TRUE(m.FindNext("EMP", "DIV-EMP", nullptr, EmptyHostEnv()).ok());
+  }
+  EXPECT_EQ(m.db_status(), db_status::kEndOfSet);
+  EXPECT_EQ(names, (std::vector<std::string>{"ADAMS", "BAKER", "CLARK"}));
+}
+
+TEST(CodasylMachineTest, FindNextUsingPredicateSkips) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate div = NameIs("DIV-NAME", "MACHINERY");
+  ASSERT_TRUE(m.FindAny("DIV", &div, EmptyHostEnv()).ok());
+  Predicate sales = NameIs("DEPT-NAME", "SALES");
+  ASSERT_TRUE(m.FindFirst("EMP", "DIV-EMP", &sales, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.Get("EMP-NAME")->as_string(), "ADAMS");
+  ASSERT_TRUE(m.FindNext("EMP", "DIV-EMP", &sales, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.Get("EMP-NAME")->as_string(), "BAKER");
+  ASSERT_TRUE(m.FindNext("EMP", "DIV-EMP", &sales, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.db_status(), db_status::kEndOfSet);
+}
+
+TEST(CodasylMachineTest, FindFirstWithoutOccurrenceSetsNotFound) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  ASSERT_TRUE(m.FindFirst("EMP", "DIV-EMP", nullptr, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.db_status(), db_status::kNotFound);
+}
+
+TEST(CodasylMachineTest, SystemSetNeedsNoCurrency) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  ASSERT_TRUE(m.FindFirst("DIV", "ALL-DIV", nullptr, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_EQ(m.Get("DIV-NAME")->as_string(), "MACHINERY");
+}
+
+TEST(CodasylMachineTest, FindOwnerClimbsSet) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("EMP-NAME", "DAVIS");
+  ASSERT_TRUE(m.FindAny("EMP", &p, EmptyHostEnv()).ok());
+  ASSERT_TRUE(m.FindOwner("DIV-EMP").ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_EQ(m.Get("DIV-NAME")->as_string(), "TEXTILES");
+}
+
+TEST(CodasylMachineTest, FindDuplicateContinuesScan) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate sales = NameIs("DEPT-NAME", "SALES");
+  ASSERT_TRUE(m.FindAny("EMP", &sales, EmptyHostEnv()).ok());
+  std::string first = m.Get("EMP-NAME")->as_string();
+  ASSERT_TRUE(m.FindDuplicate("EMP", &sales, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_NE(m.Get("EMP-NAME")->as_string(), first);
+}
+
+TEST(CodasylMachineTest, StoreConnectsViaCurrency) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("DIV-NAME", "TEXTILES");
+  ASSERT_TRUE(m.FindAny("DIV", &p, EmptyHostEnv()).ok());
+  ASSERT_TRUE(m.StoreRecord("EMP", {{"EMP-NAME", Value::String("EVANS")},
+                                    {"DEPT-NAME", Value::String("SALES")},
+                                    {"AGE", Value::Int(50)}})
+                  .ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  // EVANS must be in TEXTILES' occurrence.
+  RecordId textiles = m.CurrentOfType("DIV");
+  std::vector<RecordId> members = db.Members("DIV-EMP", textiles);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(db.GetField(members[1], "EMP-NAME")->as_string(), "EVANS");
+}
+
+TEST(CodasylMachineTest, StoreWithoutCurrencySetsNotFound) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  ASSERT_TRUE(
+      m.StoreRecord("EMP", {{"EMP-NAME", Value::String("EVANS")}}).ok());
+  EXPECT_EQ(m.db_status(), db_status::kNotFound);
+  EXPECT_NE(m.last_error().find("DIV-EMP"), std::string::npos);
+}
+
+TEST(CodasylMachineTest, ModifyCurrentRecord) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("EMP-NAME", "ADAMS");
+  ASSERT_TRUE(m.FindAny("EMP", &p, EmptyHostEnv()).ok());
+  ASSERT_TRUE(m.Modify({{"AGE", Value::Int(35)}}).ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_EQ(m.Get("AGE")->as_int(), 35);
+}
+
+TEST(CodasylMachineTest, EraseClearsDanglingCurrency) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("EMP-NAME", "ADAMS");
+  ASSERT_TRUE(m.FindAny("EMP", &p, EmptyHostEnv()).ok());
+  ASSERT_TRUE(m.Erase().ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_EQ(m.current_of_run_unit(), 0u);
+  EXPECT_EQ(m.CurrentOfType("EMP"), 0u);
+}
+
+TEST(CodasylMachineTest, EraseOwnerWithMandatoryMembersReportsStatus) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  Predicate p = NameIs("DIV-NAME", "MACHINERY");
+  ASSERT_TRUE(m.FindAny("DIV", &p, EmptyHostEnv()).ok());
+  ASSERT_TRUE(m.Erase().ok());
+  EXPECT_EQ(m.db_status(), db_status::kNotFound);
+  EXPECT_TRUE(db.Exists(m.current_of_run_unit()));
+}
+
+TEST(CodasylMachineTest, GetWithoutCurrencyIsMisuse) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  EXPECT_FALSE(m.Get("EMP-NAME").ok());
+}
+
+TEST(CodasylMachineTest, UnknownSetIsMisuse) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  EXPECT_EQ(m.FindFirst("EMP", "NO-SET", nullptr, EmptyHostEnv()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CodasylMachineTest, WrongMemberTypeIsMisuse) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  EXPECT_EQ(m.FindFirst("DIV", "DIV-EMP", nullptr, EmptyHostEnv()).code(),
+            StatusCode::kTypeError);
+}
+
+TEST(CodasylMachineTest, ConnectDisconnectWithCurrency) {
+  Schema schema = MakeCompanyDatabase().schema();
+  schema.FindSet("DIV-EMP")->insertion = InsertionClass::kManual;
+  schema.FindSet("DIV-EMP")->retention = RetentionClass::kOptional;
+  Database db = *Database::Create(schema);
+  RecordId div =
+      *db.StoreRecord({"DIV", {{"DIV-NAME", Value::String("M")}}, {}});
+  (void)div;
+  CodasylMachine m(&db);
+  Predicate p = NameIs("DIV-NAME", "M");
+  ASSERT_TRUE(m.FindAny("DIV", &p, EmptyHostEnv()).ok());
+  ASSERT_TRUE(
+      m.StoreRecord("EMP", {{"EMP-NAME", Value::String("X")}}).ok());
+  // MANUAL set: the store did not connect.
+  EXPECT_EQ(db.OwnerOf("DIV-EMP", m.current_of_run_unit()), 0u);
+  ASSERT_TRUE(m.Connect("DIV-EMP").ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_NE(db.OwnerOf("DIV-EMP", m.current_of_run_unit()), 0u);
+  ASSERT_TRUE(m.Disconnect("DIV-EMP").ok());
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+  EXPECT_EQ(db.OwnerOf("DIV-EMP", m.current_of_run_unit()), 0u);
+}
+
+TEST(CodasylMachineTest, ResetClearsState) {
+  Database db = MakeCompanyDatabase();
+  CodasylMachine m(&db);
+  ASSERT_TRUE(m.FindAny("DIV", nullptr, EmptyHostEnv()).ok());
+  m.Reset();
+  EXPECT_EQ(m.current_of_run_unit(), 0u);
+  EXPECT_EQ(m.db_status(), db_status::kOk);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,123 @@
+#include "common/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dbpc {
+namespace {
+
+std::vector<Token> MustLex(const std::string& text) {
+  Result<std::vector<Token>> r = Lex(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, HyphenatedIdentifiersAreSingleTokens) {
+  std::vector<Token> tokens = MustLex("DIV-EMP EMP-NAME");
+  ASSERT_EQ(tokens.size(), 3u);  // two identifiers + end
+  EXPECT_EQ(tokens[0].text, "DIV-EMP");
+  EXPECT_EQ(tokens[1].text, "EMP-NAME");
+}
+
+TEST(LexerTest, IdentifiersAreUpperCased) {
+  std::vector<Token> tokens = MustLex("div_emp");
+  EXPECT_EQ(tokens[0].text, "DIV_EMP");
+}
+
+TEST(LexerTest, HashAllowedInIdentifiers) {
+  std::vector<Token> tokens = MustLex("E# D#");
+  EXPECT_EQ(tokens[0].text, "E#");
+  EXPECT_EQ(tokens[1].text, "D#");
+}
+
+TEST(LexerTest, TrailingHyphenSplitsOff) {
+  // "X- 1" : hyphen must not be swallowed into the identifier.
+  std::vector<Token> tokens = MustLex("X- 1");
+  EXPECT_EQ(tokens[0].text, "X");
+  EXPECT_TRUE(tokens[1].IsPunct("-"));
+  EXPECT_EQ(tokens[2].int_value, 1);
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  std::vector<Token> tokens = MustLex("30 2.5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 30);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 2.5);
+}
+
+TEST(LexerTest, PeriodAfterIntegerIsPunct) {
+  // "AGE > 30." must lex the period as the clause terminator.
+  std::vector<Token> tokens = MustLex("30.");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_TRUE(tokens[1].IsPunct("."));
+}
+
+TEST(LexerTest, StringEscapes) {
+  std::vector<Token> tokens = MustLex("'O''BRIEN'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "O'BRIEN");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  std::vector<Token> tokens = MustLex("<= >= <>");
+  EXPECT_TRUE(tokens[0].IsPunct("<="));
+  EXPECT_TRUE(tokens[1].IsPunct(">="));
+  EXPECT_TRUE(tokens[2].IsPunct("<>"));
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  std::vector<Token> tokens = MustLex("A -- this is a comment\nB");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "A");
+  EXPECT_EQ(tokens[1].text, "B");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  std::vector<Token> tokens = MustLex("A\nB\nC");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  Result<std::vector<Token>> r = Lex("A @ B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(TokenCursorTest, ExpectAndConsume) {
+  TokenCursor cur(MustLex("FIND ANY EMP ."));
+  EXPECT_TRUE(cur.ConsumeIdent("FIND"));
+  EXPECT_FALSE(cur.ConsumeIdent("FIRST"));
+  EXPECT_TRUE(cur.ExpectIdent("ANY").ok());
+  Result<std::string> id = cur.TakeIdentifier("record type");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, "EMP");
+  EXPECT_TRUE(cur.ExpectPunct(".").ok());
+  EXPECT_TRUE(cur.AtEnd());
+}
+
+TEST(TokenCursorTest, ErrorMentionsLineAndToken) {
+  TokenCursor cur(MustLex("X\nY"));
+  cur.Next();
+  Status s = cur.ExpectIdent("Z");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_NE(s.message().find("'Y'"), std::string::npos);
+}
+
+TEST(TokenCursorTest, SeekToBacktracks) {
+  TokenCursor cur(MustLex("A B C"));
+  size_t mark = cur.Position();
+  cur.Next();
+  cur.Next();
+  cur.SeekTo(mark);
+  EXPECT_EQ(cur.Peek().text, "A");
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,80 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace dbpc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::ConstraintViolation("limit exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(s.ToString(), "constraint-violation: limit exceeded");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  DBPC_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  DBPC_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> r = Half(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  Result<int> e = Half(3);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ(Half(3).value_or(-1), -1);
+  EXPECT_EQ(Half(4).value_or(-1), 2);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,66 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace dbpc {
+namespace {
+
+TEST(TraceTest, RecordsEventsInOrder) {
+  Trace t;
+  t.RecordTerminalOut("HELLO");
+  t.RecordFileWrite("REPORT", "LINE1");
+  t.RecordTerminalIn("42");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.events()[0].kind, TraceEventKind::kTerminalOut);
+  EXPECT_EQ(t.events()[1].channel, "REPORT");
+  EXPECT_EQ(t.events()[2].payload, "42");
+}
+
+TEST(TraceTest, EqualTracesCompareEqual) {
+  Trace a, b;
+  a.RecordTerminalOut("X");
+  b.RecordTerminalOut("X");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(Trace::FirstDivergence(a, b), -1);
+}
+
+TEST(TraceTest, DivergenceAtPayload) {
+  Trace a, b;
+  a.RecordTerminalOut("SAME");
+  b.RecordTerminalOut("SAME");
+  a.RecordTerminalOut("X");
+  b.RecordTerminalOut("Y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Trace::FirstDivergence(a, b), 1);
+}
+
+TEST(TraceTest, DivergenceAtKind) {
+  Trace a, b;
+  a.RecordTerminalOut("X");
+  b.RecordFileWrite("F", "X");
+  EXPECT_EQ(Trace::FirstDivergence(a, b), 0);
+}
+
+TEST(TraceTest, PrefixTraceDivergesAtLength) {
+  Trace a, b;
+  a.RecordTerminalOut("X");
+  b.RecordTerminalOut("X");
+  b.RecordTerminalOut("EXTRA");
+  EXPECT_EQ(Trace::FirstDivergence(a, b), 1);
+}
+
+TEST(TraceTest, ToStringIsLinePerEvent) {
+  Trace t;
+  t.RecordFileRead("IN", "row");
+  EXPECT_EQ(t.ToString(), "file-read(IN): row\n");
+}
+
+TEST(TraceTest, ClearEmptiesTrace) {
+  Trace t;
+  t.RecordTerminalOut("X");
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dbpc

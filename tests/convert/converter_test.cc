@@ -1,0 +1,190 @@
+#include "convert/converter.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+bool HasCategory(const std::vector<SchemaChange>& changes,
+                 const std::string& category) {
+  for (const SchemaChange& c : changes) {
+    if (c.category == category) return true;
+  }
+  return false;
+}
+
+TEST(ClassifySchemaChangesTest, IdenticalSchemasNoChanges) {
+  Schema s = MakeCompanyDatabase().schema();
+  EXPECT_TRUE(ClassifySchemaChanges(s, s).empty());
+}
+
+TEST(ClassifySchemaChangesTest, DetectsFieldAndRecordChanges) {
+  Schema source = MakeCompanyDatabase().schema();
+  Schema target = source;
+  ASSERT_TRUE(target.DropConstraint("X").code() == StatusCode::kNotFound);
+  RecordTypeDef* emp = target.FindRecordType("EMP");
+  emp->fields.push_back({.name = "SALARY", .type = FieldType::kInt});
+  std::erase_if(emp->fields,
+                [](const FieldDef& f) { return f.name == "DEPT-NAME"; });
+  std::vector<SchemaChange> changes = ClassifySchemaChanges(source, target);
+  EXPECT_TRUE(HasCategory(changes, "field-added"));
+  EXPECT_TRUE(HasCategory(changes, "field-removed"));
+}
+
+TEST(ClassifySchemaChangesTest, DetectsSetChanges) {
+  Schema source = MakeCompanyDatabase().schema();
+  Schema target = source;
+  target.FindSet("DIV-EMP")->keys = {"AGE"};
+  target.FindSet("DIV-EMP")->insertion = InsertionClass::kManual;
+  target.FindSet("DIV-EMP")->member_characterizes_owner = true;
+  std::vector<SchemaChange> changes = ClassifySchemaChanges(source, target);
+  EXPECT_TRUE(HasCategory(changes, "set-order-changed"));
+  EXPECT_TRUE(HasCategory(changes, "set-membership-changed"));
+  EXPECT_TRUE(HasCategory(changes, "dependency-added"));
+}
+
+TEST(ClassifySchemaChangesTest, DetectsConstraintChanges) {
+  Schema source = testing::MakeSchoolDatabase().schema();
+  Schema target = source;
+  ASSERT_TRUE(target.DropConstraint("TWICE-A-YEAR").ok());
+  ConstraintDef extra;
+  extra.name = "UNIQ-CNAME";
+  extra.kind = ConstraintKind::kUniqueness;
+  extra.record = "COURSE";
+  extra.fields = {"CNAME"};
+  ASSERT_TRUE(target.AddConstraint(extra).ok());
+  std::vector<SchemaChange> changes = ClassifySchemaChanges(source, target);
+  EXPECT_TRUE(HasCategory(changes, "constraint-removed"));
+  EXPECT_TRUE(HasCategory(changes, "constraint-added"));
+}
+
+TEST(ClassifySchemaChangesTest, RenameAppearsAsAddRemovePair) {
+  Schema source = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameRecord("EMP", "WORKER");
+  Schema target = *t->ApplyToSchema(source);
+  std::vector<SchemaChange> changes = ClassifySchemaChanges(source, target);
+  // The diff alone cannot see intent: this is why the framework takes the
+  // restructuring definition as an input.
+  EXPECT_TRUE(HasCategory(changes, "record-type-removed"));
+  EXPECT_TRUE(HasCategory(changes, "record-type-added"));
+}
+
+TEST(ProgramConverterTest, EmptyPlanIsIdentityOnLiftedPrograms) {
+  Schema schema = MakeCompanyDatabase().schema();
+  ProgramConverter converter = *ProgramConverter::Create(schema, {});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  ConversionResult result = *converter.Convert(p);
+  EXPECT_EQ(result.outcome, Convertibility::kAutomatic);
+  EXPECT_EQ(result.converted, p);
+}
+
+TEST(ProgramConverterTest, RefusesRuntimeVariablePrograms) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameRecord("EMP", "WORKER");
+  ProgramConverter converter = *ProgramConverter::Create(schema, {t.get()});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  ACCEPT V.
+  CALL DML(V, EMP).
+END PROGRAM.)");
+  ConversionResult result = *converter.Convert(p);
+  EXPECT_EQ(result.outcome, Convertibility::kNotConvertible);
+}
+
+TEST(ProgramConverterTest, RemoveReferencedFieldNeedsAnalyst) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRemoveField("EMP", "AGE");
+  ProgramConverter converter = *ProgramConverter::Create(schema, {t.get()});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  ConversionResult result = *converter.Convert(p);
+  EXPECT_EQ(result.outcome, Convertibility::kNeedsAnalyst);
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(ProgramConverterTest, RemoveUnreferencedFieldAutomatic) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRemoveField("EMP", "DEPT-NAME");
+  ProgramConverter converter = *ProgramConverter::Create(schema, {t.get()});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  ConversionResult result = *converter.Convert(p);
+  EXPECT_EQ(result.outcome, Convertibility::kAutomatic);
+}
+
+TEST(ProgramConverterTest, ConvertsNavigationalProgramsThroughLifting) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  ProgramConverter converter = *ProgramConverter::Create(schema, {t.get()});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)");
+  ConversionResult result = *converter.Convert(p);
+  EXPECT_EQ(result.outcome, Convertibility::kAutomatic);
+  EXPECT_EQ(result.converted.body[0].retrieval->query.ToString(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+            "STAFF, EMP)");
+}
+
+TEST(ProgramConverterTest, VirtualizeDropsFieldAssignmentsWithNote) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr m = MakeMaterializeVirtualField("EMP", "DIV-NAME");
+  Schema mat_schema = *m->ApplyToSchema(schema);
+  TransformationPtr v =
+      MakeVirtualizeField("EMP", "DIV-NAME", "DIV-EMP", "DIV-NAME");
+  ProgramConverter converter =
+      *ProgramConverter::Create(mat_schema, {v.get()});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  STORE EMP (EMP-NAME = 'X', DIV-NAME = 'MACHINERY')
+    IN DIV-EMP WHERE (DIV-NAME = 'MACHINERY').
+END PROGRAM.)");
+  ConversionResult result = *converter.Convert(p);
+  ASSERT_EQ(result.converted.body[0].kind, StmtKind::kStore);
+  for (const auto& [field, expr] : result.converted.body[0].assignments) {
+    EXPECT_NE(field, "DIV-NAME");
+  }
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(ProgramConverterTest, TargetSchemaExposedAndValid) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr a = MakeRenameRecord("EMP", "WORKER");
+  TransformationPtr b = MakeRenameField("WORKER", "EMP-NAME", "WNAME");
+  ProgramConverter converter =
+      *ProgramConverter::Create(schema, {a.get(), b.get()});
+  EXPECT_NE(converter.target_schema().FindRecordType("WORKER"), nullptr);
+  EXPECT_TRUE(converter.target_schema().Validate().ok());
+  EXPECT_FALSE(converter.changes().empty());
+}
+
+}  // namespace
+}  // namespace dbpc

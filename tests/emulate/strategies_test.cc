@@ -1,0 +1,192 @@
+// Tests for the two 1979 conversion strategies re-implemented as baselines:
+// DML emulation (Task 609) and bridge programs with differential files.
+
+#include <gtest/gtest.h>
+
+#include "bridge/bridge.h"
+#include "emulate/emulator.h"
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "restructure/transformation.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+std::vector<TransformationPtr> Figure44Plan() {
+  IntroduceIntermediateParams p;
+  p.set_name = "DIV-EMP";
+  p.intermediate = "DEPT";
+  p.upper_set = "DIV-DEPT";
+  p.lower_set = "DEPT-EMP";
+  p.group_field = "DEPT-NAME";
+  std::vector<TransformationPtr> plan;
+  plan.push_back(MakeIntroduceIntermediate(p));
+  return plan;
+}
+
+std::vector<const Transformation*> Raw(
+    const std::vector<TransformationPtr>& owned) {
+  std::vector<const Transformation*> out;
+  for (const TransformationPtr& t : owned) out.push_back(t.get());
+  return out;
+}
+
+constexpr const char* kReport = R"(
+PROGRAM RPT.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)";
+
+TEST(DmlEmulatorTest, PreservesSourceBehaviour) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned = Figure44Plan();
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+
+  Program program = *ParseProgram(kReport);
+  Result<Trace> source_trace = TraceOf(source_db, program, IoScript());
+  ASSERT_TRUE(source_trace.ok());
+
+  DmlEmulator emulator =
+      *DmlEmulator::Create(source_db.schema(), Raw(owned));
+  Database run_db = target_db;
+  DmlEmulator::EmulationRun run =
+      *emulator.Run(program, &run_db, IoScript());
+  EXPECT_EQ(run.run.trace, *source_trace)
+      << "emulated:\n"
+      << run.run.trace.ToString() << "\nsource:\n"
+      << source_trace->ToString();
+  EXPECT_GT(run.mapping_statements, 0u);
+}
+
+TEST(DmlEmulatorTest, ReconstructsOrderPerRetrieval) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned = Figure44Plan();
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+  // An order-insensitive program still pays per-call order reconstruction:
+  // emulation cannot know which orders matter.
+  Program program = *ParseProgram(R"(
+PROGRAM CNT.
+  LET C = 0.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    LET C = C + 1.
+  END-FOR.
+  DISPLAY C.
+END PROGRAM.)");
+  DmlEmulator emulator =
+      *DmlEmulator::Create(source_db.schema(), Raw(owned));
+  Database run_db = target_db;
+  DmlEmulator::EmulationRun run =
+      *emulator.Run(program, &run_db, IoScript());
+  EXPECT_EQ(run.reconstruction_sorts, 1u);
+}
+
+TEST(DmlEmulatorTest, RefusesRuntimeVariablePrograms) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned = Figure44Plan();
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+  Program program = *ParseProgram(R"(
+PROGRAM P.
+  ACCEPT V.
+  CALL DML(V, EMP).
+END PROGRAM.)");
+  DmlEmulator emulator =
+      *DmlEmulator::Create(source_db.schema(), Raw(owned));
+  Database run_db = target_db;
+  Result<DmlEmulator::EmulationRun> run =
+      emulator.Run(program, &run_db, IoScript());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotConvertible);
+}
+
+TEST(BridgeRunnerTest, ReadOnlyRunPreservesBehaviour) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned = Figure44Plan();
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+  Program program = *ParseProgram(kReport);
+
+  Result<Trace> source_trace = TraceOf(source_db, program, IoScript());
+  ASSERT_TRUE(source_trace.ok());
+
+  BridgeRunner bridge =
+      std::move(BridgeRunner::Create(source_db.schema(), Raw(owned))).value();
+  Database run_db = target_db;
+  BridgeRunner::BridgeRun run =
+      *bridge.Run(program, &run_db, IoScript(), {.differential = true});
+  EXPECT_EQ(run.run.trace, *source_trace);
+  EXPECT_GT(run.records_reconstructed, 0u);
+  // Differential file: nothing changed, no retranslation.
+  EXPECT_FALSE(run.retranslated);
+}
+
+TEST(BridgeRunnerTest, WithoutDifferentialAlwaysRetranslates) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned = Figure44Plan();
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+  Program program = *ParseProgram(kReport);
+  BridgeRunner bridge =
+      std::move(BridgeRunner::Create(source_db.schema(), Raw(owned))).value();
+  Database run_db = target_db;
+  BridgeRunner::BridgeRun run =
+      *bridge.Run(program, &run_db, IoScript(), {.differential = false});
+  EXPECT_TRUE(run.retranslated);
+  EXPECT_GT(run.records_retranslated, 0u);
+}
+
+TEST(BridgeRunnerTest, UpdatePropagatesToTarget) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned = Figure44Plan();
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+  Program update = *ParseProgram(R"(
+PROGRAM UPD.
+  STORE EMP (EMP-NAME = 'EVANS', DEPT-NAME = 'SALES', AGE = 50)
+    IN DIV-EMP WHERE (DIV-NAME = 'TEXTILES').
+  DISPLAY 'DONE'.
+END PROGRAM.)");
+  BridgeRunner bridge =
+      std::move(BridgeRunner::Create(source_db.schema(), Raw(owned))).value();
+  BridgeRunner::BridgeRun run =
+      *bridge.Run(update, &target_db, IoScript(), {.differential = true});
+  EXPECT_TRUE(run.retranslated);
+  // The new employee must exist in the restructured target, grouped under
+  // the TEXTILES SALES department.
+  Predicate evans = Predicate::Compare(
+      "EMP-NAME", CompareOp::kEq, Operand::Literal(Value::String("EVANS")));
+  std::vector<RecordId> found =
+      *target_db.SelectWhere("EMP", evans, EmptyHostEnv());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(target_db.GetField(found[0], "DEPT-NAME")->as_string(), "SALES");
+  EXPECT_EQ(target_db.GetField(found[0], "DIV-NAME")->as_string(), "TEXTILES");
+}
+
+TEST(BridgeRunnerTest, LossyPlanRejectedAtCreation) {
+  Database source_db = MakeCompanyDatabase();
+  TransformationPtr lossy = MakeRemoveField("EMP", "DEPT-NAME");
+  Result<BridgeRunner> bridge =
+      BridgeRunner::Create(source_db.schema(), {lossy.get()});
+  ASSERT_FALSE(bridge.ok());
+  EXPECT_EQ(bridge.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(BridgeRunnerTest, MultiStepPlanReconstructs) {
+  Database source_db = MakeCompanyDatabase();
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeRenameRecord("EMP", "WORKER"));
+  owned.push_back(MakeRenameField("WORKER", "AGE", "YEARS"));
+  Database target_db = *TranslateDatabase(source_db, Raw(owned));
+  Program program = *ParseProgram(kReport);
+  Result<Trace> source_trace = TraceOf(source_db, program, IoScript());
+  BridgeRunner bridge =
+      std::move(BridgeRunner::Create(source_db.schema(), Raw(owned))).value();
+  Database run_db = target_db;
+  BridgeRunner::BridgeRun run =
+      *bridge.Run(program, &run_db, IoScript(), {.differential = true});
+  EXPECT_EQ(run.run.trace, *source_trace);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,246 @@
+#include "engine/find_query.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+std::vector<std::string> Names(const Database& db,
+                               const std::vector<RecordId>& ids,
+                               const std::string& field = "EMP-NAME") {
+  std::vector<std::string> out;
+  for (RecordId id : ids) out.push_back(db.GetField(id, field)->ToDisplay());
+  return out;
+}
+
+Result<std::vector<RecordId>> RunFind(const Database& db, const std::string& text) {
+  Result<Retrieval> r = ParseRetrieval(text);
+  if (!r.ok()) return r.status();
+  Retrieval retrieval = *r;
+  DBPC_RETURN_IF_ERROR(ResolveFindQuery(db.schema(), &retrieval.query));
+  return EvaluateRetrieval(db, retrieval, EmptyHostEnv(), EmptyCollectionEnv());
+}
+
+// The paper's first example (section 4.2): all employees older than 30.
+TEST(FindQueryTest, PaperExampleOne) {
+  Database db = MakeCompanyDatabase();
+  Result<std::vector<RecordId>> ids = RunFind(
+      db, "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))");
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  EXPECT_EQ(Names(db, *ids),
+            (std::vector<std::string>{"ADAMS", "CLARK", "DAVIS"}));
+}
+
+// The paper's second example: SALES employees of the MACHINERY division.
+TEST(FindQueryTest, PaperExampleTwo) {
+  Database db = MakeCompanyDatabase();
+  Result<std::vector<RecordId>> ids = RunFind(
+      db,
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, "
+      "EMP(DEPT-NAME = 'SALES'))");
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  EXPECT_EQ(Names(db, *ids), (std::vector<std::string>{"ADAMS", "BAKER"}));
+}
+
+TEST(FindQueryTest, ResultsFollowSetOrdering) {
+  Database db = MakeCompanyDatabase();
+  Result<std::vector<RecordId>> ids =
+      RunFind(db, "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)");
+  ASSERT_TRUE(ids.ok());
+  // MACHINERY's employees (sorted by name) then TEXTILES'.
+  EXPECT_EQ(Names(db, *ids),
+            (std::vector<std::string>{"ADAMS", "BAKER", "CLARK", "DAVIS"}));
+}
+
+TEST(FindQueryTest, SortWrapperReorders) {
+  Database db = MakeCompanyDatabase();
+  Result<std::vector<RecordId>> ids = RunFind(
+      db, "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (AGE)");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(Names(db, *ids),
+            (std::vector<std::string>{"BAKER", "DAVIS", "ADAMS", "CLARK"}));
+}
+
+TEST(FindQueryTest, QualificationOnVirtualField) {
+  Database db = MakeCompanyDatabase();
+  Result<std::vector<RecordId>> ids = RunFind(
+      db,
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(DIV-NAME = 'TEXTILES'))");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(Names(db, *ids), (std::vector<std::string>{"DAVIS"}));
+}
+
+TEST(FindQueryTest, HostVariableInQualification) {
+  Database db = MakeCompanyDatabase();
+  Result<Retrieval> r = ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > :MINAGE))");
+  ASSERT_TRUE(r.ok());
+  Retrieval retrieval = *r;
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &retrieval.query).ok());
+  HostEnv env = [](const std::string& name) -> Result<Value> {
+    if (name == "MINAGE") return Value::Int(40);
+    return Status::NotFound(name);
+  };
+  Result<std::vector<RecordId>> ids =
+      EvaluateRetrieval(db, retrieval, env, EmptyCollectionEnv());
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(Names(db, *ids), (std::vector<std::string>{"CLARK"}));
+}
+
+TEST(FindQueryTest, CollectionStartChainsRetrievals) {
+  Database db = MakeCompanyDatabase();
+  Result<std::vector<RecordId>> divs =
+      RunFind(db, "FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-LOC = 'EAST'))");
+  ASSERT_TRUE(divs.ok());
+  Result<Retrieval> r = ParseRetrieval("FIND(EMP: EASTDIVS, DIV-EMP, EMP)");
+  ASSERT_TRUE(r.ok());
+  Retrieval retrieval = *r;
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &retrieval.query).ok());
+  CollectionEnv collections =
+      [&](const std::string& name) -> Result<std::vector<RecordId>> {
+    if (name == "EASTDIVS") return *divs;
+    return Status::NotFound(name);
+  };
+  Result<std::vector<RecordId>> ids =
+      EvaluateRetrieval(db, retrieval, EmptyHostEnv(), collections);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(Names(db, *ids),
+            (std::vector<std::string>{"ADAMS", "BAKER", "CLARK"}));
+}
+
+TEST(FindQueryTest, ToStringRoundTrips) {
+  const std::string text =
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, "
+      "EMP(DEPT-NAME = 'SALES'))";
+  Result<FindQuery> q = ParseFindQuery(text);
+  ASSERT_TRUE(q.ok());
+  Result<FindQuery> again = ParseFindQuery(q->ToString());
+  ASSERT_TRUE(again.ok()) << again.status() << " from " << q->ToString();
+  EXPECT_EQ(*q, *again);
+}
+
+TEST(FindQueryTest, SortRetrievalToStringRoundTrips) {
+  const std::string text =
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))) "
+      "ON (EMP-NAME, AGE)";
+  Result<Retrieval> r = ParseRetrieval(text);
+  ASSERT_TRUE(r.ok());
+  Result<Retrieval> again = ParseRetrieval(r->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*r, *again);
+}
+
+TEST(FindQueryTest, ResolveRejectsNonSystemOpeningSet) {
+  Database db = MakeCompanyDatabase();
+  Result<FindQuery> q = ParseFindQuery("FIND(EMP: SYSTEM, DIV-EMP, EMP)");
+  ASSERT_TRUE(q.ok());
+  FindQuery query = *q;
+  EXPECT_EQ(ResolveFindQuery(db.schema(), &query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FindQueryTest, ResolveRejectsWrongTarget) {
+  Database db = MakeCompanyDatabase();
+  FindQuery query = *ParseFindQuery("FIND(DIV: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)");
+  EXPECT_FALSE(ResolveFindQuery(db.schema(), &query).ok());
+}
+
+TEST(FindQueryTest, ResolveRejectsUnknownStep) {
+  Database db = MakeCompanyDatabase();
+  FindQuery query = *ParseFindQuery("FIND(EMP: SYSTEM, NO-SUCH, EMP)");
+  EXPECT_EQ(ResolveFindQuery(db.schema(), &query).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FindQueryTest, ResolveRejectsMismatchedChain) {
+  Database db = MakeCompanyDatabase();
+  // ALL-DIV yields DIVs; EMP does not match.
+  FindQuery query = *ParseFindQuery("FIND(EMP: SYSTEM, ALL-DIV, EMP)");
+  EXPECT_FALSE(ResolveFindQuery(db.schema(), &query).ok());
+}
+
+TEST(FindQueryTest, ResolveRejectsQualificationOnUnknownField) {
+  Database db = MakeCompanyDatabase();
+  FindQuery query = *ParseFindQuery(
+      "FIND(DIV: SYSTEM, ALL-DIV, DIV(NO-FIELD = 1))");
+  EXPECT_EQ(ResolveFindQuery(db.schema(), &query).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FindQueryTest, EvaluateUnresolvedQueryFails) {
+  Database db = MakeCompanyDatabase();
+  FindQuery query = *ParseFindQuery("FIND(DIV: SYSTEM, ALL-DIV, DIV)");
+  Result<std::vector<RecordId>> ids =
+      EvaluateFind(db, query, EmptyHostEnv(), EmptyCollectionEnv());
+  EXPECT_FALSE(ids.ok());
+}
+
+TEST(PredicateTest, AndOrNotEvaluation) {
+  Database db = MakeCompanyDatabase();
+  Predicate p = Predicate::And(
+      Predicate::Compare("DEPT-NAME", CompareOp::kEq,
+                         Operand::Literal(Value::String("SALES"))),
+      Predicate::Not(Predicate::Compare("AGE", CompareOp::kLt,
+                                        Operand::Literal(Value::Int(30)))));
+  Result<std::vector<RecordId>> ids = db.SelectWhere("EMP", p, EmptyHostEnv());
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(Names(db, *ids), (std::vector<std::string>{"ADAMS", "DAVIS"}));
+}
+
+TEST(PredicateTest, NullComparisonsAreFalse) {
+  Database db = MakeCompanyDatabase();
+  RecordId machinery = db.SystemMembers("ALL-DIV")[0];
+  RecordId emp = *db.StoreRecord(
+      {"EMP", {{"EMP-NAME", Value::String("NOAGE")}}, {{"DIV-EMP", machinery}}});
+  Predicate lt = Predicate::Compare("AGE", CompareOp::kLt,
+                                    Operand::Literal(Value::Int(100)));
+  Result<bool> r = lt.Evaluate(db.FieldGetter(emp), EmptyHostEnv());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  Predicate is_null = Predicate::Compare("AGE", CompareOp::kIsNull,
+                                         Operand::Literal(Value::Null()));
+  EXPECT_TRUE(*is_null.Evaluate(db.FieldGetter(emp), EmptyHostEnv()));
+}
+
+TEST(PredicateTest, RenameFieldRewritesReferences) {
+  Predicate p = Predicate::Or(
+      Predicate::Compare("A", CompareOp::kEq, Operand::Literal(Value::Int(1))),
+      Predicate::Compare("A", CompareOp::kGt, Operand::Literal(Value::Int(5))));
+  EXPECT_EQ(p.RenameField("A", "B"), 2);
+  std::vector<std::string> fields;
+  p.CollectFields(&fields);
+  EXPECT_EQ(fields, (std::vector<std::string>{"B"}));
+}
+
+TEST(PredicateTest, ToStringAndEquality) {
+  Predicate p = Predicate::Compare("AGE", CompareOp::kGe,
+                                   Operand::HostVar("MIN"));
+  EXPECT_EQ(p.ToString(), "AGE >= :MIN");
+  Predicate q = p;
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(q.RenameField("AGE", "YEARS"), 1);
+  EXPECT_FALSE(p == q);
+}
+
+TEST(PredicateTest, CollectHostVars) {
+  Predicate p = Predicate::And(
+      Predicate::Compare("A", CompareOp::kEq, Operand::HostVar("X")),
+      Predicate::Compare("B", CompareOp::kEq, Operand::HostVar("Y")));
+  std::vector<std::string> vars;
+  p.CollectHostVars(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(QueryCompareTest, NumericStringAgainstNumber) {
+  // PIC X ages still compare numerically against int literals.
+  EXPECT_EQ(QueryCompare(Value::String("31"), Value::Int(30)).value(), 1);
+  EXPECT_EQ(QueryCompare(Value::String("9"), Value::Int(30)).value(), -1);
+  EXPECT_FALSE(QueryCompare(Value::Null(), Value::Int(1)).has_value());
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,109 @@
+#include "engine/textio.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+using testing::MakeSchoolDatabase;
+
+TEST(TextIoTest, DumpMentionsEveryRecordAndMembership) {
+  Database db = MakeCompanyDatabase();
+  std::string dump = DumpDatabaseText(db);
+  EXPECT_NE(dump.find("DATABASE COMPANY."), std::string::npos);
+  EXPECT_NE(dump.find("'MACHINERY'"), std::string::npos);
+  EXPECT_NE(dump.find("'ADAMS'"), std::string::npos);
+  EXPECT_NE(dump.find("IN DIV-EMP"), std::string::npos);
+}
+
+TEST(TextIoTest, RoundTripPreservesContent) {
+  Database db = MakeCompanyDatabase();
+  std::string dump = DumpDatabaseText(db);
+  Result<Database> loaded = LoadDatabaseText(db.schema(), dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->RecordCount(), db.RecordCount());
+  // Structure and values survive.
+  RecordId machinery = loaded->SystemMembers("ALL-DIV")[0];
+  std::vector<RecordId> emps = loaded->Members("DIV-EMP", machinery);
+  ASSERT_EQ(emps.size(), 3u);
+  EXPECT_EQ(loaded->GetField(emps[0], "EMP-NAME")->as_string(), "ADAMS");
+  EXPECT_EQ(loaded->GetField(emps[0], "AGE")->as_int(), 34);
+  EXPECT_EQ(loaded->GetField(emps[0], "DIV-NAME")->as_string(), "MACHINERY");
+  // A second dump is byte-identical (canonical form).
+  EXPECT_EQ(DumpDatabaseText(*loaded), dump);
+}
+
+TEST(TextIoTest, MultiParentSchoolRoundTrips) {
+  Database db = MakeSchoolDatabase();
+  std::string dump = DumpDatabaseText(db);
+  Result<Database> loaded = LoadDatabaseText(db.schema(), dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->AllOfType("OFFERING").size(), 3u);
+  // Chronological member order inside CRS-OFF is preserved.
+  RecordId cs101 = loaded->SystemMembers("ALL-COURSE")[0];
+  std::vector<RecordId> offerings = loaded->Members("CRS-OFF", cs101);
+  ASSERT_EQ(offerings.size(), 2u);
+  EXPECT_EQ(loaded->GetField(offerings[0], "YEAR")->as_int(), 1978);
+  EXPECT_EQ(loaded->GetField(offerings[1], "YEAR")->as_int(), 1979);
+}
+
+TEST(TextIoTest, LoadEnforcesConstraints) {
+  Database db = MakeSchoolDatabase();
+  std::string dump = DumpDatabaseText(db);
+  // Tighten the schema before reloading: only one offering ever.
+  Schema strict = db.schema();
+  ConstraintDef once;
+  once.name = "ONCE";
+  once.kind = ConstraintKind::kCardinalityLimit;
+  once.set_name = "CRS-OFF";
+  once.limit = 1;
+  ASSERT_TRUE(strict.AddConstraint(once).ok());
+  Result<Database> loaded = LoadDatabaseText(strict, dump);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(TextIoTest, ForwardReferenceRejected) {
+  Database db = MakeCompanyDatabase();
+  std::string dump =
+      "DATABASE COMPANY.\n"
+      "RECORD EMP 1 (EMP-NAME = 'X') IN DIV-EMP 2.\n"
+      "RECORD DIV 2 (DIV-NAME = 'M').\n"
+      "END DATABASE.\n";
+  Result<Database> loaded = LoadDatabaseText(db.schema(), dump);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(TextIoTest, MalformedDumpRejected) {
+  Database db = MakeCompanyDatabase();
+  EXPECT_FALSE(LoadDatabaseText(db.schema(), "NOT A DUMP").ok());
+  EXPECT_FALSE(
+      LoadDatabaseText(db.schema(), "DATABASE X.\nRECORD DIV 1 (").ok());
+  EXPECT_FALSE(LoadDatabaseText(db.schema(),
+                                "DATABASE X.\nRECORD DIV 1 ().\n")
+                   .ok());  // missing END DATABASE
+}
+
+TEST(TextIoTest, NegativeAndNullValues) {
+  Schema schema("T");
+  RecordTypeDef r;
+  r.name = "R";
+  r.fields.push_back({.name = "N", .type = FieldType::kInt});
+  r.fields.push_back({.name = "S", .type = FieldType::kString});
+  ASSERT_TRUE(schema.AddRecordType(r).ok());
+  Database db = *Database::Create(schema);
+  (void)*db.StoreRecord({"R", {{"N", Value::Int(-5)}}, {}});
+  std::string dump = DumpDatabaseText(db);
+  Result<Database> loaded = LoadDatabaseText(schema, dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  RecordId id = loaded->AllOfType("R")[0];
+  EXPECT_EQ(loaded->GetField(id, "N")->as_int(), -5);
+  EXPECT_TRUE(loaded->GetField(id, "S")->is_null());
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,201 @@
+#include "generate/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyzer.h"
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "relational/relational.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+TEST(LoweringTest, SimpleLoopLowersToNavTemplate) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  EXPECT_EQ(lowered.loops_lowered, 1);
+  ASSERT_EQ(lowered.program.body.size(), 3u);
+  EXPECT_EQ(lowered.program.body[0].nav_find->mode, NavFind::Mode::kAny);
+  EXPECT_EQ(lowered.program.body[1].nav_find->mode, NavFind::Mode::kFirst);
+  EXPECT_EQ(lowered.program.body[2].kind, StmtKind::kWhile);
+}
+
+TEST(LoweringTest, LoweredProgramRunsEquivalently) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  ASSERT_EQ(lowered.loops_lowered, 1);
+  EquivalenceReport report =
+      *CheckEquivalence(db, p, db, lowered.program, IoScript());
+  EXPECT_TRUE(report.equivalent)
+      << report.detail << "\n"
+      << lowered.program.ToSource();
+}
+
+TEST(LoweringTest, LowerThenLiftRoundTrips) {
+  // lift(lower(p)) must reproduce p's behaviour and its retrieval paths.
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'TEXTILES'),
+      DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  ASSERT_EQ(lowered.loops_lowered, 1);
+  ProgramAnalyzer analyzer(db.schema());
+  Analysis relifted = *analyzer.Analyze(lowered.program);
+  EXPECT_TRUE(relifted.fully_lifted);
+  EXPECT_EQ(relifted.lifted.body[0].retrieval->query.ToString(),
+            p.body[0].retrieval->query.ToString());
+}
+
+TEST(LoweringTest, NestedLoopsLower) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH D IN FIND(DIV: SYSTEM, ALL-DIV, DIV) DO
+    FOR EACH E IN FIND(EMP: D, DIV-EMP, EMP) DO
+      GET EMP-NAME OF E INTO N.
+      DISPLAY N.
+    END-FOR.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  EXPECT_EQ(lowered.loops_lowered, 2) << lowered.program.ToSource();
+  EquivalenceReport report =
+      *CheckEquivalence(db, p, db, lowered.program, IoScript());
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(LoweringTest, SortWrapperStaysHighLevel) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (AGE) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  EXPECT_EQ(lowered.loops_lowered, 0);
+  EXPECT_EQ(lowered.program, p);
+}
+
+TEST(LoweringTest, DeleteInLoopStaysHighLevel) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP) DO
+    DELETE E.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  EXPECT_EQ(lowered.loops_lowered, 0);
+}
+
+TEST(LoweringTest, AmbiguousOwnerStaysHighLevel) {
+  // FIND ANY only processes one owner; a multi-owner path must not lower.
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-LOC = 'EAST'),
+      DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  LoweringResult lowered = *LowerToNavigational(db.schema(), p);
+  EXPECT_EQ(lowered.loops_lowered, 0);
+}
+
+TEST(SequelTest, PaperStyleNestedSelect) {
+  Database db = MakeCompanyDatabase();
+  Retrieval r = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, "
+      "EMP(DEPT-NAME = 'SALES'))");
+  Result<std::string> sql = GenerateSequel(db.schema(), r);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_EQ(*sql,
+            "SELECT * FROM EMP\n"
+            "WHERE DEPT-NAME = 'SALES'\n"
+            "  AND DIV-NAME IN (\n"
+            "    SELECT DIV-NAME FROM DIV\n"
+            "    WHERE DIV-NAME = 'MACHINERY'\n"
+            ")");
+}
+
+TEST(SequelTest, GeneratedSequelEvaluatesToSameRecords) {
+  Database network = MakeCompanyDatabase();
+  Database relational = *RelationalizeData(network);
+  Retrieval r = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, "
+      "EMP(DEPT-NAME = 'SALES'))");
+  std::string sql = *GenerateSequel(network.schema(), r);
+  SelectQuery q = std::move(ParseSelect(sql)).value();
+
+  // Compare by EMP-NAME sets.
+  Retrieval resolved = r;
+  ASSERT_TRUE(ResolveFindQuery(network.schema(), &resolved.query).ok());
+  std::vector<RecordId> net_ids = *EvaluateRetrieval(
+      network, resolved, EmptyHostEnv(), EmptyCollectionEnv());
+  std::vector<RecordId> rel_ids =
+      *EvaluateSelectIds(relational, q, EmptyHostEnv());
+  std::vector<std::string> net_names, rel_names;
+  for (RecordId id : net_ids) {
+    net_names.push_back(network.GetField(id, "EMP-NAME")->as_string());
+  }
+  for (RecordId id : rel_ids) {
+    rel_names.push_back(relational.GetField(id, "EMP-NAME")->as_string());
+  }
+  std::sort(net_names.begin(), net_names.end());
+  std::sort(rel_names.begin(), rel_names.end());
+  EXPECT_EQ(net_names, rel_names);
+}
+
+TEST(SequelTest, SortBecomesOrderBy) {
+  Database db = MakeCompanyDatabase();
+  Retrieval r = *ParseRetrieval(
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (AGE)");
+  std::string sql = *GenerateSequel(db.schema(), r);
+  EXPECT_NE(sql.find("ORDER BY AGE"), std::string::npos);
+}
+
+TEST(SequelTest, SetWithoutVirtualJoinColumnUnsupported) {
+  // School: OFFERING joins through virtual CNO/S — works. But a schema
+  // whose set exposes no virtual field cannot be expressed.
+  Schema schema = MakeCompanyDatabase().schema();
+  RecordTypeDef* emp = schema.FindRecordType("EMP");
+  std::erase_if(emp->fields,
+                [](const FieldDef& f) { return f.name == "DIV-NAME"; });
+  ASSERT_TRUE(schema.Validate().ok());
+  Retrieval r = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'X'), DIV-EMP, EMP)");
+  Result<std::string> sql = GenerateSequel(schema, r);
+  ASSERT_FALSE(sql.ok());
+  EXPECT_EQ(sql.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,149 @@
+#include "hierarchical/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "restructure/transformation.h"
+
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+Predicate Eq(const std::string& field, const std::string& value) {
+  return Predicate::Compare(field, CompareOp::kEq,
+                            Operand::Literal(Value::String(value)));
+}
+
+TEST(HierarchicalTest, AttachRejectsNetworks) {
+  // OFFERING has two parents (COURSE and SEMESTER): a genuine network.
+  Database school = testing::MakeSchoolDatabase();
+  Result<HierarchicalMachine> machine = HierarchicalMachine::Attach(&school);
+  ASSERT_FALSE(machine.ok());
+  EXPECT_EQ(machine.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(HierarchicalTest, CompanyIsAHierarchy) {
+  Database db = MakeCompanyDatabase();
+  Result<HierarchicalMachine> machine = HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(machine.ok()) << machine.status();
+  EXPECT_EQ(machine->roots(), (std::vector<std::string>{"DIV"}));
+}
+
+TEST(HierarchicalTest, HierarchicSequenceIsPreOrder) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  std::vector<RecordId> seq = m.HierarchicSequence();
+  // MACHINERY, its 3 EMPs, TEXTILES, its EMP.
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(db.GetField(seq[0], "DIV-NAME")->as_string(), "MACHINERY");
+  EXPECT_EQ(db.GetField(seq[1], "EMP-NAME")->as_string(), "ADAMS");
+  EXPECT_EQ(db.GetField(seq[4], "DIV-NAME")->as_string(), "TEXTILES");
+  EXPECT_EQ(db.GetField(seq[5], "EMP-NAME")->as_string(), "DAVIS");
+}
+
+TEST(HierarchicalTest, GetUniqueWithQualifiedPath) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(m.GetUnique({{"DIV", Eq("DIV-NAME", "MACHINERY")},
+                           {"EMP", Eq("EMP-NAME", "BAKER")}},
+                          EmptyHostEnv())
+                  .ok());
+  EXPECT_EQ(m.status(), dli_status::kOk);
+  EXPECT_EQ(m.Get("AGE")->as_int(), 28);
+}
+
+TEST(HierarchicalTest, GetUniqueNotFoundSetsGE) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(
+      m.GetUnique({{"DIV", Eq("DIV-NAME", "NOWHERE")}}, EmptyHostEnv()).ok());
+  EXPECT_EQ(m.status(), dli_status::kNotFound);
+}
+
+TEST(HierarchicalTest, GetNextWalksSequence) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  std::vector<std::string> names;
+  ASSERT_TRUE(m.GetNext("EMP", EmptyHostEnv()).ok());
+  while (m.status() == dli_status::kOk) {
+    names.push_back(m.Get("EMP-NAME")->as_string());
+    ASSERT_TRUE(m.GetNext("EMP", EmptyHostEnv()).ok());
+  }
+  EXPECT_EQ(m.status(), dli_status::kEndOfDatabase);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"ADAMS", "BAKER", "CLARK", "DAVIS"}));
+}
+
+TEST(HierarchicalTest, GetNextWithinParentStopsAtSubtreeEnd) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(
+      m.GetUnique({{"DIV", Eq("DIV-NAME", "MACHINERY")}}, EmptyHostEnv()).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(m.GetNextWithinParent("EMP", EmptyHostEnv()).ok());
+  while (m.status() == dli_status::kOk) {
+    names.push_back(m.Get("EMP-NAME")->as_string());
+    ASSERT_TRUE(m.GetNextWithinParent("EMP", EmptyHostEnv()).ok());
+  }
+  EXPECT_EQ(m.status(), dli_status::kNotFound);
+  EXPECT_EQ(names, (std::vector<std::string>{"ADAMS", "BAKER", "CLARK"}));
+}
+
+TEST(HierarchicalTest, InsertUnderQualifiedParent) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(m.Insert("EMP",
+                       {{"EMP-NAME", Value::String("EVANS")},
+                        {"AGE", Value::Int(51)}},
+                       {{"DIV", Eq("DIV-NAME", "TEXTILES")}}, EmptyHostEnv())
+                  .ok());
+  EXPECT_EQ(m.status(), dli_status::kOk);
+  ASSERT_TRUE(m.GetUnique({{"DIV", Eq("DIV-NAME", "TEXTILES")},
+                           {"EMP", Eq("EMP-NAME", "EVANS")}},
+                          EmptyHostEnv())
+                  .ok());
+  EXPECT_EQ(m.status(), dli_status::kOk);
+}
+
+TEST(HierarchicalTest, ReplaceUpdatesCurrentSegment) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(m.GetUnique({{"DIV", Eq("DIV-NAME", "MACHINERY")},
+                           {"EMP", Eq("EMP-NAME", "ADAMS")}},
+                          EmptyHostEnv())
+                  .ok());
+  ASSERT_TRUE(m.Replace({{"AGE", Value::Int(40)}}).ok());
+  EXPECT_EQ(m.Get("AGE")->as_int(), 40);
+}
+
+TEST(HierarchicalTest, DeleteRemovesSubtree) {
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine m = *HierarchicalMachine::Attach(&db);
+  ASSERT_TRUE(
+      m.GetUnique({{"DIV", Eq("DIV-NAME", "MACHINERY")}}, EmptyHostEnv()).ok());
+  ASSERT_TRUE(m.Delete().ok());
+  EXPECT_EQ(m.status(), dli_status::kOk);
+  EXPECT_EQ(db.AllOfType("DIV").size(), 1u);
+  EXPECT_EQ(db.AllOfType("EMP").size(), 1u);  // only DAVIS survives
+}
+
+TEST(HierarchicalTest, OrderTransformationChangesHierarchicSequence) {
+  // The Mehl & Wang setting (paper section 2.2): changing the hierarchical
+  // order changes what GET NEXT returns.
+  Database db = MakeCompanyDatabase();
+  HierarchicalMachine before = *HierarchicalMachine::Attach(&db);
+  std::vector<RecordId> original = before.HierarchicSequence();
+
+  TransformationPtr reorder = MakeChangeSetOrder("DIV-EMP", {"AGE", "EMP-NAME"});
+  Database reordered = *TranslateDatabase(db, {reorder.get()});
+  HierarchicalMachine after = *HierarchicalMachine::Attach(&reordered);
+  std::vector<RecordId> changed = after.HierarchicSequence();
+  ASSERT_EQ(original.size(), changed.size());
+  // MACHINERY's first employee is now the youngest (BAKER), not ADAMS.
+  EXPECT_EQ(reordered.GetField(changed[1], "EMP-NAME")->as_string(), "BAKER");
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,171 @@
+#include "ir/access_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "schema/ddl_parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+/// The paper's section 4.1 example schema: EMP, DEPT, and the association
+/// EMP-DEPT represented as an intermediate record type owned by both ends'
+/// counterpart (here: DEPT owns EMP-DEPT; EMP-DEPT carries the data).
+std::string SuExampleDdl() {
+  return R"(
+SCHEMA NAME IS SU
+RECORD SECTION.
+  RECORD NAME IS DEPT.
+  FIELDS ARE.
+    D# PIC X(4).
+    DNAME PIC X(20).
+    MGR PIC X(20).
+  END RECORD.
+  RECORD NAME IS EMP-DEPT.
+  FIELDS ARE.
+    E# PIC X(4).
+    YEAR-OF-SERVICE PIC 9(2).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    ENAME PIC X(20).
+    E# VIRTUAL VIA ASSOC-EMP USING E#.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DEPT.
+  OWNER IS SYSTEM.
+  MEMBER IS DEPT.
+  SET KEYS ARE (D#).
+  END SET.
+  SET NAME IS DEPT-ASSOC.
+  OWNER IS DEPT.
+  MEMBER IS EMP-DEPT.
+  SET KEYS ARE (E#).
+  END SET.
+  SET NAME IS ASSOC-EMP.
+  OWNER IS EMP-DEPT.
+  MEMBER IS EMP.
+  SET KEYS ARE (ENAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+)";
+}
+
+TEST(AccessPatternTest, PaperWorkedQuery) {
+  // "Find the names of employees who work for Manager Smith for more than
+  // ten years" — the paper's sequence:
+  //   ACCESS DEPT via DEPT
+  //   ACCESS EMP-DEPT via DEPT
+  //   ACCESS EMP via EMP-DEPT
+  //   RETRIEVE
+  Schema schema = *ParseDdl(SuExampleDdl());
+  Retrieval r = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DEPT, DEPT(MGR = 'SMITH'), DEPT-ASSOC, "
+      "EMP-DEPT(YEAR-OF-SERVICE > 10), ASSOC-EMP, EMP)");
+  Result<AccessSequence> seq =
+      DeriveAccessSequence(schema, r, TerminalOp::kRetrieve);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  EXPECT_EQ(seq->ToString(),
+            "ACCESS DEPT via DEPT (MGR = 'SMITH')\n"
+            "ACCESS DEPT-ASSOC via DEPT\n"
+            "ACCESS EMP-DEPT via DEPT-ASSOC (YEAR-OF-SERVICE > 10)\n"
+            "ACCESS ASSOC-EMP via EMP-DEPT\n"
+            "ACCESS EMP via ASSOC-EMP\n"
+            "RETRIEVE\n");
+}
+
+TEST(AccessPatternTest, DirectAccessAbsorbsSystemSet) {
+  Schema schema = testing::MakeCompanyDatabase().schema();
+  Retrieval r = *ParseRetrieval(
+      "FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-LOC = 'EAST'))");
+  AccessSequence seq =
+      *DeriveAccessSequence(schema, r, TerminalOp::kRetrieve);
+  ASSERT_EQ(seq.patterns.size(), 2u);
+  EXPECT_EQ(seq.patterns[0].kind, AccessPatternKind::kDirect);
+  EXPECT_EQ(seq.patterns[0].target, "DIV");
+  EXPECT_EQ(seq.patterns[1].kind, AccessPatternKind::kTerminal);
+}
+
+TEST(AccessPatternTest, SortBecomesSortPattern) {
+  Schema schema = testing::MakeCompanyDatabase().schema();
+  Retrieval r = *ParseRetrieval(
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME)");
+  AccessSequence seq =
+      *DeriveAccessSequence(schema, r, TerminalOp::kRetrieve);
+  ASSERT_GE(seq.patterns.size(), 2u);
+  const AccessPattern& sort = seq.patterns[seq.patterns.size() - 2];
+  EXPECT_EQ(sort.kind, AccessPatternKind::kSort);
+  EXPECT_EQ(sort.sort_fields, (std::vector<std::string>{"EMP-NAME"}));
+}
+
+TEST(AccessPatternTest, AssociationsAndEntitiesUsed) {
+  Schema schema = testing::MakeCompanyDatabase().schema();
+  Retrieval r = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))");
+  AccessSequence seq =
+      *DeriveAccessSequence(schema, r, TerminalOp::kRetrieve);
+  EXPECT_EQ(seq.AssociationsUsed(), (std::vector<std::string>{"DIV-EMP"}));
+  EXPECT_EQ(seq.EntitiesUsed(), (std::vector<std::string>{"DIV", "EMP"}));
+}
+
+TEST(AccessPatternTest, TerminalOpFromLoopBody) {
+  Schema schema = testing::MakeCompanyDatabase().schema();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    MODIFY E SET (AGE = 1).
+  END-FOR.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    DELETE E.
+  END-FOR.
+END PROGRAM.)");
+  std::vector<AccessSequence> seqs = *DeriveProgramSequences(schema, p);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].patterns.back().terminal, TerminalOp::kModify);
+  EXPECT_EQ(seqs[1].patterns.back().terminal, TerminalOp::kDelete);
+}
+
+TEST(AccessPatternTest, StoreSequenceFromOwnerSelection) {
+  Schema schema = testing::MakeCompanyDatabase().schema();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  STORE EMP (EMP-NAME = 'X') IN DIV-EMP WHERE (DIV-NAME = 'MACHINERY').
+END PROGRAM.)");
+  std::vector<AccessSequence> seqs = *DeriveProgramSequences(schema, p);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].ToString(),
+            "ACCESS DIV via DIV (DIV-NAME = 'MACHINERY')\n"
+            "ACCESS DIV-EMP via DIV\n"
+            "STORE\n");
+}
+
+TEST(AccessPatternTest, ValueJoinRendering) {
+  AccessPattern join;
+  join.kind = AccessPatternKind::kValueJoin;
+  join.target = "A";
+  join.via = "B";
+  join.target_field = "AI";
+  join.via_field = "BJ";
+  EXPECT_EQ(join.ToString(), "ACCESS A via B through (AI, BJ)");
+}
+
+TEST(AccessPatternTest, NestedRetrievalsBothDerived) {
+  Schema schema = testing::MakeCompanyDatabase().schema();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH D IN FIND(DIV: SYSTEM, ALL-DIV, DIV) DO
+    FOR EACH E IN FIND(EMP: D, DIV-EMP, EMP) DO
+      GET EMP-NAME OF E INTO N.
+      DISPLAY N.
+    END-FOR.
+  END-FOR.
+END PROGRAM.)");
+  std::vector<AccessSequence> seqs = *DeriveProgramSequences(schema, p);
+  EXPECT_EQ(seqs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,167 @@
+#include "ir/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/find_query.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+using testing::MakeSchoolDatabase;
+
+/// Derive-then-compile must reproduce a query with identical results.
+void ExpectRoundTrip(const Database& db, const std::string& text) {
+  Retrieval original = std::move(ParseRetrieval(text)).value();
+  Retrieval resolved = original;
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &resolved.query).ok());
+  AccessSequence seq =
+      *DeriveAccessSequence(db.schema(), original, TerminalOp::kRetrieve);
+  Result<Retrieval> compiled = CompileAccessSequence(db.schema(), seq);
+  ASSERT_TRUE(compiled.ok()) << compiled.status() << "\n" << seq.ToString();
+  Result<std::vector<RecordId>> a = EvaluateRetrieval(
+      db, resolved, EmptyHostEnv(), EmptyCollectionEnv());
+  Result<std::vector<RecordId>> b = EvaluateRetrieval(
+      db, *compiled, EmptyHostEnv(), EmptyCollectionEnv());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b) << "original: " << text
+                    << "\ncompiled: " << compiled->ToString();
+}
+
+TEST(CompileSequenceTest, PaperExampleRoundTrips) {
+  Database db = MakeCompanyDatabase();
+  ExpectRoundTrip(db,
+                  "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))");
+}
+
+TEST(CompileSequenceTest, QualifiedOwnerRoundTrips) {
+  Database db = MakeCompanyDatabase();
+  ExpectRoundTrip(db,
+                  "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+                  "DIV-EMP, EMP(DEPT-NAME = 'SALES'))");
+}
+
+TEST(CompileSequenceTest, SortRoundTrips) {
+  Database db = MakeCompanyDatabase();
+  ExpectRoundTrip(
+      db, "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (AGE)");
+}
+
+TEST(CompileSequenceTest, MultiParentSchoolRoundTrips) {
+  Database db = MakeSchoolDatabase();
+  ExpectRoundTrip(db,
+                  "FIND(OFFERING: SYSTEM, ALL-SEM, SEMESTER(YEAR = 1979), "
+                  "SEM-OFF, OFFERING)");
+}
+
+TEST(CompileSequenceTest, HandWrittenSequenceCompiles) {
+  // The paper's section 4.1 presentation: a sequence written directly in
+  // the calculus, compiled to a runnable query.
+  Database db = MakeCompanyDatabase();
+  AccessSequence seq;
+  AccessPattern direct;
+  direct.kind = AccessPatternKind::kDirect;
+  direct.target = "DIV";
+  direct.condition = Predicate::Compare(
+      "DIV-LOC", CompareOp::kEq, Operand::Literal(Value::String("EAST")));
+  seq.patterns.push_back(direct);
+  AccessPattern assoc;
+  assoc.kind = AccessPatternKind::kAssociationByEntity;
+  assoc.target = "DIV-EMP";
+  assoc.via = "DIV";
+  seq.patterns.push_back(assoc);
+  AccessPattern entity;
+  entity.kind = AccessPatternKind::kEntityByAssociation;
+  entity.target = "EMP";
+  entity.via = "DIV-EMP";
+  entity.condition = Predicate::Compare("AGE", CompareOp::kGe,
+                                        Operand::Literal(Value::Int(30)));
+  seq.patterns.push_back(entity);
+  AccessPattern terminal;
+  terminal.kind = AccessPatternKind::kTerminal;
+  terminal.terminal = TerminalOp::kRetrieve;
+  seq.patterns.push_back(terminal);
+
+  Result<Retrieval> compiled = CompileAccessSequence(db.schema(), seq);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::vector<RecordId> ids = *EvaluateRetrieval(
+      db, *compiled, EmptyHostEnv(), EmptyCollectionEnv());
+  ASSERT_EQ(ids.size(), 2u);  // ADAMS 34, CLARK 45 (MACHINERY is EAST)
+}
+
+TEST(CompileSequenceTest, ValueJoinCompiles) {
+  Schema schema = MakeCompanyDatabase().schema();
+  RecordTypeDef loc;
+  loc.name = "LOCATION";
+  loc.fields.push_back({.name = "LOC-CODE", .type = FieldType::kString});
+  ASSERT_TRUE(schema.AddRecordType(loc).ok());
+  Retrieval original = std::move(ParseRetrieval(
+      "FIND(LOCATION: SYSTEM, ALL-DIV, DIV, "
+      "JOIN LOCATION THROUGH (LOC-CODE, DIV-LOC))")).value();
+  AccessSequence seq =
+      *DeriveAccessSequence(schema, original, TerminalOp::kRetrieve);
+  Result<Retrieval> compiled = CompileAccessSequence(schema, seq);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_EQ(compiled->query.ToString(),
+            "FIND(LOCATION: SYSTEM, ALL-DIV, DIV, "
+            "JOIN LOCATION THROUGH (LOC-CODE, DIV-LOC))");
+}
+
+TEST(CompileSequenceTest, UpdateTerminalsUnsupported) {
+  Database db = MakeCompanyDatabase();
+  AccessSequence seq;
+  AccessPattern direct;
+  direct.kind = AccessPatternKind::kDirect;
+  direct.target = "DIV";
+  seq.patterns.push_back(direct);
+  AccessPattern terminal;
+  terminal.kind = AccessPatternKind::kTerminal;
+  terminal.terminal = TerminalOp::kDelete;
+  seq.patterns.push_back(terminal);
+  Result<Retrieval> compiled = CompileAccessSequence(db.schema(), seq);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CompileSequenceTest, MalformedSequencesRejected) {
+  Database db = MakeCompanyDatabase();
+  // No terminal.
+  AccessSequence no_terminal;
+  AccessPattern direct;
+  direct.kind = AccessPatternKind::kDirect;
+  direct.target = "DIV";
+  no_terminal.patterns.push_back(direct);
+  EXPECT_FALSE(CompileAccessSequence(db.schema(), no_terminal).ok());
+  // Entity access without its association.
+  AccessSequence dangling;
+  AccessPattern entity;
+  entity.kind = AccessPatternKind::kEntityByAssociation;
+  entity.target = "EMP";
+  entity.via = "DIV-EMP";
+  dangling.patterns.push_back(entity);
+  EXPECT_FALSE(CompileAccessSequence(db.schema(), dangling).ok());
+  // Empty.
+  EXPECT_FALSE(CompileAccessSequence(db.schema(), AccessSequence{}).ok());
+}
+
+TEST(CompileSequenceTest, EntityWithoutSystemSetUnsupported) {
+  // EMP has no system-owned set: a sequence opening with ACCESS EMP via EMP
+  // cannot be rooted.
+  Database db = MakeCompanyDatabase();
+  AccessSequence seq;
+  AccessPattern direct;
+  direct.kind = AccessPatternKind::kDirect;
+  direct.target = "EMP";
+  seq.patterns.push_back(direct);
+  AccessPattern terminal;
+  terminal.kind = AccessPatternKind::kTerminal;
+  terminal.terminal = TerminalOp::kRetrieve;
+  seq.patterns.push_back(terminal);
+  Result<Retrieval> compiled = CompileAccessSequence(db.schema(), seq);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace dbpc

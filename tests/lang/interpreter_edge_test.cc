@@ -1,0 +1,244 @@
+// Edge-case behaviour of the CPL interpreter: error paths, DB-STATUS flow
+// through every DML level, file/terminal exhaustion, and the currency
+// quirks the paper's section 3.2 warns about.
+
+#include <gtest/gtest.h>
+
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+Result<RunResult> TryRun(Database* db, const std::string& source,
+                         IoScript script = {}) {
+  Result<Program> p = ParseProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Interpreter interp(db, std::move(script));
+  return interp.Run(*p);
+}
+
+std::vector<std::string> TerminalLines(const RunResult& r) {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : r.trace.events()) {
+    if (e.kind == TraceEventKind::kTerminalOut) out.push_back(e.payload);
+  }
+  return out;
+}
+
+TEST(InterpreterEdgeTest, DivisionByZeroIsARuntimeError) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  LET X = 1 / 0.
+END PROGRAM.)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InterpreterEdgeTest, NullArithmeticPropagatesNull) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  LET X = UNSET + 1.
+  IF X IS NULL THEN DISPLAY 'NULL'. END-IF.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"NULL"}));
+}
+
+TEST(InterpreterEdgeTest, NonNumericArithmeticFails) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  LET X = 'A' + 1.
+END PROGRAM.)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(InterpreterEdgeTest, AcceptPastEofYieldsNull) {
+  Database db = MakeCompanyDatabase();
+  IoScript script;
+  script.terminal_input = {"ONE"};
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  ACCEPT A.
+  ACCEPT B.
+  IF B IS NULL THEN DISPLAY 'EOF'. END-IF.
+END PROGRAM.)",
+                               script);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"EOF"}));
+}
+
+TEST(InterpreterEdgeTest, ReadFromUnknownFileYieldsNull) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  READ NOFILE INTO X.
+  IF X IS NULL THEN DISPLAY 'EMPTY'. END-IF.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"EMPTY"}));
+}
+
+TEST(InterpreterEdgeTest, GetFromUnknownCursorFails) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  GET EMP-NAME OF NOPE INTO X.
+END PROGRAM.)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterEdgeTest, CursorOutOfScopeAfterLoop) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+  END-FOR.
+  GET EMP-NAME OF E INTO N.
+END PROGRAM.)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterEdgeTest, NestedCursorShadowingRestores) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  FOR EACH X IN FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY')) DO
+    FOR EACH X IN FIND(EMP: X, DIV-EMP, EMP(AGE > 40)) DO
+      GET EMP-NAME OF X INTO N.
+      DISPLAY N.
+    END-FOR.
+    GET DIV-NAME OF X INTO D.
+    DISPLAY D.
+  END-FOR.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(TerminalLines(*r),
+            (std::vector<std::string>{"CLARK", "MACHINERY"}));
+}
+
+TEST(InterpreterEdgeTest, MarylandStoreConstraintFailureSetsStatus) {
+  Database db = MakeCompanyDatabase();
+  // Duplicate EMP-NAME within the MACHINERY occurrence: set-key violation.
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  STORE EMP (EMP-NAME = 'ADAMS') IN DIV-EMP WHERE (DIV-NAME = 'MACHINERY').
+  DISPLAY DB-STATUS.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"0326"}));
+}
+
+TEST(InterpreterEdgeTest, ModifyConstraintFailureSetsStatusAndContinues) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP(EMP-NAME = 'ADAMS')) DO
+    MODIFY E SET (EMP-NAME = 'BAKER').
+    DISPLAY DB-STATUS.
+  END-FOR.
+  DISPLAY 'STILL RUNNING'.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(TerminalLines(*r),
+            (std::vector<std::string>{"0326", "STILL RUNNING"}));
+}
+
+TEST(InterpreterEdgeTest, DeleteBlockedByMandatoryMembersSetsStatus) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  FOR EACH D IN FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY')) DO
+    DELETE D.
+    DISPLAY DB-STATUS.
+  END-FOR.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"0326"}));
+  EXPECT_EQ(db.AllOfType("DIV").size(), 2u);
+}
+
+TEST(InterpreterEdgeTest, NavEraseClearsSetCurrencyEndingScan) {
+  // The currency quirk: after ERASE the set currency is gone, so the next
+  // FIND FIRST reports no current occurrence — exactly the kind of
+  // behaviour section 3.2 says conversion systems must understand.
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    ERASE.
+    FIND FIRST EMP WITHIN DIV-EMP.
+  END-WHILE.
+  DISPLAY 'DONE'.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Only the first employee is erased before currency is lost.
+  EXPECT_EQ(db.AllOfType("EMP").size(), 3u);
+}
+
+TEST(InterpreterEdgeTest, RetrieveSnapshotSurvivesMutation) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  RETRIEVE C = FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP).
+  STORE EMP (EMP-NAME = 'EVANS') IN DIV-EMP WHERE (DIV-NAME = 'TEXTILES').
+  LET COUNT = 0.
+  FOR EACH E IN COLLECTION C DO
+    LET COUNT = COUNT + 1.
+  END-FOR.
+  DISPLAY COUNT.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The snapshot holds the four original employees, not the new fifth.
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"4"}));
+}
+
+TEST(InterpreterEdgeTest, WhileConditionErrorPropagates) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  WHILE 'X' + 1 > 0 DO
+    DISPLAY 'NEVER'.
+  END-WHILE.
+END PROGRAM.)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(InterpreterEdgeTest, UnknownRecordTypeInFindFails) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  FOR EACH E IN FIND(GHOST: SYSTEM, ALL-DIV, GHOST) DO
+    DISPLAY 'X'.
+  END-FOR.
+END PROGRAM.)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterEdgeTest, ConcatCoercesEverything) {
+  Database db = MakeCompanyDatabase();
+  Result<RunResult> r = TryRun(&db, R"(
+PROGRAM T.
+  DISPLAY 1 & '-' & 2.5 & '-' & UNSET.
+END PROGRAM.)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(TerminalLines(*r), (std::vector<std::string>{"1-2.5-<null>"}));
+}
+
+}  // namespace
+}  // namespace dbpc

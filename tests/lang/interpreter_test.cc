@@ -1,0 +1,322 @@
+#include "lang/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+RunResult MustRun(Database* db, const std::string& source,
+                  IoScript script = {}) {
+  Result<Program> p = ParseProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Interpreter interp(db, std::move(script));
+  Result<RunResult> r = interp.Run(*p);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : RunResult();
+}
+
+std::vector<std::string> TerminalLines(const RunResult& r) {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : r.trace.events()) {
+    if (e.kind == TraceEventKind::kTerminalOut) out.push_back(e.payload);
+  }
+  return out;
+}
+
+TEST(InterpreterTest, ArithmeticAndDisplay) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  LET X = 2 + 3 * 4.
+  DISPLAY 'X=', X.
+  DISPLAY 10 / 4.
+  DISPLAY 10.0 / 4.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r),
+            (std::vector<std::string>{"X=14", "2", "2.5"}));
+}
+
+TEST(InterpreterTest, StringConcat) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, "PROGRAM T. DISPLAY 'A' & 'B' & 1. END PROGRAM.");
+  EXPECT_EQ(TerminalLines(r), (std::vector<std::string>{"AB1"}));
+}
+
+TEST(InterpreterTest, WhileAndIf) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  LET I = 0.
+  WHILE I < 5 DO
+    LET I = I + 1.
+    IF I = 3 THEN DISPLAY 'THREE'. END-IF.
+  END-WHILE.
+  DISPLAY I.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r), (std::vector<std::string>{"THREE", "5"}));
+}
+
+TEST(InterpreterTest, UndefinedVariableReadsNull) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  IF NOWHERE IS NULL THEN DISPLAY 'NULL'. END-IF.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r), (std::vector<std::string>{"NULL"}));
+}
+
+TEST(InterpreterTest, ForEachOverFindReportsInOrder) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r),
+            (std::vector<std::string>{"ADAMS", "CLARK", "DAVIS"}));
+}
+
+TEST(InterpreterTest, AcceptFeedsHostVariable) {
+  Database db = MakeCompanyDatabase();
+  IoScript script;
+  script.terminal_input = {"MACHINERY"};
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  ACCEPT D.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = :D), DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)",
+                        script);
+  EXPECT_EQ(TerminalLines(r),
+            (std::vector<std::string>{"ADAMS", "BAKER", "CLARK"}));
+  EXPECT_EQ(r.trace.events()[0].kind, TraceEventKind::kTerminalIn);
+}
+
+TEST(InterpreterTest, ReadFileUntilEof) {
+  Database db = MakeCompanyDatabase();
+  IoScript script;
+  script.input_files["INFILE"] = {"A", "B"};
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  READ INFILE INTO X.
+  WHILE X IS NOT NULL DO
+    WRITE OUTFILE FROM 'GOT ', X.
+    READ INFILE INTO X.
+  END-WHILE.
+END PROGRAM.
+)",
+                        script);
+  size_t writes = 0;
+  for (const TraceEvent& e : r.trace.events()) {
+    if (e.kind == TraceEventKind::kFileWrite) {
+      ++writes;
+      EXPECT_EQ(e.channel, "OUTFILE");
+    }
+  }
+  EXPECT_EQ(writes, 2u);
+}
+
+TEST(InterpreterTest, MarylandStoreSelectsOwner) {
+  Database db = MakeCompanyDatabase();
+  MustRun(&db, R"(
+PROGRAM T.
+  STORE EMP (EMP-NAME = 'EVANS', DEPT-NAME = 'SALES', AGE = 29)
+    IN DIV-EMP WHERE (DIV-NAME = 'TEXTILES').
+  DISPLAY DB-STATUS.
+END PROGRAM.
+)");
+  Predicate p = Predicate::Compare("EMP-NAME", CompareOp::kEq,
+                                   Operand::Literal(Value::String("EVANS")));
+  Result<std::vector<RecordId>> evans =
+      db.SelectWhere("EMP", p, EmptyHostEnv());
+  ASSERT_TRUE(evans.ok());
+  ASSERT_EQ(evans->size(), 1u);
+  EXPECT_EQ(db.GetField((*evans)[0], "DIV-NAME")->as_string(), "TEXTILES");
+}
+
+TEST(InterpreterTest, MarylandStoreAmbiguousOwnerSetsStatus) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  STORE EMP (EMP-NAME = 'EVANS') IN DIV-EMP WHERE (DIV-NAME <> 'NOPE').
+  DISPLAY DB-STATUS.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r), (std::vector<std::string>{"0326"}));
+  EXPECT_TRUE(db.SelectWhere("EMP",
+                             Predicate::Compare(
+                                 "EMP-NAME", CompareOp::kEq,
+                                 Operand::Literal(Value::String("EVANS"))),
+                             EmptyHostEnv())
+                  ->empty());
+}
+
+TEST(InterpreterTest, ModifyAndDeleteThroughCursor) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE < 30)) DO
+    DELETE E.
+  END-FOR.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    MODIFY E SET (AGE = 0).
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r),
+            (std::vector<std::string>{"ADAMS", "CLARK", "DAVIS"}));
+  for (RecordId id : db.AllOfType("EMP")) {
+    EXPECT_EQ(db.GetField(id, "AGE")->as_int(), 0);
+  }
+}
+
+TEST(InterpreterTest, NavigationalLoopMatchesMarylandLoop) {
+  Database db = MakeCompanyDatabase();
+  RunResult nav = MustRun(&db, R"(
+PROGRAM NAV.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.
+)");
+  RunResult high = MustRun(&db, R"(
+PROGRAM HIGH.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(nav.trace, high.trace);
+}
+
+TEST(InterpreterTest, NavigationalStoreUsesCurrency) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  FIND ANY DIV (DIV-NAME = 'TEXTILES').
+  STORE EMP (EMP-NAME = 'EVANS', AGE = 61) USING CURRENCY.
+  DISPLAY DB-STATUS.
+  FIND OWNER WITHIN DIV-EMP.
+  GET DIV-NAME INTO D.
+  DISPLAY D.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r),
+            (std::vector<std::string>{"0000", "TEXTILES"}));
+}
+
+TEST(InterpreterTest, CallDmlDispatchesOnRuntimeVerb) {
+  Database db = MakeCompanyDatabase();
+  IoScript script;
+  script.terminal_input = {"ERASE"};
+  size_t before = db.AllOfType("EMP").size();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  ACCEPT V.
+  CALL DML(V, EMP).
+  DISPLAY DB-STATUS.
+END PROGRAM.
+)",
+                        script);
+  (void)r;
+  EXPECT_EQ(db.AllOfType("EMP").size(), before - 1);
+}
+
+TEST(InterpreterTest, StopEndsProgramEarly) {
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  DISPLAY 'A'.
+  STOP.
+  DISPLAY 'B'.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r), (std::vector<std::string>{"A"}));
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(InterpreterTest, StepLimitGuardsInfiniteLoops) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM T.
+  WHILE 1 = 1 DO
+    LET X = 1.
+  END-WHILE.
+END PROGRAM.
+)");
+  RunOptions opts;
+  opts.max_steps = 1000;
+  Interpreter interp(&db, IoScript(), opts);
+  Result<RunResult> r = interp.Run(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(InterpreterTest, StatusCodeDependenceObservable) {
+  // The paper's section 3.2: programs may branch on DB-STATUS values.
+  Database db = MakeCompanyDatabase();
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  FIND ANY EMP (EMP-NAME = 'NOBODY').
+  IF DB-STATUS = '0326' THEN DISPLAY 'MISSING'. END-IF.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r), (std::vector<std::string>{"MISSING"}));
+}
+
+TEST(InterpreterTest, DeletedRecordsSkippedDuringIteration) {
+  Database db = MakeCompanyDatabase();
+  // Deleting CLARK while iterating must not break later iterations.
+  RunResult r = MustRun(&db, R"(
+PROGRAM T.
+  RETRIEVE C = FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP).
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(EMP-NAME = 'CLARK')) DO
+    DELETE E.
+  END-FOR.
+  FOR EACH E IN COLLECTION C DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(TerminalLines(r),
+            (std::vector<std::string>{"ADAMS", "BAKER", "DAVIS"}));
+}
+
+TEST(InterpreterTest, RunsAreIndependent) {
+  Database db = MakeCompanyDatabase();
+  Program p = *ParseProgram(R"(
+PROGRAM T.
+  IF X IS NULL THEN DISPLAY 'FRESH'. END-IF.
+  LET X = 1.
+END PROGRAM.
+)");
+  Interpreter interp(&db, IoScript());
+  RunResult a = *interp.Run(p);
+  RunResult b = *interp.Run(p);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,302 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dbpc {
+namespace {
+
+Program MustParse(const std::string& text) {
+  Result<Program> r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status() << "\n" << text;
+  return r.ok() ? *r : Program();
+}
+
+TEST(ParserTest, EmptyProgram) {
+  Program p = MustParse("PROGRAM EMPTY. END PROGRAM.");
+  EXPECT_EQ(p.name, "EMPTY");
+  EXPECT_TRUE(p.body.empty());
+}
+
+TEST(ParserTest, LetAndDisplay) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  LET X = 1 + 2 * 3.
+  DISPLAY 'X=', X.
+END PROGRAM.
+)");
+  ASSERT_EQ(p.body.size(), 2u);
+  EXPECT_EQ(p.body[0].kind, StmtKind::kLet);
+  EXPECT_EQ(p.body[1].kind, StmtKind::kDisplay);
+  EXPECT_EQ(p.body[1].exprs.size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceMultiplicationBindsTighter) {
+  Program p = MustParse("PROGRAM T. LET X = 1 + 2 * 3. END PROGRAM.");
+  const HostExpr& e = p.body[0].exprs[0];
+  ASSERT_EQ(e.kind, HostExpr::Kind::kBinary);
+  EXPECT_EQ(e.op, '+');
+  EXPECT_EQ(e.children[1].op, '*');
+}
+
+TEST(ParserTest, IfElseNesting) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  IF X > 1 AND Y < 2 THEN
+    DISPLAY 'A'.
+    IF Z = 3 THEN DISPLAY 'B'. END-IF.
+  ELSE
+    DISPLAY 'C'.
+  END-IF.
+END PROGRAM.
+)");
+  ASSERT_EQ(p.body.size(), 1u);
+  const Stmt& s = p.body[0];
+  EXPECT_EQ(s.kind, StmtKind::kIf);
+  EXPECT_EQ(s.cond->kind, HostCond::Kind::kAnd);
+  ASSERT_EQ(s.body.size(), 2u);
+  EXPECT_EQ(s.body[1].kind, StmtKind::kIf);
+  ASSERT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(ParserTest, WhileLoop) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  LET I = 0.
+  WHILE I < 10 DO
+    LET I = I + 1.
+  END-WHILE.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[1].kind, StmtKind::kWhile);
+  EXPECT_EQ(p.body[1].body.size(), 1u);
+}
+
+TEST(ParserTest, ForEachOverFind) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)");
+  const Stmt& s = p.body[0];
+  EXPECT_EQ(s.kind, StmtKind::kForEach);
+  EXPECT_EQ(s.cursor, "E");
+  ASSERT_TRUE(s.retrieval.has_value());
+  EXPECT_EQ(s.retrieval->query.target_type, "EMP");
+  EXPECT_EQ(s.body[0].kind, StmtKind::kGetField);
+}
+
+TEST(ParserTest, ForEachOverSortedFind) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME) DO
+    DISPLAY 'X'.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[0].retrieval->sort_on,
+            (std::vector<std::string>{"EMP-NAME"}));
+}
+
+TEST(ParserTest, ForEachOverCollection) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  RETRIEVE C = FIND(DIV: SYSTEM, ALL-DIV, DIV).
+  FOR EACH D IN COLLECTION C DO
+    DISPLAY 'X'.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[0].kind, StmtKind::kRetrieve);
+  EXPECT_EQ(p.body[1].collection_var, "C");
+  EXPECT_FALSE(p.body[1].retrieval.has_value());
+}
+
+TEST(ParserTest, MarylandStoreWithOwnerSelection) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  STORE EMP (EMP-NAME = 'EVANS', AGE = 41)
+    IN DIV-EMP WHERE (DIV-NAME = 'MACHINERY').
+END PROGRAM.
+)");
+  const Stmt& s = p.body[0];
+  EXPECT_EQ(s.kind, StmtKind::kStore);
+  EXPECT_EQ(s.record_type, "EMP");
+  ASSERT_EQ(s.assignments.size(), 2u);
+  ASSERT_EQ(s.owners.size(), 1u);
+  EXPECT_EQ(s.owners[0].set_name, "DIV-EMP");
+}
+
+TEST(ParserTest, NavigationalStatements) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+  FIND OWNER WITHIN DIV-EMP.
+  STORE EMP (EMP-NAME = 'NEW') USING CURRENCY.
+  MODIFY SET (AGE = 1).
+  ERASE.
+  CONNECT DIV-EMP.
+  DISCONNECT DIV-EMP.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[0].kind, StmtKind::kNavFind);
+  EXPECT_EQ(p.body[0].nav_find->mode, NavFind::Mode::kAny);
+  EXPECT_TRUE(p.body[0].nav_find->pred.has_value());
+  EXPECT_EQ(p.body[1].nav_find->mode, NavFind::Mode::kFirst);
+  EXPECT_EQ(p.body[2].kind, StmtKind::kWhile);
+  EXPECT_EQ(p.body[2].body[0].kind, StmtKind::kNavGet);
+  EXPECT_EQ(p.body[3].nav_find->mode, NavFind::Mode::kOwner);
+  EXPECT_EQ(p.body[4].kind, StmtKind::kNavStore);
+  EXPECT_EQ(p.body[5].kind, StmtKind::kNavModify);
+  EXPECT_EQ(p.body[6].kind, StmtKind::kNavErase);
+  EXPECT_EQ(p.body[7].kind, StmtKind::kConnect);
+  EXPECT_EQ(p.body[8].kind, StmtKind::kDisconnect);
+}
+
+TEST(ParserTest, FindNextUsing) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  FIND NEXT EMP WITHIN ED USING (YEAR-OF-SERVICE = 3).
+END PROGRAM.
+)");
+  ASSERT_TRUE(p.body[0].nav_find->pred.has_value());
+  EXPECT_EQ(p.body[0].nav_find->set_name, "ED");
+}
+
+TEST(ParserTest, ReadWriteAcceptStatements) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  ACCEPT NAME.
+  READ INFILE INTO REC.
+  WRITE REPORT FROM 'ROW: ', REC.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[0].kind, StmtKind::kAccept);
+  EXPECT_EQ(p.body[1].kind, StmtKind::kRead);
+  EXPECT_EQ(p.body[1].file, "INFILE");
+  EXPECT_EQ(p.body[2].kind, StmtKind::kWrite);
+}
+
+TEST(ParserTest, ModifyDeleteCursor) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    MODIFY E SET (AGE = 99).
+    DELETE E.
+  END-FOR.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[0].body[0].kind, StmtKind::kModify);
+  EXPECT_EQ(p.body[0].body[0].cursor, "E");
+  EXPECT_EQ(p.body[0].body[1].kind, StmtKind::kDelete);
+}
+
+TEST(ParserTest, CallDmlStatement) {
+  Program p = MustParse(R"(
+PROGRAM T.
+  LET V = 'FIND'.
+  CALL DML(V, EMP).
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[1].kind, StmtKind::kCallDml);
+  EXPECT_EQ(p.body[1].verb_var, "V");
+  EXPECT_EQ(p.body[1].record_type, "EMP");
+}
+
+TEST(ParserTest, ParenthesizedConditionVsExpression) {
+  // Both parenthesized conditions and parenthesized expressions must parse.
+  Program p = MustParse(R"(
+PROGRAM T.
+  IF (A = 1 OR B = 2) AND C = 3 THEN DISPLAY 'Y'. END-IF.
+  IF (A + 1) > 2 THEN DISPLAY 'Z'. END-IF.
+END PROGRAM.
+)");
+  EXPECT_EQ(p.body[0].cond->kind, HostCond::Kind::kAnd);
+  EXPECT_EQ(p.body[1].cond->kind, HostCond::Kind::kCompare);
+}
+
+TEST(ParserTest, StopStatement) {
+  Program p = MustParse("PROGRAM T. STOP. DISPLAY 'UNREACHED'. END PROGRAM.");
+  EXPECT_EQ(p.body[0].kind, StmtKind::kStop);
+}
+
+TEST(ParserTest, UnknownStatementFails) {
+  Result<Program> r = ParseProgram("PROGRAM T. FROBNICATE X. END PROGRAM.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, UnterminatedBlockFails) {
+  EXPECT_FALSE(ParseProgram("PROGRAM T. WHILE A = 1 DO DISPLAY 'X'.").ok());
+}
+
+TEST(ParserTest, MissingPeriodFails) {
+  EXPECT_FALSE(ParseProgram("PROGRAM T. DISPLAY 'X' END PROGRAM.").ok());
+}
+
+// Round-trip property: ToSource output reparses to the identical AST.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, SourceRoundTrips) {
+  Program p = MustParse(GetParam());
+  Result<Program> again = ParseProgram(p.ToSource());
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << p.ToSource();
+  EXPECT_EQ(p, *again) << p.ToSource();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        "PROGRAM A. END PROGRAM.",
+        "PROGRAM B. LET X = 1 + 2 * 3 - 4 / 2. DISPLAY X & 'END'. END PROGRAM.",
+        R"(PROGRAM C.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'), DIV-EMP,
+      EMP(AGE > 30 AND DEPT-NAME = :D))) ON (EMP-NAME) DO
+    GET EMP-NAME OF E INTO N.
+    WRITE OUT FROM N.
+  END-FOR.
+END PROGRAM.)",
+        R"(PROGRAM D.
+  FIND ANY DIV (DIV-NAME = 'M').
+  FIND FIRST EMP WITHIN DIV-EMP USING (AGE >= 30).
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP USING (AGE >= 30).
+  END-WHILE.
+END PROGRAM.)",
+        R"(PROGRAM E.
+  STORE EMP (EMP-NAME = 'X', AGE = 1) IN DIV-EMP WHERE (DIV-NAME = 'M').
+  STORE DIV (DIV-NAME = 'N').
+  STORE EMP (EMP-NAME = 'Y') USING CURRENCY.
+END PROGRAM.)",
+        R"(PROGRAM F.
+  IF A IS NULL THEN DISPLAY 'N'. ELSE DISPLAY 'S'. END-IF.
+  IF NOT (A = 1) THEN STOP. END-IF.
+END PROGRAM.)",
+        R"(PROGRAM G.
+  RETRIEVE C = FIND(DIV: SYSTEM, ALL-DIV, DIV).
+  FOR EACH D IN COLLECTION C DO
+    FOR EACH E IN FIND(EMP: C, DIV-EMP, EMP) DO
+      DELETE E.
+    END-FOR.
+  END-FOR.
+END PROGRAM.)",
+        R"(PROGRAM H.
+  ACCEPT V.
+  CALL DML(V, EMP).
+  CONNECT DIV-EMP.
+  DISCONNECT DIV-EMP.
+  ERASE.
+END PROGRAM.)"));
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,231 @@
+#include "optimize/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/find_query.h"
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "restructure/transformation.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeDatabase;
+
+Database RevisedCompany() {
+  Database db = MakeDatabase(testing::CompanyRevisedDdl());
+  RecordId machinery = *db.StoreRecord(
+      {"DIV",
+       {{"DIV-NAME", Value::String("MACHINERY")},
+        {"DIV-LOC", Value::String("EAST")}},
+       {}});
+  RecordId textiles = *db.StoreRecord(
+      {"DIV",
+       {{"DIV-NAME", Value::String("TEXTILES")},
+        {"DIV-LOC", Value::String("SOUTH")}},
+       {}});
+  RecordId m_sales = *db.StoreRecord(
+      {"DEPT", {{"DEPT-NAME", Value::String("SALES")}}, {{"DIV-DEPT", machinery}}});
+  RecordId m_plan = *db.StoreRecord(
+      {"DEPT",
+       {{"DEPT-NAME", Value::String("PLANNING")}},
+       {{"DIV-DEPT", machinery}}});
+  RecordId t_sales = *db.StoreRecord(
+      {"DEPT", {{"DEPT-NAME", Value::String("SALES")}}, {{"DIV-DEPT", textiles}}});
+  auto emp = [&](const char* name, int64_t age, RecordId dept) {
+    (void)*db.StoreRecord({"EMP",
+                           {{"EMP-NAME", Value::String(name)},
+                            {"AGE", Value::Int(age)}},
+                           {{"DEPT-EMP", dept}}});
+  };
+  emp("ADAMS", 34, m_sales);
+  emp("BAKER", 28, m_sales);
+  emp("CLARK", 45, m_plan);
+  emp("DAVIS", 31, t_sales);
+  return db;
+}
+
+Retrieval MustOptimize(const Database& db, const std::string& text,
+                       OptimizerStats* stats) {
+  Result<Retrieval> r = ParseRetrieval(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  Retrieval retrieval = *r;
+  Status s = OptimizeRetrieval(db.schema(), &retrieval, stats);
+  EXPECT_TRUE(s.ok()) << s;
+  return retrieval;
+}
+
+TEST(OptimizerTest, PushesVirtualFieldPredicateToOwnerStep) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  Retrieval r = MustOptimize(
+      db,
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
+      "EMP(DEPT-NAME = 'SALES'))",
+      &stats);
+  EXPECT_EQ(stats.predicates_pushed, 1);
+  EXPECT_EQ(r.ToString(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, "
+            "DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)");
+}
+
+TEST(OptimizerTest, ChainedVirtualClimbsTwoLevels) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  Retrieval r = MustOptimize(
+      db,
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
+      "EMP(DIV-NAME = 'TEXTILES'))",
+      &stats);
+  // EMP.DIV-NAME -> DEPT.DIV-NAME -> DIV.DIV-NAME takes two pushes.
+  EXPECT_EQ(stats.predicates_pushed, 2);
+  EXPECT_EQ(r.ToString(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'TEXTILES'), "
+            "DIV-DEPT, DEPT, DEPT-EMP, EMP)");
+}
+
+TEST(OptimizerTest, PushdownPreservesResults) {
+  Database db = RevisedCompany();
+  const std::string unoptimized_text =
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
+      "EMP(DEPT-NAME = 'SALES' AND AGE > 30))";
+  Retrieval unopt = *ParseRetrieval(unoptimized_text);
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &unopt.query).ok());
+  OptimizerStats stats;
+  Retrieval opt = MustOptimize(db, unoptimized_text, &stats);
+  ASSERT_GT(stats.predicates_pushed, 0);
+  Result<std::vector<RecordId>> a =
+      EvaluateRetrieval(db, unopt, EmptyHostEnv(), EmptyCollectionEnv());
+  Result<std::vector<RecordId>> b =
+      EvaluateRetrieval(db, opt, EmptyHostEnv(), EmptyCollectionEnv());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(OptimizerTest, NonVirtualPredicateStays) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  Retrieval r = MustOptimize(
+      db, "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30))",
+      &stats);
+  EXPECT_EQ(stats.predicates_pushed, 0);
+  EXPECT_NE(r.ToString().find("EMP(AGE > 30)"), std::string::npos);
+}
+
+TEST(OptimizerTest, OrPredicateNotPushed) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  MustOptimize(db,
+               "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
+               "EMP(DEPT-NAME = 'SALES' OR AGE > 30))",
+               &stats);
+  EXPECT_EQ(stats.predicates_pushed, 0);
+}
+
+TEST(OptimizerTest, RemovesRedundantSort) {
+  Database db = testing::MakeCompanyDatabase();
+  OptimizerStats stats;
+  Retrieval r = MustOptimize(
+      db,
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+      "DIV-EMP, EMP)) ON (EMP-NAME)",
+      &stats);
+  EXPECT_EQ(stats.sorts_removed, 1);
+  EXPECT_TRUE(r.sort_on.empty());
+}
+
+TEST(OptimizerTest, KeepsNecessarySort) {
+  Database db = testing::MakeCompanyDatabase();
+  OptimizerStats stats;
+  // Multiple divisions traversed: global EMP-NAME order differs from the
+  // per-occurrence order, the SORT must stay.
+  Retrieval r = MustOptimize(
+      db, "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME)",
+      &stats);
+  EXPECT_EQ(stats.sorts_removed, 0);
+  EXPECT_FALSE(r.sort_on.empty());
+}
+
+TEST(OptimizerTest, KeepsSortOnDifferentKey) {
+  Database db = testing::MakeCompanyDatabase();
+  OptimizerStats stats;
+  Retrieval r = MustOptimize(
+      db,
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+      "DIV-EMP, EMP)) ON (AGE)",
+      &stats);
+  EXPECT_EQ(stats.sorts_removed, 0);
+  EXPECT_FALSE(r.sort_on.empty());
+}
+
+TEST(OptimizerTest, SortRemovalAfterFullKeyEqualityOnIntermediate) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  // DIV unique by name, DEPT pinned by full sort key equality: single
+  // occurrence of DEPT-EMP, so the SORT on its key is redundant.
+  Retrieval r = MustOptimize(
+      db,
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+      "DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)) ON (EMP-NAME)",
+      &stats);
+  EXPECT_EQ(stats.sorts_removed, 1);
+}
+
+TEST(OptimizerTest, OptimizeProgramTouchesAllRetrievals) {
+  Database db = RevisedCompany();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP,
+      EMP(DEPT-NAME = 'SALES')) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+  RETRIEVE C = FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP,
+      EMP(DIV-NAME = 'TEXTILES')).
+END PROGRAM.)");
+  OptimizerStats stats;
+  ASSERT_TRUE(OptimizeProgram(db.schema(), &p, &stats).ok());
+  EXPECT_EQ(stats.predicates_pushed, 3);
+}
+
+TEST(OptimizerTest, OptimizedProgramRunsEquivalently) {
+  Database db = RevisedCompany();
+  Program original = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-DEPT, DEPT, DEPT-EMP, EMP(DEPT-NAME = 'SALES'))) ON (EMP-NAME) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  Program optimized = original;
+  OptimizerStats stats;
+  ASSERT_TRUE(OptimizeProgram(db.schema(), &optimized, &stats).ok());
+  EXPECT_TRUE(stats.Changed());
+  Result<EquivalenceReport> report =
+      CheckEquivalence(db, original, db, optimized, IoScript());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->equivalent) << report->detail;
+}
+
+TEST(NaturalOrderKeysTest, CollectionStartUnknown) {
+  Database db = testing::MakeCompanyDatabase();
+  FindQuery q = *ParseFindQuery("FIND(EMP: C, DIV-EMP, EMP)");
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &q).ok());
+  EXPECT_FALSE(NaturalOrderKeys(db.schema(), q).has_value());
+}
+
+TEST(NaturalOrderKeysTest, SingleOccurrenceYieldsKeys) {
+  Database db = testing::MakeCompanyDatabase();
+  FindQuery q = *ParseFindQuery(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'X'), DIV-EMP, EMP)");
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &q).ok());
+  std::optional<std::vector<std::string>> keys =
+      NaturalOrderKeys(db.schema(), q);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"EMP-NAME"}));
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,133 @@
+#include "relational/relational.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+Database RelCompany() { return *RelationalizeData(MakeCompanyDatabase()); }
+
+std::vector<std::string> Col(const std::vector<Row>& rows, size_t idx = 0) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) out.push_back(r[idx].ToDisplay());
+  return out;
+}
+
+TEST(RelationalizeTest, SchemaHasNoSetsAndMaterializedColumns) {
+  Result<Schema> rel = RelationalizeSchema(MakeCompanyDatabase().schema());
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_TRUE(rel->sets().empty());
+  const FieldDef* div_name = rel->FindRecordType("EMP")->FindField("DIV-NAME");
+  ASSERT_NE(div_name, nullptr);
+  EXPECT_FALSE(div_name->is_virtual);
+}
+
+TEST(RelationalizeTest, DataCarriesJoinColumns) {
+  Database rel = RelCompany();
+  EXPECT_EQ(rel.AllOfType("EMP").size(), 4u);
+  for (RecordId id : rel.AllOfType("EMP")) {
+    EXPECT_FALSE(rel.GetField(id, "DIV-NAME")->is_null());
+  }
+}
+
+TEST(RelationalizeTest, SchoolConstraintsPartiallyCarry) {
+  Result<Schema> rel =
+      RelationalizeSchema(testing::MakeSchoolDatabase().schema());
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  // Uniqueness carries; the cardinality rule has no relational expression.
+  EXPECT_NE(rel->FindConstraint("UNIQ-CNO"), nullptr);
+  EXPECT_EQ(rel->FindConstraint("TWICE-A-YEAR"), nullptr);
+}
+
+TEST(SelectTest, SimpleWhere) {
+  Database rel = RelCompany();
+  SelectQuery q = std::move(
+      ParseSelect("SELECT EMP-NAME FROM EMP WHERE AGE > 30 ORDER BY EMP-NAME"))
+      .value();
+  std::vector<Row> rows = *EvaluateSelect(rel, q, EmptyHostEnv());
+  EXPECT_EQ(Col(rows), (std::vector<std::string>{"ADAMS", "CLARK", "DAVIS"}));
+}
+
+TEST(SelectTest, PaperStyleInSubquery) {
+  // The paper's (A) example shape: SELECT ... WHERE x IN (SELECT ...).
+  Database rel = RelCompany();
+  SelectQuery q = std::move(ParseSelect(R"(
+SELECT EMP-NAME FROM EMP
+WHERE DEPT-NAME = 'SALES'
+  AND DIV-NAME IN (SELECT DIV-NAME FROM DIV WHERE DIV-LOC = 'EAST')
+ORDER BY EMP-NAME)")).value();
+  std::vector<Row> rows = *EvaluateSelect(rel, q, EmptyHostEnv());
+  EXPECT_EQ(Col(rows), (std::vector<std::string>{"ADAMS", "BAKER"}));
+}
+
+TEST(SelectTest, SelectStarProjectsAllFields) {
+  Database rel = RelCompany();
+  SelectQuery q =
+      std::move(ParseSelect("SELECT * FROM DIV WHERE DIV-NAME = 'MACHINERY'"))
+          .value();
+  std::vector<Row> rows = *EvaluateSelect(rel, q, EmptyHostEnv());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);  // DIV-NAME, DIV-LOC
+}
+
+TEST(SelectTest, AndOrNotCombinations) {
+  Database rel = RelCompany();
+  SelectQuery q = std::move(ParseSelect(
+      "SELECT EMP-NAME FROM EMP WHERE (AGE < 30 OR AGE > 40) AND "
+      "NOT DEPT-NAME = 'PLANNING' ORDER BY EMP-NAME")).value();
+  std::vector<Row> rows = *EvaluateSelect(rel, q, EmptyHostEnv());
+  EXPECT_EQ(Col(rows), (std::vector<std::string>{"BAKER"}));
+}
+
+TEST(SelectTest, HostVariableInWhere) {
+  Database rel = RelCompany();
+  SelectQuery q = std::move(
+      ParseSelect("SELECT EMP-NAME FROM EMP WHERE AGE >= :MIN ORDER BY AGE"))
+      .value();
+  HostEnv env = [](const std::string& name) -> Result<Value> {
+    if (name == "MIN") return Value::Int(34);
+    return Status::NotFound(name);
+  };
+  std::vector<Row> rows = *EvaluateSelect(rel, q, env);
+  EXPECT_EQ(Col(rows), (std::vector<std::string>{"ADAMS", "CLARK"}));
+}
+
+TEST(SelectTest, SubqueryMustProjectOneColumn) {
+  Database rel = RelCompany();
+  SelectQuery q = std::move(ParseSelect(
+      "SELECT EMP-NAME FROM EMP WHERE DIV-NAME IN (SELECT * FROM DIV)"))
+      .value();
+  Result<std::vector<Row>> rows = EvaluateSelect(rel, q, EmptyHostEnv());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectTest, UnknownRelationFails) {
+  Database rel = RelCompany();
+  SelectQuery q = std::move(ParseSelect("SELECT * FROM NOWHERE")).value();
+  EXPECT_EQ(EvaluateSelect(rel, q, EmptyHostEnv()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SelectTest, ParseErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM EMP").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * EMP").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM EMP WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM EMP extra").ok());
+}
+
+TEST(SelectTest, ToStringRoundTrips) {
+  const std::string text =
+      "SELECT EMP-NAME FROM EMP WHERE DEPT-NAME = 'SALES' AND DIV-NAME IN "
+      "(SELECT DIV-NAME FROM DIV WHERE DIV-LOC = 'EAST') ORDER BY EMP-NAME";
+  SelectQuery q = std::move(ParseSelect(text)).value();
+  SelectQuery again = std::move(ParseSelect(q.ToString())).value();
+  EXPECT_EQ(q.ToString(), again.ToString());
+}
+
+}  // namespace
+}  // namespace dbpc

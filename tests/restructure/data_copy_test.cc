@@ -1,0 +1,133 @@
+#include "restructure/data_copy.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+using testing::MakeSchoolDatabase;
+
+TEST(CopyDatabaseTest, DefaultSpecIsIdentity) {
+  Database source = MakeCompanyDatabase();
+  Database target = *Database::Create(source.schema());
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, CopySpec{});
+  ASSERT_TRUE(map.ok()) << map.status();
+  EXPECT_EQ(map->size(), source.RecordCount());
+  EXPECT_EQ(target.RecordCount(), source.RecordCount());
+  // Memberships survive with mapped ids.
+  RecordId src_machinery = source.SystemMembers("ALL-DIV")[0];
+  RecordId tgt_machinery = map->at(src_machinery);
+  EXPECT_EQ(target.Members("DIV-EMP", tgt_machinery).size(), 3u);
+}
+
+TEST(CopyDatabaseTest, DropTypeDropsMemberships) {
+  Database source = MakeCompanyDatabase();
+  // Target schema without EMP (and without its set).
+  Schema schema = source.schema();
+  ASSERT_TRUE(schema.DropSet("DIV-EMP").ok());
+  RecordTypeDef* emp = schema.FindRecordType("EMP");
+  std::erase_if(emp->fields, [](const FieldDef& f) { return f.is_virtual; });
+  ASSERT_TRUE(schema.DropRecordType("EMP").ok());
+  ASSERT_TRUE(schema.Validate().ok());
+  Database target = *Database::Create(schema);
+  CopySpec spec;
+  spec.map_type = [](const std::string& type) -> std::optional<std::string> {
+    if (type == "EMP") return std::nullopt;
+    return type;
+  };
+  spec.map_set = [](const std::string& set) -> std::optional<std::string> {
+    if (set == "DIV-EMP") return std::nullopt;
+    return set;
+  };
+  ASSERT_TRUE(CopyDatabase(source, &target, spec).ok());
+  EXPECT_EQ(target.RecordCount(), 2u);  // just the divisions
+}
+
+TEST(CopyDatabaseTest, ChronologicalOrderPreserved) {
+  Database source = MakeSchoolDatabase();
+  Database target = *Database::Create(source.schema());
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, CopySpec{});
+  ASSERT_TRUE(map.ok());
+  RecordId src_cs101 = source.SystemMembers("ALL-COURSE")[0];
+  RecordId tgt_cs101 = map->at(src_cs101);
+  std::vector<RecordId> src_off = source.Members("CRS-OFF", src_cs101);
+  std::vector<RecordId> tgt_off = target.Members("CRS-OFF", tgt_cs101);
+  ASSERT_EQ(src_off.size(), tgt_off.size());
+  for (size_t i = 0; i < src_off.size(); ++i) {
+    EXPECT_EQ(target.GetField(tgt_off[i], "YEAR")->as_int(),
+              source.GetField(src_off[i], "YEAR")->as_int());
+  }
+}
+
+TEST(CopyDatabaseTest, ExtraFieldsHookError) {
+  Database source = MakeCompanyDatabase();
+  Database target = *Database::Create(source.schema());
+  CopySpec spec;
+  spec.extra_fields = [](const Database&, RecordId,
+                         const std::string&) -> Result<FieldMap> {
+    return Status::Internal("hook failure");
+  };
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, spec);
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInternal);
+}
+
+TEST(CopyDatabaseTest, ConstraintFailureNamesRecord) {
+  Database source = MakeCompanyDatabase();
+  // Target where AGE must be non-null; give one source EMP a null age.
+  Schema schema = source.schema();
+  ConstraintDef c;
+  c.name = "AGE-REQUIRED";
+  c.kind = ConstraintKind::kNonNull;
+  c.record = "EMP";
+  c.fields = {"AGE"};
+  ASSERT_TRUE(schema.AddConstraint(c).ok());
+  RecordId machinery = source.SystemMembers("ALL-DIV")[0];
+  RecordId adams = source.Members("DIV-EMP", machinery)[0];
+  ASSERT_TRUE(source.ModifyRecord(adams, {{"AGE", Value::Null()}}).ok());
+  Database target = *Database::Create(schema);
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, CopySpec{});
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(map.status().message().find("translating record"),
+            std::string::npos);
+}
+
+TEST(CopyDatabaseTest, SelfSetsAreAllowed) {
+  // An EMP -> EMP "manager" self-set must not trip the topo sort.
+  Schema schema("ORG");
+  RecordTypeDef emp;
+  emp.name = "EMP";
+  emp.fields.push_back({.name = "NAME", .type = FieldType::kString});
+  ASSERT_TRUE(schema.AddRecordType(emp).ok());
+  SetDef manages;
+  manages.name = "MANAGES";
+  manages.owner = "EMP";
+  manages.member = "EMP";
+  manages.insertion = InsertionClass::kManual;
+  manages.retention = RetentionClass::kOptional;
+  manages.ordering = SetOrdering::kChronological;
+  ASSERT_TRUE(schema.AddSet(manages).ok());
+  ASSERT_TRUE(schema.Validate().ok());
+  Database source = *Database::Create(schema);
+  RecordId boss =
+      *source.StoreRecord({"EMP", {{"NAME", Value::String("BOSS")}}, {}});
+  RecordId worker =
+      *source.StoreRecord({"EMP", {{"NAME", Value::String("WORKER")}}, {}});
+  ASSERT_TRUE(source.Connect("MANAGES", worker, boss).ok());
+  Database target = *Database::Create(schema);
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, CopySpec{});
+  ASSERT_TRUE(map.ok()) << map.status();
+  EXPECT_EQ(target.OwnerOf("MANAGES", map->at(worker)), map->at(boss));
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,135 @@
+#include "restructure/plan_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "supervisor/supervisor.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+RestructuringPlan MustParsePlan(const std::string& text) {
+  Result<RestructuringPlan> plan = ParsePlan(text);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return plan.ok() ? std::move(plan).value() : RestructuringPlan{};
+}
+
+TEST(PlanParserTest, EmptyPlan) {
+  RestructuringPlan plan = MustParsePlan("RESTRUCTURE PLAN NOP. END PLAN.");
+  EXPECT_EQ(plan.name, "NOP");
+  EXPECT_TRUE(plan.steps.empty());
+}
+
+TEST(PlanParserTest, EveryClauseKindParses) {
+  RestructuringPlan plan = MustParsePlan(R"(
+RESTRUCTURE PLAN EVERYTHING.
+  RENAME RECORD EMP TO WORKER.
+  RENAME FIELD AGE OF WORKER TO YEARS.
+  RENAME SET DIV-EMP TO STAFF.
+  ADD FIELD SALARY TO WORKER TYPE 9(6) DEFAULT 0.
+  REMOVE FIELD DIV-LOC OF DIV.
+  INTRODUCE RECORD DEPT BETWEEN STAFF GROUPING BY DEPT-NAME
+      AS DIV-DEPT AND DEPT-EMP.
+  ORDER SET DIV-DEPT BY (DEPT-NAME).
+  ORDER SET DEPT-EMP CHRONOLOGICALLY.
+  MAKE SET DEPT-EMP MANUAL OPTIONAL.
+  DROP DEPENDENCY OF DIV-DEPT.
+  ADD CONSTRAINT UNIQ-NAME IS UNIQUE ON WORKER (EMP-NAME).
+  ADD CONSTRAINT LIMIT-DEPTS IS CARDINALITY ON SET DIV-DEPT LIMIT 8.
+  DROP CONSTRAINT UNIQ-NAME.
+  MATERIALIZE FIELD DIV-NAME OF WORKER.
+  VIRTUALIZE FIELD DIV-NAME OF WORKER VIA DEPT-EMP USING DIV-NAME.
+  SPLIT RECORD WORKER MOVING (YEARS) TO WORKER-DATA
+      LINKED BY WORKER-DETAIL USING EMP-NAME.
+  MERGE RECORD WORKER-DATA INTO WORKER MOVING (YEARS)
+      LINKED BY WORKER-DETAIL USING EMP-NAME.
+END PLAN.
+)");
+  ASSERT_EQ(plan.steps.size(), 17u);
+  EXPECT_EQ(plan.steps[0]->Name(), "rename-record");
+  EXPECT_EQ(plan.steps[3]->Name(), "add-field");
+  EXPECT_EQ(plan.steps[5]->Name(), "introduce-intermediate");
+  EXPECT_EQ(plan.steps[9]->Name(), "drop-dependency");
+  EXPECT_EQ(plan.steps[15]->Name(), "split-record-vertical");
+  EXPECT_EQ(plan.steps[16]->Name(), "merge-records");
+  EXPECT_EQ(plan.clauses.size(), plan.steps.size());
+}
+
+TEST(PlanParserTest, PlanDrivesFullPipeline) {
+  RestructuringPlan plan = MustParsePlan(R"(
+RESTRUCTURE PLAN FIG44.
+  INTRODUCE RECORD DEPT BETWEEN DIV-EMP GROUPING BY DEPT-NAME
+      AS DIV-DEPT AND DEPT-EMP.
+END PLAN.
+)");
+  Database source = MakeCompanyDatabase();
+  ConversionSupervisor supervisor = *ConversionSupervisor::Create(
+      source.schema(), plan.View(), SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM RPT.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  ASSERT_TRUE(outcome.accepted);
+  Database target = *supervisor.TranslateDatabase(source);
+  EquivalenceReport report = *CheckEquivalence(
+      source, p, target, outcome.conversion.converted, IoScript());
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(PlanParserTest, PlanSourceRoundTrips) {
+  const std::string text = R"(
+RESTRUCTURE PLAN RT.
+  RENAME RECORD EMP TO WORKER.
+  ORDER SET DIV-EMP BY (AGE, EMP-NAME).
+  ADD FIELD NOTE TO WORKER TYPE X(10) DEFAULT 'NONE'.
+END PLAN.
+)";
+  RestructuringPlan plan = MustParsePlan(text);
+  std::string rendered = PlanToSource(plan);
+  RestructuringPlan again = MustParsePlan(rendered);
+  ASSERT_EQ(again.steps.size(), plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(again.steps[i]->Describe(), plan.steps[i]->Describe());
+  }
+  EXPECT_EQ(PlanToSource(again), rendered);
+}
+
+TEST(PlanParserTest, ApiAssembledPlanRendersDescriptions) {
+  RestructuringPlan plan;
+  plan.name = "API";
+  plan.steps.push_back(MakeRenameRecord("EMP", "WORKER"));
+  std::string rendered = PlanToSource(plan);
+  EXPECT_NE(rendered.find("-- rename record type EMP to WORKER"),
+            std::string::npos);
+}
+
+TEST(PlanParserTest, ErrorsReportLineAndClause) {
+  Result<RestructuringPlan> plan = ParsePlan(R"(
+RESTRUCTURE PLAN BAD.
+  FROBNICATE EVERYTHING.
+END PLAN.
+)");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kParseError);
+  EXPECT_NE(plan.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(PlanParserTest, MissingPeriodFails) {
+  EXPECT_FALSE(
+      ParsePlan("RESTRUCTURE PLAN P. RENAME RECORD A TO B END PLAN.").ok());
+}
+
+TEST(PlanParserTest, UnterminatedPlanFails) {
+  EXPECT_FALSE(ParsePlan("RESTRUCTURE PLAN P. RENAME RECORD A TO B.").ok());
+}
+
+}  // namespace
+}  // namespace dbpc

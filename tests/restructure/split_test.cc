@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "equivalence/checker.h"
+#include "lang/parser.h"
+#include "restructure/transformation.h"
+#include "supervisor/supervisor.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+/// EMP splits into EMP (name) + EMP-DATA (dept, age), linked 1:1.
+SplitRecordParams EmpSplit() {
+  SplitRecordParams p;
+  p.record = "EMP";
+  p.detail = "EMP-DATA";
+  p.set_name = "EMP-DETAIL";
+  p.link_field = "EMP-NAME";
+  p.moved_fields = {"DEPT-NAME", "AGE"};
+  return p;
+}
+
+/// The company schema plus a uniqueness constraint making EMP-NAME a
+/// global identifier (the split's precondition).
+Schema CompanyWithUniqueNames() {
+  Schema schema = MakeCompanyDatabase().schema();
+  ConstraintDef unique;
+  unique.name = "UNIQ-EMP-NAME";
+  unique.kind = ConstraintKind::kUniqueness;
+  unique.record = "EMP";
+  unique.fields = {"EMP-NAME"};
+  EXPECT_TRUE(schema.AddConstraint(unique).ok());
+  return schema;
+}
+
+Database CompanyDbWithUniqueNames() {
+  Database db = *Database::Create(CompanyWithUniqueNames());
+  RecordId machinery = *db.StoreRecord(
+      {"DIV",
+       {{"DIV-NAME", Value::String("MACHINERY")},
+        {"DIV-LOC", Value::String("EAST")}},
+       {}});
+  RecordId textiles = *db.StoreRecord(
+      {"DIV",
+       {{"DIV-NAME", Value::String("TEXTILES")},
+        {"DIV-LOC", Value::String("SOUTH")}},
+       {}});
+  auto emp = [&](const char* n, const char* d, int64_t a, RecordId o) {
+    (void)*db.StoreRecord({"EMP",
+                           {{"EMP-NAME", Value::String(n)},
+                            {"DEPT-NAME", Value::String(d)},
+                            {"AGE", Value::Int(a)}},
+                           {{"DIV-EMP", o}}});
+  };
+  emp("ADAMS", "SALES", 34, machinery);
+  emp("BAKER", "SALES", 28, machinery);
+  emp("CLARK", "PLANG", 45, machinery);
+  emp("DAVIS", "SALES", 31, textiles);
+  return db;
+}
+
+TEST(SplitRecordTest, SchemaShape) {
+  TransformationPtr t = MakeSplitRecordVertical(EmpSplit());
+  Result<Schema> target = t->ApplyToSchema(CompanyWithUniqueNames());
+  ASSERT_TRUE(target.ok()) << target.status();
+  const RecordTypeDef* detail = target->FindRecordType("EMP-DATA");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_TRUE(detail->HasField("EMP-NAME"));
+  EXPECT_TRUE(detail->HasField("DEPT-NAME"));
+  EXPECT_TRUE(detail->HasField("AGE"));
+  const FieldDef* age = target->FindRecordType("EMP")->FindField("AGE");
+  ASSERT_NE(age, nullptr);
+  EXPECT_TRUE(age->is_virtual);
+  EXPECT_EQ(age->via_set, "EMP-DETAIL");
+  const SetDef* set = target->FindSet("EMP-DETAIL");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->owner, "EMP-DATA");
+  EXPECT_EQ(set->member, "EMP");
+  EXPECT_NE(target->FindConstraint("UNIQ-EMP-DATA-EMP-NAME"), nullptr);
+}
+
+TEST(SplitRecordTest, RequiresUniqueLinkField) {
+  SplitRecordParams p = EmpSplit();
+  // Plain company schema: EMP-NAME is only unique per division.
+  TransformationPtr t = MakeSplitRecordVertical(p);
+  Result<Schema> target = t->ApplyToSchema(MakeCompanyDatabase().schema());
+  ASSERT_FALSE(target.ok());
+  EXPECT_EQ(target.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SplitRecordTest, RejectsMovingSetKey) {
+  SplitRecordParams p = EmpSplit();
+  p.link_field = "AGE";
+  p.moved_fields = {"EMP-NAME"};  // DIV-EMP sort key
+  Schema schema = CompanyWithUniqueNames();
+  ConstraintDef unique;
+  unique.name = "UNIQ-AGE";
+  unique.kind = ConstraintKind::kUniqueness;
+  unique.record = "EMP";
+  unique.fields = {"AGE"};
+  ASSERT_TRUE(schema.AddConstraint(unique).ok());
+  TransformationPtr t = MakeSplitRecordVertical(p);
+  EXPECT_FALSE(t->ApplyToSchema(schema).ok());
+}
+
+TEST(SplitRecordTest, DataCarriesThroughDetail) {
+  TransformationPtr t = MakeSplitRecordVertical(EmpSplit());
+  Database source = CompanyDbWithUniqueNames();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  EXPECT_EQ(translated->AllOfType("EMP-DATA").size(), 4u);
+  // Virtual reads reproduce the moved values.
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  RecordId adams = translated->Members("DIV-EMP", machinery)[0];
+  EXPECT_EQ(translated->GetField(adams, "AGE")->as_int(), 34);
+  EXPECT_EQ(translated->GetField(adams, "DEPT-NAME")->as_string(), "SALES");
+}
+
+TEST(SplitRecordTest, RoundTripsThroughMerge) {
+  TransformationPtr split = MakeSplitRecordVertical(EmpSplit());
+  ASSERT_TRUE(split->HasInverse());
+  TransformationPtr merge = split->Inverse();
+  Database source = CompanyDbWithUniqueNames();
+  Result<Database> round =
+      TranslateDatabase(source, {split.get(), merge.get()});
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->schema().ToDdl(), source.schema().ToDdl());
+  RecordId machinery = round->SystemMembers("ALL-DIV")[0];
+  RecordId adams = round->Members("DIV-EMP", machinery)[0];
+  EXPECT_EQ(round->GetField(adams, "AGE")->as_int(), 34);
+}
+
+TEST(SplitRecordTest, ReadOnlyProgramConvertsAutomatically) {
+  Database source = CompanyDbWithUniqueNames();
+  TransformationPtr split = MakeSplitRecordVertical(EmpSplit());
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(source.schema(), {split.get()},
+                                    SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM RPT.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    GET DEPT-NAME OF E INTO D.
+    DISPLAY N & '/' & D.
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(outcome.classification, Convertibility::kAutomatic);
+  Database target = *supervisor.TranslateDatabase(source);
+  EquivalenceReport report = *CheckEquivalence(
+      source, p, target, outcome.conversion.converted, IoScript());
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(SplitRecordTest, StoreGainsDetailCreation) {
+  Database source = CompanyDbWithUniqueNames();
+  TransformationPtr split = MakeSplitRecordVertical(EmpSplit());
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(source.schema(), {split.get()},
+                                    SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM STO.
+  STORE EMP (EMP-NAME = 'EVANS', DEPT-NAME = 'SALES', AGE = 50)
+    IN DIV-EMP WHERE (DIV-NAME = 'TEXTILES').
+  DISPLAY 'DONE'.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  ASSERT_TRUE(outcome.accepted) << ConvertibilityName(outcome.classification);
+  // The converted program stores the detail first, then the member.
+  ASSERT_GE(outcome.conversion.converted.body.size(), 3u);
+  EXPECT_EQ(outcome.conversion.converted.body[0].record_type, "EMP-DATA");
+  EXPECT_EQ(outcome.conversion.converted.body[1].record_type, "EMP");
+
+  Database target = *supervisor.TranslateDatabase(source);
+  EquivalenceReport report = *CheckEquivalence(
+      source, p, target, outcome.conversion.converted, IoScript());
+  EXPECT_TRUE(report.equivalent)
+      << report.detail << "\n"
+      << outcome.conversion.converted.ToSource();
+  // And the stored employee's split data is reachable in the target.
+  Database check = target;
+  Interpreter interp(&check, IoScript());
+  RunResult run = *interp.Run(outcome.conversion.converted);
+  Predicate evans = Predicate::Compare(
+      "EMP-NAME", CompareOp::kEq, Operand::Literal(Value::String("EVANS")));
+  std::vector<RecordId> found =
+      *check.SelectWhere("EMP", evans, EmptyHostEnv());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(check.GetField(found[0], "AGE")->as_int(), 50);
+}
+
+TEST(SplitRecordTest, ModifyOfMovedFieldNeedsAnalyst) {
+  Database source = CompanyDbWithUniqueNames();
+  TransformationPtr split = MakeSplitRecordVertical(EmpSplit());
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(source.schema(), {split.get()},
+                                    SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM UPD.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    MODIFY E SET (AGE = 1).
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  EXPECT_EQ(outcome.classification, Convertibility::kNeedsAnalyst);
+}
+
+TEST(MergeRecordsTest, FoldsSplitStoresBack) {
+  // Split then merge at the program level: a split-produced program merges
+  // back into a single STORE.
+  Database source = CompanyDbWithUniqueNames();
+  TransformationPtr split = MakeSplitRecordVertical(EmpSplit());
+  TransformationPtr merge = split->Inverse();
+  ConversionSupervisor supervisor = *ConversionSupervisor::Create(
+      source.schema(), {split.get(), merge.get()}, SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM STO.
+  STORE EMP (EMP-NAME = 'EVANS', DEPT-NAME = 'SALES', AGE = 50)
+    IN DIV-EMP WHERE (DIV-NAME = 'TEXTILES').
+  DISPLAY 'DONE'.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  ASSERT_TRUE(outcome.accepted);
+  // Round trip: back to a single store plus the display.
+  ASSERT_EQ(outcome.conversion.converted.body.size(), 2u)
+      << outcome.conversion.converted.ToSource();
+  Database target = *supervisor.TranslateDatabase(source);
+  EquivalenceReport report = *CheckEquivalence(
+      source, p, target, outcome.conversion.converted, IoScript());
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,340 @@
+#include "restructure/transformation.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/ddl_parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+using testing::MakeDatabase;
+using testing::MakeSchoolDatabase;
+
+Schema CompanySchema() { return MakeDatabase(testing::CompanyDdl()).schema(); }
+
+IntroduceIntermediateParams Fig44Params() {
+  // The paper's Figure 4.2 -> 4.4 restructuring.
+  IntroduceIntermediateParams p;
+  p.set_name = "DIV-EMP";
+  p.intermediate = "DEPT";
+  p.upper_set = "DIV-DEPT";
+  p.lower_set = "DEPT-EMP";
+  p.group_field = "DEPT-NAME";
+  return p;
+}
+
+TEST(RenameRecordTest, SchemaAndData) {
+  TransformationPtr t = MakeRenameRecord("EMP", "EMPLOYEE");
+  Result<Schema> target = t->ApplyToSchema(CompanySchema());
+  ASSERT_TRUE(target.ok()) << target.status();
+  EXPECT_EQ(target->FindRecordType("EMP"), nullptr);
+  ASSERT_NE(target->FindRecordType("EMPLOYEE"), nullptr);
+  EXPECT_EQ(target->FindSet("DIV-EMP")->member, "EMPLOYEE");
+
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  EXPECT_EQ(translated->AllOfType("EMPLOYEE").size(), 4u);
+  EXPECT_EQ(translated->AllOfType("EMP").size(), 0u);
+}
+
+TEST(RenameRecordTest, RejectsCollidingName) {
+  TransformationPtr t = MakeRenameRecord("EMP", "DIV");
+  EXPECT_FALSE(t->ApplyToSchema(CompanySchema()).ok());
+  TransformationPtr set_clash = MakeRenameRecord("EMP", "DIV-EMP");
+  EXPECT_FALSE(set_clash->ApplyToSchema(CompanySchema()).ok());
+}
+
+TEST(RenameFieldTest, SchemaCarriesAllReferences) {
+  TransformationPtr t = MakeRenameField("EMP", "EMP-NAME", "FULL-NAME");
+  Result<Schema> target = t->ApplyToSchema(CompanySchema());
+  ASSERT_TRUE(target.ok()) << target.status();
+  EXPECT_FALSE(target->FindRecordType("EMP")->HasField("EMP-NAME"));
+  EXPECT_TRUE(target->FindRecordType("EMP")->HasField("FULL-NAME"));
+  // The set key follows the rename.
+  EXPECT_EQ(target->FindSet("DIV-EMP")->keys,
+            (std::vector<std::string>{"FULL-NAME"}));
+}
+
+TEST(RenameFieldTest, VirtualSourceFieldRenameFollowsThrough) {
+  // Renaming DIV.DIV-NAME must update EMP's virtual using-reference.
+  TransformationPtr t = MakeRenameField("DIV", "DIV-NAME", "DIVISION");
+  Result<Schema> target = t->ApplyToSchema(CompanySchema());
+  ASSERT_TRUE(target.ok()) << target.status();
+  const FieldDef* v = target->FindRecordType("EMP")->FindField("DIV-NAME");
+  ASSERT_NE(v, nullptr);  // the virtual field keeps its own name
+  EXPECT_EQ(v->using_field, "DIVISION");
+  EXPECT_EQ(target->FindSet("ALL-DIV")->keys,
+            (std::vector<std::string>{"DIVISION"}));
+}
+
+TEST(RenameFieldTest, DataValuesSurvive) {
+  TransformationPtr t = MakeRenameField("EMP", "AGE", "YEARS");
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  RecordId adams = translated->Members("DIV-EMP", machinery)[0];
+  EXPECT_EQ(translated->GetField(adams, "YEARS")->as_int(), 34);
+}
+
+TEST(RenameSetTest, VirtualViaReferencesFollow) {
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  Result<Schema> target = t->ApplyToSchema(CompanySchema());
+  ASSERT_TRUE(target.ok()) << target.status();
+  EXPECT_EQ(target->FindSet("DIV-EMP"), nullptr);
+  ASSERT_NE(target->FindSet("STAFF"), nullptr);
+  EXPECT_EQ(target->FindRecordType("EMP")->FindField("DIV-NAME")->via_set,
+            "STAFF");
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok());
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  EXPECT_EQ(translated->Members("STAFF", machinery).size(), 3u);
+}
+
+TEST(AddFieldTest, DefaultAppliedToExistingRecords) {
+  FieldDef f;
+  f.name = "SALARY";
+  f.type = FieldType::kInt;
+  f.default_value = Value::Int(1000);
+  TransformationPtr t = MakeAddField("EMP", f);
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  for (RecordId id : translated->AllOfType("EMP")) {
+    EXPECT_EQ(translated->GetField(id, "SALARY")->as_int(), 1000);
+  }
+}
+
+TEST(RemoveFieldTest, DataDropped) {
+  TransformationPtr t = MakeRemoveField("EMP", "DEPT-NAME");
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  EXPECT_FALSE(
+      translated->schema().FindRecordType("EMP")->HasField("DEPT-NAME"));
+  EXPECT_FALSE(t->HasInverse());
+}
+
+TEST(RemoveFieldTest, CannotRemoveSetKeyField) {
+  TransformationPtr t = MakeRemoveField("EMP", "EMP-NAME");
+  // EMP-NAME is the DIV-EMP sort key; the target schema is invalid.
+  EXPECT_FALSE(t->ApplyToSchema(CompanySchema()).ok());
+}
+
+TEST(IntroduceIntermediateTest, SchemaMatchesFigure44) {
+  TransformationPtr t = MakeIntroduceIntermediate(Fig44Params());
+  Result<Schema> target = t->ApplyToSchema(CompanySchema());
+  ASSERT_TRUE(target.ok()) << target.status();
+  // New record type and sets.
+  ASSERT_NE(target->FindRecordType("DEPT"), nullptr);
+  ASSERT_NE(target->FindSet("DIV-DEPT"), nullptr);
+  ASSERT_NE(target->FindSet("DEPT-EMP"), nullptr);
+  EXPECT_EQ(target->FindSet("DIV-EMP"), nullptr);
+  EXPECT_EQ(target->FindSet("DIV-DEPT")->owner, "DIV");
+  EXPECT_EQ(target->FindSet("DIV-DEPT")->member, "DEPT");
+  EXPECT_EQ(target->FindSet("DEPT-EMP")->owner, "DEPT");
+  EXPECT_EQ(target->FindSet("DEPT-EMP")->member, "EMP");
+  // EMP.DEPT-NAME became virtual; DEPT carries DIV-NAME virtually.
+  const FieldDef* dept_name =
+      target->FindRecordType("EMP")->FindField("DEPT-NAME");
+  ASSERT_NE(dept_name, nullptr);
+  EXPECT_TRUE(dept_name->is_virtual);
+  EXPECT_EQ(dept_name->via_set, "DEPT-EMP");
+  const FieldDef* div_name =
+      target->FindRecordType("DEPT")->FindField("DIV-NAME");
+  ASSERT_NE(div_name, nullptr);
+  EXPECT_TRUE(div_name->is_virtual);
+  // EMP.DIV-NAME re-derives through the new set chain.
+  EXPECT_EQ(target->FindRecordType("EMP")->FindField("DIV-NAME")->via_set,
+            "DEPT-EMP");
+}
+
+TEST(IntroduceIntermediateTest, DataGroupsMembersByField) {
+  TransformationPtr t = MakeIntroduceIntermediate(Fig44Params());
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  // MACHINERY has SALES (ADAMS, BAKER) and PLANNING (CLARK); TEXTILES has
+  // SALES (DAVIS): four EMPs, three DEPT groups.
+  EXPECT_EQ(translated->AllOfType("DEPT").size(), 3u);
+  EXPECT_EQ(translated->AllOfType("EMP").size(), 4u);
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  std::vector<RecordId> depts = translated->Members("DIV-DEPT", machinery);
+  ASSERT_EQ(depts.size(), 2u);  // PLANNING < SALES by name
+  EXPECT_EQ(translated->GetField(depts[0], "DEPT-NAME")->as_string(),
+            "PLANNING");
+  EXPECT_EQ(translated->GetField(depts[1], "DEPT-NAME")->as_string(), "SALES");
+  std::vector<RecordId> sales = translated->Members("DEPT-EMP", depts[1]);
+  ASSERT_EQ(sales.size(), 2u);
+  EXPECT_EQ(translated->GetField(sales[0], "EMP-NAME")->as_string(), "ADAMS");
+  // Virtual fields resolve through the new chain.
+  EXPECT_EQ(translated->GetField(sales[0], "DEPT-NAME")->as_string(), "SALES");
+  EXPECT_EQ(translated->GetField(sales[0], "DIV-NAME")->as_string(),
+            "MACHINERY");
+}
+
+TEST(IntroduceIntermediateTest, RoundTripsThroughCollapse) {
+  TransformationPtr intro = MakeIntroduceIntermediate(Fig44Params());
+  ASSERT_TRUE(intro->HasInverse());
+  TransformationPtr collapse = intro->Inverse();
+  ASSERT_NE(collapse, nullptr);
+
+  Database source = MakeCompanyDatabase();
+  Result<Database> round =
+      TranslateDatabase(source, {intro.get(), collapse.get()});
+  ASSERT_TRUE(round.ok()) << round.status();
+  // Same schema shape and same data.
+  EXPECT_EQ(round->schema().ToDdl(), source.schema().ToDdl());
+  ASSERT_EQ(round->AllOfType("EMP").size(), 4u);
+  RecordId machinery = round->SystemMembers("ALL-DIV")[0];
+  std::vector<RecordId> emps = round->Members("DIV-EMP", machinery);
+  ASSERT_EQ(emps.size(), 3u);
+  EXPECT_EQ(round->GetField(emps[0], "EMP-NAME")->as_string(), "ADAMS");
+  EXPECT_EQ(round->GetField(emps[0], "DEPT-NAME")->as_string(), "SALES");
+}
+
+TEST(IntroduceIntermediateTest, RejectsVirtualGroupField) {
+  IntroduceIntermediateParams p = Fig44Params();
+  p.group_field = "DIV-NAME";  // already virtual on EMP
+  TransformationPtr t = MakeIntroduceIntermediate(p);
+  EXPECT_FALSE(t->ApplyToSchema(CompanySchema()).ok());
+}
+
+TEST(ChangeSetOrderTest, DataResorted) {
+  TransformationPtr t = MakeChangeSetOrder("DIV-EMP", {"AGE", "EMP-NAME"});
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  std::vector<RecordId> emps = translated->Members("DIV-EMP", machinery);
+  ASSERT_EQ(emps.size(), 3u);
+  EXPECT_EQ(translated->GetField(emps[0], "AGE")->as_int(), 28);  // BAKER
+  EXPECT_EQ(translated->GetField(emps[2], "AGE")->as_int(), 45);  // CLARK
+}
+
+TEST(ChangeSetOrderTest, ToChronologicalKeepsSourceOrder) {
+  TransformationPtr t = MakeChangeSetOrder("DIV-EMP", {});
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  std::vector<RecordId> emps = translated->Members("DIV-EMP", machinery);
+  ASSERT_EQ(emps.size(), 3u);
+  // Source order (sorted by name) is preserved as insertion order.
+  EXPECT_EQ(translated->GetField(emps[0], "EMP-NAME")->as_string(), "ADAMS");
+  EXPECT_EQ(translated->GetField(emps[2], "EMP-NAME")->as_string(), "CLARK");
+}
+
+TEST(ChangeSetOrderTest, DuplicateNewKeyFailsTranslation) {
+  // Two MACHINERY SALES employees aged equal would collide on a (DEPT-NAME)
+  // key; build that situation.
+  Database source = MakeCompanyDatabase();
+  TransformationPtr t = MakeChangeSetOrder("DIV-EMP", {"DEPT-NAME"});
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_FALSE(translated.ok());
+  EXPECT_EQ(translated.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(ChangeMembershipClassTest, TighteningFailsOnUnconnectedData) {
+  // Build a schema where DIV-EMP is MANUAL/OPTIONAL and an EMP floats free.
+  Schema loose = CompanySchema();
+  loose.FindSet("DIV-EMP")->insertion = InsertionClass::kManual;
+  loose.FindSet("DIV-EMP")->retention = RetentionClass::kOptional;
+  Database db = *Database::Create(loose);
+  ASSERT_TRUE(db.StoreRecord({"EMP", {{"EMP-NAME", Value::String("X")}}, {}})
+                  .ok());
+  TransformationPtr t = MakeChangeMembershipClass(
+      "DIV-EMP", InsertionClass::kAutomatic, RetentionClass::kMandatory);
+  Result<Database> translated = TranslateDatabase(db, {t.get()});
+  EXPECT_FALSE(translated.ok());
+}
+
+TEST(DropDependencyTest, SchemaFlagCleared) {
+  Database school = MakeSchoolDatabase();
+  TransformationPtr t = MakeDropDependency("CRS-OFF");
+  Result<Schema> target = t->ApplyToSchema(school.schema());
+  ASSERT_TRUE(target.ok());
+  EXPECT_FALSE(target->FindSet("CRS-OFF")->member_characterizes_owner);
+}
+
+TEST(AddConstraintTest, ViolatingDataFailsTranslation) {
+  Database school = MakeSchoolDatabase();  // CS101 offered in 1978 and 1979
+  ConstraintDef once;
+  once.name = "ONCE-EVER";
+  once.kind = ConstraintKind::kCardinalityLimit;
+  once.set_name = "CRS-OFF";
+  once.limit = 1;
+  TransformationPtr t = MakeAddConstraint(once);
+  Result<Database> translated = TranslateDatabase(school, {t.get()});
+  ASSERT_FALSE(translated.ok());
+  EXPECT_EQ(translated.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(MaterializeVirtualFieldTest, ValuesCopied) {
+  TransformationPtr t = MakeMaterializeVirtualField("EMP", "DIV-NAME");
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {t.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  const FieldDef* f =
+      translated->schema().FindRecordType("EMP")->FindField("DIV-NAME");
+  EXPECT_FALSE(f->is_virtual);
+  RecordId machinery = translated->SystemMembers("ALL-DIV")[0];
+  RecordId adams = translated->Members("DIV-EMP", machinery)[0];
+  EXPECT_EQ(translated->GetField(adams, "DIV-NAME")->as_string(), "MACHINERY");
+}
+
+TEST(VirtualizeFieldTest, ConsistentDataRoundTrips) {
+  TransformationPtr materialize = MakeMaterializeVirtualField("EMP", "DIV-NAME");
+  TransformationPtr virtualize =
+      MakeVirtualizeField("EMP", "DIV-NAME", "DIV-EMP", "DIV-NAME");
+  Database source = MakeCompanyDatabase();
+  Result<Database> round =
+      TranslateDatabase(source, {materialize.get(), virtualize.get()});
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->schema().ToDdl(), source.schema().ToDdl());
+}
+
+TEST(VirtualizeFieldTest, InconsistentDataRefused) {
+  TransformationPtr materialize = MakeMaterializeVirtualField("EMP", "DIV-NAME");
+  Database source = MakeCompanyDatabase();
+  Database materialized = *TranslateDatabase(source, {materialize.get()});
+  // Corrupt one stored copy so it disagrees with the owner.
+  RecordId machinery = materialized.SystemMembers("ALL-DIV")[0];
+  RecordId adams = materialized.Members("DIV-EMP", machinery)[0];
+  ASSERT_TRUE(materialized
+                  .ModifyRecord(adams, {{"DIV-NAME", Value::String("WRONG")}})
+                  .ok());
+  TransformationPtr virtualize =
+      MakeVirtualizeField("EMP", "DIV-NAME", "DIV-EMP", "DIV-NAME");
+  Result<Database> translated =
+      TranslateDatabase(materialized, {virtualize.get()});
+  ASSERT_FALSE(translated.ok());
+  EXPECT_EQ(translated.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(PlanTest, EmptyPlanIsIdentityCopy) {
+  Database source = MakeCompanyDatabase();
+  Result<Database> copy = TranslateDatabase(source, {});
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->RecordCount(), source.RecordCount());
+}
+
+TEST(PlanTest, ChainedTransformations) {
+  TransformationPtr a = MakeRenameRecord("EMP", "WORKER");
+  TransformationPtr b = MakeRenameField("WORKER", "AGE", "YEARS");
+  Result<Schema> target =
+      ApplyPlanToSchema(CompanySchema(), {a.get(), b.get()});
+  ASSERT_TRUE(target.ok()) << target.status();
+  EXPECT_TRUE(target->FindRecordType("WORKER")->HasField("YEARS"));
+  Database source = MakeCompanyDatabase();
+  Result<Database> translated = TranslateDatabase(source, {a.get(), b.get()});
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  EXPECT_EQ(translated->AllOfType("WORKER").size(), 4u);
+}
+
+}  // namespace
+}  // namespace dbpc

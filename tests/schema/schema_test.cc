@@ -1,0 +1,264 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/ddl_parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+Schema MustParse(const std::string& ddl) {
+  Result<Schema> r = ParseDdl(ddl);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : Schema();
+}
+
+TEST(SchemaTest, CompanyDdlParses) {
+  Schema s = MustParse(testing::CompanyDdl());
+  EXPECT_EQ(s.name(), "COMPANY");
+  ASSERT_NE(s.FindRecordType("EMP"), nullptr);
+  ASSERT_NE(s.FindRecordType("DIV"), nullptr);
+  ASSERT_NE(s.FindSet("DIV-EMP"), nullptr);
+  ASSERT_NE(s.FindSet("ALL-DIV"), nullptr);
+  EXPECT_TRUE(s.FindSet("ALL-DIV")->system_owned());
+  EXPECT_FALSE(s.FindSet("DIV-EMP")->system_owned());
+}
+
+TEST(SchemaTest, VirtualFieldParsed) {
+  Schema s = MustParse(testing::CompanyDdl());
+  const FieldDef* f = s.FindRecordType("EMP")->FindField("DIV-NAME");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->is_virtual);
+  EXPECT_EQ(f->via_set, "DIV-EMP");
+  EXPECT_EQ(f->using_field, "DIV-NAME");
+  EXPECT_EQ(f->type, FieldType::kString);
+}
+
+TEST(SchemaTest, PicClausesMapToTypes) {
+  Schema s = MustParse(testing::CompanyDdl());
+  EXPECT_EQ(s.FindRecordType("EMP")->FindField("AGE")->type, FieldType::kInt);
+  EXPECT_EQ(s.FindRecordType("EMP")->FindField("EMP-NAME")->type,
+            FieldType::kString);
+  EXPECT_EQ(s.FindRecordType("EMP")->FindField("EMP-NAME")->pic_width, 25);
+}
+
+TEST(SchemaTest, DdlRoundTrips) {
+  Schema s = MustParse(testing::CompanyDdl());
+  Schema again = MustParse(s.ToDdl());
+  EXPECT_EQ(s, again);
+}
+
+TEST(SchemaTest, SchoolDdlRoundTripsWithConstraints) {
+  Schema s = MustParse(testing::SchoolDdl());
+  ASSERT_NE(s.FindConstraint("TWICE-A-YEAR"), nullptr);
+  EXPECT_EQ(s.FindConstraint("TWICE-A-YEAR")->kind,
+            ConstraintKind::kCardinalityLimit);
+  EXPECT_EQ(s.FindConstraint("TWICE-A-YEAR")->limit, 2);
+  EXPECT_EQ(s.FindConstraint("TWICE-A-YEAR")->group_field, "YEAR");
+  EXPECT_TRUE(s.FindSet("CRS-OFF")->member_characterizes_owner);
+  Schema again = MustParse(s.ToDdl());
+  EXPECT_EQ(s, again);
+}
+
+TEST(SchemaTest, RevisedCompanyHasChainedVirtualField) {
+  Schema s = MustParse(testing::CompanyRevisedDdl());
+  const FieldDef* f = s.FindRecordType("EMP")->FindField("DIV-NAME");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->is_virtual);
+  // EMP.DIV-NAME derives from DEPT.DIV-NAME which itself derives from DIV.
+  const FieldDef* dept = s.FindRecordType("DEPT")->FindField("DIV-NAME");
+  ASSERT_NE(dept, nullptr);
+  EXPECT_TRUE(dept->is_virtual);
+}
+
+TEST(SchemaTest, DuplicateRecordTypeRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddRecordType({"R", {}}).ok());
+  EXPECT_EQ(s.AddRecordType({"R", {}}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, DuplicateFieldRejected) {
+  Schema s;
+  RecordTypeDef r;
+  r.name = "R";
+  r.fields.push_back({.name = "A"});
+  r.fields.push_back({.name = "a"});  // case-insensitive duplicate
+  EXPECT_EQ(s.AddRecordType(r).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ValidateRejectsDanglingSetOwner) {
+  Schema s;
+  ASSERT_TRUE(s.AddRecordType({"M", {}}).ok());
+  SetDef set;
+  set.name = "S";
+  set.owner = "MISSING";
+  set.member = "M";
+  set.ordering = SetOrdering::kChronological;
+  ASSERT_TRUE(s.AddSet(set).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRejectsSortedSetWithoutKeys) {
+  Schema s;
+  ASSERT_TRUE(s.AddRecordType({"M", {}}).ok());
+  ASSERT_TRUE(s.AddRecordType({"O", {}}).ok());
+  SetDef set;
+  set.name = "S";
+  set.owner = "O";
+  set.member = "M";
+  set.ordering = SetOrdering::kSortedByKeys;
+  ASSERT_TRUE(s.AddSet(set).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRejectsCyclicVirtualChain) {
+  // Two record types each deriving a field from the other through two sets.
+  Schema s;
+  RecordTypeDef a;
+  a.name = "A";
+  a.fields.push_back({.name = "KEY", .type = FieldType::kString});
+  a.fields.push_back({.name = "V",
+                      .type = FieldType::kString,
+                      .is_virtual = true,
+                      .via_set = "BA",
+                      .using_field = "W"});
+  RecordTypeDef b;
+  b.name = "B";
+  b.fields.push_back({.name = "KEY", .type = FieldType::kString});
+  b.fields.push_back({.name = "W",
+                      .type = FieldType::kString,
+                      .is_virtual = true,
+                      .via_set = "AB",
+                      .using_field = "V"});
+  ASSERT_TRUE(s.AddRecordType(a).ok());
+  ASSERT_TRUE(s.AddRecordType(b).ok());
+  SetDef ab{.name = "AB", .owner = "A", .member = "B",
+            .ordering = SetOrdering::kChronological};
+  SetDef ba{.name = "BA", .owner = "B", .member = "A",
+            .ordering = SetOrdering::kChronological};
+  ASSERT_TRUE(s.AddSet(ab).ok());
+  ASSERT_TRUE(s.AddSet(ba).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRejectsVirtualTypeMismatch) {
+  Schema s = MustParse(testing::CompanyDdl());
+  // Make the virtual field an INT while the source DIV-NAME is a string.
+  s.FindRecordType("EMP")->FindField("DIV-NAME");
+  RecordTypeDef* emp = s.FindRecordType("EMP");
+  for (FieldDef& f : emp->fields) {
+    if (f.name == "DIV-NAME") f.type = FieldType::kInt;
+  }
+  EXPECT_EQ(s.Validate().code(), StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, ValidateRejectsConstraintOnUnknownField) {
+  Schema s = MustParse(testing::CompanyDdl());
+  ConstraintDef c;
+  c.name = "BAD";
+  c.kind = ConstraintKind::kNonNull;
+  c.record = "EMP";
+  c.fields = {"NO-SUCH-FIELD"};
+  ASSERT_TRUE(s.AddConstraint(c).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRejectsNonPositiveCardinalityLimit) {
+  Schema s = MustParse(testing::CompanyDdl());
+  ConstraintDef c;
+  c.name = "BAD";
+  c.kind = ConstraintKind::kCardinalityLimit;
+  c.set_name = "DIV-EMP";
+  c.limit = 0;
+  ASSERT_TRUE(s.AddConstraint(c).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, FindSetBetween) {
+  Schema s = MustParse(testing::CompanyDdl());
+  const SetDef* set = s.FindSetBetween("DIV", "EMP");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->name, "DIV-EMP");
+  EXPECT_EQ(s.FindSetBetween("EMP", "DIV"), nullptr);
+}
+
+TEST(SchemaTest, DropOperations) {
+  Schema s = MustParse(testing::SchoolDdl());
+  EXPECT_TRUE(s.DropConstraint("TWICE-A-YEAR").ok());
+  EXPECT_EQ(s.DropConstraint("TWICE-A-YEAR").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(s.DropConstraint("UNIQ-S").ok());
+  EXPECT_TRUE(s.DropSet("SEM-OFF").ok());
+  EXPECT_TRUE(s.DropSet("ALL-SEM").ok());
+  EXPECT_TRUE(s.DropRecordType("SEMESTER").ok());
+  // OFFERING.S still derives through the dropped set: inconsistent.
+  EXPECT_FALSE(s.Validate().ok());
+  RecordTypeDef* offering = s.FindRecordType("OFFERING");
+  std::erase_if(offering->fields,
+                [](const FieldDef& f) { return f.name == "S"; });
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(DdlParserTest, SemicolonAcceptedAsClauseEnd) {
+  // The paper's Figure 4.3 shows "RECORD SECTION;".
+  std::string ddl = R"(
+SCHEMA NAME IS T
+RECORD SECTION;
+  RECORD NAME IS R;
+  FIELDS ARE;
+    F PIC X(4);
+  END RECORD;
+END RECORD SECTION;
+SET SECTION;
+END SET SECTION;
+END SCHEMA;
+)";
+  Schema s = MustParse(ddl);
+  EXPECT_NE(s.FindRecordType("R"), nullptr);
+}
+
+TEST(DdlParserTest, ErrorsCarryLineNumbers) {
+  Result<Schema> r = ParseDdl("SCHEMA NAME IS X\nOOPS");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(DdlParserTest, TrailingInputRejected) {
+  std::string ddl = MustParse(testing::CompanyDdl()).ToDdl() + " EXTRA";
+  EXPECT_FALSE(ParseDdl(ddl).ok());
+}
+
+TEST(DdlParserTest, UnknownPicCodeRejected) {
+  std::string ddl = R"(
+SCHEMA NAME IS T
+RECORD SECTION.
+  RECORD NAME IS R.
+  FIELDS ARE.
+    F PIC Z(4).
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+END SET SECTION.
+END SCHEMA.
+)";
+  EXPECT_FALSE(ParseDdl(ddl).ok());
+}
+
+TEST(ConstraintDefTest, ToStringForms) {
+  ConstraintDef c;
+  c.name = "K";
+  c.kind = ConstraintKind::kUniqueness;
+  c.record = "EMP";
+  c.fields = {"EMP-NAME"};
+  EXPECT_EQ(c.ToString(), "CONSTRAINT K IS UNIQUE ON EMP (EMP-NAME)");
+  c.kind = ConstraintKind::kCardinalityLimit;
+  c.set_name = "CRS-OFF";
+  c.limit = 2;
+  c.group_field = "YEAR";
+  EXPECT_EQ(c.ToString(),
+            "CONSTRAINT K IS CARDINALITY ON SET CRS-OFF LIMIT 2 PER YEAR");
+}
+
+}  // namespace
+}  // namespace dbpc

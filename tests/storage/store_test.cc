@@ -1,0 +1,120 @@
+#include "storage/store.h"
+
+#include <gtest/gtest.h>
+
+namespace dbpc {
+namespace {
+
+TEST(StoreTest, InsertAssignsMonotonicIds) {
+  Store store;
+  RecordId a = store.Insert("R", {});
+  RecordId b = store.Insert("R", {});
+  EXPECT_LT(a, b);
+  EXPECT_TRUE(store.Exists(a));
+  EXPECT_EQ(store.LiveCount(), 2u);
+}
+
+TEST(StoreTest, GetReturnsStoredFields) {
+  Store store;
+  RecordId id = store.Insert("R", {{"F", Value::Int(7)}});
+  const StoredRecord* rec = store.Get(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->type, "R");
+  EXPECT_EQ(rec->fields.at("F").as_int(), 7);
+  EXPECT_EQ(store.Get(999), nullptr);
+}
+
+TEST(StoreTest, RemoveDeletesRecord) {
+  Store store;
+  RecordId id = store.Insert("R", {});
+  ASSERT_TRUE(store.Remove(id).ok());
+  EXPECT_FALSE(store.Exists(id));
+  EXPECT_EQ(store.Remove(id).code(), StatusCode::kNotFound);
+}
+
+TEST(StoreTest, AllOfTypeFiltersAndOrders) {
+  Store store;
+  RecordId a = store.Insert("A", {});
+  (void)store.Insert("B", {});
+  RecordId a2 = store.Insert("A", {});
+  EXPECT_EQ(store.AllOfType("A"), (std::vector<RecordId>{a, a2}));
+  EXPECT_EQ(store.AllRecords().size(), 3u);
+}
+
+TEST(StoreTest, LinkPositionsMembers) {
+  Store store;
+  RecordId owner = store.Insert("O", {});
+  RecordId m1 = store.Insert("M", {});
+  RecordId m2 = store.Insert("M", {});
+  RecordId m3 = store.Insert("M", {});
+  ASSERT_TRUE(store.LinkLast("S", owner, m1).ok());
+  ASSERT_TRUE(store.LinkLast("S", owner, m3).ok());
+  ASSERT_TRUE(store.Link("S", owner, m2, 1).ok());
+  EXPECT_EQ(store.Members("S", owner), (std::vector<RecordId>{m1, m2, m3}));
+  EXPECT_EQ(store.OwnerOf("S", m2), owner);
+}
+
+TEST(StoreTest, LinkBeyondEndClampsToAppend) {
+  Store store;
+  RecordId owner = store.Insert("O", {});
+  RecordId m = store.Insert("M", {});
+  ASSERT_TRUE(store.Link("S", owner, m, 99).ok());
+  EXPECT_EQ(store.Members("S", owner).back(), m);
+}
+
+TEST(StoreTest, DoubleLinkRejected) {
+  Store store;
+  RecordId owner = store.Insert("O", {});
+  RecordId m = store.Insert("M", {});
+  ASSERT_TRUE(store.LinkLast("S", owner, m).ok());
+  EXPECT_EQ(store.LinkLast("S", owner, m).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StoreTest, UnlinkRemovesMembership) {
+  Store store;
+  RecordId owner = store.Insert("O", {});
+  RecordId m = store.Insert("M", {});
+  ASSERT_TRUE(store.LinkLast("S", owner, m).ok());
+  ASSERT_TRUE(store.Unlink("S", m).ok());
+  EXPECT_EQ(store.OwnerOf("S", m), 0u);
+  EXPECT_TRUE(store.Members("S", owner).empty());
+  EXPECT_EQ(store.Unlink("S", m).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Unlink("NO-SET", m).code(), StatusCode::kNotFound);
+}
+
+TEST(StoreTest, IndependentSetsDoNotInterfere) {
+  Store store;
+  RecordId o1 = store.Insert("O", {});
+  RecordId o2 = store.Insert("P", {});
+  RecordId m = store.Insert("M", {});
+  ASSERT_TRUE(store.LinkLast("S1", o1, m).ok());
+  ASSERT_TRUE(store.LinkLast("S2", o2, m).ok());
+  EXPECT_EQ(store.OwnerOf("S1", m), o1);
+  EXPECT_EQ(store.OwnerOf("S2", m), o2);
+  ASSERT_TRUE(store.Unlink("S1", m).ok());
+  EXPECT_EQ(store.OwnerOf("S2", m), o2);
+}
+
+TEST(StoreTest, SystemOwnerIsJustAnotherOwnerId) {
+  Store store;
+  RecordId m = store.Insert("M", {});
+  ASSERT_TRUE(store.LinkLast("SYS", kSystemOwner, m).ok());
+  EXPECT_EQ(store.OwnerOf("SYS", m), kSystemOwner);
+  EXPECT_EQ(store.Members("SYS", kSystemOwner).size(), 1u);
+}
+
+TEST(StoreTest, CloneIsDeep) {
+  Store store;
+  RecordId owner = store.Insert("O", {});
+  RecordId m = store.Insert("M", {{"F", Value::Int(1)}});
+  ASSERT_TRUE(store.LinkLast("S", owner, m).ok());
+  Store copy = store.Clone();
+  ASSERT_TRUE(copy.Unlink("S", m).ok());
+  copy.GetMutable(m)->fields["F"] = Value::Int(2);
+  // Original unaffected.
+  EXPECT_EQ(store.OwnerOf("S", m), owner);
+  EXPECT_EQ(store.Get(m)->fields.at("F").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,197 @@
+#include "supervisor/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "lang/parser.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::MakeCompanyDatabase;
+
+constexpr const char* kAmbiguous = R"(
+PROGRAM AMB.
+  FIND ANY DIV (DIV-LOC = 'EAST').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)";
+
+TEST(SupervisorTest, AutomaticProgramAcceptedWithoutAnalyst) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  EXPECT_TRUE(outcome.accepted);
+  EXPECT_EQ(outcome.classification, Convertibility::kAutomatic);
+  EXPECT_TRUE(outcome.analyst_log.empty());
+}
+
+TEST(SupervisorTest, AnalystQuestionsAskedAndLogged) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SupervisorOptions options;
+  options.analyst = ApproveAllAnalyst();
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  PipelineOutcome outcome =
+      *supervisor.ConvertProgram(*ParseProgram(kAmbiguous));
+  EXPECT_EQ(outcome.classification, Convertibility::kNeedsAnalyst);
+  EXPECT_TRUE(outcome.accepted);
+  ASSERT_FALSE(outcome.analyst_log.empty());
+  EXPECT_TRUE(outcome.analyst_log[0].second);
+}
+
+TEST(SupervisorTest, StrictModeRejectsAnalystCases) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SupervisorOptions options;  // null analyst = strict automatic mode
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  PipelineOutcome outcome =
+      *supervisor.ConvertProgram(*ParseProgram(kAmbiguous));
+  EXPECT_EQ(outcome.classification, Convertibility::kNeedsAnalyst);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(SupervisorTest, RejectingAnalystBlocksConversion) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SupervisorOptions options;
+  options.analyst = RejectAllAnalyst();
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  PipelineOutcome outcome =
+      *supervisor.ConvertProgram(*ParseProgram(kAmbiguous));
+  EXPECT_FALSE(outcome.accepted);
+  ASSERT_FALSE(outcome.analyst_log.empty());
+  EXPECT_FALSE(outcome.analyst_log[0].second);
+}
+
+TEST(SupervisorTest, RuntimeVariableProgramRefusedRegardlessOfAnalyst) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SupervisorOptions options;
+  options.analyst = ApproveAllAnalyst();
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  PipelineOutcome outcome = *supervisor.ConvertProgram(*ParseProgram(R"(
+PROGRAM P.
+  ACCEPT V.
+  CALL DML(V, EMP).
+END PROGRAM.)"));
+  EXPECT_EQ(outcome.classification, Convertibility::kNotConvertible);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(SupervisorTest, OptimizerRunsOnAcceptedConversions) {
+  IntroduceIntermediateParams params;
+  params.set_name = "DIV-EMP";
+  params.intermediate = "DEPT";
+  params.upper_set = "DIV-DEPT";
+  params.lower_set = "DEPT-EMP";
+  params.group_field = "DEPT-NAME";
+  TransformationPtr t = MakeIntroduceIntermediate(params);
+  Schema schema = MakeCompanyDatabase().schema();
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, SupervisorOptions{});
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP(DEPT-NAME = 'SALES')) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_GT(outcome.optimizer_stats.predicates_pushed, 0);
+}
+
+TEST(SupervisorTest, OptimizerCanBeDisabled) {
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  Schema schema = MakeCompanyDatabase().schema();
+  SupervisorOptions options;
+  options.run_optimizer = false;
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+      DIV-EMP, EMP)) ON (EMP-NAME) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  EXPECT_EQ(outcome.optimizer_stats.sorts_removed, 0);
+}
+
+TEST(SupervisorTest, ChangesExposedFromConversionAnalyzer) {
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  Schema schema = MakeCompanyDatabase().schema();
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, SupervisorOptions{});
+  EXPECT_FALSE(supervisor.changes().empty());
+}
+
+TEST(SupervisorTest, CorpusClassificationMatchesShapes) {
+  // Every refused program in the default corpus is the run-time-variable
+  // shape; analyst shapes classify as needs-analyst; the rest automatic.
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SupervisorOptions options;
+  options.analyst = ApproveAllAnalyst();
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  for (const CorpusProgram& entry : GenerateCompanyCorpus(CorpusMix{}, 7)) {
+    PipelineOutcome outcome = *supervisor.ConvertProgram(entry.program);
+    switch (entry.shape) {
+      case CorpusShape::kRuntimeVariable:
+        EXPECT_EQ(outcome.classification, Convertibility::kNotConvertible)
+            << entry.program.ToSource();
+        break;
+      case CorpusShape::kAmbiguousOwner:
+      case CorpusShape::kStatusDependent:
+      case CorpusShape::kEraseInScan:
+        EXPECT_EQ(outcome.classification, Convertibility::kNeedsAnalyst)
+            << entry.program.ToSource();
+        break;
+      default:
+        EXPECT_EQ(outcome.classification, Convertibility::kAutomatic)
+            << CorpusShapeName(entry.shape) << "\n"
+            << entry.program.ToSource();
+        break;
+    }
+  }
+}
+
+TEST(CorpusTest, DeterministicForSameSeed) {
+  std::vector<CorpusProgram> a = GenerateCompanyCorpus(CorpusMix{}, 5);
+  std::vector<CorpusProgram> b = GenerateCompanyCorpus(CorpusMix{}, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].program, b[i].program);
+  }
+}
+
+TEST(CorpusTest, SizedGeneratorProducesExactly) {
+  std::vector<CorpusProgram> c = GenerateCompanyCorpus(100, 11);
+  EXPECT_EQ(c.size(), 100u);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,225 @@
+// dbpcc — the database program conversion compiler.
+//
+// Command-line front end to the Figure 4.1 pipeline:
+//
+//   dbpcc --schema company.ddl --plan fig44.plan prog1.cpl prog2.cpl
+//
+// reads a Maryland-DDL schema, a restructuring plan (see
+// restructure/plan_parser.h for the plan language) and one or more CPL
+// database programs, converts each program, and writes the converted
+// source to stdout with the analyst report on stderr.
+//
+// Flags:
+//   --schema <file>     source schema (required)
+//   --plan <file>       restructuring plan (required)
+//   --strict            reject analyst-level conversions (default: an
+//                       approve-all analyst stands in for the interactive
+//                       Conversion Analyst)
+//   --no-optimizer      skip the Figure 4.1 optimizer stage
+//   --emit <dialect>    cpl (default) | codasyl | sequel
+//   --target-ddl        also print the restructured schema's DDL
+//   --data <file>       load a database dump (engine/textio format) over
+//                       the source schema and translate it along the plan
+//   --data-out <file>   where to write the translated dump (default: the
+//                       input path with ".out" appended)
+//   --advise            print program-improvement advice for each source
+//                       program (paper section 5.3's programmer's aid)
+//
+// Exit status: 0 when every program was accepted, 1 otherwise, 2 on usage
+// or input errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/advisor.h"
+#include "engine/textio.h"
+#include "generate/generator.h"
+#include "lang/parser.h"
+#include "restructure/plan_parser.h"
+#include "schema/ddl_parser.h"
+#include "supervisor/supervisor.h"
+
+namespace {
+
+using namespace dbpc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbpcc --schema <ddl> --plan <plan> [--strict] "
+               "[--no-optimizer] [--emit cpl|codasyl|sequel] [--target-ddl] "
+               "<program>...\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Fail(const Status& status, const std::string& what) {
+  std::fprintf(stderr, "dbpcc: %s: %s\n", what.c_str(),
+               status.ToString().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path;
+  std::string plan_path;
+  std::string emit = "cpl";
+  bool strict = false;
+  bool optimizer = true;
+  bool target_ddl = false;
+  bool advise = false;
+  std::string data_path;
+  std::string data_out_path;
+  std::vector<std::string> program_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else if (arg == "--plan" && i + 1 < argc) {
+      plan_path = argv[++i];
+    } else if (arg == "--emit" && i + 1 < argc) {
+      emit = argv[++i];
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--no-optimizer") {
+      optimizer = false;
+    } else if (arg == "--target-ddl") {
+      target_ddl = true;
+    } else if (arg == "--data" && i + 1 < argc) {
+      data_path = argv[++i];
+    } else if (arg == "--data-out" && i + 1 < argc) {
+      data_out_path = argv[++i];
+    } else if (arg == "--advise") {
+      advise = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      program_paths.push_back(arg);
+    }
+  }
+  if (schema_path.empty() || plan_path.empty() ||
+      (program_paths.empty() && data_path.empty())) {
+    return Usage();
+  }
+  if (emit != "cpl" && emit != "codasyl" && emit != "sequel") return Usage();
+
+  Result<std::string> ddl_text = ReadFile(schema_path);
+  if (!ddl_text.ok()) return Fail(ddl_text.status(), schema_path);
+  Result<Schema> schema = ParseDdl(*ddl_text);
+  if (!schema.ok()) return Fail(schema.status(), schema_path);
+
+  Result<std::string> plan_text = ReadFile(plan_path);
+  if (!plan_text.ok()) return Fail(plan_text.status(), plan_path);
+  Result<RestructuringPlan> plan = ParsePlan(*plan_text);
+  if (!plan.ok()) return Fail(plan.status(), plan_path);
+
+  SupervisorOptions options;
+  options.run_optimizer = optimizer;
+  if (!strict) options.analyst = ApproveAllAnalyst();
+  Result<ConversionSupervisor> supervisor =
+      ConversionSupervisor::Create(*schema, plan->View(), options);
+  if (!supervisor.ok()) return Fail(supervisor.status(), "plan application");
+
+  std::vector<Program> programs;
+  for (const std::string& path : program_paths) {
+    Result<std::string> source = ReadFile(path);
+    if (!source.ok()) return Fail(source.status(), path);
+    Result<Program> program = ParseProgram(*source);
+    if (!program.ok()) return Fail(program.status(), path);
+    programs.push_back(std::move(program).value());
+  }
+
+  Result<SystemConversionReport> report = supervisor->ConvertSystem(programs);
+  if (!report.ok()) return Fail(report.status(), "conversion");
+
+  if (advise) {
+    for (const Program& program : programs) {
+      std::vector<Advice> advice = AdviseProgram(*schema, program);
+      if (advice.empty()) continue;
+      std::fprintf(stderr, "advice for %s:\n", program.name.c_str());
+      for (const Advice& a : advice) {
+        std::fprintf(stderr, "  %s\n", a.ToString().c_str());
+      }
+    }
+  }
+
+  if (!data_path.empty()) {
+    Result<std::string> dump = ReadFile(data_path);
+    if (!dump.ok()) return Fail(dump.status(), data_path);
+    Result<Database> source_db = LoadDatabaseText(*schema, *dump);
+    if (!source_db.ok()) return Fail(source_db.status(), data_path);
+    Result<Database> target_db = supervisor->TranslateDatabase(*source_db);
+    if (!target_db.ok()) return Fail(target_db.status(), "data translation");
+    std::string out_path =
+        data_out_path.empty() ? data_path + ".out" : data_out_path;
+    std::ofstream out(out_path);
+    if (!out) return Fail(Status::NotFound("cannot write " + out_path), out_path);
+    out << DumpDatabaseText(*target_db);
+    std::fprintf(stderr, "translated %zu records -> %s\n",
+                 target_db->RecordCount(), out_path.c_str());
+  }
+
+  if (target_ddl) {
+    std::printf("-- restructured schema\n%s\n",
+                supervisor->target_schema().ToDdl().c_str());
+  }
+
+  for (const PipelineOutcome& outcome : report->outcomes) {
+    if (!outcome.accepted) {
+      std::printf("-- program %s NOT converted (%s)\n",
+                  outcome.conversion.converted.name.c_str(),
+                  ConvertibilityName(outcome.classification));
+      continue;
+    }
+    if (emit == "cpl") {
+      std::printf("%s\n",
+                  GenerateCplSource(outcome.conversion.converted).c_str());
+    } else if (emit == "codasyl") {
+      Result<LoweringResult> lowered = LowerToNavigational(
+          supervisor->target_schema(), outcome.conversion.converted);
+      if (!lowered.ok()) return Fail(lowered.status(), "lowering");
+      std::printf("%s\n", lowered->program.ToSource().c_str());
+    } else {  // sequel
+      std::printf("-- program %s retrievals as SEQUEL\n",
+                  outcome.conversion.converted.name.c_str());
+      int index = 0;
+      Status walk_status = Status::OK();
+      std::function<void(const std::vector<Stmt>&)> walk =
+          [&](const std::vector<Stmt>& body) {
+            for (const Stmt& s : body) {
+              if ((s.kind == StmtKind::kForEach ||
+                   s.kind == StmtKind::kRetrieve) &&
+                  s.retrieval.has_value()) {
+                Result<std::string> sql = GenerateSequel(
+                    supervisor->target_schema(), *s.retrieval);
+                if (sql.ok()) {
+                  std::printf("-- retrieval %d\n%s;\n", ++index,
+                              sql->c_str());
+                } else {
+                  std::printf("-- retrieval %d not expressible: %s\n",
+                              ++index, sql.status().ToString().c_str());
+                }
+              }
+              walk(s.body);
+              walk(s.else_body);
+            }
+          };
+      walk(outcome.conversion.converted.body);
+      (void)walk_status;
+    }
+  }
+
+  std::fprintf(stderr, "%s", report->ToText().c_str());
+  return report->fully_converted() ? 0 : 1;
+}
