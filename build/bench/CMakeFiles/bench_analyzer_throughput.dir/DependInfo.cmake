@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_analyzer_throughput.cc" "bench/CMakeFiles/bench_analyzer_throughput.dir/bench_analyzer_throughput.cc.o" "gcc" "bench/CMakeFiles/bench_analyzer_throughput.dir/bench_analyzer_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/dbpc_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/generate/CMakeFiles/dbpc_generate.dir/DependInfo.cmake"
+  "/root/repo/build/src/equivalence/CMakeFiles/dbpc_equivalence.dir/DependInfo.cmake"
+  "/root/repo/build/src/supervisor/CMakeFiles/dbpc_supervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulate/CMakeFiles/dbpc_emulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/dbpc_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/dbpc_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/dbpc_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dbpc_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/restructure/CMakeFiles/dbpc_restructure.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/dbpc_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dbpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchical/CMakeFiles/dbpc_hierarchical.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/dbpc_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dbpc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/codasyl/CMakeFiles/dbpc_codasyl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/dbpc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbpc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

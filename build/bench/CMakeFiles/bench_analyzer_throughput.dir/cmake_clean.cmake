@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analyzer_throughput.dir/bench_analyzer_throughput.cc.o"
+  "CMakeFiles/bench_analyzer_throughput.dir/bench_analyzer_throughput.cc.o.d"
+  "bench_analyzer_throughput"
+  "bench_analyzer_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analyzer_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bridge_differential.dir/bench_bridge_differential.cc.o"
+  "CMakeFiles/bench_bridge_differential.dir/bench_bridge_differential.cc.o.d"
+  "bench_bridge_differential"
+  "bench_bridge_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bridge_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conversion_coverage.dir/bench_conversion_coverage.cc.o"
+  "CMakeFiles/bench_conversion_coverage.dir/bench_conversion_coverage.cc.o.d"
+  "bench_conversion_coverage"
+  "bench_conversion_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conversion_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

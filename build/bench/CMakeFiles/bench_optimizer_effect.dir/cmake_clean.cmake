@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_effect.dir/bench_optimizer_effect.cc.o"
+  "CMakeFiles/bench_optimizer_effect.dir/bench_optimizer_effect.cc.o.d"
+  "bench_optimizer_effect"
+  "bench_optimizer_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_system.dir/application_system.cpp.o"
+  "CMakeFiles/application_system.dir/application_system.cpp.o.d"
+  "application_system"
+  "application_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

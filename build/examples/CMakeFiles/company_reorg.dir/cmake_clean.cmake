@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_reorg.dir/company_reorg.cpp.o"
+  "CMakeFiles/company_reorg.dir/company_reorg.cpp.o.d"
+  "company_reorg"
+  "company_reorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_reorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

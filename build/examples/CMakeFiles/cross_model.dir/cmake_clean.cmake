@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_model.dir/cross_model.cpp.o"
+  "CMakeFiles/cross_model.dir/cross_model.cpp.o.d"
+  "cross_model"
+  "cross_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_vs_rewrite.dir/emulation_vs_rewrite.cpp.o"
+  "CMakeFiles/emulation_vs_rewrite.dir/emulation_vs_rewrite.cpp.o.d"
+  "emulation_vs_rewrite"
+  "emulation_vs_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_vs_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

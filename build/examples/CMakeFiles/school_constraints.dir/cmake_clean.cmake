@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/school_constraints.dir/school_constraints.cpp.o"
+  "CMakeFiles/school_constraints.dir/school_constraints.cpp.o.d"
+  "school_constraints"
+  "school_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/school_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("schema")
+subdirs("storage")
+subdirs("engine")
+subdirs("codasyl")
+subdirs("lang")
+subdirs("ir")
+subdirs("analyze")
+subdirs("restructure")
+subdirs("convert")
+subdirs("optimize")
+subdirs("generate")
+subdirs("equivalence")
+subdirs("supervisor")
+subdirs("emulate")
+subdirs("bridge")
+subdirs("relational")
+subdirs("hierarchical")
+subdirs("corpus")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_analyze.dir/advisor.cc.o"
+  "CMakeFiles/dbpc_analyze.dir/advisor.cc.o.d"
+  "CMakeFiles/dbpc_analyze.dir/analyzer.cc.o"
+  "CMakeFiles/dbpc_analyze.dir/analyzer.cc.o.d"
+  "libdbpc_analyze.a"
+  "libdbpc_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_bridge.dir/bridge.cc.o"
+  "CMakeFiles/dbpc_bridge.dir/bridge.cc.o.d"
+  "libdbpc_bridge.a"
+  "libdbpc_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_codasyl.dir/machine.cc.o"
+  "CMakeFiles/dbpc_codasyl.dir/machine.cc.o.d"
+  "libdbpc_codasyl.a"
+  "libdbpc_codasyl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_codasyl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbpc_codasyl.
+# This may be replaced when dependencies are built.

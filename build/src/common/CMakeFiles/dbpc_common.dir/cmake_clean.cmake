@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_common.dir/lexer.cc.o"
+  "CMakeFiles/dbpc_common.dir/lexer.cc.o.d"
+  "CMakeFiles/dbpc_common.dir/status.cc.o"
+  "CMakeFiles/dbpc_common.dir/status.cc.o.d"
+  "CMakeFiles/dbpc_common.dir/string_util.cc.o"
+  "CMakeFiles/dbpc_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dbpc_common.dir/trace.cc.o"
+  "CMakeFiles/dbpc_common.dir/trace.cc.o.d"
+  "CMakeFiles/dbpc_common.dir/value.cc.o"
+  "CMakeFiles/dbpc_common.dir/value.cc.o.d"
+  "libdbpc_common.a"
+  "libdbpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_convert.dir/converter.cc.o"
+  "CMakeFiles/dbpc_convert.dir/converter.cc.o.d"
+  "libdbpc_convert.a"
+  "libdbpc_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_corpus.dir/corpus.cc.o"
+  "CMakeFiles/dbpc_corpus.dir/corpus.cc.o.d"
+  "libdbpc_corpus.a"
+  "libdbpc_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

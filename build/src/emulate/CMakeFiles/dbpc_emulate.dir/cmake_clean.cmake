@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_emulate.dir/emulator.cc.o"
+  "CMakeFiles/dbpc_emulate.dir/emulator.cc.o.d"
+  "libdbpc_emulate.a"
+  "libdbpc_emulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_emulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_engine.dir/database.cc.o"
+  "CMakeFiles/dbpc_engine.dir/database.cc.o.d"
+  "CMakeFiles/dbpc_engine.dir/find_query.cc.o"
+  "CMakeFiles/dbpc_engine.dir/find_query.cc.o.d"
+  "CMakeFiles/dbpc_engine.dir/predicate.cc.o"
+  "CMakeFiles/dbpc_engine.dir/predicate.cc.o.d"
+  "CMakeFiles/dbpc_engine.dir/textio.cc.o"
+  "CMakeFiles/dbpc_engine.dir/textio.cc.o.d"
+  "libdbpc_engine.a"
+  "libdbpc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_equivalence.dir/checker.cc.o"
+  "CMakeFiles/dbpc_equivalence.dir/checker.cc.o.d"
+  "libdbpc_equivalence.a"
+  "libdbpc_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

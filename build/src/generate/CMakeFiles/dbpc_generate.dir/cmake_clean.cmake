@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_generate.dir/generator.cc.o"
+  "CMakeFiles/dbpc_generate.dir/generator.cc.o.d"
+  "libdbpc_generate.a"
+  "libdbpc_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

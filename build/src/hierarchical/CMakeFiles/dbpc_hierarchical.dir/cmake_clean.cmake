@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_hierarchical.dir/hierarchical.cc.o"
+  "CMakeFiles/dbpc_hierarchical.dir/hierarchical.cc.o.d"
+  "libdbpc_hierarchical.a"
+  "libdbpc_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/access_pattern.cc" "src/ir/CMakeFiles/dbpc_ir.dir/access_pattern.cc.o" "gcc" "src/ir/CMakeFiles/dbpc_ir.dir/access_pattern.cc.o.d"
+  "/root/repo/src/ir/compile.cc" "src/ir/CMakeFiles/dbpc_ir.dir/compile.cc.o" "gcc" "src/ir/CMakeFiles/dbpc_ir.dir/compile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dbpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dbpc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/codasyl/CMakeFiles/dbpc_codasyl.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/dbpc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbpc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

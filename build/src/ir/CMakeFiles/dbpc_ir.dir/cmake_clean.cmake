@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_ir.dir/access_pattern.cc.o"
+  "CMakeFiles/dbpc_ir.dir/access_pattern.cc.o.d"
+  "CMakeFiles/dbpc_ir.dir/compile.cc.o"
+  "CMakeFiles/dbpc_ir.dir/compile.cc.o.d"
+  "libdbpc_ir.a"
+  "libdbpc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_lang.dir/ast.cc.o"
+  "CMakeFiles/dbpc_lang.dir/ast.cc.o.d"
+  "CMakeFiles/dbpc_lang.dir/interpreter.cc.o"
+  "CMakeFiles/dbpc_lang.dir/interpreter.cc.o.d"
+  "CMakeFiles/dbpc_lang.dir/parser.cc.o"
+  "CMakeFiles/dbpc_lang.dir/parser.cc.o.d"
+  "libdbpc_lang.a"
+  "libdbpc_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_optimize.dir/optimizer.cc.o"
+  "CMakeFiles/dbpc_optimize.dir/optimizer.cc.o.d"
+  "libdbpc_optimize.a"
+  "libdbpc_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

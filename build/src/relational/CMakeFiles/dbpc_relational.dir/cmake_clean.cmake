@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_relational.dir/relational.cc.o"
+  "CMakeFiles/dbpc_relational.dir/relational.cc.o.d"
+  "libdbpc_relational.a"
+  "libdbpc_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_restructure.dir/data_copy.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/data_copy.cc.o.d"
+  "CMakeFiles/dbpc_restructure.dir/plan_parser.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/plan_parser.cc.o.d"
+  "CMakeFiles/dbpc_restructure.dir/rewrite_util.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/rewrite_util.cc.o.d"
+  "CMakeFiles/dbpc_restructure.dir/transformation.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/transformation.cc.o.d"
+  "CMakeFiles/dbpc_restructure.dir/transformation_misc.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/transformation_misc.cc.o.d"
+  "CMakeFiles/dbpc_restructure.dir/transformation_split.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/transformation_split.cc.o.d"
+  "CMakeFiles/dbpc_restructure.dir/transformation_structural.cc.o"
+  "CMakeFiles/dbpc_restructure.dir/transformation_structural.cc.o.d"
+  "libdbpc_restructure.a"
+  "libdbpc_restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_schema.dir/ddl_parser.cc.o"
+  "CMakeFiles/dbpc_schema.dir/ddl_parser.cc.o.d"
+  "CMakeFiles/dbpc_schema.dir/schema.cc.o"
+  "CMakeFiles/dbpc_schema.dir/schema.cc.o.d"
+  "libdbpc_schema.a"
+  "libdbpc_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_storage.dir/store.cc.o"
+  "CMakeFiles/dbpc_storage.dir/store.cc.o.d"
+  "libdbpc_storage.a"
+  "libdbpc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

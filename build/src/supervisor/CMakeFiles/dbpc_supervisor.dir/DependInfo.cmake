@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supervisor/supervisor.cc" "src/supervisor/CMakeFiles/dbpc_supervisor.dir/supervisor.cc.o" "gcc" "src/supervisor/CMakeFiles/dbpc_supervisor.dir/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/convert/CMakeFiles/dbpc_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/dbpc_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/restructure/CMakeFiles/dbpc_restructure.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/dbpc_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dbpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dbpc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/codasyl/CMakeFiles/dbpc_codasyl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/dbpc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbpc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_supervisor.dir/supervisor.cc.o"
+  "CMakeFiles/dbpc_supervisor.dir/supervisor.cc.o.d"
+  "libdbpc_supervisor.a"
+  "libdbpc_supervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbpc_supervisor.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpc_testing.dir/testing/fixtures.cc.o"
+  "CMakeFiles/dbpc_testing.dir/testing/fixtures.cc.o.d"
+  "libdbpc_testing.a"
+  "libdbpc_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpc_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

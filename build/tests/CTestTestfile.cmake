@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(dbpcc_end_to_end "/root/repo/build/tools/dbpcc" "--schema" "/root/repo/samples/company.ddl" "--plan" "/root/repo/samples/fig44.plan" "--data" "/root/repo/samples/company.dump" "--data-out" "/root/repo/build/company.dump.out" "--target-ddl" "/root/repo/samples/seniors.cpl" "/root/repo/samples/sales_report.cpl")
+set_tests_properties(dbpcc_end_to_end PROPERTIES  PASS_REGULAR_EXPRESSION "system fully converted" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+subdirs("common")
+subdirs("schema")
+subdirs("engine")
+subdirs("codasyl")
+subdirs("lang")
+subdirs("analyze")
+subdirs("restructure")
+subdirs("ir")
+subdirs("optimize")
+subdirs("convert")
+subdirs("generate")
+subdirs("emulate")
+subdirs("relational")
+subdirs("hierarchical")
+subdirs("supervisor")
+subdirs("storage")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/analyze
+# Build directory: /root/repo/build/tests/analyze
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/analyze/analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/analyze/advisor_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common/value_test[1]_include.cmake")
+include("/root/repo/build/tests/common/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/common/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/common/status_test[1]_include.cmake")
+include("/root/repo/build/tests/common/fuzz_robustness_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_query_test.dir/find_query_test.cc.o"
+  "CMakeFiles/find_query_test.dir/find_query_test.cc.o.d"
+  "find_query_test"
+  "find_query_test.pdb"
+  "find_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_join_test.dir/value_join_test.cc.o"
+  "CMakeFiles/value_join_test.dir/value_join_test.cc.o.d"
+  "value_join_test"
+  "value_join_test.pdb"
+  "value_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/engine
+# Build directory: /root/repo/build/tests/engine
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine/database_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/find_query_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/textio_test[1]_include.cmake")
+include("/root/repo/build/tests/engine/value_join_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_edge_test.dir/interpreter_edge_test.cc.o"
+  "CMakeFiles/interpreter_edge_test.dir/interpreter_edge_test.cc.o.d"
+  "interpreter_edge_test"
+  "interpreter_edge_test.pdb"
+  "interpreter_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

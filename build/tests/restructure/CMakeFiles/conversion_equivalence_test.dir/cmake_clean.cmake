@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conversion_equivalence_test.dir/conversion_equivalence_test.cc.o"
+  "CMakeFiles/conversion_equivalence_test.dir/conversion_equivalence_test.cc.o.d"
+  "conversion_equivalence_test"
+  "conversion_equivalence_test.pdb"
+  "conversion_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conversion_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

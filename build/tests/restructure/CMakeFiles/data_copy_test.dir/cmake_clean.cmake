@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_copy_test.dir/data_copy_test.cc.o"
+  "CMakeFiles/data_copy_test.dir/data_copy_test.cc.o.d"
+  "data_copy_test"
+  "data_copy_test.pdb"
+  "data_copy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformation_test.dir/transformation_test.cc.o"
+  "CMakeFiles/transformation_test.dir/transformation_test.cc.o.d"
+  "transformation_test"
+  "transformation_test.pdb"
+  "transformation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

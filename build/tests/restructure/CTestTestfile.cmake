@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/restructure
+# Build directory: /root/repo/build/tests/restructure
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/restructure/transformation_test[1]_include.cmake")
+include("/root/repo/build/tests/restructure/conversion_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/restructure/split_test[1]_include.cmake")
+include("/root/repo/build/tests/restructure/plan_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/restructure/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/restructure/data_copy_test[1]_include.cmake")

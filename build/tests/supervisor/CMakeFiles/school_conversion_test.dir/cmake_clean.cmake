@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/school_conversion_test.dir/school_conversion_test.cc.o"
+  "CMakeFiles/school_conversion_test.dir/school_conversion_test.cc.o.d"
+  "school_conversion_test"
+  "school_conversion_test.pdb"
+  "school_conversion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/school_conversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/supervisor
+# Build directory: /root/repo/build/tests/supervisor
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/supervisor/supervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/supervisor/school_conversion_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpcc.dir/dbpcc.cc.o"
+  "CMakeFiles/dbpcc.dir/dbpcc.cc.o.d"
+  "dbpcc"
+  "dbpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
