@@ -1,0 +1,67 @@
+// Experiment E8 — conversion service scaling.
+//
+// The paper frames conversion as a whole-system batch job; this benchmark
+// sweeps the conversion service's worker-pool size over a generated
+// application-system corpus and reports programs/second, so the speedup of
+// `--jobs N` over the serial baseline is measurable on a given machine
+// (near-linear up to the physical core count: programs are independent and
+// the pipeline shares no mutable state).
+//
+//   ./bench_service_scaling --benchmark_counters_tabular=true
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "corpus/corpus.h"
+#include "service/service.h"
+
+namespace dbpc {
+namespace {
+
+void BM_ServiceScaling(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int corpus_size = static_cast<int>(state.range(1));
+  Database db = bench::FilledCompany(4, 16);
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeIntroduceIntermediate(bench::Figure44Params()));
+  std::vector<const Transformation*> plan{owned[0].get()};
+
+  ServiceOptions options;
+  options.jobs = jobs;
+  options.supervisor.analyst = ApproveAllAnalyst();
+  std::unique_ptr<ConversionService> service = bench::Value(
+      ConversionService::Create(db.schema(), plan, options), "create service");
+
+  std::vector<CorpusProgram> corpus = GenerateCompanyCorpus(corpus_size, 1979);
+  std::vector<Program> programs;
+  programs.reserve(corpus.size());
+  for (const CorpusProgram& entry : corpus) {
+    programs.push_back(entry.program);
+  }
+
+  int accepted = 0;
+  for (auto _ : state) {
+    SystemConversionReport report =
+        bench::Value(service->ConvertSystem(programs), "convert system");
+    accepted = report.accepted;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(programs.size()));
+  state.counters["jobs"] = jobs;
+  state.counters["programs"] = static_cast<double>(programs.size());
+  state.counters["accepted"] = accepted;
+}
+
+BENCHMARK(BM_ServiceScaling)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace dbpc
+
+BENCHMARK_MAIN();

@@ -10,10 +10,7 @@
 
 #include <cstdio>
 
-#include "corpus/corpus.h"
-#include "equivalence/checker.h"
-#include "restructure/plan_parser.h"
-#include "supervisor/supervisor.h"
+#include "api/dbpc.h"
 #include "testing/fixtures.h"
 
 int main() {
@@ -102,5 +99,23 @@ END PLAN.
   std::printf("verified %d accepted conversions; all %d automatic ones run "
               "equivalently\n",
               verified, strict_automatic_equivalent);
+
+  // Pass 3: the same batch through the parallel conversion service. The
+  // report is identical to the serial one by construction; the metrics
+  // snapshot shows where the pipeline spends its time.
+  ServiceOptions service_options;
+  service_options.jobs = 4;
+  service_options.supervisor = options;
+  std::unique_ptr<ConversionService> service =
+      std::move(ConversionService::Create(source.schema(), plan.View(),
+                                          service_options))
+          .value();
+  SystemConversionReport parallel_report =
+      std::move(service->ConvertSystem(programs)).value();
+  std::printf("\n--- conversion service (%d workers) ---\n", 4);
+  std::printf("parallel report %s the serial report\n",
+              parallel_report.ToText() == report.ToText() ? "matches"
+                                                          : "DIVERGES FROM");
+  std::printf("metrics snapshot:\n%s", service->metrics().ToJson().c_str());
   return 0;
 }

@@ -8,13 +8,7 @@
 
 #include <cstdio>
 
-#include "analyze/analyzer.h"
-#include "convert/converter.h"
-#include "equivalence/checker.h"
-#include "lang/parser.h"
-#include "restructure/transformation.h"
-#include "schema/ddl_parser.h"
-#include "supervisor/supervisor.h"
+#include "api/dbpc.h"
 
 namespace {
 

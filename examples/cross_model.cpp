@@ -8,11 +8,7 @@
 
 #include <cstdio>
 
-#include "generate/generator.h"
-#include "hierarchical/hierarchical.h"
-#include "lang/interpreter.h"
-#include "lang/parser.h"
-#include "relational/relational.h"
+#include "api/dbpc.h"
 #include "testing/fixtures.h"
 
 int main() {

@@ -12,12 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bridge/bridge.h"
-#include "emulate/emulator.h"
-#include "lang/interpreter.h"
-#include "lang/parser.h"
-#include "restructure/transformation.h"
-#include "supervisor/supervisor.h"
+#include "api/dbpc.h"
 #include "testing/fixtures.h"
 
 namespace {

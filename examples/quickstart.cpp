@@ -9,13 +9,7 @@
 #include <cstdio>
 #include <string>
 
-#include "engine/database.h"
-#include "equivalence/checker.h"
-#include "lang/interpreter.h"
-#include "lang/parser.h"
-#include "restructure/transformation.h"
-#include "schema/ddl_parser.h"
-#include "supervisor/supervisor.h"
+#include "api/dbpc.h"
 
 namespace {
 

@@ -10,12 +10,7 @@
 
 #include <cstdio>
 
-#include "equivalence/checker.h"
-#include "lang/interpreter.h"
-#include "lang/parser.h"
-#include "restructure/transformation.h"
-#include "schema/ddl_parser.h"
-#include "supervisor/supervisor.h"
+#include "api/dbpc.h"
 
 namespace {
 

@@ -1,0 +1,65 @@
+#ifndef DBPC_API_DBPC_H_
+#define DBPC_API_DBPC_H_
+
+/// The supported public surface of the dbpc library.
+///
+/// External callers (tools, examples, embedders) include this single
+/// header — and link `dbpc_api` — instead of reaching into the internal
+/// module headers, whose layout may change between releases. Everything
+/// re-exported here is covered by the compatibility expectations described
+/// in README.md; anything included directly from `src/<module>/` is
+/// internal.
+///
+/// Entry points by layer:
+///
+///   Infrastructure   Status, StatusCode, Result<T>, MetricsRegistry,
+///                    Counter, Histogram
+///   Schema & data    Schema, ParseDdl, Database, LoadDatabaseText,
+///                    DumpDatabaseText
+///   Programs         Program, ParseProgram, ExecuteProgram (interpreter)
+///   Restructuring    Transformation, RestructuringPlan, ParsePlan
+///   Pipeline         ProgramAnalyzer, ProgramConverter, OptimizeProgram,
+///                    GenerateCplSource, ConversionSupervisor,
+///                    SupervisorOptions, AnalystMode
+///   Batch service    ConversionService, ServiceOptions (parallel
+///                    whole-system conversion with metrics)
+///   Verification     CheckEquivalence, AdviseProgram
+///   Cross-model      LowerToNavigational, GenerateSequel, hierarchical
+///                    and relational backends, emulation bridge
+///   Workloads        GenerateCompanyCorpus (synthetic application systems)
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+
+#include "engine/database.h"
+#include "engine/textio.h"
+#include "schema/ddl_parser.h"
+#include "schema/schema.h"
+
+#include "lang/ast.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+
+#include "restructure/plan_parser.h"
+#include "restructure/transformation.h"
+
+#include "analyze/advisor.h"
+#include "analyze/analyzer.h"
+#include "convert/converter.h"
+#include "generate/generator.h"
+#include "optimize/optimizer.h"
+#include "supervisor/supervisor.h"
+
+#include "service/service.h"
+
+#include "equivalence/checker.h"
+
+#include "bridge/bridge.h"
+#include "emulate/emulator.h"
+#include "hierarchical/hierarchical.h"
+#include "relational/relational.h"
+
+#include "corpus/corpus.h"
+
+#endif  // DBPC_API_DBPC_H_

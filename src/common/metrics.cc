@@ -1,0 +1,144 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbpc {
+
+namespace {
+
+int BucketIndex(uint64_t micros) {
+  int bucket = 0;
+  while (bucket < Histogram::kBuckets - 1 &&
+         micros >= (uint64_t{2} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+uint64_t BucketUpperBound(int bucket) { return uint64_t{2} << bucket; }
+
+/// Lowers `candidate` into an atomic minimum (CAS loop; relaxed is enough —
+/// the value is only read by snapshots).
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t candidate) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (candidate < current &&
+         !target->compare_exchange_weak(current, candidate,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t candidate) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !target->compare_exchange_weak(current, candidate,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t micros) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  AtomicMin(&min_, micros);
+  AtomicMax(&max_, micros);
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Timer::Stop() {
+  if (histogram_ == nullptr) return;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  histogram_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  histogram_ = nullptr;
+}
+
+uint64_t Histogram::MinMicros() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t Histogram::MaxMicros() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::PercentileMicros(double p) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total + 0.5);
+  rank = std::clamp<uint64_t>(rank, 1, total);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen >= rank) return std::min(BucketUpperBound(i), MaxMicros());
+  }
+  return MaxMicros();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << counter->Value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    \"" << name << "\": {\"count\": " << h->Count()
+        << ", \"sum_us\": " << h->SumMicros()
+        << ", \"min_us\": " << h->MinMicros()
+        << ", \"max_us\": " << h->MaxMicros() << ", \"mean_us\": "
+        << static_cast<uint64_t>(h->MeanMicros() + 0.5)
+        << ", \"p50_us\": " << h->PercentileMicros(50)
+        << ", \"p99_us\": " << h->PercentileMicros(99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      uint64_t n = h->BucketCount(i);
+      if (n == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "[" << BucketUpperBound(i) << ", " << n << "]";
+    }
+    out << "]}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace dbpc

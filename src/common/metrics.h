@@ -1,0 +1,111 @@
+#ifndef DBPC_COMMON_METRICS_H_
+#define DBPC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dbpc {
+
+/// A monotonically increasing event count. Increment is lock-free; safe to
+/// call from any number of worker threads concurrently.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A latency histogram with fixed exponential (power-of-two) buckets over
+/// microseconds: bucket i counts samples in [2^i, 2^(i+1)) us, with bucket 0
+/// covering [0, 2). Recording is lock-free. 32 buckets span > 1 hour.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void Record(uint64_t micros);
+
+  /// Times a region and records its duration on destruction.
+  class Timer {
+   public:
+    explicit Timer(Histogram* histogram)
+        : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+    ~Timer() { Stop(); }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    /// Records now instead of at destruction; idempotent.
+    void Stop();
+
+   private:
+    Histogram* histogram_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t SumMicros() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t MinMicros() const;  ///< 0 when empty.
+  uint64_t MaxMicros() const;  ///< 0 when empty.
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  double MeanMicros() const {
+    uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(SumMicros()) / n;
+  }
+  /// Upper-bound estimate of the p-th percentile (0 < p <= 100) from the
+  /// bucket boundaries; 0 when empty.
+  uint64_t PercentileMicros(double p) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// A process-local registry of named counters and histograms, snapshotable
+/// to JSON. Lookup takes a lock; the returned pointers are stable for the
+/// registry's lifetime, so hot paths should look up once and cache.
+///
+/// Naming convention: dotted lowercase paths, e.g. "stage.analyze_us",
+/// "programs.automatic".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// JSON snapshot, deterministic (names sorted): counters as integers,
+  /// histograms as {count, sum_us, min_us, max_us, mean_us, p50_us, p99_us,
+  /// buckets: [[upper_bound_us, count], ...]} with empty buckets elided.
+  std::string ToJson() const;
+
+  /// Zeroes every metric (names stay registered).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_METRICS_H_

@@ -1,5 +1,7 @@
 #include "convert/converter.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
 #include "restructure/rewrite_util.h"
 
@@ -108,8 +110,14 @@ Result<ProgramConverter> ProgramConverter::Create(
 Result<ConversionResult> ProgramConverter::Convert(
     const Program& source_program) const {
   ConversionResult result;
+  auto analyze_start = std::chrono::steady_clock::now();
   ProgramAnalyzer analyzer(schemas_.front(), analyzer_options_);
   DBPC_ASSIGN_OR_RETURN(result.analysis, analyzer.Analyze(source_program));
+  auto convert_start = std::chrono::steady_clock::now();
+  result.analyze_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(convert_start -
+                                                            analyze_start)
+          .count());
   result.outcome = result.analysis.convertibility;
   result.converted = result.analysis.lifted;
   if (result.outcome == Convertibility::kNotConvertible) {
@@ -147,6 +155,10 @@ Result<ConversionResult> ProgramConverter::Convert(
     return Status::Internal("converted program does not fit target schema: " +
                             resolve_status.message());
   }
+  result.convert_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - convert_start)
+          .count());
   return result;
 }
 

@@ -41,6 +41,10 @@ struct ConversionResult {
   /// Final classification: the analyzer's verdict tightened by any rewrite
   /// rule that required analyst intervention.
   Convertibility outcome = Convertibility::kAutomatic;
+  /// Wall time spent in the Program Analyzer / in rule rewriting, for the
+  /// per-stage latency metrics (common/metrics.h).
+  uint64_t analyze_micros = 0;
+  uint64_t convert_micros = 0;
 };
 
 /// The Program Converter of Figure 4.1: selects and applies transformation

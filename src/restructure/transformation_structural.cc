@@ -134,6 +134,9 @@ class IntroduceIntermediate final : public Transformation {
     // The member's group field becomes virtual through the lower set; any
     // virtual member field that derived through the old set re-derives
     // through the intermediate (which mirrors the owner's fields).
+    // AddRecordType may have reallocated the record-type vector, so the
+    // earlier member_rec pointer is stale — look it up again.
+    member_rec = out.FindRecordType(member);
     for (FieldDef& f : member_rec->fields) {
       if (EqualsIgnoreCase(f.name, p_.group_field)) {
         f.is_virtual = true;

@@ -1,0 +1,172 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "generate/generator.h"
+
+namespace dbpc {
+
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// The refused outcome a program degrades to when every attempt failed.
+PipelineOutcome DegradedOutcome(const Program& program,
+                                const std::string& diagnostic) {
+  PipelineOutcome outcome;
+  outcome.classification = Convertibility::kNotConvertible;
+  outcome.accepted = false;
+  outcome.conversion.outcome = Convertibility::kNotConvertible;
+  outcome.conversion.converted.name = program.name;
+  outcome.conversion.notes.push_back("conversion degraded to refused: " +
+                                     diagnostic);
+  return outcome;
+}
+
+}  // namespace
+
+Status ServiceOptions::Validate() const {
+  if (jobs <= 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::jobs must be >= 1 (got " + std::to_string(jobs) +
+        ")");
+  }
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::deadline_ms must be >= 0 (got " +
+        std::to_string(deadline_ms) + ")");
+  }
+  if (retries < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::retries must be >= 0 (got " +
+        std::to_string(retries) + ")");
+  }
+  return supervisor.Validate();
+}
+
+ConversionService::ConversionService(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<WorkerPool>(options_.jobs)) {}
+
+Result<std::unique_ptr<ConversionService>> ConversionService::Create(
+    Schema source, std::vector<const Transformation*> plan,
+    ServiceOptions options) {
+  DBPC_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<ConversionService> service(
+      new ConversionService(std::move(options)));
+  service->options_.supervisor.metrics = &service->metrics_;
+  DBPC_ASSIGN_OR_RETURN(
+      ConversionSupervisor supervisor,
+      ConversionSupervisor::Create(std::move(source), std::move(plan),
+                                   service->options_.supervisor));
+  service->supervisor_ =
+      std::make_unique<ConversionSupervisor>(std::move(supervisor));
+  return service;
+}
+
+PipelineOutcome ConversionService::RunOne(const Program& program) {
+  const uint64_t deadline_us =
+      static_cast<uint64_t>(options_.deadline_ms) * 1000;
+  const int attempts = 1 + options_.retries;
+  std::string diagnostic;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) metrics_.GetCounter("service.retries")->Increment();
+    auto start = std::chrono::steady_clock::now();
+    Result<PipelineOutcome> result = [&]() -> Result<PipelineOutcome> {
+      try {
+        if (options_.pipeline_override) {
+          return options_.pipeline_override(program);
+        }
+        return supervisor_->ConvertProgram(program);
+      } catch (const std::exception& e) {
+        metrics_.GetCounter("service.exceptions")->Increment();
+        return Status::Internal(std::string("conversion threw: ") + e.what());
+      } catch (...) {
+        metrics_.GetCounter("service.exceptions")->Increment();
+        return Status::Internal("conversion threw a non-standard exception");
+      }
+    }();
+    uint64_t elapsed_us = ElapsedMicros(start);
+    bool over_deadline = deadline_us > 0 && elapsed_us > deadline_us;
+    if (result.ok() && !over_deadline) {
+      metrics_.GetHistogram("program.total_us")->Record(elapsed_us);
+      PipelineOutcome outcome = std::move(result).value();
+      if (outcome.accepted) {
+        // The Program Generator stage: emit target source once so its cost
+        // is part of the pipeline metrics.
+        Histogram::Timer timer(metrics_.GetHistogram("stage.generate_us"));
+        std::string text = GenerateCplSource(outcome.conversion.converted);
+        timer.Stop();
+        metrics_.GetCounter("generator.bytes")->Increment(text.size());
+      }
+      return outcome;
+    }
+    if (over_deadline) {
+      metrics_.GetCounter("service.deadline_exceeded")->Increment();
+      diagnostic = "deadline of " + std::to_string(options_.deadline_ms) +
+                   "ms exceeded (attempt took " +
+                   std::to_string(elapsed_us / 1000) + "ms)";
+    } else {
+      diagnostic = result.status().ToString();
+    }
+  }
+  metrics_.GetCounter("service.degraded")->Increment();
+  return DegradedOutcome(
+      program, diagnostic + " after " + std::to_string(attempts) +
+                   (attempts == 1 ? " attempt" : " attempts"));
+}
+
+Result<SystemConversionReport> ConversionService::ConvertSystem(
+    const std::vector<Program>& programs) {
+  // Workers fill per-program slots; the report is assembled in input order
+  // afterwards, so completion order never shows in the output.
+  std::vector<PipelineOutcome> slots(programs.size());
+  if (options_.jobs == 1) {
+    // Run on the caller's thread: jobs=1 is the reference serial mode.
+    for (size_t i = 0; i < programs.size(); ++i) {
+      slots[i] = RunOne(programs[i]);
+    }
+  } else {
+    for (size_t i = 0; i < programs.size(); ++i) {
+      pool_->Submit([this, &programs, &slots, i] {
+        slots[i] = RunOne(programs[i]);
+      });
+    }
+    pool_->Wait();
+  }
+
+  SystemConversionReport report;
+  for (PipelineOutcome& outcome : slots) {
+    switch (outcome.classification) {
+      case Convertibility::kAutomatic:
+        ++report.automatic;
+        metrics_.GetCounter("programs.automatic")->Increment();
+        break;
+      case Convertibility::kNeedsAnalyst:
+        ++report.needs_analyst;
+        metrics_.GetCounter("programs.needs_analyst")->Increment();
+        break;
+      case Convertibility::kNotConvertible:
+        ++report.refused;
+        metrics_.GetCounter("programs.refused")->Increment();
+        break;
+    }
+    if (outcome.accepted) {
+      ++report.accepted;
+      metrics_.GetCounter("programs.accepted")->Increment();
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  metrics_.GetCounter("service.batches")->Increment();
+  return report;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,101 @@
+#ifndef DBPC_SERVICE_SERVICE_H_
+#define DBPC_SERVICE_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "service/worker_pool.h"
+#include "supervisor/supervisor.h"
+
+namespace dbpc {
+
+/// Conversion service configuration.
+struct ServiceOptions {
+  /// Worker threads in the pool. Must be >= 1; 1 reproduces the serial
+  /// supervisor behaviour exactly.
+  int jobs = 1;
+  /// Per-program soft deadline in milliseconds; 0 disables. The deadline is
+  /// enforced cooperatively: it is checked after each conversion attempt,
+  /// so a runaway program occupies its worker until the attempt finishes,
+  /// but the batch still completes and the program degrades to refused.
+  int deadline_ms = 0;
+  /// Extra attempts after a throw, internal error or deadline overrun
+  /// before the program degrades to refused.
+  int retries = 1;
+  /// The Figure 4.1 pipeline configuration. `supervisor.metrics` is
+  /// overwritten by the service with its own registry. An analyst policy,
+  /// if set, is invoked from worker threads and must be thread-safe.
+  SupervisorOptions supervisor;
+  /// Test seam: replaces ConversionSupervisor::ConvertProgram for every
+  /// program when set (used to inject slow / throwing pipelines).
+  std::function<Result<PipelineOutcome>(const Program&)> pipeline_override;
+
+  /// Rejects nonsensical configurations (jobs == 0, negative deadline or
+  /// retry budget, invalid supervisor options) with a structured error.
+  /// Called at service entry (ConversionService::Create).
+  Status Validate() const;
+};
+
+/// Batch conversion of an application system over a worker pool.
+///
+/// The paper frames conversion as a whole-system batch job ("a database
+/// application system is converted when each program actually existing in
+/// the source system has been converted"); this service runs that batch
+/// concurrently while keeping the supervisor's exact per-program semantics:
+///
+///  - Deterministic reports: `ConvertSystem` output order matches input
+///    order regardless of completion order, so a parallel run's report is
+///    byte-identical to the serial one.
+///  - Degradation instead of abort: a program whose conversion throws,
+///    fails internally or overruns the deadline is retried
+///    (`ServiceOptions::retries`) and then reported as refused with a
+///    diagnostic note; the rest of the batch is unaffected.
+///  - Observability: a `MetricsRegistry` accumulates per-stage latency
+///    histograms (analyze / convert / optimize / generate), classification
+///    counters and analyst/optimizer/degradation activity across batches,
+///    snapshotable to JSON.
+class ConversionService {
+ public:
+  /// Validates `options` and builds the pipeline. Transformations must
+  /// outlive the service.
+  static Result<std::unique_ptr<ConversionService>> Create(
+      Schema source, std::vector<const Transformation*> plan,
+      ServiceOptions options = {});
+
+  /// Converts every program of an application system on the worker pool.
+  /// Never fails for per-program reasons (they degrade to refused); the
+  /// Result shape is kept for future batch-level failure modes.
+  Result<SystemConversionReport> ConvertSystem(
+      const std::vector<Program>& programs);
+
+  /// Cumulative metrics across every ConvertSystem call on this service.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The underlying serial pipeline (for database translation, target
+  /// schema access and single-program conversion).
+  const ConversionSupervisor& supervisor() const { return *supervisor_; }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  ConversionService(ServiceOptions options);
+
+  /// Runs one program through the pipeline with retry + degradation;
+  /// never throws.
+  PipelineOutcome RunOne(const Program& program);
+
+  ServiceOptions options_;
+  MetricsRegistry metrics_;
+  /// unique_ptr: the supervisor is created after metrics_ so its options
+  /// can point at the registry.
+  std::unique_ptr<ConversionSupervisor> supervisor_;
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_SERVICE_SERVICE_H_

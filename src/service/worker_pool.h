@@ -1,0 +1,47 @@
+#ifndef DBPC_SERVICE_WORKER_POOL_H_
+#define DBPC_SERVICE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbpc {
+
+/// A fixed-size pool of worker threads draining a shared FIFO work queue.
+/// Tasks must not throw (the conversion service wraps every fallible stage
+/// in its own try/catch). The destructor drains the queue and joins.
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task for any idle worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  ///< queued + currently executing tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_SERVICE_WORKER_POOL_H_

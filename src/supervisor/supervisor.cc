@@ -1,5 +1,7 @@
 #include "supervisor/supervisor.h"
 
+#include <optional>
+
 namespace dbpc {
 
 AnalystPolicy ApproveAllAnalyst() {
@@ -10,9 +12,24 @@ AnalystPolicy RejectAllAnalyst() {
   return [](const std::string&) { return false; };
 }
 
+Status SupervisorOptions::Validate() const {
+  if (mode == AnalystMode::kAssisted && !analyst) {
+    return Status::InvalidArgument(
+        "assisted mode requires an analyst policy (SupervisorOptions::analyst "
+        "is unset)");
+  }
+  if (mode == AnalystMode::kStrict && analyst) {
+    return Status::InvalidArgument(
+        "strict mode never consults the analyst, but an analyst policy is "
+        "set; drop the policy or use AnalystMode::kAuto");
+  }
+  return Status::OK();
+}
+
 Result<ConversionSupervisor> ConversionSupervisor::Create(
     Schema source, std::vector<const Transformation*> plan,
     SupervisorOptions options) {
+  DBPC_RETURN_IF_ERROR(options.Validate());
   DBPC_ASSIGN_OR_RETURN(
       ProgramConverter converter,
       ProgramConverter::Create(std::move(source), plan, options.analyzer));
@@ -26,9 +43,20 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
   DBPC_ASSIGN_OR_RETURN(outcome.conversion, converter_.Convert(program));
   outcome.classification = outcome.conversion.outcome;
 
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics != nullptr) {
+    metrics->GetHistogram("stage.analyze_us")
+        ->Record(outcome.conversion.analyze_micros);
+    metrics->GetHistogram("stage.convert_us")
+        ->Record(outcome.conversion.convert_micros);
+  }
+  const bool consult_analyst =
+      options_.mode != AnalystMode::kStrict && options_.analyst != nullptr;
+
   switch (outcome.classification) {
     case Convertibility::kNotConvertible:
       outcome.accepted = false;
+      RecordOutcomeMetrics(outcome);
       return outcome;
     case Convertibility::kAutomatic:
       outcome.accepted = true;
@@ -37,8 +65,7 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
       // One question per analyst-relevant finding; all must be approved.
       bool all_approved = true;
       auto ask = [&](const std::string& question) {
-        bool answer =
-            options_.analyst ? options_.analyst(question) : false;
+        bool answer = consult_analyst ? options_.analyst(question) : false;
         outcome.analyst_log.emplace_back(question, answer);
         if (!answer) all_approved = false;
       };
@@ -62,11 +89,39 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
   }
 
   if (outcome.accepted && options_.run_optimizer) {
+    std::optional<Histogram::Timer> timer;
+    if (metrics != nullptr) {
+      timer.emplace(metrics->GetHistogram("stage.optimize_us"));
+    }
     DBPC_RETURN_IF_ERROR(OptimizeProgram(converter_.target_schema(),
                                          &outcome.conversion.converted,
                                          &outcome.optimizer_stats));
   }
+  RecordOutcomeMetrics(outcome);
   return outcome;
+}
+
+// Classification counters (programs.*) are deliberately not recorded here:
+// the conversion service retries failed attempts, and only it knows which
+// attempt's outcome is final.
+void ConversionSupervisor::RecordOutcomeMetrics(
+    const PipelineOutcome& outcome) const {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) return;
+  if (!outcome.analyst_log.empty()) {
+    metrics->GetCounter("analyst.questions")
+        ->Increment(outcome.analyst_log.size());
+  }
+  if (outcome.optimizer_stats.predicates_pushed > 0) {
+    metrics->GetCounter("optimizer.predicates_pushed")
+        ->Increment(
+            static_cast<uint64_t>(outcome.optimizer_stats.predicates_pushed));
+  }
+  if (outcome.optimizer_stats.sorts_removed > 0) {
+    metrics->GetCounter("optimizer.sorts_removed")
+        ->Increment(
+            static_cast<uint64_t>(outcome.optimizer_stats.sorts_removed));
+  }
 }
 
 std::string SystemConversionReport::ToText() const {

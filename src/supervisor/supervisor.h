@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "convert/converter.h"
 #include "optimize/optimizer.h"
 
@@ -20,14 +21,38 @@ using AnalystPolicy = std::function<bool(const std::string& question)>;
 AnalystPolicy ApproveAllAnalyst();
 AnalystPolicy RejectAllAnalyst();
 
+/// Whether the Conversion Analyst participates in the pipeline.
+enum class AnalystMode {
+  /// Assisted iff an analyst policy is set (the historical default).
+  kAuto,
+  /// Never consult the analyst; only kAutomatic conversions are accepted.
+  kStrict,
+  /// An analyst policy is required; Validate() rejects the options
+  /// otherwise.
+  kAssisted,
+};
+
 /// Supervisor configuration.
 struct SupervisorOptions {
   bool run_optimizer = true;
+  AnalystMode mode = AnalystMode::kAuto;
   /// Null behaves like RejectAllAnalyst(): only kAutomatic conversions are
-  /// accepted.
+  /// accepted. When conversions run on several worker threads
+  /// (service/service.h) the policy is invoked concurrently and must be
+  /// thread-safe.
   AnalystPolicy analyst;
   /// Program Analyzer configuration (lifting ablation switch).
   AnalyzerOptions analyzer;
+  /// When set, the pipeline records per-stage latency histograms
+  /// (stage.analyze_us / stage.convert_us / stage.optimize_us),
+  /// classification counters (programs.*) and analyst/optimizer activity
+  /// counters. The registry must outlive the supervisor.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Rejects nonsensical configurations with a structured error instead of
+  /// letting the pipeline silently misbehave. Called at pipeline entry
+  /// (ConversionSupervisor::Create).
+  Status Validate() const;
 };
 
 /// Outcome of the full Figure 4.1 pipeline for one program.
@@ -92,6 +117,8 @@ class ConversionSupervisor {
   }
 
  private:
+  void RecordOutcomeMetrics(const PipelineOutcome& outcome) const;
+
   ConversionSupervisor(ProgramConverter converter,
                        std::vector<const Transformation*> plan,
                        SupervisorOptions options)

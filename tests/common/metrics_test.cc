@@ -1,0 +1,144 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dbpc {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumMicros(), 0u);
+  EXPECT_EQ(h.MinMicros(), 0u);
+  EXPECT_EQ(h.MaxMicros(), 0u);
+  EXPECT_EQ(h.MeanMicros(), 0.0);
+  EXPECT_EQ(h.PercentileMicros(50), 0u);
+}
+
+TEST(HistogramTest, RecordsSummaryStatistics) {
+  Histogram h;
+  h.Record(1);
+  h.Record(10);
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumMicros(), 111u);
+  EXPECT_EQ(h.MinMicros(), 1u);
+  EXPECT_EQ(h.MaxMicros(), 100u);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 37.0);
+}
+
+TEST(HistogramTest, BucketsArePowersOfTwo) {
+  Histogram h;
+  h.Record(0);    // bucket 0: [0, 2)
+  h.Record(1);    // bucket 0
+  h.Record(2);    // bucket 1: [2, 4)
+  h.Record(3);    // bucket 1
+  h.Record(4);    // bucket 2: [4, 8)
+  h.Record(500);  // bucket 8: [256, 512)
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(8), 1u);
+}
+
+TEST(HistogramTest, HugeSamplesLandInLastBucket) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.BucketCount(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.MaxMicros(), UINT64_MAX);
+}
+
+TEST(HistogramTest, PercentileIsBucketUpperBoundCappedAtMax) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(1);
+  h.Record(1000);
+  // p50 falls in the [0,2) bucket; p99.9 reaches the 1000us sample, whose
+  // bucket upper bound (1024) is capped at the observed max.
+  EXPECT_EQ(h.PercentileMicros(50), 2u);
+  EXPECT_EQ(h.PercentileMicros(99.9), 1000u);
+}
+
+TEST(HistogramTest, TimerRecordsOneSample) {
+  Histogram h;
+  { Histogram::Timer timer(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+  Histogram::Timer timer(&h);
+  timer.Stop();
+  timer.Stop();  // idempotent
+  EXPECT_EQ(h.Count(), 2u);
+}
+
+TEST(MetricsRegistryTest, NamesAreStableAndDistinct) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("a");
+  Counter* b = registry.GetCounter("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, registry.GetCounter("a"));
+  EXPECT_NE(static_cast<void*>(registry.GetHistogram("a")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Increment(3);
+  registry.GetCounter("alpha")->Increment();
+  registry.GetHistogram("lat")->Record(5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"alpha\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"zeta\": 3"), std::string::npos) << json;
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\"")) << json;
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1, \"sum_us\": 5"),
+            std::string::npos)
+      << json;
+  // Snapshotting twice without activity is deterministic.
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(7);
+  registry.GetHistogram("h")->Record(7);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0u);
+  EXPECT_NE(registry.ToJson().find("\"c\": 0"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("shared.counter");
+      Histogram* histogram = registry.GetHistogram("shared.histogram");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Record(static_cast<uint64_t>(i % 1024));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->Value(),
+            uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("shared.histogram")->Count(),
+            uint64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,80 @@
+#include "service/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace dbpc {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryTask) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(WorkerPoolTest, AtLeastOneThreadEvenWhenAskedForZero) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPoolTest, WaitIsReusableAcrossRounds) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(ran.load(), (round + 1) * 10);
+  }
+}
+
+TEST(WorkerPoolTest, WaitWithNoTasksReturnsImmediately) {
+  WorkerPool pool(2);
+  pool.Wait();
+}
+
+TEST(WorkerPoolTest, TasksRunConcurrently) {
+  // Two tasks that each block until the other has started can only finish
+  // when two workers run them at the same time.
+  WorkerPool pool(2);
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&started] {
+      started.fetch_add(1);
+      while (started.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(started.load(), 2);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -1,0 +1,27 @@
+#!/bin/sh
+# One-command verification: the tier-1 build + test suite, then the
+# concurrency-sensitive service tests again under ThreadSanitizer.
+#
+#   tools/check.sh [jobs]
+#
+# Build trees: build/ (plain) and build-tsan/ (-DDBPC_SANITIZE=thread).
+# The sanitizer matrix also accepts address and undefined; see the
+# DBPC_SANITIZE option in the top-level CMakeLists.txt.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== tier-1: configure + build + ctest (build/, ${JOBS} jobs) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
+cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target service_test worker_pool_test metrics_test
+(cd build-tsan/tests/service && ./worker_pool_test && ./service_test)
+(cd build-tsan/tests/common && ./metrics_test)
+
+echo "== check.sh: all green =="

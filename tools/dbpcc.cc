@@ -12,6 +12,13 @@
 // Flags:
 //   --schema <file>     source schema (required)
 //   --plan <file>       restructuring plan (required)
+//   --jobs <n>          worker threads for the conversion batch (default 1;
+//                       the report is identical for any job count)
+//   --deadline-ms <n>   per-program soft deadline; an overrunning program
+//                       degrades to refused instead of stalling the batch
+//   --metrics-json <f>  write a metrics snapshot (per-stage latency
+//                       histograms, classification counters) to <f>;
+//                       "-" writes to stderr
 //   --strict            reject analyst-level conversions (default: an
 //                       approve-all analyst stands in for the interactive
 //                       Conversion Analyst)
@@ -29,18 +36,15 @@
 // or input errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "analyze/advisor.h"
-#include "engine/textio.h"
-#include "generate/generator.h"
-#include "lang/parser.h"
-#include "restructure/plan_parser.h"
-#include "schema/ddl_parser.h"
-#include "supervisor/supervisor.h"
+#include "api/dbpc.h"
 
 namespace {
 
@@ -48,7 +52,8 @@ using namespace dbpc;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dbpcc --schema <ddl> --plan <plan> [--strict] "
+               "usage: dbpcc --schema <ddl> --plan <plan> [--jobs <n>] "
+               "[--deadline-ms <n>] [--metrics-json <file>] [--strict] "
                "[--no-optimizer] [--emit cpl|codasyl|sequel] [--target-ddl] "
                "<program>...\n");
   return 2;
@@ -78,6 +83,9 @@ int main(int argc, char** argv) {
   bool optimizer = true;
   bool target_ddl = false;
   bool advise = false;
+  int jobs = 1;
+  int deadline_ms = 0;
+  std::string metrics_json_path;
   std::string data_path;
   std::string data_out_path;
   std::vector<std::string> program_paths;
@@ -90,6 +98,12 @@ int main(int argc, char** argv) {
       plan_path = argv[++i];
     } else if (arg == "--emit" && i + 1 < argc) {
       emit = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--no-optimizer") {
@@ -124,12 +138,20 @@ int main(int argc, char** argv) {
   Result<RestructuringPlan> plan = ParsePlan(*plan_text);
   if (!plan.ok()) return Fail(plan.status(), plan_path);
 
-  SupervisorOptions options;
-  options.run_optimizer = optimizer;
-  if (!strict) options.analyst = ApproveAllAnalyst();
-  Result<ConversionSupervisor> supervisor =
-      ConversionSupervisor::Create(*schema, plan->View(), options);
-  if (!supervisor.ok()) return Fail(supervisor.status(), "plan application");
+  ServiceOptions options;
+  options.jobs = jobs;
+  options.deadline_ms = deadline_ms;
+  options.supervisor.run_optimizer = optimizer;
+  if (strict) {
+    options.supervisor.mode = AnalystMode::kStrict;
+  } else {
+    options.supervisor.mode = AnalystMode::kAssisted;
+    options.supervisor.analyst = ApproveAllAnalyst();
+  }
+  Result<std::unique_ptr<ConversionService>> service =
+      ConversionService::Create(*schema, plan->View(), options);
+  if (!service.ok()) return Fail(service.status(), "service setup");
+  const ConversionSupervisor& supervisor = (*service)->supervisor();
 
   std::vector<Program> programs;
   for (const std::string& path : program_paths) {
@@ -140,7 +162,7 @@ int main(int argc, char** argv) {
     programs.push_back(std::move(program).value());
   }
 
-  Result<SystemConversionReport> report = supervisor->ConvertSystem(programs);
+  Result<SystemConversionReport> report = (*service)->ConvertSystem(programs);
   if (!report.ok()) return Fail(report.status(), "conversion");
 
   if (advise) {
@@ -159,7 +181,7 @@ int main(int argc, char** argv) {
     if (!dump.ok()) return Fail(dump.status(), data_path);
     Result<Database> source_db = LoadDatabaseText(*schema, *dump);
     if (!source_db.ok()) return Fail(source_db.status(), data_path);
-    Result<Database> target_db = supervisor->TranslateDatabase(*source_db);
+    Result<Database> target_db = supervisor.TranslateDatabase(*source_db);
     if (!target_db.ok()) return Fail(target_db.status(), "data translation");
     std::string out_path =
         data_out_path.empty() ? data_path + ".out" : data_out_path;
@@ -172,7 +194,7 @@ int main(int argc, char** argv) {
 
   if (target_ddl) {
     std::printf("-- restructured schema\n%s\n",
-                supervisor->target_schema().ToDdl().c_str());
+                supervisor.target_schema().ToDdl().c_str());
   }
 
   for (const PipelineOutcome& outcome : report->outcomes) {
@@ -187,14 +209,13 @@ int main(int argc, char** argv) {
                   GenerateCplSource(outcome.conversion.converted).c_str());
     } else if (emit == "codasyl") {
       Result<LoweringResult> lowered = LowerToNavigational(
-          supervisor->target_schema(), outcome.conversion.converted);
+          supervisor.target_schema(), outcome.conversion.converted);
       if (!lowered.ok()) return Fail(lowered.status(), "lowering");
       std::printf("%s\n", lowered->program.ToSource().c_str());
     } else {  // sequel
       std::printf("-- program %s retrievals as SEQUEL\n",
                   outcome.conversion.converted.name.c_str());
       int index = 0;
-      Status walk_status = Status::OK();
       std::function<void(const std::vector<Stmt>&)> walk =
           [&](const std::vector<Stmt>& body) {
             for (const Stmt& s : body) {
@@ -202,7 +223,7 @@ int main(int argc, char** argv) {
                    s.kind == StmtKind::kRetrieve) &&
                   s.retrieval.has_value()) {
                 Result<std::string> sql = GenerateSequel(
-                    supervisor->target_schema(), *s.retrieval);
+                    supervisor.target_schema(), *s.retrieval);
                 if (sql.ok()) {
                   std::printf("-- retrieval %d\n%s;\n", ++index,
                               sql->c_str());
@@ -216,7 +237,20 @@ int main(int argc, char** argv) {
             }
           };
       walk(outcome.conversion.converted.body);
-      (void)walk_status;
+    }
+  }
+
+  if (!metrics_json_path.empty()) {
+    std::string snapshot = (*service)->metrics().ToJson();
+    if (metrics_json_path == "-") {
+      std::fprintf(stderr, "%s", snapshot.c_str());
+    } else {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        return Fail(Status::NotFound("cannot write " + metrics_json_path),
+                    metrics_json_path);
+      }
+      out << snapshot;
     }
   }
 
