@@ -27,6 +27,8 @@
 ///   Cross-model      LowerToNavigational, GenerateSequel, hierarchical
 ///                    and relational backends, emulation bridge
 ///   Workloads        GenerateCompanyCorpus (synthetic application systems)
+///   Fuzzing          GenerateFuzzCase, RunFuzzCase, RunFuzz, ShrinkFuzzCase,
+///                    ReplayRepro (differential trace-equivalence harness)
 
 #include "common/metrics.h"
 #include "common/result.h"
@@ -61,5 +63,7 @@
 #include "relational/relational.h"
 
 #include "corpus/corpus.h"
+
+#include "fuzz/fuzz.h"
 
 #endif  // DBPC_API_DBPC_H_

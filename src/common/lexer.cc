@@ -67,12 +67,21 @@ Result<std::vector<Token>> Lex(const std::string& input) {
       Token t;
       t.text = input.substr(start, i - start);
       t.line = line;
-      if (is_float) {
-        t.kind = TokenKind::kFloat;
-        t.float_value = std::stod(t.text);
-      } else {
-        t.kind = TokenKind::kInteger;
-        t.int_value = std::stoll(t.text);
+      // stoll/stod throw std::out_of_range on oversized literals (e.g. a
+      // 20-digit integer); surface that as a parse error, not an exception
+      // escaping every parser entry point.
+      try {
+        if (is_float) {
+          t.kind = TokenKind::kFloat;
+          t.float_value = std::stod(t.text);
+        } else {
+          t.kind = TokenKind::kInteger;
+          t.int_value = std::stoll(t.text);
+        }
+      } catch (const std::exception&) {
+        return Status::ParseError("numeric literal '" + t.text +
+                                  "' out of range at line " +
+                                  std::to_string(line));
       }
       out.push_back(std::move(t));
       continue;

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace dbpc {
@@ -17,6 +18,41 @@ int BucketIndex(uint64_t micros) {
 }
 
 uint64_t BucketUpperBound(int bucket) { return uint64_t{2} << bucket; }
+
+/// JSON string escaping for metric names (program/stage names flow in from
+/// user sources and may contain quotes, backslashes or control bytes).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// Lowers `candidate` into an atomic minimum (CAS loop; relaxed is enough —
 /// the value is only read by snapshots).
@@ -105,7 +141,7 @@ std::string MetricsRegistry::ToJson() const {
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
         << "\": " << counter->Value();
     first = false;
   }
@@ -114,7 +150,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     out << (first ? "\n" : ",\n");
     first = false;
-    out << "    \"" << name << "\": {\"count\": " << h->Count()
+    out << "    \"" << EscapeJson(name) << "\": {\"count\": " << h->Count()
         << ", \"sum_us\": " << h->SumMicros()
         << ", \"min_us\": " << h->MinMicros()
         << ", \"max_us\": " << h->MaxMicros() << ", \"mean_us\": "

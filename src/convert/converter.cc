@@ -126,10 +126,15 @@ Result<ConversionResult> ProgramConverter::Convert(
     return result;
   }
 
+  // The analyzer names order-dependent sets as of the source schema; keep
+  // the list current as plan steps rename or split sets so later steps can
+  // still find theirs in it.
+  std::vector<std::string> order_sets = result.analysis.order_dependent_sets;
   for (size_t i = 0; i < plan_.size(); ++i) {
-    Status s = plan_[i]->RewriteProgram(
-        schemas_[i], schemas_[i + 1], result.analysis.order_dependent_sets,
-        &result.converted, &result.notes);
+    Status s = plan_[i]->RewriteProgram(schemas_[i], schemas_[i + 1],
+                                        order_sets, &result.converted,
+                                        &result.notes);
+    plan_[i]->MapSetNames(&order_sets);
     if (!s.ok()) {
       if (s.code() == StatusCode::kNeedsAnalyst) {
         result.notes.push_back("step '" + plan_[i]->Name() +

@@ -14,81 +14,45 @@ Result<DmlEmulator> DmlEmulator::Create(
   return DmlEmulator(std::move(converter));
 }
 
-namespace {
-
-/// The key list reproducing a SYSTEM-rooted source path's full result
-/// order: the concatenated sort keys of every traversed sorted set, usable
-/// only when each key is readable (actually or virtually) on the target
-/// record type. Unlike NaturalOrderKeys this also covers grouped orders
-/// (outer set keys prefix the inner ones). Returns nullopt when any
-/// traversed set is chronological or a key is not reachable.
-std::optional<std::vector<std::string>> SourceOrderKeys(
-    const Schema& schema, const FindQuery& query) {
-  if (!query.starts_at_system()) return std::nullopt;
-  const RecordTypeDef* target = schema.FindRecordType(query.target_type);
-  if (target == nullptr) return std::nullopt;
-  std::vector<std::string> keys;
-  for (const PathStep& step : query.steps) {
-    const SetDef* set = schema.FindSet(step.name);
-    if (set == nullptr) continue;  // record step
-    if (set->ordering != SetOrdering::kSortedByKeys) return std::nullopt;
-    for (const std::string& key : set->keys) {
-      if (!target->HasField(key)) return std::nullopt;
-      keys.push_back(key);
-    }
-  }
-  if (keys.empty()) return std::nullopt;
-  return keys;
-}
-
-}  // namespace
-
 Result<DmlEmulator::EmulationRun> DmlEmulator::Run(
     const Program& source_program, Database* target_db,
     const IoScript& script) const {
   EmulationRun out;
 
   // Per-call order reconstruction: the emulation layer must hand records
-  // back in the order the source database would have produced, so record
-  // the natural order of every source retrieval before mapping.
+  // back in the order the source database would have produced. Make that
+  // order explicit as a SORT on the *source* program before mapping, so
+  // later plan steps (field/record renames, path splices) rewrite the sort
+  // keys along with everything else. Forcing the sort after mapping would
+  // leave source-schema field names in a target-schema program.
   ProgramAnalyzer analyzer(converter_.source_schema());
   DBPC_ASSIGN_OR_RETURN(Analysis source_analysis,
                         analyzer.Analyze(source_program));
-  std::vector<std::optional<std::vector<std::string>>> source_orders;
-  {
-    Program lifted = source_analysis.lifted;
-    rewrite::ForEachRetrievalMut(&lifted, [&](Retrieval* r) {
-      FindQuery q = r->query;
-      if (ResolveFindQuery(converter_.source_schema(), &q).ok()) {
-        source_orders.push_back(SourceOrderKeys(converter_.source_schema(), q));
-      } else {
-        source_orders.push_back(std::nullopt);
-      }
-    });
-  }
+  Program prepared = source_analysis.lifted;
+  rewrite::ForEachRetrievalMut(&prepared, [&](Retrieval* r) {
+    if (!r->sort_on.empty()) return;  // explicit order already
+    FindQuery q = r->query;
+    if (!ResolveFindQuery(converter_.source_schema(), &q).ok()) return;
+    std::optional<std::vector<std::string>> keys =
+        rewrite::PathOrderKeys(converter_.source_schema(), q, "");
+    // The SORT restates the path's natural order, so the source program's
+    // behaviour is unchanged; emulation mimics the source behaviour at the
+    // call level and cannot know which orders matter.
+    if (keys.has_value() && !keys->empty()) {
+      r->sort_on = *keys;
+      ++out.reconstruction_sorts;
+    }
+  });
 
   // The mapping work happens on EVERY run — that is the point of the
   // strategy and of this accounting.
   DBPC_ASSIGN_OR_RETURN(ConversionResult mapped,
-                        converter_.Convert(source_program));
+                        converter_.Convert(prepared));
   if (mapped.outcome == Convertibility::kNotConvertible) {
     return Status::NotConvertible(
         "emulation layer cannot map a run-time-variable program");
   }
   out.mapping_statements = mapped.converted.StatementCount();
-
-  // Force order reconstruction on every retrieval that has a known source
-  // order and no explicit SORT after mapping (emulation mimics the source
-  // behaviour at the call level; it cannot know which orders matter).
-  size_t index = 0;
-  rewrite::ForEachRetrievalMut(&mapped.converted, [&](Retrieval* r) {
-    if (index < source_orders.size() && r->sort_on.empty() &&
-        source_orders[index].has_value()) {
-      r->sort_on = *source_orders[index];
-      ++out.reconstruction_sorts;
-    }
-    ++index;
-  });
 
   Interpreter interp(target_db, script);
   DBPC_ASSIGN_OR_RETURN(out.run, interp.Run(mapped.converted));

@@ -1,6 +1,8 @@
 #include "engine/textio.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/lexer.h"
 #include "common/string_util.h"
@@ -45,43 +47,66 @@ Result<std::vector<std::string>> TopoTypes(const Schema& schema) {
 }
 
 /// Records of `type` in an order that preserves chronological-set member
-/// sequences on reload.
+/// sequences on reload. A record may belong to several chronological sets
+/// (e.g. OFFERING in both CRS-OFF and SEM-OFF), and the loader replays
+/// every membership in dump order, so the emitted order must be consistent
+/// with every occurrence's member sequence at once: a topological sort over
+/// the successor edges of each occurrence, storage order breaking ties.
 std::vector<RecordId> OrderedRecords(const Database& db,
                                      const std::string& type) {
-  const SetDef* chrono = nullptr;
+  std::vector<const SetDef*> chronos;
   for (const SetDef* s : db.schema().SetsWithMember(type)) {
-    if (s->ordering == SetOrdering::kChronological) {
-      chrono = s;
-      break;
-    }
+    if (s->ordering == SetOrdering::kChronological) chronos.push_back(s);
   }
   std::vector<RecordId> all = db.AllOfType(type);
-  if (chrono == nullptr) return all;
-  std::vector<RecordId> ordered;
-  std::map<RecordId, bool> seen;
-  std::vector<RecordId> owners =
-      chrono->system_owned()
-          ? std::vector<RecordId>{kSystemOwner}
-          : db.AllOfType(ToUpper(chrono->owner));
-  for (RecordId owner : owners) {
-    for (RecordId m : db.Members(ToUpper(chrono->name), owner)) {
-      ordered.push_back(m);
-      seen[m] = true;
+  if (chronos.empty()) return all;
+  std::map<RecordId, std::vector<RecordId>> successors;
+  std::map<RecordId, int> indegree;
+  for (RecordId id : all) indegree[id] = 0;
+  for (const SetDef* chrono : chronos) {
+    std::vector<RecordId> owners =
+        chrono->system_owned()
+            ? std::vector<RecordId>{kSystemOwner}
+            : db.AllOfType(ToUpper(chrono->owner));
+    for (RecordId owner : owners) {
+      std::vector<RecordId> members = db.Members(ToUpper(chrono->name), owner);
+      for (size_t i = 1; i < members.size(); ++i) {
+        successors[members[i - 1]].push_back(members[i]);
+        ++indegree[members[i]];
+      }
     }
   }
+  std::vector<RecordId> ordered;
+  std::vector<RecordId> ready;
   for (RecordId id : all) {
-    if (!seen.count(id)) ordered.push_back(id);
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    RecordId id = *it;
+    ready.erase(it);
+    ordered.push_back(id);
+    for (RecordId next : successors[id]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (ordered.size() != all.size()) {
+    // Conflicting chronological orders (only reachable through MANUAL
+    // connects made in opposing sequences); no single emission order can
+    // reproduce both, so fall back to storage order for the remainder.
+    std::set<RecordId> seen(ordered.begin(), ordered.end());
+    for (RecordId id : all) {
+      if (!seen.count(id)) ordered.push_back(id);
+    }
   }
   return ordered;
 }
 
 }  // namespace
 
-std::string DumpDatabaseText(const Database& db) {
+Result<std::string> DumpDatabaseText(const Database& db) {
   std::string out = "DATABASE " + db.schema().name() + ".\n";
-  Result<std::vector<std::string>> order = TopoTypes(db.schema());
-  std::vector<std::string> types =
-      order.ok() ? *order : std::vector<std::string>{};
+  DBPC_ASSIGN_OR_RETURN(std::vector<std::string> types, TopoTypes(db.schema()));
   std::map<RecordId, size_t> seq;
   for (const std::string& type : types) {
     for (RecordId id : OrderedRecords(db, type)) {

@@ -17,8 +17,12 @@ namespace dbpc {
 /// `#<n>` are per-dump sequence numbers (not storage ids); owners are
 /// referenced by their sequence number, and records are emitted in
 /// owner-before-member order so a load can connect as it goes. Member
-/// order within chronological sets is preserved.
-std::string DumpDatabaseText(const Database& db);
+/// order within chronological sets is preserved (across *all*
+/// chronological sets a record belongs to). Fails with kUnsupported when
+/// the schema's owner/member graph is cyclic: no owner-before-member
+/// emission order exists, and silently dropping every record would lose
+/// the database.
+Result<std::string> DumpDatabaseText(const Database& db);
 
 /// Loads a dump produced by DumpDatabaseText into an empty database over
 /// `schema` (which must match the dump's structural expectations; all

@@ -1,0 +1,356 @@
+// The differential driver: parses a case's textual artifacts, runs the
+// source program, converts via each strategy, replays under the identical
+// IoScript and diffs traces.
+
+#include <utility>
+
+#include "bridge/bridge.h"
+#include "emulate/emulator.h"
+#include "engine/textio.h"
+#include "fuzz/fuzz.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+#include "restructure/plan_parser.h"
+#include "schema/ddl_parser.h"
+#include "supervisor/supervisor.h"
+
+namespace dbpc {
+
+const char* FuzzStrategyName(FuzzStrategy s) {
+  switch (s) {
+    case FuzzStrategy::kRewrite:
+      return "rewrite";
+    case FuzzStrategy::kEmulation:
+      return "emulation";
+    case FuzzStrategy::kBridge:
+      return "bridge";
+  }
+  return "unknown";
+}
+
+Result<FuzzStrategy> ParseFuzzStrategyName(const std::string& name) {
+  for (FuzzStrategy s : AllFuzzStrategies()) {
+    if (name == FuzzStrategyName(s)) return s;
+  }
+  return Status::InvalidArgument("unknown strategy '" + name +
+                                 "' (want rewrite, emulation or bridge)");
+}
+
+std::vector<FuzzStrategy> AllFuzzStrategies() {
+  return {FuzzStrategy::kRewrite, FuzzStrategy::kEmulation,
+          FuzzStrategy::kBridge};
+}
+
+namespace {
+
+/// Everything parsed / loaded once per case, shared across strategies.
+struct PreparedCase {
+  Schema source_schema;
+  RestructuringPlan plan;
+  Program program;
+  IoScript script;
+  std::string source_data;  ///< canonical dump, reloaded per strategy run
+};
+
+Result<PreparedCase> Prepare(const FuzzCase& c) {
+  PreparedCase p;
+  DBPC_ASSIGN_OR_RETURN(p.source_schema, ParseDdl(c.ddl));
+  DBPC_ASSIGN_OR_RETURN(p.plan, ParsePlan(c.plan));
+  DBPC_ASSIGN_OR_RETURN(p.program, ParseProgram(c.program));
+  p.script.terminal_input = c.terminal_input;
+  p.source_data = c.data;
+  return p;
+}
+
+/// A fresh source database (both the source run and each strategy mutate
+/// their own copy, so update programs stay comparable).
+Result<Database> LoadSource(const PreparedCase& p) {
+  return LoadDatabaseText(p.source_schema, p.source_data);
+}
+
+Result<Database> LoadTarget(const PreparedCase& p) {
+  DBPC_ASSIGN_OR_RETURN(Database source, LoadSource(p));
+  return TranslateDatabase(source, p.plan.View());
+}
+
+StrategyRun Diff(FuzzStrategy strategy, const Trace& source,
+                 const Trace& target) {
+  StrategyRun out;
+  out.strategy = strategy;
+  ptrdiff_t divergence = Trace::FirstDivergence(source, target);
+  if (divergence < 0) {
+    out.outcome = StrategyOutcome::kEquivalent;
+  } else {
+    out.outcome = StrategyOutcome::kDivergent;
+    out.divergence = divergence;
+    size_t i = static_cast<size_t>(divergence);
+    std::string source_event = i < source.events().size()
+                                   ? source.events()[i].ToString()
+                                   : "<end of trace>";
+    std::string target_event = i < target.events().size()
+                                   ? target.events()[i].ToString()
+                                   : "<end of trace>";
+    out.detail = "traces diverge at event " + std::to_string(divergence) +
+                 ": source " + source_event + " vs converted " + target_event;
+    out.source_trace = source;
+    out.target_trace = target;
+  }
+  return out;
+}
+
+StrategyRun Skip(FuzzStrategy strategy, std::string why) {
+  StrategyRun out;
+  out.strategy = strategy;
+  out.outcome = StrategyOutcome::kSkipped;
+  out.detail = std::move(why);
+  return out;
+}
+
+/// An accepted conversion that then fails to run is itself a divergence:
+/// the source program ran, the converted system did not.
+StrategyRun Broken(FuzzStrategy strategy, const std::string& stage,
+                   const Status& status) {
+  StrategyRun out;
+  out.strategy = strategy;
+  out.outcome = StrategyOutcome::kDivergent;
+  out.detail = stage + ": " + status.ToString();
+  return out;
+}
+
+StrategyRun RunRewrite(const PreparedCase& p, const Trace& source_trace,
+                       const PipelineOutcome& outcome) {
+  Result<Database> target = LoadTarget(p);
+  if (!target.ok()) {
+    return Broken(FuzzStrategy::kRewrite, "translate data", target.status());
+  }
+  Interpreter interp(&*target, p.script);
+  Result<RunResult> run = interp.Run(outcome.conversion.converted);
+  if (!run.ok()) {
+    return Broken(FuzzStrategy::kRewrite, "run converted program",
+                  run.status());
+  }
+  return Diff(FuzzStrategy::kRewrite, source_trace, run->trace);
+}
+
+StrategyRun RunEmulation(const PreparedCase& p, const Trace& source_trace) {
+  Result<DmlEmulator> emulator =
+      DmlEmulator::Create(p.source_schema, p.plan.View());
+  if (!emulator.ok()) {
+    return Skip(FuzzStrategy::kEmulation, emulator.status().ToString());
+  }
+  Result<Database> target = LoadTarget(p);
+  if (!target.ok()) {
+    return Broken(FuzzStrategy::kEmulation, "translate data", target.status());
+  }
+  Result<DmlEmulator::EmulationRun> run =
+      emulator->Run(p.program, &*target, p.script);
+  if (!run.ok()) {
+    // The emulator shares the conversion analysis, so its refusals mirror
+    // the pipeline's; on a case the pipeline accepted, a refusal here is
+    // still a legitimate skip only for kNotConvertible/kUnsupported.
+    if (run.status().code() == StatusCode::kNotConvertible ||
+        run.status().code() == StatusCode::kUnsupported) {
+      return Skip(FuzzStrategy::kEmulation, run.status().ToString());
+    }
+    return Broken(FuzzStrategy::kEmulation, "emulated run", run.status());
+  }
+  return Diff(FuzzStrategy::kEmulation, source_trace, run->run.trace);
+}
+
+StrategyRun RunBridge(const PreparedCase& p, const Trace& source_trace) {
+  Result<BridgeRunner> bridge =
+      BridgeRunner::Create(p.source_schema, p.plan.View());
+  if (!bridge.ok()) {
+    // Housel's condition failed: the plan has no inverse, a bridge cannot
+    // reconstruct the source view. Not a bug.
+    return Skip(FuzzStrategy::kBridge, bridge.status().ToString());
+  }
+  Result<Database> target = LoadTarget(p);
+  if (!target.ok()) {
+    return Broken(FuzzStrategy::kBridge, "translate data", target.status());
+  }
+  Result<BridgeRunner::BridgeRun> run =
+      bridge->Run(p.program, &*target, p.script);
+  if (!run.ok()) {
+    if (run.status().code() == StatusCode::kNotConvertible ||
+        run.status().code() == StatusCode::kUnsupported) {
+      return Skip(FuzzStrategy::kBridge, run.status().ToString());
+    }
+    return Broken(FuzzStrategy::kBridge, "bridge run", run.status());
+  }
+  return Diff(FuzzStrategy::kBridge, source_trace, run->run.trace);
+}
+
+}  // namespace
+
+CaseRun RunFuzzCase(const FuzzCase& c,
+                    const std::vector<FuzzStrategy>& strategies) {
+  CaseRun out;
+  Result<PreparedCase> prepared = Prepare(c);
+  if (!prepared.ok()) {
+    out.setup = prepared.status();
+    return out;
+  }
+
+  // The rewrite pipeline's classification is the comparison gate for every
+  // strategy (the same policy as the property sweep): only kAutomatic
+  // conversions carry an equivalence obligation. NeedsAnalyst/refused cases
+  // still exercise the analysis paths but are tallied as skips.
+  Result<ConversionSupervisor> supervisor = ConversionSupervisor::Create(
+      prepared->source_schema, prepared->plan.View());
+  if (!supervisor.ok()) {
+    out.setup = supervisor.status();
+    return out;
+  }
+  Result<PipelineOutcome> outcome =
+      supervisor->ConvertProgram(prepared->program);
+  if (!outcome.ok()) {
+    out.setup = outcome.status();
+    return out;
+  }
+
+  Result<Database> source_db = LoadSource(*prepared);
+  if (!source_db.ok()) {
+    out.setup = source_db.status();
+    return out;
+  }
+  Interpreter source_interp(&*source_db, prepared->script);
+  Result<RunResult> source_run = source_interp.Run(prepared->program);
+  if (!source_run.ok()) {
+    out.setup = Status(source_run.status().code(),
+                       "source run: " + source_run.status().message());
+    return out;
+  }
+  const Trace& source_trace = source_run->trace;
+
+  bool automatic = outcome->classification == Convertibility::kAutomatic &&
+                   outcome->accepted;
+  for (FuzzStrategy strategy : strategies) {
+    if (!automatic) {
+      out.strategies.push_back(
+          Skip(strategy,
+               std::string("classification: ") +
+                   ConvertibilityName(outcome->classification)));
+      continue;
+    }
+    switch (strategy) {
+      case FuzzStrategy::kRewrite:
+        out.strategies.push_back(RunRewrite(*prepared, source_trace, *outcome));
+        break;
+      case FuzzStrategy::kEmulation:
+        out.strategies.push_back(RunEmulation(*prepared, source_trace));
+        break;
+      case FuzzStrategy::kBridge:
+        out.strategies.push_back(RunBridge(*prepared, source_trace));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string FuzzReport::ToText() const {
+  std::string out = "fuzz: " + std::to_string(iterations) + " iterations, " +
+                    std::to_string(equivalent) + " equivalent, " +
+                    std::to_string(skipped) + " skipped, " +
+                    std::to_string(divergent) + " divergent, " +
+                    std::to_string(setup_errors) + " setup errors\n";
+  for (const FuzzFailure& f : failures) {
+    out += "  seed " + std::to_string(f.seed) + " iteration " +
+           std::to_string(f.iteration) + " [" +
+           FuzzStrategyName(f.strategy) + "] " + f.detail + "\n";
+  }
+  return out;
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  for (int i = 0; i < options.iterations; ++i) {
+    ++report.iterations;
+    // Per-case seed derived by one splitmix64 step so consecutive base
+    // seeds do not produce overlapping case streams.
+    uint64_t case_seed = FuzzRng(options.seed + static_cast<uint64_t>(i)).Next();
+    FuzzCase c = GenerateFuzzCase(case_seed);
+    CaseRun run = RunFuzzCase(c, options.strategies);
+    if (!run.setup.ok()) {
+      ++report.setup_errors;
+      FuzzFailure f;
+      f.seed = case_seed;
+      f.iteration = i;
+      f.divergence = -1;
+      f.detail = "setup: " + run.setup.ToString();
+      f.original = c;
+      f.shrunk = c;
+      if (static_cast<int>(report.failures.size()) < options.max_failures) {
+        report.failures.push_back(std::move(f));
+      }
+      continue;
+    }
+    bool diverged = false;
+    for (const StrategyRun& s : run.strategies) {
+      switch (s.outcome) {
+        case StrategyOutcome::kEquivalent:
+          ++report.equivalent;
+          break;
+        case StrategyOutcome::kSkipped:
+          ++report.skipped;
+          break;
+        case StrategyOutcome::kDivergent: {
+          ++report.divergent;
+          diverged = true;
+          if (static_cast<int>(report.failures.size()) <
+              options.max_failures) {
+            FuzzFailure f;
+            f.seed = case_seed;
+            f.iteration = i;
+            f.strategy = s.strategy;
+            f.divergence = s.divergence;
+            f.detail = s.detail;
+            f.original = c;
+            f.shrunk = options.shrink
+                           ? ShrinkFuzzCase(c, {s.strategy})
+                           : c;
+            report.failures.push_back(std::move(f));
+          }
+          break;
+        }
+      }
+    }
+    if (diverged &&
+        static_cast<int>(report.failures.size()) >= options.max_failures) {
+      break;
+    }
+  }
+  return report;
+}
+
+Status ReplayRepro(const FuzzRepro& repro,
+                   const std::vector<FuzzStrategy>& strategies) {
+  CaseRun run = RunFuzzCase(repro.c, strategies);
+  switch (repro.expect) {
+    case ReproExpectation::kParseError:
+      if (run.setup.ok()) {
+        return Status::Internal(
+            "repro expected a parse error but setup succeeded");
+      }
+      if (run.setup.code() != StatusCode::kParseError) {
+        return Status::Internal("repro expected kParseError, got " +
+                                run.setup.ToString());
+      }
+      return Status::OK();
+    case ReproExpectation::kEquivalent:
+      if (!run.setup.ok()) {
+        return Status::Internal("repro setup failed: " + run.setup.ToString());
+      }
+      for (const StrategyRun& s : run.strategies) {
+        if (s.outcome == StrategyOutcome::kDivergent) {
+          return Status::Internal(std::string("strategy ") +
+                                  FuzzStrategyName(s.strategy) +
+                                  " diverged: " + s.detail);
+        }
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace dbpc

@@ -1,0 +1,684 @@
+// Case generation for the differential fuzzer: a random CODASYL schema, a
+// valid restructuring plan against it, a populated database instance and a
+// type-correct CPL program with scripted inputs — everything emitted as the
+// textual artifacts the framework's own parsers accept, so a case is fully
+// described by five strings and every shrink step can be re-checked by
+// re-parsing.
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "engine/textio.h"
+#include "fuzz/fuzz.h"
+#include "lang/parser.h"
+#include "restructure/plan_parser.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+namespace {
+
+std::string Fmt(const char* format, ...) {
+  char buf[8192];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+[[noreturn]] void GeneratorBug(const std::string& context,
+                               const Status& status,
+                               const std::string& artifact) {
+  std::fprintf(stderr, "fuzz generator bug (%s): %s\n%s\n", context.c_str(),
+               status.ToString().c_str(), artifact.c_str());
+  std::abort();
+}
+
+const std::vector<std::string>& TagPool() {
+  static const std::vector<std::string> pool = {"RED", "BLUE", "GREEN"};
+  return pool;
+}
+
+/// The generated schema plus everything the data/program generators need to
+/// stay type-correct: the chain of record types, their set names, and the
+/// unique key field of each type.
+struct SchemaModel {
+  Schema schema{"FUZZDB"};
+  /// Chain root first: chain[0] owns chain[1] through chain_sets[0], etc.
+  std::vector<std::string> chain;
+  std::vector<std::string> chain_sets;
+  std::string system_set;
+  /// type -> its unique key field name.
+  std::map<std::string, std::string> key_field;
+  /// type -> non-key actual field names.
+  std::map<std::string, std::vector<std::string>> extra_fields;
+  /// type -> virtual field names (parent key seen through the chain set).
+  std::map<std::string, std::vector<std::string>> virtual_fields;
+};
+
+SchemaModel GenerateSchema(FuzzRng* rng) {
+  static const std::vector<std::string> kTypeNames = {"ALPHA", "BRAVO",
+                                                      "CHARLIE"};
+  SchemaModel m;
+  int depth = rng->Range(2, 3);
+  for (int i = 0; i < depth; ++i) m.chain.push_back(kTypeNames[i]);
+  m.system_set = "ALL-" + m.chain[0];
+
+  for (int i = 0; i < depth; ++i) {
+    const std::string& type = m.chain[i];
+    RecordTypeDef rec;
+    rec.name = type;
+    std::string key = type + "-KEY";
+    rec.fields.push_back({.name = key, .type = FieldType::kString,
+                          .pic_width = 8});
+    m.key_field[type] = key;
+    // Every chain member carries a TAG (the grouping-field candidate for
+    // INTRODUCE RECORD) and usually a NUM.
+    std::string tag = type + "-TAG";
+    rec.fields.push_back({.name = tag, .type = FieldType::kString,
+                          .pic_width = 6});
+    m.extra_fields[type].push_back(tag);
+    if (rng->Chance(80)) {
+      std::string num = type + "-NUM";
+      rec.fields.push_back({.name = num, .type = FieldType::kInt,
+                            .pic_width = 4});
+      m.extra_fields[type].push_back(num);
+    }
+    // Children sometimes see the parent's key as a VIRTUAL field (the
+    // EMP.DIV-NAME idiom of Figure 4.3).
+    if (i > 0 && rng->Chance(40)) {
+      const std::string& parent = m.chain[i - 1];
+      FieldDef vf;
+      vf.name = parent + "-KEY";
+      vf.type = FieldType::kString;
+      vf.is_virtual = true;
+      vf.via_set = m.chain[i - 1] + "-" + type;
+      vf.using_field = parent + "-KEY";
+      rec.fields.push_back(vf);
+      m.virtual_fields[type].push_back(vf.name);
+    }
+    Status s = m.schema.AddRecordType(rec);
+    if (!s.ok()) GeneratorBug("add record type", s, type);
+  }
+
+  SetDef system;
+  system.name = m.system_set;
+  system.owner = "SYSTEM";
+  system.member = m.chain[0];
+  if (rng->Chance(80)) {
+    system.ordering = SetOrdering::kSortedByKeys;
+    system.keys = {m.key_field[m.chain[0]]};
+  } else {
+    system.ordering = SetOrdering::kChronological;
+  }
+  Status s = m.schema.AddSet(system);
+  if (!s.ok()) GeneratorBug("add system set", s, system.name);
+
+  for (int i = 0; i + 1 < depth; ++i) {
+    SetDef link;
+    link.name = m.chain[i] + "-" + m.chain[i + 1];
+    link.owner = m.chain[i];
+    link.member = m.chain[i + 1];
+    if (rng->Chance(60)) {
+      link.ordering = SetOrdering::kSortedByKeys;
+      link.keys = {m.key_field[m.chain[i + 1]]};
+    } else {
+      link.ordering = SetOrdering::kChronological;
+    }
+    link.member_characterizes_owner = rng->Chance(25);
+    m.chain_sets.push_back(link.name);
+    s = m.schema.AddSet(link);
+    if (!s.ok()) GeneratorBug("add chain set", s, link.name);
+  }
+
+  s = m.schema.Validate();
+  if (!s.ok()) GeneratorBug("validate schema", s, m.schema.ToDdl());
+  return m;
+}
+
+/// Literal values stored in the generated database, kept so programs can
+/// reference data that actually exists.
+struct DataModel {
+  /// type -> key values stored (in store order).
+  std::map<std::string, std::vector<std::string>> keys;
+  /// tags actually used somewhere.
+  std::vector<std::string> tags;
+};
+
+std::string KeyValue(const std::string& type, int n) {
+  return Fmt("%c%c-%02d", type[0], type[1], n);
+}
+
+void GenerateData(const SchemaModel& m, FuzzRng* rng, FuzzCase* out,
+                  DataModel* data) {
+  Result<Database> db = Database::Create(m.schema);
+  if (!db.ok()) GeneratorBug("create database", db.status(), m.schema.ToDdl());
+
+  std::set<std::string> tags_used;
+  int counter = 0;
+  // Store a small forest: roots, then children per parent down the chain.
+  std::vector<RecordId> parents;
+  for (size_t level = 0; level < m.chain.size(); ++level) {
+    const std::string& type = m.chain[level];
+    std::vector<RecordId> stored;
+    std::vector<RecordId> owners =
+        level == 0 ? std::vector<RecordId>{0} : parents;
+    for (RecordId owner : owners) {
+      int count = level == 0 ? rng->Range(1, 3) : rng->Range(0, 3);
+      // Guarantee at least one record everywhere on the first owner so
+      // generated programs always have data to see.
+      if (count == 0 && owner == owners.front()) count = 1;
+      for (int i = 0; i < count; ++i) {
+        StoreRequest request;
+        request.type = type;
+        std::string key = KeyValue(type, ++counter);
+        request.fields[m.key_field.at(type)] = Value::String(key);
+        for (const std::string& field : m.extra_fields.at(type)) {
+          if (field.ends_with("-TAG")) {
+            std::string tag = rng->Pick(TagPool());
+            tags_used.insert(tag);
+            request.fields[field] = Value::String(tag);
+          } else {
+            request.fields[field] = Value::Int(rng->Range(1, 40));
+          }
+        }
+        if (level > 0) {
+          request.connect[m.chain_sets[level - 1]] = owner;
+        }
+        Result<RecordId> id = db->StoreRecord(request);
+        if (!id.ok()) GeneratorBug("store " + type, id.status(), key);
+        stored.push_back(*id);
+        data->keys[type].push_back(key);
+      }
+    }
+    parents = stored;
+  }
+  data->tags.assign(tags_used.begin(), tags_used.end());
+
+  Result<std::string> dump = DumpDatabaseText(*db);
+  if (!dump.ok()) GeneratorBug("dump database", dump.status(), "");
+  out->data = *dump;
+}
+
+// --- plan generation -------------------------------------------------------
+
+/// Plan-generation state threaded through clause builders: the schema after
+/// the clauses so far, plus the tracked unique-key field per (current)
+/// record type name, so ORDER SET clauses can always end the sort key with
+/// a unique field and never trip duplicate-key rejection during data
+/// translation.
+struct PlanState {
+  Schema cur;
+  std::map<std::string, std::string> key_field;
+  std::vector<std::string> clauses;
+  int fresh = 0;
+  bool introduced = false;
+};
+
+/// Appends `clause` to the accumulated plan if the whole plan still parses
+/// and applies cleanly to `source`; commits the resulting schema on success.
+bool CommitClause(PlanState* st, const Schema& source,
+                  const std::string& clause) {
+  std::string text = "RESTRUCTURE PLAN FZ.\n";
+  for (const std::string& c : st->clauses) text += "  " + c + "\n";
+  text += "  " + clause + "\nEND PLAN.\n";
+  Result<RestructuringPlan> plan = ParsePlan(text);
+  if (!plan.ok()) return false;
+  Result<Schema> next = ApplyPlanToSchema(source, plan->View());
+  if (!next.ok()) return false;
+  st->cur = std::move(next).value();
+  st->clauses.push_back(clause);
+  return true;
+}
+
+const RecordTypeDef* PickRecordType(const Schema& schema, FuzzRng* rng) {
+  const auto& types = schema.record_types();
+  return &types[rng->Index(types.size())];
+}
+
+/// A random non-system set of the current schema; nullptr when none.
+const SetDef* PickChainSet(const Schema& schema, FuzzRng* rng) {
+  std::vector<const SetDef*> candidates;
+  for (const SetDef& s : schema.sets()) {
+    if (!s.system_owned()) candidates.push_back(&s);
+  }
+  if (candidates.empty()) return nullptr;
+  return candidates[rng->Index(candidates.size())];
+}
+
+std::string GeneratePlan(const SchemaModel& m, FuzzRng* rng) {
+  PlanState st;
+  st.cur = m.schema;
+  st.key_field = m.key_field;
+
+  int want = rng->Range(1, 3);
+  int attempts = 0;
+  while (static_cast<int>(st.clauses.size()) < want && attempts < 24) {
+    ++attempts;
+    int kind = rng->Range(0, 99);
+    if (kind < 20) {  // RENAME RECORD
+      const RecordTypeDef* rec = PickRecordType(st.cur, rng);
+      std::string fresh = Fmt("REC%d", ++st.fresh);
+      std::string old = rec->name;
+      if (CommitClause(&st, m.schema,
+                       Fmt("RENAME RECORD %s TO %s.", old.c_str(),
+                           fresh.c_str()))) {
+        auto it = st.key_field.find(old);
+        if (it != st.key_field.end()) {
+          st.key_field[fresh] = it->second;
+          st.key_field.erase(old);
+        }
+      }
+    } else if (kind < 35) {  // RENAME FIELD
+      const RecordTypeDef* rec = PickRecordType(st.cur, rng);
+      std::vector<const FieldDef*> actual;
+      for (const FieldDef& f : rec->fields) {
+        if (!f.is_virtual) actual.push_back(&f);
+      }
+      if (actual.empty()) continue;
+      const FieldDef* field = actual[rng->Index(actual.size())];
+      std::string fresh = Fmt("FLD%d", ++st.fresh);
+      std::string old = field->name;
+      std::string type = rec->name;
+      if (CommitClause(&st, m.schema,
+                       Fmt("RENAME FIELD %s OF %s TO %s.", old.c_str(),
+                           type.c_str(), fresh.c_str()))) {
+        auto it = st.key_field.find(type);
+        if (it != st.key_field.end() && it->second == old) {
+          it->second = fresh;
+        }
+      }
+    } else if (kind < 50) {  // RENAME SET
+      const auto& sets = st.cur.sets();
+      const SetDef& set = sets[rng->Index(sets.size())];
+      std::string fresh = Fmt("SET%d", ++st.fresh);
+      (void)CommitClause(&st, m.schema,
+                         Fmt("RENAME SET %s TO %s.", set.name.c_str(),
+                             fresh.c_str()));
+    } else if (kind < 62) {  // ADD FIELD
+      const RecordTypeDef* rec = PickRecordType(st.cur, rng);
+      std::string fresh = Fmt("FLD%d", ++st.fresh);
+      if (rng->Chance(50)) {
+        (void)CommitClause(
+            &st, m.schema,
+            Fmt("ADD FIELD %s TO %s TYPE 9(4) DEFAULT %d.", fresh.c_str(),
+                rec->name.c_str(), rng->Range(0, 9)));
+      } else {
+        (void)CommitClause(
+            &st, m.schema,
+            Fmt("ADD FIELD %s TO %s TYPE X(6) DEFAULT 'NEW'.", fresh.c_str(),
+                rec->name.c_str()));
+      }
+    } else if (kind < 80) {  // ORDER SET
+      const auto& sets = st.cur.sets();
+      const SetDef& set = sets[rng->Index(sets.size())];
+      if (rng->Chance(35)) {
+        (void)CommitClause(&st, m.schema,
+                           Fmt("ORDER SET %s CHRONOLOGICALLY.",
+                               set.name.c_str()));
+      } else {
+        // Sort keys must end in a unique member field, or translating the
+        // data would reject duplicate full keys within one occurrence.
+        auto key = st.key_field.find(set.member);
+        if (key == st.key_field.end()) continue;
+        const RecordTypeDef* member = st.cur.FindRecordType(set.member);
+        if (member == nullptr) continue;
+        std::string fields;
+        if (rng->Chance(40)) {
+          for (const FieldDef& f : member->fields) {
+            if (!f.is_virtual && f.name != key->second && rng->Chance(50)) {
+              fields += f.name + ", ";
+              break;
+            }
+          }
+        }
+        fields += key->second;
+        (void)CommitClause(&st, m.schema,
+                           Fmt("ORDER SET %s BY (%s).", set.name.c_str(),
+                               fields.c_str()));
+      }
+    } else if (kind < 93 && !st.introduced) {  // INTRODUCE RECORD
+      const SetDef* set = PickChainSet(st.cur, rng);
+      if (set == nullptr) continue;
+      const RecordTypeDef* member = st.cur.FindRecordType(set->member);
+      if (member == nullptr) continue;
+      // Group by a non-key actual field when one exists (grouping by the
+      // unique key would make one intermediate per member — legal, dull).
+      auto key = st.key_field.find(set->member);
+      std::string group;
+      for (const FieldDef& f : member->fields) {
+        if (f.is_virtual) continue;
+        if (key != st.key_field.end() && f.name == key->second) continue;
+        group = f.name;
+        break;
+      }
+      if (group.empty()) continue;
+      std::string inter = Fmt("GROUP%d", ++st.fresh);
+      if (CommitClause(&st, m.schema,
+                       Fmt("INTRODUCE RECORD %s BETWEEN %s GROUPING BY %s "
+                           "AS UP%d AND LOW%d.",
+                           inter.c_str(), set->name.c_str(), group.c_str(),
+                           st.fresh, st.fresh))) {
+        st.introduced = true;
+      }
+    } else {  // MATERIALIZE FIELD
+      std::vector<std::pair<std::string, std::string>> virtuals;
+      for (const RecordTypeDef& rec : st.cur.record_types()) {
+        for (const FieldDef& f : rec.fields) {
+          if (f.is_virtual) virtuals.push_back({rec.name, f.name});
+        }
+      }
+      if (virtuals.empty()) continue;
+      const auto& pick = virtuals[rng->Index(virtuals.size())];
+      (void)CommitClause(&st, m.schema,
+                         Fmt("MATERIALIZE FIELD %s OF %s.",
+                             pick.second.c_str(), pick.first.c_str()));
+    }
+  }
+  if (st.clauses.empty()) {
+    // Always-valid fallback so every case has a restructuring.
+    bool ok = CommitClause(&st, m.schema,
+                           Fmt("RENAME RECORD %s TO REC%d.",
+                               m.chain[0].c_str(), ++st.fresh));
+    if (!ok) GeneratorBug("fallback clause", Status::Internal("unreachable"),
+                          m.schema.ToDdl());
+  }
+
+  std::string text = "RESTRUCTURE PLAN FZ.\n";
+  for (const std::string& c : st.clauses) text += "  " + c + "\n";
+  text += "END PLAN.\n";
+  return text;
+}
+
+// --- program generation ----------------------------------------------------
+
+/// A FIND path from SYSTEM down to chain[depth-1], with an optional
+/// qualification on the target type.
+std::string FindPath(const SchemaModel& m, size_t depth,
+                     const std::string& target_pred) {
+  std::string path = m.chain[depth - 1] + ": SYSTEM, " + m.system_set;
+  for (size_t i = 0; i < depth; ++i) {
+    path += ", " + m.chain[i];
+    if (i + 1 == depth && !target_pred.empty()) {
+      path += "(" + target_pred + ")";
+    }
+    if (i + 1 < depth) path += ", " + m.chain_sets[i];
+  }
+  return path;
+}
+
+/// A random predicate over `type`'s fields using values that exist in the
+/// generated data (or deliberately don't, 1 time in 5).
+std::string Pred(const SchemaModel& m, const DataModel& data,
+                 const std::string& type, FuzzRng* rng) {
+  int pick = rng->Range(0, 3);
+  if (pick == 0 && !data.keys.at(type).empty()) {
+    const std::string& key = rng->Pick(data.keys.at(type));
+    return Fmt("%s = '%s'", m.key_field.at(type).c_str(), key.c_str());
+  }
+  for (const std::string& field : m.extra_fields.at(type)) {
+    if (field.ends_with("-TAG") && pick == 1) {
+      std::string tag = rng->Chance(80) && !data.tags.empty()
+                            ? rng->Pick(data.tags)
+                            : std::string("NONE");
+      return Fmt("%s = '%s'", field.c_str(), tag.c_str());
+    }
+    if (field.ends_with("-NUM") && pick == 2) {
+      return Fmt("%s %s %d", field.c_str(), rng->Chance(50) ? ">" : "<=",
+                 rng->Range(5, 35));
+    }
+  }
+  // Virtual parent key, when present.
+  const auto virt = m.virtual_fields.find(type);
+  if (virt != m.virtual_fields.end() && !virt->second.empty()) {
+    const std::string& field = virt->second.front();
+    std::string parent = field.substr(0, field.size() - 4);
+    if (!data.keys.at(parent).empty()) {
+      return Fmt("%s = '%s'", field.c_str(),
+                 rng->Pick(data.keys.at(parent)).c_str());
+    }
+  }
+  return "";
+}
+
+/// Fields of `type` worth GETting (actual + virtual), in a random order.
+std::vector<std::string> GetFields(const SchemaModel& m,
+                                   const std::string& type, FuzzRng* rng) {
+  std::vector<std::string> fields = {m.key_field.at(type)};
+  for (const std::string& f : m.extra_fields.at(type)) {
+    if (rng->Chance(60)) fields.push_back(f);
+  }
+  const auto virt = m.virtual_fields.find(type);
+  if (virt != m.virtual_fields.end()) {
+    for (const std::string& f : virt->second) {
+      if (rng->Chance(60)) fields.push_back(f);
+    }
+  }
+  return fields;
+}
+
+std::string MustParseBack(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  if (!program.ok()) GeneratorBug("program template", program.status(), source);
+  return source;
+}
+
+void GenerateProgram(const SchemaModel& m, const DataModel& data,
+                     FuzzRng* rng, FuzzCase* out) {
+  size_t depth = 1 + rng->Index(m.chain.size());
+  const std::string& target = m.chain[depth - 1];
+  std::string pred = Pred(m, data, target, rng);
+
+  auto display_body_for = [&](const std::string& type) {
+    std::vector<std::string> get = GetFields(m, type, rng);
+    std::string body;
+    for (size_t i = 0; i < get.size(); ++i) {
+      body += Fmt("    GET %s OF X INTO V%zu.\n", get[i].c_str(), i);
+    }
+    body += "    DISPLAY V0";
+    for (size_t i = 1; i < get.size(); ++i) {
+      body += Fmt(" & '/' & V%zu", i);
+    }
+    body += ".\n";
+    return body;
+  };
+  std::string display_body = display_body_for(target);
+
+  int shape = rng->Range(0, 99);
+  if (shape < 22) {  // Maryland report
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-RPT.
+  FOR EACH X IN FIND(%s) DO
+%s  END-FOR.
+END PROGRAM.)",
+                                     FindPath(m, depth, pred).c_str(),
+                                     display_body.c_str()));
+  } else if (shape < 34) {  // sorted report
+    const std::string& on = rng->Chance(60) || m.extra_fields.at(target).empty()
+                                ? m.key_field.at(target)
+                                : m.extra_fields.at(target).front();
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-SRT.
+  FOR EACH X IN SORT(FIND(%s)) ON (%s, %s) DO
+%s  END-FOR.
+END PROGRAM.)",
+                                     FindPath(m, depth, pred).c_str(),
+                                     on.c_str(), m.key_field.at(target).c_str(),
+                                     display_body.c_str()));
+  } else if (shape < 46 && m.chain.size() >= 2) {  // navigational loop
+    const std::string& root = m.chain[0];
+    const std::string& child = m.chain[1];
+    const std::string& root_key = rng->Pick(data.keys.at(root));
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-NAV.
+  FIND ANY %s (%s = '%s').
+  FIND FIRST %s WITHIN %s.
+  WHILE DB-STATUS = '0000' DO
+    GET %s INTO N.
+    DISPLAY N.
+    FIND NEXT %s WITHIN %s.
+  END-WHILE.
+END PROGRAM.)",
+                                     root.c_str(),
+                                     m.key_field.at(root).c_str(),
+                                     root_key.c_str(), child.c_str(),
+                                     m.chain_sets[0].c_str(),
+                                     m.key_field.at(child).c_str(),
+                                     child.c_str(), m.chain_sets[0].c_str()));
+  } else if (shape < 56 && m.chain.size() >= 2) {  // nested navigational
+    const std::string& root = m.chain[0];
+    const std::string& child = m.chain[1];
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-NST.
+  FIND FIRST %s WITHIN %s.
+  WHILE DB-STATUS = '0000' DO
+    GET %s INTO R.
+    DISPLAY 'AT ' & R.
+    FIND FIRST %s WITHIN %s.
+    WHILE DB-STATUS = '0000' DO
+      GET %s INTO C.
+      DISPLAY '  ' & C.
+      FIND NEXT %s WITHIN %s.
+    END-WHILE.
+    FIND NEXT %s WITHIN %s.
+  END-WHILE.
+END PROGRAM.)",
+                                     root.c_str(), m.system_set.c_str(),
+                                     m.key_field.at(root).c_str(),
+                                     child.c_str(), m.chain_sets[0].c_str(),
+                                     m.key_field.at(child).c_str(),
+                                     child.c_str(), m.chain_sets[0].c_str(),
+                                     root.c_str(), m.system_set.c_str()));
+  } else if (shape < 68) {  // update + read-back
+    std::string num;
+    for (const std::string& f : m.extra_fields.at(target)) {
+      if (f.ends_with("-NUM")) num = f;
+    }
+    if (num.empty()) {
+      // No numeric field to update; degrade to a plain report.
+      out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-RPT.
+  FOR EACH X IN FIND(%s) DO
+%s  END-FOR.
+END PROGRAM.)",
+                                       FindPath(m, depth, pred).c_str(),
+                                       display_body.c_str()));
+    } else {
+      out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-UPD.
+  FOR EACH X IN FIND(%s) DO
+    MODIFY X SET (%s = %d).
+  END-FOR.
+  FOR EACH X IN FIND(%s) DO
+%s  END-FOR.
+END PROGRAM.)",
+                                       FindPath(m, depth, pred).c_str(),
+                                       num.c_str(), rng->Range(50, 99),
+                                       FindPath(m, depth, "").c_str(),
+                                       display_body.c_str()));
+    }
+  } else if (shape < 76 && m.chain.size() >= 2) {  // store + read-back
+    const std::string& root = m.chain[0];
+    const std::string& child = m.chain[1];
+    const std::string& root_key = rng->Pick(data.keys.at(root));
+    std::string assigns =
+        Fmt("%s = 'ZZ-99'", m.key_field.at(child).c_str());
+    for (const std::string& f : m.extra_fields.at(child)) {
+      if (f.ends_with("-TAG")) {
+        assigns += Fmt(", %s = '%s'", f.c_str(), TagPool()[0].c_str());
+      } else {
+        assigns += Fmt(", %s = %d", f.c_str(), rng->Range(1, 40));
+      }
+    }
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-STO.
+  STORE %s (%s) IN %s WHERE (%s = '%s').
+  FOR EACH X IN FIND(%s) DO
+%s  END-FOR.
+END PROGRAM.)",
+                                     child.c_str(), assigns.c_str(),
+                                     m.chain_sets[0].c_str(),
+                                     m.key_field.at(root).c_str(),
+                                     root_key.c_str(),
+                                     FindPath(m, 2, "").c_str(),
+                                     display_body_for(child).c_str()));
+  } else if (shape < 84) {  // file report
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-FIL.
+  FOR EACH X IN FIND(%s) DO
+    GET %s OF X INTO K.
+    WRITE RPT FROM K.
+  END-FOR.
+END PROGRAM.)",
+                                     FindPath(m, depth, pred).c_str(),
+                                     m.key_field.at(target).c_str()));
+  } else if (shape < 92) {  // ACCEPT-driven predicate
+    std::string tag_field;
+    for (const std::string& f : m.extra_fields.at(target)) {
+      if (f.ends_with("-TAG")) tag_field = f;
+    }
+    if (tag_field.empty()) tag_field = m.key_field.at(target);
+    std::string value = data.tags.empty() ? std::string("NONE")
+                                          : rng->Pick(data.tags);
+    out->program = MustParseBack(
+        Fmt(R"(
+PROGRAM FZ-ACC.
+  ACCEPT V.
+  FOR EACH X IN FIND(%s) DO
+    GET %s OF X INTO K.
+    DISPLAY K.
+  END-FOR.
+END PROGRAM.)",
+            FindPath(m, depth, Fmt("%s = :V", tag_field.c_str())).c_str(),
+            m.key_field.at(target).c_str()));
+    out->terminal_input.push_back(value);
+  } else if (shape < 96) {  // delete + read-back
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-DEL.
+  FOR EACH X IN FIND(%s) DO
+    DELETE X.
+  END-FOR.
+  FOR EACH X IN FIND(%s) DO
+    GET %s OF X INTO K.
+    DISPLAY K.
+  END-FOR.
+END PROGRAM.)",
+                                     FindPath(m, depth, pred).c_str(),
+                                     FindPath(m, depth, "").c_str(),
+                                     m.key_field.at(target).c_str()));
+  } else {  // runtime-variable DML: exercises every strategy's refusal path
+    out->program = MustParseBack(Fmt(R"(
+PROGRAM FZ-VAR.
+  ACCEPT V.
+  CALL DML(V, %s).
+  DISPLAY 'DONE'.
+END PROGRAM.)",
+                                     target.c_str()));
+    out->terminal_input.push_back("FIND");
+  }
+}
+
+}  // namespace
+
+FuzzCase GenerateFuzzCase(uint64_t seed) {
+  FuzzRng rng(seed);
+  FuzzCase out;
+  SchemaModel schema = GenerateSchema(&rng);
+  out.ddl = schema.schema.ToDdl();
+  DataModel data;
+  GenerateData(schema, &rng, &out, &data);
+  out.plan = GeneratePlan(schema, &rng);
+  GenerateProgram(schema, data, &rng, &out);
+  // Artifacts are newline-terminated so cases survive the repro text
+  // format (ParseRepro reassembles sections line by line) byte-identical.
+  for (std::string* text : {&out.ddl, &out.plan, &out.data, &out.program}) {
+    if (!text->empty() && text->back() != '\n') *text += '\n';
+  }
+  return out;
+}
+
+}  // namespace dbpc

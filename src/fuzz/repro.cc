@@ -1,0 +1,107 @@
+// The checked-in repro format for samples/fuzz-regressions/: one file per
+// regression, sectioned with `== NAME ==` markers, leading `#` lines as
+// provenance notes. Round-trips through ReproToText / ParseRepro.
+
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace dbpc {
+
+namespace {
+
+constexpr char kExpectEquivalent[] = "EQUIVALENT";
+constexpr char kExpectParseError[] = "PARSE-ERROR";
+
+std::string Section(const std::string& name, const std::string& body) {
+  std::string out = "== " + name + " ==\n" + body;
+  if (!body.empty() && body.back() != '\n') out += '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string ReproToText(const FuzzRepro& repro) {
+  std::string out;
+  if (!repro.note.empty()) out += "# " + repro.note + "\n";
+  out += Section("EXPECT", repro.expect == ReproExpectation::kParseError
+                               ? kExpectParseError
+                               : kExpectEquivalent);
+  out += Section("SCHEMA", repro.c.ddl);
+  out += Section("PLAN", repro.c.plan);
+  out += Section("DATA", repro.c.data);
+  std::string script;
+  for (const std::string& line : repro.c.terminal_input) {
+    script += line + "\n";
+  }
+  out += Section("SCRIPT", script);
+  out += Section("PROGRAM", repro.c.program);
+  return out;
+}
+
+Result<FuzzRepro> ParseRepro(const std::string& text) {
+  FuzzRepro repro;
+  std::string expect;
+  std::string* current = nullptr;
+  std::string script;
+  std::istringstream lines(text);
+  std::string line;
+  bool any_section = false;
+  while (std::getline(lines, line)) {
+    if (line.starts_with("== ") && line.ends_with(" ==")) {
+      std::string name = line.substr(3, line.size() - 6);
+      any_section = true;
+      if (name == "EXPECT") {
+        current = &expect;
+      } else if (name == "SCHEMA") {
+        current = &repro.c.ddl;
+      } else if (name == "PLAN") {
+        current = &repro.c.plan;
+      } else if (name == "DATA") {
+        current = &repro.c.data;
+      } else if (name == "SCRIPT") {
+        current = &script;
+      } else if (name == "PROGRAM") {
+        current = &repro.c.program;
+      } else {
+        return Status::ParseError("unknown repro section '" + name + "'");
+      }
+      continue;
+    }
+    if (current == nullptr) {
+      if (line.starts_with("#")) {
+        std::string note = line.substr(1);
+        if (note.starts_with(" ")) note = note.substr(1);
+        if (!repro.note.empty()) repro.note += " ";
+        repro.note += note;
+        continue;
+      }
+      if (line.empty()) continue;
+      return Status::ParseError("repro text before first section: " + line);
+    }
+    *current += line + "\n";
+  }
+  if (!any_section) return Status::ParseError("not a repro file (no sections)");
+
+  // Trim the EXPECT body to its single token.
+  std::string token;
+  for (char c : expect) {
+    if (c != '\n' && c != ' ') token += c;
+  }
+  if (token == kExpectParseError) {
+    repro.expect = ReproExpectation::kParseError;
+  } else if (token == kExpectEquivalent || token.empty()) {
+    repro.expect = ReproExpectation::kEquivalent;
+  } else {
+    return Status::ParseError("unknown EXPECT value '" + token + "'");
+  }
+
+  std::istringstream script_lines(script);
+  while (std::getline(script_lines, line)) {
+    repro.c.terminal_input.push_back(line);
+  }
+  return repro;
+}
+
+}  // namespace dbpc

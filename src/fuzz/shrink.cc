@@ -1,0 +1,102 @@
+// Greedy case minimization: delete one line at a time from each textual
+// artifact while the case still diverges. A deletion that breaks parsing is
+// rejected automatically — the driver reports a setup error, not a
+// divergence — so the shrinker needs no grammar knowledge at all.
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+
+namespace dbpc {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool StillDivergent(const FuzzCase& c,
+                    const std::vector<FuzzStrategy>& strategies) {
+  CaseRun run = RunFuzzCase(c, strategies);
+  return run.setup.ok() && run.Divergent();
+}
+
+/// Tries deleting each line of `*text` (back to front, so earlier indices
+/// stay valid) and keeps deletions that preserve divergence. Returns true
+/// when anything was removed.
+bool ShrinkTextLines(FuzzCase* c, std::string FuzzCase::* member,
+                     const std::vector<FuzzStrategy>& strategies) {
+  bool changed = false;
+  std::vector<std::string> lines = SplitLines(c->*member);
+  for (size_t i = lines.size(); i-- > 0;) {
+    std::vector<std::string> candidate = lines;
+    candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+    FuzzCase trial = *c;
+    trial.*member = JoinLines(candidate);
+    if (StillDivergent(trial, strategies)) {
+      lines = std::move(candidate);
+      c->*member = JoinLines(lines);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool ShrinkScript(FuzzCase* c, const std::vector<FuzzStrategy>& strategies) {
+  bool changed = false;
+  for (size_t i = c->terminal_input.size(); i-- > 0;) {
+    FuzzCase trial = *c;
+    trial.terminal_input.erase(trial.terminal_input.begin() +
+                               static_cast<ptrdiff_t>(i));
+    if (StillDivergent(trial, strategies)) {
+      *c = std::move(trial);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+FuzzCase ShrinkFuzzCase(const FuzzCase& failing,
+                        const std::vector<FuzzStrategy>& strategies) {
+  if (!StillDivergent(failing, strategies)) return failing;
+  FuzzCase best = failing;
+  // Data first (usually the biggest artifact), then program, plan, schema,
+  // script; iterate to a fixpoint because removals enable each other (a
+  // record's removal can free its type for schema-line removal).
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 8) {
+    changed = false;
+    changed |= ShrinkTextLines(&best, &FuzzCase::data, strategies);
+    changed |= ShrinkTextLines(&best, &FuzzCase::program, strategies);
+    changed |= ShrinkTextLines(&best, &FuzzCase::plan, strategies);
+    changed |= ShrinkTextLines(&best, &FuzzCase::ddl, strategies);
+    changed |= ShrinkScript(&best, strategies);
+  }
+  return best;
+}
+
+}  // namespace dbpc

@@ -82,6 +82,77 @@ bool PathUsesSet(const FindQuery& query, const std::string& set_name) {
   return false;
 }
 
+namespace {
+
+/// True when `qual` is an AND-only predicate with an equality conjunct on
+/// every name in `keys`: the step then pins those fields to a single value
+/// across the whole result, so they contribute nothing to its order.
+bool PinsAllKeys(const std::optional<Predicate>& qual,
+                 const std::vector<std::string>& keys) {
+  if (!qual.has_value() || keys.empty()) return false;
+  std::vector<Predicate> conjuncts;
+  std::function<bool(const Predicate&)> flatten =
+      [&](const Predicate& p) -> bool {
+    switch (p.kind()) {
+      case Predicate::Kind::kCompare:
+        conjuncts.push_back(p);
+        return true;
+      case Predicate::Kind::kAnd:
+        return flatten(*p.lhs_child()) && flatten(*p.rhs_child());
+      default:
+        return false;
+    }
+  };
+  if (!flatten(*qual)) return false;
+  for (const std::string& key : keys) {
+    bool found = false;
+    for (const Predicate& c : conjuncts) {
+      if (c.op() == CompareOp::kEq && EqualsIgnoreCase(c.field(), key)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> PathOrderKeys(
+    const Schema& schema, const FindQuery& query, const std::string& through) {
+  if (!query.starts_at_system()) return std::nullopt;
+  const RecordTypeDef* target = schema.FindRecordType(query.target_type);
+  if (target == nullptr) return std::nullopt;
+  std::vector<std::string> keys;
+  bool covered = through.empty();
+  for (size_t i = 0; i < query.steps.size(); ++i) {
+    const SetDef* set = schema.FindSet(query.steps[i].name);
+    if (set == nullptr) continue;  // record step
+    // A record step pinning the set's full sort key with equalities fixes
+    // those fields to one value across the result; the set contributes
+    // nothing to the order and its keys can be dropped from the SORT.
+    bool pinned = set->ordering == SetOrdering::kSortedByKeys &&
+                  i + 1 < query.steps.size() &&
+                  schema.FindSet(query.steps[i + 1].name) == nullptr &&
+                  PinsAllKeys(query.steps[i + 1].qualification, set->keys);
+    if (!pinned) {
+      if (set->ordering != SetOrdering::kSortedByKeys) return std::nullopt;
+      for (const std::string& key : set->keys) {
+        if (!target->HasField(key)) return std::nullopt;
+        keys.push_back(key);
+      }
+    }
+    if (!through.empty() && EqualsIgnoreCase(set->name, through)) {
+      covered = true;
+      break;
+    }
+  }
+  if (!covered) return std::nullopt;
+  // May be empty: every covered set pinned, so the order needs no SORT.
+  return keys;
+}
+
 bool Contains(const std::vector<std::string>& names, const std::string& name) {
   for (const std::string& n : names) {
     if (EqualsIgnoreCase(n, name)) return true;

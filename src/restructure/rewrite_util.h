@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lang/ast.h"
+#include "schema/schema.h"
 
 namespace dbpc::rewrite {
 
@@ -30,6 +31,22 @@ int SpliceSetStep(FindQuery* query, const std::string& set_name,
 
 /// True when the path contains an unqualified step named `set_name`.
 bool PathUsesSet(const FindQuery& query, const std::string& set_name);
+
+/// The sort-key list reproducing a SYSTEM-rooted path's result order down
+/// to and including set `through` (the whole path when `through` is empty):
+/// the concatenated keys of every set step from the root. Usable only when
+/// each covered set is sorted and every key is readable (actually or
+/// virtually) on the query's target record type; a *stable* SORT on these
+/// keys then restores the source order, with sets deeper than `through`
+/// contributing their own (unchanged) relative order. Sets whose full sort
+/// key is pinned by equalities on the following record step are constant
+/// across the result and contribute no keys; an *empty* list means every
+/// covered set is pinned and no SORT is needed at all. Returns nullopt when
+/// the order is not reconstructible this way — a chronological set in the
+/// covered prefix, an unreadable key, or a non-SYSTEM root.
+std::optional<std::vector<std::string>> PathOrderKeys(const Schema& schema,
+                                                      const FindQuery& query,
+                                                      const std::string& through);
 
 /// Case-insensitive membership test.
 bool Contains(const std::vector<std::string>& names, const std::string& name);

@@ -305,6 +305,12 @@ class RenameSet final : public Transformation {
     return Status::OK();
   }
 
+  void MapSetNames(std::vector<std::string>* sets) const override {
+    for (std::string& s : *sets) {
+      if (EqualsIgnoreCase(s, old_)) s = new_;
+    }
+  }
+
  private:
   std::string old_;
   std::string new_;

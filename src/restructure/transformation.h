@@ -65,6 +65,13 @@ class Transformation {
                                 const std::vector<std::string>& order_dependent_sets,
                                 Program* program,
                                 RewriteNotes* notes) const = 0;
+
+  /// Rewrites a list of analyzer-derived set names so it stays meaningful
+  /// after this step: the analyzer names sets as of the original schema,
+  /// but a later plan step looks its own sets up in that list. Renames
+  /// substitute the new name; set splits/merges substitute the sets that
+  /// carry the old set's order. Default: no change.
+  virtual void MapSetNames(std::vector<std::string>*) const {}
 };
 
 using TransformationPtr = std::unique_ptr<Transformation>;

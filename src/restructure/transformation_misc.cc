@@ -63,24 +63,35 @@ class ChangeSetOrder final : public Transformation {
     const SetDef* old_set = source.FindSet(set_name_);
     if (old_set == nullptr) return Status::NotFound("set " + set_name_);
     if (!Contains(order_dependent_sets, set_name_)) return Status::OK();
-    if (old_set->ordering == SetOrdering::kChronological) {
-      notes->push_back("output depended on chronological order of " +
-                       set_name_ +
-                       ", which the restructured database does not retain");
-      return Status::NeedsAnalyst("old chronological order of " + set_name_ +
-                                  " cannot be reconstructed");
-    }
-    std::vector<std::string> old_keys = old_set->keys;
-    std::string member = ToUpper(old_set->member);
+    // The compensating SORT must restate the source order of the whole path
+    // prefix down to this set — sorting on this set's own keys alone would
+    // flatten away any outer grouping the program's output relied on. Sets
+    // deeper than this one keep their (unchanged) order under the stable
+    // sort. When the prefix order is not expressible as a SORT — a
+    // chronological set in it, or a key unreadable on the target record —
+    // the old order cannot be reconstructed automatically.
+    Status verdict = Status::OK();
     ForEachRetrievalMut(program, [&, this](Retrieval* r) {
       if (!PathUsesSet(r->query, set_name_)) return;
       if (!r->sort_on.empty()) return;  // explicit order already
-      if (!EqualsIgnoreCase(r->query.target_type, member)) return;
-      r->sort_on = old_keys;
-      notes->push_back("inserted SORT ON (" + Join(old_keys, ", ") +
+      std::optional<std::vector<std::string>> keys =
+          rewrite::PathOrderKeys(source, r->query, set_name_);
+      if (keys.has_value() && keys->empty()) return;  // order pinned anyway
+      if (!keys.has_value()) {
+        notes->push_back("output depended on the order of " + set_name_ +
+                         ", which a SORT over the restructured path cannot "
+                         "reconstruct");
+        if (verdict.ok()) {
+          verdict = Status::NeedsAnalyst("old order of " + set_name_ +
+                                         " cannot be reconstructed");
+        }
+        return;
+      }
+      r->sort_on = *keys;
+      notes->push_back("inserted SORT ON (" + Join(*keys, ", ") +
                        ") to preserve the old " + set_name_ + " ordering");
     });
-    return Status::OK();
+    return verdict;
   }
 
  private:
@@ -427,10 +438,60 @@ class MaterializeVirtualField final : public Transformation {
     return MakeVirtualizeField(record_, field_, f->via_set, f->using_field);
   }
 
-  Status RewriteProgram(const Schema&, const Schema&,
-                        const std::vector<std::string>&, Program*,
-                        RewriteNotes*) const override {
-    return Status::OK();  // reads were already answered through the set
+  Status RewriteProgram(const Schema& source, const Schema&,
+                        const std::vector<std::string>&, Program* program,
+                        RewriteNotes* notes) const override {
+    // Reads were already answered through the set and need no change. A
+    // STORE of this record type, however, must now supply the once-derived
+    // value itself — the field is real data in the target and nothing fills
+    // it in at run time. Derive it from the owner selection when that pins
+    // the owner's source field with an equality.
+    const RecordTypeDef* rec = source.FindRecordType(record_);
+    if (rec == nullptr) return Status::NotFound("record type " + record_);
+    const FieldDef* f = rec->FindField(field_);
+    if (f == nullptr || !f->is_virtual) return Status::OK();
+    const std::string via_set = f->via_set;
+    const std::string using_field = f->using_field;
+    Status verdict = Status::OK();
+    VisitStmtsMutable(&program->body, [&, this](Stmt* s) {
+      if (s->kind != StmtKind::kStore ||
+          !EqualsIgnoreCase(s->record_type, record_)) {
+        return;
+      }
+      bool assigned = std::any_of(
+          s->assignments.begin(), s->assignments.end(), [this](const auto& kv) {
+            return EqualsIgnoreCase(kv.first, field_);
+          });
+      if (assigned) return;
+      auto sel = std::find_if(s->owners.begin(), s->owners.end(),
+                              [&](const Stmt::OwnerSelect& o) {
+                                return EqualsIgnoreCase(o.set_name, via_set);
+                              });
+      // Unconnected stores derived null in the source and keep null here.
+      if (sel == s->owners.end()) return;
+      std::optional<Predicate> probe = sel->pred;
+      std::optional<Operand> op =
+          rewrite::ExtractEqualityConjunct(&probe, using_field);
+      if (!op.has_value()) {
+        notes->push_back("STORE " + record_ + " does not pin the owner's " +
+                         using_field + " with an equality, so the value of "
+                         "the materialized " + field_ +
+                         " cannot be derived at conversion time");
+        if (verdict.ok()) {
+          verdict = Status::NeedsAnalyst("materialized " + record_ + "." +
+                                         field_ +
+                                         " has no derivable value on STORE");
+        }
+        return;
+      }
+      HostExpr value = op->kind == Operand::Kind::kHostVar
+                           ? HostExpr::Var(op->host_var)
+                           : HostExpr::Lit(op->literal);
+      s->assignments.emplace_back(field_, std::move(value));
+      notes->push_back("STORE " + record_ + " now assigns the materialized " +
+                       field_ + " from its owner selection");
+    });
+    return verdict;
   }
 
  private:

@@ -236,26 +236,33 @@ class IntroduceIntermediate final : public Transformation {
       }
     });
     bool order_dependent = Contains(order_dependent_sets, p_.set_name);
-    std::vector<std::string> old_keys = old_set->keys;
     std::string member = ToUpper(old_set->member);
 
     // Retrieval paths: S -> upper, I, lower; preserve order with SORT when
-    // the program's output depended on the old member order.
+    // the program's output depended on the old member order. The SORT must
+    // restate the *path* order down to the grouped set — sorting on the old
+    // set's own keys alone would regroup records under the new intermediate
+    // and scramble any outer grouping — so compute the keys from the
+    // pre-splice query, while it still names the old set.
+    bool order_lost = false;
     ForEachRetrievalMut(program, [&, this](Retrieval* r) {
+      std::optional<std::vector<std::string>> keys =
+          rewrite::PathOrderKeys(source, r->query, p_.set_name);
       std::vector<PathStep> replacement;
       replacement.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.upper_set));
       replacement.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.intermediate));
       replacement.push_back(PathStep::Make(PathStep::Kind::kUnresolved, p_.lower_set));
       int spliced = SpliceSetStep(&r->query, p_.set_name, replacement);
       if (spliced > 0 && order_dependent && r->sort_on.empty() &&
-          EqualsIgnoreCase(r->query.target_type, member)) {
-        if (old_set->ordering == SetOrdering::kSortedByKeys) {
-          r->sort_on = old_keys;
-          notes->push_back("inserted SORT ON (" + Join(old_keys, ", ") +
+          !(keys.has_value() && keys->empty())) {  // empty: pinned anyway
+        if (keys.has_value()) {
+          r->sort_on = *keys;
+          notes->push_back("inserted SORT ON (" + Join(*keys, ", ") +
                            ") to preserve the old " + p_.set_name +
                            " ordering");
         } else {
-          notes->push_back("old chronological order of " + p_.set_name +
+          order_lost = true;
+          notes->push_back("old order of " + p_.set_name +
                            " is not reconstructible; output order may differ");
         }
       }
@@ -342,7 +349,30 @@ class IntroduceIntermediate final : public Transformation {
         i = store_idx;
       }
     });
+    // Grouped traversal cannot reproduce an ordering the program's output
+    // depended on — the same situation ChangeSetOrder
+    // already escalates. An "automatic" conversion here would silently
+    // reorder output.
+    if (order_lost) {
+      return Status::NeedsAnalyst(
+          "grouping " + p_.set_name +
+          " discards a member order the program's output depends on");
+    }
     return Status::OK();
+  }
+
+  void MapSetNames(std::vector<std::string>* sets) const override {
+    // The split set's order is now carried by the upper and lower sets.
+    std::vector<std::string> out;
+    for (const std::string& s : *sets) {
+      if (EqualsIgnoreCase(s, p_.set_name)) {
+        out.push_back(p_.upper_set);
+        out.push_back(p_.lower_set);
+      } else {
+        out.push_back(s);
+      }
+    }
+    *sets = std::move(out);
   }
 
  private:
@@ -590,6 +620,22 @@ class CollapseIntermediate final : public Transformation {
           "collapse rewrite could not reconstruct all STORE statements");
     }
     return Status::OK();
+  }
+
+  void MapSetNames(std::vector<std::string>* sets) const override {
+    // The merged set carries the order of the collapsed upper/lower pair.
+    std::vector<std::string> out;
+    for (const std::string& s : *sets) {
+      if (EqualsIgnoreCase(s, p_.upper_set) ||
+          EqualsIgnoreCase(s, p_.lower_set)) {
+        if (out.empty() || !EqualsIgnoreCase(out.back(), p_.set_name)) {
+          out.push_back(p_.set_name);
+        }
+      } else {
+        out.push_back(s);
+      }
+    }
+    *sets = std::move(out);
   }
 
  private:

@@ -120,7 +120,7 @@ TEST(FuzzRobustnessTest, SelectParserNeverCrashes) {
 TEST(FuzzRobustnessTest, DumpLoaderNeverCrashes) {
   Rng rng(6);
   Database db = testing::MakeCompanyDatabase();
-  std::string base = DumpDatabaseText(db);
+  std::string base = *DumpDatabaseText(db);
   for (int i = 0; i < kRounds; ++i) {
     (void)LoadDatabaseText(db.schema(), Mutate(base, &rng));
   }

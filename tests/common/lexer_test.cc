@@ -45,6 +45,23 @@ TEST(LexerTest, IntegerAndFloatLiterals) {
   EXPECT_DOUBLE_EQ(tokens[1].float_value, 2.5);
 }
 
+TEST(LexerTest, OversizedIntegerLiteralIsParseError) {
+  // 20 digits overflow int64; stoll used to throw std::out_of_range
+  // straight through every parser entry point.
+  Result<std::vector<Token>> r = Lex("AGE = 99999999999999999999.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(LexerTest, OversizedFloatLiteralIsParseError) {
+  // ~1e400 overflows double.
+  std::string huge(400, '9');
+  Result<std::vector<Token>> r = Lex(huge + ".5");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
 TEST(LexerTest, PeriodAfterIntegerIsPunct) {
   // "AGE > 30." must lex the period as the clause terminator.
   std::vector<Token> tokens = MustLex("30.");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -106,6 +107,29 @@ TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndComplete) {
       << json;
   // Snapshotting twice without activity is deterministic.
   EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotEscapesNames) {
+  // Program/stage names flow into metric names verbatim; quotes,
+  // backslashes and control characters must not break the JSON.
+  MetricsRegistry registry;
+  registry.GetCounter("programs.RPT \"Q3\" \\ final")->Increment();
+  registry.GetHistogram("stage.weird\nname")->Record(1);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"programs.RPT \\\"Q3\\\" \\\\ final\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"stage.weird\\nname\""), std::string::npos) << json;
+  // No raw quote-in-name survives: every line has an even quote count.
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t quotes = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0u) << line;
+  }
 }
 
 TEST(MetricsRegistryTest, ResetZeroesButKeepsNames) {

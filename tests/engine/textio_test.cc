@@ -12,7 +12,7 @@ using testing::MakeSchoolDatabase;
 
 TEST(TextIoTest, DumpMentionsEveryRecordAndMembership) {
   Database db = MakeCompanyDatabase();
-  std::string dump = DumpDatabaseText(db);
+  std::string dump = *DumpDatabaseText(db);
   EXPECT_NE(dump.find("DATABASE COMPANY."), std::string::npos);
   EXPECT_NE(dump.find("'MACHINERY'"), std::string::npos);
   EXPECT_NE(dump.find("'ADAMS'"), std::string::npos);
@@ -21,7 +21,7 @@ TEST(TextIoTest, DumpMentionsEveryRecordAndMembership) {
 
 TEST(TextIoTest, RoundTripPreservesContent) {
   Database db = MakeCompanyDatabase();
-  std::string dump = DumpDatabaseText(db);
+  std::string dump = *DumpDatabaseText(db);
   Result<Database> loaded = LoadDatabaseText(db.schema(), dump);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->RecordCount(), db.RecordCount());
@@ -33,12 +33,12 @@ TEST(TextIoTest, RoundTripPreservesContent) {
   EXPECT_EQ(loaded->GetField(emps[0], "AGE")->as_int(), 34);
   EXPECT_EQ(loaded->GetField(emps[0], "DIV-NAME")->as_string(), "MACHINERY");
   // A second dump is byte-identical (canonical form).
-  EXPECT_EQ(DumpDatabaseText(*loaded), dump);
+  EXPECT_EQ(*DumpDatabaseText(*loaded), dump);
 }
 
 TEST(TextIoTest, MultiParentSchoolRoundTrips) {
   Database db = MakeSchoolDatabase();
-  std::string dump = DumpDatabaseText(db);
+  std::string dump = *DumpDatabaseText(db);
   Result<Database> loaded = LoadDatabaseText(db.schema(), dump);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->AllOfType("OFFERING").size(), 3u);
@@ -50,9 +50,78 @@ TEST(TextIoTest, MultiParentSchoolRoundTrips) {
   EXPECT_EQ(loaded->GetField(offerings[1], "YEAR")->as_int(), 1979);
 }
 
+TEST(TextIoTest, TwoChronologicalSetsBothPreserveOrderOnRoundTrip) {
+  Database db = testing::MakeDatabase(testing::SchoolDdl());
+  RecordId cs101 = *db.StoreRecord({"COURSE",
+                                    {{"CNO", Value::String("CS101")},
+                                     {"CNAME", Value::String("INTRO")}},
+                                    {}});
+  RecordId cs202 = *db.StoreRecord({"COURSE",
+                                    {{"CNO", Value::String("CS202")},
+                                     {"CNAME", Value::String("DATABASES")}},
+                                    {}});
+  RecordId s79 = *db.StoreRecord({"SEMESTER",
+                                  {{"S", Value::String("S79")},
+                                   {"YEAR", Value::Int(1979)}},
+                                  {}});
+  // The offering of the *later* course is stored first, so the SEM-OFF
+  // occurrence order (1 then 2) disagrees with a dump grouped by CRS-OFF
+  // owner (which would emit CS101's offering first).
+  (void)*db.StoreRecord({"OFFERING",
+                         {{"SECTION-NO", Value::Int(1)},
+                          {"YEAR", Value::Int(1979)}},
+                         {{"CRS-OFF", cs202}, {"SEM-OFF", s79}}});
+  (void)*db.StoreRecord({"OFFERING",
+                         {{"SECTION-NO", Value::Int(2)},
+                          {"YEAR", Value::Int(1979)}},
+                         {{"CRS-OFF", cs101}, {"SEM-OFF", s79}}});
+  std::string dump = *DumpDatabaseText(db);
+  Result<Database> loaded = LoadDatabaseText(db.schema(), dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  RecordId loaded_s79 = loaded->AllOfType("SEMESTER")[0];
+  std::vector<RecordId> sem = loaded->Members("SEM-OFF", loaded_s79);
+  ASSERT_EQ(sem.size(), 2u);
+  EXPECT_EQ(loaded->GetField(sem[0], "SECTION-NO")->as_int(), 1);
+  EXPECT_EQ(loaded->GetField(sem[1], "SECTION-NO")->as_int(), 2);
+}
+
+TEST(TextIoTest, CyclicOwnerMemberGraphFailsInsteadOfDroppingRecords) {
+  Schema schema("CYCLIC");
+  RecordTypeDef a;
+  a.name = "A";
+  a.fields.push_back({.name = "AN", .type = FieldType::kString});
+  RecordTypeDef b;
+  b.name = "B";
+  b.fields.push_back({.name = "BN", .type = FieldType::kString});
+  ASSERT_TRUE(schema.AddRecordType(a).ok());
+  ASSERT_TRUE(schema.AddRecordType(b).ok());
+  SetDef ab;
+  ab.name = "A-B";
+  ab.owner = "A";
+  ab.member = "B";
+  ab.insertion = InsertionClass::kManual;
+  ab.retention = RetentionClass::kOptional;
+  ab.ordering = SetOrdering::kChronological;
+  SetDef ba;
+  ba.name = "B-A";
+  ba.owner = "B";
+  ba.member = "A";
+  ba.insertion = InsertionClass::kManual;
+  ba.retention = RetentionClass::kOptional;
+  ba.ordering = SetOrdering::kChronological;
+  ASSERT_TRUE(schema.AddSet(ab).ok());
+  ASSERT_TRUE(schema.AddSet(ba).ok());
+  Database db = *Database::Create(schema);
+  (void)*db.StoreRecord({"A", {{"AN", Value::String("X")}}, {}});
+  // The dump used to succeed with an empty body, silently losing the data.
+  Result<std::string> dump = DumpDatabaseText(db);
+  ASSERT_FALSE(dump.ok());
+  EXPECT_EQ(dump.status().code(), StatusCode::kUnsupported);
+}
+
 TEST(TextIoTest, LoadEnforcesConstraints) {
   Database db = MakeSchoolDatabase();
-  std::string dump = DumpDatabaseText(db);
+  std::string dump = *DumpDatabaseText(db);
   // Tighten the schema before reloading: only one offering ever.
   Schema strict = db.schema();
   ConstraintDef once;
@@ -97,7 +166,7 @@ TEST(TextIoTest, NegativeAndNullValues) {
   ASSERT_TRUE(schema.AddRecordType(r).ok());
   Database db = *Database::Create(schema);
   (void)*db.StoreRecord({"R", {{"N", Value::Int(-5)}}, {}});
-  std::string dump = DumpDatabaseText(db);
+  std::string dump = *DumpDatabaseText(db);
   Result<Database> loaded = LoadDatabaseText(schema, dump);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   RecordId id = loaded->AllOfType("R")[0];

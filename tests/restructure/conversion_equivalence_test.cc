@@ -182,11 +182,15 @@ END PROGRAM.)");
 
   const Stmt& first = outcome.conversion.converted.body[0];
   const Stmt& second = outcome.conversion.converted.body[1];
-  // First query: spliced path, SORT ON (EMP-NAME) to preserve the old
-  // DIV-EMP ordering (the paper's SORT(FIND(...)) ON (EMP-NAME)).
+  // First query: spliced path, SORT to preserve the old DIV-EMP ordering.
+  // The paper's Figure 4.4 writes SORT(FIND(...)) ON (EMP-NAME) — an
+  // order *within* each division. This engine's SORT is a global stable
+  // sort over the flattened result, so the compensation must also restate
+  // the enclosing ALL-DIV order (DIV-NAME) or employees of different
+  // divisions would interleave.
   EXPECT_EQ(first.retrieval->ToString(),
             "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
-            "EMP(AGE > 30))) ON (EMP-NAME)");
+            "EMP(AGE > 30))) ON (DIV-NAME, EMP-NAME)");
   // Second query: the optimizer pushed DEPT-NAME onto the DEPT step, as in
   // the paper's hand-converted FIND.
   EXPECT_EQ(second.retrieval->ToString(),

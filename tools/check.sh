@@ -17,6 +17,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== fuzz: fixed-seed differential sweep + regression corpus =="
+./build/tools/dbpc_fuzz --seed 1 --iterations 200
+for repro in samples/fuzz-regressions/*.repro; do
+  ./build/tools/dbpc_fuzz --replay "$repro"
+done
+
 echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \

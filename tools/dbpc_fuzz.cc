@@ -1,0 +1,185 @@
+// dbpc_fuzz — differential conversion fuzzer.
+//
+// Generates random (schema, restructuring plan, database, program) cases,
+// converts each via the three strategies of paper section 2.1.2 — program
+// rewrite, DML emulation, bridge — replays source and converted runs under
+// identical I/O scripts, and diffs the observable traces (the paper's
+// section 1.1 "runs equivalently" check). Divergences are shrunk to
+// minimal repros.
+//
+//   dbpc_fuzz --seed 1 --iterations 500
+//   dbpc_fuzz --strategy bridge --no-shrink --iterations 50
+//   dbpc_fuzz --replay samples/fuzz-regressions/*.repro
+//   dbpc_fuzz --print-case 42
+//
+// Flags:
+//   --seed <n>          base seed (default 1); per-iteration case seeds
+//                       derive deterministically from it
+//   --iterations <n>    cases to run (default 100)
+//   --strategy <name>   rewrite | emulation | bridge; repeatable, default
+//                       all three
+//   --shrink / --no-shrink
+//                       minimize failing cases (default on)
+//   --max-failures <n>  stop after this many divergences (default 5)
+//   --write-repros <dir>
+//                       write each shrunk failure as <dir>/seed-<n>.repro
+//   --replay <file>     replay repro files instead of fuzzing; repeatable
+//   --print-case <n>    print the generated case for seed <n> and exit
+//
+// Exit status: 0 when the run is clean (all repros hold / no divergences
+// and no setup errors), 1 otherwise, 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/dbpc.h"
+
+namespace {
+
+using namespace dbpc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbpc_fuzz [--seed <n>] [--iterations <n>] "
+               "[--strategy rewrite|emulation|bridge]... [--shrink|"
+               "--no-shrink] [--max-failures <n>] [--write-repros <dir>] "
+               "[--replay <file>]... [--print-case <seed>]\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int ReplayAll(const std::vector<std::string>& paths,
+              const std::vector<FuzzStrategy>& strategies) {
+  int failed = 0;
+  for (const std::string& path : paths) {
+    Result<std::string> text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "dbpc_fuzz: %s: %s\n", path.c_str(),
+                   text.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    Result<FuzzRepro> repro = ParseRepro(*text);
+    if (!repro.ok()) {
+      std::fprintf(stderr, "dbpc_fuzz: %s: %s\n", path.c_str(),
+                   repro.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    Status status = ReplayRepro(*repro, strategies);
+    if (status.ok()) {
+      std::printf("PASS %s\n", path.c_str());
+    } else {
+      std::printf("FAIL %s: %s\n", path.c_str(), status.ToString().c_str());
+      ++failed;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+void WriteRepros(const FuzzReport& report, const std::string& dir) {
+  for (const FuzzFailure& f : report.failures) {
+    FuzzRepro repro;
+    repro.note = "shrunk from seed " + std::to_string(f.seed) + " [" +
+                 FuzzStrategyName(f.strategy) + "] " + f.detail;
+    repro.c = f.shrunk;
+    std::string path = dir + "/seed-" + std::to_string(f.seed) + ".repro";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "dbpc_fuzz: cannot write %s\n", path.c_str());
+      continue;
+    }
+    out << ReproToText(repro);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  std::vector<FuzzStrategy> strategies;
+  std::vector<std::string> replay_paths;
+  std::string repro_dir;
+  bool print_case = false;
+  uint64_t print_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--iterations") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.iterations = std::atoi(v);
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      Result<FuzzStrategy> s = ParseFuzzStrategyName(v);
+      if (!s.ok()) {
+        std::fprintf(stderr, "dbpc_fuzz: %s\n", s.status().ToString().c_str());
+        return 2;
+      }
+      strategies.push_back(*s);
+    } else if (arg == "--shrink") {
+      options.shrink = true;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--max-failures") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.max_failures = std::atoi(v);
+    } else if (arg == "--write-repros") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      repro_dir = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      replay_paths.push_back(v);
+    } else if (arg == "--print-case") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      print_case = true;
+      print_seed = std::strtoull(v, nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  if (!strategies.empty()) options.strategies = strategies;
+
+  if (print_case) {
+    FuzzRepro repro;
+    repro.note = "generated case, seed " + std::to_string(print_seed);
+    repro.c = GenerateFuzzCase(print_seed);
+    std::fputs(ReproToText(repro).c_str(), stdout);
+    return 0;
+  }
+
+  if (!replay_paths.empty()) {
+    return ReplayAll(replay_paths, options.strategies);
+  }
+
+  FuzzReport report = RunFuzz(options);
+  std::fputs(report.ToText().c_str(), stdout);
+  if (!repro_dir.empty() && !report.failures.empty()) {
+    WriteRepros(report, repro_dir);
+  }
+  return report.Clean() ? 0 : 1;
+}

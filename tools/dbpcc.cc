@@ -185,9 +185,11 @@ int main(int argc, char** argv) {
     if (!target_db.ok()) return Fail(target_db.status(), "data translation");
     std::string out_path =
         data_out_path.empty() ? data_path + ".out" : data_out_path;
+    Result<std::string> dump_out = DumpDatabaseText(*target_db);
+    if (!dump_out.ok()) return Fail(dump_out.status(), "data dump");
     std::ofstream out(out_path);
     if (!out) return Fail(Status::NotFound("cannot write " + out_path), out_path);
-    out << DumpDatabaseText(*target_db);
+    out << *dump_out;
     std::fprintf(stderr, "translated %zu records -> %s\n",
                  target_db->RecordCount(), out_path.c_str());
   }
