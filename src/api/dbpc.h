@@ -19,6 +19,7 @@
 ///   Programs         Program, ParseProgram, ExecuteProgram (interpreter)
 ///   Restructuring    Transformation, RestructuringPlan, ParsePlan
 ///   Pipeline         ProgramAnalyzer, ProgramConverter, OptimizeProgram,
+///                    StatisticsCatalog (cost-based plan selection),
 ///                    GenerateCplSource, ConversionSupervisor,
 ///                    SupervisorOptions, AnalystMode
 ///   Batch service    ConversionService, ServiceOptions (parallel
@@ -51,6 +52,7 @@
 #include "convert/converter.h"
 #include "generate/generator.h"
 #include "optimize/optimizer.h"
+#include "optimize/stats.h"
 #include "supervisor/supervisor.h"
 
 #include "service/service.h"

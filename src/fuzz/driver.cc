@@ -10,6 +10,7 @@
 #include "fuzz/fuzz.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
+#include "optimize/stats.h"
 #include "restructure/plan_parser.h"
 #include "schema/ddl_parser.h"
 #include "supervisor/supervisor.h"
@@ -24,6 +25,8 @@ const char* FuzzStrategyName(FuzzStrategy s) {
       return "emulation";
     case FuzzStrategy::kBridge:
       return "bridge";
+    case FuzzStrategy::kOptimizerDiff:
+      return "optimizer";
   }
   return "unknown";
 }
@@ -32,13 +35,14 @@ Result<FuzzStrategy> ParseFuzzStrategyName(const std::string& name) {
   for (FuzzStrategy s : AllFuzzStrategies()) {
     if (name == FuzzStrategyName(s)) return s;
   }
-  return Status::InvalidArgument("unknown strategy '" + name +
-                                 "' (want rewrite, emulation or bridge)");
+  return Status::InvalidArgument(
+      "unknown strategy '" + name +
+      "' (want rewrite, emulation, bridge or optimizer)");
 }
 
 std::vector<FuzzStrategy> AllFuzzStrategies() {
   return {FuzzStrategy::kRewrite, FuzzStrategy::kEmulation,
-          FuzzStrategy::kBridge};
+          FuzzStrategy::kBridge, FuzzStrategy::kOptimizerDiff};
 }
 
 namespace {
@@ -181,6 +185,72 @@ StrategyRun RunBridge(const PreparedCase& p, const Trace& source_trace) {
   return Diff(FuzzStrategy::kBridge, source_trace, run->run.trace);
 }
 
+/// The optimizer-differential axis: converts with the optimizer off, runs
+/// the unoptimized program, then applies the cost-based optimizer (with
+/// statistics collected from the translated database) to a copy and diffs
+/// the two converted runs. The source trace plays no part — the oracle is
+/// the optimizer's own no-behaviour-change contract, so it catches bugs
+/// even in rewrites the other axes would mask.
+StrategyRun RunOptimizerDiff(const PreparedCase& p) {
+  SupervisorOptions options;
+  options.run_optimizer = false;
+  Result<ConversionSupervisor> supervisor = ConversionSupervisor::Create(
+      p.source_schema, p.plan.View(), options);
+  if (!supervisor.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "unoptimized pipeline",
+                  supervisor.status());
+  }
+  Result<PipelineOutcome> outcome = supervisor->ConvertProgram(p.program);
+  if (!outcome.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "unoptimized conversion",
+                  outcome.status());
+  }
+  const Program& unoptimized = outcome->conversion.converted;
+
+  Result<Database> baseline_db = LoadTarget(p);
+  if (!baseline_db.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "translate data",
+                  baseline_db.status());
+  }
+  Interpreter baseline_interp(&*baseline_db, p.script);
+  Result<RunResult> baseline = baseline_interp.Run(unoptimized);
+  if (!baseline.ok()) {
+    // The unoptimized converted program fails to run: a conversion bug,
+    // not an optimizer bug — the rewrite axis owns it.
+    return Skip(FuzzStrategy::kOptimizerDiff,
+                "unoptimized run failed: " + baseline.status().ToString());
+  }
+
+  // Statistics come from a pristine translated instance (the baseline run
+  // above may have mutated its copy).
+  Result<Database> stats_db = LoadTarget(p);
+  if (!stats_db.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "translate data",
+                  stats_db.status());
+  }
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(*stats_db);
+  Program optimized = unoptimized;
+  OptimizerStats ostats;
+  Status opt = OptimizeProgram(supervisor->target_schema(), &catalog,
+                               &optimized, &ostats);
+  if (!opt.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "optimize", opt);
+  }
+
+  Result<Database> optimized_db = LoadTarget(p);
+  if (!optimized_db.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "translate data",
+                  optimized_db.status());
+  }
+  Interpreter optimized_interp(&*optimized_db, p.script);
+  Result<RunResult> run = optimized_interp.Run(optimized);
+  if (!run.ok()) {
+    return Broken(FuzzStrategy::kOptimizerDiff, "run optimized program",
+                  run.status());
+  }
+  return Diff(FuzzStrategy::kOptimizerDiff, baseline->trace, run->trace);
+}
+
 }  // namespace
 
 CaseRun RunFuzzCase(const FuzzCase& c,
@@ -242,6 +312,9 @@ CaseRun RunFuzzCase(const FuzzCase& c,
         break;
       case FuzzStrategy::kBridge:
         out.strategies.push_back(RunBridge(*prepared, source_trace));
+        break;
+      case FuzzStrategy::kOptimizerDiff:
+        out.strategies.push_back(RunOptimizerDiff(*prepared));
         break;
     }
   }

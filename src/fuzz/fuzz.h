@@ -55,11 +55,17 @@ class FuzzRng {
 };
 
 /// The three conversion strategies of paper section 2.1.2 the harness
-/// cross-checks against the source program's behaviour.
+/// cross-checks against the source program's behaviour, plus a
+/// pipeline-internal axis that diffs the optimizer against itself.
 enum class FuzzStrategy {
   kRewrite,    ///< full pipeline conversion (ConversionSupervisor)
   kEmulation,  ///< per-call DML emulation (DmlEmulator)
   kBridge,     ///< bridge program over reconstructed source view
+  /// Converts with the optimizer off, then optimizes cost-based (with
+  /// statistics collected from the translated database) and diffs the
+  /// two converted programs' traces: any optimizer rewrite that changes
+  /// observable behaviour is a bug regardless of what the source did.
+  kOptimizerDiff,
 };
 
 const char* FuzzStrategyName(FuzzStrategy s);

@@ -1,12 +1,15 @@
 #include "optimize/optimizer.h"
 
+#include <algorithm>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "analyze/analyzer.h"
 #include "common/string_util.h"
 #include "engine/find_query.h"
+#include "optimize/stats.h"
 #include "restructure/rewrite_util.h"
 
 namespace dbpc {
@@ -37,19 +40,20 @@ std::optional<Predicate> Combine(std::vector<Predicate> conjuncts) {
 }
 
 /// One pushdown pass over a resolved query. Returns number of conjuncts
-/// moved.
+/// moved. Steps are addressed by index throughout: inserting an owner step
+/// reallocates `query->steps`, so no reference or iterator may be held
+/// across an insert.
 int PushdownPass(const Schema& schema, FindQuery* query) {
   int moved = 0;
   for (size_t i = 0; i < query->steps.size(); ++i) {
-    PathStep& step = query->steps[i];
-    if (step.kind != PathStep::Kind::kRecord ||
-        !step.qualification.has_value()) {
+    if (query->steps[i].kind != PathStep::Kind::kRecord ||
+        !query->steps[i].qualification.has_value()) {
       continue;
     }
-    const RecordTypeDef* rec = schema.FindRecordType(step.name);
+    const RecordTypeDef* rec = schema.FindRecordType(query->steps[i].name);
     if (rec == nullptr) continue;
     std::vector<Predicate> conjuncts;
-    if (!Flatten(*step.qualification, &conjuncts)) continue;
+    if (!Flatten(*query->steps[i].qualification, &conjuncts)) continue;
     std::vector<Predicate> stay;
     for (Predicate& c : conjuncts) {
       const FieldDef* f = rec->FindField(c.field());
@@ -155,21 +159,18 @@ bool IsPrefixOf(const std::vector<std::string>& prefix,
   return true;
 }
 
-}  // namespace
-
-Status OptimizeRetrieval(const Schema& schema, Retrieval* retrieval,
-                         OptimizerStats* stats) {
-  DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &retrieval->query));
-  // Predicate pushdown to a fixed point (chained virtuals climb one level
-  // per pass).
+/// The rule-based pass over an already-resolved retrieval: predicate
+/// pushdown to a fixed point, then redundant-SORT elimination.
+Status RulesPass(const Schema& schema, Retrieval* retrieval,
+                 OptimizerStats* stats) {
+  // Chained virtuals climb one level per pass.
   while (true) {
     int moved = PushdownPass(schema, &retrieval->query);
     if (moved == 0) break;
     stats->predicates_pushed += moved;
     DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &retrieval->query));
   }
-  // Redundant SORT elimination: stable-sorting by a prefix of the natural
-  // order keys is the identity.
+  // Stable-sorting by a prefix of the natural order keys is the identity.
   if (!retrieval->sort_on.empty()) {
     std::optional<std::vector<std::string>> natural =
         NaturalOrderKeys(schema, retrieval->query);
@@ -181,14 +182,313 @@ Status OptimizeRetrieval(const Schema& schema, Retrieval* retrieval,
   return Status::OK();
 }
 
+// --- cost-based plan enumeration ---------------------------------------
+
+bool AutoMandatory(const SetDef& set) {
+  return set.insertion == InsertionClass::kAutomatic &&
+         set.retention == RetentionClass::kMandatory;
+}
+
+/// The chain shape of a SYSTEM-rooted set/record path: the traversed sets
+/// in order plus every record-step qualification tagged with how many sets
+/// precede it. `ok` is false when the query has joins, collection starts,
+/// unresolved steps, or any set that is not AUTOMATIC/MANDATORY (entry
+/// swaps rely on every live record being connected at all times).
+struct PathShape {
+  std::vector<const SetDef*> sets;
+  std::vector<std::pair<size_t, Predicate>> quals;
+  bool ok = false;
+};
+
+PathShape AnalyzeChain(const Schema& schema, const FindQuery& query) {
+  PathShape shape;
+  if (!query.starts_at_system()) return shape;
+  for (const PathStep& step : query.steps) {
+    if (step.kind == PathStep::Kind::kSet) {
+      const SetDef* set = schema.FindSet(step.name);
+      if (set == nullptr || !AutoMandatory(*set)) return shape;
+      shape.sets.push_back(set);
+    } else if (step.kind == PathStep::Kind::kRecord) {
+      if (step.qualification.has_value()) {
+        shape.quals.emplace_back(shape.sets.size(), *step.qualification);
+      }
+    } else {
+      return shape;
+    }
+  }
+  if (shape.sets.empty()) return shape;
+  shape.ok = true;
+  return shape;
+}
+
+/// Rewrites `pred` (a qualification on the owner type of `via`) onto the
+/// member type, by renaming each referenced field to the member's VIRTUAL
+/// alias declared via this set. Returns false (leaving `pred` in an
+/// unspecified state the caller discards) when some field has no alias.
+bool RemapQualOneLevel(const Schema& schema, const SetDef& via,
+                       Predicate* pred) {
+  const RecordTypeDef* member = schema.FindRecordType(via.member);
+  if (member == nullptr) return false;
+  std::vector<std::string> fields;
+  pred->CollectFields(&fields);
+  std::vector<std::pair<std::string, std::string>> mapping;
+  for (const std::string& f : fields) {
+    const FieldDef* alias = nullptr;
+    for (const FieldDef& mf : member->fields) {
+      if (mf.is_virtual && EqualsIgnoreCase(mf.via_set, via.name) &&
+          EqualsIgnoreCase(mf.using_field, f)) {
+        alias = &mf;
+        break;
+      }
+    }
+    if (alias == nullptr) return false;
+    mapping.emplace_back(f, ToUpper(alias->name));
+  }
+  // Two-phase rename through placeholders so an alias that collides with
+  // another original field name cannot be captured.
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    pred->RenameField(mapping[i].first, "#" + std::to_string(i));
+  }
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    pred->RenameField("#" + std::to_string(i), mapping[i].second);
+  }
+  return true;
+}
+
+/// True when a stable SORT of `type` records on `sort_on` produces one
+/// deterministic order regardless of input order: some AUTOMATIC/MANDATORY
+/// system-owned sorted set over the type has its full (non-empty) key list
+/// inside `sort_on` — the engine rejects duplicate full keys within the
+/// single system occurrence, so no two live records tie on the sort keys.
+bool SortIsDeterministic(const Schema& schema, const std::string& type,
+                         const std::vector<std::string>& sort_on) {
+  if (sort_on.empty()) return false;
+  for (const SetDef& set : schema.sets()) {
+    if (!set.system_owned() || !EqualsIgnoreCase(set.member, type)) continue;
+    if (!AutoMandatory(set)) continue;
+    if (set.ordering != SetOrdering::kSortedByKeys || set.keys.empty()) {
+      continue;
+    }
+    bool all_in = true;
+    for (const std::string& key : set.keys) {
+      if (!rewrite::Contains(sort_on, key)) all_in = false;
+    }
+    if (all_in) return true;
+  }
+  return false;
+}
+
+/// True when `qual` selects at most one `type` record: either a declared
+/// uniqueness constraint covers it (SelectsAtMostOne), or its AND-conjuncts
+/// pin every key of a sorted AUTOMATIC/MANDATORY system-owned set with
+/// equalities (full keys are globally duplicate-free in the single system
+/// occurrence).
+bool PinsUniqueKey(const Schema& schema, const std::string& type,
+                   const Predicate& qual) {
+  if (SelectsAtMostOne(schema, type, qual)) return true;
+  std::vector<Predicate> conjuncts;
+  if (!Flatten(qual, &conjuncts)) return false;
+  for (const SetDef& set : schema.sets()) {
+    if (!set.system_owned() || !EqualsIgnoreCase(set.member, type)) continue;
+    if (!AutoMandatory(set)) continue;
+    if (set.ordering != SetOrdering::kSortedByKeys || set.keys.empty()) {
+      continue;
+    }
+    bool covered = true;
+    for (const std::string& key : set.keys) {
+      bool found = false;
+      for (const Predicate& c : conjuncts) {
+        if (c.op() == CompareOp::kEq && EqualsIgnoreCase(c.field(), key)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) covered = false;
+    }
+    if (covered) return true;
+  }
+  return false;
+}
+
+/// Builds the entry-point swap of `original` onto system-owned set `entry`:
+/// FIND(T: SYSTEM, entry, T(<all qualifications remapped down to T>)).
+///
+/// Soundness: every chain set and `entry` are AUTOMATIC/MANDATORY, so the
+/// original traversal reaches every live T exactly once and so does the
+/// swapped scan; each intermediate qualification remaps level-by-level
+/// through declared VIRTUAL aliases, which the engine resolves through the
+/// very set link the traversal would have followed — the same values are
+/// read. Result *order* differs, so the swap is admitted only when order
+/// cannot be observed: the trailing SORT is deterministic over the result
+/// values, or the qualification pins a unique key (at most one record).
+std::optional<Retrieval> BuildEntrySwap(const Schema& schema,
+                                        const Retrieval& original,
+                                        const PathShape& shape,
+                                        const SetDef& entry) {
+  std::optional<Predicate> combined;
+  for (const auto& [sets_seen, pred] : shape.quals) {
+    Predicate remapped = pred;
+    bool ok = true;
+    for (size_t j = sets_seen; j < shape.sets.size(); ++j) {
+      if (!RemapQualOneLevel(schema, *shape.sets[j], &remapped)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) return std::nullopt;
+    rewrite::AndOnto(&combined, std::move(remapped));
+  }
+  Retrieval swapped;
+  swapped.query.target_type = ToUpper(original.query.target_type);
+  swapped.query.start = "SYSTEM";
+  swapped.query.steps.push_back(
+      PathStep::Make(PathStep::Kind::kSet, ToUpper(entry.name)));
+  swapped.query.steps.push_back(PathStep::Make(
+      PathStep::Kind::kRecord, ToUpper(original.query.target_type), combined));
+  swapped.sort_on = original.sort_on;
+  if (!ResolveFindQuery(schema, &swapped.query).ok()) return std::nullopt;
+  bool order_safe =
+      SortIsDeterministic(schema, swapped.query.target_type,
+                          swapped.sort_on) ||
+      (combined.has_value() &&
+       PinsUniqueKey(schema, swapped.query.target_type, *combined));
+  if (!order_safe) return std::nullopt;
+  return swapped;
+}
+
+struct Candidate {
+  std::string label;
+  Retrieval r;
+  OptimizerStats local;
+  double cost = 0.0;
+};
+
+Status CostBasedOptimize(const Schema& schema,
+                         const StatisticsCatalog& catalog,
+                         Retrieval* retrieval, OptimizerStats* stats) {
+  const Retrieval original = *retrieval;
+  std::vector<Candidate> candidates;
+
+  // The rule-based plan goes first: on a cost tie the behaviour is exactly
+  // the no-stats fallback's.
+  {
+    Candidate c;
+    c.label = "rules";
+    c.r = original;
+    DBPC_RETURN_IF_ERROR(RulesPass(schema, &c.r, &c.local));
+    candidates.push_back(std::move(c));
+  }
+  {
+    Candidate c;
+    c.label = "original";
+    c.r = original;
+    candidates.push_back(std::move(c));
+  }
+  PathShape shape = AnalyzeChain(schema, original.query);
+  if (shape.ok) {
+    for (const SetDef& set : schema.sets()) {
+      if (!set.system_owned() ||
+          !EqualsIgnoreCase(set.member, original.query.target_type) ||
+          !AutoMandatory(set)) {
+        continue;
+      }
+      std::optional<Retrieval> swapped =
+          BuildEntrySwap(schema, original, shape, set);
+      if (!swapped.has_value()) continue;
+      Candidate c;
+      c.label = "entry via " + ToUpper(set.name);
+      c.r = std::move(*swapped);
+      // SORT-vs-ordered-traversal: the new entry may already deliver the
+      // requested order.
+      if (!c.r.sort_on.empty()) {
+        std::optional<std::vector<std::string>> natural =
+            NaturalOrderKeys(schema, c.r.query);
+        if (natural.has_value() && IsPrefixOf(c.r.sort_on, *natural)) {
+          c.r.sort_on.clear();
+          ++c.local.sorts_removed;
+        }
+      }
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  for (Candidate& c : candidates) {
+    c.cost = EstimateRetrievalCost(schema, catalog, c.r);
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].cost < candidates[best].cost) best = i;
+  }
+
+  PlanChoice choice;
+  choice.original = original.ToString();
+  choice.chosen = candidates[best].r.ToString();
+  choice.cost_rules = candidates[0].cost;
+  choice.cost_chosen = candidates[best].cost;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    PlanCandidate pc;
+    pc.plan = candidates[i].label + ": " + candidates[i].r.ToString();
+    pc.cost = candidates[i].cost;
+    pc.chosen = i == best;
+    choice.candidates.push_back(std::move(pc));
+  }
+  stats->plans_costed += static_cast<int>(candidates.size());
+  if (!(candidates[best].r == candidates[0].r)) {
+    ++stats->plans_rerouted;
+    stats->estimated_ops_saved +=
+        std::max(0.0, candidates[0].cost - candidates[best].cost);
+  }
+  stats->predicates_pushed += candidates[best].local.predicates_pushed;
+  stats->sorts_removed += candidates[best].local.sorts_removed;
+  stats->plan_choices.push_back(std::move(choice));
+  *retrieval = std::move(candidates[best].r);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status OptimizeRetrieval(const Schema& schema,
+                         const StatisticsCatalog* catalog,
+                         Retrieval* retrieval, OptimizerStats* stats) {
+  DBPC_RETURN_IF_ERROR(ResolveFindQuery(schema, &retrieval->query));
+  if (catalog == nullptr || catalog->empty()) {
+    return RulesPass(schema, retrieval, stats);
+  }
+  return CostBasedOptimize(schema, *catalog, retrieval, stats);
+}
+
+Status OptimizeRetrieval(const Schema& schema, Retrieval* retrieval,
+                         OptimizerStats* stats) {
+  return OptimizeRetrieval(schema, nullptr, retrieval, stats);
+}
+
+Status OptimizeProgram(const Schema& schema, const StatisticsCatalog* catalog,
+                       Program* program, OptimizerStats* stats) {
+  Status first = Status::OK();
+  int failed = 0;
+  rewrite::ForEachRetrievalMut(program, [&](Retrieval* r) {
+    Retrieval saved = *r;
+    Status s = OptimizeRetrieval(schema, catalog, r, stats);
+    if (!s.ok()) {
+      // A failed retrieval keeps its pre-optimization form, so the program
+      // reads as if --no-optimizer had been used at exactly the failing
+      // sites; other retrievals keep their improvements.
+      *r = std::move(saved);
+      ++failed;
+      if (first.ok()) first = s;
+    }
+  });
+  if (failed > 1) {
+    return Status(first.code(),
+                  first.message() + " (and " + std::to_string(failed - 1) +
+                      " more retrievals left unoptimized)");
+  }
+  return first;
+}
+
 Status OptimizeProgram(const Schema& schema, Program* program,
                        OptimizerStats* stats) {
-  Status status = Status::OK();
-  rewrite::ForEachRetrievalMut(program, [&](Retrieval* r) {
-    Status s = OptimizeRetrieval(schema, r, stats);
-    if (!s.ok() && status.ok()) status = s;
-  });
-  return status;
+  return OptimizeProgram(schema, nullptr, program, stats);
 }
 
 }  // namespace dbpc

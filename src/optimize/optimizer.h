@@ -10,18 +10,50 @@
 
 namespace dbpc {
 
+class StatisticsCatalog;
+
+/// One priced access path considered by the cost-based pass.
+struct PlanCandidate {
+  /// "<label>: <retrieval text>", e.g. "entry via ALL-EMP: FIND(...)".
+  std::string plan;
+  /// Estimated engine operations (OpStats units, see optimize/stats.h).
+  double cost = 0.0;
+  bool chosen = false;
+};
+
+/// The cost-based decision for one retrieval (dbpcc --explain).
+struct PlanChoice {
+  std::string original;
+  std::string chosen;
+  /// Cost of the rule-based plan (the no-stats fallback) vs. the winner.
+  double cost_rules = 0.0;
+  double cost_chosen = 0.0;
+  std::vector<PlanCandidate> candidates;
+};
+
 /// What the optimizer did (benchmarked in the optimizer-effect experiment).
 struct OptimizerStats {
   int predicates_pushed = 0;
   int sorts_removed = 0;
+  /// Candidate plans priced by the cost-based pass.
+  int plans_costed = 0;
+  /// Retrievals whose chosen plan differs from the rule-based one.
+  int plans_rerouted = 0;
+  /// Sum over retrievals of max(0, rules cost - chosen cost), in estimated
+  /// engine operations.
+  double estimated_ops_saved = 0.0;
+  /// One entry per retrieval the cost-based pass decided (empty when the
+  /// optimizer ran rules-only).
+  std::vector<PlanChoice> plan_choices;
 
-  bool Changed() const { return predicates_pushed > 0 || sorts_removed > 0; }
+  bool Changed() const {
+    return predicates_pushed > 0 || sorts_removed > 0 || plans_rerouted > 0;
+  }
 };
 
 /// The Optimizer of Figure 4.1: refines the converted program representation,
 /// "improving access paths, algorithms, and data handling" (paper section
-/// 5.4). Two rewrites are implemented, both of which the Figure 4.2 -> 4.4
-/// conversion needs to produce the paper's hand-optimized target programs:
+/// 5.4). Two rule-based rewrites are always available:
 ///
 ///  1. Predicate pushdown through VIRTUAL fields: a qualification on a
 ///     member field that derives from a set owner moves onto the owner's
@@ -33,13 +65,34 @@ struct OptimizerStats {
 ///     natural order of the path (single traversed occurrence of a set
 ///     sorted by the same keys) is dropped.
 ///
+/// With a StatisticsCatalog (optimize/stats.h) the optimizer additionally
+/// enumerates legal alternative access paths per retrieval — entry-point
+/// swaps onto other system-owned sets over the target type (intermediate
+/// qualifications remapped down through declared VIRTUAL fields), plus the
+/// SORT-vs-ordered-traversal choice — prices every candidate with the cost
+/// model, and keeps the cheapest. Rewrites are admitted only when provably
+/// trace-equivalent (AUTOMATIC/MANDATORY membership along the path, and a
+/// result order either normalized by the trailing SORT or of at most one
+/// record); statistics influence cost only, never correctness.
+///
 /// The program must already be valid against `schema`.
+
+/// Rules-only entry points (no statistics).
 Status OptimizeProgram(const Schema& schema, Program* program,
                        OptimizerStats* stats);
-
-/// Optimizes a single retrieval (exposed for tests and benches).
 Status OptimizeRetrieval(const Schema& schema, Retrieval* retrieval,
                          OptimizerStats* stats);
+
+/// Cost-based entry points. A null (or empty) catalog falls back to the
+/// rule-based pass. On error each failing retrieval is restored to its
+/// pre-optimization form, so the program is exactly what --no-optimizer
+/// would have emitted at every failed site; successfully optimized
+/// retrievals keep their improvement.
+Status OptimizeProgram(const Schema& schema, const StatisticsCatalog* catalog,
+                       Program* program, OptimizerStats* stats);
+Status OptimizeRetrieval(const Schema& schema,
+                         const StatisticsCatalog* catalog,
+                         Retrieval* retrieval, OptimizerStats* stats);
 
 /// The key list producing the natural global order of a SYSTEM-rooted
 /// query's result, or nullopt when the result order is occurrence-grouped

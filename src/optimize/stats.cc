@@ -1,0 +1,273 @@
+#include "optimize/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+/// Unknown-field / unknown-type equality selectivity.
+constexpr double kDefaultEqSelectivity = 0.1;
+/// Range-comparison selectivity (the classic 1/3 heuristic).
+constexpr double kRangeSelectivity = 1.0 / 3.0;
+/// Fan-out guess for sets absent from the catalog.
+constexpr double kDefaultFanout = 4.0;
+/// Effectively-infinite cost for unresolvable plans.
+constexpr double kUnknownPlanCost = 1e12;
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+/// Follows a virtual-field chain to the (type, field) whose stored values
+/// the virtual mirrors. Returns through the out-params; bounded by `depth`.
+void ResolveFieldSource(const Schema& schema, std::string* type,
+                        std::string* field) {
+  for (int depth = 0; depth < 8; ++depth) {
+    const RecordTypeDef* rec = schema.FindRecordType(*type);
+    if (rec == nullptr) return;
+    const FieldDef* f = rec->FindField(*field);
+    if (f == nullptr || !f->is_virtual) return;
+    const SetDef* set = schema.FindSet(f->via_set);
+    if (set == nullptr) return;
+    *type = set->owner;
+    *field = f->using_field;
+  }
+}
+
+double FieldReadCostDepth(const Schema& schema, const std::string& type,
+                          const std::string& field, int depth) {
+  if (depth > 8) return 1.0;
+  const RecordTypeDef* rec = schema.FindRecordType(type);
+  if (rec == nullptr) return 1.0;
+  const FieldDef* f = rec->FindField(field);
+  if (f == nullptr || !f->is_virtual) return 1.0;
+  const SetDef* set = schema.FindSet(f->via_set);
+  if (set == nullptr) return 3.0;
+  // The member's own GetField, the OwnerOf scan, then the owner's read.
+  return 2.0 + FieldReadCostDepth(schema, set->owner, f->using_field,
+                                  depth + 1);
+}
+
+}  // namespace
+
+StatisticsCatalog StatisticsCatalog::Collect(const Database& db) {
+  StatisticsCatalog catalog;
+  const Store& store = db.raw_store();
+  const Schema& schema = db.schema();
+  for (const RecordTypeDef& rec : schema.record_types()) {
+    RecordTypeStatistics ts;
+    std::vector<RecordId> ids = store.AllOfType(rec.name);
+    ts.count = ids.size();
+    for (const FieldDef& f : rec.fields) {
+      if (f.is_virtual) continue;
+      std::set<std::string> seen;
+      for (RecordId id : ids) {
+        const StoredRecord* r = store.Get(id);
+        if (r == nullptr) continue;
+        auto it = r->fields.find(ToUpper(f.name));
+        if (it == r->fields.end() || it->second.is_null()) continue;
+        seen.insert(it->second.ToLiteral());
+      }
+      ts.distinct_values[ToUpper(f.name)] = seen.size();
+    }
+    catalog.types_[ToUpper(rec.name)] = std::move(ts);
+  }
+  for (const SetDef& set : schema.sets()) {
+    SetStatistics ss;
+    std::set<RecordId> owners;
+    for (RecordId id : store.AllOfType(set.member)) {
+      RecordId owner = store.OwnerOf(set.name, id);
+      if (owner == 0) continue;
+      ++ss.total_members;
+      owners.insert(owner);
+    }
+    ss.occurrences = owners.size();
+    catalog.sets_[ToUpper(set.name)] = ss;
+  }
+  return catalog;
+}
+
+uint64_t StatisticsCatalog::TypeCount(const std::string& type) const {
+  auto it = types_.find(ToUpper(type));
+  return it == types_.end() ? 0 : it->second.count;
+}
+
+const SetStatistics* StatisticsCatalog::SetStats(
+    const std::string& set_name) const {
+  auto it = sets_.find(ToUpper(set_name));
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+double StatisticsCatalog::EqualitySelectivity(const std::string& type,
+                                              const std::string& field) const {
+  auto t = types_.find(ToUpper(type));
+  if (t == types_.end() || t->second.count == 0) return kDefaultEqSelectivity;
+  auto f = t->second.distinct_values.find(ToUpper(field));
+  if (f == t->second.distinct_values.end() || f->second == 0) {
+    return kDefaultEqSelectivity;
+  }
+  double count = static_cast<double>(t->second.count);
+  return Clamp01(std::max(1.0 / count, 1.0 / static_cast<double>(f->second)));
+}
+
+std::string StatisticsCatalog::ToText() const {
+  std::string out;
+  for (const auto& [name, ts] : types_) {
+    out += "type " + name + ": " + std::to_string(ts.count) + " records";
+    for (const auto& [field, distinct] : ts.distinct_values) {
+      out += ", " + field + "=" + std::to_string(distinct) + " distinct";
+    }
+    out += "\n";
+  }
+  for (const auto& [name, ss] : sets_) {
+    out += "set " + name + ": " + std::to_string(ss.occurrences) +
+           " occurrences, " + std::to_string(ss.total_members) + " members";
+    char fanout[32];
+    std::snprintf(fanout, sizeof(fanout), ", fan-out %.2f", ss.AvgFanout());
+    out += fanout;
+    out += "\n";
+  }
+  return out;
+}
+
+double FieldReadCost(const Schema& schema, const std::string& type,
+                     const std::string& field) {
+  return FieldReadCostDepth(schema, type, field, 0);
+}
+
+double PredicateEvalCost(const Schema& schema, const std::string& type,
+                         const Predicate& pred) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kCompare:
+      return FieldReadCost(schema, type, pred.field());
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return PredicateEvalCost(schema, type, *pred.lhs_child()) +
+             PredicateEvalCost(schema, type, *pred.rhs_child());
+    case Predicate::Kind::kNot:
+      return PredicateEvalCost(schema, type, *pred.lhs_child());
+  }
+  return 0.0;
+}
+
+double EstimateSelectivity(const StatisticsCatalog& catalog,
+                           const Schema& schema, const std::string& type,
+                           const Predicate& pred) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kCompare: {
+      switch (pred.op()) {
+        case CompareOp::kEq: {
+          std::string src_type = type;
+          std::string src_field = pred.field();
+          ResolveFieldSource(schema, &src_type, &src_field);
+          return catalog.EqualitySelectivity(src_type, src_field);
+        }
+        case CompareOp::kNe: {
+          std::string src_type = type;
+          std::string src_field = pred.field();
+          ResolveFieldSource(schema, &src_type, &src_field);
+          return Clamp01(
+              1.0 - catalog.EqualitySelectivity(src_type, src_field));
+        }
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          return kRangeSelectivity;
+        case CompareOp::kIsNull:
+          return 0.05;
+        case CompareOp::kIsNotNull:
+          return 0.95;
+      }
+      return kDefaultEqSelectivity;
+    }
+    case Predicate::Kind::kAnd:
+      return Clamp01(
+          EstimateSelectivity(catalog, schema, type, *pred.lhs_child()) *
+          EstimateSelectivity(catalog, schema, type, *pred.rhs_child()));
+    case Predicate::Kind::kOr: {
+      double l = EstimateSelectivity(catalog, schema, type, *pred.lhs_child());
+      double r = EstimateSelectivity(catalog, schema, type, *pred.rhs_child());
+      return Clamp01(l + r - l * r);
+    }
+    case Predicate::Kind::kNot:
+      return Clamp01(
+          1.0 - EstimateSelectivity(catalog, schema, type, *pred.lhs_child()));
+  }
+  return 1.0;
+}
+
+double EstimateRetrievalCost(const Schema& schema,
+                             const StatisticsCatalog& catalog,
+                             const Retrieval& retrieval) {
+  const FindQuery& q = retrieval.query;
+  double cost = 0.0;
+  // Collection starts have statically unknown cardinality; any consistent
+  // guess compares same-start plans fairly.
+  double rows = q.starts_at_system() ? 1.0 : 8.0;
+  std::string context;
+  for (const PathStep& step : q.steps) {
+    switch (step.kind) {
+      case PathStep::Kind::kSet: {
+        const SetDef* set = schema.FindSet(step.name);
+        if (set == nullptr) return cost + kUnknownPlanCost;
+        const SetStatistics* ss = catalog.SetStats(set->name);
+        double out;
+        if (set->system_owned()) {
+          out = ss != nullptr ? static_cast<double>(ss->total_members)
+                              : static_cast<double>(
+                                    catalog.TypeCount(set->member));
+        } else {
+          double fanout = ss != nullptr ? ss->AvgFanout() : kDefaultFanout;
+          out = rows * fanout;
+        }
+        cost += out;  // every member scan is one members_scanned unit
+        rows = out;
+        context = set->member;
+        break;
+      }
+      case PathStep::Kind::kRecord: {
+        context = step.name;
+        if (step.qualification.has_value()) {
+          cost += rows *
+                  PredicateEvalCost(schema, context, *step.qualification);
+          rows *= EstimateSelectivity(catalog, schema, context,
+                                      *step.qualification);
+        }
+        break;
+      }
+      case PathStep::Kind::kJoin: {
+        double n = static_cast<double>(catalog.TypeCount(step.name));
+        cost += n;  // AllOfType reads every record of the joined type
+        cost += rows * FieldReadCost(schema, context, step.join_source_field);
+        cost +=
+            rows * n * FieldReadCost(schema, step.name, step.join_target_field);
+        rows = rows * n *
+               catalog.EqualitySelectivity(step.name, step.join_target_field);
+        context = step.name;
+        if (step.qualification.has_value()) {
+          cost += rows *
+                  PredicateEvalCost(schema, context, *step.qualification);
+          rows *= EstimateSelectivity(catalog, schema, context,
+                                      *step.qualification);
+        }
+        break;
+      }
+      case PathStep::Kind::kUnresolved:
+        return cost + kUnknownPlanCost;
+    }
+  }
+  if (!retrieval.sort_on.empty()) {
+    double per_record = 0.0;
+    for (const std::string& key : retrieval.sort_on) {
+      per_record += FieldReadCost(schema, q.target_type, key);
+    }
+    cost += rows * per_record;
+  }
+  return cost;
+}
+
+}  // namespace dbpc

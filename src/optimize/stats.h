@@ -1,0 +1,107 @@
+#ifndef DBPC_OPTIMIZE_STATS_H_
+#define DBPC_OPTIMIZE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "engine/database.h"
+#include "engine/find_query.h"
+#include "schema/schema.h"
+
+namespace dbpc {
+
+/// Per-set population statistics.
+struct SetStatistics {
+  /// Occurrences with at least one member (a system-owned set has at most
+  /// one occurrence).
+  uint64_t occurrences = 0;
+  /// Members connected across all occurrences.
+  uint64_t total_members = 0;
+
+  double AvgFanout() const {
+    return occurrences == 0 ? 0.0
+                            : static_cast<double>(total_members) /
+                                  static_cast<double>(occurrences);
+  }
+};
+
+/// Per-record-type population statistics.
+struct RecordTypeStatistics {
+  uint64_t count = 0;
+  /// Actual field name -> number of distinct non-null values.
+  std::map<std::string, uint64_t> distinct_values;
+};
+
+/// Database statistics feeding the cost-based optimizer: record counts per
+/// type, set occurrence counts and fan-out, and per-field distinct-value
+/// estimates for equality selectivity. Collected from a live instance (for
+/// conversion, the *translated* target database — the optimizer runs over
+/// the target schema). Statistics inform cost decisions only, never
+/// correctness: a plan chosen under stale statistics is slower, not wrong.
+class StatisticsCatalog {
+ public:
+  StatisticsCatalog() = default;
+
+  /// Scans the database through its raw store, so collection does not
+  /// disturb the engine's OpStats counters.
+  static StatisticsCatalog Collect(const Database& db);
+
+  bool empty() const { return types_.empty() && sets_.empty(); }
+
+  /// Live records of `type`; 0 when unknown.
+  uint64_t TypeCount(const std::string& type) const;
+
+  /// Statistics for `set_name`, or nullptr when unknown.
+  const SetStatistics* SetStats(const std::string& set_name) const;
+
+  /// Estimated fraction of `type` records matching an equality on `field`:
+  /// 1 / distinct-values, clamped to [1/count, 1]. Falls back to a 0.1
+  /// heuristic when the field (or type) was not collected.
+  double EqualitySelectivity(const std::string& type,
+                             const std::string& field) const;
+
+  /// Human-readable dump (dbpcc --explain).
+  std::string ToText() const;
+
+ private:
+  std::map<std::string, RecordTypeStatistics> types_;
+  std::map<std::string, SetStatistics> sets_;
+};
+
+// --- cost model ---------------------------------------------------------
+//
+// Costs are priced in the engine's own OpStats units (engine/database.h):
+// one unit per record read, member scanned, record written or link changed.
+// EstimateRetrievalCost therefore predicts the OpStats::Total() delta of
+// evaluating a retrieval, which is what bench_optimizer measures and what
+// dbpcc --explain reports as estimated-vs-actual.
+
+/// Engine operations charged by one Database::GetField call: 1 for an
+/// actual field; a virtual field adds an OwnerOf scan plus the owner's own
+/// read per chain level (so a depth-1 virtual costs ~3).
+double FieldReadCost(const Schema& schema, const std::string& type,
+                     const std::string& field);
+
+/// Engine operations charged by evaluating `pred` against one `type`
+/// record (every leaf comparison reads its field; short-circuiting is
+/// ignored, which prices all candidate plans consistently).
+double PredicateEvalCost(const Schema& schema, const std::string& type,
+                         const Predicate& pred);
+
+/// Estimated fraction of `type` records satisfying `pred`. The schema is
+/// used to resolve virtual-field equalities to the owner field whose
+/// distinct-value count actually governs them.
+double EstimateSelectivity(const StatisticsCatalog& catalog,
+                           const Schema& schema, const std::string& type,
+                           const Predicate& pred);
+
+/// Estimated engine operations to evaluate a *resolved* retrieval (FIND
+/// path walk plus the trailing SORT key materialization).
+double EstimateRetrievalCost(const Schema& schema,
+                             const StatisticsCatalog& catalog,
+                             const Retrieval& retrieval);
+
+}  // namespace dbpc
+
+#endif  // DBPC_OPTIMIZE_STATS_H_

@@ -1,6 +1,9 @@
 #include "supervisor/supervisor.h"
 
+#include <cmath>
 #include <optional>
+
+#include "optimize/stats.h"
 
 namespace dbpc {
 
@@ -94,6 +97,7 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
       timer.emplace(metrics->GetHistogram("stage.optimize_us"));
     }
     DBPC_RETURN_IF_ERROR(OptimizeProgram(converter_.target_schema(),
+                                         options_.statistics,
                                          &outcome.conversion.converted,
                                          &outcome.optimizer_stats));
   }
@@ -121,6 +125,21 @@ void ConversionSupervisor::RecordOutcomeMetrics(
     metrics->GetCounter("optimizer.sorts_removed")
         ->Increment(
             static_cast<uint64_t>(outcome.optimizer_stats.sorts_removed));
+  }
+  if (outcome.optimizer_stats.plans_costed > 0) {
+    metrics->GetCounter("optimizer.plans_costed")
+        ->Increment(
+            static_cast<uint64_t>(outcome.optimizer_stats.plans_costed));
+  }
+  if (outcome.optimizer_stats.plans_rerouted > 0) {
+    metrics->GetCounter("optimizer.plans_rerouted")
+        ->Increment(
+            static_cast<uint64_t>(outcome.optimizer_stats.plans_rerouted));
+  }
+  if (outcome.optimizer_stats.estimated_ops_saved >= 1.0) {
+    metrics->GetCounter("optimizer.est_ops_saved")
+        ->Increment(static_cast<uint64_t>(
+            std::llround(outcome.optimizer_stats.estimated_ops_saved)));
   }
 }
 

@@ -11,6 +11,8 @@
 
 namespace dbpc {
 
+class StatisticsCatalog;
+
 /// The Conversion Analyst's decision procedure. The supervisor asks one
 /// question per analyst-facing issue or note; returning true approves the
 /// proposed handling, false rejects the conversion.
@@ -35,6 +37,11 @@ enum class AnalystMode {
 /// Supervisor configuration.
 struct SupervisorOptions {
   bool run_optimizer = true;
+  /// Statistics of the *translated* target database instance
+  /// (optimize/stats.h). When set (and non-empty) the optimizer runs
+  /// cost-based plan selection; otherwise the rule-based pass is the
+  /// fallback. Must outlive the supervisor.
+  const StatisticsCatalog* statistics = nullptr;
   AnalystMode mode = AnalystMode::kAuto;
   /// Null behaves like RejectAllAnalyst(): only kAutomatic conversions are
   /// accepted. When conversions run on several worker threads

@@ -6,6 +6,7 @@
 #include "equivalence/checker.h"
 #include "lang/parser.h"
 #include "restructure/transformation.h"
+#include "schema/ddl_parser.h"
 #include "testing/fixtures.h"
 
 namespace dbpc {
@@ -207,6 +208,180 @@ END PROGRAM.)");
       CheckEquivalence(db, original, db, optimized, IoScript());
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->equivalent) << report->detail;
+}
+
+// Five-level chain whose middle and last records both carry a virtual
+// field, with the owner record steps omitted from the query path: both
+// conjuncts force an owner-step insertion within one PushdownPass call,
+// which reallocates `steps` twice. Regression for the dangling-reference
+// pushdown loop (it held a PathStep& across the insert).
+std::string ChainDdl() {
+  return R"(
+SCHEMA NAME IS CHAIN
+RECORD SECTION.
+  RECORD NAME IS A.
+  FIELDS ARE.
+    A-NAME PIC X(10).
+  END RECORD.
+  RECORD NAME IS B.
+  FIELDS ARE.
+    B-NAME PIC X(10).
+  END RECORD.
+  RECORD NAME IS C.
+  FIELDS ARE.
+    C-NAME PIC X(10).
+    B-NAME VIRTUAL VIA BC USING B-NAME.
+  END RECORD.
+  RECORD NAME IS D.
+  FIELDS ARE.
+    D-NAME PIC X(10).
+  END RECORD.
+  RECORD NAME IS E.
+  FIELDS ARE.
+    E-NAME PIC X(10).
+    D-NAME VIRTUAL VIA DE USING D-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-A.
+  OWNER IS SYSTEM.
+  MEMBER IS A.
+  SET KEYS ARE (A-NAME).
+  END SET.
+  SET NAME IS AB.
+  OWNER IS A.
+  MEMBER IS B.
+  SET KEYS ARE (B-NAME).
+  END SET.
+  SET NAME IS BC.
+  OWNER IS B.
+  MEMBER IS C.
+  SET KEYS ARE (C-NAME).
+  END SET.
+  SET NAME IS CD.
+  OWNER IS C.
+  MEMBER IS D.
+  SET KEYS ARE (D-NAME).
+  END SET.
+  SET NAME IS DE.
+  OWNER IS D.
+  MEMBER IS E.
+  SET KEYS ARE (E-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+)";
+}
+
+TEST(OptimizerTest, TwoOwnerStepInsertionsInOnePass) {
+  Database db = MakeDatabase(ChainDdl());
+  OptimizerStats stats;
+  Retrieval r = MustOptimize(
+      db,
+      "FIND(E: SYSTEM, ALL-A, AB, BC, C(B-NAME = 'B1'), CD, DE, "
+      "E(D-NAME = 'D1'))",
+      &stats);
+  EXPECT_EQ(stats.predicates_pushed, 2);
+  EXPECT_EQ(r.ToString(),
+            "FIND(E: SYSTEM, ALL-A, AB, B(B-NAME = 'B1'), BC, C, CD, "
+            "D(D-NAME = 'D1'), DE, E)");
+}
+
+TEST(OptimizerTest, FailedRetrievalRestoredOnError) {
+  Database db = RevisedCompany();
+  const std::string broken =
+      "RETRIEVE C1 = FIND(EMP: SYSTEM, NO-SUCH-SET, EMP).";
+  Program p = *ParseProgram(
+      "PROGRAM P.\n  " + broken +
+      "\n  RETRIEVE C2 = FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, "
+      "DEPT-EMP, EMP(DEPT-NAME = 'SALES')).\nEND PROGRAM.");
+  Program before = p;
+  OptimizerStats stats;
+  Status s = OptimizeProgram(db.schema(), &p, &stats);
+  EXPECT_FALSE(s.ok());
+  // The failing retrieval keeps its pre-optimization text exactly...
+  EXPECT_EQ(p.body[0].retrieval->ToString(),
+            before.body[0].retrieval->ToString());
+  // ...while the healthy one still gets its pushdown.
+  EXPECT_EQ(stats.predicates_pushed, 1);
+  EXPECT_EQ(p.body[1].retrieval->ToString(),
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, "
+            "DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)");
+}
+
+TEST(OptimizerTest, MultipleFailuresReportedInOneStatus) {
+  Database db = RevisedCompany();
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  RETRIEVE C1 = FIND(EMP: SYSTEM, NO-SUCH-SET, EMP).
+  RETRIEVE C2 = FIND(EMP: SYSTEM, ALSO-MISSING, EMP).
+END PROGRAM.)");
+  OptimizerStats stats;
+  Status s = OptimizeProgram(db.schema(), &p, &stats);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("1 more retrievals left unoptimized"),
+            std::string::npos)
+      << s;
+}
+
+TEST(NaturalOrderKeysTest, ChainedVirtualPushEnablesSortRemoval) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  // DIV-NAME climbs two set levels, DEPT-NAME one; the pinned DIV and DEPT
+  // leave a single DEPT-EMP occurrence whose key order satisfies the SORT.
+  Retrieval r = MustOptimize(
+      db,
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
+      "EMP(DIV-NAME = 'MACHINERY' AND DEPT-NAME = 'SALES'))) ON (EMP-NAME)",
+      &stats);
+  EXPECT_EQ(stats.predicates_pushed, 3);
+  EXPECT_EQ(stats.sorts_removed, 1);
+  EXPECT_TRUE(r.sort_on.empty());
+}
+
+TEST(NaturalOrderKeysTest, IntermediatePinWithoutUpstreamSinglenessKeepsSort) {
+  Database db = RevisedCompany();
+  OptimizerStats stats;
+  // DEPT is pinned by its full sort key, but DIV is not: one SALES DEPT per
+  // division survives, so the result spans occurrences and the SORT stays.
+  Retrieval r = MustOptimize(
+      db,
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, "
+      "DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)) ON (EMP-NAME)",
+      &stats);
+  EXPECT_EQ(stats.sorts_removed, 0);
+  EXPECT_FALSE(r.sort_on.empty());
+}
+
+TEST(NaturalOrderKeysTest, SortedSetWithEmptyKeyListYieldsEmptyKeys) {
+  Schema schema = *ParseDdl(testing::CompanyDdl());
+  schema.FindSet("DIV-EMP")->keys.clear();
+  FindQuery q = *ParseFindQuery(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'X'), DIV-EMP, EMP)");
+  ASSERT_TRUE(ResolveFindQuery(schema, &q).ok());
+  // kSortedByKeys with no keys: the order is well-defined per occurrence
+  // but names no fields, so the key list is empty and no SORT can match it.
+  std::optional<std::vector<std::string>> keys = NaturalOrderKeys(schema, q);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_TRUE(keys->empty());
+  Retrieval r = *ParseRetrieval(
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'X'), DIV-EMP, EMP)) "
+      "ON (EMP-NAME)");
+  OptimizerStats stats;
+  ASSERT_TRUE(OptimizeRetrieval(schema, &r, &stats).ok());
+  EXPECT_EQ(stats.sorts_removed, 0);
+  EXPECT_FALSE(r.sort_on.empty());
+}
+
+TEST(NaturalOrderKeysTest, EmptyKeyListCannotPinIntermediateSet) {
+  Schema schema = *ParseDdl(testing::CompanyDdl());
+  schema.FindSet("ALL-DIV")->keys.clear();
+  FindQuery q = *ParseFindQuery(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'X'), DIV-EMP, EMP)");
+  ASSERT_TRUE(ResolveFindQuery(schema, &q).ok());
+  // With no keys on ALL-DIV the equality cannot cover a full key, so DIV is
+  // no longer provably single and the whole order is unknown.
+  EXPECT_FALSE(NaturalOrderKeys(schema, q).has_value());
 }
 
 TEST(NaturalOrderKeysTest, CollectionStartUnknown) {

@@ -1,0 +1,231 @@
+#include "optimize/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/find_query.h"
+#include "lang/parser.h"
+#include "optimize/optimizer.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using testing::FillCompany;
+using testing::MakeCompanyDatabase;
+using testing::MakeDatabase;
+
+TEST(StatisticsCatalogTest, CollectCountsTypesSetsAndDistincts) {
+  Database db = MakeCompanyDatabase();
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  ASSERT_FALSE(catalog.empty());
+  EXPECT_EQ(catalog.TypeCount("DIV"), 2u);
+  EXPECT_EQ(catalog.TypeCount("EMP"), 4u);
+  EXPECT_EQ(catalog.TypeCount("NO-SUCH"), 0u);
+
+  const SetStatistics* div_emp = catalog.SetStats("DIV-EMP");
+  ASSERT_NE(div_emp, nullptr);
+  EXPECT_EQ(div_emp->occurrences, 2u);
+  EXPECT_EQ(div_emp->total_members, 4u);
+  EXPECT_DOUBLE_EQ(div_emp->AvgFanout(), 2.0);
+
+  const SetStatistics* all_div = catalog.SetStats("ALL-DIV");
+  ASSERT_NE(all_div, nullptr);
+  EXPECT_EQ(all_div->occurrences, 1u);
+  EXPECT_EQ(all_div->total_members, 2u);
+}
+
+TEST(StatisticsCatalogTest, EqualitySelectivityFromDistinctValues) {
+  Database db = MakeCompanyDatabase();
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  // 2 distinct DEPT-NAMEs over 4 EMPs, 4 distinct EMP-NAMEs.
+  EXPECT_DOUBLE_EQ(catalog.EqualitySelectivity("EMP", "DEPT-NAME"), 0.5);
+  EXPECT_DOUBLE_EQ(catalog.EqualitySelectivity("EMP", "EMP-NAME"), 0.25);
+  // Unknown field falls back to the heuristic.
+  EXPECT_DOUBLE_EQ(catalog.EqualitySelectivity("EMP", "NO-SUCH"), 0.1);
+}
+
+TEST(StatisticsCatalogTest, CollectionDoesNotDisturbOpStats) {
+  Database db = MakeCompanyDatabase();
+  db.ResetStats();
+  StatisticsCatalog::Collect(db);
+  EXPECT_EQ(db.stats().Total(), 0u);
+}
+
+TEST(CostModelTest, VirtualFieldReadsCostMoreThanActual) {
+  Database db = MakeCompanyDatabase();
+  // EMP.DIV-NAME resolves through DIV-EMP to its owner: GetField + OwnerOf
+  // + the owner's own read.
+  EXPECT_DOUBLE_EQ(FieldReadCost(db.schema(), "EMP", "EMP-NAME"), 1.0);
+  EXPECT_DOUBLE_EQ(FieldReadCost(db.schema(), "EMP", "DIV-NAME"), 3.0);
+}
+
+TEST(CostModelTest, SelectivityResolvesVirtualsToOwnerField) {
+  Database db = MakeCompanyDatabase();
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  Predicate pred = Predicate::Compare("DIV-NAME", CompareOp::kEq,
+                                      Operand::Literal(Value::String("X")));
+  // EMP.DIV-NAME mirrors DIV.DIV-NAME: 2 distinct over 2 DIVs -> 0.5, not
+  // the 0.1 unknown-field fallback EMP's own stats would give.
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(catalog, db.schema(), "EMP", pred),
+                   0.5);
+}
+
+TEST(CostModelTest, QualifiedPathEstimatesCheaperThanFullScan) {
+  Database db = MakeDatabase(testing::CompanyDdl());
+  FillCompany(&db, 10, 8);
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  Retrieval all = *ParseRetrieval("FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)");
+  Retrieval one = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'DIV-0003'), DIV-EMP, EMP)");
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &all.query).ok());
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &one.query).ok());
+  double cost_all = EstimateRetrievalCost(db.schema(), catalog, all);
+  double cost_one = EstimateRetrievalCost(db.schema(), catalog, one);
+  EXPECT_LT(cost_one, cost_all);
+}
+
+// --- cost-based plan enumeration ----------------------------------------
+
+/// Company schema plus a system-owned ALL-EMP set sorted by the globally
+/// unique EMP-NAME: the entry point the enumerator can swap onto.
+std::string CompanyAllEmpDdl() {
+  return R"(
+SCHEMA NAME IS COMPANY
+RECORD SECTION.
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC 9(2).
+    DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS ALL-EMP.
+  OWNER IS SYSTEM.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+)";
+}
+
+Retrieval MustCostOptimize(const Database& db,
+                           const StatisticsCatalog& catalog,
+                           const std::string& text, OptimizerStats* stats) {
+  Result<Retrieval> r = ParseRetrieval(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  Retrieval retrieval = *r;
+  Status s = OptimizeRetrieval(db.schema(), &catalog, &retrieval, stats);
+  EXPECT_TRUE(s.ok()) << s;
+  return retrieval;
+}
+
+std::vector<RecordId> MustEval(const Database& db, const Retrieval& r) {
+  Result<std::vector<RecordId>> rows =
+      EvaluateRetrieval(db, r, EmptyHostEnv(), EmptyCollectionEnv());
+  EXPECT_TRUE(rows.ok()) << rows.status();
+  return rows.ok() ? *rows : std::vector<RecordId>{};
+}
+
+TEST(CostBasedOptimizerTest, EntrySwapReplacesScanAndSort) {
+  Database db = MakeDatabase(CompanyAllEmpDdl());
+  FillCompany(&db, 10, 8);
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  const std::string original_text =
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME)";
+  OptimizerStats stats;
+  Retrieval chosen = MustCostOptimize(db, catalog, original_text, &stats);
+  EXPECT_EQ(chosen.ToString(), "FIND(EMP: SYSTEM, ALL-EMP, EMP)");
+  EXPECT_EQ(stats.plans_rerouted, 1);
+  EXPECT_GE(stats.plans_costed, 3);
+  EXPECT_GT(stats.estimated_ops_saved, 0.0);
+  ASSERT_EQ(stats.plan_choices.size(), 1u);
+  EXPECT_LT(stats.plan_choices[0].cost_chosen,
+            stats.plan_choices[0].cost_rules);
+
+  Retrieval original = *ParseRetrieval(original_text);
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &original.query).ok());
+  EXPECT_EQ(MustEval(db, original), MustEval(db, chosen));
+}
+
+TEST(CostBasedOptimizerTest, UniqueKeyLookupReroutesThroughAllEmp) {
+  Database db = MakeDatabase(CompanyAllEmpDdl());
+  FillCompany(&db, 10, 8);
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  const std::string original_text =
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, "
+      "EMP(EMP-NAME = 'EMP-0002-00003'))";
+  OptimizerStats stats;
+  Retrieval chosen = MustCostOptimize(db, catalog, original_text, &stats);
+  EXPECT_EQ(stats.plans_rerouted, 1);
+  EXPECT_EQ(chosen.ToString(),
+            "FIND(EMP: SYSTEM, ALL-EMP, EMP(EMP-NAME = 'EMP-0002-00003'))");
+
+  Retrieval original = *ParseRetrieval(original_text);
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &original.query).ok());
+  EXPECT_EQ(MustEval(db, original), MustEval(db, chosen));
+}
+
+TEST(CostBasedOptimizerTest, KeepsRulesPlanWhenSwapCostsMore) {
+  Database db = MakeDatabase(CompanyAllEmpDdl());
+  FillCompany(&db, 10, 8);
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  // The pinned DIV makes the traversal touch one occurrence; a full
+  // ALL-EMP scan evaluating the (virtual) DIV-NAME on every EMP is dearer,
+  // so the enumerator must keep the rule-based plan.
+  OptimizerStats stats;
+  Retrieval chosen = MustCostOptimize(
+      db, catalog,
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'DIV-0003'), DIV-EMP, "
+      "EMP(EMP-NAME = 'EMP-0003-00001'))",
+      &stats);
+  EXPECT_EQ(stats.plans_rerouted, 0);
+  EXPECT_GE(stats.plans_costed, 3);
+  EXPECT_NE(chosen.ToString().find("ALL-DIV"), std::string::npos);
+}
+
+TEST(CostBasedOptimizerTest, UnsafeOrderSwapNotGenerated) {
+  Database db = MakeDatabase(CompanyAllEmpDdl());
+  FillCompany(&db, 10, 8);
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  // No SORT and no unique pin: the occurrence-grouped output order is
+  // observable, so no entry swap is legal whatever it would cost.
+  OptimizerStats stats;
+  Retrieval chosen = MustCostOptimize(
+      db, catalog, "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))",
+      &stats);
+  EXPECT_EQ(stats.plans_rerouted, 0);
+  EXPECT_NE(chosen.ToString().find("ALL-DIV"), std::string::npos);
+}
+
+TEST(CostBasedOptimizerTest, NullCatalogFallsBackToRules) {
+  Database db = MakeDatabase(CompanyAllEmpDdl());
+  FillCompany(&db, 4, 4);
+  Retrieval r = *ParseRetrieval(
+      "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP)) ON (EMP-NAME)");
+  OptimizerStats stats;
+  ASSERT_TRUE(OptimizeRetrieval(db.schema(), nullptr, &r, &stats).ok());
+  EXPECT_EQ(stats.plans_costed, 0);
+  EXPECT_TRUE(stats.plan_choices.empty());
+  EXPECT_NE(r.ToString().find("ALL-DIV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbpc

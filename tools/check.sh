@@ -23,6 +23,12 @@ for repro in samples/fuzz-regressions/*.repro; do
   ./build/tools/dbpc_fuzz --replay "$repro"
 done
 
+echo "== fuzz: optimizer-differential sweep (optimized vs. unoptimized) =="
+./build/tools/dbpc_fuzz --diff-optimizer --seed 1 --iterations 200
+
+echo "== bench: cost-based optimizer sanity (E10 --smoke) =="
+./build/bench/bench_optimizer --smoke
+
 echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \

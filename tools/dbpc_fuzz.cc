@@ -4,11 +4,14 @@
 // converts each via the three strategies of paper section 2.1.2 — program
 // rewrite, DML emulation, bridge — replays source and converted runs under
 // identical I/O scripts, and diffs the observable traces (the paper's
-// section 1.1 "runs equivalently" check). Divergences are shrunk to
-// minimal repros.
+// section 1.1 "runs equivalently" check). A fourth axis ("optimizer")
+// diffs each converted program optimized vs. unoptimized, checking the
+// cost-based optimizer's no-behaviour-change contract. Divergences are
+// shrunk to minimal repros.
 //
 //   dbpc_fuzz --seed 1 --iterations 500
 //   dbpc_fuzz --strategy bridge --no-shrink --iterations 50
+//   dbpc_fuzz --diff-optimizer --iterations 500
 //   dbpc_fuzz --replay samples/fuzz-regressions/*.repro
 //   dbpc_fuzz --print-case 42
 //
@@ -16,8 +19,9 @@
 //   --seed <n>          base seed (default 1); per-iteration case seeds
 //                       derive deterministically from it
 //   --iterations <n>    cases to run (default 100)
-//   --strategy <name>   rewrite | emulation | bridge; repeatable, default
-//                       all three
+//   --strategy <name>   rewrite | emulation | bridge | optimizer;
+//                       repeatable, default all four
+//   --diff-optimizer    shorthand for --strategy optimizer alone
 //   --shrink / --no-shrink
 //                       minimize failing cases (default on)
 //   --max-failures <n>  stop after this many divergences (default 5)
@@ -45,7 +49,8 @@ using namespace dbpc;
 int Usage() {
   std::fprintf(stderr,
                "usage: dbpc_fuzz [--seed <n>] [--iterations <n>] "
-               "[--strategy rewrite|emulation|bridge]... [--shrink|"
+               "[--strategy rewrite|emulation|bridge|optimizer]... "
+               "[--diff-optimizer] [--shrink|"
                "--no-shrink] [--max-failures <n>] [--write-repros <dir>] "
                "[--replay <file>]... [--print-case <seed>]\n");
   return 2;
@@ -137,6 +142,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       strategies.push_back(*s);
+    } else if (arg == "--diff-optimizer") {
+      strategies = {FuzzStrategy::kOptimizerDiff};
     } else if (arg == "--shrink") {
       options.shrink = true;
     } else if (arg == "--no-shrink") {

@@ -26,11 +26,17 @@
 //   --emit <dialect>    cpl (default) | codasyl | sequel
 //   --target-ddl        also print the restructured schema's DDL
 //   --data <file>       load a database dump (engine/textio format) over
-//                       the source schema and translate it along the plan
+//                       the source schema and translate it along the plan;
+//                       statistics collected from the translated instance
+//                       switch the optimizer to cost-based plan selection
 //   --data-out <file>   where to write the translated dump (default: the
 //                       input path with ".out" appended)
 //   --advise            print program-improvement advice for each source
 //                       program (paper section 5.3's programmer's aid)
+//   --explain           print (to stderr) the cost-based optimizer's plan
+//                       choice per retrieval: every candidate access path
+//                       with its estimated cost, and — with --data — the
+//                       measured engine-op count of the chosen plan
 //
 // Exit status: 0 when every program was accepted, 1 otherwise, 2 on usage
 // or input errors.
@@ -40,6 +46,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +62,7 @@ int Usage() {
                "usage: dbpcc --schema <ddl> --plan <plan> [--jobs <n>] "
                "[--deadline-ms <n>] [--metrics-json <file>] [--strict] "
                "[--no-optimizer] [--emit cpl|codasyl|sequel] [--target-ddl] "
+               "[--data <dump> [--data-out <file>]] [--explain] "
                "<program>...\n");
   return 2;
 }
@@ -83,6 +91,7 @@ int main(int argc, char** argv) {
   bool optimizer = true;
   bool target_ddl = false;
   bool advise = false;
+  bool explain = false;
   int jobs = 1;
   int deadline_ms = 0;
   std::string metrics_json_path;
@@ -116,6 +125,8 @@ int main(int argc, char** argv) {
       data_out_path = argv[++i];
     } else if (arg == "--advise") {
       advise = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -138,10 +149,28 @@ int main(int argc, char** argv) {
   Result<RestructuringPlan> plan = ParsePlan(*plan_text);
   if (!plan.ok()) return Fail(plan.status(), plan_path);
 
+  // The translated database (and the statistics collected from it) must
+  // exist before the conversion batch runs: the optimizer prices candidate
+  // access paths against the *target* instance.
+  std::optional<Database> target_db;
+  StatisticsCatalog catalog;
+  if (!data_path.empty()) {
+    Result<std::string> dump = ReadFile(data_path);
+    if (!dump.ok()) return Fail(dump.status(), data_path);
+    Result<Database> source_db = LoadDatabaseText(*schema, *dump);
+    if (!source_db.ok()) return Fail(source_db.status(), data_path);
+    Result<Database> translated =
+        TranslateDatabase(*source_db, plan->View());
+    if (!translated.ok()) return Fail(translated.status(), "data translation");
+    target_db = std::move(translated).value();
+    catalog = StatisticsCatalog::Collect(*target_db);
+  }
+
   ServiceOptions options;
   options.jobs = jobs;
   options.deadline_ms = deadline_ms;
   options.supervisor.run_optimizer = optimizer;
+  if (target_db.has_value()) options.supervisor.statistics = &catalog;
   if (strict) {
     options.supervisor.mode = AnalystMode::kStrict;
   } else {
@@ -176,13 +205,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!data_path.empty()) {
-    Result<std::string> dump = ReadFile(data_path);
-    if (!dump.ok()) return Fail(dump.status(), data_path);
-    Result<Database> source_db = LoadDatabaseText(*schema, *dump);
-    if (!source_db.ok()) return Fail(source_db.status(), data_path);
-    Result<Database> target_db = supervisor.TranslateDatabase(*source_db);
-    if (!target_db.ok()) return Fail(target_db.status(), "data translation");
+  if (target_db.has_value()) {
     std::string out_path =
         data_out_path.empty() ? data_path + ".out" : data_out_path;
     Result<std::string> dump_out = DumpDatabaseText(*target_db);
@@ -192,6 +215,66 @@ int main(int argc, char** argv) {
     out << *dump_out;
     std::fprintf(stderr, "translated %zu records -> %s\n",
                  target_db->RecordCount(), out_path.c_str());
+  }
+
+  if (explain) {
+    for (const PipelineOutcome& outcome : report->outcomes) {
+      const OptimizerStats& os = outcome.optimizer_stats;
+      if (!outcome.accepted) continue;
+      std::fprintf(stderr, "explain %s:\n",
+                   outcome.conversion.converted.name.c_str());
+      if (os.plan_choices.empty()) {
+        std::fprintf(stderr,
+                     "  rules-only pass (no statistics): %d predicate(s) "
+                     "pushed, %d sort(s) removed\n",
+                     os.predicates_pushed, os.sorts_removed);
+        continue;
+      }
+      // Plan choices are recorded in retrieval order; pair each with the
+      // chosen retrieval so --data can measure the actual engine ops.
+      std::vector<const Retrieval*> chosen;
+      std::function<void(const std::vector<Stmt>&)> walk =
+          [&](const std::vector<Stmt>& body) {
+            for (const Stmt& s : body) {
+              if ((s.kind == StmtKind::kForEach ||
+                   s.kind == StmtKind::kRetrieve) &&
+                  s.retrieval.has_value()) {
+                chosen.push_back(&*s.retrieval);
+              }
+              walk(s.body);
+              walk(s.else_body);
+            }
+          };
+      walk(outcome.conversion.converted.body);
+      for (size_t i = 0; i < os.plan_choices.size(); ++i) {
+        const PlanChoice& pc = os.plan_choices[i];
+        std::fprintf(stderr, "  retrieval %zu: %s\n", i + 1,
+                     pc.original.c_str());
+        for (const PlanCandidate& cand : pc.candidates) {
+          std::fprintf(stderr, "    %c cost %10.1f  %s\n",
+                       cand.chosen ? '*' : ' ', cand.cost, cand.plan.c_str());
+        }
+        if (target_db.has_value() && i < chosen.size()) {
+          target_db->ResetStats();
+          Result<std::vector<RecordId>> rows = EvaluateRetrieval(
+              *target_db, *chosen[i], EmptyHostEnv(), EmptyCollectionEnv());
+          if (rows.ok()) {
+            std::fprintf(stderr,
+                         "    estimated %.1f ops, actual %llu ops (%zu "
+                         "records)\n",
+                         pc.cost_chosen,
+                         static_cast<unsigned long long>(
+                             target_db->stats().Total()),
+                         rows->size());
+          } else {
+            // Host-variable or collection-start retrievals cannot run
+            // standalone; the estimate stands on its own.
+            std::fprintf(stderr, "    estimated %.1f ops, actual n/a (%s)\n",
+                         pc.cost_chosen, rows.status().ToString().c_str());
+          }
+        }
+      }
+    }
   }
 
   if (target_ddl) {
