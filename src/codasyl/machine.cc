@@ -125,7 +125,9 @@ Status CodasylMachine::FindFirst(const std::string& record_type,
     SetStatus(db_status::kNotFound);
     return Status::OK();
   }
-  for (RecordId id : db_->Members(set_name, owner)) {
+  // No mutation happens while scanning, so the member list can be
+  // borrowed instead of copied.
+  for (RecordId id : db_->MembersRef(set_name, owner)) {
     bool keep = true;
     if (using_pred != nullptr) {
       DBPC_ASSIGN_OR_RETURN(
@@ -158,7 +160,7 @@ Status CodasylMachine::FindNext(const std::string& record_type,
     SetStatus(db_status::kNotFound);
     return Status::OK();
   }
-  std::vector<RecordId> members = db_->Members(set_name, owner);
+  const std::vector<RecordId>& members = db_->MembersRef(set_name, owner);
   size_t start = 0;
   if (current != 0) {
     Result<std::string> cur_type = db_->TypeOf(current);

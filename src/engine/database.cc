@@ -1,6 +1,8 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "common/string_util.h"
 
@@ -8,7 +10,9 @@ namespace dbpc {
 
 Result<Database> Database::Create(Schema schema) {
   DBPC_RETURN_IF_ERROR(schema.Validate());
-  return Database(std::move(schema));
+  Database db(std::move(schema));
+  db.RegisterAutoIndexes();
+  return db;
 }
 
 namespace {
@@ -22,7 +26,328 @@ FieldMap CanonicalFields(const FieldMap& in) {
   return out;
 }
 
+constexpr char kIndexKeySep = '\x1f';
+
+/// Distinct int64 values at or beyond 2^53 can collapse under
+/// QueryCompare's double comparison while keeping distinct decimal
+/// renderings, so text keys stop capturing query equality there.
+constexpr int64_t kIntExactLimit = int64_t{1} << 53;
+
+std::string FieldIndexKey(const std::string& type_upper,
+                          const std::string& field_upper) {
+  return type_upper + kIndexKeySep + field_upper;
+}
+
+/// Key under which a stored value is bucketed, or nullopt when the value
+/// breaks the index (NaN, or a dynamic type contradicting the declared
+/// field class); callers count those as unusable. Nulls never reach here.
+std::optional<std::string> StoredIndexKey(bool numeric, const Value& v) {
+  if (numeric) {
+    if (v.is_int()) return QueryNumericKey(static_cast<double>(v.as_int()));
+    if (v.is_double() && !std::isnan(v.as_double())) {
+      return QueryNumericKey(v.as_double());
+    }
+    return std::nullopt;
+  }
+  if (v.is_string()) return v.as_string();
+  return std::nullopt;
+}
+
+/// True when a stored value keeps the uniqueness index's display-form keys
+/// faithful to QueryCompare equality for its declared field type.
+bool UniqueProbeUsable(FieldType type, const Value& v) {
+  switch (type) {
+    case FieldType::kInt:
+      return v.is_int() && v.as_int() < kIntExactLimit &&
+             v.as_int() > -kIntExactLimit;
+    case FieldType::kDouble:
+      return v.is_double() && !std::isnan(v.as_double());
+    case FieldType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+void SortedInsert(std::vector<RecordId>* ids, RecordId id) {
+  auto pos = std::lower_bound(ids->begin(), ids->end(), id);
+  if (pos == ids->end() || *pos != id) ids->insert(pos, id);
+}
+
+void SortedErase(std::vector<RecordId>* ids, RecordId id) {
+  auto pos = std::lower_bound(ids->begin(), ids->end(), id);
+  if (pos != ids->end() && *pos == id) ids->erase(pos);
+}
+
 }  // namespace
+
+void Database::RegisterAutoIndexes() {
+  // Uniqueness probe paths first: a single-field uniqueness constraint
+  // already maintains unique_index_, so its field gets no duplicate
+  // secondary index.
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind != ConstraintKind::kUniqueness || c.fields.size() != 1) {
+      continue;
+    }
+    const RecordTypeDef* type = schema_.FindRecordType(c.record);
+    if (type == nullptr) continue;
+    const FieldDef* f = type->FindField(c.fields[0]);
+    if (f == nullptr || f->is_virtual) continue;
+    UniqueProbe probe;
+    probe.constraint = c.name;
+    probe.type = f->type;
+    unique_probes_.emplace(
+        FieldIndexKey(ToUpper(type->name), ToUpper(f->name)),
+        std::move(probe));
+  }
+  auto register_secondary = [this](const RecordTypeDef& type,
+                                   const std::string& field) {
+    const FieldDef* f = type.FindField(field);
+    if (f == nullptr || f->is_virtual) return;
+    std::string key = FieldIndexKey(ToUpper(type.name), ToUpper(f->name));
+    if (unique_probes_.count(key) > 0) return;
+    field_indexes_[key].numeric = f->type != FieldType::kString;
+  };
+  // Set key fields: SortedPosition and sorted-set queries select on them.
+  for (const SetDef& set : schema_.sets()) {
+    const RecordTypeDef* member = schema_.FindRecordType(set.member);
+    if (member == nullptr) continue;
+    for (const std::string& key : set.keys) {
+      register_secondary(*member, key);
+    }
+  }
+  // Components of multi-field uniqueness keys are selective on their own.
+  for (const ConstraintDef& c : schema_.constraints()) {
+    if (c.kind != ConstraintKind::kUniqueness || c.fields.size() < 2) {
+      continue;
+    }
+    const RecordTypeDef* type = schema_.FindRecordType(c.record);
+    if (type == nullptr) continue;
+    for (const std::string& f : c.fields) {
+      register_secondary(*type, f);
+    }
+  }
+}
+
+void Database::IndexInsert(const StoredRecord& rec) {
+  std::string prefix = ToUpper(rec.type) + kIndexKeySep;
+  for (auto it = field_indexes_.lower_bound(prefix);
+       it != field_indexes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    auto fit = rec.fields.find(it->first.substr(prefix.size()));
+    if (fit == rec.fields.end() || fit->second.is_null()) continue;
+    std::optional<std::string> key =
+        StoredIndexKey(it->second.numeric, fit->second);
+    if (!key.has_value()) {
+      ++it->second.unusable;
+      continue;
+    }
+    SortedInsert(&it->second.buckets[*key], rec.id);
+  }
+  for (auto it = unique_probes_.lower_bound(prefix);
+       it != unique_probes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    auto fit = rec.fields.find(it->first.substr(prefix.size()));
+    if (fit == rec.fields.end() || fit->second.is_null()) continue;
+    if (!UniqueProbeUsable(it->second.type, fit->second)) {
+      ++it->second.unusable;
+    }
+  }
+}
+
+void Database::IndexRemove(const StoredRecord& rec) {
+  std::string prefix = ToUpper(rec.type) + kIndexKeySep;
+  for (auto it = field_indexes_.lower_bound(prefix);
+       it != field_indexes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    auto fit = rec.fields.find(it->first.substr(prefix.size()));
+    if (fit == rec.fields.end() || fit->second.is_null()) continue;
+    std::optional<std::string> key =
+        StoredIndexKey(it->second.numeric, fit->second);
+    if (!key.has_value()) {
+      if (it->second.unusable > 0) --it->second.unusable;
+      continue;
+    }
+    auto bucket = it->second.buckets.find(*key);
+    if (bucket == it->second.buckets.end()) continue;
+    SortedErase(&bucket->second, rec.id);
+    if (bucket->second.empty()) it->second.buckets.erase(bucket);
+  }
+  for (auto it = unique_probes_.lower_bound(prefix);
+       it != unique_probes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    auto fit = rec.fields.find(it->first.substr(prefix.size()));
+    if (fit == rec.fields.end() || fit->second.is_null()) continue;
+    if (!UniqueProbeUsable(it->second.type, fit->second) &&
+        it->second.unusable > 0) {
+      --it->second.unusable;
+    }
+  }
+}
+
+Database::FieldIndex* Database::FindFieldIndex(
+    const std::string& type_upper, const std::string& field_upper) const {
+  auto it = field_indexes_.find(FieldIndexKey(type_upper, field_upper));
+  return it == field_indexes_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> Database::ProbeKey(const FieldIndex& index,
+                                              const Value& value) {
+  if (index.numeric) {
+    // Native numbers and fully numeric strings compare numerically against
+    // a numeric field; anything else would compare as display text, which
+    // key equality does not model.
+    std::optional<double> n = QueryNumeric(value);
+    if (!n.has_value() || std::isnan(*n)) return std::nullopt;
+    return QueryNumericKey(*n);
+  }
+  // A native-number probe compares numerically against parseable stored
+  // strings ("05" = 5), which spans buckets; only text probes are exact.
+  if (value.is_string()) return value.as_string();
+  return std::nullopt;
+}
+
+std::optional<std::vector<RecordId>> Database::ProbeIndex(
+    const std::string& type, const std::string& field,
+    const Value& value) const {
+  if (!index_options_.enabled) return std::nullopt;
+  FieldIndex* index = FindFieldIndex(ToUpper(type), ToUpper(field));
+  if (index == nullptr || index->unusable > 0) return std::nullopt;
+  if (value.is_null()) {
+    // Null equals nothing under query semantics.
+    ++stats_.index_probes;
+    return std::vector<RecordId>();
+  }
+  std::optional<std::string> key = ProbeKey(*index, value);
+  if (!key.has_value()) return std::nullopt;
+  ++stats_.index_probes;
+  auto bucket = index->buckets.find(*key);
+  if (bucket == index->buckets.end()) return std::vector<RecordId>();
+  stats_.index_hits += bucket->second.size();
+  return bucket->second;
+}
+
+std::optional<std::vector<RecordId>> Database::ProbeUnique(
+    const UniqueProbe& probe, const Value& value) const {
+  if (probe.unusable > 0) return std::nullopt;
+  if (value.is_null()) {
+    ++stats_.index_probes;
+    return std::vector<RecordId>();
+  }
+  // Numeric probes against a string field match numerically against
+  // parseable stored strings; the text key cannot model that.
+  if (probe.type == FieldType::kString && !value.is_string()) {
+    return std::nullopt;
+  }
+  Result<Value> coerced = value.CoerceTo(probe.type);
+  if (!coerced.ok()) return std::nullopt;
+  if (probe.type == FieldType::kDouble && std::isnan(coerced->as_double())) {
+    return std::nullopt;
+  }
+  if (probe.type == FieldType::kInt &&
+      (coerced->as_int() >= kIntExactLimit ||
+       coerced->as_int() <= -kIntExactLimit)) {
+    return std::nullopt;
+  }
+  ++stats_.index_probes;
+  auto index = unique_index_.find(probe.constraint);
+  if (index == unique_index_.end()) return std::vector<RecordId>();
+  auto hit = index->second.find(coerced->ToLiteral() + "\x1f");
+  if (hit == index->second.end()) return std::vector<RecordId>();
+  ++stats_.index_hits;
+  return std::vector<RecordId>{hit->second};
+}
+
+std::optional<std::vector<RecordId>> Database::ProbeCandidates(
+    const std::string& type, const std::string& field,
+    const Value& value) const {
+  if (!index_options_.enabled) return std::nullopt;
+  auto probe = unique_probes_.find(
+      FieldIndexKey(ToUpper(type), ToUpper(field)));
+  if (probe != unique_probes_.end()) {
+    std::optional<std::vector<RecordId>> out =
+        ProbeUnique(probe->second, value);
+    if (out.has_value()) return out;
+  }
+  return ProbeIndex(type, field, value);
+}
+
+bool Database::EnsureFieldIndex(const std::string& type,
+                                const std::string& field) const {
+  if (!index_options_.enabled) return false;
+  std::string type_upper = ToUpper(type);
+  std::string field_upper = ToUpper(field);
+  if (FindFieldIndex(type_upper, field_upper) != nullptr) return true;
+  if (!index_options_.auto_join_indexes) return false;
+  const RecordTypeDef* tdef = schema_.FindRecordType(type_upper);
+  if (tdef == nullptr) return false;
+  const FieldDef* f = tdef->FindField(field_upper);
+  if (f == nullptr || f->is_virtual) return false;
+  FieldIndex& index =
+      field_indexes_[FieldIndexKey(type_upper, field_upper)];
+  index.numeric = f->type != FieldType::kString;
+  for (RecordId id : store_.OfType(type_upper)) {
+    const StoredRecord* rec = store_.Get(id);
+    auto fit = rec->fields.find(field_upper);
+    if (fit == rec->fields.end() || fit->second.is_null()) continue;
+    std::optional<std::string> key =
+        StoredIndexKey(index.numeric, fit->second);
+    if (!key.has_value()) {
+      ++index.unusable;
+      continue;
+    }
+    // OfType is ascending, so appending keeps buckets sorted.
+    index.buckets[*key].push_back(id);
+  }
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> Database::IndexedFields()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (!index_options_.enabled) return out;  // probes would refuse anyway
+  auto split = [&out](const std::string& key) {
+    size_t sep = key.find(kIndexKeySep);
+    out.emplace_back(key.substr(0, sep), key.substr(sep + 1));
+  };
+  for (const auto& [key, index] : field_indexes_) {
+    if (index.unusable == 0) split(key);
+  }
+  for (const auto& [key, probe] : unique_probes_) {
+    if (probe.unusable == 0) split(key);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Database::RebuildIndexes() {
+  unique_index_.clear();
+  for (auto& [key, index] : field_indexes_) {
+    index.buckets.clear();
+    index.unusable = 0;
+  }
+  for (auto& [key, probe] : unique_probes_) {
+    probe.unusable = 0;
+  }
+  for (RecordId id : store_.AllRecords()) {
+    const StoredRecord* rec = store_.Get(id);
+    IndexInsert(*rec);
+    for (const ConstraintDef& c : schema_.constraints()) {
+      if (c.kind != ConstraintKind::kUniqueness ||
+          !EqualsIgnoreCase(c.record, rec->type)) {
+        continue;
+      }
+      Result<std::optional<std::string>> key = UniqueKeyOf(c, rec->fields);
+      if (key.ok() && (*key).has_value()) {
+        unique_index_[c.name][**key] = id;
+      }
+    }
+  }
+}
 
 Result<std::optional<std::string>> Database::UniqueKeyOf(
     const ConstraintDef& c, const FieldMap& fields) const {
@@ -171,7 +496,7 @@ Result<RecordId> Database::StoreRecord(const StoreRequest& request) {
       return s;
     }
   }
-  // Maintain uniqueness indexes only after full success.
+  // Maintain indexes only after full success.
   const StoredRecord* rec = store_.Get(id);
   for (const ConstraintDef& c : schema_.constraints()) {
     if (c.kind == ConstraintKind::kUniqueness &&
@@ -181,6 +506,7 @@ Result<RecordId> Database::StoreRecord(const StoreRequest& request) {
       if (key.has_value()) unique_index_[c.name][*key] = id;
     }
   }
+  IndexInsert(*rec);
   return id;
 }
 
@@ -297,7 +623,7 @@ Status Database::EraseRecord(RecordId id) {
       ++stats_.links_changed;
     }
   }
-  // Drop uniqueness index entries.
+  // Drop index entries.
   const StoredRecord* current = store_.Get(id);
   for (const ConstraintDef& c : schema_.constraints()) {
     if (c.kind == ConstraintKind::kUniqueness &&
@@ -307,6 +633,7 @@ Status Database::EraseRecord(RecordId id) {
       if (key.has_value()) unique_index_[c.name].erase(*key);
     }
   }
+  IndexRemove(*current);
   DBPC_RETURN_IF_ERROR(store_.Remove(id));
   ++stats_.records_erased;
   return Status::OK();
@@ -395,7 +722,7 @@ Status Database::ModifyRecord(RecordId id, const FieldMap& updates) {
     }
   }
 
-  // Apply; maintain unique indexes.
+  // Apply; maintain indexes around the field swap.
   for (const ConstraintDef& c : schema_.constraints()) {
     if (c.kind == ConstraintKind::kUniqueness &&
         EqualsIgnoreCase(c.record, rec->type)) {
@@ -404,8 +731,10 @@ Status Database::ModifyRecord(RecordId id, const FieldMap& updates) {
       if (old_key.has_value()) unique_index_[c.name].erase(*old_key);
     }
   }
+  IndexRemove(*rec);
   rec->fields = std::move(next);
   ++stats_.records_written;
+  IndexInsert(*rec);
   for (const ConstraintDef& c : schema_.constraints()) {
     if (c.kind == ConstraintKind::kUniqueness &&
         EqualsIgnoreCase(c.record, rec->type)) {
@@ -521,6 +850,11 @@ Result<FieldMap> Database::GetAllFields(RecordId id) const {
 
 std::vector<RecordId> Database::Members(const std::string& set_name,
                                         RecordId owner) const {
+  return MembersRef(set_name, owner);
+}
+
+const std::vector<RecordId>& Database::MembersRef(const std::string& set_name,
+                                                  RecordId owner) const {
   const std::vector<RecordId>& members =
       store_.Members(ToUpper(set_name), owner);
   stats_.members_scanned += members.size();
@@ -544,10 +878,65 @@ std::function<Result<Value>(const std::string&)> Database::FieldGetter(
   return [this, id](const std::string& field) { return GetField(id, field); };
 }
 
+std::optional<std::vector<RecordId>> Database::SelectCandidates(
+    const std::string& type, const Predicate& pred,
+    const HostEnv& host_env) const {
+  if (!index_options_.enabled) return std::nullopt;
+  const RecordTypeDef* tdef = schema_.FindRecordType(type);
+  if (tdef == nullptr) return std::nullopt;
+  // A probe skips records the scan would have evaluated, so it is only
+  // sound when that evaluation could not have raised an error: every
+  // referenced field must exist on the type and every host variable must
+  // resolve.
+  std::vector<std::string> fields;
+  pred.CollectFields(&fields);
+  for (const std::string& f : fields) {
+    if (tdef->FindField(f) == nullptr) return std::nullopt;
+  }
+  std::vector<std::string> host_vars;
+  pred.CollectHostVars(&host_vars);
+  std::map<std::string, Value> resolved;
+  for (const std::string& v : host_vars) {
+    Result<Value> r = host_env(v);
+    if (!r.ok()) return std::nullopt;
+    resolved[v] = *r;
+  }
+  std::vector<const Predicate*> conjuncts;
+  CollectEqualityConjuncts(pred, &conjuncts);
+  std::optional<std::vector<RecordId>> best;
+  for (const Predicate* c : conjuncts) {
+    const Value& probe = c->operand().kind == Operand::Kind::kHostVar
+                             ? resolved[c->operand().host_var]
+                             : c->operand().literal;
+    std::optional<std::vector<RecordId>> candidates =
+        ProbeCandidates(tdef->name, c->field(), probe);
+    if (!candidates.has_value()) continue;
+    if (!best.has_value() || candidates->size() < best->size()) {
+      best = std::move(candidates);
+    }
+    if (best->empty()) break;
+  }
+  return best;
+}
+
 Result<std::vector<RecordId>> Database::SelectWhere(
     const std::string& type, const Predicate& pred,
     const HostEnv& host_env) const {
   std::vector<RecordId> out;
+  std::optional<std::vector<RecordId>> candidates =
+      SelectCandidates(type, pred, host_env);
+  if (candidates.has_value()) {
+    // Candidate lists are ascending by id, so filtering preserves the
+    // scan's result order. The full predicate still runs on every
+    // candidate: uniqueness probes may over-approximate, and residual
+    // conjuncts must hold too.
+    for (RecordId id : *candidates) {
+      DBPC_ASSIGN_OR_RETURN(bool keep,
+                            pred.Evaluate(FieldGetter(id), host_env));
+      if (keep) out.push_back(id);
+    }
+    return out;
+  }
   for (RecordId id : AllOfType(type)) {
     DBPC_ASSIGN_OR_RETURN(bool keep, pred.Evaluate(FieldGetter(id), host_env));
     if (keep) out.push_back(id);

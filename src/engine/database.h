@@ -22,11 +22,26 @@ struct OpStats {
   uint64_t records_erased = 0;
   uint64_t members_scanned = 0;
   uint64_t links_changed = 0;
+  /// Access-path index lookups (one per probed equality key).
+  uint64_t index_probes = 0;
+  /// Candidate records produced by index probes (bucket entries touched).
+  uint64_t index_hits = 0;
 
   uint64_t Total() const {
     return records_read + records_written + records_erased + members_scanned +
-           links_changed;
+           links_changed + index_probes + index_hits;
   }
+};
+
+/// Knobs for the engine's internal access-path indexes. Indexes are
+/// trace-invisible: whenever a probe could change an observable outcome
+/// (errors included) the engine falls back to a scan, so results are
+/// byte-identical with indexing on or off — only OpStats differ.
+struct IndexOptions {
+  /// Master switch; off forces every access through scans.
+  bool enabled = true;
+  /// Build secondary indexes lazily for value-join target fields.
+  bool auto_join_indexes = true;
 };
 
 /// A STORE request: new record contents plus the set occurrences it joins.
@@ -92,6 +107,12 @@ class Database {
   std::vector<RecordId> Members(const std::string& set_name,
                                 RecordId owner) const;
 
+  /// Like Members (including stats accounting) but returns a reference into
+  /// storage instead of a copy. Invalidated by any database mutation; use
+  /// only when no mutation happens while iterating.
+  const std::vector<RecordId>& MembersRef(const std::string& set_name,
+                                          RecordId owner) const;
+
   std::vector<RecordId> SystemMembers(const std::string& set_name) const {
     return Members(set_name, kSystemOwner);
   }
@@ -117,17 +138,116 @@ class Database {
   const OpStats& stats() const { return stats_; }
   void ResetStats() { stats_ = OpStats(); }
 
+  // --- access-path indexes ------------------------------------------------
+
+  const IndexOptions& index_options() const { return index_options_; }
+  void SetIndexOptions(IndexOptions options) { index_options_ = options; }
+
+  /// Ids of live `type` records whose actual field `field` equals `value`
+  /// under query (QueryCompare) semantics, ascending by id — i.e. exactly
+  /// the ids an AllOfType scan with an equality test would keep, in the
+  /// same order. Returns nullopt when no index can answer the probe
+  /// exactly (disabled, unindexed field, NaN anywhere, or a probe/field
+  /// type pairing whose equality is broader than key equality); the caller
+  /// must then scan.
+  std::optional<std::vector<RecordId>> ProbeIndex(const std::string& type,
+                                                  const std::string& field,
+                                                  const Value& value) const;
+
+  /// Superset variant of ProbeIndex for callers that re-verify candidates
+  /// (e.g. by evaluating the full predicate on them): may additionally be
+  /// served from a single-field uniqueness index, whose display-form keys
+  /// can collide, so the result may contain ids whose field is not equal
+  /// to `value` — but it never misses one that is.
+  std::optional<std::vector<RecordId>> ProbeCandidates(
+      const std::string& type, const std::string& field,
+      const Value& value) const;
+
+  /// Ensures a secondary index exists for (type, field), building it from
+  /// the store on first use (value-join support). Returns true when an
+  /// index is available afterwards. No-op returning false when indexing is
+  /// disabled, auto_join_indexes is off, or the field is not indexable
+  /// (virtual or unknown).
+  bool EnsureFieldIndex(const std::string& type, const std::string& field) const;
+
+  /// (TYPE, FIELD) pairs with a currently usable secondary index, sorted.
+  /// Single-field uniqueness constraints are reported too: their probes are
+  /// served by the uniqueness index.
+  std::vector<std::pair<std::string, std::string>> IndexedFields() const;
+
+  /// Drops and rebuilds every access-path index (secondary and uniqueness)
+  /// from the store. Call after bulk-loading through mutable_store().
+  void RebuildIndexes();
+
   /// Direct storage access for the data translator and tests. Mutating
-  /// through this bypasses constraint enforcement.
+  /// through this bypasses constraint enforcement *and* index maintenance;
+  /// call RebuildIndexes() afterwards.
   Store& mutable_store() { return store_; }
   const Store& raw_store() const { return store_; }
 
  private:
   explicit Database(Schema schema) : schema_(std::move(schema)) {}
 
+  /// One secondary access path over an actual field: canonical equality key
+  /// -> live record ids ascending. For the probe shapes ProbeIndex accepts,
+  /// bucket membership coincides exactly with QueryCompare equality.
+  struct FieldIndex {
+    /// Field declared INT/DOUBLE: keys are canonical "%.17g" renderings of
+    /// the value-as-double (QueryCompare's equality classes). String
+    /// fields key on the exact text.
+    bool numeric = false;
+    /// Live values that break the key-equality <=> value-equality
+    /// correspondence (stored NaN compares equal to every number; a value
+    /// whose dynamic type contradicts the declared field type can match
+    /// across keys). Probes are refused while nonzero.
+    uint64_t unusable = 0;
+    std::unordered_map<std::string, std::vector<RecordId>> buckets;
+  };
+
+  /// A single-field uniqueness constraint whose unique_index_ doubles as an
+  /// equality probe path for SelectWhere (no duplicate secondary index).
+  struct UniqueProbe {
+    std::string constraint;
+    FieldType type = FieldType::kString;
+    /// Same role as FieldIndex::unusable; additionally counts INT values at
+    /// or beyond 2^53, where distinct ints collapse under QueryCompare's
+    /// double comparison but keep distinct ToLiteral keys.
+    uint64_t unusable = 0;
+  };
+
   /// Key string for a uniqueness constraint, or nullopt if any field null.
   Result<std::optional<std::string>> UniqueKeyOf(
       const ConstraintDef& c, const FieldMap& fields) const;
+
+  /// Registers eager secondary indexes (set key fields, multi-field
+  /// uniqueness components) and uniqueness probe paths at creation.
+  void RegisterAutoIndexes();
+
+  /// Adds / removes `rec`'s entries in every index registered for its type.
+  void IndexInsert(const StoredRecord& rec);
+  void IndexRemove(const StoredRecord& rec);
+
+  /// Secondary index for (type, field), both upper case; null when absent.
+  FieldIndex* FindFieldIndex(const std::string& type_upper,
+                             const std::string& field_upper) const;
+
+  /// Exact-probe key for `value` against a field of the index's class, or
+  /// nullopt when key equality would not capture QueryCompare equality.
+  static std::optional<std::string> ProbeKey(const FieldIndex& index,
+                                             const Value& value);
+
+  /// Probe via a single-field uniqueness constraint. Result may include
+  /// false positives (display-form keys collide) but never misses a match;
+  /// callers must re-verify. nullopt when the probe cannot be served.
+  std::optional<std::vector<RecordId>> ProbeUnique(const UniqueProbe& probe,
+                                                   const Value& value) const;
+
+  /// Index-served candidate superset for `pred` on `type`, or nullopt when
+  /// the engine must scan. Guards ensure a probe is only used when the
+  /// scan could not have surfaced an error the probe would hide.
+  std::optional<std::vector<RecordId>> SelectCandidates(
+      const std::string& type, const Predicate& pred,
+      const HostEnv& host_env) const;
 
   /// Compares two member records by a set's key fields.
   int CompareByKeys(const SetDef& set, RecordId a, RecordId b) const;
@@ -148,6 +268,12 @@ class Database {
   /// constraint name -> serialized key -> record id.
   std::unordered_map<std::string, std::unordered_map<std::string, RecordId>>
       unique_index_;
+  IndexOptions index_options_;
+  /// "TYPE\x1fFIELD" -> secondary index. Ordered so one type's indexes form
+  /// a contiguous prefix range; mutable for lazily built join indexes.
+  mutable std::map<std::string, FieldIndex> field_indexes_;
+  /// "TYPE\x1fFIELD" -> uniqueness probe path for that field.
+  std::map<std::string, UniqueProbe> unique_probes_;
   mutable OpStats stats_;
 };
 

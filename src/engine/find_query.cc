@@ -1,6 +1,8 @@
 #include "engine/find_query.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -164,6 +166,116 @@ CollectionEnv EmptyCollectionEnv() {
   };
 }
 
+namespace {
+
+/// Build side of a hashed value join: answers "does any source value
+/// QueryCompare-equal this target value" in O(1), replicating
+/// QueryCompare's branch structure exactly — numeric comparison when a
+/// native number is involved, display-text comparison otherwise, NaN
+/// comparing equal to every number.
+class JoinMatcher {
+ public:
+  explicit JoinMatcher(const std::vector<Value>& sources) {
+    for (const Value& v : sources) {
+      if (v.is_null()) continue;
+      if (v.is_int() || v.is_double()) {
+        has_native_ = true;
+        double n =
+            v.is_int() ? static_cast<double>(v.as_int()) : v.as_double();
+        if (std::isnan(n)) {
+          has_nan_ = true;
+        } else {
+          native_keys_.insert(QueryNumericKey(n));
+        }
+        continue;
+      }
+      text_keys_.insert(v.as_string());
+      std::optional<double> n = QueryNumeric(v);
+      if (n.has_value()) {
+        // Parseable strings compare numerically against native-number
+        // targets (but still textually against string targets).
+        if (std::isnan(*n)) {
+          has_nan_parseable_ = true;
+        } else {
+          parseable_keys_.insert(QueryNumericKey(*n));
+        }
+      }
+    }
+  }
+
+  bool Matches(const Value& target) const {
+    if (target.is_null()) return false;
+    if (target.is_int() || target.is_double()) {
+      double n = target.is_int() ? static_cast<double>(target.as_int())
+                                 : target.as_double();
+      // A NaN target compares equal to every numeric-interpretable source.
+      if (std::isnan(n)) {
+        return has_native_ || has_nan_parseable_ || !parseable_keys_.empty();
+      }
+      if (has_nan_ || has_nan_parseable_) return true;
+      std::string key = QueryNumericKey(n);
+      return native_keys_.count(key) > 0 || parseable_keys_.count(key) > 0;
+    }
+    // String target: text equality against string sources; numeric
+    // comparison against native-number sources when the target parses.
+    // (Unparseable text never equals a native number's display form.)
+    if (text_keys_.count(target.as_string()) > 0) return true;
+    std::optional<double> n = QueryNumeric(target);
+    if (!n.has_value()) return false;
+    if (std::isnan(*n)) return has_native_;
+    return has_nan_ || native_keys_.count(QueryNumericKey(*n)) > 0;
+  }
+
+ private:
+  bool has_native_ = false;         ///< any native int/double source
+  bool has_nan_ = false;            ///< a native NaN source
+  bool has_nan_parseable_ = false;  ///< a string source parsing to NaN
+  std::unordered_set<std::string> native_keys_;
+  std::unordered_set<std::string> parseable_keys_;
+  std::unordered_set<std::string> text_keys_;
+};
+
+/// Index-served superset of the ids in `ids` that can satisfy `pred`, or
+/// nullopt to evaluate everything. Skipping an id is only sound when its
+/// evaluation could not have raised an error, so this requires every id to
+/// be a live `type` record (whose qualification fields were resolved
+/// against that type) and every host variable to resolve.
+std::optional<std::vector<RecordId>> QualificationCandidates(
+    const Database& db, const std::string& type, const Predicate& pred,
+    const HostEnv& host_env, const std::vector<RecordId>& ids) {
+  if (!db.index_options().enabled || ids.empty()) return std::nullopt;
+  for (RecordId id : ids) {
+    Result<std::string> t = db.TypeOf(id);
+    if (!t.ok() || !EqualsIgnoreCase(*t, type)) return std::nullopt;
+  }
+  std::vector<std::string> host_vars;
+  pred.CollectHostVars(&host_vars);
+  std::map<std::string, Value> resolved;
+  for (const std::string& v : host_vars) {
+    Result<Value> r = host_env(v);
+    if (!r.ok()) return std::nullopt;
+    resolved[v] = *r;
+  }
+  std::vector<const Predicate*> conjuncts;
+  CollectEqualityConjuncts(pred, &conjuncts);
+  std::optional<std::vector<RecordId>> best;
+  for (const Predicate* c : conjuncts) {
+    const Value& probe = c->operand().kind == Operand::Kind::kHostVar
+                             ? resolved[c->operand().host_var]
+                             : c->operand().literal;
+    std::optional<std::vector<RecordId>> candidates =
+        db.ProbeCandidates(type, c->field(), probe);
+    if (!candidates.has_value()) continue;
+    if (!best.has_value() || candidates->size() < best->size()) {
+      best = std::move(candidates);
+    }
+    if (best->empty()) break;
+  }
+  return best;
+}
+
+}  // namespace
+
 Result<std::vector<RecordId>> EvaluateFind(const Database& db,
                                            const FindQuery& query,
                                            const HostEnv& host_env,
@@ -186,8 +298,8 @@ Result<std::vector<RecordId>> EvaluateFind(const Database& db,
           have_current = true;
         } else {
           for (RecordId owner : current) {
-            std::vector<RecordId> members =
-                db.Members(ToUpper(step.name), owner);
+            const std::vector<RecordId>& members =
+                db.MembersRef(ToUpper(step.name), owner);
             next.insert(next.end(), members.begin(), members.end());
           }
         }
@@ -196,8 +308,18 @@ Result<std::vector<RecordId>> EvaluateFind(const Database& db,
       }
       case PathStep::Kind::kRecord: {
         if (!step.qualification.has_value()) break;
+        // Probe an equality conjunct so only plausible records are
+        // evaluated; the full qualification still decides membership.
+        std::optional<std::vector<RecordId>> candidates =
+            QualificationCandidates(db, step.name, *step.qualification,
+                                    host_env, current);
         std::vector<RecordId> kept;
         for (RecordId id : current) {
+          if (candidates.has_value() &&
+              !std::binary_search(candidates->begin(), candidates->end(),
+                                  id)) {
+            continue;
+          }
           DBPC_ASSIGN_OR_RETURN(
               bool keep,
               step.qualification->Evaluate(db.FieldGetter(id), host_env));
@@ -208,7 +330,9 @@ Result<std::vector<RecordId>> EvaluateFind(const Database& db,
       }
       case PathStep::Kind::kJoin: {
         // Value join: targets whose join field equals some incoming
-        // record's source field. Result is deduplicated, first-match order.
+        // record's source field. Result is deduplicated, first-match
+        // (ascending id) order — both access paths below reproduce the
+        // matched set and order of the original nested-loop scan.
         std::vector<Value> source_values;
         source_values.reserve(current.size());
         for (RecordId id : current) {
@@ -216,27 +340,62 @@ Result<std::vector<RecordId>> EvaluateFind(const Database& db,
                                 db.GetField(id, step.join_source_field));
           source_values.push_back(std::move(v));
         }
-        std::vector<RecordId> joined;
-        for (RecordId candidate : db.AllOfType(ToUpper(step.name))) {
-          DBPC_ASSIGN_OR_RETURN(
-              Value target_value,
-              db.GetField(candidate, step.join_target_field));
-          bool matches = false;
+        std::string target_type = ToUpper(step.name);
+
+        // Access path 1: probe a (lazily built) secondary index per source
+        // value and merge the buckets. Bucket membership coincides exactly
+        // with QueryCompare equality for accepted probes, so no
+        // re-verification pass is needed.
+        std::optional<std::vector<RecordId>> matched;
+        if (db.EnsureFieldIndex(target_type, step.join_target_field)) {
+          std::vector<RecordId> merged;
+          bool usable = true;
           for (const Value& v : source_values) {
-            std::optional<int> cmp = QueryCompare(target_value, v);
-            if (cmp.has_value() && *cmp == 0) {
-              matches = true;
+            if (v.is_null()) continue;  // null joins with nothing
+            std::optional<std::vector<RecordId>> bucket =
+                db.ProbeIndex(target_type, step.join_target_field, v);
+            if (!bucket.has_value()) {
+              usable = false;
               break;
             }
+            merged.insert(merged.end(), bucket->begin(), bucket->end());
           }
-          if (!matches) continue;
-          if (step.qualification.has_value()) {
-            DBPC_ASSIGN_OR_RETURN(bool keep,
-                                  step.qualification->Evaluate(
-                                      db.FieldGetter(candidate), host_env));
-            if (!keep) continue;
+          if (usable) {
+            std::sort(merged.begin(), merged.end());
+            merged.erase(std::unique(merged.begin(), merged.end()),
+                         merged.end());
+            matched = std::move(merged);
           }
-          joined.push_back(candidate);
+        }
+
+        std::vector<RecordId> joined;
+        if (matched.has_value()) {
+          for (RecordId candidate : *matched) {
+            if (step.qualification.has_value()) {
+              DBPC_ASSIGN_OR_RETURN(bool keep,
+                                    step.qualification->Evaluate(
+                                        db.FieldGetter(candidate), host_env));
+              if (!keep) continue;
+            }
+            joined.push_back(candidate);
+          }
+        } else {
+          // Access path 2: one scan of the target type with a hashed
+          // build side replacing the inner comparison loop.
+          JoinMatcher matcher(source_values);
+          for (RecordId candidate : db.AllOfType(target_type)) {
+            DBPC_ASSIGN_OR_RETURN(
+                Value target_value,
+                db.GetField(candidate, step.join_target_field));
+            if (!matcher.Matches(target_value)) continue;
+            if (step.qualification.has_value()) {
+              DBPC_ASSIGN_OR_RETURN(bool keep,
+                                    step.qualification->Evaluate(
+                                        db.FieldGetter(candidate), host_env));
+              if (!keep) continue;
+            }
+            joined.push_back(candidate);
+          }
         }
         current = std::move(joined);
         have_current = true;

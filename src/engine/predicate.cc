@@ -1,6 +1,7 @@
 #include "engine/predicate.h"
 
 #include <charconv>
+#include <cstdio>
 
 namespace dbpc {
 
@@ -90,22 +91,31 @@ Predicate& Predicate::operator=(const Predicate& other) {
   return *this;
 }
 
+std::optional<double> QueryNumeric(const Value& v) {
+  if (v.is_int()) return static_cast<double>(v.as_int());
+  if (v.is_double()) return v.as_double();
+  if (!v.is_string()) return std::nullopt;
+  const std::string& s = v.as_string();
+  double out = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec == std::errc() && ptr == s.data() + s.size()) return out;
+  return std::nullopt;
+}
+
+std::string QueryNumericKey(double d) {
+  if (d == 0.0) d = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
 std::optional<int> QueryCompare(const Value& lhs, const Value& rhs) {
   if (lhs.is_null() || rhs.is_null()) return std::nullopt;
-  auto as_number = [](const Value& v) -> std::optional<double> {
-    if (v.is_int()) return static_cast<double>(v.as_int());
-    if (v.is_double()) return v.as_double();
-    const std::string& s = v.as_string();
-    double out = 0;
-    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-    if (ec == std::errc() && ptr == s.data() + s.size()) return out;
-    return std::nullopt;
-  };
   // Numeric comparison applies when at least one side is a native number
   // and the other is a number or numeric string; otherwise lexicographic.
   if (lhs.is_int() || lhs.is_double() || rhs.is_int() || rhs.is_double()) {
-    std::optional<double> ln = as_number(lhs);
-    std::optional<double> rn = as_number(rhs);
+    std::optional<double> ln = QueryNumeric(lhs);
+    std::optional<double> rn = QueryNumeric(rhs);
     if (ln.has_value() && rn.has_value()) {
       return *ln < *rn ? -1 : (*ln > *rn ? 1 : 0);
     }
@@ -166,6 +176,22 @@ Result<bool> Predicate::Evaluate(
     }
   }
   return Status::Internal("corrupt predicate");
+}
+
+void CollectEqualityConjuncts(const Predicate& pred,
+                              std::vector<const Predicate*>* out) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kCompare:
+      if (pred.op() == CompareOp::kEq) out->push_back(&pred);
+      return;
+    case Predicate::Kind::kAnd:
+      CollectEqualityConjuncts(*pred.lhs_child(), out);
+      CollectEqualityConjuncts(*pred.rhs_child(), out);
+      return;
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot:
+      return;
+  }
 }
 
 int Predicate::RenameField(const std::string& old_field,

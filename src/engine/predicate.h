@@ -125,6 +125,24 @@ class Predicate {
 /// nullopt when either side is null.
 std::optional<int> QueryCompare(const Value& lhs, const Value& rhs);
 
+/// The numeric interpretation a value gets inside QueryCompare: native
+/// numbers as-is, strings only when std::from_chars consumes them fully.
+std::optional<double> QueryNumeric(const Value& v);
+
+/// Canonical key text for a number under QueryCompare equality: equal
+/// doubles produce equal keys and distinct doubles distinct keys ("%.17g"
+/// round-trips; -0 collapses onto +0). NaN is the caller's problem — it
+/// compares equal to every number, so no key can represent it.
+std::string QueryNumericKey(double d);
+
+/// Collects the top-level AND conjuncts of `pred` that are plain equality
+/// comparisons (`field = literal` / `field = :hostvar`), left to right.
+/// Subtrees under OR/NOT contribute nothing: only conjuncts that must hold
+/// for the whole predicate to hold are returned, which is what makes them
+/// usable as index probes.
+void CollectEqualityConjuncts(const Predicate& pred,
+                              std::vector<const Predicate*>* out);
+
 }  // namespace dbpc
 
 #endif  // DBPC_ENGINE_PREDICATE_H_

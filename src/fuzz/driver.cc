@@ -2,6 +2,7 @@
 // source program, converts via each strategy, replays under the identical
 // IoScript and diffs traces.
 
+#include <functional>
 #include <utility>
 
 #include "bridge/bridge.h"
@@ -27,6 +28,8 @@ const char* FuzzStrategyName(FuzzStrategy s) {
       return "bridge";
     case FuzzStrategy::kOptimizerDiff:
       return "optimizer";
+    case FuzzStrategy::kIndexDiff:
+      return "index";
   }
   return "unknown";
 }
@@ -37,12 +40,13 @@ Result<FuzzStrategy> ParseFuzzStrategyName(const std::string& name) {
   }
   return Status::InvalidArgument(
       "unknown strategy '" + name +
-      "' (want rewrite, emulation, bridge or optimizer)");
+      "' (want rewrite, emulation, bridge, optimizer or index)");
 }
 
 std::vector<FuzzStrategy> AllFuzzStrategies() {
   return {FuzzStrategy::kRewrite, FuzzStrategy::kEmulation,
-          FuzzStrategy::kBridge, FuzzStrategy::kOptimizerDiff};
+          FuzzStrategy::kBridge, FuzzStrategy::kOptimizerDiff,
+          FuzzStrategy::kIndexDiff};
 }
 
 namespace {
@@ -251,6 +255,95 @@ StrategyRun RunOptimizerDiff(const PreparedCase& p) {
   return Diff(FuzzStrategy::kOptimizerDiff, baseline->trace, run->trace);
 }
 
+/// The index-differential axis: every program run is repeated with index
+/// probing disabled and the two traces diffed. Like the optimizer axis the
+/// source trace is not the oracle — the contract under test is the index
+/// subsystem's own trace invisibility (engine/database.h), so a divergence
+/// is a bug even on a case the other axes would skip. `converted` is null
+/// when the conversion was not automatic; the source leg still runs.
+StrategyRun RunIndexDiff(const PreparedCase& p, const Program* converted) {
+  const IndexOptions index_off{.enabled = false, .auto_join_indexes = false};
+
+  struct Leg {
+    const char* name;
+    std::function<Result<Trace>(const IndexOptions&)> run;
+  };
+  std::vector<Leg> legs;
+  legs.push_back(
+      {"source run", [&](const IndexOptions& options) -> Result<Trace> {
+         DBPC_ASSIGN_OR_RETURN(Database db, LoadSource(p));
+         db.SetIndexOptions(options);
+         Interpreter interp(&db, p.script);
+         DBPC_ASSIGN_OR_RETURN(RunResult run, interp.Run(p.program));
+         return run.trace;
+       }});
+  if (converted != nullptr) {
+    legs.push_back(
+        {"rewrite run", [&](const IndexOptions& options) -> Result<Trace> {
+           DBPC_ASSIGN_OR_RETURN(Database db, LoadTarget(p));
+           db.SetIndexOptions(options);
+           Interpreter interp(&db, p.script);
+           DBPC_ASSIGN_OR_RETURN(RunResult run, interp.Run(*converted));
+           return run.trace;
+         }});
+    legs.push_back(
+        {"emulation run", [&](const IndexOptions& options) -> Result<Trace> {
+           DBPC_ASSIGN_OR_RETURN(
+               DmlEmulator emulator,
+               DmlEmulator::Create(p.source_schema, p.plan.View()));
+           DBPC_ASSIGN_OR_RETURN(Database db, LoadTarget(p));
+           db.SetIndexOptions(options);
+           DBPC_ASSIGN_OR_RETURN(DmlEmulator::EmulationRun run,
+                                 emulator.Run(p.program, &db, p.script));
+           return run.run.trace;
+         }});
+    legs.push_back(
+        {"bridge run", [&](const IndexOptions& options) -> Result<Trace> {
+           DBPC_ASSIGN_OR_RETURN(
+               BridgeRunner bridge,
+               BridgeRunner::Create(p.source_schema, p.plan.View()));
+           DBPC_ASSIGN_OR_RETURN(Database db, LoadTarget(p));
+           db.SetIndexOptions(options);
+           DBPC_ASSIGN_OR_RETURN(BridgeRunner::BridgeRun run,
+                                 bridge.Run(p.program, &db, p.script));
+           return run.run.trace;
+         }});
+  }
+
+  for (const Leg& leg : legs) {
+    Result<Trace> on = leg.run(IndexOptions{});
+    Result<Trace> off = leg.run(index_off);
+    if (!on.ok() && !off.ok()) {
+      // Both refuse or fail; only an index-dependent *difference* in the
+      // failure is a divergence (a strategy that never applies, e.g. a
+      // lossy plan for the bridge, fails identically on both sides).
+      if (on.status().ToString() == off.status().ToString()) continue;
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kIndexDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = std::string(leg.name) + ": indexes-on error '" +
+                   on.status().ToString() + "' vs indexes-off error '" +
+                   off.status().ToString() + "'";
+      return out;
+    }
+    if (on.ok() != off.ok()) {
+      return Broken(FuzzStrategy::kIndexDiff,
+                    std::string(leg.name) +
+                        (on.ok() ? " with indexes off" : " with indexes on"),
+                    on.ok() ? off.status() : on.status());
+    }
+    StrategyRun diff = Diff(FuzzStrategy::kIndexDiff, *on, *off);
+    if (diff.outcome == StrategyOutcome::kDivergent) {
+      diff.detail = std::string(leg.name) + ": " + diff.detail;
+      return diff;
+    }
+  }
+  StrategyRun out;
+  out.strategy = FuzzStrategy::kIndexDiff;
+  out.outcome = StrategyOutcome::kEquivalent;
+  return out;
+}
+
 }  // namespace
 
 CaseRun RunFuzzCase(const FuzzCase& c,
@@ -296,6 +389,14 @@ CaseRun RunFuzzCase(const FuzzCase& c,
   bool automatic = outcome->classification == Convertibility::kAutomatic &&
                    outcome->accepted;
   for (FuzzStrategy strategy : strategies) {
+    if (strategy == FuzzStrategy::kIndexDiff) {
+      // Trace invisibility binds unconditionally, so the index axis is not
+      // gated on the classification: the source leg always runs, and the
+      // converted legs join in when the conversion was automatic.
+      out.strategies.push_back(RunIndexDiff(
+          *prepared, automatic ? &outcome->conversion.converted : nullptr));
+      continue;
+    }
     if (!automatic) {
       out.strategies.push_back(
           Skip(strategy,
@@ -316,6 +417,8 @@ CaseRun RunFuzzCase(const FuzzCase& c,
       case FuzzStrategy::kOptimizerDiff:
         out.strategies.push_back(RunOptimizerDiff(*prepared));
         break;
+      case FuzzStrategy::kIndexDiff:
+        break;  // handled above, before the classification gate
     }
   }
   return out;

@@ -66,6 +66,13 @@ enum class FuzzStrategy {
   /// two converted programs' traces: any optimizer rewrite that changes
   /// observable behaviour is a bug regardless of what the source did.
   kOptimizerDiff,
+  /// Repeats every program run — the source program, plus the rewrite,
+  /// emulation and bridge runs when the conversion is automatic — with
+  /// engine index probing disabled and diffs each pair of traces. The
+  /// oracle is the index subsystem's trace-invisibility contract
+  /// (engine/database.h): indexes change access costs, never observable
+  /// behaviour. The source leg runs even for non-automatic cases.
+  kIndexDiff,
 };
 
 const char* FuzzStrategyName(FuzzStrategy s);

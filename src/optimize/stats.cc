@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -35,6 +37,24 @@ void ResolveFieldSource(const Schema& schema, std::string* type,
     *type = set->owner;
     *field = f->using_field;
   }
+}
+
+/// Smallest equality selectivity among the top-level AND conjuncts of
+/// `pred` whose field carries an index on `type`; nullopt when no conjunct
+/// is indexable. Mirrors the engine's candidate-prefilter rule: it probes
+/// existing indexes only, never builds one for a qualification.
+std::optional<double> BestIndexedConjunct(const StatisticsCatalog& catalog,
+                                          const std::string& type,
+                                          const Predicate& pred) {
+  std::vector<const Predicate*> conjuncts;
+  CollectEqualityConjuncts(pred, &conjuncts);
+  std::optional<double> best;
+  for (const Predicate* c : conjuncts) {
+    if (!catalog.HasIndex(type, c->field())) continue;
+    double sel = catalog.EqualitySelectivity(type, c->field());
+    if (!best.has_value() || sel < *best) best = sel;
+  }
+  return best;
 }
 
 double FieldReadCostDepth(const Schema& schema, const std::string& type,
@@ -87,6 +107,11 @@ StatisticsCatalog StatisticsCatalog::Collect(const Database& db) {
     ss.occurrences = owners.size();
     catalog.sets_[ToUpper(set.name)] = ss;
   }
+  for (const auto& [type, field] : db.IndexedFields()) {
+    catalog.indexed_fields_.insert({ToUpper(type), ToUpper(field)});
+  }
+  catalog.auto_join_indexes_ =
+      db.index_options().enabled && db.index_options().auto_join_indexes;
   return catalog;
 }
 
@@ -113,6 +138,11 @@ double StatisticsCatalog::EqualitySelectivity(const std::string& type,
   return Clamp01(std::max(1.0 / count, 1.0 / static_cast<double>(f->second)));
 }
 
+bool StatisticsCatalog::HasIndex(const std::string& type,
+                                 const std::string& field) const {
+  return indexed_fields_.count({ToUpper(type), ToUpper(field)}) > 0;
+}
+
 std::string StatisticsCatalog::ToText() const {
   std::string out;
   for (const auto& [name, ts] : types_) {
@@ -129,6 +159,12 @@ std::string StatisticsCatalog::ToText() const {
     std::snprintf(fanout, sizeof(fanout), ", fan-out %.2f", ss.AvgFanout());
     out += fanout;
     out += "\n";
+  }
+  for (const auto& [type, field] : indexed_fields_) {
+    out += "index " + type + "." + field + "\n";
+  }
+  if (auto_join_indexes_) {
+    out += "join-target indexes built on demand\n";
   }
   return out;
 }
@@ -232,8 +268,19 @@ double EstimateRetrievalCost(const Schema& schema,
       case PathStep::Kind::kRecord: {
         context = step.name;
         if (step.qualification.has_value()) {
-          cost += rows *
-                  PredicateEvalCost(schema, context, *step.qualification);
+          std::optional<double> idx =
+              BestIndexedConjunct(catalog, context, *step.qualification);
+          if (idx.has_value()) {
+            // Indexed prefilter: one bucket probe surfaces the candidate
+            // ids (charged as index hits), and only rows surviving the
+            // equality conjunct pay the full qualification.
+            cost += 1.0 + catalog.TypeCount(context) * *idx;
+            cost += rows * *idx *
+                    PredicateEvalCost(schema, context, *step.qualification);
+          } else {
+            cost += rows *
+                    PredicateEvalCost(schema, context, *step.qualification);
+          }
           rows *= EstimateSelectivity(catalog, schema, context,
                                       *step.qualification);
         }
@@ -241,12 +288,28 @@ double EstimateRetrievalCost(const Schema& schema,
       }
       case PathStep::Kind::kJoin: {
         double n = static_cast<double>(catalog.TypeCount(step.name));
-        cost += n;  // AllOfType reads every record of the joined type
         cost += rows * FieldReadCost(schema, context, step.join_source_field);
-        cost +=
-            rows * n * FieldReadCost(schema, step.name, step.join_target_field);
-        rows = rows * n *
-               catalog.EqualitySelectivity(step.name, step.join_target_field);
+        double matched = rows * n *
+                         catalog.EqualitySelectivity(step.name,
+                                                     step.join_target_field);
+        const RecordTypeDef* target = schema.FindRecordType(step.name);
+        const FieldDef* tf =
+            target != nullptr ? target->FindField(step.join_target_field)
+                              : nullptr;
+        bool indexed =
+            catalog.HasIndex(step.name, step.join_target_field) ||
+            (catalog.auto_join_indexes() && tf != nullptr && !tf->is_virtual);
+        if (indexed) {
+          // Hash probe per source value plus the bucket entries touched;
+          // the lazy index build itself scans the raw store and charges no
+          // engine operations.
+          cost += rows + matched;
+        } else {
+          cost += n;  // AllOfType reads every record of the joined type
+          cost += rows * n *
+                  FieldReadCost(schema, step.name, step.join_target_field);
+        }
+        rows = matched;
         context = step.name;
         if (step.qualification.has_value()) {
           cost += rows *

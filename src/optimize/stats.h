@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "engine/database.h"
 #include "engine/find_query.h"
@@ -34,8 +36,9 @@ struct RecordTypeStatistics {
 };
 
 /// Database statistics feeding the cost-based optimizer: record counts per
-/// type, set occurrence counts and fan-out, and per-field distinct-value
-/// estimates for equality selectivity. Collected from a live instance (for
+/// type, set occurrence counts and fan-out, per-field distinct-value
+/// estimates for equality selectivity, and which fields carry a usable
+/// equality index. Collected from a live instance (for
 /// conversion, the *translated* target database — the optimizer runs over
 /// the target schema). Statistics inform cost decisions only, never
 /// correctness: a plan chosen under stale statistics is slower, not wrong.
@@ -61,12 +64,24 @@ class StatisticsCatalog {
   double EqualitySelectivity(const std::string& type,
                              const std::string& field) const;
 
+  /// Whether an equality index on (type, field) existed at collection time
+  /// (secondary indexes plus uniqueness-constraint probes).
+  bool HasIndex(const std::string& type, const std::string& field) const;
+
+  /// Whether the engine builds join-target indexes on demand, so a value
+  /// join can be priced as indexed even if no index existed at collection
+  /// time.
+  bool auto_join_indexes() const { return auto_join_indexes_; }
+
   /// Human-readable dump (dbpcc --explain).
   std::string ToText() const;
 
  private:
   std::map<std::string, RecordTypeStatistics> types_;
   std::map<std::string, SetStatistics> sets_;
+  /// (TYPE, FIELD) pairs with a usable equality index, upper-cased.
+  std::set<std::pair<std::string, std::string>> indexed_fields_;
+  bool auto_join_indexes_ = false;
 };
 
 // --- cost model ---------------------------------------------------------

@@ -10,6 +10,7 @@ RecordId Store::Insert(std::string type, FieldMap fields) {
   rec.id = id;
   rec.type = std::move(type);
   rec.fields = std::move(fields);
+  by_type_[rec.type].push_back(id);
   records_.emplace(id, std::move(rec));
   return id;
 }
@@ -18,6 +19,12 @@ Status Store::Remove(RecordId id) {
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("record " + std::to_string(id));
+  }
+  auto dir = by_type_.find(it->second.type);
+  if (dir != by_type_.end()) {
+    std::vector<RecordId>& ids = dir->second;
+    auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+    if (pos != ids.end() && *pos == id) ids.erase(pos);
   }
   records_.erase(it);
   return Status::OK();
@@ -33,12 +40,10 @@ StoredRecord* Store::GetMutable(RecordId id) {
   return it == records_.end() ? nullptr : &it->second;
 }
 
-std::vector<RecordId> Store::AllOfType(const std::string& type) const {
-  std::vector<RecordId> out;
-  for (const auto& [id, rec] : records_) {
-    if (rec.type == type) out.push_back(id);
-  }
-  return out;
+const std::vector<RecordId>& Store::OfType(const std::string& type) const {
+  static const std::vector<RecordId> kEmpty;
+  auto it = by_type_.find(type);
+  return it == by_type_.end() ? kEmpty : it->second;
 }
 
 std::vector<RecordId> Store::AllRecords() const {

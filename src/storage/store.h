@@ -49,7 +49,13 @@ class Store {
   StoredRecord* GetMutable(RecordId id);
 
   /// All live records of `type`, in ascending id (i.e. insertion) order.
-  std::vector<RecordId> AllOfType(const std::string& type) const;
+  /// Served from a per-type directory: O(live-of-type), not a heap walk.
+  const std::vector<RecordId>& OfType(const std::string& type) const;
+
+  /// Copying wrapper around OfType for callers that mutate while iterating.
+  std::vector<RecordId> AllOfType(const std::string& type) const {
+    return OfType(type);
+  }
 
   /// All live record ids in insertion order.
   std::vector<RecordId> AllRecords() const;
@@ -94,6 +100,9 @@ class Store {
   RecordId next_id_ = 1;
   std::map<RecordId, StoredRecord> records_;
   std::unordered_map<std::string, SetIndex> sets_;
+  /// type -> live ids, ascending (ids are allocated monotonically, so
+  /// appending on insert keeps each list in insertion order).
+  std::unordered_map<std::string, std::vector<RecordId>> by_type_;
 };
 
 }  // namespace dbpc

@@ -195,7 +195,9 @@ Result<SystemConversionReport> ConversionSupervisor::ConvertSystem(
 
 Result<Database> ConversionSupervisor::TranslateDatabase(
     const Database& source) const {
-  return dbpc::TranslateDatabase(source, plan_);
+  DBPC_ASSIGN_OR_RETURN(Database target, dbpc::TranslateDatabase(source, plan_));
+  target.SetIndexOptions(options_.index);
+  return target;
 }
 
 }  // namespace dbpc

@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "convert/converter.h"
+#include "engine/database.h"
 #include "optimize/optimizer.h"
 
 namespace dbpc {
@@ -50,6 +51,11 @@ struct SupervisorOptions {
   AnalystPolicy analyst;
   /// Program Analyzer configuration (lifting ablation switch).
   AnalyzerOptions analyzer;
+  /// Index configuration applied to databases produced by
+  /// TranslateDatabase (engine/database.h). Defaults keep equality indexes
+  /// on; disabling them is an ablation/debugging switch — results are
+  /// identical either way, only access-path costs change.
+  IndexOptions index;
   /// When set, the pipeline records per-stage latency histograms
   /// (stage.analyze_us / stage.convert_us / stage.optimize_us),
   /// classification counters (programs.*) and analyst/optimizer activity

@@ -51,6 +51,49 @@ TEST(StatisticsCatalogTest, CollectionDoesNotDisturbOpStats) {
   EXPECT_EQ(db.stats().Total(), 0u);
 }
 
+TEST(StatisticsCatalogTest, CollectRecordsIndexAvailability) {
+  Database db = MakeCompanyDatabase();
+  StatisticsCatalog catalog = StatisticsCatalog::Collect(db);
+  // Set-key fields get eager secondary indexes at Create time.
+  EXPECT_TRUE(catalog.HasIndex("EMP", "EMP-NAME"));
+  EXPECT_FALSE(catalog.HasIndex("EMP", "AGE"));
+  EXPECT_TRUE(catalog.auto_join_indexes());
+
+  db.SetIndexOptions({.enabled = false, .auto_join_indexes = false});
+  StatisticsCatalog off = StatisticsCatalog::Collect(db);
+  EXPECT_FALSE(off.auto_join_indexes());
+}
+
+TEST(CostModelTest, IndexedJoinEstimatesCheaperThanScan) {
+  Database db = MakeDatabase(testing::CompanyDdl());
+  FillCompany(&db, 10, 8);
+  Retrieval join = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, "
+      "JOIN EMP THROUGH (DEPT-NAME, DIV-LOC))");
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &join.query).ok());
+  StatisticsCatalog indexed = StatisticsCatalog::Collect(db);
+  db.SetIndexOptions({.enabled = false, .auto_join_indexes = false});
+  StatisticsCatalog scan = StatisticsCatalog::Collect(db);
+  EXPECT_LT(EstimateRetrievalCost(db.schema(), indexed, join),
+            EstimateRetrievalCost(db.schema(), scan, join));
+}
+
+TEST(CostModelTest, IndexedQualificationEstimatesCheaperThanScan) {
+  Database db = MakeDatabase(testing::CompanyDdl());
+  FillCompany(&db, 10, 8);
+  // EMP-NAME is a DIV-EMP set key, so its equality conjunct can prefilter
+  // through the eager secondary index.
+  Retrieval qual = *ParseRetrieval(
+      "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, "
+      "EMP(EMP-NAME = 'EMP-0002-00003'))");
+  ASSERT_TRUE(ResolveFindQuery(db.schema(), &qual.query).ok());
+  StatisticsCatalog indexed = StatisticsCatalog::Collect(db);
+  db.SetIndexOptions({.enabled = false, .auto_join_indexes = false});
+  StatisticsCatalog scan = StatisticsCatalog::Collect(db);
+  EXPECT_LT(EstimateRetrievalCost(db.schema(), indexed, qual),
+            EstimateRetrievalCost(db.schema(), scan, qual));
+}
+
 TEST(CostModelTest, VirtualFieldReadsCostMoreThanActual) {
   Database db = MakeCompanyDatabase();
   // EMP.DIV-NAME resolves through DIV-EMP to its owner: GetField + OwnerOf

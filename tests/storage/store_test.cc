@@ -103,6 +103,24 @@ TEST(StoreTest, SystemOwnerIsJustAnotherOwnerId) {
   EXPECT_EQ(store.Members("SYS", kSystemOwner).size(), 1u);
 }
 
+TEST(StoreTest, AllOfTypeKeepsInsertionOrderAcrossRemovals) {
+  // Regression for the per-type directory: results must stay in ascending
+  // id (insertion) order — exactly what the old full-heap walk produced —
+  // with removed ids dropped and later inserts appended.
+  Store store;
+  RecordId a1 = store.Insert("A", {});
+  RecordId b1 = store.Insert("B", {});
+  RecordId a2 = store.Insert("A", {});
+  RecordId a3 = store.Insert("A", {});
+  RecordId b2 = store.Insert("B", {});
+  ASSERT_TRUE(store.Remove(a2).ok());
+  RecordId a4 = store.Insert("A", {});
+  EXPECT_EQ(store.AllOfType("A"), (std::vector<RecordId>{a1, a3, a4}));
+  EXPECT_EQ(store.AllOfType("B"), (std::vector<RecordId>{b1, b2}));
+  EXPECT_TRUE(store.AllOfType("C").empty());
+  EXPECT_EQ(store.AllRecords(), (std::vector<RecordId>{a1, b1, a3, b2, a4}));
+}
+
 TEST(StoreTest, CloneIsDeep) {
   Store store;
   RecordId owner = store.Insert("O", {});

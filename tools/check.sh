@@ -26,8 +26,14 @@ done
 echo "== fuzz: optimizer-differential sweep (optimized vs. unoptimized) =="
 ./build/tools/dbpc_fuzz --diff-optimizer --seed 1 --iterations 200
 
+echo "== fuzz: index-differential sweep (indexes on vs. off) =="
+./build/tools/dbpc_fuzz --diff-index --seed 1 --iterations 200
+
 echo "== bench: cost-based optimizer sanity (E10 --smoke) =="
 ./build/bench/bench_optimizer --smoke
+
+echo "== bench: indexed access-path sanity (E11 --smoke) =="
+./build/bench/bench_index_paths --smoke
 
 echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null

@@ -6,12 +6,15 @@
 // identical I/O scripts, and diffs the observable traces (the paper's
 // section 1.1 "runs equivalently" check). A fourth axis ("optimizer")
 // diffs each converted program optimized vs. unoptimized, checking the
-// cost-based optimizer's no-behaviour-change contract. Divergences are
+// cost-based optimizer's no-behaviour-change contract; a fifth ("index")
+// repeats every run with engine index probing disabled, checking the
+// index subsystem's trace-invisibility contract. Divergences are
 // shrunk to minimal repros.
 //
 //   dbpc_fuzz --seed 1 --iterations 500
 //   dbpc_fuzz --strategy bridge --no-shrink --iterations 50
 //   dbpc_fuzz --diff-optimizer --iterations 500
+//   dbpc_fuzz --diff-index --iterations 500
 //   dbpc_fuzz --replay samples/fuzz-regressions/*.repro
 //   dbpc_fuzz --print-case 42
 //
@@ -19,9 +22,10 @@
 //   --seed <n>          base seed (default 1); per-iteration case seeds
 //                       derive deterministically from it
 //   --iterations <n>    cases to run (default 100)
-//   --strategy <name>   rewrite | emulation | bridge | optimizer;
-//                       repeatable, default all four
+//   --strategy <name>   rewrite | emulation | bridge | optimizer | index;
+//                       repeatable, default all five
 //   --diff-optimizer    shorthand for --strategy optimizer alone
+//   --diff-index        shorthand for --strategy index alone
 //   --shrink / --no-shrink
 //                       minimize failing cases (default on)
 //   --max-failures <n>  stop after this many divergences (default 5)
@@ -49,8 +53,8 @@ using namespace dbpc;
 int Usage() {
   std::fprintf(stderr,
                "usage: dbpc_fuzz [--seed <n>] [--iterations <n>] "
-               "[--strategy rewrite|emulation|bridge|optimizer]... "
-               "[--diff-optimizer] [--shrink|"
+               "[--strategy rewrite|emulation|bridge|optimizer|index]... "
+               "[--diff-optimizer] [--diff-index] [--shrink|"
                "--no-shrink] [--max-failures <n>] [--write-repros <dir>] "
                "[--replay <file>]... [--print-case <seed>]\n");
   return 2;
@@ -144,6 +148,8 @@ int main(int argc, char** argv) {
       strategies.push_back(*s);
     } else if (arg == "--diff-optimizer") {
       strategies = {FuzzStrategy::kOptimizerDiff};
+    } else if (arg == "--diff-index") {
+      strategies = {FuzzStrategy::kIndexDiff};
     } else if (arg == "--shrink") {
       options.shrink = true;
     } else if (arg == "--no-shrink") {

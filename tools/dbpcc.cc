@@ -23,6 +23,10 @@
 //                       approve-all analyst stands in for the interactive
 //                       Conversion Analyst)
 //   --no-optimizer      skip the Figure 4.1 optimizer stage
+//   --no-indexes        disable engine equality indexes on the translated
+//                       database (ablation: results are identical, only
+//                       access-path costs change); also priced into the
+//                       cost model via the statistics catalog
 //   --emit <dialect>    cpl (default) | codasyl | sequel
 //   --target-ddl        also print the restructured schema's DDL
 //   --data <file>       load a database dump (engine/textio format) over
@@ -61,7 +65,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dbpcc --schema <ddl> --plan <plan> [--jobs <n>] "
                "[--deadline-ms <n>] [--metrics-json <file>] [--strict] "
-               "[--no-optimizer] [--emit cpl|codasyl|sequel] [--target-ddl] "
+               "[--no-optimizer] [--no-indexes] "
+               "[--emit cpl|codasyl|sequel] [--target-ddl] "
                "[--data <dump> [--data-out <file>]] [--explain] "
                "<program>...\n");
   return 2;
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
   std::string emit = "cpl";
   bool strict = false;
   bool optimizer = true;
+  bool indexes = true;
   bool target_ddl = false;
   bool advise = false;
   bool explain = false;
@@ -117,6 +123,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--no-optimizer") {
       optimizer = false;
+    } else if (arg == "--no-indexes") {
+      indexes = false;
     } else if (arg == "--target-ddl") {
       target_ddl = true;
     } else if (arg == "--data" && i + 1 < argc) {
@@ -152,6 +160,8 @@ int main(int argc, char** argv) {
   // The translated database (and the statistics collected from it) must
   // exist before the conversion batch runs: the optimizer prices candidate
   // access paths against the *target* instance.
+  const IndexOptions index_options{.enabled = indexes,
+                                   .auto_join_indexes = indexes};
   std::optional<Database> target_db;
   StatisticsCatalog catalog;
   if (!data_path.empty()) {
@@ -163,6 +173,9 @@ int main(int argc, char** argv) {
         TranslateDatabase(*source_db, plan->View());
     if (!translated.ok()) return Fail(translated.status(), "data translation");
     target_db = std::move(translated).value();
+    // Options first: the catalog records index availability, which the
+    // cost model uses to price indexed vs. scan access paths.
+    target_db->SetIndexOptions(index_options);
     catalog = StatisticsCatalog::Collect(*target_db);
   }
 
@@ -170,6 +183,7 @@ int main(int argc, char** argv) {
   options.jobs = jobs;
   options.deadline_ms = deadline_ms;
   options.supervisor.run_optimizer = optimizer;
+  options.supervisor.index = index_options;
   if (target_db.has_value()) options.supervisor.statistics = &catalog;
   if (strict) {
     options.supervisor.mode = AnalystMode::kStrict;
@@ -218,6 +232,8 @@ int main(int argc, char** argv) {
   }
 
   if (explain) {
+    uint64_t measured_probes = 0;
+    uint64_t measured_hits = 0;
     for (const PipelineOutcome& outcome : report->outcomes) {
       const OptimizerStats& os = outcome.optimizer_stats;
       if (!outcome.accepted) continue;
@@ -258,14 +274,18 @@ int main(int argc, char** argv) {
           target_db->ResetStats();
           Result<std::vector<RecordId>> rows = EvaluateRetrieval(
               *target_db, *chosen[i], EmptyHostEnv(), EmptyCollectionEnv());
+          measured_probes += target_db->stats().index_probes;
+          measured_hits += target_db->stats().index_hits;
           if (rows.ok()) {
             std::fprintf(stderr,
                          "    estimated %.1f ops, actual %llu ops (%zu "
-                         "records)\n",
+                         "records, %llu index probes)\n",
                          pc.cost_chosen,
                          static_cast<unsigned long long>(
                              target_db->stats().Total()),
-                         rows->size());
+                         rows->size(),
+                         static_cast<unsigned long long>(
+                             target_db->stats().index_probes));
           } else {
             // Host-variable or collection-start retrievals cannot run
             // standalone; the estimate stands on its own.
@@ -275,6 +295,12 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // Surface the measured engine access-path activity in the metrics
+    // snapshot alongside the pipeline's own counters.
+    (*service)->metrics().GetCounter("engine.index_probes")
+        ->Increment(measured_probes);
+    (*service)->metrics().GetCounter("engine.index_hits")
+        ->Increment(measured_hits);
   }
 
   if (target_ddl) {
