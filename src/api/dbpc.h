@@ -13,7 +13,8 @@
 /// Entry points by layer:
 ///
 ///   Infrastructure   Status, StatusCode, Result<T>, MetricsRegistry,
-///                    Counter, Histogram
+///                    Counter, Histogram, SpanCollector, SpanContext
+///                    (structured span tracing, Chrome trace_event export)
 ///   Schema & data    Schema, ParseDdl, Database, LoadDatabaseText,
 ///                    DumpDatabaseText
 ///   Programs         Program, ParseProgram, ExecuteProgram (interpreter)
@@ -21,7 +22,9 @@
 ///   Pipeline         ProgramAnalyzer, ProgramConverter, OptimizeProgram,
 ///                    StatisticsCatalog (cost-based plan selection),
 ///                    GenerateCplSource, ConversionSupervisor,
-///                    SupervisorOptions, AnalystMode
+///                    SupervisorOptions, AnalystMode, Provenance,
+///                    ProvenanceListing, UnstampedCount (statement-level
+///                    conversion provenance)
 ///   Batch service    ConversionService, ServiceOptions (parallel
 ///                    whole-system conversion with metrics)
 ///   Verification     CheckEquivalence, AdviseProgram
@@ -33,6 +36,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/span.h"
 #include "common/status.h"
 
 #include "engine/database.h"
@@ -50,6 +54,7 @@
 #include "analyze/advisor.h"
 #include "analyze/analyzer.h"
 #include "convert/converter.h"
+#include "convert/provenance.h"
 #include "generate/generator.h"
 #include "optimize/optimizer.h"
 #include "optimize/stats.h"

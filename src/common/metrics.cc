@@ -1,8 +1,9 @@
 #include "common/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
+
+#include "common/string_util.h"
 
 namespace dbpc {
 
@@ -18,41 +19,6 @@ int BucketIndex(uint64_t micros) {
 }
 
 uint64_t BucketUpperBound(int bucket) { return uint64_t{2} << bucket; }
-
-/// JSON string escaping for metric names (program/stage names flow in from
-/// user sources and may contain quotes, backslashes or control bytes).
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// Lowers `candidate` into an atomic minimum (CAS loop; relaxed is enough —
 /// the value is only read by snapshots).
@@ -141,7 +107,7 @@ std::string MetricsRegistry::ToJson() const {
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJsonString(name)
         << "\": " << counter->Value();
     first = false;
   }
@@ -150,12 +116,13 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     out << (first ? "\n" : ",\n");
     first = false;
-    out << "    \"" << EscapeJson(name) << "\": {\"count\": " << h->Count()
+    out << "    \"" << EscapeJsonString(name) << "\": {\"count\": " << h->Count()
         << ", \"sum_us\": " << h->SumMicros()
         << ", \"min_us\": " << h->MinMicros()
         << ", \"max_us\": " << h->MaxMicros() << ", \"mean_us\": "
         << static_cast<uint64_t>(h->MeanMicros() + 0.5)
         << ", \"p50_us\": " << h->PercentileMicros(50)
+        << ", \"p95_us\": " << h->PercentileMicros(95)
         << ", \"p99_us\": " << h->PercentileMicros(99) << ", \"buckets\": [";
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kBuckets; ++i) {

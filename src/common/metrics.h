@@ -93,8 +93,10 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name);
 
   /// JSON snapshot, deterministic (names sorted): counters as integers,
-  /// histograms as {count, sum_us, min_us, max_us, mean_us, p50_us, p99_us,
-  /// buckets: [[upper_bound_us, count], ...]} with empty buckets elided.
+  /// histograms as {count, sum_us, min_us, max_us, mean_us, p50_us, p95_us,
+  /// p99_us, buckets: [[upper_bound_us, count], ...]} with empty buckets
+  /// elided. Percentiles are upper-bound estimates from the power-of-two
+  /// buckets (capped at the observed max).
   std::string ToJson() const;
 
   /// Zeroes every metric (names stay registered).

@@ -1,0 +1,160 @@
+#include "common/span.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+using internal::SpanNode;
+
+/// Closes `node` and every still-open descendant at `end_us`, marking the
+/// descendants (not `node` itself) as auto-closed.
+void CloseTree(SpanNode* node, uint64_t end_us, bool mark) {
+  if (!node->open) return;
+  node->open = false;
+  node->end_us = end_us;
+  if (mark) node->attributes.emplace_back("auto-closed", "true");
+  for (auto& child : node->children) CloseTree(child.get(), end_us, true);
+}
+
+uint64_t DurationMicros(const SpanNode& node, uint64_t now_us) {
+  uint64_t end = node.open ? now_us : node.end_us;
+  return end >= node.start_us ? end - node.start_us : 0;
+}
+
+void AppendChromeEvents(const SpanNode& node, uint64_t tid, uint64_t now_us,
+                        bool* first, std::ostringstream* out) {
+  if (!*first) *out << ",\n";
+  *first = false;
+  *out << "  {\"name\": \"" << EscapeJsonString(node.name)
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+       << ", \"ts\": " << node.start_us
+       << ", \"dur\": " << DurationMicros(node, now_us) << ", \"args\": {";
+  bool first_arg = true;
+  for (const auto& [key, value] : node.attributes) {
+    *out << (first_arg ? "" : ", ") << "\"" << EscapeJsonString(key)
+         << "\": \"" << EscapeJsonString(value) << "\"";
+    first_arg = false;
+  }
+  for (const auto& [key, value] : node.counters) {
+    *out << (first_arg ? "" : ", ") << "\"" << EscapeJsonString(key)
+         << "\": " << value;
+    first_arg = false;
+  }
+  *out << "}}";
+  for (const auto& child : node.children) {
+    AppendChromeEvents(*child, tid, now_us, first, out);
+  }
+}
+
+void AppendText(const SpanNode& node, int depth, bool with_timing,
+                uint64_t now_us, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name;
+  if (with_timing) {
+    *out += " (" + std::to_string(DurationMicros(node, now_us)) + "us)";
+  }
+  for (const auto& [key, value] : node.attributes) {
+    *out += " " + key + "=" + value;
+  }
+  for (const auto& [key, value] : node.counters) {
+    *out += " #" + key + "=" + std::to_string(value);
+  }
+  *out += "\n";
+  for (const auto& child : node.children) {
+    AppendText(*child, depth + 1, with_timing, now_us, out);
+  }
+}
+
+}  // namespace
+
+SpanContext SpanContext::StartChild(std::string name) const {
+  if (node_ == nullptr) return {};
+  auto child = std::make_unique<SpanNode>();
+  child->name = std::move(name);
+  child->start_us = collector_->NowMicros();
+  SpanNode* raw = child.get();
+  node_->children.push_back(std::move(child));
+  return SpanContext(collector_, raw);
+}
+
+void SpanContext::SetAttribute(std::string key, std::string value) const {
+  if (node_ == nullptr) return;
+  node_->attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void SpanContext::AddCounter(const std::string& name, uint64_t delta) const {
+  if (node_ == nullptr) return;
+  for (auto& [existing, value] : node_->counters) {
+    if (existing == name) {
+      value += delta;
+      return;
+    }
+  }
+  node_->counters.emplace_back(name, delta);
+}
+
+void SpanContext::End() const {
+  if (node_ == nullptr || !node_->open) return;
+  CloseTree(node_, collector_->NowMicros(), /*mark=*/false);
+}
+
+SpanContext SpanCollector::StartRoot(std::string name, uint64_t sequence) {
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::move(name);
+  node->start_us = NowMicros();
+  SpanNode* raw = node.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  roots_.push_back(Root{sequence, roots_.size(), std::move(node)});
+  return SpanContext(this, raw);
+}
+
+size_t SpanCollector::RootCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_.size();
+}
+
+std::vector<const SpanCollector::Root*> SpanCollector::SortedRootsLocked()
+    const {
+  std::vector<const Root*> sorted;
+  sorted.reserve(roots_.size());
+  for (const Root& root : roots_) sorted.push_back(&root);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Root* a, const Root* b) {
+              if (a->sequence != b->sequence) return a->sequence < b->sequence;
+              if (a->node->name != b->node->name) {
+                return a->node->name < b->node->name;
+              }
+              return a->registered < b->registered;
+            });
+  return sorted;
+}
+
+std::string SpanCollector::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t now_us = NowMicros();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const Root* root : SortedRootsLocked()) {
+    AppendChromeEvents(*root->node, root->sequence, now_us, &first, &out);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string SpanCollector::ToText(bool with_timing) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t now_us = NowMicros();
+  std::string out;
+  for (const Root* root : SortedRootsLocked()) {
+    AppendText(*root->node, 0, with_timing, now_us, &out);
+  }
+  return out;
+}
+
+}  // namespace dbpc

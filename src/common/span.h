@@ -1,0 +1,140 @@
+#ifndef DBPC_COMMON_SPAN_H_
+#define DBPC_COMMON_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dbpc {
+
+class SpanCollector;
+
+namespace internal {
+
+/// One node of a span tree. Times are steady-clock microseconds relative to
+/// the owning collector's epoch, so trees from concurrent jobs share one
+/// time base.
+struct SpanNode {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  bool open = true;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Counters folded in over the span's lifetime (e.g. engine OpStats
+  /// deltas); repeated AddCounter calls on one key accumulate.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+}  // namespace internal
+
+/// Handle to one span of a SpanCollector's tree. Cheap to copy; a
+/// default-constructed context is *disabled* and every operation on it is a
+/// no-op, so instrumented code paths need no "is tracing on" branches.
+///
+/// A span tree must be mutated from one thread at a time (the collector
+/// only synchronizes root registration); the conversion service satisfies
+/// this by giving each worker job its own root.
+class SpanContext {
+ public:
+  SpanContext() = default;
+
+  bool enabled() const { return node_ != nullptr; }
+
+  /// Opens a child span starting now. No-op handle when disabled. Takes
+  /// the name by value: temporaries move instead of copying (span building
+  /// sits on the conversion hot path, experiment E12).
+  SpanContext StartChild(std::string name) const;
+
+  /// Sets (appends) a string attribute. Last write wins in exporters that
+  /// need a single value; all writes are preserved in order.
+  void SetAttribute(std::string key, std::string value) const;
+
+  /// Accumulates `delta` into the named counter.
+  void AddCounter(const std::string& name, uint64_t delta) const;
+
+  /// Closes the span at now. Idempotent. Any still-open descendant is
+  /// force-closed at the same instant and marked with an
+  /// `auto-closed=true` attribute, so an early return or exception in
+  /// instrumented code shows up in the export instead of corrupting it.
+  void End() const;
+
+ private:
+  friend class SpanCollector;
+  SpanContext(SpanCollector* collector, internal::SpanNode* node)
+      : collector_(collector), node_(node) {}
+
+  SpanCollector* collector_ = nullptr;
+  internal::SpanNode* node_ = nullptr;
+};
+
+/// Owns a forest of span trees and exports them as a Chrome
+/// `trace_event` JSON document (loadable in chrome://tracing / Perfetto)
+/// or an indented text tree.
+///
+/// Export order is deterministic regardless of thread scheduling: roots
+/// sort by (sequence, name, registration order), so callers that hand each
+/// job a stable sequence number (the conversion service uses the program's
+/// batch index) get byte-identical structure for any worker count.
+///
+/// A collector is meant to live for one batch / export cycle (dbpcc wires
+/// one per invocation). Trees are retained until the collector dies, so
+/// parking one collector under a service for thousands of batches grows
+/// memory without bound — and the resident trees slow *all* allocation in
+/// the instrumented pipeline well beyond the spans' own cost (measured in
+/// experiment E12): export, then drop the collector.
+class SpanCollector {
+ public:
+  SpanCollector() : epoch_(std::chrono::steady_clock::now()) {}
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Opens a root span starting now. Thread-safe. `sequence` is the
+  /// deterministic sort key for exports (and the Chrome trace `tid`, so
+  /// concurrent jobs render as separate tracks).
+  SpanContext StartRoot(std::string name, uint64_t sequence = 0);
+
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with one complete
+  /// ("ph":"X") event per span; attributes and counters go to "args".
+  /// Open spans export as if closed now.
+  std::string ToChromeTraceJson() const;
+
+  /// Indented text tree, two spaces per level:
+  ///   name (123us) key=value #counter=42
+  /// `with_timing=false` omits durations — the structural form compared by
+  /// determinism tests.
+  std::string ToText(bool with_timing = true) const;
+
+  size_t RootCount() const;
+
+ private:
+  friend class SpanContext;
+
+  struct Root {
+    uint64_t sequence = 0;
+    size_t registered = 0;
+    std::unique_ptr<internal::SpanNode> node;
+  };
+
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Roots sorted for export; caller must hold mu_.
+  std::vector<const Root*> SortedRootsLocked() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Root> roots_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_COMMON_SPAN_H_

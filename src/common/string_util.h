@@ -34,6 +34,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// CODASYL names such as DIV-EMP).
 bool IsIdentifier(std::string_view s);
 
+/// JSON string-literal escaping (quotes, backslashes, control bytes).
+/// Shared by the metrics snapshot and the span exporters, whose names and
+/// attribute values flow in from user sources.
+std::string EscapeJsonString(std::string_view s);
+
 }  // namespace dbpc
 
 #endif  // DBPC_COMMON_STRING_UTIL_H_

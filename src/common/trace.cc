@@ -46,4 +46,34 @@ ptrdiff_t Trace::FirstDivergence(const Trace& a, const Trace& b) {
   return -1;
 }
 
+namespace {
+
+void AppendWindow(std::string* out, const char* label,
+                  const std::vector<TraceEvent>& events, size_t index,
+                  size_t context) {
+  *out += "  ";
+  *out += label;
+  *out += ":\n";
+  size_t begin = index > context ? index - context : 0;
+  for (size_t i = begin; i < index && i < events.size(); ++i) {
+    *out += "      [" + std::to_string(i) + "] " + events[i].ToString() + "\n";
+  }
+  *out += "    > [" + std::to_string(index) + "] " +
+          (index < events.size() ? events[index].ToString()
+                                 : std::string("<end of trace>")) +
+          "\n";
+}
+
+}  // namespace
+
+std::string Trace::DivergenceContext(const Trace& a, const Trace& b,
+                                     ptrdiff_t index, size_t context) {
+  if (index < 0) return "traces are equivalent\n";
+  size_t i = static_cast<size_t>(index);
+  std::string out = "divergence at event " + std::to_string(index) + ":\n";
+  AppendWindow(&out, "source", a.events_, i, context);
+  AppendWindow(&out, "converted", b.events_, i, context);
+  return out;
+}
+
 }  // namespace dbpc

@@ -67,6 +67,15 @@ class Trace {
   /// (a shorter trace that is a prefix differs at its length).
   static ptrdiff_t FirstDivergence(const Trace& a, const Trace& b);
 
+  /// Human-readable divergence report: the index plus a window of up to
+  /// `context` preceding events from each trace, the divergent event
+  /// marked with '>'. In the prefix case — one trace simply ends at the
+  /// divergence index — the ended side reports "<end of trace>" instead
+  /// of an event, so a truncated run is distinguishable from a changed
+  /// one. Returns "traces are equivalent" for a negative index.
+  static std::string DivergenceContext(const Trace& a, const Trace& b,
+                                       ptrdiff_t index, size_t context = 2);
+
  private:
   std::vector<TraceEvent> events_;
 };

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "convert/provenance.h"
 #include "restructure/rewrite_util.h"
 
 namespace dbpc {
@@ -108,8 +109,9 @@ Result<ProgramConverter> ProgramConverter::Create(
 }
 
 Result<ConversionResult> ProgramConverter::Convert(
-    const Program& source_program) const {
+    const Program& source_program, SpanContext span) const {
   ConversionResult result;
+  SpanContext analyze_span = span.StartChild("program_analyzer");
   auto analyze_start = std::chrono::steady_clock::now();
   ProgramAnalyzer analyzer(schemas_.front(), analyzer_options_);
   DBPC_ASSIGN_OR_RETURN(result.analysis, analyzer.Analyze(source_program));
@@ -118,6 +120,11 @@ Result<ConversionResult> ProgramConverter::Convert(
       std::chrono::duration_cast<std::chrono::microseconds>(convert_start -
                                                             analyze_start)
           .count());
+  analyze_span.SetAttribute("classification",
+                            ConvertibilityName(result.analysis.convertibility));
+  analyze_span.AddCounter("issues", result.analysis.issues.size());
+  analyze_span.AddCounter("statements", source_program.StatementCount());
+  analyze_span.End();
   result.outcome = result.analysis.convertibility;
   result.converted = result.analysis.lifted;
   if (result.outcome == Convertibility::kNotConvertible) {
@@ -126,15 +133,42 @@ Result<ConversionResult> ProgramConverter::Convert(
     return result;
   }
 
+  // Number the (lifted) source statements: the ids every later rewrite's
+  // provenance refers back to.
+  result.source_statements = StampSourceProvenance(
+      &result.converted, "rewrite",
+      result.converted == source_program ? "source" : "lift");
+
   // The analyzer names order-dependent sets as of the source schema; keep
   // the list current as plan steps rename or split sets so later steps can
   // still find theirs in it.
+  SpanContext convert_span = span.StartChild("program_converter");
   std::vector<std::string> order_sets = result.analysis.order_dependent_sets;
   for (size_t i = 0; i < plan_.size(); ++i) {
+    SpanContext step_span = convert_span.StartChild(plan_[i]->Name());
+    if (step_span.enabled()) {
+      step_span.SetAttribute("transformation", plan_[i]->Describe());
+    }
+    Program before = result.converted;
     Status s = plan_[i]->RewriteProgram(schemas_[i], schemas_[i + 1],
                                         order_sets, &result.converted,
                                         &result.notes);
     plan_[i]->MapSetNames(&order_sets);
+    // Stamp regardless of the step's verdict: an analyst-level step may
+    // still have rewritten statements the analyst will want mapped.
+    std::vector<StampedRewrite> stamped = StampRewriteStep(
+        before, &result.converted, "rewrite", plan_[i]->Name());
+    step_span.AddCounter("rewrites", stamped.size());
+    if (step_span.enabled()) {
+      for (StampedRewrite& r : stamped) {
+        SpanContext rewrite_span = step_span.StartChild("rewrite");
+        rewrite_span.SetAttribute("rule", std::move(r.rule));
+        rewrite_span.SetAttribute("src", std::to_string(r.source_stmt_id));
+        rewrite_span.SetAttribute("stmt", std::move(r.head));
+        rewrite_span.End();
+      }
+    }
+    step_span.End();
     if (!s.ok()) {
       if (s.code() == StatusCode::kNeedsAnalyst) {
         result.notes.push_back("step '" + plan_[i]->Name() +
@@ -144,9 +178,11 @@ Result<ConversionResult> ProgramConverter::Convert(
         }
         continue;
       }
+      convert_span.End();
       return s;
     }
   }
+  convert_span.End();
 
   // Sanity: every retrieval must resolve against the target schema. A
   // failure here is a transformation-rule bug, not an input problem.

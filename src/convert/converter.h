@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analyze/analyzer.h"
+#include "common/span.h"
 #include "lang/ast.h"
 #include "restructure/transformation.h"
 #include "schema/schema.h"
@@ -41,6 +42,11 @@ struct ConversionResult {
   /// Final classification: the analyzer's verdict tightened by any rewrite
   /// rule that required analyst intervention.
   Convertibility outcome = Convertibility::kAutomatic;
+  /// Head text of every numbered source statement (index ==
+  /// Provenance::source_stmt_id on the converted program's statements);
+  /// empty when the conversion was refused before numbering. See
+  /// convert/provenance.h.
+  std::vector<std::string> source_statements;
   /// Wall time spent in the Program Analyzer / in rule rewriting, for the
   /// per-stage latency metrics (common/metrics.h).
   uint64_t analyze_micros = 0;
@@ -60,7 +66,12 @@ class ProgramConverter {
 
   /// Analyzes and converts one program. A non-OK status means the program
   /// or plan is malformed; inconvertibility is reported in the result.
-  Result<ConversionResult> Convert(const Program& source_program) const;
+  /// With an enabled `span`, emits Figure 4.1 stage spans
+  /// (program_analyzer, program_converter) with per-transformation
+  /// subspans and a per-rewrite-rule subspan for every statement a step
+  /// produced or modified, provenance attached as attributes.
+  Result<ConversionResult> Convert(const Program& source_program,
+                                   SpanContext span = {}) const;
 
   const Schema& source_schema() const { return schemas_.front(); }
   const Schema& target_schema() const { return schemas_.back(); }

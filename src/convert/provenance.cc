@@ -1,0 +1,131 @@
+#include "convert/provenance.h"
+
+#include <functional>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+/// Pre-order walk passing each statement to `fn`; the traversal order is
+/// the numbering order (matches VisitStmtsMutable).
+void Walk(std::vector<Stmt>* body, const std::function<void(Stmt*)>& fn) {
+  for (Stmt& s : *body) {
+    fn(&s);
+    Walk(&s.body, fn);
+    Walk(&s.else_body, fn);
+  }
+}
+
+void WalkConst(const std::vector<Stmt>& body,
+               const std::function<void(const Stmt&)>& fn) {
+  for (const Stmt& s : body) {
+    fn(s);
+    WalkConst(s.body, fn);
+    WalkConst(s.else_body, fn);
+  }
+}
+
+}  // namespace
+
+std::string StmtHeadText(const Stmt& stmt) {
+  Stmt head = stmt;
+  head.body.clear();
+  head.else_body.clear();
+  std::string out;
+  head.AppendSource(&out, 0);
+  // AppendSource renders one '.'-terminated line for block-less statements;
+  // block heads render their opening line first. Either way the first line
+  // is the head.
+  size_t newline = out.find('\n');
+  if (newline != std::string::npos) out.resize(newline);
+  return Trim(out);
+}
+
+std::vector<std::string> StampSourceProvenance(Program* program,
+                                               const std::string& strategy,
+                                               const std::string& rule) {
+  std::vector<std::string> heads;
+  Walk(&program->body, [&](Stmt* s) {
+    Provenance p;
+    p.source_stmt_id = static_cast<int>(heads.size());
+    p.strategy = strategy;
+    p.rule = rule;
+    s->prov = std::move(p);
+    heads.push_back(StmtHeadText(*s));
+  });
+  return heads;
+}
+
+std::vector<StampedRewrite> StampRewriteStep(const Program& before,
+                                             Program* after,
+                                             const std::string& strategy,
+                                             const std::string& rule) {
+  // Multiset of pre-step head texts: statements whose head text survives
+  // verbatim were carried through (possibly moved); the rest are this
+  // step's work.
+  std::map<std::string, int> carried;
+  WalkConst(before.body, [&](const Stmt& s) { ++carried[StmtHeadText(s)]; });
+
+  std::vector<StampedRewrite> stamped;
+  int last_id = 0;
+  Walk(&after->body, [&](Stmt* s) {
+    std::string head = StmtHeadText(*s);
+    auto it = carried.find(head);
+    if (it != carried.end() && it->second > 0) {
+      --it->second;
+      if (s->prov.has_value() && s->prov->source_stmt_id >= 0) {
+        last_id = s->prov->source_stmt_id;
+      }
+      return;
+    }
+    Provenance p = s->prov.value_or(Provenance{});
+    if (p.source_stmt_id < 0) p.source_stmt_id = last_id;
+    p.strategy = strategy;
+    p.rule = rule;
+    s->prov = p;
+    last_id = p.source_stmt_id;
+    stamped.push_back({p.source_stmt_id, rule, std::move(head)});
+  });
+  return stamped;
+}
+
+void RestampStrategy(Program* program, const std::string& strategy) {
+  Walk(&program->body, [&](Stmt* s) {
+    if (s->prov.has_value()) s->prov->strategy = strategy;
+  });
+}
+
+size_t UnstampedCount(const Program& program) {
+  size_t n = 0;
+  WalkConst(program.body,
+            [&](const Stmt& s) { n += s.prov.has_value() ? 0 : 1; });
+  return n;
+}
+
+std::string ProvenanceListing(const std::string& program_name,
+                              const std::vector<std::string>& source_statements,
+                              const Program& converted) {
+  std::string out =
+      "== provenance for program " + program_name + " ==\n";
+  int index = 0;
+  WalkConst(converted.body, [&](const Stmt& s) {
+    out += "[" + std::to_string(index++) + "] " + StmtHeadText(s) + "\n";
+    if (!s.prov.has_value()) {
+      out += "    <- UNSTAMPED\n";
+      return;
+    }
+    const Provenance& p = *s.prov;
+    std::string source_head =
+        p.source_stmt_id >= 0 &&
+                p.source_stmt_id < static_cast<int>(source_statements.size())
+            ? source_statements[static_cast<size_t>(p.source_stmt_id)]
+            : "<unknown>";
+    out += "    <- " + p.ToString() + ": " + source_head + "\n";
+  });
+  return out;
+}
+
+}  // namespace dbpc

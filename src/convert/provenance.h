@@ -1,0 +1,65 @@
+#ifndef DBPC_CONVERT_PROVENANCE_H_
+#define DBPC_CONVERT_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace dbpc {
+
+/// Statement-level conversion provenance (paper Figure 4.1: the supervisor
+/// must be able to explain what was converted and how). The converter
+/// numbers the source statements, every plan step stamps the statements it
+/// produced or modified, and the result is a total map from emitted
+/// statement to (source statement, strategy, rule) — surfaced by
+/// `dbpcc --provenance` and embedded as attributes on rewrite spans.
+
+/// A statement's *head text*: its source form with nested blocks elided
+/// (an IF renders its guard, not its branches). The identity used both to
+/// detect which statements a rewrite step touched and to show a statement
+/// on one listing line.
+std::string StmtHeadText(const Stmt& stmt);
+
+/// Numbers every statement of `program` pre-order and stamps it with
+/// Provenance{id, strategy, rule}. Returns the head text of each numbered
+/// statement (index == source_stmt_id), the "source" column of listings.
+std::vector<std::string> StampSourceProvenance(Program* program,
+                                               const std::string& strategy,
+                                               const std::string& rule);
+
+/// One statement a rewrite step produced or modified.
+struct StampedRewrite {
+  int source_stmt_id = -1;
+  std::string rule;
+  std::string head;  ///< head text of the emitted statement
+};
+
+/// Diffs `after` against the pre-step snapshot `before` (by head text,
+/// multiset semantics) and stamps every new or modified statement with
+/// `rule`: a statement already carrying provenance keeps its source id; a
+/// synthesized one inherits the id of the nearest preceding stamped
+/// statement (falling back to 0 so the map stays total). Returns the
+/// statements stamped, for per-rule span emission.
+std::vector<StampedRewrite> StampRewriteStep(const Program& before,
+                                             Program* after,
+                                             const std::string& strategy,
+                                             const std::string& rule);
+
+/// Overwrites the strategy of every stamped statement; the emulator reuses
+/// the converter's output and re-tags it as its own.
+void RestampStrategy(Program* program, const std::string& strategy);
+
+/// Statements lacking provenance (0 for any converter-emitted program).
+size_t UnstampedCount(const Program& program);
+
+/// Annotated side-by-side listing: every emitted statement with its source
+/// statement and the rule chain that produced it (dbpcc --provenance).
+/// `source_statements` is StampSourceProvenance's return value.
+std::string ProvenanceListing(const std::string& program_name,
+                              const std::vector<std::string>& source_statements,
+                              const Program& converted);
+
+}  // namespace dbpc
+
+#endif  // DBPC_CONVERT_PROVENANCE_H_

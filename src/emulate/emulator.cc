@@ -1,6 +1,7 @@
 #include "emulate/emulator.h"
 
 #include "analyze/analyzer.h"
+#include "convert/provenance.h"
 #include "optimize/optimizer.h"
 #include "restructure/rewrite_util.h"
 
@@ -15,8 +16,8 @@ Result<DmlEmulator> DmlEmulator::Create(
 }
 
 Result<DmlEmulator::EmulationRun> DmlEmulator::Run(
-    const Program& source_program, Database* target_db,
-    const IoScript& script) const {
+    const Program& source_program, Database* target_db, const IoScript& script,
+    SpanContext span) const {
   EmulationRun out;
 
   // Per-call order reconstruction: the emulation layer must hand records
@@ -47,15 +48,21 @@ Result<DmlEmulator::EmulationRun> DmlEmulator::Run(
   // The mapping work happens on EVERY run — that is the point of the
   // strategy and of this accounting.
   DBPC_ASSIGN_OR_RETURN(ConversionResult mapped,
-                        converter_.Convert(prepared));
+                        converter_.Convert(prepared, span));
   if (mapped.outcome == Convertibility::kNotConvertible) {
     return Status::NotConvertible(
         "emulation layer cannot map a run-time-variable program");
   }
+  // The mapped calls are the emulation layer's work, not a program
+  // rewrite's; provenance says so.
+  RestampStrategy(&mapped.converted, "emulation");
   out.mapping_statements = mapped.converted.StatementCount();
 
   Interpreter interp(target_db, script);
-  DBPC_ASSIGN_OR_RETURN(out.run, interp.Run(mapped.converted));
+  SpanContext exec_span = span.StartChild("emulated_execution");
+  Result<RunResult> run = interp.Run(mapped.converted, exec_span);
+  exec_span.End();
+  DBPC_ASSIGN_OR_RETURN(out.run, std::move(run));
   return out;
 }
 

@@ -41,9 +41,12 @@ class DmlEmulator {
   /// Runs the ORIGINAL source program against the restructured `target_db`
   /// through the emulation layer. Refuses programs the mapping cannot
   /// cover (same refusals as conversion — the strategy shares the analysis
-  /// problem).
+  /// problem). The mapped statements carry Provenance with strategy
+  /// "emulation". With an enabled `span`, the mapping stages and the
+  /// emulated execution (per-statement OpStats) appear as child spans.
   Result<EmulationRun> Run(const Program& source_program, Database* target_db,
-                           const IoScript& script) const;
+                           const IoScript& script,
+                           SpanContext span = {}) const;
 
   const Schema& source_schema() const { return converter_.source_schema(); }
   const Schema& target_schema() const { return converter_.target_schema(); }

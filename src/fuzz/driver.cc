@@ -126,13 +126,13 @@ StrategyRun Broken(FuzzStrategy strategy, const std::string& stage,
 }
 
 StrategyRun RunRewrite(const PreparedCase& p, const Trace& source_trace,
-                       const PipelineOutcome& outcome) {
+                       const PipelineOutcome& outcome, SpanContext span) {
   Result<Database> target = LoadTarget(p);
   if (!target.ok()) {
     return Broken(FuzzStrategy::kRewrite, "translate data", target.status());
   }
   Interpreter interp(&*target, p.script);
-  Result<RunResult> run = interp.Run(outcome.conversion.converted);
+  Result<RunResult> run = interp.Run(outcome.conversion.converted, span);
   if (!run.ok()) {
     return Broken(FuzzStrategy::kRewrite, "run converted program",
                   run.status());
@@ -140,7 +140,8 @@ StrategyRun RunRewrite(const PreparedCase& p, const Trace& source_trace,
   return Diff(FuzzStrategy::kRewrite, source_trace, run->trace);
 }
 
-StrategyRun RunEmulation(const PreparedCase& p, const Trace& source_trace) {
+StrategyRun RunEmulation(const PreparedCase& p, const Trace& source_trace,
+                         SpanContext span) {
   Result<DmlEmulator> emulator =
       DmlEmulator::Create(p.source_schema, p.plan.View());
   if (!emulator.ok()) {
@@ -151,7 +152,7 @@ StrategyRun RunEmulation(const PreparedCase& p, const Trace& source_trace) {
     return Broken(FuzzStrategy::kEmulation, "translate data", target.status());
   }
   Result<DmlEmulator::EmulationRun> run =
-      emulator->Run(p.program, &*target, p.script);
+      emulator->Run(p.program, &*target, p.script, span);
   if (!run.ok()) {
     // The emulator shares the conversion analysis, so its refusals mirror
     // the pipeline's; on a case the pipeline accepted, a refusal here is
@@ -195,7 +196,7 @@ StrategyRun RunBridge(const PreparedCase& p, const Trace& source_trace) {
 /// the two converted runs. The source trace plays no part — the oracle is
 /// the optimizer's own no-behaviour-change contract, so it catches bugs
 /// even in rewrites the other axes would mask.
-StrategyRun RunOptimizerDiff(const PreparedCase& p) {
+StrategyRun RunOptimizerDiff(const PreparedCase& p, SpanContext span) {
   SupervisorOptions options;
   options.run_optimizer = false;
   Result<ConversionSupervisor> supervisor = ConversionSupervisor::Create(
@@ -217,7 +218,9 @@ StrategyRun RunOptimizerDiff(const PreparedCase& p) {
                   baseline_db.status());
   }
   Interpreter baseline_interp(&*baseline_db, p.script);
-  Result<RunResult> baseline = baseline_interp.Run(unoptimized);
+  SpanContext baseline_span = span.StartChild("unoptimized_run");
+  Result<RunResult> baseline = baseline_interp.Run(unoptimized, baseline_span);
+  baseline_span.End();
   if (!baseline.ok()) {
     // The unoptimized converted program fails to run: a conversion bug,
     // not an optimizer bug — the rewrite axis owns it.
@@ -247,7 +250,9 @@ StrategyRun RunOptimizerDiff(const PreparedCase& p) {
                   optimized_db.status());
   }
   Interpreter optimized_interp(&*optimized_db, p.script);
-  Result<RunResult> run = optimized_interp.Run(optimized);
+  SpanContext optimized_span = span.StartChild("optimized_run");
+  Result<RunResult> run = optimized_interp.Run(optimized, optimized_span);
+  optimized_span.End();
   if (!run.ok()) {
     return Broken(FuzzStrategy::kOptimizerDiff, "run optimized program",
                   run.status());
@@ -347,7 +352,8 @@ StrategyRun RunIndexDiff(const PreparedCase& p, const Program* converted) {
 }  // namespace
 
 CaseRun RunFuzzCase(const FuzzCase& c,
-                    const std::vector<FuzzStrategy>& strategies) {
+                    const std::vector<FuzzStrategy>& strategies,
+                    SpanCollector* spans) {
   CaseRun out;
   Result<PreparedCase> prepared = Prepare(c);
   if (!prepared.ok()) {
@@ -359,8 +365,10 @@ CaseRun RunFuzzCase(const FuzzCase& c,
   // strategy (the same policy as the property sweep): only kAutomatic
   // conversions carry an equivalence obligation. NeedsAnalyst/refused cases
   // still exercise the analysis paths but are tallied as skips.
+  SupervisorOptions supervisor_options;
+  supervisor_options.spans = spans;  // self-rooted "convert <name>" tree
   Result<ConversionSupervisor> supervisor = ConversionSupervisor::Create(
-      prepared->source_schema, prepared->plan.View());
+      prepared->source_schema, prepared->plan.View(), supervisor_options);
   if (!supervisor.ok()) {
     out.setup = supervisor.status();
     return out;
@@ -378,7 +386,11 @@ CaseRun RunFuzzCase(const FuzzCase& c,
     return out;
   }
   Interpreter source_interp(&*source_db, prepared->script);
-  Result<RunResult> source_run = source_interp.Run(prepared->program);
+  SpanContext source_span;
+  if (spans != nullptr) source_span = spans->StartRoot("source_run", 1);
+  Result<RunResult> source_run =
+      source_interp.Run(prepared->program, source_span);
+  source_span.End();
   if (!source_run.ok()) {
     out.setup = Status(source_run.status().code(),
                        "source run: " + source_run.status().message());
@@ -388,38 +400,54 @@ CaseRun RunFuzzCase(const FuzzCase& c,
 
   bool automatic = outcome->classification == Convertibility::kAutomatic &&
                    outcome->accepted;
+  uint64_t sequence = 2;  // 0 = conversion (supervisor root), 1 = source run
   for (FuzzStrategy strategy : strategies) {
+    SpanContext strategy_span;
+    if (spans != nullptr) {
+      strategy_span = spans->StartRoot(
+          std::string("strategy ") + FuzzStrategyName(strategy), sequence);
+    }
+    ++sequence;
     if (strategy == FuzzStrategy::kIndexDiff) {
       // Trace invisibility binds unconditionally, so the index axis is not
       // gated on the classification: the source leg always runs, and the
       // converted legs join in when the conversion was automatic.
       out.strategies.push_back(RunIndexDiff(
           *prepared, automatic ? &outcome->conversion.converted : nullptr));
-      continue;
-    }
-    if (!automatic) {
+    } else if (!automatic) {
       out.strategies.push_back(
           Skip(strategy,
                std::string("classification: ") +
                    ConvertibilityName(outcome->classification)));
-      continue;
+    } else {
+      switch (strategy) {
+        case FuzzStrategy::kRewrite:
+          out.strategies.push_back(
+              RunRewrite(*prepared, source_trace, *outcome, strategy_span));
+          break;
+        case FuzzStrategy::kEmulation:
+          out.strategies.push_back(
+              RunEmulation(*prepared, source_trace, strategy_span));
+          break;
+        case FuzzStrategy::kBridge:
+          out.strategies.push_back(RunBridge(*prepared, source_trace));
+          break;
+        case FuzzStrategy::kOptimizerDiff:
+          out.strategies.push_back(RunOptimizerDiff(*prepared, strategy_span));
+          break;
+        case FuzzStrategy::kIndexDiff:
+          break;  // handled above, before the classification gate
+      }
     }
-    switch (strategy) {
-      case FuzzStrategy::kRewrite:
-        out.strategies.push_back(RunRewrite(*prepared, source_trace, *outcome));
-        break;
-      case FuzzStrategy::kEmulation:
-        out.strategies.push_back(RunEmulation(*prepared, source_trace));
-        break;
-      case FuzzStrategy::kBridge:
-        out.strategies.push_back(RunBridge(*prepared, source_trace));
-        break;
-      case FuzzStrategy::kOptimizerDiff:
-        out.strategies.push_back(RunOptimizerDiff(*prepared));
-        break;
-      case FuzzStrategy::kIndexDiff:
-        break;  // handled above, before the classification gate
+    if (strategy_span.enabled()) {
+      const StrategyRun& s = out.strategies.back();
+      strategy_span.SetAttribute(
+          "outcome", s.outcome == StrategyOutcome::kEquivalent ? "equivalent"
+                     : s.outcome == StrategyOutcome::kSkipped  ? "skipped"
+                                                               : "divergent");
+      if (!s.detail.empty()) strategy_span.SetAttribute("detail", s.detail);
     }
+    strategy_span.End();
   }
   return out;
 }
@@ -434,6 +462,19 @@ std::string FuzzReport::ToText() const {
     out += "  seed " + std::to_string(f.seed) + " iteration " +
            std::to_string(f.iteration) + " [" +
            FuzzStrategyName(f.strategy) + "] " + f.detail + "\n";
+    if (!f.context.empty()) {
+      // Already line-structured and indented (Trace::DivergenceContext);
+      // shift it under the failure line.
+      std::string indented;
+      size_t start = 0;
+      while (start < f.context.size()) {
+        size_t end = f.context.find('\n', start);
+        if (end == std::string::npos) end = f.context.size();
+        indented += "    " + f.context.substr(start, end - start) + "\n";
+        start = end + 1;
+      }
+      out += indented;
+    }
   }
   return out;
 }
@@ -481,6 +522,18 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
             f.strategy = s.strategy;
             f.divergence = s.divergence;
             f.detail = s.detail;
+            if (s.divergence >= 0) {
+              f.context = Trace::DivergenceContext(s.source_trace,
+                                                   s.target_trace,
+                                                   s.divergence);
+            }
+            if (options.trace) {
+              // Re-run the failing strategy with a collector: the span
+              // tree of the divergent run, for the repro's TRACE section.
+              SpanCollector collector;
+              RunFuzzCase(c, {s.strategy}, &collector);
+              f.span_tree = collector.ToText();
+            }
             f.original = c;
             f.shrunk = options.shrink
                            ? ShrinkFuzzCase(c, {s.strategy})

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "common/trace.h"
 
@@ -104,6 +105,10 @@ struct FuzzRepro {
   std::string note;  ///< one-line provenance comment
   ReproExpectation expect = ReproExpectation::kEquivalent;
   FuzzCase c;
+  /// Span tree of the divergent run that produced this repro (text export,
+  /// `== TRACE ==` section). Documentation for the human reading the file;
+  /// replay ignores it.
+  std::string span_tree;
 };
 
 std::string ReproToText(const FuzzRepro& repro);
@@ -146,9 +151,13 @@ struct CaseRun {
 /// program, script all derived from it).
 FuzzCase GenerateFuzzCase(uint64_t seed);
 
-/// Runs one case through every requested strategy.
+/// Runs one case through every requested strategy. With a non-null
+/// `spans` collector the run emits span trees — one root for the rewrite
+/// pipeline conversion, one for the source run, one per strategy — with
+/// per-stage and per-statement subspans. Tracing never changes outcomes.
 CaseRun RunFuzzCase(const FuzzCase& c,
-                    const std::vector<FuzzStrategy>& strategies);
+                    const std::vector<FuzzStrategy>& strategies,
+                    SpanCollector* spans = nullptr);
 
 /// Greedy shrinker: repeatedly removes program statements, data records,
 /// plan clauses and script lines while the case still diverges (for any of
@@ -163,6 +172,12 @@ struct FuzzFailure {
   FuzzStrategy strategy = FuzzStrategy::kRewrite;
   ptrdiff_t divergence = -1;
   std::string detail;
+  /// Trace::DivergenceContext of the diverging pair (empty for failures
+  /// with no trace pair, e.g. a converted program that failed to run).
+  std::string context;
+  /// With FuzzOptions::trace: text span tree of the divergent run,
+  /// written into the repro's `== TRACE ==` section.
+  std::string span_tree;
   FuzzCase original;
   FuzzCase shrunk;  ///< == original when shrinking was disabled
 };
@@ -174,6 +189,9 @@ struct FuzzOptions {
   bool shrink = true;
   /// Stop after this many divergent cases (each is shrunk, which is slow).
   int max_failures = 5;
+  /// Capture a span tree for every divergent case by re-running the
+  /// failing strategy with a collector (FuzzFailure::span_tree).
+  bool trace = false;
 };
 
 struct FuzzReport {

@@ -37,6 +37,9 @@ std::string ReproToText(const FuzzRepro& repro) {
   }
   out += Section("SCRIPT", script);
   out += Section("PROGRAM", repro.c.program);
+  // Last, and only when captured: the span tree documents the divergent
+  // run for the human reader; replay does not consult it.
+  if (!repro.span_tree.empty()) out += Section("TRACE", repro.span_tree);
   return out;
 }
 
@@ -64,6 +67,8 @@ Result<FuzzRepro> ParseRepro(const std::string& text) {
         current = &script;
       } else if (name == "PROGRAM") {
         current = &repro.c.program;
+      } else if (name == "TRACE") {
+        current = &repro.span_tree;
       } else {
         return Status::ParseError("unknown repro section '" + name + "'");
       }

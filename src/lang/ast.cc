@@ -197,6 +197,79 @@ void Stmt::AppendSource(std::string* out, int indent) const {
   }
 }
 
+const char* StmtKindName(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kLet:
+      return "LET";
+    case StmtKind::kDisplay:
+      return "DISPLAY";
+    case StmtKind::kAccept:
+      return "ACCEPT";
+    case StmtKind::kRead:
+      return "READ";
+    case StmtKind::kWrite:
+      return "WRITE";
+    case StmtKind::kIf:
+      return "IF";
+    case StmtKind::kWhile:
+      return "WHILE";
+    case StmtKind::kForEach:
+      return "FOR-EACH";
+    case StmtKind::kRetrieve:
+      return "RETRIEVE";
+    case StmtKind::kGetField:
+      return "GET";
+    case StmtKind::kStore:
+      return "STORE";
+    case StmtKind::kModify:
+      return "MODIFY";
+    case StmtKind::kDelete:
+      return "DELETE";
+    case StmtKind::kNavFind:
+      return "FIND";
+    case StmtKind::kNavGet:
+      return "NAV-GET";
+    case StmtKind::kNavStore:
+      return "NAV-STORE";
+    case StmtKind::kNavModify:
+      return "NAV-MODIFY";
+    case StmtKind::kNavErase:
+      return "ERASE";
+    case StmtKind::kConnect:
+      return "CONNECT";
+    case StmtKind::kDisconnect:
+      return "DISCONNECT";
+    case StmtKind::kCallDml:
+      return "CALL-DML";
+    case StmtKind::kStop:
+      return "STOP";
+  }
+  return "UNKNOWN";
+}
+
+std::string Provenance::ToString() const {
+  std::string out = "src " + std::to_string(source_stmt_id);
+  if (!strategy.empty() || !rule.empty()) {
+    out += " via " + strategy + "/" + rule;
+  }
+  if (!note.empty()) out += " (" + note + ")";
+  return out;
+}
+
+bool Stmt::operator==(const Stmt& other) const {
+  // Everything except `prov`: provenance annotates a statement, it does not
+  // distinguish it.
+  return kind == other.kind && target_var == other.target_var &&
+         file == other.file && exprs == other.exprs && cond == other.cond &&
+         body == other.body && else_body == other.else_body &&
+         cursor == other.cursor && retrieval == other.retrieval &&
+         collection_var == other.collection_var &&
+         record_type == other.record_type &&
+         assignments == other.assignments && owners == other.owners &&
+         nav_find == other.nav_find && field == other.field &&
+         set_name == other.set_name && verb_var == other.verb_var;
+}
+
 std::string Program::ToSource() const {
   std::string out = "PROGRAM " + name + ".\n";
   AppendBlock(&out, body, 1);

@@ -120,6 +120,33 @@ enum class StmtKind {
   kStop,
 };
 
+const char* StmtKindName(StmtKind kind);
+
+/// Where an emitted statement came from. Every statement the converter,
+/// emulator or optimizer emits carries one of these: the pre-order index of
+/// the source statement it descends from, the conversion strategy, and the
+/// last rewrite rule that produced or modified it. Provenance is
+/// observability metadata only — it is excluded from Stmt equality and from
+/// ToSource(), so it can never affect comparisons, round-trips or traces.
+struct Provenance {
+  /// Pre-order index into the numbered (lifted) source program; statements
+  /// synthesized by a rule inherit the id of their nearest stamped
+  /// neighbour, so every emitted statement maps to a source statement.
+  int source_stmt_id = -1;
+  /// Conversion strategy that emitted the statement: "rewrite",
+  /// "emulation", "optimizer".
+  std::string strategy;
+  /// The transformation / rewrite rule, e.g. "introduce-record";
+  /// "source" for statements passed through unchanged.
+  std::string rule;
+  std::string note;
+
+  bool operator==(const Provenance&) const = default;
+
+  /// e.g. `src 2 via rewrite/introduce-record`.
+  std::string ToString() const;
+};
+
 /// One statement. A single struct with per-kind fields keeps program
 /// rewriting (the Program Converter's job) simple and uniform.
 struct Stmt {
@@ -166,7 +193,13 @@ struct Stmt {
   // kCallDml: host variable holding the DML verb at run time.
   std::string verb_var;
 
-  bool operator==(const Stmt&) const = default;
+  /// Conversion provenance; unset on freshly parsed programs. Deliberately
+  /// NOT part of operator== (two programs differing only in provenance are
+  /// the same program).
+  std::optional<Provenance> prov;
+
+  /// Compares every field except `prov`.
+  bool operator==(const Stmt&) const;
 
   /// Renders this statement (and nested blocks) as CPL source.
   void AppendSource(std::string* out, int indent) const;

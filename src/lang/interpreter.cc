@@ -7,7 +7,27 @@ namespace dbpc {
 Interpreter::Interpreter(Database* db, IoScript script, RunOptions options)
     : db_(db), machine_(db), script_(std::move(script)), options_(options) {}
 
-Result<RunResult> Interpreter::Run(const Program& program) {
+namespace {
+
+/// Folds the engine operations a statement incurred into its span; only
+/// counters that moved are recorded.
+void AddOpStatsDelta(const SpanContext& span, const OpStats& before,
+                     const OpStats& after) {
+  auto add = [&](const char* name, uint64_t b, uint64_t a) {
+    if (a > b) span.AddCounter(name, a - b);
+  };
+  add("records_read", before.records_read, after.records_read);
+  add("records_written", before.records_written, after.records_written);
+  add("records_erased", before.records_erased, after.records_erased);
+  add("members_scanned", before.members_scanned, after.members_scanned);
+  add("links_changed", before.links_changed, after.links_changed);
+  add("index_probes", before.index_probes, after.index_probes);
+  add("index_hits", before.index_hits, after.index_hits);
+}
+
+}  // namespace
+
+Result<RunResult> Interpreter::Run(const Program& program, SpanContext span) {
   trace_.Clear();
   vars_.clear();
   collections_.clear();
@@ -19,7 +39,24 @@ Result<RunResult> Interpreter::Run(const Program& program) {
   status_ = db_status::kOk;
   machine_.Reset();
 
-  DBPC_RETURN_IF_ERROR(ExecBlock(program.body));
+  if (!span.enabled()) {
+    DBPC_RETURN_IF_ERROR(ExecBlock(program.body));
+  } else {
+    for (const Stmt& stmt : program.body) {
+      if (stopped_) break;
+      SpanContext stmt_span = span.StartChild(StmtKindName(stmt.kind));
+      if (stmt.prov.has_value()) {
+        stmt_span.SetAttribute("src",
+                               std::to_string(stmt.prov->source_stmt_id));
+        stmt_span.SetAttribute("rule", stmt.prov->rule);
+      }
+      OpStats before = db_->stats();
+      Status s = ExecStmt(stmt);
+      AddOpStatsDelta(stmt_span, before, db_->stats());
+      stmt_span.End();
+      DBPC_RETURN_IF_ERROR(s);
+    }
+  }
 
   RunResult result;
   result.trace = trace_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codasyl/machine.h"
+#include "common/span.h"
 #include "common/trace.h"
 #include "engine/database.h"
 #include "lang/ast.h"
@@ -45,7 +46,13 @@ class Interpreter {
   /// I/O. Database errors that a 1979 application would see as DB-STATUS
   /// codes do not abort the run; genuine misuse (unknown names, type
   /// errors) returns a non-OK status.
-  Result<RunResult> Run(const Program& program);
+  ///
+  /// With an enabled `span`, each top-level statement gets a child span
+  /// (named by its statement kind, provenance as attributes) carrying the
+  /// engine OpStats deltas the statement incurred — nested statements'
+  /// operations roll up into their top-level statement's span. Tracing
+  /// never changes execution or the trace.
+  Result<RunResult> Run(const Program& program, SpanContext span = {});
 
   /// The DB-STATUS register visible to the last run's final statement
   /// (exposed for tests).

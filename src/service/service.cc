@@ -72,20 +72,33 @@ Result<std::unique_ptr<ConversionService>> ConversionService::Create(
   return service;
 }
 
-PipelineOutcome ConversionService::RunOne(const Program& program) {
+PipelineOutcome ConversionService::RunOne(const Program& program,
+                                          uint64_t sequence) {
   const uint64_t deadline_us =
       static_cast<uint64_t>(options_.deadline_ms) * 1000;
   const int attempts = 1 + options_.retries;
+  SpanCollector* spans = options_.supervisor.spans;
   std::string diagnostic;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) metrics_.GetCounter("service.retries")->Increment();
+    // One root span per attempt (each worker job mutates only its own
+    // tree); the sequence is the program's batch index, so exports are
+    // ordered identically for any worker count.
+    SpanContext root;
+    if (spans != nullptr) {
+      root = spans->StartRoot("convert " + program.name, sequence);
+      root.SetAttribute("job", std::to_string(sequence));
+      if (attempt > 0) {
+        root.SetAttribute("attempt", std::to_string(attempt + 1));
+      }
+    }
     auto start = std::chrono::steady_clock::now();
     Result<PipelineOutcome> result = [&]() -> Result<PipelineOutcome> {
       try {
         if (options_.pipeline_override) {
           return options_.pipeline_override(program);
         }
-        return supervisor_->ConvertProgram(program);
+        return supervisor_->ConvertProgram(program, root);
       } catch (const std::exception& e) {
         metrics_.GetCounter("service.exceptions")->Increment();
         return Status::Internal(std::string("conversion threw: ") + e.what());
@@ -102,11 +115,15 @@ PipelineOutcome ConversionService::RunOne(const Program& program) {
       if (outcome.accepted) {
         // The Program Generator stage: emit target source once so its cost
         // is part of the pipeline metrics.
+        SpanContext gen_span = root.StartChild("program_generator");
         Histogram::Timer timer(metrics_.GetHistogram("stage.generate_us"));
         std::string text = GenerateCplSource(outcome.conversion.converted);
         timer.Stop();
+        gen_span.AddCounter("bytes", text.size());
+        gen_span.End();
         metrics_.GetCounter("generator.bytes")->Increment(text.size());
       }
+      root.End();
       return outcome;
     }
     if (over_deadline) {
@@ -117,6 +134,8 @@ PipelineOutcome ConversionService::RunOne(const Program& program) {
     } else {
       diagnostic = result.status().ToString();
     }
+    root.SetAttribute("failed", diagnostic);
+    root.End();
   }
   metrics_.GetCounter("service.degraded")->Increment();
   return DegradedOutcome(
@@ -132,12 +151,12 @@ Result<SystemConversionReport> ConversionService::ConvertSystem(
   if (options_.jobs == 1) {
     // Run on the caller's thread: jobs=1 is the reference serial mode.
     for (size_t i = 0; i < programs.size(); ++i) {
-      slots[i] = RunOne(programs[i]);
+      slots[i] = RunOne(programs[i], i + 1);
     }
   } else {
     for (size_t i = 0; i < programs.size(); ++i) {
       pool_->Submit([this, &programs, &slots, i] {
-        slots[i] = RunOne(programs[i]);
+        slots[i] = RunOne(programs[i], i + 1);
       });
     }
     pool_->Wait();

@@ -28,6 +28,9 @@ struct ServiceOptions {
   /// The Figure 4.1 pipeline configuration. `supervisor.metrics` is
   /// overwritten by the service with its own registry. An analyst policy,
   /// if set, is invoked from worker threads and must be thread-safe.
+  /// `supervisor.spans`, when set, makes every job emit one span tree per
+  /// attempt, rooted by the service with the program's batch index as the
+  /// deterministic sequence and closed after the program_generator stage.
   SupervisorOptions supervisor;
   /// Test seam: replaces ConversionSupervisor::ConvertProgram for every
   /// program when set (used to inject slow / throwing pipelines).
@@ -85,8 +88,9 @@ class ConversionService {
   ConversionService(ServiceOptions options);
 
   /// Runs one program through the pipeline with retry + degradation;
-  /// never throws.
-  PipelineOutcome RunOne(const Program& program);
+  /// never throws. `sequence` is the program's 1-based batch index — the
+  /// deterministic sort key for its span tree when tracing is on.
+  PipelineOutcome RunOne(const Program& program, uint64_t sequence);
 
   ServiceOptions options_;
   MetricsRegistry metrics_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 
+#include "convert/provenance.h"
 #include "optimize/stats.h"
 
 namespace dbpc {
@@ -41,10 +42,37 @@ Result<ConversionSupervisor> ConversionSupervisor::Create(
 }
 
 Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
-    const Program& program) const {
+    const Program& program, SpanContext span) const {
+  // Self-rooting: a direct caller with only a collector configured still
+  // gets one complete tree per conversion. The service passes its own root
+  // (with a per-job sequence) instead and keeps it open for the generator
+  // stage.
+  SpanContext owned_root;
+  if (!span.enabled() && options_.spans != nullptr) {
+    owned_root = options_.spans->StartRoot("convert " + program.name);
+    span = owned_root;
+  }
+  // The Conversion Analyzer classified the schema restructuring when the
+  // supervisor was built; restate its verdict on every conversion root so
+  // each tree shows all Figure 4.1 stages.
+  if (span.enabled()) {
+    SpanContext analyzer_span = span.StartChild("conversion_analyzer");
+    analyzer_span.AddCounter("schema_changes", converter_.changes().size());
+    analyzer_span.AddCounter("plan_steps", plan_.size());
+    analyzer_span.End();
+  }
+
   PipelineOutcome outcome;
-  DBPC_ASSIGN_OR_RETURN(outcome.conversion, converter_.Convert(program));
+  DBPC_ASSIGN_OR_RETURN(outcome.conversion, converter_.Convert(program, span));
   outcome.classification = outcome.conversion.outcome;
+  auto finish = [&]() {
+    if (span.enabled()) {
+      span.SetAttribute("classification",
+                        ConvertibilityName(outcome.classification));
+      span.SetAttribute("accepted", outcome.accepted ? "true" : "false");
+    }
+    owned_root.End();
+  };
 
   MetricsRegistry* metrics = options_.metrics;
   if (metrics != nullptr) {
@@ -60,6 +88,7 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
     case Convertibility::kNotConvertible:
       outcome.accepted = false;
       RecordOutcomeMetrics(outcome);
+      finish();
       return outcome;
     case Convertibility::kAutomatic:
       outcome.accepted = true;
@@ -90,18 +119,67 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
       break;
     }
   }
+  if (span.enabled() && !outcome.analyst_log.empty()) {
+    // The Conversion Analyst's involvement, folded into one span: the
+    // questions were answered synchronously above.
+    SpanContext analyst_span = span.StartChild("conversion_analyst");
+    uint64_t approved = 0;
+    for (const auto& [question, answer] : outcome.analyst_log) {
+      if (answer) ++approved;
+    }
+    analyst_span.AddCounter("questions", outcome.analyst_log.size());
+    analyst_span.AddCounter("approved", approved);
+    analyst_span.End();
+  }
 
   if (outcome.accepted && options_.run_optimizer) {
+    SpanContext opt_span = span.StartChild("optimizer");
     std::optional<Histogram::Timer> timer;
     if (metrics != nullptr) {
       timer.emplace(metrics->GetHistogram("stage.optimize_us"));
     }
-    DBPC_RETURN_IF_ERROR(OptimizeProgram(converter_.target_schema(),
-                                         options_.statistics,
-                                         &outcome.conversion.converted,
-                                         &outcome.optimizer_stats));
+    Program before = outcome.conversion.converted;
+    Status opt_status = OptimizeProgram(converter_.target_schema(),
+                                        options_.statistics,
+                                        &outcome.conversion.converted,
+                                        &outcome.optimizer_stats);
+    if (!opt_status.ok()) {
+      opt_span.End();
+      finish();
+      return opt_status;
+    }
+    // Statements the optimizer rewrote are re-tagged as its work; their
+    // source ids survive from the converter's stamps.
+    std::vector<StampedRewrite> stamped = StampRewriteStep(
+        before, &outcome.conversion.converted, "optimizer", "optimize");
+    const OptimizerStats& os = outcome.optimizer_stats;
+    if (opt_span.enabled()) {
+      opt_span.AddCounter("predicates_pushed",
+                          static_cast<uint64_t>(os.predicates_pushed));
+      opt_span.AddCounter("sorts_removed",
+                          static_cast<uint64_t>(os.sorts_removed));
+      opt_span.AddCounter("plans_costed",
+                          static_cast<uint64_t>(os.plans_costed));
+      opt_span.AddCounter("rewrites", stamped.size());
+      for (const PlanChoice& pc : os.plan_choices) {
+        SpanContext choice_span = opt_span.StartChild("plan_choice");
+        choice_span.SetAttribute("original", pc.original);
+        choice_span.SetAttribute("chosen", pc.chosen);
+        choice_span.AddCounter("candidates", pc.candidates.size());
+        choice_span.End();
+      }
+      for (StampedRewrite& r : stamped) {
+        SpanContext rewrite_span = opt_span.StartChild("rewrite");
+        rewrite_span.SetAttribute("rule", std::move(r.rule));
+        rewrite_span.SetAttribute("src", std::to_string(r.source_stmt_id));
+        rewrite_span.SetAttribute("stmt", std::move(r.head));
+        rewrite_span.End();
+      }
+    }
+    opt_span.End();
   }
   RecordOutcomeMetrics(outcome);
+  finish();
   return outcome;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/span.h"
 #include "convert/converter.h"
 #include "engine/database.h"
 #include "optimize/optimizer.h"
@@ -61,6 +62,15 @@ struct SupervisorOptions {
   /// classification counters (programs.*) and analyst/optimizer activity
   /// counters. The registry must outlive the supervisor.
   MetricsRegistry* metrics = nullptr;
+  /// When set, every conversion emits a span tree (common/span.h): one
+  /// root per ConvertProgram call with children for each Figure 4.1 stage
+  /// (conversion_analyzer, program_analyzer, program_converter, optimizer)
+  /// and per-transformation / per-rewrite-rule subspans carrying statement
+  /// provenance. A caller that passes its own SpanContext to
+  /// ConvertProgram (the conversion service does, to add the
+  /// program_generator stage and a per-job sequence) owns the root
+  /// instead. The collector must outlive the supervisor.
+  SpanCollector* spans = nullptr;
 
   /// Rejects nonsensical configurations with a structured error instead of
   /// letting the pipeline silently misbehave. Called at pipeline entry
@@ -111,8 +121,12 @@ class ConversionSupervisor {
       Schema source, std::vector<const Transformation*> plan,
       SupervisorOptions options = {});
 
-  /// Converts one program through the full pipeline.
-  Result<PipelineOutcome> ConvertProgram(const Program& program) const;
+  /// Converts one program through the full pipeline. With an enabled
+  /// `span` the stage spans become its children; otherwise, when
+  /// SupervisorOptions::spans is set, the call opens (and closes) its own
+  /// root span in that collector.
+  Result<PipelineOutcome> ConvertProgram(const Program& program,
+                                         SpanContext span = {}) const;
 
   /// Converts every program of an application system and tallies the
   /// outcome buckets.

@@ -132,6 +132,47 @@ TEST(MetricsRegistryTest, JsonSnapshotEscapesNames) {
   }
 }
 
+TEST(MetricsRegistryTest, JsonSnapshotReportsPercentileEstimates) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  // 90 fast samples in [0,2), 10 slow ones at 1000us: p50 sits in the first
+  // bucket, p95 and p99 in the slow tail (upper bound capped at max).
+  for (int i = 0; i < 90; ++i) h->Record(1);
+  for (int i = 0; i < 10; ++i) h->Record(1000);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"p50_us\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95_us\": 1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_us\": 1000"), std::string::npos) << json;
+  // Field order within a histogram object is fixed.
+  EXPECT_LT(json.find("\"p50_us\""), json.find("\"p95_us\"")) << json;
+  EXPECT_LT(json.find("\"p95_us\""), json.find("\"p99_us\"")) << json;
+}
+
+TEST(MetricsRegistryTest, PercentileFieldsStayEscapedUnderHostileNames) {
+  // The percentile fields extend the histogram JSON object; a hostile
+  // histogram name must not break the object shape around them.
+  MetricsRegistry registry;
+  registry.GetHistogram("stage.\"evil\"\\name")->Record(3);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"stage.\\\"evil\\\"\\\\name\": {\"count\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p95_us\": 3"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ResetIsolatesSnapshots) {
+  // Reset() gives tests a clean registry without re-registering names:
+  // the percentile estimates drop back to zero with the buckets.
+  MetricsRegistry registry;
+  registry.GetHistogram("lat")->Record(500);
+  EXPECT_NE(registry.ToJson().find("\"p95_us\": 500"), std::string::npos);
+  registry.Reset();
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"p50_us\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95_us\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_us\": 0"), std::string::npos) << json;
+}
+
 TEST(MetricsRegistryTest, ResetZeroesButKeepsNames) {
   MetricsRegistry registry;
   registry.GetCounter("c")->Increment(7);

@@ -1,0 +1,138 @@
+#include "common/span.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dbpc {
+namespace {
+
+TEST(SpanTest, DisabledContextIsANoOp) {
+  SpanContext none;
+  EXPECT_FALSE(none.enabled());
+  SpanContext child = none.StartChild("child");
+  EXPECT_FALSE(child.enabled());
+  none.SetAttribute("k", "v");
+  none.AddCounter("c", 1);
+  none.End();  // must not crash
+}
+
+TEST(SpanTest, TextTreeNestsChildrenWithAttributesAndCounters) {
+  SpanCollector spans;
+  SpanContext root = spans.StartRoot("conversion");
+  root.SetAttribute("program", "SALES-RPT");
+  SpanContext stage = root.StartChild("program_analyzer");
+  stage.AddCounter("issues", 2);
+  stage.AddCounter("issues", 3);  // accumulates
+  stage.End();
+  root.End();
+
+  std::string text = spans.ToText(/*with_timing=*/false);
+  EXPECT_EQ(text,
+            "conversion program=SALES-RPT\n"
+            "  program_analyzer #issues=5\n");
+}
+
+TEST(SpanTest, ZeroDurationSpanExports) {
+  SpanCollector spans;
+  SpanContext root = spans.StartRoot("instant");
+  root.End();
+  std::string text = spans.ToText();
+  EXPECT_NE(text.find("instant ("), std::string::npos);
+  EXPECT_NE(text.find("us)"), std::string::npos);
+  std::string json = spans.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"name\": \"instant\""), std::string::npos);
+}
+
+TEST(SpanTest, EndIsIdempotent) {
+  SpanCollector spans;
+  SpanContext root = spans.StartRoot("r");
+  root.End();
+  root.End();
+  EXPECT_EQ(spans.ToText(false), "r\n");
+}
+
+TEST(SpanTest, UnclosedChildrenAreForceClosedAndMarkedAtRootEnd) {
+  SpanCollector spans;
+  SpanContext root = spans.StartRoot("root");
+  SpanContext open_child = root.StartChild("left-open");
+  SpanContext open_grandchild = open_child.StartChild("also-open");
+  (void)open_grandchild;
+  root.End();  // closes both descendants
+
+  std::string text = spans.ToText(false);
+  EXPECT_EQ(text,
+            "root\n"
+            "  left-open auto-closed=true\n"
+            "    also-open auto-closed=true\n");
+  // Further mutation of a force-closed child must not reopen it.
+  open_child.End();
+  EXPECT_EQ(spans.ToText(false), text);
+}
+
+TEST(SpanTest, ChromeTraceEscapesAttributeValuesAndNames) {
+  SpanCollector spans;
+  SpanContext root = spans.StartRoot("name with \"quotes\"");
+  root.SetAttribute("note", "line1\nline2\\tail");
+  root.AddCounter("ops", 7);
+  root.End();
+
+  std::string json = spans.ToChromeTraceJson();
+  EXPECT_NE(json.find("name with \\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\\\tail"), std::string::npos);
+  EXPECT_NE(json.find("\"ops\": 7"), std::string::npos);
+  // No raw control bytes survive into the attribute value.
+  EXPECT_EQ(json.find("line1\nline2"), std::string::npos);
+}
+
+TEST(SpanTest, ChromeTraceIsWellFormedCompleteEvents) {
+  SpanCollector spans;
+  SpanContext root = spans.StartRoot("pipeline", 3);
+  root.StartChild("stage").End();
+  root.End();
+  std::string json = spans.ToChromeTraceJson();
+  EXPECT_NE(json.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+}
+
+TEST(SpanTest, RootsExportInSequenceOrderNotRegistrationOrder) {
+  SpanCollector spans;
+  spans.StartRoot("second", 2).End();
+  spans.StartRoot("first", 1).End();
+  spans.StartRoot("setup", 0).End();
+  EXPECT_EQ(spans.ToText(false), "setup\nfirst\nsecond\n");
+}
+
+TEST(SpanTest, ConcurrentRootsExportDeterministically) {
+  std::string baseline;
+  for (int round = 0; round < 2; ++round) {
+    SpanCollector spans;
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 8; ++i) {
+      workers.emplace_back([&spans, i] {
+        SpanContext root = spans.StartRoot(
+            "job-" + std::to_string(i), static_cast<uint64_t>(i));
+        root.StartChild("work").End();
+        root.End();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    ASSERT_EQ(spans.RootCount(), 8u);
+    std::string text = spans.ToText(/*with_timing=*/false);
+    if (round == 0) {
+      baseline = text;
+    } else {
+      EXPECT_EQ(text, baseline);
+    }
+  }
+  EXPECT_NE(baseline.find("job-0\n  work\n"), std::string::npos);
+  EXPECT_LT(baseline.find("job-0"), baseline.find("job-7"));
+}
+
+}  // namespace
+}  // namespace dbpc

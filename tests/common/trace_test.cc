@@ -62,5 +62,67 @@ TEST(TraceTest, ClearEmptiesTrace) {
   EXPECT_EQ(t.size(), 0u);
 }
 
+TEST(TraceTest, DivergenceContextShowsWindowAroundMismatch) {
+  Trace a, b;
+  for (const char* line : {"ONE", "TWO", "THREE", "FOUR"}) {
+    a.RecordTerminalOut(line);
+  }
+  for (const char* line : {"ONE", "TWO", "THREE", "DIFFERENT"}) {
+    b.RecordTerminalOut(line);
+  }
+  ptrdiff_t index = Trace::FirstDivergence(a, b);
+  ASSERT_EQ(index, 3);
+  std::string report = Trace::DivergenceContext(a, b, index);
+  EXPECT_EQ(report,
+            "divergence at event 3:\n"
+            "  source:\n"
+            "      [1] terminal-out: TWO\n"
+            "      [2] terminal-out: THREE\n"
+            "    > [3] terminal-out: FOUR\n"
+            "  converted:\n"
+            "      [1] terminal-out: TWO\n"
+            "      [2] terminal-out: THREE\n"
+            "    > [3] terminal-out: DIFFERENT\n");
+}
+
+// Regression: the prefix case used to be reported with no indication of
+// WHICH side ended — the context window must mark the truncated trace with
+// "<end of trace>" at the divergence index instead of showing nothing.
+TEST(TraceTest, DivergenceContextMarksEndOfTraceInPrefixCase) {
+  Trace a, b;
+  a.RecordTerminalOut("X");
+  b.RecordTerminalOut("X");
+  b.RecordTerminalOut("EXTRA");
+  ptrdiff_t index = Trace::FirstDivergence(a, b);
+  ASSERT_EQ(index, 1);
+  std::string report = Trace::DivergenceContext(a, b, index);
+  EXPECT_EQ(report,
+            "divergence at event 1:\n"
+            "  source:\n"
+            "      [0] terminal-out: X\n"
+            "    > [1] <end of trace>\n"
+            "  converted:\n"
+            "      [0] terminal-out: X\n"
+            "    > [1] terminal-out: EXTRA\n");
+}
+
+TEST(TraceTest, DivergenceContextAtIndexZeroHasNoLeadingWindow) {
+  Trace a, b;
+  a.RecordTerminalOut("A");
+  b.RecordTerminalOut("B");
+  std::string report = Trace::DivergenceContext(a, b, 0);
+  EXPECT_EQ(report,
+            "divergence at event 0:\n"
+            "  source:\n"
+            "    > [0] terminal-out: A\n"
+            "  converted:\n"
+            "    > [0] terminal-out: B\n");
+}
+
+TEST(TraceTest, DivergenceContextNegativeIndexReportsEquivalence) {
+  Trace a, b;
+  EXPECT_EQ(Trace::DivergenceContext(a, b, -1), "traces are equivalent\n");
+}
+
 }  // namespace
 }  // namespace dbpc

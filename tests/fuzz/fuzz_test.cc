@@ -73,6 +73,53 @@ TEST(FuzzReproTest, RejectsUnknownSection) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(FuzzReproTest, TraceSectionRoundTrips) {
+  FuzzRepro repro;
+  repro.note = "trace round-trip";
+  repro.c = GenerateFuzzCase(42);
+  repro.span_tree =
+      "convert FUZZ\n"
+      "  program_analyzer classification=automatic\n"
+      "  program_converter\n";
+  std::string text = ReproToText(repro);
+  EXPECT_NE(text.find("== TRACE =="), std::string::npos) << text;
+  Result<FuzzRepro> back = ParseRepro(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->span_tree, repro.span_tree);
+  EXPECT_EQ(back->c.program, repro.c.program);
+}
+
+TEST(FuzzReproTest, EmptyTraceSectionIsOmitted) {
+  FuzzRepro repro;
+  repro.c = GenerateFuzzCase(42);
+  EXPECT_EQ(ReproToText(repro).find("== TRACE =="), std::string::npos);
+}
+
+TEST(FuzzCaseTest, TracingNeverChangesStrategyOutcomes) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    FuzzCase c = GenerateFuzzCase(seed);
+    CaseRun plain = RunFuzzCase(c, AllFuzzStrategies());
+    SpanCollector spans;
+    CaseRun traced = RunFuzzCase(c, AllFuzzStrategies(), &spans);
+    ASSERT_EQ(plain.setup.ok(), traced.setup.ok()) << "seed " << seed;
+    ASSERT_EQ(plain.strategies.size(), traced.strategies.size());
+    for (size_t i = 0; i < plain.strategies.size(); ++i) {
+      EXPECT_EQ(plain.strategies[i].outcome, traced.strategies[i].outcome)
+          << "seed " << seed << " strategy "
+          << FuzzStrategyName(plain.strategies[i].strategy);
+      EXPECT_EQ(plain.strategies[i].source_trace,
+                traced.strategies[i].source_trace);
+      EXPECT_EQ(plain.strategies[i].target_trace,
+                traced.strategies[i].target_trace);
+    }
+    if (plain.setup.ok()) {
+      // At minimum the source run and each strategy rooted a tree.
+      EXPECT_GE(spans.RootCount(), 1u + plain.strategies.size())
+          << spans.ToText(false);
+    }
+  }
+}
+
 TEST(FuzzLoopTest, SmallRunIsClean) {
   FuzzOptions options;
   options.seed = 1;

@@ -357,5 +357,52 @@ TEST(ConversionServiceTest, MetricsSnapshotCoversPipelineStages) {
   }
 }
 
+// --- span tracing ----------------------------------------------------------
+
+TEST(ConversionServiceTest, SpanForestIsIdenticalAcrossWorkerCounts) {
+  RestructuringPlan plan = Figure44Plan();
+  std::vector<Program> programs = CompanyPrograms();
+
+  SpanCollector serial_spans;
+  ServiceOptions serial_options = AssistedOptions(1);
+  serial_options.supervisor.spans = &serial_spans;
+  std::unique_ptr<ConversionService> serial =
+      MakeService(plan, std::move(serial_options));
+  ASSERT_TRUE(serial->ConvertSystem(programs).ok());
+
+  SpanCollector pooled_spans;
+  ServiceOptions pooled_options = AssistedOptions(4);
+  pooled_options.supervisor.spans = &pooled_spans;
+  std::unique_ptr<ConversionService> pooled =
+      MakeService(plan, std::move(pooled_options));
+  ASSERT_TRUE(pooled->ConvertSystem(programs).ok());
+
+  // Roots sort by sequence (= batch index), so the structural export is
+  // byte-identical regardless of thread scheduling.
+  EXPECT_EQ(serial_spans.RootCount(), programs.size());
+  EXPECT_EQ(serial_spans.ToText(/*with_timing=*/false),
+            pooled_spans.ToText(/*with_timing=*/false));
+}
+
+TEST(ConversionServiceTest, ServiceSpansCoverAllFiveStages) {
+  RestructuringPlan plan = Figure44Plan();
+  SpanCollector spans;
+  ServiceOptions options = AssistedOptions(1);
+  options.supervisor.spans = &spans;
+  std::unique_ptr<ConversionService> service =
+      MakeService(plan, std::move(options));
+  std::vector<Program> programs = CompanyPrograms();
+  SystemConversionReport report = *service->ConvertSystem(programs);
+  ASSERT_GT(report.accepted, 0);
+  std::string tree = spans.ToText(/*with_timing=*/false);
+  for (const char* stage :
+       {"conversion_analyzer", "program_analyzer", "program_converter",
+        "optimizer", "program_generator"}) {
+    EXPECT_NE(tree.find(stage), std::string::npos) << "missing " << stage;
+  }
+  // Service roots are tagged with their batch job id.
+  EXPECT_NE(tree.find("job=1"), std::string::npos) << tree;
+}
+
 }  // namespace
 }  // namespace dbpc

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "convert/provenance.h"
 #include "corpus/corpus.h"
 #include "lang/parser.h"
 #include "testing/fixtures.h"
@@ -177,6 +178,97 @@ TEST(SupervisorTest, CorpusClassificationMatchesShapes) {
         break;
     }
   }
+}
+
+// --- span tracing ----------------------------------------------------------
+
+TEST(SupervisorTest, SelfRootedConversionEmitsEveryPipelineStage) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SpanCollector spans;
+  SupervisorOptions options;
+  options.spans = &spans;
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  PipelineOutcome outcome = *supervisor.ConvertProgram(p);
+  ASSERT_TRUE(outcome.accepted);
+  ASSERT_EQ(spans.RootCount(), 1u);
+  std::string tree = spans.ToText(/*with_timing=*/false);
+  EXPECT_NE(tree.find("convert P"), std::string::npos) << tree;
+  // The supervisor-side Figure 4.1 stages, in pipeline order (the fifth,
+  // program_generator, belongs to the conversion service).
+  size_t analyzer_stage = tree.find("conversion_analyzer");
+  size_t program_analyzer = tree.find("program_analyzer");
+  size_t converter_stage = tree.find("program_converter");
+  size_t optimizer_stage = tree.find("optimizer");
+  ASSERT_NE(analyzer_stage, std::string::npos) << tree;
+  ASSERT_NE(program_analyzer, std::string::npos) << tree;
+  ASSERT_NE(converter_stage, std::string::npos) << tree;
+  ASSERT_NE(optimizer_stage, std::string::npos) << tree;
+  EXPECT_LT(analyzer_stage, program_analyzer);
+  EXPECT_LT(program_analyzer, converter_stage);
+  EXPECT_LT(converter_stage, optimizer_stage);
+  // Per-transformation subspan under program_converter.
+  EXPECT_NE(tree.find("rename-set"), std::string::npos) << tree;
+}
+
+TEST(SupervisorTest, TracingIsObservationInvisible) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  Program p = *ParseProgram(R"(
+PROGRAM P.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.)");
+  ConversionSupervisor plain =
+      *ConversionSupervisor::Create(schema, {t.get()}, SupervisorOptions{});
+  SpanCollector spans;
+  SupervisorOptions traced_options;
+  traced_options.spans = &spans;
+  ConversionSupervisor traced =
+      *ConversionSupervisor::Create(schema, {t.get()}, traced_options);
+  PipelineOutcome without = *plain.ConvertProgram(p);
+  PipelineOutcome with = *traced.ConvertProgram(p);
+  EXPECT_EQ(without.conversion.converted.ToSource(),
+            with.conversion.converted.ToSource());
+  EXPECT_EQ(without.conversion.converted, with.conversion.converted);
+  EXPECT_EQ(without.classification, with.classification);
+  EXPECT_GE(spans.RootCount(), 1u);
+}
+
+TEST(SupervisorTest, RewriteSpansCarryProvenanceAttributes) {
+  Schema schema = MakeCompanyDatabase().schema();
+  TransformationPtr t = MakeRenameSet("DIV-EMP", "STAFF");
+  SpanCollector spans;
+  SupervisorOptions options;
+  options.spans = &spans;
+  ConversionSupervisor supervisor =
+      *ConversionSupervisor::Create(schema, {t.get()}, options);
+  // Navigational form: lifting rewrites it, so rename-set stamps the FIND.
+  PipelineOutcome outcome = *supervisor.ConvertProgram(*ParseProgram(R"(
+PROGRAM P.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP.
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    DISPLAY N.
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-WHILE.
+END PROGRAM.)"));
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(UnstampedCount(outcome.conversion.converted), 0u);
+  std::string tree = spans.ToText(/*with_timing=*/false);
+  EXPECT_NE(tree.find("rewrite rule=rename-set"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("src="), std::string::npos) << tree;
 }
 
 TEST(CorpusTest, DeterministicForSameSeed) {

@@ -29,6 +29,19 @@ echo "== fuzz: optimizer-differential sweep (optimized vs. unoptimized) =="
 echo "== fuzz: index-differential sweep (indexes on vs. off) =="
 ./build/tools/dbpc_fuzz --diff-index --seed 1 --iterations 200
 
+echo "== observability: span trace + provenance on the company example =="
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+./build/tools/dbpcc --schema samples/company.ddl --plan samples/fig44.plan \
+  --provenance --trace-json "$TRACE_DIR/trace.json" \
+  samples/sales_report.cpl samples/seniors.cpl \
+  > "$TRACE_DIR/provenance.txt"
+python3 tools/validate_trace.py "$TRACE_DIR/trace.json" \
+  "$TRACE_DIR/provenance.txt"
+
+echo "== fuzz: traced sweep (tracing must not change outcomes) =="
+./build/tools/dbpc_fuzz --seed 1 --iterations 200 --trace
+
 echo "== bench: cost-based optimizer sanity (E10 --smoke) =="
 ./build/bench/bench_optimizer --smoke
 

@@ -31,8 +31,14 @@
 //   --max-failures <n>  stop after this many divergences (default 5)
 //   --write-repros <dir>
 //                       write each shrunk failure as <dir>/seed-<n>.repro
+//   --trace             capture a span tree of each divergent run (see
+//                       common/span.h); written into the repro's
+//                       == TRACE == section
 //   --replay <file>     replay repro files instead of fuzzing; repeatable
-//   --print-case <n>    print the generated case for seed <n> and exit
+//   --print-case <n>    print the generated case for seed <n>, run it, and
+//                       report each strategy's outcome — for a divergence,
+//                       the event index plus a two-line context window
+//                       around it from both traces
 //
 // Exit status: 0 when the run is clean (all repros hold / no divergences
 // and no setup errors), 1 otherwise, 2 on usage errors.
@@ -56,7 +62,7 @@ int Usage() {
                "[--strategy rewrite|emulation|bridge|optimizer|index]... "
                "[--diff-optimizer] [--diff-index] [--shrink|"
                "--no-shrink] [--max-failures <n>] [--write-repros <dir>] "
-               "[--replay <file>]... [--print-case <seed>]\n");
+               "[--trace] [--replay <file>]... [--print-case <seed>]\n");
   return 2;
 }
 
@@ -103,6 +109,7 @@ void WriteRepros(const FuzzReport& report, const std::string& dir) {
     repro.note = "shrunk from seed " + std::to_string(f.seed) + " [" +
                  FuzzStrategyName(f.strategy) + "] " + f.detail;
     repro.c = f.shrunk;
+    repro.span_tree = f.span_tree;
     std::string path = dir + "/seed-" + std::to_string(f.seed) + ".repro";
     std::ofstream out(path);
     if (!out) {
@@ -162,6 +169,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       repro_dir = v;
+    } else if (arg == "--trace") {
+      options.trace = true;
     } else if (arg == "--replay") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -182,7 +191,39 @@ int main(int argc, char** argv) {
     repro.note = "generated case, seed " + std::to_string(print_seed);
     repro.c = GenerateFuzzCase(print_seed);
     std::fputs(ReproToText(repro).c_str(), stdout);
-    return 0;
+    // Run the case and show per-strategy verdicts; a divergence prints its
+    // event index with a context window from both traces (the prefix case
+    // shows "<end of trace>" on the side that stopped early).
+    CaseRun run = RunFuzzCase(repro.c, options.strategies);
+    if (!run.setup.ok()) {
+      std::printf("setup: %s\n", run.setup.ToString().c_str());
+      return 1;
+    }
+    bool divergent = false;
+    for (const StrategyRun& s : run.strategies) {
+      switch (s.outcome) {
+        case StrategyOutcome::kEquivalent:
+          std::printf("strategy %s: equivalent\n",
+                      FuzzStrategyName(s.strategy));
+          break;
+        case StrategyOutcome::kSkipped:
+          std::printf("strategy %s: skipped (%s)\n",
+                      FuzzStrategyName(s.strategy), s.detail.c_str());
+          break;
+        case StrategyOutcome::kDivergent:
+          divergent = true;
+          std::printf("strategy %s: DIVERGENT (%s)\n",
+                      FuzzStrategyName(s.strategy), s.detail.c_str());
+          if (s.divergence >= 0) {
+            std::fputs(Trace::DivergenceContext(s.source_trace,
+                                                s.target_trace, s.divergence)
+                           .c_str(),
+                       stdout);
+          }
+          break;
+      }
+    }
+    return divergent ? 1 : 0;
   }
 
   if (!replay_paths.empty()) {

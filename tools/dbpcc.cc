@@ -19,6 +19,16 @@
 //   --metrics-json <f>  write a metrics snapshot (per-stage latency
 //                       histograms, classification counters) to <f>;
 //                       "-" writes to stderr
+//   --trace-json <f>    trace the batch and write the span trees — one
+//                       root per conversion job with children for every
+//                       Figure 4.1 stage, per-transformation and
+//                       per-rewrite-rule subspans — as Chrome trace_event
+//                       JSON (loadable in chrome://tracing / Perfetto) to
+//                       <f>; "-" writes to stderr
+//   --provenance        print (to stdout) an annotated listing per
+//                       converted program mapping every emitted statement
+//                       to the source statement and rewrite rule that
+//                       produced it
 //   --strict            reject analyst-level conversions (default: an
 //                       approve-all analyst stands in for the interactive
 //                       Conversion Analyst)
@@ -64,7 +74,8 @@ using namespace dbpc;
 int Usage() {
   std::fprintf(stderr,
                "usage: dbpcc --schema <ddl> --plan <plan> [--jobs <n>] "
-               "[--deadline-ms <n>] [--metrics-json <file>] [--strict] "
+               "[--deadline-ms <n>] [--metrics-json <file>] "
+               "[--trace-json <file>] [--provenance] [--strict] "
                "[--no-optimizer] [--no-indexes] "
                "[--emit cpl|codasyl|sequel] [--target-ddl] "
                "[--data <dump> [--data-out <file>]] [--explain] "
@@ -101,6 +112,8 @@ int main(int argc, char** argv) {
   int jobs = 1;
   int deadline_ms = 0;
   std::string metrics_json_path;
+  std::string trace_json_path;
+  bool provenance = false;
   std::string data_path;
   std::string data_out_path;
   std::vector<std::string> program_paths;
@@ -119,6 +132,10 @@ int main(int argc, char** argv) {
       deadline_ms = std::atoi(argv[++i]);
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       metrics_json_path = argv[++i];
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_json_path = argv[++i];
+    } else if (arg == "--provenance") {
+      provenance = true;
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--no-optimizer") {
@@ -182,6 +199,8 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   options.jobs = jobs;
   options.deadline_ms = deadline_ms;
+  SpanCollector spans;
+  if (!trace_json_path.empty()) options.supervisor.spans = &spans;
   options.supervisor.run_optimizer = optimizer;
   options.supervisor.index = index_options;
   if (target_db.has_value()) options.supervisor.statistics = &catalog;
@@ -308,6 +327,18 @@ int main(int argc, char** argv) {
                 supervisor.target_schema().ToDdl().c_str());
   }
 
+  if (provenance) {
+    for (const PipelineOutcome& outcome : report->outcomes) {
+      if (!outcome.accepted) continue;
+      std::fputs(
+          ProvenanceListing(outcome.conversion.converted.name,
+                            outcome.conversion.source_statements,
+                            outcome.conversion.converted)
+              .c_str(),
+          stdout);
+    }
+  }
+
   for (const PipelineOutcome& outcome : report->outcomes) {
     if (!outcome.accepted) {
       std::printf("-- program %s NOT converted (%s)\n",
@@ -362,6 +393,20 @@ int main(int argc, char** argv) {
                     metrics_json_path);
       }
       out << snapshot;
+    }
+  }
+
+  if (!trace_json_path.empty()) {
+    std::string trace = spans.ToChromeTraceJson();
+    if (trace_json_path == "-") {
+      std::fprintf(stderr, "%s", trace.c_str());
+    } else {
+      std::ofstream out(trace_json_path);
+      if (!out) {
+        return Fail(Status::NotFound("cannot write " + trace_json_path),
+                    trace_json_path);
+      }
+      out << trace;
     }
   }
 
