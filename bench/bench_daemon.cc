@@ -1,0 +1,329 @@
+// Experiment E13 — daemon throughput and latency under concurrent load.
+//
+// Claim: dbpcd sustains hundreds of concurrent sessions with bounded
+// client-observed latency, and its admission control answers every
+// request — overload surfaces as `-ERR unavailable` backpressure, never
+// as a request dropped without a response. Method: start an in-process
+// ConversionDaemon over the COMPANY schema and Figure 4.4 plan, drive it
+// over real loopback TCP with N closed-loop sessions (SUBMIT + RESULT
+// WAIT per round trip) for a fixed window, and record client-observed
+// round-trip latency and completed conversions/sec. A final stage issues
+// DRAIN mid-burst and checks the drain contract: every admitted job
+// completes, late SUBMITs get backpressure, nothing is dropped.
+//
+//   bench_daemon                 full table (8..400 sessions)
+//   bench_daemon --smoke         200 sessions only + hard assertions
+//   bench_daemon --json <file>   also write the rows as JSON (the
+//                                BENCH_daemon.json baseline format)
+//
+// Like E10/E11 this is a plain table program: google-benchmark repetition
+// would only serialize the interesting part (hundreds of live sockets).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dbpc.h"
+#include "bench_util.h"
+#include "testing/fixtures.h"
+
+namespace dbpc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* kPlanText = R"(
+RESTRUCTURE PLAN FIGURE-4-4.
+  INTRODUCE RECORD DEPT BETWEEN DIV-EMP GROUPING BY DEPT-NAME
+      AS DIV-DEPT AND DEPT-EMP.
+END PLAN.
+)";
+
+// The two sample programs, one automatic and one sequential-access shape.
+const char* kPayloads[] = {
+    R"(PROGRAM SENIORS.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)",
+    R"(PROGRAM SALES-RPT.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP USING (DEPT-NAME = 'SALES').
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    WRITE REPORT FROM N.
+    FIND NEXT EMP WITHIN DIV-EMP USING (DEPT-NAME = 'SALES').
+  END-WHILE.
+END PROGRAM.
+)"};
+
+struct SessionTally {
+  std::vector<uint64_t> latencies_us;
+  uint64_t completed = 0;
+  uint64_t backpressure = 0;
+  uint64_t dropped = 0;  // no response at all — must stay 0
+  bool connected = false;
+};
+
+/// One closed-loop session: Submit + Fetch(wait) until the deadline. On
+/// backpressure it backs off briefly (a spinning retry loop would starve
+/// the very workers it is waiting on, this host included single-core CI).
+void RunSession(int port, int index, Clock::time_point deadline,
+                SessionTally* tally) {
+  Result<std::unique_ptr<DaemonClient>> client = DaemonClient::Connect(
+      "127.0.0.1", port, SockBuffer::Limits{20000, 20000, 1 << 16});
+  if (!client.ok()) return;
+  tally->connected = true;
+  uint64_t sequence = static_cast<uint64_t>(index);
+  while (Clock::now() < deadline) {
+    ConversionRequest request;
+    request.source = kPayloads[++sequence % 2];
+    Clock::time_point start = Clock::now();
+    Result<JobId> id = (*client)->Submit(request);
+    if (!id.ok()) {
+      if (id.status().code() == StatusCode::kUnavailable) {
+        ++tally->backpressure;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      ++tally->dropped;
+      return;
+    }
+    Result<ConversionResponse> response = (*client)->Fetch(*id, true);
+    if (!response.ok()) {
+      ++tally->dropped;
+      return;
+    }
+    tally->latencies_us.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count()));
+    ++tally->completed;
+  }
+  (*client)->Quit();
+}
+
+struct Row {
+  int connections = 0;
+  double duration_s = 0;
+  uint64_t completed = 0;
+  uint64_t backpressure = 0;
+  uint64_t dropped = 0;
+  int idle_sessions = 0;  // sessions that finished 0 round trips
+  double conversions_per_sec = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+};
+
+uint64_t PercentileUs(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(p / 100.0 *
+                                     static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+Result<std::unique_ptr<ConversionDaemon>> StartDaemon(
+    const Schema& schema, const RestructuringPlan& plan, int connections) {
+  DaemonOptions options;
+  options.port = 0;
+  options.max_connections = connections + 16;
+  options.queue_depth = connections + 64;
+  options.result_wait_ms = 10000;  // below the sessions' 20s read timeout
+  options.service.jobs = 4;
+  options.service.supervisor.mode = AnalystMode::kAssisted;
+  options.service.supervisor.analyst = ApproveAllAnalyst();
+  return ConversionDaemon::Start(schema, plan.View(), options);
+}
+
+Row MeasureRow(const Schema& schema, const RestructuringPlan& plan,
+               int connections, int duration_ms) {
+  std::unique_ptr<ConversionDaemon> daemon =
+      bench::Value(StartDaemon(schema, plan, connections), "daemon start");
+
+  std::vector<SessionTally> tallies(connections);
+  std::vector<std::thread> sessions;
+  Clock::time_point start = Clock::now();
+  Clock::time_point deadline = start + std::chrono::milliseconds(duration_ms);
+  for (int i = 0; i < connections; ++i) {
+    sessions.emplace_back(RunSession, daemon->port(), i, deadline,
+                          &tallies[i]);
+  }
+  for (std::thread& session : sessions) session.join();
+  double elapsed_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         Clock::now() - start)
+                         .count();
+  daemon->Stop();
+
+  Row row;
+  row.connections = connections;
+  row.duration_s = elapsed_s;
+  std::vector<uint64_t> latencies;
+  for (const SessionTally& tally : tallies) {
+    row.completed += tally.completed;
+    row.backpressure += tally.backpressure;
+    row.dropped += tally.dropped;
+    if (!tally.connected || tally.completed == 0) ++row.idle_sessions;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(),
+                     tally.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_us = PercentileUs(latencies, 50);
+  row.p99_us = PercentileUs(latencies, 99);
+  row.conversions_per_sec =
+      elapsed_s > 0 ? static_cast<double>(row.completed) / elapsed_s : 0;
+  return row;
+}
+
+/// Drain-under-traffic: a burst of sessions is mid-flight when DRAIN
+/// lands. Contract checked: the drain completes (every admitted job
+/// finishes), post-drain SUBMITs get backpressure rather than silence,
+/// and no session loses a request without a response.
+bool CheckDrainUnderTraffic(const Schema& schema,
+                            const RestructuringPlan& plan) {
+  constexpr int kConnections = 32;
+  std::unique_ptr<ConversionDaemon> daemon =
+      bench::Value(StartDaemon(schema, plan, kConnections), "daemon start");
+
+  std::vector<SessionTally> tallies(kConnections);
+  std::vector<std::thread> sessions;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(1200);
+  for (int i = 0; i < kConnections; ++i) {
+    sessions.emplace_back(RunSession, daemon->port(), i, deadline,
+                          &tallies[i]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  Result<std::unique_ptr<DaemonClient>> controller = DaemonClient::Connect(
+      "127.0.0.1", daemon->port(), SockBuffer::Limits{20000, 20000, 1 << 16});
+  Status drained =
+      controller.ok() ? (*controller)->Drain() : controller.status();
+  for (std::thread& session : sessions) session.join();
+
+  uint64_t dropped = 0, backpressure = 0, completed = 0;
+  for (const SessionTally& tally : tallies) {
+    dropped += tally.dropped;
+    backpressure += tally.backpressure;
+    completed += tally.completed;
+  }
+  bool all_admitted_completed =
+      daemon->jobs_admitted() == daemon->jobs_completed();
+  std::printf(
+      "drain under traffic: drain=%s, %llu completed, %llu backpressured, "
+      "%llu dropped, admitted==completed: %s\n",
+      drained.ToString().c_str(), static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(backpressure),
+      static_cast<unsigned long long>(dropped),
+      all_admitted_completed ? "yes" : "NO");
+  daemon->Stop();
+  return drained.ok() && dropped == 0 && backpressure > 0 &&
+         all_admitted_completed;
+}
+
+int RunAll(bool smoke, const std::string& json_path) {
+  Schema schema = testing::MakeDatabase(testing::CompanyDdl()).schema();
+  RestructuringPlan plan =
+      std::move(bench::Value(ParsePlan(kPlanText), "parse plan"));
+
+  std::vector<std::pair<int, int>> shapes =  // {connections, duration_ms}
+      smoke ? std::vector<std::pair<int, int>>{{200, 1500}}
+            : std::vector<std::pair<int, int>>{
+                  {8, 2000}, {64, 2000}, {200, 2500}, {400, 3000}};
+
+  std::printf("E13 daemon load: closed-loop sessions over loopback TCP\n"
+              "%12s %10s %12s %14s %9s %10s %10s %6s\n",
+              "connections", "completed", "backpressure", "conversions/s",
+              "p50(ms)", "p99(ms)", "dropped", "idle");
+  std::vector<Row> rows;
+  bool sound = true;
+  for (const auto& [connections, duration_ms] : shapes) {
+    Row row = MeasureRow(schema, plan, connections, duration_ms);
+    std::printf("%12d %10llu %12llu %14.1f %9.1f %10.1f %10llu %6d\n",
+                row.connections,
+                static_cast<unsigned long long>(row.completed),
+                static_cast<unsigned long long>(row.backpressure),
+                row.conversions_per_sec,
+                static_cast<double>(row.p50_us) / 1000.0,
+                static_cast<double>(row.p99_us) / 1000.0,
+                static_cast<unsigned long long>(row.dropped),
+                row.idle_sessions);
+    // The zero-drop contract holds at every scale; every session at the
+    // >= 200 tier must also complete at least one conversion ("sustained",
+    // not merely connected).
+    if (row.dropped != 0) sound = false;
+    if (row.connections >= 200 && row.idle_sessions != 0) sound = false;
+    rows.push_back(row);
+  }
+  if (!sound) {
+    std::fprintf(stderr,
+                 "bench_daemon: FAILED (dropped requests or idle sessions "
+                 "at >= 200 connections)\n");
+    return 1;
+  }
+  if (!CheckDrainUnderTraffic(schema, plan)) {
+    std::fprintf(stderr,
+                 "bench_daemon: FAILED (drain-under-traffic contract)\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_daemon: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"experiment\": \"E13\",\n  \"tool\": \"bench_daemon\","
+        << "\n  \"unit\": \"client-observed round-trip latency (us), "
+        << "completed conversions/sec, closed loop\",\n  \"rows\": [\n";
+    char line[256];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::snprintf(line, sizeof(line),
+                    "    {\"connections\": %d, \"completed\": %llu, "
+                    "\"backpressure\": %llu, \"dropped\": %llu, "
+                    "\"conversions_per_sec\": %.1f, \"p50_us\": %llu, "
+                    "\"p99_us\": %llu}%s\n",
+                    row.connections,
+                    static_cast<unsigned long long>(row.completed),
+                    static_cast<unsigned long long>(row.backpressure),
+                    static_cast<unsigned long long>(row.dropped),
+                    row.conversions_per_sec,
+                    static_cast<unsigned long long>(row.p50_us),
+                    static_cast<unsigned long long>(row.p99_us),
+                    i + 1 < rows.size() ? "," : "");
+      out << line;
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("daemon load sound: zero dropped requests, drain-under-traffic "
+              "contract held\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbpc
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_daemon [--smoke] [--json <file>]\n");
+      return 2;
+    }
+  }
+  return dbpc::RunAll(smoke, json_path);
+}

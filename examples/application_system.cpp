@@ -110,8 +110,16 @@ END PLAN.
       std::move(ConversionService::Create(source.schema(), plan.View(),
                                           service_options))
           .value();
+  // Submission goes through the public request type (api/types.h) — the
+  // same model a dbpcd client would put on the wire.
+  std::vector<ConversionRequest> requests;
+  for (const Program& program : programs) {
+    ConversionRequest request;
+    request.program = program;
+    requests.push_back(std::move(request));
+  }
   SystemConversionReport parallel_report =
-      std::move(service->ConvertSystem(programs)).value();
+      std::move(service->ConvertSystem(requests)).value();
   std::printf("\n--- conversion service (%d workers) ---\n", 4);
   std::printf("parallel report %s the serial report\n",
               parallel_report.ToText() == report.ToText() ? "matches"

@@ -25,8 +25,18 @@
 ///                    SupervisorOptions, AnalystMode, Provenance,
 ///                    ProvenanceListing, UnstampedCount (statement-level
 ///                    conversion provenance)
+///   Requests         ConversionRequest, ConversionResponse, JobId,
+///                    JobState, WireErrorName/ParseWireError (api/types.h:
+///                    the one request model shared by the in-process
+///                    service and the dbpcd wire protocol)
 ///   Batch service    ConversionService, ServiceOptions (parallel
-///                    whole-system conversion with metrics)
+///                    whole-system conversion with metrics).
+///                    `ConvertSystem(std::vector<Program>)` is a
+///                    deprecated shim kept for one release; submit
+///                    ConversionRequests instead.
+///   Network daemon   ConversionDaemon, DaemonOptions, DaemonClient
+///                    (daemon/daemon.h, daemon/client.h; wire protocol in
+///                    DAEMON.md)
 ///   Verification     CheckEquivalence, AdviseProgram
 ///   Cross-model      LowerToNavigational, GenerateSequel, hierarchical
 ///                    and relational backends, emulation bridge
@@ -34,6 +44,7 @@
 ///   Fuzzing          GenerateFuzzCase, RunFuzzCase, RunFuzz, ShrinkFuzzCase,
 ///                    ReplayRepro (differential trace-equivalence harness)
 
+#include "api/types.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/span.h"
@@ -61,6 +72,10 @@
 #include "supervisor/supervisor.h"
 
 #include "service/service.h"
+
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/protocol.h"
 
 #include "equivalence/checker.h"
 

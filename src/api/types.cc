@@ -1,0 +1,81 @@
+#include "api/types.h"
+
+namespace dbpc {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Result<JobState> ParseJobState(const std::string& name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  return Status::InvalidArgument("unknown job state \"" + name + "\"");
+}
+
+namespace {
+
+/// The stable StatusCode <-> wire-error table. Append-only: tokens are
+/// part of the dbpcd protocol (DAEMON.md "Error codes") and clients
+/// switch on them, so an entry is never renamed or removed.
+constexpr struct {
+  StatusCode code;
+  const char* token;
+} kWireErrors[] = {
+    {StatusCode::kOk, "ok"},
+    {StatusCode::kInvalidArgument, "bad-request"},
+    {StatusCode::kNotFound, "not-found"},
+    {StatusCode::kAlreadyExists, "already-exists"},
+    {StatusCode::kConstraintViolation, "constraint"},
+    {StatusCode::kParseError, "parse-error"},
+    {StatusCode::kTypeError, "type-error"},
+    {StatusCode::kNotConvertible, "refused"},
+    {StatusCode::kNeedsAnalyst, "needs-analyst"},
+    {StatusCode::kUnsupported, "unsupported"},
+    {StatusCode::kInternal, "internal"},
+    {StatusCode::kUnavailable, "unavailable"},
+    {StatusCode::kDeadlineExceeded, "deadline"},
+};
+
+}  // namespace
+
+const char* WireErrorName(StatusCode code) {
+  for (const auto& entry : kWireErrors) {
+    if (entry.code == code) return entry.token;
+  }
+  return "internal";
+}
+
+Result<StatusCode> ParseWireError(const std::string& token) {
+  for (const auto& entry : kWireErrors) {
+    if (token == entry.token) return entry.code;
+  }
+  return Status::InvalidArgument("unknown wire error token \"" + token +
+                                 "\"");
+}
+
+Status ConversionRequest::Validate() const {
+  if (source.empty() && !program.has_value()) {
+    return Status::InvalidArgument(
+        "ConversionRequest needs source text or a parsed program");
+  }
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "ConversionRequest::deadline_ms must be >= 0 (got " +
+        std::to_string(deadline_ms) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbpc

@@ -1,0 +1,125 @@
+#ifndef DBPC_API_TYPES_H_
+#define DBPC_API_TYPES_H_
+
+/// Public request/response value types for submitting conversion jobs.
+///
+/// Both entry points into the conversion pipeline consume these types:
+///
+///   - in-process: `ConversionService::Convert` /
+///     `ConversionService::ConvertSystem` (service/service.h)
+///   - over the network: the `dbpcd` wire protocol (daemon/protocol.h,
+///     documented in DAEMON.md) encodes a `ConversionRequest` per SUBMIT
+///     and decodes every reply into a `ConversionResponse`
+///
+/// so a program converted locally and one submitted to a daemon share one
+/// request model, one `StatusCode`-to-wire error mapping (the table below)
+/// and one metrics/span story.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "lang/ast.h"
+#include "supervisor/supervisor.h"
+
+namespace dbpc {
+
+/// Identifies one submitted conversion job. Assigned by the accepting
+/// service (the daemon numbers jobs 1, 2, ... per process); 0 means
+/// "not yet assigned".
+using JobId = uint64_t;
+
+/// Lifecycle of a submitted job. `kDone` covers every conversion that ran
+/// to completion — including ones degraded to refused — while `kFailed` is
+/// reserved for jobs whose input never reached the pipeline (parse or
+/// validation errors); `ConversionResponse::status` carries the cause.
+enum class JobState {
+  kQueued,   ///< Admitted, waiting for a worker.
+  kRunning,  ///< A worker is converting it now.
+  kDone,     ///< Conversion finished; see `accepted` / `classification`.
+  kFailed,   ///< Input rejected before conversion; see `status`.
+};
+
+/// Canonical lowercase wire name of a job state ("queued", "running",
+/// "done", "failed"). Stable: clients parse these.
+const char* JobStateName(JobState state);
+
+/// Inverse of JobStateName; kInvalidArgument for unknown names.
+Result<JobState> ParseJobState(const std::string& name);
+
+/// The stable wire-error token for a status code ("bad-request",
+/// "refused", "unavailable", ...). This is the on-the-wire error
+/// vocabulary of the dbpcd protocol: tokens are append-only across
+/// releases, never renamed, so clients may switch on them.
+const char* WireErrorName(StatusCode code);
+
+/// Inverse of WireErrorName; kInvalidArgument for unknown tokens.
+Result<StatusCode> ParseWireError(const std::string& token);
+
+/// One program submitted for conversion.
+///
+/// A request is self-contained and serializable: the wire codec ships
+/// `source` (plus the scalar knobs) and the receiving end parses it. An
+/// in-process caller that already holds a parsed `Program` sets `program`
+/// instead and `source` is ignored.
+struct ConversionRequest {
+  /// Program name override for reports and job listings. When empty the
+  /// parsed program's own name is used.
+  std::string name;
+  /// CPL source text of the program. Parsed by the converting service;
+  /// a parse error fails the job (JobState::kFailed, kParseError).
+  std::string source;
+  /// Pre-parsed program; takes precedence over `source` when set. Never
+  /// sent over the wire.
+  std::optional<Program> program;
+  /// Per-request soft deadline in milliseconds; 0 inherits the service
+  /// default (ServiceOptions::deadline_ms). Enforced cooperatively like
+  /// the service deadline: an overrunning conversion is retried and then
+  /// degraded to refused, never dropped without a response.
+  int deadline_ms = 0;
+  /// When true the conversion is traced (common/span.h) and the response
+  /// carries the span forest as indented text in `trace_text`.
+  bool trace = false;
+
+  /// Rejects structurally invalid requests (no source and no program,
+  /// negative deadline) with a structured error.
+  Status Validate() const;
+};
+
+/// The outcome of one conversion job, shared by the in-process and
+/// network paths. The wire codec serializes the scalar fields, `notes`
+/// and the converted source; `outcome` (the full PipelineOutcome with
+/// optimizer stats and the parsed converted program) is in-process-only
+/// detail for callers that need more than the wire carries.
+struct ConversionResponse {
+  JobId id = 0;
+  JobState state = JobState::kDone;
+  /// kOk unless `state` is kFailed (parse/validation error) or the
+  /// response reports a daemon-level refusal (queue full -> kUnavailable).
+  Status status;
+  /// True when a converted program was produced.
+  bool accepted = false;
+  Convertibility classification = Convertibility::kAutomatic;
+  /// The program name as reported (request override or parsed name).
+  std::string program_name;
+  /// Generated CPL source of the converted program when `accepted`.
+  std::string converted_source;
+  /// Analyst-facing notes: rewrite-rule notes plus degradation
+  /// diagnostics.
+  std::vector<std::string> notes;
+  /// Span forest (SpanCollector::ToText) when the request asked for
+  /// tracing; empty otherwise.
+  std::string trace_text;
+  /// Wall time the job spent converting (excludes daemon queue wait).
+  uint64_t latency_us = 0;
+  /// Full pipeline detail (classification, converted Program, optimizer
+  /// stats, analyst log). Not serialized by the wire codec.
+  PipelineOutcome outcome;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_API_TYPES_H_

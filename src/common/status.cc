@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

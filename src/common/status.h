@@ -21,6 +21,10 @@ enum class StatusCode {
   kNeedsAnalyst,      ///< Conversion requires an interactive decision.
   kUnsupported,       ///< Feature intentionally outside this implementation.
   kInternal,          ///< Invariant breach inside the library.
+  kUnavailable,       ///< Transient resource exhaustion (queue full,
+                      ///< draining, connection limit); retrying later may
+                      ///< succeed.
+  kDeadlineExceeded,  ///< A deadline or I/O timeout elapsed first.
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -70,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

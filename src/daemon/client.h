@@ -1,0 +1,78 @@
+#ifndef DBPC_DAEMON_CLIENT_H_
+#define DBPC_DAEMON_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "api/types.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "daemon/protocol.h"
+#include "daemon/sock_buffer.h"
+
+namespace dbpc {
+
+/// A blocking client for one dbpcd session. Thin: one SockBuffer plus the
+/// protocol codec, so tools (dbpc_load), benchmarks and tests all speak
+/// the wire exactly as documented in DAEMON.md. Not thread-safe; use one
+/// client per connection/thread.
+class DaemonClient {
+ public:
+  /// Connects, reads the greeting and checks the protocol version.
+  static Result<std::unique_ptr<DaemonClient>> Connect(
+      const std::string& host, int port, SockBuffer::Limits limits = {});
+
+  /// Round-trips a PING.
+  Status Ping();
+
+  /// Submits a conversion request; returns the assigned job id. A
+  /// backpressure refusal surfaces as kUnavailable.
+  Result<JobId> Submit(const ConversionRequest& request);
+
+  /// Queries a job's state without blocking.
+  Result<JobState> State(JobId id);
+
+  /// Fetches a job's result. With `wait` the daemon blocks the reply until
+  /// the job finishes (bounded by its result_wait_ms); without it, a job
+  /// still in flight returns kUnavailable here.
+  Result<ConversionResponse> Fetch(JobId id, bool wait = true);
+
+  /// Submit + Fetch(wait): the one-call conversion round trip.
+  Result<ConversionResponse> Convert(const ConversionRequest& request);
+
+  /// The daemon's metrics snapshot (JSON).
+  Result<std::string> Metrics();
+
+  /// The span trace of a traced job (indented text).
+  Result<std::string> Trace(JobId id);
+
+  /// Asks the daemon to drain: stop admitting and finish admitted jobs.
+  Status Drain();
+
+  /// Polite goodbye (the server closes after acknowledging).
+  Status Quit();
+
+  /// Fields of the greeting line (server=dbpcd, proto=N, ...).
+  const std::map<std::string, std::string>& greeting() const {
+    return greeting_;
+  }
+
+  /// Escape hatch for protocol tests: writes raw bytes and reads one reply
+  /// line.
+  Status SendRaw(const std::string& bytes);
+  Result<std::string> ReadReplyLineRaw();
+
+ private:
+  explicit DaemonClient(std::unique_ptr<SockBuffer> sock);
+
+  /// Writes one command line (plus optional payload) and parses the reply
+  /// line; reads the counted payload of +DATA replies into `payload`.
+  Result<WireReply> RoundTrip(const std::string& wire, std::string* payload);
+
+  std::unique_ptr<SockBuffer> sock_;
+  std::map<std::string, std::string> greeting_;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_DAEMON_CLIENT_H_

@@ -1,0 +1,507 @@
+#include "daemon/daemon.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "daemon/protocol.h"
+
+namespace dbpc {
+
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+Status PositiveKnob(const char* knob, int value) {
+  if (value < 1) {
+    return Status::InvalidArgument(std::string("DaemonOptions::") + knob +
+                                   " must be >= 1 (got " +
+                                   std::to_string(value) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DaemonOptions::Validate() const {
+  if (host.empty()) {
+    return Status::InvalidArgument("DaemonOptions::host must not be empty");
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument(
+        "DaemonOptions::port must be in [0, 65535] (got " +
+        std::to_string(port) + ")");
+  }
+  DBPC_RETURN_IF_ERROR(PositiveKnob("max_connections", max_connections));
+  DBPC_RETURN_IF_ERROR(PositiveKnob("queue_depth", queue_depth));
+  DBPC_RETURN_IF_ERROR(PositiveKnob("read_timeout_ms", read_timeout_ms));
+  DBPC_RETURN_IF_ERROR(PositiveKnob("write_timeout_ms", write_timeout_ms));
+  // Below 64 bytes not even "SUBMIT <size>" with options fits; treat it
+  // as a configuration error rather than rejecting every command.
+  if (max_line_bytes < 64) {
+    return Status::InvalidArgument(
+        "DaemonOptions::max_line_bytes must be >= 64 (got " +
+        std::to_string(max_line_bytes) + ")");
+  }
+  DBPC_RETURN_IF_ERROR(PositiveKnob("max_payload_bytes", max_payload_bytes));
+  if (drain_grace_ms < 0) {
+    return Status::InvalidArgument(
+        "DaemonOptions::drain_grace_ms must be >= 0 (got " +
+        std::to_string(drain_grace_ms) + ")");
+  }
+  DBPC_RETURN_IF_ERROR(PositiveKnob("result_wait_ms", result_wait_ms));
+  DBPC_RETURN_IF_ERROR(
+      PositiveKnob("max_retained_results", max_retained_results));
+  return service.Validate();
+}
+
+ConversionDaemon::ConversionDaemon(DaemonOptions options)
+    : options_(std::move(options)) {}
+
+ConversionDaemon::~ConversionDaemon() { Stop(); }
+
+Result<std::unique_ptr<ConversionDaemon>> ConversionDaemon::Start(
+    Schema source, std::vector<const Transformation*> plan,
+    DaemonOptions options) {
+  DBPC_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<ConversionDaemon> daemon(
+      new ConversionDaemon(std::move(options)));
+  DBPC_ASSIGN_OR_RETURN(
+      daemon->service_,
+      ConversionService::Create(std::move(source), std::move(plan),
+                                daemon->options_.service));
+  MetricsRegistry& metrics = daemon->service_->metrics();
+  daemon->connections_accepted_ =
+      metrics.GetCounter("daemon.connections_accepted");
+  daemon->connections_rejected_ =
+      metrics.GetCounter("daemon.connections_rejected");
+  daemon->submits_admitted_ = metrics.GetCounter("daemon.submits_admitted");
+  daemon->submits_rejected_ = metrics.GetCounter("daemon.submits_rejected");
+  daemon->protocol_errors_ = metrics.GetCounter("daemon.protocol_errors");
+  daemon->jobs_completed_counter_ =
+      metrics.GetCounter("daemon.jobs_completed");
+  daemon->drains_ = metrics.GetCounter("daemon.drains");
+  daemon->queue_wait_us_ = metrics.GetHistogram("daemon.queue_wait_us");
+  daemon->request_us_ = metrics.GetHistogram("daemon.request_us");
+  DBPC_RETURN_IF_ERROR(daemon->Listen());
+  daemon->accept_thread_ =
+      std::thread([raw = daemon.get()] { raw->AcceptLoop(); });
+  return daemon;
+}
+
+Status ConversionDaemon::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen address \"" +
+                                   options_.host + "\" (want IPv4 dotted)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Unavailable("bind " + options_.host + ":" +
+                               std::to_string(options_.port) + ": " +
+                               strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("listen: ") + strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return Status::Internal(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void ConversionDaemon::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) continue;  // tick: re-check stopping_
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_accepted_->Increment();
+    SockBuffer::Limits limits{options_.read_timeout_ms,
+                              options_.write_timeout_ms,
+                              static_cast<size_t>(options_.max_line_bytes)};
+    auto sock = std::make_unique<SockBuffer>(fd, limits);
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (active_sessions_ >= options_.max_connections) {
+        reject = true;
+      } else {
+        ++active_sessions_;
+        session_socks_.insert(sock.get());
+      }
+    }
+    if (reject) {
+      // Over the session cap: refuse with a structured response instead
+      // of dropping the connection on the floor. Written outside the
+      // sessions lock — a peer that won't read must not stall teardown.
+      connections_rejected_->Increment();
+      sock->WriteAll(ErrReplyLine(Status::Unavailable(
+          "too many connections (limit " +
+          std::to_string(options_.max_connections) + "); retry later")));
+      continue;  // sock destructor closes
+    }
+    std::thread([this, raw = sock.release()] {
+      SessionLoop(std::unique_ptr<SockBuffer>(raw));
+    }).detach();
+  }
+}
+
+void ConversionDaemon::SessionLoop(std::unique_ptr<SockBuffer> sock) {
+  sock->WriteAll(GreetingLine());
+  bool quit = false;
+  while (!quit && !stopping_.load(std::memory_order_relaxed)) {
+    Result<std::string> line = sock->ReadLine();
+    if (!line.ok()) {
+      // Structured teardown: tell the peer why when the connection is
+      // still usable (idle timeout, oversized line), then end the session.
+      // Framing after an oversized line cannot be trusted, so no resync.
+      switch (line.status().code()) {
+        case StatusCode::kDeadlineExceeded:
+          sock->WriteAll(ErrReplyLine(
+              Status::DeadlineExceeded("idle timeout, closing session")));
+          break;
+        case StatusCode::kInvalidArgument:
+          protocol_errors_->Increment();
+          sock->WriteAll(ErrReplyLine(line.status()));
+          break;
+        default:  // peer closed / shutdown: nothing to say
+          break;
+      }
+      break;
+    }
+    if (line->empty()) continue;  // tolerate blank keep-alive lines
+    Result<WireCommand> command = ParseCommandLine(*line);
+    if (!command.ok()) {
+      // Malformed commands are answered, never fatal: the session loop
+      // must survive anything that still frames as a line.
+      protocol_errors_->Increment();
+      if (!sock->WriteAll(ErrReplyLine(command.status())).ok()) break;
+      continue;
+    }
+    if (!HandleCommand(*sock, *command, &quit).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_socks_.erase(sock.get());
+  }
+  sock.reset();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    --active_sessions_;
+    sessions_cv_.notify_all();
+  }
+}
+
+Status ConversionDaemon::HandleCommand(SockBuffer& sock,
+                                       const WireCommand& command,
+                                       bool* quit) {
+  switch (command.kind) {
+    case CommandKind::kPing:
+      return sock.WriteAll(OkReplyLine({{"pong", "1"}}));
+
+    case CommandKind::kQuit: {
+      *quit = true;
+      return sock.WriteAll(OkReplyLine({{"bye", "1"}}));
+    }
+
+    case CommandKind::kSubmit: {
+      if (command.payload_bytes >
+          static_cast<size_t>(options_.max_payload_bytes)) {
+        // The counted payload will not be read; framing is gone, so this
+        // error also ends the session (the reply says so).
+        protocol_errors_->Increment();
+        sock.WriteAll(ErrReplyLine(Status::InvalidArgument(
+            "payload of " + std::to_string(command.payload_bytes) +
+            " bytes exceeds limit " +
+            std::to_string(options_.max_payload_bytes) +
+            ", closing session")));
+        return Status::InvalidArgument("oversized payload");
+      }
+      Result<std::string> payload = sock.ReadExact(command.payload_bytes);
+      if (!payload.ok()) {
+        // Mid-request disconnect or stalled payload: the job was never
+        // admitted; nothing to clean up.
+        protocol_errors_->Increment();
+        if (payload.status().code() == StatusCode::kDeadlineExceeded) {
+          sock.WriteAll(ErrReplyLine(Status::DeadlineExceeded(
+              "payload not received in time, closing session")));
+        }
+        return payload.status();
+      }
+      Result<std::string> terminator = sock.ReadLine();
+      if (!terminator.ok()) return terminator.status();
+      if (!terminator->empty()) {
+        protocol_errors_->Increment();
+        sock.WriteAll(ErrReplyLine(Status::InvalidArgument(
+            "payload must be followed by an empty line, closing session")));
+        return Status::InvalidArgument("bad payload terminator");
+      }
+      Result<JobId> id =
+          AdmitJob(DecodeSubmit(command, std::move(payload).value()));
+      if (!id.ok()) {
+        // Backpressure (queue full, draining) or a bad request: answered
+        // on the wire, session stays up so the client can retry.
+        return sock.WriteAll(ErrReplyLine(id.status()));
+      }
+      return sock.WriteAll(OkReplyLine(
+          {{"id", std::to_string(*id)}, {"state", "queued"}}));
+    }
+
+    case CommandKind::kStatus: {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      auto it = jobs_.find(command.id);
+      if (it == jobs_.end()) {
+        return sock.WriteAll(ErrReplyLine(Status::NotFound(
+            "no such job " + std::to_string(command.id))));
+      }
+      return sock.WriteAll(
+          OkReplyLine({{"id", std::to_string(command.id)},
+                       {"state", JobStateName(it->second->state)}}));
+    }
+
+    case CommandKind::kResult: {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(jobs_mu_);
+        auto it = jobs_.find(command.id);
+        if (it == jobs_.end()) {
+          lock.unlock();
+          return sock.WriteAll(ErrReplyLine(Status::NotFound(
+              "no such job " + std::to_string(command.id))));
+        }
+        job = it->second;
+        auto finished = [&job] {
+          return job->state == JobState::kDone ||
+                 job->state == JobState::kFailed;
+        };
+        if (!finished() && command.wait) {
+          jobs_cv_.wait_for(lock,
+                            std::chrono::milliseconds(options_.result_wait_ms),
+                            finished);
+        }
+        if (!finished()) {
+          std::string state = JobStateName(job->state);
+          lock.unlock();
+          if (command.wait) {
+            return sock.WriteAll(ErrReplyLine(Status::DeadlineExceeded(
+                "job " + std::to_string(command.id) + " still " + state +
+                " after " + std::to_string(options_.result_wait_ms) +
+                "ms")));
+          }
+          return sock.WriteAll(OkReplyLine(
+              {{"id", std::to_string(command.id)}, {"state", state}}));
+        }
+      }
+      const ConversionResponse& response = job->response;
+      std::string payload = EncodeResponsePayload(response);
+      std::string header =
+          DataReplyLine(payload.size(), ResponseFields(response));
+      DBPC_RETURN_IF_ERROR(sock.WriteAll(header));
+      DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
+      return sock.WriteAll("\n");
+    }
+
+    case CommandKind::kMetrics: {
+      std::string payload = service_->metrics().ToJson();
+      DBPC_RETURN_IF_ERROR(
+          sock.WriteAll(DataReplyLine(payload.size(), {})));
+      DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
+      return sock.WriteAll("\n");
+    }
+
+    case CommandKind::kTrace: {
+      std::shared_ptr<Job> job;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        auto it = jobs_.find(command.id);
+        if (it != jobs_.end()) job = it->second;
+      }
+      if (job == nullptr) {
+        return sock.WriteAll(ErrReplyLine(Status::NotFound(
+            "no such job " + std::to_string(command.id))));
+      }
+      if (job->state != JobState::kDone &&
+          job->state != JobState::kFailed) {
+        return sock.WriteAll(ErrReplyLine(Status::Unavailable(
+            "job " + std::to_string(command.id) + " is still " +
+            JobStateName(job->state))));
+      }
+      if (job->response.trace_text.empty()) {
+        return sock.WriteAll(ErrReplyLine(Status::NotFound(
+            "job " + std::to_string(command.id) +
+            " was not submitted with trace=1")));
+      }
+      const std::string& payload = job->response.trace_text;
+      DBPC_RETURN_IF_ERROR(sock.WriteAll(DataReplyLine(
+          payload.size(), {{"id", std::to_string(command.id)}})));
+      DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
+      return sock.WriteAll("\n");
+    }
+
+    case CommandKind::kDrain: {
+      Status drained = Drain();
+      if (!drained.ok()) return sock.WriteAll(ErrReplyLine(drained));
+      return sock.WriteAll(OkReplyLine(
+          {{"drained", "1"},
+           {"jobs_completed", std::to_string(jobs_completed())}}));
+    }
+  }
+  return Status::Internal("unhandled command kind");
+}
+
+Result<JobId> ConversionDaemon::AdmitJob(ConversionRequest request) {
+  auto job = std::make_shared<Job>();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (draining_ || stopping_.load(std::memory_order_relaxed)) {
+      submits_rejected_->Increment();
+      return Status::Unavailable("daemon is draining; not accepting jobs");
+    }
+    if (pending_ >= options_.queue_depth) {
+      submits_rejected_->Increment();
+      return Status::Unavailable(
+          "queue full (" + std::to_string(pending_) +
+          " jobs pending, depth " + std::to_string(options_.queue_depth) +
+          "); retry later");
+    }
+    job->id = next_id_++;
+    job->request = std::move(request);
+    job->admitted_at = std::chrono::steady_clock::now();
+    jobs_[job->id] = job;
+    ++pending_;
+    ++admitted_;
+    // Submitted under jobs_mu_ so that once Drain() sets draining_ (same
+    // lock) no further task can slip into the pool — Stop()'s pool Wait
+    // then provably covers every admitted job.
+    service_->pool().Submit([this, job] { RunJob(job); });
+  }
+  submits_admitted_->Increment();
+  return job->id;
+}
+
+void ConversionDaemon::RunJob(std::shared_ptr<Job> job) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->state = JobState::kRunning;
+  }
+  queue_wait_us_->Record(ElapsedMicros(job->admitted_at));
+  ConversionResponse response = service_->Convert(job->request, job->id);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->response = std::move(response);
+    job->state = job->response.state;
+    --pending_;
+    ++completed_;
+    completed_order_.push_back(job->id);
+    EvictOldResultsLocked();
+  }
+  jobs_completed_counter_->Increment();
+  request_us_->Record(ElapsedMicros(job->admitted_at));
+  jobs_cv_.notify_all();
+}
+
+void ConversionDaemon::EvictOldResultsLocked() {
+  while (completed_order_.size() >
+         static_cast<size_t>(options_.max_retained_results)) {
+    jobs_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+Status ConversionDaemon::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(jobs_mu_);
+    if (!draining_) {
+      draining_ = true;
+      drains_->Increment();
+    }
+    bool drained = jobs_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_grace_ms),
+        [this] { return pending_ == 0; });
+    if (!drained) {
+      return Status::DeadlineExceeded(
+          "drain grace of " + std::to_string(options_.drain_grace_ms) +
+          "ms elapsed with " + std::to_string(pending_) +
+          " jobs still pending");
+    }
+  }
+  return Status::OK();
+}
+
+bool ConversionDaemon::draining() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return draining_;
+}
+
+uint64_t ConversionDaemon::jobs_admitted() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return admitted_;
+}
+
+uint64_t ConversionDaemon::jobs_completed() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return completed_;
+}
+
+int ConversionDaemon::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return active_sessions_;
+}
+
+void ConversionDaemon::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Second Stop (e.g. destructor after an explicit Stop): the first one
+    // already joined everything.
+    return;
+  }
+  // Stop admitting jobs and wait for admitted ones (best effort; Stop
+  // proceeds even if the grace period elapses).
+  Drain();
+  // Even after a timed-out drain, every task already in the pool must
+  // finish before this object's members go away: RunJob touches the job
+  // table and metric handles.
+  service_->pool().Wait();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every session read and wait for the loops to unwind.
+  {
+    std::unique_lock<std::mutex> lock(sessions_mu_);
+    for (SockBuffer* sock : session_socks_) sock->Shutdown();
+    sessions_cv_.wait(lock, [this] { return active_sessions_ == 0; });
+  }
+}
+
+}  // namespace dbpc

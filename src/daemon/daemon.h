@@ -1,0 +1,190 @@
+#ifndef DBPC_DAEMON_DAEMON_H_
+#define DBPC_DAEMON_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/types.h"
+#include "common/metrics.h"
+#include "daemon/protocol.h"
+#include "daemon/sock_buffer.h"
+#include "service/service.h"
+
+namespace dbpc {
+
+/// Network daemon configuration. The embedded ServiceOptions configure the
+/// conversion pipeline itself (worker count, default deadline, retries,
+/// supervisor knobs); everything else is the socket front-end.
+struct DaemonOptions {
+  /// Listen address. Defaults to loopback: dbpcd is an internal service;
+  /// exposing it wider is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (ConversionDaemon::port() reports
+  /// the actual one — tests and check.sh use this).
+  int port = 0;
+  /// Concurrent session cap. A connection over the limit is not dropped:
+  /// it receives a structured `-ERR unavailable` line, then is closed.
+  int max_connections = 256;
+  /// Admission control: jobs admitted (queued + running) at once. A SUBMIT
+  /// over the limit is refused with `-ERR unavailable` — backpressure the
+  /// client can retry on — rather than growing the queue without bound.
+  int queue_depth = 256;
+  /// Session read deadline per wire read call (whole-line / whole-payload,
+  /// measured from call start, so trickled bytes cannot extend it).
+  int read_timeout_ms = 10000;
+  /// Session write deadline per reply.
+  int write_timeout_ms = 10000;
+  /// Longest accepted command line. Oversized lines get a structured error
+  /// and the session is torn down (framing cannot be resynchronized).
+  int max_line_bytes = 4096;
+  /// Largest accepted SUBMIT payload.
+  int max_payload_bytes = 1 << 20;
+  /// How long Drain() waits for admitted jobs to finish before giving up
+  /// with kDeadlineExceeded.
+  int drain_grace_ms = 30000;
+  /// How long a `RESULT <id> WAIT` blocks server-side before answering
+  /// `-ERR deadline`. Keep below the client's read timeout.
+  int result_wait_ms = 30000;
+  /// Completed jobs retained for RESULT/TRACE queries; older results are
+  /// evicted FIFO (their RESULT then answers `-ERR not-found`).
+  int max_retained_results = 8192;
+  /// The conversion pipeline configuration shared with in-process use.
+  ServiceOptions service;
+
+  /// Rejects nonsensical configurations with a structured error naming the
+  /// offending knob. Called at daemon entry (ConversionDaemon::Start).
+  Status Validate() const;
+};
+
+/// `dbpcd`: a long-running TCP front-end to the ConversionService.
+///
+/// The paper frames conversion as a batch job run by the installation's
+/// conversion staff; at production scale that batch becomes a service, so
+/// this daemon puts the wire protocol documented in DAEMON.md
+/// (submit/status/result/metrics/trace/drain, line-oriented with counted
+/// payloads) in front of the same pipeline the in-process API uses. One
+/// thread per session over a capped session count; conversions run on the
+/// service's worker pool; admission control bounds queued work and
+/// answers overload with backpressure errors instead of dropped requests.
+///
+/// Lifecycle: Start() binds/listens and returns; Drain() (idempotent, also
+/// triggered by the DRAIN command and by dbpcd's SIGTERM handler) stops
+/// admitting jobs and waits for every admitted job to finish; Stop() drains
+/// sessions and joins every thread. The destructor calls Stop().
+class ConversionDaemon {
+ public:
+  /// Validates options, builds the conversion service, binds and starts
+  /// accepting. Transformations must outlive the daemon.
+  static Result<std::unique_ptr<ConversionDaemon>> Start(
+      Schema source, std::vector<const Transformation*> plan,
+      DaemonOptions options);
+
+  ~ConversionDaemon();
+
+  ConversionDaemon(const ConversionDaemon&) = delete;
+  ConversionDaemon& operator=(const ConversionDaemon&) = delete;
+
+  /// The actual bound port (== options.port unless that was 0).
+  int port() const { return port_; }
+
+  const DaemonOptions& options() const { return options_; }
+
+  /// Shared metrics registry: pipeline metrics (stage latencies,
+  /// classification counters) and daemon metrics (daemon.*) side by side —
+  /// the METRICS command snapshots this.
+  MetricsRegistry& metrics() { return service_->metrics(); }
+
+  /// Stops admitting new jobs (SUBMIT answers `-ERR unavailable`) and
+  /// blocks until every admitted job completed, up to
+  /// options.drain_grace_ms (kDeadlineExceeded afterwards). Idempotent:
+  /// a second Drain — double-drain from a client, or DRAIN racing
+  /// SIGTERM — just waits for the same condition again.
+  Status Drain();
+
+  /// Drain + tear down: closes the listener, shuts every session socket
+  /// down (blocked reads fail over immediately), and joins the accept
+  /// thread and all sessions. Idempotent.
+  void Stop();
+
+  bool draining() const;
+
+  uint64_t jobs_admitted() const;
+  uint64_t jobs_completed() const;
+  int active_sessions() const;
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobState state = JobState::kQueued;
+    ConversionRequest request;
+    ConversionResponse response;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  explicit ConversionDaemon(DaemonOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void SessionLoop(std::unique_ptr<SockBuffer> sock);
+  /// Dispatches one parsed command; returns a non-OK status only for I/O
+  /// failures that end the session (protocol-level errors are answered on
+  /// the wire and keep the session alive).
+  Status HandleCommand(SockBuffer& sock, const WireCommand& command,
+                       bool* quit);
+  Result<JobId> AdmitJob(ConversionRequest request);
+  void RunJob(std::shared_ptr<Job> job);
+  /// Evicts completed results beyond max_retained_results. Caller holds
+  /// jobs_mu_.
+  void EvictOldResultsLocked();
+
+  DaemonOptions options_;
+  std::unique_ptr<ConversionService> service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  // Sessions: detached threads tracked by count; their SockBuffers are
+  // registered here so Stop() can shut them down and unblock reads.
+  mutable std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;
+  std::set<SockBuffer*> session_socks_;
+  int active_sessions_ = 0;
+
+  // Jobs: admission bookkeeping and the result table.
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;
+  std::deque<JobId> completed_order_;
+  JobId next_id_ = 1;
+  int pending_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t completed_ = 0;
+  bool draining_ = false;
+
+  // Hot-path metric handles (MetricsRegistry lookups take a lock).
+  Counter* connections_accepted_ = nullptr;
+  Counter* connections_rejected_ = nullptr;
+  Counter* submits_admitted_ = nullptr;
+  Counter* submits_rejected_ = nullptr;
+  Counter* protocol_errors_ = nullptr;
+  Counter* jobs_completed_counter_ = nullptr;
+  Counter* drains_ = nullptr;
+  Histogram* queue_wait_us_ = nullptr;
+  Histogram* request_us_ = nullptr;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_DAEMON_DAEMON_H_

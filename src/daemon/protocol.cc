@@ -1,0 +1,402 @@
+#include "daemon/protocol.h"
+
+#include <cstdint>
+#include <sstream>
+
+namespace dbpc {
+
+namespace {
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Strict non-negative integer parse (the wire never carries signs).
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Splits "key=value"; returns false when there is no '='.
+bool SplitKv(const std::string& token, std::string* key, std::string* value) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+std::string OneLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+Result<Convertibility> ParseConvertibility(const std::string& name) {
+  if (name == "automatic") return Convertibility::kAutomatic;
+  if (name == "needs-analyst") return Convertibility::kNeedsAnalyst;
+  if (name == "not-convertible") return Convertibility::kNotConvertible;
+  return Status::InvalidArgument("unknown classification \"" + name + "\"");
+}
+
+Result<JobId> RequireId(const std::vector<std::string>& tokens,
+                        const char* command) {
+  uint64_t id = 0;
+  if (tokens.size() < 2 || !ParseU64(tokens[1], &id) || id == 0) {
+    return Status::InvalidArgument(std::string(command) +
+                                   " needs a job id (a positive integer)");
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<WireCommand> ParseCommandLine(const std::string& line) {
+  std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty command");
+  }
+  const std::string& verb = tokens[0];
+  WireCommand command;
+  if (verb == "PING") {
+    command.kind = CommandKind::kPing;
+    return command;
+  }
+  if (verb == "METRICS") {
+    command.kind = CommandKind::kMetrics;
+    return command;
+  }
+  if (verb == "DRAIN") {
+    command.kind = CommandKind::kDrain;
+    return command;
+  }
+  if (verb == "QUIT") {
+    command.kind = CommandKind::kQuit;
+    return command;
+  }
+  if (verb == "STATUS" || verb == "TRACE") {
+    command.kind =
+        verb == "STATUS" ? CommandKind::kStatus : CommandKind::kTrace;
+    DBPC_ASSIGN_OR_RETURN(command.id, RequireId(tokens, verb.c_str()));
+    return command;
+  }
+  if (verb == "RESULT") {
+    command.kind = CommandKind::kResult;
+    DBPC_ASSIGN_OR_RETURN(command.id, RequireId(tokens, "RESULT"));
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (tokens[i] == "WAIT") {
+        command.wait = true;
+      } else {
+        return Status::InvalidArgument("unknown RESULT option \"" +
+                                       tokens[i] + "\"");
+      }
+    }
+    return command;
+  }
+  if (verb == "SUBMIT") {
+    command.kind = CommandKind::kSubmit;
+    uint64_t bytes = 0;
+    if (tokens.size() < 2 || !ParseU64(tokens[1], &bytes)) {
+      return Status::InvalidArgument(
+          "SUBMIT needs a payload size in bytes");
+    }
+    command.payload_bytes = static_cast<size_t>(bytes);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      std::string key, value;
+      if (!SplitKv(tokens[i], &key, &value)) {
+        return Status::InvalidArgument("malformed SUBMIT option \"" +
+                                       tokens[i] + "\" (want key=value)");
+      }
+      if (key == "name") {
+        command.name = value;
+      } else if (key == "deadline_ms") {
+        uint64_t deadline = 0;
+        if (!ParseU64(value, &deadline) || deadline > INT32_MAX) {
+          return Status::InvalidArgument(
+              "SUBMIT deadline_ms must be a non-negative integer");
+        }
+        command.deadline_ms = static_cast<int>(deadline);
+      } else if (key == "trace") {
+        command.trace = value == "1";
+      } else {
+        // Unknown options are ignored for forward compatibility within a
+        // protocol version (DAEMON.md "Versioning").
+      }
+    }
+    return command;
+  }
+  return Status::InvalidArgument("unknown command \"" + verb + "\"");
+}
+
+std::string FormatCommandLine(const WireCommand& command) {
+  switch (command.kind) {
+    case CommandKind::kPing:
+      return "PING";
+    case CommandKind::kMetrics:
+      return "METRICS";
+    case CommandKind::kDrain:
+      return "DRAIN";
+    case CommandKind::kQuit:
+      return "QUIT";
+    case CommandKind::kStatus:
+      return "STATUS " + std::to_string(command.id);
+    case CommandKind::kTrace:
+      return "TRACE " + std::to_string(command.id);
+    case CommandKind::kResult:
+      return "RESULT " + std::to_string(command.id) +
+             (command.wait ? " WAIT" : "");
+    case CommandKind::kSubmit: {
+      std::string line = "SUBMIT " + std::to_string(command.payload_bytes);
+      if (!command.name.empty()) line += " name=" + command.name;
+      if (command.deadline_ms > 0) {
+        line += " deadline_ms=" + std::to_string(command.deadline_ms);
+      }
+      if (command.trace) line += " trace=1";
+      return line;
+    }
+  }
+  return "PING";
+}
+
+Result<WireReply> ParseReplyLine(const std::string& line) {
+  std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty reply line");
+  }
+  WireReply reply;
+  size_t field_start = 1;
+  if (tokens[0] == "+OK") {
+    reply.ok = true;
+  } else if (tokens[0] == "+DATA") {
+    reply.ok = true;
+    reply.has_payload = true;
+    uint64_t bytes = 0;
+    if (tokens.size() < 2 || !ParseU64(tokens[1], &bytes)) {
+      return Status::InvalidArgument("+DATA reply without a payload size");
+    }
+    reply.payload_bytes = static_cast<size_t>(bytes);
+    field_start = 2;
+  } else if (tokens[0] == "-ERR") {
+    reply.ok = false;
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("-ERR reply without an error token");
+    }
+    Result<StatusCode> code = ParseWireError(tokens[1]);
+    // An unknown token still surfaces as an error (a newer server may have
+    // added codes); default to kInternal rather than failing the parse.
+    reply.code = code.ok() ? *code : StatusCode::kInternal;
+    std::string message;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (!message.empty()) message += ' ';
+      message += tokens[i];
+    }
+    reply.message = std::move(message);
+    return reply;
+  } else {
+    return Status::InvalidArgument("malformed reply line \"" + line + "\"");
+  }
+  for (size_t i = field_start; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (SplitKv(tokens[i], &key, &value)) reply.fields[key] = value;
+  }
+  return reply;
+}
+
+std::string OkReplyLine(const WireFields& fields) {
+  std::string line = "+OK";
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += OneLine(value);
+  }
+  line += '\n';
+  return line;
+}
+
+std::string DataReplyLine(size_t payload_bytes, const WireFields& fields) {
+  std::string line = "+DATA " + std::to_string(payload_bytes);
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += OneLine(value);
+  }
+  line += '\n';
+  return line;
+}
+
+std::string ErrReplyLine(const Status& status) {
+  return std::string("-ERR ") + WireErrorName(status.code()) + " " +
+         OneLine(status.message()) + "\n";
+}
+
+std::string GreetingLine() {
+  return OkReplyLine({{"server", "dbpcd"},
+                      {"proto", std::to_string(kProtocolVersion)}});
+}
+
+std::string EncodeSubmit(const ConversionRequest& request) {
+  WireCommand command;
+  command.kind = CommandKind::kSubmit;
+  command.payload_bytes = request.source.size();
+  command.name = request.name;
+  command.deadline_ms = request.deadline_ms;
+  command.trace = request.trace;
+  return FormatCommandLine(command) + "\n" + request.source + "\n";
+}
+
+ConversionRequest DecodeSubmit(const WireCommand& command,
+                               std::string payload) {
+  ConversionRequest request;
+  request.name = command.name;
+  request.source = std::move(payload);
+  request.deadline_ms = command.deadline_ms;
+  request.trace = command.trace;
+  return request;
+}
+
+namespace {
+
+/// Payload section markers. Sections appear in this order, each only when
+/// non-empty; SOURCE carries the converted program, NOTES one note per
+/// line, STATUS the failure status text, TRACE the span forest.
+constexpr const char* kStatusHeader = "== STATUS ==";
+constexpr const char* kSourceHeader = "== SOURCE ==";
+constexpr const char* kNotesHeader = "== NOTES ==";
+constexpr const char* kTraceHeader = "== TRACE ==";
+
+}  // namespace
+
+WireFields ResponseFields(const ConversionResponse& response) {
+  WireFields fields;
+  fields.emplace_back("id", std::to_string(response.id));
+  fields.emplace_back("state", JobStateName(response.state));
+  if (response.state == JobState::kFailed) {
+    fields.emplace_back("error", WireErrorName(response.status.code()));
+  } else {
+    fields.emplace_back("accepted", response.accepted ? "1" : "0");
+    fields.emplace_back("classification",
+                        ConvertibilityName(response.classification));
+  }
+  if (!response.program_name.empty()) {
+    fields.emplace_back("name", OneLine(response.program_name));
+  }
+  fields.emplace_back("latency_us", std::to_string(response.latency_us));
+  return fields;
+}
+
+std::string EncodeResponsePayload(const ConversionResponse& response) {
+  std::string payload;
+  if (!response.status.ok()) {
+    payload += kStatusHeader;
+    payload += '\n';
+    payload += OneLine(response.status.message());
+    payload += '\n';
+  }
+  if (!response.converted_source.empty()) {
+    payload += kSourceHeader;
+    payload += '\n';
+    payload += response.converted_source;
+    if (payload.back() != '\n') payload += '\n';
+  }
+  if (!response.notes.empty()) {
+    payload += kNotesHeader;
+    payload += '\n';
+    for (const std::string& note : response.notes) {
+      payload += OneLine(note);
+      payload += '\n';
+    }
+  }
+  if (!response.trace_text.empty()) {
+    payload += kTraceHeader;
+    payload += '\n';
+    payload += response.trace_text;
+    if (payload.back() != '\n') payload += '\n';
+  }
+  return payload;
+}
+
+Result<ConversionResponse> DecodeResponse(const WireReply& reply,
+                                          const std::string& payload) {
+  ConversionResponse response;
+  auto field = [&reply](const char* key) -> const std::string* {
+    auto it = reply.fields.find(key);
+    return it == reply.fields.end() ? nullptr : &it->second;
+  };
+  if (const std::string* id = field("id")) {
+    uint64_t value = 0;
+    if (!ParseU64(*id, &value)) {
+      return Status::InvalidArgument("malformed id field \"" + *id + "\"");
+    }
+    response.id = value;
+  }
+  if (const std::string* state = field("state")) {
+    DBPC_ASSIGN_OR_RETURN(response.state, ParseJobState(*state));
+  }
+  if (const std::string* accepted = field("accepted")) {
+    response.accepted = *accepted == "1";
+  }
+  if (const std::string* classification = field("classification")) {
+    DBPC_ASSIGN_OR_RETURN(response.classification,
+                          ParseConvertibility(*classification));
+  }
+  if (const std::string* name = field("name")) response.program_name = *name;
+  if (const std::string* latency = field("latency_us")) {
+    uint64_t value = 0;
+    if (ParseU64(*latency, &value)) response.latency_us = value;
+  }
+  StatusCode error_code = StatusCode::kInternal;
+  bool failed = false;
+  if (const std::string* error = field("error")) {
+    failed = true;
+    Result<StatusCode> code = ParseWireError(*error);
+    if (code.ok()) error_code = *code;
+  }
+  // Walk the sectioned payload.
+  std::string* current = nullptr;
+  std::string status_text, notes_text;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == kStatusHeader) {
+      current = &status_text;
+    } else if (line == kSourceHeader) {
+      current = &response.converted_source;
+    } else if (line == kNotesHeader) {
+      current = &notes_text;
+    } else if (line == kTraceHeader) {
+      current = &response.trace_text;
+    } else if (current != nullptr) {
+      current->append(line);
+      current->push_back('\n');
+    }
+  }
+  {
+    std::istringstream notes(notes_text);
+    while (std::getline(notes, line)) {
+      if (!line.empty()) response.notes.push_back(line);
+    }
+  }
+  if (failed) {
+    if (!status_text.empty() && status_text.back() == '\n') {
+      status_text.pop_back();
+    }
+    response.status = Status(error_code, std::move(status_text));
+  }
+  return response;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,114 @@
+#ifndef DBPC_DAEMON_PROTOCOL_H_
+#define DBPC_DAEMON_PROTOCOL_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/types.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpc {
+
+/// The dbpcd wire protocol, version 1 (the full specification clients
+/// code against is DAEMON.md; this header is the single codec both the
+/// daemon session loop and the client library use).
+///
+/// Shape: line-oriented commands ("SUBMIT 123 trace=1"), counted payload
+/// blocks after SUBMIT and +DATA replies, and three reply forms:
+///
+///   +OK key=value ...
+///   +DATA <nbytes> key=value ...   (followed by nbytes raw bytes + '\n')
+///   -ERR <wire-error> <message>
+///
+/// where <wire-error> is the stable StatusCode token from
+/// api/types.h (WireErrorName). Versioning rule: the greeting advertises
+/// `proto=1`; new commands and new key=value fields may be added within a
+/// version, while any change that breaks an existing client bumps the
+/// number.
+inline constexpr int kProtocolVersion = 1;
+
+enum class CommandKind {
+  kPing,
+  kSubmit,
+  kStatus,
+  kResult,
+  kMetrics,
+  kTrace,
+  kDrain,
+  kQuit,
+};
+
+/// One parsed command line.
+struct WireCommand {
+  CommandKind kind = CommandKind::kPing;
+  JobId id = 0;             ///< STATUS / RESULT / TRACE argument.
+  size_t payload_bytes = 0; ///< SUBMIT counted payload size.
+  bool wait = false;        ///< RESULT ... WAIT
+  /// SUBMIT options (all optional): name=<token> deadline_ms=<n> trace=1.
+  std::string name;
+  int deadline_ms = 0;
+  bool trace = false;
+};
+
+/// Parses one command line. Errors are kInvalidArgument with a message
+/// suitable for echoing to the client ("unknown command ...",
+/// "SUBMIT needs a payload size", ...).
+Result<WireCommand> ParseCommandLine(const std::string& line);
+
+/// Client-side inverse of ParseCommandLine (no trailing newline).
+std::string FormatCommandLine(const WireCommand& command);
+
+/// One parsed reply line.
+struct WireReply {
+  bool ok = false;           ///< +OK / +DATA vs -ERR.
+  bool has_payload = false;  ///< +DATA
+  size_t payload_bytes = 0;
+  StatusCode code = StatusCode::kOk;  ///< -ERR wire token, decoded.
+  std::string message;                ///< -ERR free text.
+  std::map<std::string, std::string> fields;  ///< key=value pairs.
+};
+
+Result<WireReply> ParseReplyLine(const std::string& line);
+
+using WireFields = std::vector<std::pair<std::string, std::string>>;
+
+/// "+OK k=v ...\n"
+std::string OkReplyLine(const WireFields& fields);
+/// "+DATA <nbytes> k=v ...\n"
+std::string DataReplyLine(size_t payload_bytes, const WireFields& fields);
+/// "-ERR <wire-error> <message>\n" (newlines in the message are replaced
+/// so the reply stays one line).
+std::string ErrReplyLine(const Status& status);
+/// The connection greeting: "+OK dbpcd proto=1 ...".
+std::string GreetingLine();
+
+/// Encodes a SUBMIT as command line + counted payload + terminator,
+/// ready to write to the socket. The payload is the request's CPL source.
+std::string EncodeSubmit(const ConversionRequest& request);
+
+/// Builds the request a SUBMIT command + payload describe (daemon side).
+ConversionRequest DecodeSubmit(const WireCommand& command,
+                               std::string payload);
+
+/// The scalar header fields of a RESULT reply for `response`:
+/// id/state/accepted/classification/latency_us, plus error=<wire-token>
+/// when the job failed.
+WireFields ResponseFields(const ConversionResponse& response);
+
+/// Serializes the response body (converted source, notes, status message,
+/// trace) as the sectioned payload of a RESULT +DATA reply.
+std::string EncodeResponsePayload(const ConversionResponse& response);
+
+/// Client-side: reassembles a ConversionResponse from a RESULT reply's
+/// header fields and payload. Unknown fields are ignored (forward
+/// compatibility within a protocol version).
+Result<ConversionResponse> DecodeResponse(const WireReply& reply,
+                                          const std::string& payload);
+
+}  // namespace dbpc
+
+#endif  // DBPC_DAEMON_PROTOCOL_H_

@@ -1,0 +1,160 @@
+#include "daemon/sock_buffer.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace dbpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long long RemainingMs(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now())
+      .count();
+}
+
+}  // namespace
+
+SockBuffer::SockBuffer(int fd, Limits limits) : fd_(fd), limits_(limits) {
+  // The deadlines below are enforced by poll(); the fd must be
+  // non-blocking so a send() larger than the socket buffer (or a recv()
+  // racing a slow peer) returns EAGAIN instead of blocking past them.
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+SockBuffer::~SockBuffer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SockBuffer::Shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool SockBuffer::shutdown_requested() const {
+  return shutdown_.load(std::memory_order_relaxed);
+}
+
+Status SockBuffer::FillBuffer(long long deadline_ms_remaining) {
+  if (deadline_ms_remaining <= 0) {
+    return Status::DeadlineExceeded(
+        "read timed out after " + std::to_string(limits_.read_timeout_ms) +
+        "ms");
+  }
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc = ::poll(&pfd, 1, static_cast<int>(deadline_ms_remaining));
+  if (rc < 0) {
+    if (errno == EINTR) return Status::OK();  // retry from the caller loop
+    return Status::Internal(std::string("poll: ") + strerror(errno));
+  }
+  if (rc == 0) {
+    return Status::DeadlineExceeded(
+        "read timed out after " + std::to_string(limits_.read_timeout_ms) +
+        "ms");
+  }
+  char chunk[4096];
+  ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::OK();
+    }
+    return Status::Unavailable(std::string("recv: ") + strerror(errno));
+  }
+  if (n == 0) {
+    return Status::Unavailable(shutdown_requested()
+                                   ? "session shut down"
+                                   : "connection closed by peer");
+  }
+  buffer_.append(chunk, static_cast<size_t>(n));
+  return Status::OK();
+}
+
+Result<std::string> SockBuffer::ReadLine() {
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(limits_.read_timeout_ms);
+  for (;;) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    // No newline yet: a line longer than the limit is rejected before it
+    // can grow without bound.
+    if (buffer_.size() > limits_.max_line_bytes) {
+      return Status::InvalidArgument(
+          "line exceeds " + std::to_string(limits_.max_line_bytes) +
+          " bytes");
+    }
+    if (shutdown_requested()) return Status::Unavailable("session shut down");
+    DBPC_RETURN_IF_ERROR(FillBuffer(RemainingMs(deadline)));
+  }
+}
+
+Result<std::string> SockBuffer::ReadExact(size_t n) {
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(limits_.read_timeout_ms);
+  while (buffer_.size() < n) {
+    if (shutdown_requested()) return Status::Unavailable("session shut down");
+    DBPC_RETURN_IF_ERROR(FillBuffer(RemainingMs(deadline)));
+  }
+  std::string payload = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return payload;
+}
+
+Status SockBuffer::WriteAll(std::string_view data) {
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(limits_.write_timeout_ms);
+  size_t written = 0;
+  while (written < data.size()) {
+    if (shutdown_requested()) return Status::Unavailable("session shut down");
+    long long remaining = RemainingMs(deadline);
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(
+          "write timed out after " +
+          std::to_string(limits_.write_timeout_ms) + "ms");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll: ") + strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded(
+          "write timed out after " +
+          std::to_string(limits_.write_timeout_ms) + "ms");
+    }
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
+    // process-wide SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Unavailable(std::string("send: ") + strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbpc

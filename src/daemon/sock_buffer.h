@@ -1,0 +1,85 @@
+#ifndef DBPC_DAEMON_SOCK_BUFFER_H_
+#define DBPC_DAEMON_SOCK_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpc {
+
+/// Buffered line-oriented I/O over a connected socket, with the defensive
+/// posture of a public-facing session layer:
+///
+///  - Every read call carries a whole-call deadline (`read_timeout_ms`
+///    measured from the call, not per chunk), so a peer trickling one byte
+///    per poll interval — the slow-loris pattern — cannot hold a session
+///    thread past the timeout.
+///  - `ReadLine` enforces `max_line_bytes` before a newline arrives;
+///    an oversized line is a structured kInvalidArgument error, not an
+///    unbounded buffer.
+///  - Writes poll for writability with their own deadline, so a peer that
+///    stops draining its receive window cannot block the server forever.
+///
+/// Errors are structured Status values: kDeadlineExceeded for timeouts,
+/// kUnavailable when the peer closed the connection, kInvalidArgument for
+/// oversized lines, kInternal for unexpected syscall failures. The session
+/// loop (daemon.cc) maps these onto wire errors / teardown; none of them
+/// throw.
+class SockBuffer {
+ public:
+  struct Limits {
+    int read_timeout_ms = 10000;
+    int write_timeout_ms = 10000;
+    size_t max_line_bytes = 4096;
+  };
+
+  /// Takes ownership of `fd` (closed by the destructor).
+  SockBuffer(int fd, Limits limits);
+  ~SockBuffer();
+
+  SockBuffer(const SockBuffer&) = delete;
+  SockBuffer& operator=(const SockBuffer&) = delete;
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// terminator (a trailing '\r' is also stripped, so both LF and CRLF
+  /// framing work). Bytes after the newline stay buffered for the next
+  /// call.
+  Result<std::string> ReadLine();
+
+  /// Reads exactly `n` bytes (the counted payload of a SUBMIT / DATA
+  /// frame), honoring the same whole-call deadline.
+  Result<std::string> ReadExact(size_t n);
+
+  /// Writes all of `data`, polling for writability with the write
+  /// deadline.
+  Status WriteAll(std::string_view data);
+
+  /// Shuts the socket down in both directions, unblocking any thread
+  /// currently polling in a read. Safe to call from another thread; the
+  /// blocked read fails with kUnavailable. Idempotent.
+  void Shutdown();
+
+  /// True once Shutdown() was requested (the session should exit its loop).
+  bool shutdown_requested() const;
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Appends the next chunk from the socket to buffer_, waiting at most
+  /// until `deadline` (a steady_clock time point encoded in ms-from-now at
+  /// call time). Returns kUnavailable on EOF.
+  Status FillBuffer(long long deadline_ms_remaining);
+
+  int fd_;
+  Limits limits_;
+  std::string buffer_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_DAEMON_SOCK_BUFFER_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "generate/generator.h"
+#include "lang/parser.h"
 
 namespace dbpc {
 
@@ -73,11 +74,16 @@ Result<std::unique_ptr<ConversionService>> ConversionService::Create(
 }
 
 PipelineOutcome ConversionService::RunOne(const Program& program,
-                                          uint64_t sequence) {
+                                          uint64_t sequence, int deadline_ms,
+                                          SpanCollector* span_override,
+                                          std::string* generated) {
+  const int effective_deadline_ms =
+      deadline_ms > 0 ? deadline_ms : options_.deadline_ms;
   const uint64_t deadline_us =
-      static_cast<uint64_t>(options_.deadline_ms) * 1000;
+      static_cast<uint64_t>(effective_deadline_ms) * 1000;
   const int attempts = 1 + options_.retries;
-  SpanCollector* spans = options_.supervisor.spans;
+  SpanCollector* spans =
+      span_override != nullptr ? span_override : options_.supervisor.spans;
   std::string diagnostic;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) metrics_.GetCounter("service.retries")->Increment();
@@ -122,13 +128,14 @@ PipelineOutcome ConversionService::RunOne(const Program& program,
         gen_span.AddCounter("bytes", text.size());
         gen_span.End();
         metrics_.GetCounter("generator.bytes")->Increment(text.size());
+        if (generated != nullptr) *generated = std::move(text);
       }
       root.End();
       return outcome;
     }
     if (over_deadline) {
       metrics_.GetCounter("service.deadline_exceeded")->Increment();
-      diagnostic = "deadline of " + std::to_string(options_.deadline_ms) +
+      diagnostic = "deadline of " + std::to_string(effective_deadline_ms) +
                    "ms exceeded (attempt took " +
                    std::to_string(elapsed_us / 1000) + "ms)";
     } else {
@@ -143,20 +150,96 @@ PipelineOutcome ConversionService::RunOne(const Program& program,
                    (attempts == 1 ? " attempt" : " attempts"));
 }
 
+ConversionResponse ConversionService::Convert(const ConversionRequest& request,
+                                              JobId id) {
+  ConversionResponse response;
+  response.id = id;
+  response.program_name = request.name;
+  auto start = std::chrono::steady_clock::now();
+  Status valid = request.Validate();
+  if (!valid.ok()) {
+    metrics_.GetCounter("service.requests_invalid")->Increment();
+    response.state = JobState::kFailed;
+    response.status = std::move(valid);
+    return response;
+  }
+  Program program;
+  if (request.program.has_value()) {
+    program = *request.program;
+  } else {
+    Result<Program> parsed = ParseProgram(request.source);
+    if (!parsed.ok()) {
+      metrics_.GetCounter("service.requests_invalid")->Increment();
+      response.state = JobState::kFailed;
+      response.status = parsed.status();
+      response.latency_us = ElapsedMicros(start);
+      return response;
+    }
+    program = std::move(parsed).value();
+  }
+  if (!request.name.empty()) program.name = request.name;
+
+  // Per-request tracing uses a collector local to this job so concurrent
+  // jobs never share span state; the job id is the deterministic sequence.
+  SpanCollector local_spans;
+  std::string generated;
+  response.outcome =
+      RunOne(program, id == 0 ? 1 : id, request.deadline_ms,
+             request.trace ? &local_spans : nullptr, &generated);
+  response.state = JobState::kDone;
+  response.accepted = response.outcome.accepted;
+  response.classification = response.outcome.classification;
+  response.program_name = program.name;
+  response.converted_source = std::move(generated);
+  response.notes = response.outcome.conversion.notes;
+  if (request.trace) response.trace_text = local_spans.ToText();
+  response.latency_us = ElapsedMicros(start);
+  metrics_.GetCounter("service.requests")->Increment();
+  return response;
+}
+
 Result<SystemConversionReport> ConversionService::ConvertSystem(
-    const std::vector<Program>& programs) {
-  // Workers fill per-program slots; the report is assembled in input order
-  // afterwards, so completion order never shows in the output.
-  std::vector<PipelineOutcome> slots(programs.size());
+    const std::vector<ConversionRequest>& requests) {
+  // Workers fill per-request slots; the report is assembled in input order
+  // afterwards, so completion order never shows in the output. Batch runs
+  // trace through ServiceOptions (one collector, per-job sequences);
+  // ConversionRequest::trace is a single-job (daemon) knob and is ignored
+  // here so batch span forests stay byte-identical for any job count.
+  std::vector<PipelineOutcome> slots(requests.size());
+  auto run_request = [this](const ConversionRequest& request,
+                            uint64_t sequence) -> PipelineOutcome {
+    Status valid = request.Validate();
+    if (!valid.ok()) {
+      metrics_.GetCounter("service.requests_invalid")->Increment();
+      Program named;
+      named.name = request.name.empty() ? "request" : request.name;
+      return DegradedOutcome(named, valid.ToString());
+    }
+    if (request.program.has_value()) {
+      Program program = *request.program;
+      if (!request.name.empty()) program.name = request.name;
+      return RunOne(program, sequence, request.deadline_ms);
+    }
+    Result<Program> parsed = ParseProgram(request.source);
+    if (!parsed.ok()) {
+      metrics_.GetCounter("service.requests_invalid")->Increment();
+      Program named;
+      named.name = request.name.empty() ? "request" : request.name;
+      return DegradedOutcome(named, parsed.status().ToString());
+    }
+    Program program = std::move(parsed).value();
+    if (!request.name.empty()) program.name = request.name;
+    return RunOne(program, sequence, request.deadline_ms);
+  };
   if (options_.jobs == 1) {
     // Run on the caller's thread: jobs=1 is the reference serial mode.
-    for (size_t i = 0; i < programs.size(); ++i) {
-      slots[i] = RunOne(programs[i], i + 1);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      slots[i] = run_request(requests[i], i + 1);
     }
   } else {
-    for (size_t i = 0; i < programs.size(); ++i) {
-      pool_->Submit([this, &programs, &slots, i] {
-        slots[i] = RunOne(programs[i], i + 1);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      pool_->Submit([&run_request, &requests, &slots, i] {
+        slots[i] = run_request(requests[i], i + 1);
       });
     }
     pool_->Wait();
@@ -186,6 +269,18 @@ Result<SystemConversionReport> ConversionService::ConvertSystem(
   }
   metrics_.GetCounter("service.batches")->Increment();
   return report;
+}
+
+Result<SystemConversionReport> ConversionService::ConvertSystem(
+    const std::vector<Program>& programs) {
+  std::vector<ConversionRequest> requests;
+  requests.reserve(programs.size());
+  for (const Program& program : programs) {
+    ConversionRequest request;
+    request.program = program;
+    requests.push_back(std::move(request));
+  }
+  return ConvertSystem(requests);
 }
 
 }  // namespace dbpc

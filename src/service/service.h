@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "api/types.h"
 #include "common/metrics.h"
 #include "service/worker_pool.h"
 #include "supervisor/supervisor.h"
@@ -68,9 +69,25 @@ class ConversionService {
       Schema source, std::vector<const Transformation*> plan,
       ServiceOptions options = {});
 
-  /// Converts every program of an application system on the worker pool.
-  /// Never fails for per-program reasons (they degrade to refused); the
-  /// Result shape is kept for future batch-level failure modes.
+  /// Converts one request synchronously on the caller's thread and returns
+  /// the full response (parse errors -> JobState::kFailed; pipeline
+  /// failures degrade to refused but still JobState::kDone). Thread-safe:
+  /// the daemon's workers call this concurrently. `id` is echoed into the
+  /// response and doubles as the deterministic span sequence when the
+  /// request asks for tracing.
+  ConversionResponse Convert(const ConversionRequest& request, JobId id = 1);
+
+  /// Converts every request of an application system on the worker pool.
+  /// Never fails for per-request reasons (parse errors fail that request's
+  /// response, pipeline errors degrade to refused); the Result shape is
+  /// kept for future batch-level failure modes. `report.outcomes[i]`
+  /// corresponds to `requests[i]`.
+  Result<SystemConversionReport> ConvertSystem(
+      const std::vector<ConversionRequest>& requests);
+
+  /// Deprecated shim over the request-based ConvertSystem for callers that
+  /// hold parsed programs; kept for one release (see api/dbpc.h). Wraps
+  /// each program in a ConversionRequest with service-default options.
   Result<SystemConversionReport> ConvertSystem(
       const std::vector<Program>& programs);
 
@@ -82,6 +99,11 @@ class ConversionService {
   /// schema access and single-program conversion).
   const ConversionSupervisor& supervisor() const { return *supervisor_; }
 
+  /// The worker pool. ConvertSystem batches schedule on it; the daemon
+  /// submits its per-request Convert jobs to the same pool so one `jobs`
+  /// knob governs pipeline concurrency everywhere.
+  WorkerPool& pool() { return *pool_; }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -90,7 +112,13 @@ class ConversionService {
   /// Runs one program through the pipeline with retry + degradation;
   /// never throws. `sequence` is the program's 1-based batch index — the
   /// deterministic sort key for its span tree when tracing is on.
-  PipelineOutcome RunOne(const Program& program, uint64_t sequence);
+  /// `deadline_ms` overrides ServiceOptions::deadline_ms when > 0; `spans`
+  /// overrides the supervisor's collector (per-request tracing) when
+  /// non-null. When the conversion is accepted, `generated` (if non-null)
+  /// receives the generated CPL source so callers don't regenerate it.
+  PipelineOutcome RunOne(const Program& program, uint64_t sequence,
+                         int deadline_ms = 0, SpanCollector* spans = nullptr,
+                         std::string* generated = nullptr);
 
   ServiceOptions options_;
   MetricsRegistry metrics_;

@@ -1,0 +1,284 @@
+#include "daemon/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/types.h"
+
+namespace dbpc {
+namespace {
+
+// --- command lines ---------------------------------------------------------
+
+TEST(ParseCommandLineTest, Ping) {
+  Result<WireCommand> command = ParseCommandLine("PING");
+  ASSERT_TRUE(command.ok()) << command.status();
+  EXPECT_EQ(command->kind, CommandKind::kPing);
+}
+
+TEST(ParseCommandLineTest, SubmitWithAllOptions) {
+  Result<WireCommand> command =
+      ParseCommandLine("SUBMIT 123 name=SENIORS deadline_ms=250 trace=1");
+  ASSERT_TRUE(command.ok()) << command.status();
+  EXPECT_EQ(command->kind, CommandKind::kSubmit);
+  EXPECT_EQ(command->payload_bytes, 123u);
+  EXPECT_EQ(command->name, "SENIORS");
+  EXPECT_EQ(command->deadline_ms, 250);
+  EXPECT_TRUE(command->trace);
+}
+
+TEST(ParseCommandLineTest, SubmitIgnoresUnknownOptions) {
+  // Forward compatibility within a protocol version: a newer client may
+  // send options this daemon does not know.
+  Result<WireCommand> command =
+      ParseCommandLine("SUBMIT 7 shiny_new_option=yes");
+  ASSERT_TRUE(command.ok()) << command.status();
+  EXPECT_EQ(command->payload_bytes, 7u);
+}
+
+TEST(ParseCommandLineTest, SubmitNeedsPayloadSize) {
+  EXPECT_FALSE(ParseCommandLine("SUBMIT").ok());
+  EXPECT_FALSE(ParseCommandLine("SUBMIT notanumber").ok());
+  EXPECT_FALSE(ParseCommandLine("SUBMIT -5").ok());
+}
+
+TEST(ParseCommandLineTest, ResultWait) {
+  Result<WireCommand> command = ParseCommandLine("RESULT 42 WAIT");
+  ASSERT_TRUE(command.ok()) << command.status();
+  EXPECT_EQ(command->kind, CommandKind::kResult);
+  EXPECT_EQ(command->id, 42u);
+  EXPECT_TRUE(command->wait);
+
+  command = ParseCommandLine("RESULT 42");
+  ASSERT_TRUE(command.ok()) << command.status();
+  EXPECT_FALSE(command->wait);
+}
+
+TEST(ParseCommandLineTest, StatusNeedsJobId) {
+  EXPECT_FALSE(ParseCommandLine("STATUS").ok());
+  EXPECT_FALSE(ParseCommandLine("STATUS abc").ok());
+}
+
+TEST(ParseCommandLineTest, UnknownCommandIsStructuredError) {
+  Result<WireCommand> command = ParseCommandLine("FROBNICATE 1");
+  ASSERT_FALSE(command.ok());
+  EXPECT_EQ(command.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseCommandLineTest, RoundTripsThroughFormat) {
+  const char* lines[] = {"PING",      "SUBMIT 17 deadline_ms=9 trace=1",
+                         "STATUS 3",  "RESULT 3 WAIT",
+                         "METRICS",   "TRACE 8",
+                         "DRAIN",     "QUIT"};
+  for (const char* line : lines) {
+    Result<WireCommand> command = ParseCommandLine(line);
+    ASSERT_TRUE(command.ok()) << line << ": " << command.status();
+    EXPECT_EQ(FormatCommandLine(*command), line);
+  }
+}
+
+// --- reply lines -----------------------------------------------------------
+
+TEST(ParseReplyLineTest, OkWithFields) {
+  Result<WireReply> reply = ParseReplyLine("+OK id=12 state=queued");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->ok);
+  EXPECT_FALSE(reply->has_payload);
+  EXPECT_EQ(reply->fields.at("id"), "12");
+  EXPECT_EQ(reply->fields.at("state"), "queued");
+}
+
+TEST(ParseReplyLineTest, DataCarriesPayloadSize) {
+  Result<WireReply> reply = ParseReplyLine("+DATA 321 id=5");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->ok);
+  EXPECT_TRUE(reply->has_payload);
+  EXPECT_EQ(reply->payload_bytes, 321u);
+  EXPECT_EQ(reply->fields.at("id"), "5");
+}
+
+TEST(ParseReplyLineTest, ErrDecodesWireToken) {
+  Result<WireReply> reply =
+      ParseReplyLine("-ERR unavailable queue full; retry later");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->code, StatusCode::kUnavailable);
+  EXPECT_EQ(reply->message, "queue full; retry later");
+}
+
+TEST(ParseReplyLineTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseReplyLine("").ok());
+  EXPECT_FALSE(ParseReplyLine("HELLO").ok());
+  EXPECT_FALSE(ParseReplyLine("+DATA notasize").ok());
+}
+
+TEST(ReplyBuildersTest, ErrReplyKeepsOneLine) {
+  std::string line =
+      ErrReplyLine(Status::InvalidArgument("first\nsecond\nthird"));
+  // One terminator at the end, none embedded: framing survives any message.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  Result<WireReply> reply =
+      ParseReplyLine(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->code, StatusCode::kInvalidArgument);
+}
+
+TEST(ReplyBuildersTest, GreetingAdvertisesProtocol) {
+  std::string line = GreetingLine();
+  Result<WireReply> reply = ParseReplyLine(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(reply->fields.at("server"), "dbpcd");
+  EXPECT_EQ(reply->fields.at("proto"), std::to_string(kProtocolVersion));
+}
+
+// --- the wire-error table --------------------------------------------------
+
+TEST(WireErrorTest, TableIsStable) {
+  // These token strings are the wire contract (DAEMON.md): clients match
+  // on them, so a change here is a protocol break, not a rename.
+  EXPECT_STREQ(WireErrorName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(WireErrorName(StatusCode::kInvalidArgument), "bad-request");
+  EXPECT_STREQ(WireErrorName(StatusCode::kNotFound), "not-found");
+  EXPECT_STREQ(WireErrorName(StatusCode::kAlreadyExists), "already-exists");
+  EXPECT_STREQ(WireErrorName(StatusCode::kConstraintViolation), "constraint");
+  EXPECT_STREQ(WireErrorName(StatusCode::kParseError), "parse-error");
+  EXPECT_STREQ(WireErrorName(StatusCode::kTypeError), "type-error");
+  EXPECT_STREQ(WireErrorName(StatusCode::kNotConvertible), "refused");
+  EXPECT_STREQ(WireErrorName(StatusCode::kNeedsAnalyst), "needs-analyst");
+  EXPECT_STREQ(WireErrorName(StatusCode::kUnsupported), "unsupported");
+  EXPECT_STREQ(WireErrorName(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(WireErrorName(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(WireErrorName(StatusCode::kDeadlineExceeded), "deadline");
+}
+
+TEST(WireErrorTest, EveryCodeRoundTrips) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kConstraintViolation,
+        StatusCode::kParseError, StatusCode::kTypeError,
+        StatusCode::kNotConvertible, StatusCode::kNeedsAnalyst,
+        StatusCode::kUnsupported,
+        StatusCode::kInternal, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
+    Result<StatusCode> parsed = ParseWireError(WireErrorName(code));
+    ASSERT_TRUE(parsed.ok()) << WireErrorName(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(ParseWireError("no-such-token").ok());
+}
+
+TEST(JobStateTest, NamesRoundTrip) {
+  for (JobState state : {JobState::kQueued, JobState::kRunning,
+                         JobState::kDone, JobState::kFailed}) {
+    Result<JobState> parsed = ParseJobState(JobStateName(state));
+    ASSERT_TRUE(parsed.ok()) << JobStateName(state);
+    EXPECT_EQ(*parsed, state);
+  }
+  EXPECT_FALSE(ParseJobState("exploded").ok());
+}
+
+// --- submit / response codecs ----------------------------------------------
+
+TEST(SubmitCodecTest, RoundTrips) {
+  ConversionRequest request;
+  request.name = "SENIORS";
+  request.source = "PROGRAM SENIORS.\nEND PROGRAM.\n";
+  request.deadline_ms = 125;
+  request.trace = true;
+
+  std::string wire = EncodeSubmit(request);
+  // wire = command line + '\n' + payload + '\n'; split it back apart the
+  // way the session loop does.
+  size_t eol = wire.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  Result<WireCommand> command = ParseCommandLine(wire.substr(0, eol));
+  ASSERT_TRUE(command.ok()) << command.status();
+  EXPECT_EQ(command->payload_bytes, request.source.size());
+  std::string payload = wire.substr(eol + 1, command->payload_bytes);
+
+  ConversionRequest decoded = DecodeSubmit(*command, payload);
+  EXPECT_EQ(decoded.name, request.name);
+  EXPECT_EQ(decoded.source, request.source);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.trace, request.trace);
+}
+
+TEST(ResponseCodecTest, RoundTripsAcceptedConversion) {
+  ConversionResponse response;
+  response.id = 9;
+  response.state = JobState::kDone;
+  response.accepted = true;
+  response.classification = Convertibility::kAutomatic;
+  response.program_name = "SENIORS";
+  response.converted_source = "PROGRAM SENIORS.\nDISPLAY N.\nEND PROGRAM.\n";
+  response.notes = {"note one", "note two"};
+  response.trace_text = "convert_program\n  analyze\n";
+  response.latency_us = 1234;
+
+  std::string payload = EncodeResponsePayload(response);
+  std::string header_line =
+      DataReplyLine(payload.size(), ResponseFields(response));
+  Result<WireReply> reply =
+      ParseReplyLine(header_line.substr(0, header_line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+
+  Result<ConversionResponse> decoded = DecodeResponse(*reply, payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->id, 9u);
+  EXPECT_EQ(decoded->state, JobState::kDone);
+  EXPECT_TRUE(decoded->accepted);
+  EXPECT_EQ(decoded->classification, Convertibility::kAutomatic);
+  EXPECT_EQ(decoded->program_name, "SENIORS");
+  EXPECT_EQ(decoded->converted_source, response.converted_source);
+  EXPECT_EQ(decoded->notes, response.notes);
+  EXPECT_EQ(decoded->trace_text, response.trace_text);
+  EXPECT_EQ(decoded->latency_us, 1234u);
+}
+
+TEST(ResponseCodecTest, RoundTripsFailedJob) {
+  ConversionResponse response;
+  response.id = 4;
+  response.state = JobState::kFailed;
+  response.accepted = false;
+  response.status = Status::ParseError("line 3: expected FIND");
+
+  std::string payload = EncodeResponsePayload(response);
+  std::string header_line =
+      DataReplyLine(payload.size(), ResponseFields(response));
+  Result<WireReply> reply =
+      ParseReplyLine(header_line.substr(0, header_line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+
+  Result<ConversionResponse> decoded = DecodeResponse(*reply, payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->state, JobState::kFailed);
+  EXPECT_FALSE(decoded->accepted);
+  EXPECT_EQ(decoded->status.code(), StatusCode::kParseError);
+  EXPECT_NE(decoded->status.message().find("expected FIND"),
+            std::string::npos);
+}
+
+TEST(ResponseCodecTest, SourceWithSectionLookalikeLinesSurvives) {
+  // The sectioned payload must not be confused by payload lines that look
+  // like its own headers mid-source: header matching is exact.
+  ConversionResponse response;
+  response.id = 2;
+  response.state = JobState::kDone;
+  response.accepted = true;
+  response.converted_source = "LINE1\n== NOT A HEADER\nLINE3\n";
+
+  std::string payload = EncodeResponsePayload(response);
+  std::string header_line =
+      DataReplyLine(payload.size(), ResponseFields(response));
+  Result<WireReply> reply =
+      ParseReplyLine(header_line.substr(0, header_line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  Result<ConversionResponse> decoded = DecodeResponse(*reply, payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->converted_source, response.converted_source);
+}
+
+}  // namespace
+}  // namespace dbpc

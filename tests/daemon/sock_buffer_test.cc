@@ -1,0 +1,213 @@
+#include "daemon/sock_buffer.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace dbpc {
+namespace {
+
+/// A connected AF_UNIX pair: `reader` wraps one end, `peer_fd` is the raw
+/// other end driven directly by the test.
+struct Pair {
+  std::unique_ptr<SockBuffer> reader;
+  int peer_fd = -1;
+
+  explicit Pair(SockBuffer::Limits limits) {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    reader = std::make_unique<SockBuffer>(fds[0], limits);
+    peer_fd = fds[1];
+  }
+
+  ~Pair() {
+    if (peer_fd >= 0) ::close(peer_fd);
+  }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(peer_fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  void CloseWrite() {
+    ::shutdown(peer_fd, SHUT_WR);
+  }
+};
+
+SockBuffer::Limits FastLimits() {
+  return SockBuffer::Limits{/*read_timeout_ms=*/500,
+                            /*write_timeout_ms=*/500,
+                            /*max_line_bytes=*/64};
+}
+
+TEST(SockBufferTest, ReadsLineAndStripsTerminators) {
+  Pair pair(FastLimits());
+  pair.Send("PING\nSTATUS 1\r\n");
+  Result<std::string> line = pair.reader->ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status();
+  EXPECT_EQ(*line, "PING");
+  line = pair.reader->ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status();
+  EXPECT_EQ(*line, "STATUS 1");
+}
+
+TEST(SockBufferTest, ReassemblesLineFromPartialWrites) {
+  // A command line split across many TCP segments must come out whole —
+  // including a split in the middle of the terminator sequence.
+  Pair pair(FastLimits());
+  std::thread writer([&pair] {
+    for (const char* chunk : {"SUB", "MIT 1", "23 trace", "=1\r", "\n"}) {
+      pair.Send(chunk);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  Result<std::string> line = pair.reader->ReadLine();
+  writer.join();
+  ASSERT_TRUE(line.ok()) << line.status();
+  EXPECT_EQ(*line, "SUBMIT 123 trace=1");
+}
+
+TEST(SockBufferTest, ReadExactSpansBufferBoundaries) {
+  // Payload bytes arriving together with the command line stay buffered;
+  // the rest arrives later; ReadExact must splice both.
+  Pair pair(FastLimits());
+  pair.Send("SUBMIT 10\nabcd");
+  Result<std::string> line = pair.reader->ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status();
+  std::thread writer([&pair] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pair.Send("efghij");
+  });
+  Result<std::string> payload = pair.reader->ReadExact(10);
+  writer.join();
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  EXPECT_EQ(*payload, "abcdefghij");
+}
+
+TEST(SockBufferTest, OversizedLineIsStructuredError) {
+  Pair pair(FastLimits());
+  pair.Send(std::string(100, 'x'));  // no newline within max_line_bytes=64
+  Result<std::string> line = pair.reader->ReadLine();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SockBufferTest, ReadTimesOutAsDeadlineExceeded) {
+  Pair pair(FastLimits());
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> line = pair.reader->ReadLine();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, 400);
+}
+
+TEST(SockBufferTest, SlowTrickleCannotExtendTheDeadline) {
+  // The deadline is whole-call: a peer feeding one byte per poll interval
+  // must still be cut off at read_timeout_ms, not kept alive per byte.
+  Pair pair(FastLimits());
+  std::atomic<bool> done{false};
+  std::thread dripper([&pair, &done] {
+    while (!done.load()) {
+      ::send(pair.peer_fd, "x", 1, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> line = pair.reader->ReadLine();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  done.store(true);
+  dripper.join();
+  ASSERT_FALSE(line.ok());
+  // Either the deadline fired or the drip crossed max_line_bytes first;
+  // both are structured, and neither lets the call run unboundedly.
+  EXPECT_TRUE(line.status().code() == StatusCode::kDeadlineExceeded ||
+              line.status().code() == StatusCode::kInvalidArgument)
+      << line.status();
+  EXPECT_LT(elapsed, 5000);
+}
+
+TEST(SockBufferTest, PeerCloseIsUnavailable) {
+  Pair pair(FastLimits());
+  pair.Send("no newline");
+  pair.CloseWrite();
+  Result<std::string> line = pair.reader->ReadLine();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SockBufferTest, MidPayloadDisconnectIsUnavailable) {
+  // The mid-request disconnect shape: SUBMIT promised 100 bytes, the peer
+  // died after 5. ReadExact must fail structurally, not hang or return a
+  // short read.
+  Pair pair(FastLimits());
+  pair.Send("SUBMIT 100\nhello");
+  ASSERT_TRUE(pair.reader->ReadLine().ok());
+  pair.CloseWrite();
+  Result<std::string> payload = pair.reader->ReadExact(100);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SockBufferTest, ShutdownUnblocksAReadFromAnotherThread) {
+  Pair pair(SockBuffer::Limits{/*read_timeout_ms=*/30000,
+                               /*write_timeout_ms=*/30000,
+                               /*max_line_bytes=*/64});
+  std::thread unblocker([&pair] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pair.reader->Shutdown();
+  });
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> line = pair.reader->ReadLine();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  unblocker.join();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed, 5000);  // did not wait out the 30s timeout
+  EXPECT_TRUE(pair.reader->shutdown_requested());
+}
+
+TEST(SockBufferTest, WriteAllDeliversEverything) {
+  Pair pair(FastLimits());
+  std::string blob(256 * 1024, 'y');
+  std::string received;
+  // Drain concurrently: the blob exceeds any default socket buffer, so an
+  // unread peer would otherwise hit the write deadline.
+  std::thread drainer([&pair, &received, &blob] {
+    char chunk[4096];
+    while (received.size() < blob.size()) {
+      ssize_t n = ::recv(pair.peer_fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      received.append(chunk, static_cast<size_t>(n));
+    }
+  });
+  Status wrote = pair.reader->WriteAll(blob);
+  drainer.join();
+  ASSERT_TRUE(wrote.ok()) << wrote;
+  EXPECT_EQ(received, blob);
+}
+
+TEST(SockBufferTest, WriteToStalledPeerTimesOut) {
+  Pair pair(FastLimits());
+  // Nobody reads peer_fd: once both socket buffers fill, WriteAll must
+  // give up at the write deadline instead of blocking forever.
+  std::string blob(8 * 1024 * 1024, 'z');
+  Status wrote = pair.reader->WriteAll(blob);
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace dbpc

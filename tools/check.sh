@@ -17,6 +17,20 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== facade: tools/ and examples/ stay behind the public API =="
+# The only src/ headers a facade consumer may include are the facade
+# itself and the public request/response types. (tests/testing fixtures
+# are not src/ modules and stay allowed.)
+BAD_INCLUDES="$(grep -RnE '#include "[a-z_]+/' tools/*.cc examples/*.cpp \
+  | grep -vE '#include "(api/dbpc\.h|api/types\.h|testing/)' || true)"
+if [ -n "$BAD_INCLUDES" ]; then
+  echo "facade lint: tools/ and examples/ must include only api/dbpc.h or"
+  echo "api/types.h from src/. Offending includes:"
+  echo "$BAD_INCLUDES"
+  exit 1
+fi
+echo "facade lint ok"
+
 echo "== fuzz: fixed-seed differential sweep + regression corpus =="
 ./build/tools/dbpc_fuzz --seed 1 --iterations 200
 for repro in samples/fuzz-regressions/*.repro; do
@@ -48,11 +62,52 @@ echo "== bench: cost-based optimizer sanity (E10 --smoke) =="
 echo "== bench: indexed access-path sanity (E11 --smoke) =="
 ./build/bench/bench_index_paths --smoke
 
+echo "== bench: daemon load sanity (E13 --smoke) =="
+./build/bench/bench_daemon --smoke
+
+echo "== daemon: dbpcd end-to-end smoke (ephemeral port, burst, drain) =="
+rm -f "$TRACE_DIR/dbpcd.port"
+./build/tools/dbpcd --schema samples/company.ddl --plan samples/fig44.plan \
+  --port 0 --port-file "$TRACE_DIR/dbpcd.port" --jobs 4 \
+  --metrics-json "$TRACE_DIR/dbpcd.metrics.json" \
+  2> "$TRACE_DIR/dbpcd.log" &
+DBPCD_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  [ -s "$TRACE_DIR/dbpcd.port" ] && { PORT="$(cat "$TRACE_DIR/dbpcd.port")"; break; }
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "dbpcd smoke: daemon did not report a port"
+  cat "$TRACE_DIR/dbpcd.log"
+  kill "$DBPCD_PID" 2>/dev/null || true
+  exit 1
+fi
+# A short mixed burst (10% malformed payloads exercise the failed-job
+# path); dbpc_load exits nonzero if any request went unanswered.
+./build/tools/dbpc_load --port "$PORT" --connections 16 --duration-ms 1000 \
+  --malformed-pct 10 --trace-pct 5 --quiet \
+  --report "$TRACE_DIR/dbpc_load.json"
+# Graceful shutdown under SIGTERM must drain every admitted job (exit 0).
+kill -TERM "$DBPCD_PID"
+wait "$DBPCD_PID"
+grep -q "drained" "$TRACE_DIR/dbpcd.log"
+# The metrics snapshot and the load report must both be valid JSON.
+python3 - "$TRACE_DIR/dbpcd.metrics.json" "$TRACE_DIR/dbpc_load.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        json.load(f)
+print("daemon smoke: metrics and load report parse as JSON")
+EOF
+
 echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target service_test worker_pool_test metrics_test
+  --target service_test worker_pool_test metrics_test \
+           sock_buffer_test daemon_test
 (cd build-tsan/tests/service && ./worker_pool_test && ./service_test)
 (cd build-tsan/tests/common && ./metrics_test)
+(cd build-tsan/tests/daemon && ./sock_buffer_test && ./daemon_test)
 
 echo "== check.sh: all green =="

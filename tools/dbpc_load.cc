@@ -1,0 +1,338 @@
+// dbpc_load — load generator for a running dbpcd.
+//
+// Opens N concurrent sessions and drives closed-loop (or rate-limited)
+// SUBMIT + RESULT WAIT round trips for a fixed duration, then reports
+// client-observed latency percentiles, sustained conversions/sec and an
+// exact account of every request: accepted / refused / failed /
+// backpressured — and, the number that matters for the daemon's contract,
+// requests dropped without any response (a healthy daemon keeps this 0:
+// overload is answered with `-ERR unavailable`, never a silent drop).
+//
+//   dbpc_load --port 7411 --connections 64 --duration-ms 2000
+//
+// Flags:
+//   --host <addr>          daemon address (default 127.0.0.1)
+//   --port <n>             daemon port (required)
+//   --connections <n>      concurrent sessions (default 8)
+//   --duration-ms <n>      how long each session submits (default 2000)
+//   --rps <n>              global submit rate cap; 0 = closed loop (default)
+//   --deadline-ms <n>      per-request deadline_ms= on every SUBMIT
+//   --malformed-pct <n>    percent of payloads replaced by non-CPL garbage
+//                          (exercises the parse-error path; default 0)
+//   --trace-pct <n>        percent of submits with trace=1 (default 0)
+//   --program <file>       CPL payload source, repeatable; round-robin mix.
+//                          Without it, two embedded company-schema
+//                          programs are used.
+//   --report <file>        write the summary as JSON ("-" for stdout)
+//   --drain                finish by sending DRAIN and checking it succeeds
+//   --quiet                suppress the human-readable summary
+//
+// Exit status: 0 when every submitted request got a response (even an
+// error one) and any --drain succeeded; 1 otherwise; 2 on usage errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dbpc.h"
+
+namespace {
+
+using namespace dbpc;
+using Clock = std::chrono::steady_clock;
+
+// Payloads valid against samples/company.ddl — the schema the smoke and
+// bench daemons serve.
+const char* kSeniorsCpl = R"(PROGRAM SENIORS.
+  FOR EACH E IN FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) DO
+    GET EMP-NAME OF E INTO N.
+    DISPLAY N.
+  END-FOR.
+END PROGRAM.
+)";
+
+const char* kSalesRptCpl = R"(PROGRAM SALES-RPT.
+  FIND ANY DIV (DIV-NAME = 'MACHINERY').
+  FIND FIRST EMP WITHIN DIV-EMP USING (DEPT-NAME = 'SALES').
+  WHILE DB-STATUS = '0000' DO
+    GET EMP-NAME INTO N.
+    WRITE REPORT FROM N.
+    FIND NEXT EMP WITHIN DIV-EMP USING (DEPT-NAME = 'SALES').
+  END-WHILE.
+END PROGRAM.
+)";
+
+const char* kMalformedPayload = "THIS IS NOT A CPL PROGRAM AT ALL\n";
+
+struct WorkerTally {
+  std::vector<uint64_t> latencies_us;
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t refused = 0;       // kDone but not accepted
+  uint64_t failed = 0;        // JobState::kFailed (parse errors)
+  uint64_t backpressure = 0;  // -ERR unavailable on SUBMIT
+  uint64_t dropped = 0;       // no response at all (connection died)
+  uint64_t connect_errors = 0;
+};
+
+struct LoadConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int duration_ms = 2000;
+  int rps = 0;
+  int deadline_ms = 0;
+  int malformed_pct = 0;
+  int trace_pct = 0;
+  std::vector<std::string> payloads;
+};
+
+uint64_t PercentileUs(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(p / 100.0 *
+                                     static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+void RunWorker(const LoadConfig& config, int worker_index,
+               std::atomic<uint64_t>* rate_tickets, Clock::time_point start,
+               WorkerTally* tally) {
+  Result<std::unique_ptr<DaemonClient>> client =
+      DaemonClient::Connect(config.host, config.port);
+  if (!client.ok()) {
+    ++tally->connect_errors;
+    return;
+  }
+  Clock::time_point deadline =
+      start + std::chrono::milliseconds(config.duration_ms);
+  // Deterministic per-worker mix (no global RNG: runs are reproducible).
+  uint64_t sequence = static_cast<uint64_t>(worker_index) * 7919;
+  while (Clock::now() < deadline) {
+    if (config.rps > 0) {
+      // Global token pacing: ticket k may not be submitted before
+      // start + k/rps.
+      uint64_t ticket = rate_tickets->fetch_add(1);
+      Clock::time_point not_before =
+          start + std::chrono::microseconds(ticket * 1000000ull /
+                                            static_cast<uint64_t>(config.rps));
+      std::this_thread::sleep_until(not_before);
+      if (Clock::now() >= deadline) break;
+    }
+    ++sequence;
+    ConversionRequest request;
+    bool malformed =
+        config.malformed_pct > 0 &&
+        sequence % 100 < static_cast<uint64_t>(config.malformed_pct);
+    request.source =
+        malformed ? kMalformedPayload
+                  : config.payloads[sequence % config.payloads.size()];
+    request.deadline_ms = config.deadline_ms;
+    request.trace = config.trace_pct > 0 &&
+                    (sequence + 50) % 100 <
+                        static_cast<uint64_t>(config.trace_pct);
+    Clock::time_point submit_start = Clock::now();
+    Result<JobId> id = (*client)->Submit(request);
+    ++tally->submitted;
+    if (!id.ok()) {
+      if (id.status().code() == StatusCode::kUnavailable &&
+          id.status().message().find("connect") == std::string::npos) {
+        // The daemon answered with backpressure — a response, not a drop —
+        // unless the transport itself died (peer closed / send failed).
+        if (id.status().message().find("closed") != std::string::npos ||
+            id.status().message().find("send:") != std::string::npos ||
+            id.status().message().find("recv:") != std::string::npos) {
+          ++tally->dropped;
+          return;
+        }
+        ++tally->backpressure;
+        continue;
+      }
+      ++tally->dropped;
+      return;  // transport error: the session is unusable
+    }
+    Result<ConversionResponse> response = (*client)->Fetch(*id, true);
+    if (!response.ok()) {
+      ++tally->dropped;
+      return;
+    }
+    tally->latencies_us.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              submit_start)
+            .count()));
+    if (response->state == JobState::kFailed) {
+      ++tally->failed;
+    } else if (response->accepted) {
+      ++tally->accepted;
+    } else {
+      ++tally->refused;
+    }
+  }
+  (*client)->Quit();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dbpc_load --port <n> [--host <addr>] [--connections <n>] "
+      "[--duration-ms <n>] [--rps <n>] [--deadline-ms <n>] "
+      "[--malformed-pct <n>] [--trace-pct <n>] [--program <file>]... "
+      "[--report <file>] [--drain] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  std::string report_path;
+  bool drain = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](int* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoi(argv[++i]);
+      return true;
+    };
+    if (arg == "--host" && i + 1 < argc) {
+      config.host = argv[++i];
+    } else if (arg == "--port") {
+      if (!next(&config.port)) return Usage();
+    } else if (arg == "--connections") {
+      if (!next(&config.connections)) return Usage();
+    } else if (arg == "--duration-ms") {
+      if (!next(&config.duration_ms)) return Usage();
+    } else if (arg == "--rps") {
+      if (!next(&config.rps)) return Usage();
+    } else if (arg == "--deadline-ms") {
+      if (!next(&config.deadline_ms)) return Usage();
+    } else if (arg == "--malformed-pct") {
+      if (!next(&config.malformed_pct)) return Usage();
+    } else if (arg == "--trace-pct") {
+      if (!next(&config.trace_pct)) return Usage();
+    } else if (arg == "--program" && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      if (!in) {
+        std::fprintf(stderr, "dbpc_load: cannot open %s\n", argv[i]);
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      config.payloads.push_back(buffer.str());
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--drain") {
+      drain = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (config.port <= 0 || config.connections < 1 || config.duration_ms < 1 ||
+      config.malformed_pct < 0 || config.malformed_pct > 100 ||
+      config.trace_pct < 0 || config.trace_pct > 100) {
+    return Usage();
+  }
+  if (config.payloads.empty()) {
+    config.payloads = {kSeniorsCpl, kSalesRptCpl};
+  }
+
+  std::vector<WorkerTally> tallies(config.connections);
+  std::vector<std::thread> workers;
+  std::atomic<uint64_t> rate_tickets{0};
+  Clock::time_point start = Clock::now();
+  for (int i = 0; i < config.connections; ++i) {
+    workers.emplace_back(RunWorker, std::cref(config), i, &rate_tickets,
+                         start, &tallies[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  double elapsed_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         Clock::now() - start)
+                         .count();
+
+  WorkerTally total;
+  std::vector<uint64_t> latencies;
+  for (const WorkerTally& tally : tallies) {
+    total.submitted += tally.submitted;
+    total.accepted += tally.accepted;
+    total.refused += tally.refused;
+    total.failed += tally.failed;
+    total.backpressure += tally.backpressure;
+    total.dropped += tally.dropped;
+    total.connect_errors += tally.connect_errors;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(),
+                     tally.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  uint64_t p50 = PercentileUs(latencies, 50);
+  uint64_t p99 = PercentileUs(latencies, 99);
+  double rps_done =
+      elapsed_s > 0 ? static_cast<double>(latencies.size()) / elapsed_s : 0;
+
+  Status drained = Status::OK();
+  if (drain) {
+    Result<std::unique_ptr<DaemonClient>> client =
+        DaemonClient::Connect(config.host, config.port);
+    drained = client.ok() ? (*client)->Drain() : client.status();
+  }
+
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"connections\": %d,\n"
+      "  \"duration_s\": %.3f,\n"
+      "  \"submitted\": %llu,\n"
+      "  \"accepted\": %llu,\n"
+      "  \"refused\": %llu,\n"
+      "  \"failed\": %llu,\n"
+      "  \"backpressure\": %llu,\n"
+      "  \"dropped_without_response\": %llu,\n"
+      "  \"connect_errors\": %llu,\n"
+      "  \"conversions_per_sec\": %.1f,\n"
+      "  \"p50_us\": %llu,\n"
+      "  \"p99_us\": %llu,\n"
+      "  \"drain\": \"%s\"\n"
+      "}\n",
+      config.connections, elapsed_s,
+      static_cast<unsigned long long>(total.submitted),
+      static_cast<unsigned long long>(total.accepted),
+      static_cast<unsigned long long>(total.refused),
+      static_cast<unsigned long long>(total.failed),
+      static_cast<unsigned long long>(total.backpressure),
+      static_cast<unsigned long long>(total.dropped),
+      static_cast<unsigned long long>(total.connect_errors),
+      rps_done, static_cast<unsigned long long>(p50),
+      static_cast<unsigned long long>(p99),
+      drain ? drained.ToString().c_str() : "not requested");
+
+  if (!quiet) std::fputs(buffer, stderr);
+  if (!report_path.empty()) {
+    if (report_path == "-") {
+      std::fputs(buffer, stdout);
+    } else {
+      std::ofstream out(report_path);
+      if (!out) {
+        std::fprintf(stderr, "dbpc_load: cannot write %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+      out << buffer;
+    }
+  }
+  bool clean = total.dropped == 0 && total.connect_errors == 0 &&
+               (!drain || drained.ok());
+  return clean ? 0 : 1;
+}

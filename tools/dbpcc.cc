@@ -224,7 +224,17 @@ int main(int argc, char** argv) {
     programs.push_back(std::move(program).value());
   }
 
-  Result<SystemConversionReport> report = (*service)->ConvertSystem(programs);
+  // Submit through the public request type (api/types.h): the same model
+  // the dbpcd wire protocol carries, so the CLI and the network path are
+  // exercised identically.
+  std::vector<ConversionRequest> requests;
+  requests.reserve(programs.size());
+  for (const Program& program : programs) {
+    ConversionRequest request;
+    request.program = program;
+    requests.push_back(std::move(request));
+  }
+  Result<SystemConversionReport> report = (*service)->ConvertSystem(requests);
   if (!report.ok()) return Fail(report.status(), "conversion");
 
   if (advise) {
