@@ -339,28 +339,38 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
     }
 
     case CommandKind::kTrace: {
-      std::shared_ptr<Job> job;
+      // State and trace are copied out under jobs_mu_: RunJob writes
+      // job->response and job->state under the same lock, so reading them
+      // unlocked while the job runs would race (mirrors kResult).
+      bool found = false;
+      bool finished = false;
+      JobState state = JobState::kQueued;
+      std::string payload;
       {
         std::lock_guard<std::mutex> lock(jobs_mu_);
         auto it = jobs_.find(command.id);
-        if (it != jobs_.end()) job = it->second;
+        if (it != jobs_.end()) {
+          found = true;
+          state = it->second->state;
+          finished =
+              state == JobState::kDone || state == JobState::kFailed;
+          if (finished) payload = it->second->response.trace_text;
+        }
       }
-      if (job == nullptr) {
+      if (!found) {
         return sock.WriteAll(ErrReplyLine(Status::NotFound(
             "no such job " + std::to_string(command.id))));
       }
-      if (job->state != JobState::kDone &&
-          job->state != JobState::kFailed) {
+      if (!finished) {
         return sock.WriteAll(ErrReplyLine(Status::Unavailable(
             "job " + std::to_string(command.id) + " is still " +
-            JobStateName(job->state))));
+            JobStateName(state))));
       }
-      if (job->response.trace_text.empty()) {
+      if (payload.empty()) {
         return sock.WriteAll(ErrReplyLine(Status::NotFound(
             "job " + std::to_string(command.id) +
             " was not submitted with trace=1")));
       }
-      const std::string& payload = job->response.trace_text;
       DBPC_RETURN_IF_ERROR(sock.WriteAll(DataReplyLine(
           payload.size(), {{"id", std::to_string(command.id)}})));
       DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
@@ -482,6 +492,11 @@ void ConversionDaemon::Stop() {
   if (!stopping_.compare_exchange_strong(expected, true)) {
     // Second Stop (e.g. destructor after an explicit Stop): the first one
     // already joined everything.
+    return;
+  }
+  if (service_ == nullptr) {
+    // Start() failed before the service existed: no metric handles, no
+    // listener, no threads — Drain()/pool().Wait() would dereference null.
     return;
   }
   // Stop admitting jobs and wait for admitted ones (best effort; Stop

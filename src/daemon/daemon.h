@@ -53,8 +53,10 @@ struct DaemonOptions {
   /// with kDeadlineExceeded.
   int drain_grace_ms = 30000;
   /// How long a `RESULT <id> WAIT` blocks server-side before answering
-  /// `-ERR deadline`. Keep below the client's read timeout.
-  int result_wait_ms = 30000;
+  /// `-ERR deadline`. Keep below the client's read timeout — a reply that
+  /// arrives after the client gave up desyncs any reused session — hence
+  /// the default sits under SockBuffer's default 10000ms read deadline.
+  int result_wait_ms = 8000;
   /// Completed jobs retained for RESULT/TRACE queries; older results are
   /// evicted FIFO (their RESULT then answers `-ERR not-found`).
   int max_retained_results = 8192;

@@ -44,6 +44,22 @@ std::string OneLine(const std::string& text) {
   return out;
 }
 
+/// Collapses a value into one wire token. The command tokenizer splits on
+/// whitespace, so a name containing a space would shift framing and a
+/// '\n' would outright inject a command line; both become '_' here (as do
+/// other control characters) instead of trusting every caller to know the
+/// framing rules.
+std::string SingleToken(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (static_cast<unsigned char>(c) <= ' ' ||
+        static_cast<unsigned char>(c) == 0x7f) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
 Result<Convertibility> ParseConvertibility(const std::string& name) {
   if (name == "automatic") return Convertibility::kAutomatic;
   if (name == "needs-analyst") return Convertibility::kNeedsAnalyst;
@@ -159,7 +175,7 @@ std::string FormatCommandLine(const WireCommand& command) {
              (command.wait ? " WAIT" : "");
     case CommandKind::kSubmit: {
       std::string line = "SUBMIT " + std::to_string(command.payload_bytes);
-      if (!command.name.empty()) line += " name=" + command.name;
+      if (!command.name.empty()) line += " name=" + SingleToken(command.name);
       if (command.deadline_ms > 0) {
         line += " deadline_ms=" + std::to_string(command.deadline_ms);
       }

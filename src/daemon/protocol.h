@@ -88,6 +88,10 @@ std::string GreetingLine();
 
 /// Encodes a SUBMIT as command line + counted payload + terminator,
 /// ready to write to the socket. The payload is the request's CPL source.
+/// The name rides the command line as a single `name=` token, so
+/// whitespace and control characters in it are replaced with '_' — they
+/// would otherwise break the space-delimited framing (a '\n' would inject
+/// a command line the server executes against a desynced payload).
 std::string EncodeSubmit(const ConversionRequest& request);
 
 /// Builds the request a SUBMIT command + payload describe (daemon side).

@@ -282,6 +282,80 @@ TEST(DaemonTest, TraceIsServedOnlyForTracedJobs) {
   EXPECT_NE(trace->find("convert SENIORS"), std::string::npos) << *trace;
 }
 
+TEST(DaemonTest, TraceOnAnUnfinishedJobIsAnsweredNotRaced) {
+  DaemonOptions options = TestOptions();
+  options.service.jobs = 1;
+  // The only worker blocks until released, so the job is provably
+  // unfinished while TRACE probes it. Before the fix the TRACE handler
+  // read job state and trace text without the job-table lock, racing
+  // RunJob's completion writes.
+  std::atomic<bool> release{false};
+  options.service.pipeline_override =
+      [&release](const Program& program) -> Result<PipelineOutcome> {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    PipelineOutcome outcome;
+    outcome.accepted = true;
+    outcome.conversion.converted.name = program.name;
+    return outcome;
+  };
+  Fixture fixture(std::move(options));
+  std::unique_ptr<DaemonClient> client = fixture.Connect();
+
+  ConversionRequest request;
+  request.source = kSeniorsCpl;
+  request.trace = true;
+  Result<JobId> id = client->Submit(request);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  std::unique_ptr<DaemonClient> prober = fixture.Connect();
+  // While the worker is provably blocked, every probe answers structured
+  // unavailable.
+  for (int i = 0; i < 5; ++i) {
+    Result<std::string> trace = prober->Trace(*id);
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.status().code(), StatusCode::kUnavailable);
+  }
+
+  // Hammer TRACE across the completion moment, so probes overlap
+  // RunJob's writes of job->state and job->response (TSan flags the
+  // pre-fix unlocked reads here).
+  std::thread hammer([&prober, &id] {
+    for (int i = 0; i < 300; ++i) prober->Trace(*id);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  release.store(true);
+  Result<ConversionResponse> response = client->Fetch(*id, /*wait=*/true);
+  hammer.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->state, JobState::kDone);
+  // After completion the probe session still gets definitive answers —
+  // never a torn read.
+  prober->Trace(*id);
+  EXPECT_TRUE(prober->Ping().ok());
+}
+
+TEST(DaemonTest, StartFailureIsACleanErrorNotACrash) {
+  // This plan parses but cannot apply to the company schema (no such
+  // set), so ConversionService::Create fails after DaemonOptions already
+  // validated. Start must return that error; destroying the partially
+  // constructed daemon must not touch the never-wired service, metric
+  // handles, or listener.
+  RestructuringPlan bad = std::move(ParsePlan(R"(
+RESTRUCTURE PLAN BAD.
+  INTRODUCE RECORD DEPT BETWEEN NO-SUCH-SET GROUPING BY DEPT-NAME
+      AS DIV-DEPT AND DEPT-EMP.
+END PLAN.
+)"))
+                              .value();
+  Schema schema = testing::MakeDatabase(testing::CompanyDdl()).schema();
+  Result<std::unique_ptr<ConversionDaemon>> started =
+      ConversionDaemon::Start(schema, bad.View(), TestOptions());
+  ASSERT_FALSE(started.ok());
+  EXPECT_FALSE(started.status().message().empty());
+}
+
 TEST(DaemonTest, MetricsSnapshotIsServed) {
   Fixture fixture;
   std::unique_ptr<DaemonClient> client = fixture.Connect();

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "daemon/daemon.h"
+#include "daemon/sock_buffer.h"
 #include "service/service.h"
 
 namespace dbpc {
@@ -40,6 +41,15 @@ TEST(DaemonOptionsTest, RejectsOutOfRangePort) {
   EXPECT_TRUE(options.Validate().ok());
   options.port = 65535;
   EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(DaemonOptionsTest, DefaultResultWaitStaysBelowClientReadTimeout) {
+  // A `RESULT <id> WAIT` held server-side past the client's read deadline
+  // desyncs any reused session (the late reply is read as the answer to
+  // the next command), so out of the box the server must give up first.
+  DaemonOptions options;
+  SockBuffer::Limits client_defaults;
+  EXPECT_LT(options.result_wait_ms, client_defaults.read_timeout_ms);
 }
 
 TEST(DaemonOptionsTest, RejectsNonPositiveKnobs) {

@@ -66,6 +66,24 @@ TEST(ParseCommandLineTest, UnknownCommandIsStructuredError) {
   EXPECT_EQ(command.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ParseCommandLineTest, EncodeSubmitSanitizesHostileNames) {
+  // A name with whitespace would shift the space-delimited framing and a
+  // '\n' would inject a command line; the codec must keep name a single
+  // token so the SUBMIT line always parses server-side.
+  ConversionRequest request;
+  request.source = "PROGRAM X.\n";
+  request.name = "bad name\nSUBMIT 0 injected";
+  std::string wire = EncodeSubmit(request);
+  std::string line = wire.substr(0, wire.find('\n'));
+  Result<WireCommand> command = ParseCommandLine(line);
+  ASSERT_TRUE(command.ok()) << command.status() << " line: " << line;
+  EXPECT_EQ(command->kind, CommandKind::kSubmit);
+  EXPECT_EQ(command->payload_bytes, request.source.size());
+  EXPECT_EQ(command->name, "bad_name_SUBMIT_0_injected");
+  // The payload block is byte-identical to the source.
+  EXPECT_EQ(wire.substr(line.size() + 1), request.source + "\n");
+}
+
 TEST(ParseCommandLineTest, RoundTripsThroughFormat) {
   const char* lines[] = {"PING",      "SUBMIT 17 deadline_ms=9 trace=1",
                          "STATUS 3",  "RESULT 3 WAIT",
