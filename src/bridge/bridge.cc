@@ -1,6 +1,7 @@
 #include "bridge/bridge.h"
 
 #include "common/string_util.h"
+#include "storage/extent.h"
 
 namespace dbpc {
 
@@ -18,29 +19,98 @@ Result<BridgeRunner> BridgeRunner::Create(
 
 namespace {
 
-/// Cheap content fingerprint of a database for the differential check.
+/// Appends the literal rendering of column `col` row `r`. Dictionary
+/// columns memoize the quoted literal per code in `dict_literals` so a
+/// string repeated across the extent is escaped once, not once per row.
+void AppendColumnLiteral(const ExtentColumn& col, size_t r,
+                         std::vector<std::string>* dict_literals,
+                         std::string* out) {
+  if (col.IsNull(r)) {
+    *out += "NULL";
+    return;
+  }
+  if (col.has_exceptions()) {
+    auto it = col.exceptions().find(r);
+    if (it != col.exceptions().end()) {
+      *out += it->second.ToLiteral();
+      return;
+    }
+  }
+  switch (col.declared()) {
+    case FieldType::kInt:
+      *out += std::to_string(col.ints()[r]);
+      return;
+    case FieldType::kDouble:
+      *out += Value::Double(col.doubles()[r]).ToLiteral();
+      return;
+    case FieldType::kString:
+      if (col.dictionary_encoded()) {
+        if (dict_literals->size() != col.dictionary().size()) {
+          dict_literals->resize(col.dictionary().size());
+        }
+        std::string& lit = (*dict_literals)[col.codes()[r]];
+        // A string literal is always quoted, so empty means not-yet-built.
+        if (lit.empty()) {
+          lit = Value::String(col.dictionary()[col.codes()[r]]).ToLiteral();
+        }
+        *out += lit;
+      } else {
+        *out += Value::String(col.plain()[r]).ToLiteral();
+      }
+      return;
+  }
+}
+
+/// Cheap content fingerprint of a database for the differential check:
+/// per-type columnar field dumps (via extent snapshots) plus per-set
+/// member sequences. Only ever compared against itself before and after
+/// one interpreter run, so the exact format just has to be a function of
+/// database content; member order is included, so a run that only
+/// reorders a sorted set still retranslates.
 std::string Fingerprint(const Database& db) {
   std::string out;
-  for (RecordId id : db.raw_store().AllRecords()) {
-    const StoredRecord* rec = db.raw_store().Get(id);
-    out += rec->type;
-    out += '|';
-    for (const auto& [field, value] : rec->fields) {
-      out += field;
-      out += '=';
-      out += value.ToLiteral();
-      out += ';';
-    }
-    for (const SetDef& set : db.schema().sets()) {
-      RecordId owner = db.raw_store().OwnerOf(ToUpper(set.name), id);
-      if (owner != 0) {
-        out += set.name;
-        out += '@';
-        out += std::to_string(owner);
-        out += ';';
+  for (const RecordTypeDef& rec : db.schema().record_types()) {
+    Result<ExtentTable> table = db.SnapshotExtents(rec.name);
+    if (!table.ok()) continue;
+    out += rec.name;
+    out += ":\n";
+    table->Scan([&](const Extent& extent, size_t /*first_row*/) {
+      std::vector<std::vector<std::string>> dict_literals(extent.columns());
+      for (size_t r = 0; r < extent.rows(); ++r) {
+        out += std::to_string(extent.ids()[r]);
+        out += '|';
+        for (size_t c = 0; c < extent.columns(); ++c) {
+          out += table->field_names()[c];
+          out += '=';
+          AppendColumnLiteral(extent.column(c), r, &dict_literals[c], &out);
+          out += ';';
+        }
+        out += '\n';
+      }
+    });
+  }
+  for (const SetDef& set : db.schema().sets()) {
+    const std::string upper = ToUpper(set.name);
+    out += upper;
+    out += ":\n";
+    auto append_occurrence = [&](RecordId owner) {
+      const std::vector<RecordId>& members = db.raw_store().Members(upper, owner);
+      if (members.empty()) return;
+      out += std::to_string(owner);
+      out += '<';
+      for (RecordId m : members) {
+        out += std::to_string(m);
+        out += ',';
+      }
+      out += '\n';
+    };
+    if (set.system_owned()) {
+      append_occurrence(kSystemOwner);
+    } else {
+      for (RecordId owner : db.raw_store().AllOfType(ToUpper(set.owner))) {
+        append_occurrence(owner);
       }
     }
-    out += '\n';
   }
   return out;
 }

@@ -333,6 +333,83 @@ void Database::RebuildIndexes() {
   for (auto& [key, probe] : unique_probes_) {
     probe.unusable = 0;
   }
+  // Fast path: when every live record carries its canonical (upper-case
+  // schema) type string — true for anything StoreRecord or BulkLoad ever
+  // inserted — rebuild type by type from the ascending id directories,
+  // with the per-type index, probe, and constraint lookups hoisted out of
+  // the record loop. Appending to buckets in directory order keeps them
+  // sorted without per-record insertion sorts.
+  size_t covered = 0;
+  for (const RecordTypeDef& type : schema_.record_types()) {
+    covered += store_.OfType(ToUpper(type.name)).size();
+  }
+  if (covered == store_.LiveCount()) {
+    for (const RecordTypeDef& type : schema_.record_types()) {
+      const std::string type_upper = ToUpper(type.name);
+      const std::string prefix = type_upper + kIndexKeySep;
+      struct SecondaryTarget {
+        std::string field;
+        FieldIndex* index;
+      };
+      std::vector<SecondaryTarget> secondary;
+      for (auto it = field_indexes_.lower_bound(prefix);
+           it != field_indexes_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0;
+           ++it) {
+        secondary.push_back({it->first.substr(prefix.size()), &it->second});
+      }
+      struct ProbeTarget {
+        std::string field;
+        UniqueProbe* probe;
+      };
+      std::vector<ProbeTarget> probes;
+      for (auto it = unique_probes_.lower_bound(prefix);
+           it != unique_probes_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0;
+           ++it) {
+        probes.push_back({it->first.substr(prefix.size()), &it->second});
+      }
+      std::vector<const ConstraintDef*> uniques;
+      for (const ConstraintDef& c : schema_.constraints()) {
+        if (c.kind == ConstraintKind::kUniqueness &&
+            EqualsIgnoreCase(c.record, type.name)) {
+          uniques.push_back(&c);
+        }
+      }
+      if (secondary.empty() && probes.empty() && uniques.empty()) continue;
+      for (RecordId id : store_.OfType(type_upper)) {
+        const StoredRecord* rec = store_.Get(id);
+        for (auto& target : secondary) {
+          auto fit = rec->fields.find(target.field);
+          if (fit == rec->fields.end() || fit->second.is_null()) continue;
+          std::optional<std::string> key =
+              StoredIndexKey(target.index->numeric, fit->second);
+          if (!key.has_value()) {
+            ++target.index->unusable;
+            continue;
+          }
+          target.index->buckets[*key].push_back(id);
+        }
+        for (auto& target : probes) {
+          auto fit = rec->fields.find(target.field);
+          if (fit == rec->fields.end() || fit->second.is_null()) continue;
+          if (!UniqueProbeUsable(target.probe->type, fit->second)) {
+            ++target.probe->unusable;
+          }
+        }
+        for (const ConstraintDef* c : uniques) {
+          Result<std::optional<std::string>> key =
+              UniqueKeyOf(*c, rec->fields);
+          if (key.ok() && (*key).has_value()) {
+            unique_index_[c->name][**key] = id;
+          }
+        }
+      }
+    }
+    return;
+  }
+  // Legacy path for stores holding oddly-cased or unknown type strings
+  // (only reachable through mutable_store()): the original global walk.
   for (RecordId id : store_.AllRecords()) {
     const StoredRecord* rec = store_.Get(id);
     IndexInsert(*rec);
@@ -347,6 +424,67 @@ void Database::RebuildIndexes() {
       }
     }
   }
+}
+
+Result<ExtentTable> Database::SnapshotExtents(const std::string& type) const {
+  const RecordTypeDef* def = schema_.FindRecordType(type);
+  if (def == nullptr) {
+    return Status::NotFound("record type " + type);
+  }
+  std::vector<std::string> names;
+  std::vector<FieldType> types;
+  names.reserve(def->fields.size());
+  types.reserve(def->fields.size());
+  for (const FieldDef& f : def->fields) {
+    if (f.is_virtual) continue;
+    names.push_back(ToUpper(f.name));
+    types.push_back(f.type);
+  }
+  // A raw-store scan, not navigational access: no OpStats accounting, so
+  // diagnostic consumers (statistics collection, fingerprints) can snapshot
+  // without disturbing the counters a program run is being measured by.
+  return ExtentTable::FromStore(store_, ToUpper(def->name), std::move(names),
+                                std::move(types));
+}
+
+Result<std::vector<RecordId>> Database::BulkLoad(const ExtentTable& table) {
+  const RecordTypeDef* def = schema_.FindRecordType(table.type());
+  if (def == nullptr) {
+    return Status::NotFound("record type " + table.type());
+  }
+  for (const std::string& name : table.field_names()) {
+    const FieldDef* f = def->FindField(name);
+    if (f == nullptr) {
+      return Status::InvalidArgument("record type " + def->name +
+                                     " has no field " + name);
+    }
+    if (f->is_virtual) {
+      return Status::InvalidArgument("cannot bulk-load virtual field " +
+                                     def->name + "." + f->name);
+    }
+  }
+  const std::string type_upper = ToUpper(def->name);
+  // Column positions sorted by field name: each row's FieldMap is then
+  // built with end-position emplace_hints, linear in the column count.
+  std::vector<size_t> order(table.columns());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&table](size_t a, size_t b) {
+    return table.field_names()[a] < table.field_names()[b];
+  });
+  std::vector<RecordId> ids;
+  ids.reserve(table.rows());
+  table.Scan([&](const Extent& extent, size_t) {
+    for (size_t r = 0; r < extent.rows(); ++r) {
+      FieldMap fields;
+      for (size_t c : order) {
+        fields.emplace_hint(fields.end(), table.field_names()[c],
+                            extent.column(c).At(r));
+      }
+      ids.push_back(store_.Insert(type_upper, std::move(fields)));
+    }
+  });
+  RebuildIndexes();
+  return ids;
 }
 
 Result<std::optional<std::string>> Database::UniqueKeyOf(

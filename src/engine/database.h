@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "engine/predicate.h"
 #include "schema/schema.h"
+#include "storage/extent.h"
 #include "storage/store.h"
 
 namespace dbpc {
@@ -178,6 +179,24 @@ class Database {
   /// Drops and rebuilds every access-path index (secondary and uniqueness)
   /// from the store. Call after bulk-loading through mutable_store().
   void RebuildIndexes();
+
+  // --- bulk extent path ---------------------------------------------------
+
+  /// Columnar snapshot of every live record of `type`: one column per
+  /// actual (non-virtual) field of the schema type, in declaration order,
+  /// rows ascending by id. A raw-store scan — no OpStats accounting — so
+  /// diagnostic consumers can snapshot without disturbing the counters.
+  /// Returns NotFound for an unknown record type.
+  Result<ExtentTable> SnapshotExtents(const std::string& type) const;
+
+  /// Bulk-loads every row of `table` into the store and rebuilds all
+  /// access-path indexes once at the end (the extent loader behind
+  /// "bulk-loading through mutable_store()"). Columns must name actual
+  /// fields of the table's record type; values are stored as-is — like a
+  /// mutable_store() load, nothing is coerced and no constraints or set
+  /// memberships are checked, so callers stage validated rows. Returns
+  /// the assigned record ids, ascending, one per row.
+  Result<std::vector<RecordId>> BulkLoad(const ExtentTable& table);
 
   /// Direct storage access for the data translator and tests. Mutating
   /// through this bypasses constraint enforcement *and* index maintenance;

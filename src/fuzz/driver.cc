@@ -12,6 +12,7 @@
 #include "lang/interpreter.h"
 #include "lang/parser.h"
 #include "optimize/stats.h"
+#include "restructure/data_copy.h"
 #include "restructure/plan_parser.h"
 #include "schema/ddl_parser.h"
 #include "supervisor/supervisor.h"
@@ -30,6 +31,8 @@ const char* FuzzStrategyName(FuzzStrategy s) {
       return "optimizer";
     case FuzzStrategy::kIndexDiff:
       return "index";
+    case FuzzStrategy::kColumnarDiff:
+      return "columnar";
   }
   return "unknown";
 }
@@ -40,13 +43,13 @@ Result<FuzzStrategy> ParseFuzzStrategyName(const std::string& name) {
   }
   return Status::InvalidArgument(
       "unknown strategy '" + name +
-      "' (want rewrite, emulation, bridge, optimizer or index)");
+      "' (want rewrite, emulation, bridge, optimizer, index or columnar)");
 }
 
 std::vector<FuzzStrategy> AllFuzzStrategies() {
-  return {FuzzStrategy::kRewrite, FuzzStrategy::kEmulation,
-          FuzzStrategy::kBridge, FuzzStrategy::kOptimizerDiff,
-          FuzzStrategy::kIndexDiff};
+  return {FuzzStrategy::kRewrite,       FuzzStrategy::kEmulation,
+          FuzzStrategy::kBridge,        FuzzStrategy::kOptimizerDiff,
+          FuzzStrategy::kIndexDiff,     FuzzStrategy::kColumnarDiff};
 }
 
 namespace {
@@ -349,6 +352,133 @@ StrategyRun RunIndexDiff(const PreparedCase& p, const Program* converted) {
   return out;
 }
 
+/// The columnar-differential axis: data translation is repeated under the
+/// columnar bulk copy engine and the record-at-a-time engine. The
+/// translate leg is unconditional — both engines must either fail with
+/// the same status or produce byte-identical translated dumps. When the
+/// conversion is automatic, the rewrite, emulation and bridge runs repeat
+/// under each engine and each pair of traces is diffed. The oracle is the
+/// bulk engine's equivalence contract (restructure/data_copy.h), so a
+/// divergence is a bug even on cases the other axes would skip.
+StrategyRun RunColumnarDiff(const PreparedCase& p, const Program* converted) {
+  auto translate = [&](DataCopyEngine engine) -> Result<std::string> {
+    ScopedDataCopyEngine scoped(engine);
+    DBPC_ASSIGN_OR_RETURN(Database target, LoadTarget(p));
+    return DumpDatabaseText(target);
+  };
+  Result<std::string> bulk = translate(DataCopyEngine::kColumnarBulk);
+  Result<std::string> record = translate(DataCopyEngine::kRecordAtATime);
+  if (bulk.ok() != record.ok()) {
+    return Broken(FuzzStrategy::kColumnarDiff,
+                  std::string("translate data") +
+                      (bulk.ok() ? " record-at-a-time" : " columnar"),
+                  bulk.ok() ? record.status() : bulk.status());
+  }
+  if (!bulk.ok()) {
+    if (bulk.status().ToString() != record.status().ToString()) {
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kColumnarDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = "translate data: columnar error '" +
+                   bulk.status().ToString() + "' vs record-at-a-time error '" +
+                   record.status().ToString() + "'";
+      return out;
+    }
+    // Both engines refuse the translation identically; no program can run
+    // on the target either way.
+    StrategyRun out;
+    out.strategy = FuzzStrategy::kColumnarDiff;
+    out.outcome = StrategyOutcome::kEquivalent;
+    return out;
+  }
+  if (*bulk != *record) {
+    StrategyRun out;
+    out.strategy = FuzzStrategy::kColumnarDiff;
+    out.outcome = StrategyOutcome::kDivergent;
+    out.detail =
+        "translate data: columnar and record-at-a-time dumps differ";
+    return out;
+  }
+
+  struct Leg {
+    const char* name;
+    std::function<Result<Trace>()> run;
+  };
+  std::vector<Leg> legs;
+  if (converted != nullptr) {
+    legs.push_back({"rewrite run", [&]() -> Result<Trace> {
+                      DBPC_ASSIGN_OR_RETURN(Database db, LoadTarget(p));
+                      Interpreter interp(&db, p.script);
+                      DBPC_ASSIGN_OR_RETURN(RunResult run,
+                                            interp.Run(*converted));
+                      return run.trace;
+                    }});
+    legs.push_back({"emulation run", [&]() -> Result<Trace> {
+                      DBPC_ASSIGN_OR_RETURN(
+                          DmlEmulator emulator,
+                          DmlEmulator::Create(p.source_schema, p.plan.View()));
+                      DBPC_ASSIGN_OR_RETURN(Database db, LoadTarget(p));
+                      DBPC_ASSIGN_OR_RETURN(DmlEmulator::EmulationRun run,
+                                            emulator.Run(p.program, &db,
+                                                         p.script));
+                      return run.run.trace;
+                    }});
+    legs.push_back({"bridge run", [&]() -> Result<Trace> {
+                      DBPC_ASSIGN_OR_RETURN(
+                          BridgeRunner bridge,
+                          BridgeRunner::Create(p.source_schema, p.plan.View()));
+                      DBPC_ASSIGN_OR_RETURN(Database db, LoadTarget(p));
+                      DBPC_ASSIGN_OR_RETURN(BridgeRunner::BridgeRun run,
+                                            bridge.Run(p.program, &db,
+                                                       p.script));
+                      return run.run.trace;
+                    }});
+  }
+  for (const Leg& leg : legs) {
+    Result<Trace> bulk_trace = [&] {
+      ScopedDataCopyEngine scoped(DataCopyEngine::kColumnarBulk);
+      return leg.run();
+    }();
+    Result<Trace> record_trace = [&] {
+      ScopedDataCopyEngine scoped(DataCopyEngine::kRecordAtATime);
+      return leg.run();
+    }();
+    if (!bulk_trace.ok() && !record_trace.ok()) {
+      // Both refuse or fail; only an engine-dependent *difference* in the
+      // failure is a divergence.
+      if (bulk_trace.status().ToString() == record_trace.status().ToString()) {
+        continue;
+      }
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kColumnarDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = std::string(leg.name) + ": columnar error '" +
+                   bulk_trace.status().ToString() +
+                   "' vs record-at-a-time error '" +
+                   record_trace.status().ToString() + "'";
+      return out;
+    }
+    if (bulk_trace.ok() != record_trace.ok()) {
+      return Broken(FuzzStrategy::kColumnarDiff,
+                    std::string(leg.name) + (bulk_trace.ok()
+                                                 ? " record-at-a-time"
+                                                 : " columnar"),
+                    bulk_trace.ok() ? record_trace.status()
+                                    : bulk_trace.status());
+    }
+    StrategyRun diff =
+        Diff(FuzzStrategy::kColumnarDiff, *bulk_trace, *record_trace);
+    if (diff.outcome == StrategyOutcome::kDivergent) {
+      diff.detail = std::string(leg.name) + ": " + diff.detail;
+      return diff;
+    }
+  }
+  StrategyRun out;
+  out.strategy = FuzzStrategy::kColumnarDiff;
+  out.outcome = StrategyOutcome::kEquivalent;
+  return out;
+}
+
 }  // namespace
 
 CaseRun RunFuzzCase(const FuzzCase& c,
@@ -414,6 +544,12 @@ CaseRun RunFuzzCase(const FuzzCase& c,
       // converted legs join in when the conversion was automatic.
       out.strategies.push_back(RunIndexDiff(
           *prepared, automatic ? &outcome->conversion.converted : nullptr));
+    } else if (strategy == FuzzStrategy::kColumnarDiff) {
+      // Like the index axis, the bulk engine's equivalence contract binds
+      // unconditionally: the translate leg always runs, and the converted
+      // program legs join in when the conversion was automatic.
+      out.strategies.push_back(RunColumnarDiff(
+          *prepared, automatic ? &outcome->conversion.converted : nullptr));
     } else if (!automatic) {
       out.strategies.push_back(
           Skip(strategy,
@@ -436,6 +572,7 @@ CaseRun RunFuzzCase(const FuzzCase& c,
           out.strategies.push_back(RunOptimizerDiff(*prepared, strategy_span));
           break;
         case FuzzStrategy::kIndexDiff:
+        case FuzzStrategy::kColumnarDiff:
           break;  // handled above, before the classification gate
       }
     }

@@ -74,6 +74,15 @@ enum class FuzzStrategy {
   /// (engine/database.h): indexes change access costs, never observable
   /// behaviour. The source leg runs even for non-automatic cases.
   kIndexDiff,
+  /// Translates the database under the columnar bulk copy engine and
+  /// under the record-at-a-time engine and requires identical results:
+  /// the translated dumps must be byte-identical (or both engines must
+  /// fail with the same status), and when the conversion is automatic
+  /// the rewrite, emulation and bridge runs are repeated under each
+  /// engine and their traces diffed. The oracle is the bulk engine's
+  /// equivalence contract (restructure/data_copy.h). The translate leg
+  /// runs even for non-automatic cases.
+  kColumnarDiff,
 };
 
 const char* FuzzStrategyName(FuzzStrategy s);

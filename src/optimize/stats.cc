@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <optional>
 #include <set>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/string_util.h"
+#include "storage/extent.h"
 
 namespace dbpc {
 
@@ -57,6 +60,61 @@ std::optional<double> BestIndexedConjunct(const StatisticsCatalog& catalog,
   return best;
 }
 
+/// Distinct non-null values of snapshot column `col`, deduplicated by
+/// literal rendering exactly like the per-record walk this replaces:
+/// doubles collapse under "%g", so double columns dedupe by rendered
+/// literal; int and string literals are injective, so their typed columns
+/// dedupe on raw values — and a dictionary column already holds each
+/// distinct string once per extent, making its distinct count a union of
+/// dictionaries instead of a per-row walk. Columns carrying
+/// type-mismatched exception values take the exact literal fallback.
+size_t DistinctColumnValues(const ExtentTable& table, size_t col) {
+  bool has_exceptions = false;
+  for (const Extent& extent : table.extents()) {
+    if (extent.column(col).has_exceptions()) {
+      has_exceptions = true;
+      break;
+    }
+  }
+  if (!has_exceptions) {
+    switch (table.field_types()[col]) {
+      case FieldType::kInt: {
+        std::unordered_set<int64_t> seen;
+        for (const Extent& extent : table.extents()) {
+          const ExtentColumn& c = extent.column(col);
+          for (size_t r = 0; r < c.rows(); ++r) {
+            if (!c.IsNull(r)) seen.insert(c.ints()[r]);
+          }
+        }
+        return seen.size();
+      }
+      case FieldType::kString: {
+        std::unordered_set<std::string_view> seen;
+        for (const Extent& extent : table.extents()) {
+          const ExtentColumn& c = extent.column(col);
+          if (c.dictionary_encoded()) {
+            for (const std::string& s : c.dictionary()) seen.insert(s);
+          } else {
+            for (size_t r = 0; r < c.rows(); ++r) {
+              if (!c.IsNull(r)) seen.insert(c.plain()[r]);
+            }
+          }
+        }
+        return seen.size();
+      }
+      case FieldType::kDouble:
+        break;  // literal dedupe below ("%g" collapses distinct doubles)
+    }
+  }
+  std::unordered_set<std::string> seen;
+  for (size_t r = 0; r < table.rows(); ++r) {
+    Value v = table.At(r, col);
+    if (v.is_null()) continue;
+    seen.insert(v.ToLiteral());
+  }
+  return seen.size();
+}
+
 double FieldReadCostDepth(const Schema& schema, const std::string& type,
                           const std::string& field, int depth) {
   if (depth > 8) return 1.0;
@@ -79,19 +137,14 @@ StatisticsCatalog StatisticsCatalog::Collect(const Database& db) {
   const Schema& schema = db.schema();
   for (const RecordTypeDef& rec : schema.record_types()) {
     RecordTypeStatistics ts;
-    std::vector<RecordId> ids = store.AllOfType(rec.name);
-    ts.count = ids.size();
-    for (const FieldDef& f : rec.fields) {
-      if (f.is_virtual) continue;
-      std::set<std::string> seen;
-      for (RecordId id : ids) {
-        const StoredRecord* r = store.Get(id);
-        if (r == nullptr) continue;
-        auto it = r->fields.find(ToUpper(f.name));
-        if (it == r->fields.end() || it->second.is_null()) continue;
-        seen.insert(it->second.ToLiteral());
-      }
-      ts.distinct_values[ToUpper(f.name)] = seen.size();
+    // Columnar scan: one extent snapshot per type replaces the old
+    // per-field, per-record stored-field-map walks.
+    Result<ExtentTable> table = db.SnapshotExtents(rec.name);
+    if (!table.ok()) continue;
+    ts.count = table->rows();
+    for (size_t c = 0; c < table->columns(); ++c) {
+      ts.distinct_values[table->field_names()[c]] =
+          DistinctColumnValues(*table, c);
     }
     catalog.types_[ToUpper(rec.name)] = std::move(ts);
   }

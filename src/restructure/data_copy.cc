@@ -1,12 +1,19 @@
 #include "restructure/data_copy.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
+#include "storage/extent.h"
 
 namespace dbpc {
 
 namespace {
+
+thread_local DataCopyEngine g_data_copy_engine = DataCopyEngine::kColumnarBulk;
 
 /// Record types of `schema` ordered so that set owners precede members.
 Result<std::vector<std::string>> TopoOrderTypes(const Schema& schema) {
@@ -27,12 +34,14 @@ Result<std::vector<std::string>> TopoOrderTypes(const Schema& schema) {
   }
   std::vector<std::string> order;
   std::vector<std::string> ready;
+  ready.reserve(types.size());
   for (const std::string& t : types) {
     if (indegree[t] == 0) ready.push_back(t);
   }
-  while (!ready.empty()) {
-    std::string t = ready.front();
-    ready.erase(ready.begin());
+  // Kahn's algorithm with an index cursor: erasing the front of `ready`
+  // per pop is quadratic on wide schemas.
+  for (size_t next = 0; next < ready.size(); ++next) {
+    const std::string t = ready[next];  // by value: push_back reallocates
     order.push_back(t);
     auto [lo, hi] = edges.equal_range(t);
     for (auto it = lo; it != hi; ++it) {
@@ -75,36 +84,200 @@ std::vector<RecordId> OrderedRecordsOfType(const Database& source,
   if (ordering_set == nullptr) return all;
 
   std::vector<RecordId> ordered;
+  ordered.reserve(all.size());
   std::vector<RecordId> owners;
   if (ordering_set->system_owned()) {
     owners.push_back(kSystemOwner);
   } else {
     owners = source.AllOfType(ToUpper(ordering_set->owner));
   }
-  std::map<RecordId, bool> seen;
+  const std::string set_upper = ToUpper(ordering_set->name);
   for (RecordId owner : owners) {
-    for (RecordId m : source.Members(ToUpper(ordering_set->name), owner)) {
+    for (RecordId m : source.Members(set_upper, owner)) {
       ordered.push_back(m);
-      seen[m] = true;
     }
   }
+  // Bulk-loaded occurrence order usually IS id order; when it is, the
+  // leftover pass below (and its hash set over every id) has nothing to do.
+  if (ordered.size() == all.size() &&
+      std::equal(ordered.begin(), ordered.end(), all.begin())) {
+    return ordered;
+  }
+  std::unordered_set<RecordId> seen(ordered.begin(), ordered.end());
   for (RecordId id : all) {
-    if (!seen.count(id)) ordered.push_back(id);
+    if (seen.count(id) == 0) ordered.push_back(id);
   }
   return ordered;
 }
 
-}  // namespace
+/// Memoized spec.map_field for one source type: the hook is an opaque
+/// std::function, so per-record per-field calls on the hot translation
+/// path become one call per distinct field name. Target names come back
+/// already upper-cased.
+class FieldMapper {
+ public:
+  FieldMapper(const CopySpec& spec, const std::string& type)
+      : spec_(spec), type_(type) {}
 
-Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
-                                                  Database* target,
-                                                  const CopySpec& spec) {
+  const std::optional<std::string>& Map(const std::string& field) {
+    auto it = memo_.find(field);
+    if (it == memo_.end()) {
+      std::optional<std::string> mapped =
+          spec_.map_field ? spec_.map_field(type_, field)
+                          : std::optional<std::string>(field);
+      if (mapped.has_value()) mapped = ToUpper(*mapped);
+      it = memo_.emplace(field, std::move(mapped)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  const CopySpec& spec_;
+  const std::string& type_;
+  std::unordered_map<std::string, std::optional<std::string>> memo_;
+};
+
+/// A self-set membership waiting for both endpoints to exist in the
+/// target. `source_set` keeps the original set name for error messages.
+struct DeferredLink {
+  std::string target_set;
+  std::string source_set;
+  RecordId member;
+  RecordId owner;
+};
+
+/// Connects self-set memberships once every record of the type exists. A
+/// deferred endpoint legitimately missing from `id_map` means its type was
+/// intentionally mapped away by the spec; any other miss is the same
+/// silent data loss the eager path reports as an Internal error.
+Status ConnectDeferredLinks(const Database& source, Database* target,
+                            const CopySpec& spec,
+                            const std::map<RecordId, RecordId>& id_map,
+                            const std::vector<DeferredLink>& deferred_links) {
+  for (const DeferredLink& link : deferred_links) {
+    auto member = id_map.find(link.member);
+    auto owner = id_map.find(link.owner);
+    if (member == id_map.end() || owner == id_map.end()) {
+      RecordId missing =
+          member == id_map.end() ? link.member : link.owner;
+      const StoredRecord* rec = source.raw_store().Get(missing);
+      bool mapped_away = rec != nullptr && spec.map_type &&
+                         !spec.map_type(ToUpper(rec->type)).has_value();
+      if (mapped_away) continue;
+      return Status::Internal("owner of record " +
+                              std::to_string(link.member) + " in set " +
+                              link.source_set + " was not copied first");
+    }
+    DBPC_RETURN_IF_ERROR(
+        target->Connect(link.target_set, member->second, owner->second));
+  }
+  return Status::OK();
+}
+
+/// "translating record <id> of <TYPE>: <msg>" — the wrapper CopyDatabase
+/// puts around engine-level store errors.
+Status WrapTranslate(RecordId id, const std::string& type, const Status& s) {
+  return Status(s.code(), "translating record " + std::to_string(id) +
+                              " of " + type + ": " + s.message());
+}
+
+// --- raw-store replicas of the StoreRecord helpers -----------------------
+//
+// The bulk engine materializes staged rows through the raw store so that
+// index maintenance can be deferred to one RebuildIndexes() at the end.
+// These replicas must produce the same decisions and error strings as
+// their Database counterparts (Database::CompareByKeys etc.); the
+// --diff-columnar fuzz axis holds the two engines to identical results.
+
+int CompareByKeysRaw(const Store& store, const SetDef& set, RecordId a,
+                     RecordId b) {
+  const StoredRecord* ra = store.Get(a);
+  const StoredRecord* rb = store.Get(b);
+  for (const std::string& key : set.keys) {
+    std::string k = ToUpper(key);
+    auto ia = ra->fields.find(k);
+    auto ib = rb->fields.find(k);
+    Value va = ia == ra->fields.end() ? Value() : ia->second;
+    Value vb = ib == rb->fields.end() ? Value() : ib->second;
+    int cmp = va.Compare(vb);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+Result<size_t> SortedPositionRaw(const Store& store, const SetDef& set,
+                                 const std::string& set_upper, RecordId owner,
+                                 RecordId member) {
+  const std::vector<RecordId>& members = store.Members(set_upper, owner);
+  if (set.ordering == SetOrdering::kChronological) return members.size();
+  size_t pos = 0;
+  for (RecordId existing : members) {
+    int cmp = CompareByKeysRaw(store, set, existing, member);
+    if (cmp == 0) {
+      return Status::ConstraintViolation(
+          "duplicate set key in occurrence of " + set.name);
+    }
+    if (cmp > 0) break;
+    ++pos;
+  }
+  return pos;
+}
+
+Status ConnectInternalRaw(Store* store, const SetDef& set,
+                          const std::string& set_upper, RecordId member,
+                          RecordId owner) {
+  DBPC_ASSIGN_OR_RETURN(
+      size_t pos, SortedPositionRaw(*store, set, set_upper, owner, member));
+  return store->Link(set_upper, owner, member, pos);
+}
+
+Status CheckCardinalityRaw(const Store& store, const ConstraintDef& c,
+                           const SetDef& set, RecordId owner,
+                           const FieldMap& new_member_fields) {
+  const std::vector<RecordId>& members =
+      store.Members(ToUpper(set.name), owner);
+  int64_t count = 0;
+  if (c.group_field.empty()) {
+    count = static_cast<int64_t>(members.size());
+  } else {
+    std::string gf = ToUpper(c.group_field);
+    auto it = new_member_fields.find(gf);
+    Value group = it == new_member_fields.end() ? Value() : it->second;
+    for (RecordId m : members) {
+      const StoredRecord* rec = store.Get(m);
+      auto mit = rec->fields.find(gf);
+      Value mv = mit == rec->fields.end() ? Value() : mit->second;
+      if (mv == group) ++count;
+    }
+  }
+  if (count + 1 > c.limit) {
+    return Status::ConstraintViolation(
+        "cardinality limit " + std::to_string(c.limit) + " of " + c.name +
+        " on set " + set.name + " exceeded");
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> UniqueKeyOfRaw(const ConstraintDef& c,
+                                          const FieldMap& fields) {
+  std::string key;
+  for (const std::string& f : c.fields) {
+    auto it = fields.find(ToUpper(f));
+    if (it == fields.end() || it->second.is_null()) {
+      // Null key components exempt the record from uniqueness.
+      return std::nullopt;
+    }
+    key += it->second.ToLiteral();
+    key += "\x1f";
+  }
+  return key;
+}
+
+// --- record-at-a-time engine ---------------------------------------------
+
+Result<std::map<RecordId, RecordId>> CopyDatabaseRecords(
+    const Database& source, Database* target, const CopySpec& spec) {
   std::map<RecordId, RecordId> id_map;
-  struct DeferredLink {
-    std::string target_set;
-    RecordId member;
-    RecordId owner;
-  };
   std::vector<DeferredLink> deferred_links;
   DBPC_ASSIGN_OR_RETURN(std::vector<std::string> order,
                         TopoOrderTypes(source.schema()));
@@ -112,20 +285,20 @@ Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
     std::optional<std::string> target_type =
         spec.map_type ? spec.map_type(type) : std::optional<std::string>(type);
     if (!target_type.has_value()) continue;
+    FieldMapper mapper(spec, type);
     for (RecordId id :
          OrderedRecordsOfType(source, type, spec, target->schema())) {
       const StoredRecord* rec = source.raw_store().Get(id);
       StoreRequest request;
       request.type = *target_type;
       for (const auto& [field, value] : rec->fields) {
-        std::optional<std::string> target_field =
-            spec.map_field ? spec.map_field(type, field)
-                           : std::optional<std::string>(field);
+        const std::optional<std::string>& target_field = mapper.Map(field);
         if (!target_field.has_value()) continue;
-        request.fields[ToUpper(*target_field)] = value;
+        request.fields[*target_field] = value;
       }
       if (spec.extra_fields) {
-        DBPC_ASSIGN_OR_RETURN(FieldMap extra, spec.extra_fields(source, id, type));
+        DBPC_ASSIGN_OR_RETURN(FieldMap extra,
+                              spec.extra_fields(source, id, type));
         for (auto& [field, value] : extra) {
           request.fields[ToUpper(field)] = std::move(value);
         }
@@ -140,7 +313,8 @@ Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
         if (!target_set.has_value()) continue;
         if (EqualsIgnoreCase(set->owner, set->member)) {
           // Self-set: the owner may not be copied yet; connect afterwards.
-          deferred_links.push_back({ToUpper(*target_set), id, owner});
+          deferred_links.push_back(
+              {ToUpper(*target_set), set->name, id, owner});
           continue;
         }
         auto mapped_owner = id_map.find(owner);
@@ -160,22 +334,877 @@ Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
       }
       Result<RecordId> new_id = target->StoreRecord(request);
       if (!new_id.ok()) {
-        return Status(new_id.status().code(),
-                      "translating record " + std::to_string(id) + " of " +
-                          type + ": " + new_id.status().message());
+        return WrapTranslate(id, type, new_id.status());
       }
       id_map[id] = *new_id;
     }
   }
-  // Self-set memberships connect once every record of the type exists.
-  for (const DeferredLink& link : deferred_links) {
-    auto member = id_map.find(link.member);
-    auto owner = id_map.find(link.owner);
-    if (member == id_map.end() || owner == id_map.end()) continue;
-    DBPC_RETURN_IF_ERROR(
-        target->Connect(link.target_set, member->second, owner->second));
-  }
+  DBPC_RETURN_IF_ERROR(
+      ConnectDeferredLinks(source, target, spec, id_map, deferred_links));
   return id_map;
+}
+
+// --- columnar bulk engine -------------------------------------------------
+
+/// Stages each type's rows into an extent table (fields already mapped,
+/// coerced, and validated; connections planned), then materializes the
+/// staged rows through the raw store in the same order StoreRecord would
+/// have inserted them, checking constraints against the evolving target
+/// exactly as StoreRecord does. Index maintenance is skipped per record
+/// and replaced by one RebuildIndexes() over the finished store — for a
+/// copy-only workload the two leave identical index state.
+///
+/// Error discipline: staging stops at the first failing row; rows staged
+/// before it are materialized (any materialization error on them takes
+/// precedence, as it would have fired first record-at-a-time), then the
+/// staged error is returned. Either way the target's indexes are rebuilt
+/// before returning so the database stays consistent.
+Result<std::map<RecordId, RecordId>> CopyDatabaseBulk(const Database& source,
+                                                      Database* target,
+                                                      const CopySpec& spec) {
+  std::map<RecordId, RecordId> id_map;
+  // Hash mirror of id_map for the hot owner lookups during staging.
+  std::unordered_map<RecordId, RecordId> id_lookup;
+  std::vector<DeferredLink> deferred_links;
+  DBPC_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                        TopoOrderTypes(source.schema()));
+  // Source types owning at least one set: only their ids are ever probed
+  // through id_lookup (plan_requests), so only they are mirrored there.
+  std::unordered_set<std::string> owner_types;
+  for (const SetDef& s : source.schema().sets()) {
+    if (s.system_owned()) continue;
+    owner_types.insert(ToUpper(s.owner));
+  }
+  const Schema& target_schema = target->schema();
+  bool loaded_any = false;
+  auto fail = [&](const Status& s) -> Status {
+    if (loaded_any) target->RebuildIndexes();
+    return s;
+  };
+  for (const std::string& type : order) {
+    std::optional<std::string> target_type =
+        spec.map_type ? spec.map_type(type) : std::optional<std::string>(type);
+    if (!target_type.has_value()) continue;
+    std::vector<RecordId> ordered =
+        OrderedRecordsOfType(source, type, spec, target_schema);
+    if (ordered.empty()) continue;
+    const RecordTypeDef* def = target_schema.FindRecordType(*target_type);
+    if (def == nullptr) {
+      return fail(WrapTranslate(
+          ordered.front(), type,
+          Status::NotFound("record type " + *target_type)));
+    }
+    const std::string target_type_upper = ToUpper(def->name);
+    const bool mirror_ids = owner_types.count(type) > 0;
+
+    // Hoisted per-type tables: column layout, source-set mappings,
+    // target-set link plan inputs, and the constraints that apply.
+    std::vector<std::string> col_names;
+    std::vector<FieldType> col_types;
+    for (const FieldDef& f : def->fields) {
+      if (f.is_virtual) continue;
+      col_names.push_back(ToUpper(f.name));
+      col_types.push_back(f.type);
+    }
+    FieldMapper mapper(spec, type);
+
+    struct SourceSetInfo {
+      const SetDef* set;
+      std::string name_upper;
+      std::string target_upper;
+      bool self_set;
+      Store::SetReader reader;  // bound source occurrence index
+      // One-entry owner-mapping cache: bulk sources link long owner runs.
+      RecordId last_owner = 0;
+      RecordId last_mapped = 0;
+    };
+    std::vector<SourceSetInfo> source_sets;
+    for (const SetDef* set : source.schema().SetsWithMember(type)) {
+      if (set->system_owned()) continue;
+      SourceSetInfo info;
+      info.set = set;
+      info.name_upper = ToUpper(set->name);
+      std::optional<std::string> mapped_set =
+          spec.map_set ? spec.map_set(info.name_upper)
+                       : std::optional<std::string>(info.name_upper);
+      // A set mapped away by the spec is a per-row no-op in the record
+      // engine (checked after the owner probe, but with no side effects
+      // either way), so it can be dropped from the plan entirely.
+      if (!mapped_set.has_value()) continue;
+      info.target_upper = ToUpper(*mapped_set);
+      info.self_set = EqualsIgnoreCase(set->owner, set->member);
+      info.reader = source.raw_store().ReaderFor(info.name_upper);
+      source_sets.push_back(std::move(info));
+    }
+
+    struct TargetSetInfo {
+      const SetDef* set;
+      std::string name_upper;
+      bool system_owned;
+      bool must_connect;
+      bool chronological;
+      // One-entry caches serving the long owner runs of bulk loads.
+      RecordId last_valid_owner = 0;  // already passed the type check
+      std::optional<Store::BulkLinker> linker;  // created on first link
+    };
+    std::vector<TargetSetInfo> target_sets;
+    for (const SetDef* set : target_schema.SetsWithMember(def->name)) {
+      TargetSetInfo info;
+      info.set = set;
+      info.name_upper = ToUpper(set->name);
+      info.system_owned = set->system_owned();
+      info.chronological = set->ordering == SetOrdering::kChronological;
+      info.must_connect = set->insertion == InsertionClass::kAutomatic;
+      for (const ConstraintDef& c : target_schema.constraints()) {
+        if (c.kind == ConstraintKind::kExistence &&
+            EqualsIgnoreCase(c.set_name, set->name)) {
+          info.must_connect = true;
+        }
+      }
+      target_sets.push_back(std::move(info));
+    }
+
+    struct ConstraintEntry {
+      const ConstraintDef* c;
+      const SetDef* set;  // kCardinalityLimit: resolved c.set_name
+    };
+    std::vector<ConstraintEntry> constraints;  // declaration order
+    std::vector<const ConstraintDef*> uniques;
+    for (const ConstraintDef& c : target_schema.constraints()) {
+      if ((c.kind == ConstraintKind::kNonNull ||
+           c.kind == ConstraintKind::kUniqueness) &&
+          EqualsIgnoreCase(c.record, def->name)) {
+        constraints.push_back({&c, nullptr});
+        if (c.kind == ConstraintKind::kUniqueness) uniques.push_back(&c);
+      } else if (c.kind == ConstraintKind::kCardinalityLimit) {
+        constraints.push_back({&c, target_schema.FindSet(c.set_name)});
+      }
+    }
+    // Uniqueness state StoreRecord would have read from unique_index_,
+    // seeded from target records that already exist and grown as staged
+    // rows land.
+    std::unordered_map<std::string, std::unordered_set<std::string>>
+        unique_seen;
+    for (const ConstraintDef* c : uniques) {
+      auto& seen = unique_seen[c->name];
+      for (RecordId id : target->raw_store().OfType(target_type_upper)) {
+        const StoredRecord* rec = target->raw_store().Get(id);
+        std::optional<std::string> key = UniqueKeyOfRaw(*c, rec->fields);
+        if (key.has_value()) seen.insert(std::move(*key));
+      }
+    }
+
+    // --- staging: mapped fields + planned links per row -------------------
+    struct PlannedLink {
+      TargetSetInfo* info;
+      RecordId owner;
+    };
+    ExtentTable staged(target_type_upper, col_names, col_types);
+    std::vector<RecordId> staged_source;
+    // Planned links of all staged rows, flattened: row r owns the slice
+    // [link_ends[r-1], link_ends[r]) of staged_links. One growing vector
+    // instead of a heap allocation per row. A row that fails mid-plan may
+    // leave a dangling tail past link_ends.back(); it is never read (the
+    // staging loop stops, and only fast_fallback restarts it — after
+    // clearing both vectors).
+    std::vector<PlannedLink> staged_links;
+    std::vector<size_t> link_ends;
+    staged_source.reserve(ordered.size());
+    staged_links.reserve(ordered.size());
+    link_ends.reserve(ordered.size());
+    std::optional<Status> pending;  // first staging error; returned after
+                                    // the rows staged before it land
+
+    // The connections requested for the row being staged: a tiny flat
+    // last-wins map keyed by target set name. Member types belong to a
+    // handful of sets, so a per-row std::map is pure allocator traffic.
+    struct RequestedLink {
+      const std::string* set_upper;  // points into source_sets
+      RecordId owner;
+      bool consumed;
+    };
+    std::vector<RequestedLink> requested;
+
+    // Link planning shared by both staging loops. Each returns false when
+    // the row (and the staging loop) must stop with `pending` set.
+    auto plan_requests = [&](RecordId id) {
+      requested.clear();
+      // Eager connection requests (self-sets defer, exactly like the
+      // record engine). Owners referenced here belong to earlier topo
+      // types, already landed.
+      for (SourceSetInfo& info : source_sets) {
+        RecordId owner = info.reader.OwnerOf(id);
+        if (owner == 0) continue;
+        if (info.self_set) {
+          deferred_links.push_back(
+              {info.target_upper, info.set->name, id, owner});
+          continue;
+        }
+        RecordId mapped;
+        if (owner == info.last_owner) {
+          mapped = info.last_mapped;
+        } else {
+          auto hit = id_lookup.find(owner);
+          if (hit != id_lookup.end()) {
+            mapped = hit->second;
+          } else {
+            // id_lookup only mirrors set-owning types; an owner of an
+            // unexpected type (reachable through mutable_store) is still
+            // in id_map and must survive to plan_links, where its type
+            // check fails exactly like the record engine's.
+            auto slow = id_map.find(owner);
+            if (slow == id_map.end()) {
+              pending = Status::Internal(
+                  "owner of record " + std::to_string(id) + " in set " +
+                  info.set->name + " was not copied first");
+              return false;
+            }
+            mapped = slow->second;
+          }
+          info.last_owner = owner;
+          info.last_mapped = mapped;
+        }
+        bool overwrote = false;
+        for (RequestedLink& req : requested) {
+          if (*req.set_upper == info.target_upper) {
+            req.owner = mapped;  // later source sets win, like map assign
+            overwrote = true;
+            break;
+          }
+        }
+        if (!overwrote) {
+          requested.push_back({&info.target_upper, mapped, false});
+        }
+      }
+      return true;
+    };
+    auto plan_links = [&](RecordId id) {
+      for (TargetSetInfo& info : target_sets) {
+        RequestedLink* req = nullptr;
+        for (RequestedLink& r : requested) {
+          if (!r.consumed && *r.set_upper == info.name_upper) {
+            req = &r;
+            break;
+          }
+        }
+        if (info.system_owned) {
+          staged_links.push_back({&info, kSystemOwner});
+          if (req != nullptr) req->consumed = true;
+          continue;
+        }
+        if (req != nullptr) {
+          RecordId owner = req->owner;
+          // Repeat owners (bulk sources link long runs) skip revalidation:
+          // nothing in a copy removes or retypes a landed owner.
+          if (owner != info.last_valid_owner) {
+            const StoredRecord* owner_rec = target->raw_store().Get(owner);
+            if (owner_rec == nullptr) {
+              pending = WrapTranslate(
+                  id, type,
+                  Status::NotFound("owner record " + std::to_string(owner) +
+                                   " for set " + info.set->name));
+              return false;
+            }
+            if (!EqualsIgnoreCase(owner_rec->type, info.set->owner)) {
+              pending = WrapTranslate(
+                  id, type,
+                  Status::TypeError("record " + std::to_string(owner) +
+                                    " is a " + owner_rec->type + ", not a " +
+                                    info.set->owner + " (owner of " +
+                                    info.set->name + ")"));
+              return false;
+            }
+            info.last_valid_owner = owner;
+          }
+          staged_links.push_back({&info, owner});
+          req->consumed = true;
+          continue;
+        }
+        if (info.must_connect) {
+          pending = WrapTranslate(
+              id, type,
+              Status::ConstraintViolation(
+                  "record type " + def->name +
+                  " is an AUTOMATIC member of set " + info.set->name +
+                  " but no owner was supplied"));
+          return false;
+        }
+      }
+      // Leftover request: report the lexicographically first set name, the
+      // order a std::map of requests would have yielded.
+      const std::string* leftover = nullptr;
+      for (const RequestedLink& r : requested) {
+        if (r.consumed) continue;
+        if (leftover == nullptr || *r.set_upper < *leftover) {
+          leftover = r.set_upper;
+        }
+      }
+      if (leftover != nullptr) {
+        pending = WrapTranslate(
+            id, type,
+            Status::InvalidArgument("record type " + def->name +
+                                    " is not a member of set " + *leftover));
+        return false;
+      }
+      return true;
+    };
+
+    // --- columnar fast staging -------------------------------------------
+    // When no extra_fields hook is present and every field of every source
+    // record is a declared actual field, rows are staged straight from the
+    // source records into the extent columns — no per-row FieldMaps, no
+    // Value copies for already-typed fields. The per-source-field action
+    // (drop / column / virtual / unknown) is the per-row decision of the
+    // generic loop below, resolved once per type. A record that does not
+    // fit the static shape (an undeclared field, e.g. loaded through
+    // mutable_store) makes the whole type fall back to the generic loop so
+    // errors and results stay byte-identical.
+    enum class SrcKind { kDrop, kColumn, kVirtual, kUnknown };
+    struct SrcFieldAction {
+      SrcKind kind = SrcKind::kDrop;
+      int index = -1;      // column ordinal, or ordinal among virtual fields
+      std::string target;  // mapped target name (for the unknown error)
+    };
+    const RecordTypeDef* src_def = source.schema().FindRecordType(type);
+    bool fast_eligible = spec.extra_fields == nullptr && src_def != nullptr;
+    std::unordered_map<std::string, SrcFieldAction> src_actions;
+    int n_virtual = 0;
+    if (fast_eligible) {
+      std::unordered_map<std::string, int> target_lookup;  // col or -(v+2)
+      int col = 0;
+      for (const FieldDef& f : def->fields) {
+        if (f.is_virtual) {
+          target_lookup.emplace(ToUpper(f.name), -(n_virtual + 2));
+          ++n_virtual;
+        } else {
+          target_lookup.emplace(ToUpper(f.name), col++);
+        }
+      }
+      for (const FieldDef& f : src_def->fields) {
+        if (f.is_virtual) continue;
+        std::string s_upper = ToUpper(f.name);
+        const std::optional<std::string>& mapped = mapper.Map(s_upper);
+        SrcFieldAction action;
+        if (mapped.has_value()) {
+          auto it = target_lookup.find(*mapped);
+          if (it == target_lookup.end()) {
+            action.kind = SrcKind::kUnknown;
+            action.target = *mapped;
+          } else if (it->second <= -2) {
+            action.kind = SrcKind::kVirtual;
+            action.index = -(it->second) - 2;
+          } else {
+            action.kind = SrcKind::kColumn;
+            action.index = it->second;
+          }
+        }
+        src_actions.emplace(std::move(s_upper), std::move(action));
+      }
+    }
+    bool fast_fallback = false;
+    const size_t deferred_baseline = deferred_links.size();
+
+    // --- columnar-source staging ------------------------------------------
+    // When the source rows of this type are themselves a fully columnar,
+    // unpromoted image (a bulk-loaded database) and every source column
+    // maps onto a target column of the same declared type, rows are staged
+    // extent-to-extent with typed appends: the source is never promoted,
+    // and no per-row FieldMap or Value round trip exists. Anything
+    // irregular — heap or vacated rows of the type, emission order
+    // differing from id order, a column that needs coercion, carries type
+    // exceptions, or maps onto a virtual/unknown field — takes the
+    // record-read fast loop below instead, which handles every case
+    // byte-identically (promotion keeps record reads faithful).
+    struct RunPlan {
+      Store::ColumnarRun run;
+      std::vector<int> src_of_target;  // target col -> source col (or -1)
+    };
+    std::vector<RunPlan> run_plans;
+    bool columnar_src = false;
+    if (fast_eligible) {
+      columnar_src = true;
+      for (const auto& [name, action] : src_actions) {
+        (void)name;
+        if (action.kind != SrcKind::kDrop && action.kind != SrcKind::kColumn) {
+          columnar_src = false;  // per-row virtual/unknown-field errors
+          break;
+        }
+      }
+      std::vector<Store::ColumnarRun> runs =
+          columnar_src ? source.raw_store().ColumnarRuns(type)
+                       : std::vector<Store::ColumnarRun>();
+      if (runs.empty()) columnar_src = false;
+      size_t columnar_rows = 0;
+      for (const Store::ColumnarRun& run : runs) {
+        if (!columnar_src) break;
+        if (run.live != run.table->rows()) {  // promoted or removed rows
+          columnar_src = false;
+          break;
+        }
+        columnar_rows += run.live;
+        RunPlan plan{run, std::vector<int>(col_names.size(), -1)};
+        // Visit source columns in name order so that two columns mapped
+        // onto one target resolve like the record loop's sorted field
+        // walk: the lexicographically later source name wins.
+        std::vector<int> by_name(run.table->columns());
+        for (size_t c = 0; c < by_name.size(); ++c) {
+          by_name[c] = static_cast<int>(c);
+        }
+        std::sort(by_name.begin(), by_name.end(), [&](int a, int b) {
+          return run.table->field_names()[static_cast<size_t>(a)] <
+                 run.table->field_names()[static_cast<size_t>(b)];
+        });
+        for (int c : by_name) {
+          auto it = src_actions.find(
+              run.table->field_names()[static_cast<size_t>(c)]);
+          if (it == src_actions.end()) {  // column unknown to the source def
+            columnar_src = false;
+            break;
+          }
+          if (it->second.kind != SrcKind::kColumn) continue;
+          const size_t target_col = static_cast<size_t>(it->second.index);
+          if (run.table->field_types()[static_cast<size_t>(c)] !=
+              col_types[target_col]) {
+            columnar_src = false;  // would need per-value coercion
+            break;
+          }
+          plan.src_of_target[target_col] = c;
+        }
+        if (!columnar_src) break;
+        // A mapped column whose extent holds type exceptions needs Value
+        // reads (and can fail coercion mid-row); leave it to the fallback.
+        for (const Extent& extent : run.table->extents()) {
+          for (int src : plan.src_of_target) {
+            if (src >= 0 &&
+                extent.column(static_cast<size_t>(src)).has_exceptions()) {
+              columnar_src = false;
+              break;
+            }
+          }
+          if (!columnar_src) break;
+        }
+        if (!columnar_src) break;
+        run_plans.push_back(std::move(plan));
+      }
+      if (columnar_src && columnar_rows != ordered.size()) {
+        columnar_src = false;  // heap rows of the type exist
+      }
+      if (columnar_src) {
+        // Emission order must be exactly the runs' ascending id sequence.
+        size_t pos = 0;
+        for (const RunPlan& plan : run_plans) {
+          const size_t rows = plan.run.table->rows();
+          for (size_t r = 0; r < rows && columnar_src; ++r) {
+            if (ordered[pos++] !=
+                plan.run.first_id + static_cast<RecordId>(r)) {
+              columnar_src = false;
+            }
+          }
+          if (!columnar_src) break;
+        }
+      }
+    }
+    if (columnar_src) {
+      std::vector<const Value*> col_defaults(col_names.size());
+      {
+        size_t col = 0;
+        for (const FieldDef& f : def->fields) {
+          if (!f.is_virtual) col_defaults[col++] = &f.default_value;
+        }
+      }
+      bool stop = false;
+      for (const RunPlan& plan : run_plans) {
+        size_t row = 0;  // table-global row, id = first_id + row
+        for (const Extent& extent : plan.run.table->extents()) {
+          const size_t extent_rows = extent.rows();
+          for (size_t er = 0; er < extent_rows; ++er, ++row) {
+            const RecordId id =
+                plan.run.first_id + static_cast<RecordId>(row);
+            // Field errors are statically impossible here, so request and
+            // link planning back-to-back match the record loop's order.
+            if (!plan_requests(id) || !plan_links(id)) {
+              stop = true;
+              break;
+            }
+            Extent& out = staged.BeginRow(id);
+            for (size_t col = 0; col < col_names.size(); ++col) {
+              const int src = plan.src_of_target[col];
+              ExtentColumn& out_col = out.MutableColumn(col);
+              if (src < 0) {
+                out_col.Append(*col_defaults[col]);
+                continue;
+              }
+              const ExtentColumn& src_col =
+                  extent.column(static_cast<size_t>(src));
+              // A null source cell is a present-but-null field, never the
+              // target default — exactly what promotion would yield.
+              if (src_col.IsNull(er)) {
+                out_col.AppendNull();
+                continue;
+              }
+              switch (col_types[col]) {
+                case FieldType::kInt:
+                  out_col.AppendInt(src_col.ints()[er]);
+                  break;
+                case FieldType::kDouble:
+                  out_col.AppendDouble(src_col.doubles()[er]);
+                  break;
+                case FieldType::kString:
+                  out_col.AppendString(
+                      src_col.dictionary_encoded()
+                          ? src_col.dictionary()[src_col.codes()[er]]
+                          : src_col.plain()[er]);
+                  break;
+              }
+            }
+            staged_source.push_back(id);
+            link_ends.push_back(staged_links.size());
+          }
+          if (stop) break;
+        }
+        if (stop) break;
+      }
+    } else if (fast_eligible) {
+      const Store& src_store = source.raw_store();
+      Store::ReadCursor cursor = src_store.Cursor();
+      std::vector<const Value*> chosen(col_names.size());
+      std::vector<const Value*> ptrs(col_names.size());
+      std::vector<char> virt_present(static_cast<size_t>(n_virtual));
+      std::vector<Value> scratch;  // coerced temporaries, one row at a time
+      scratch.reserve(col_names.size());
+      for (RecordId id : ordered) {
+        const StoredRecord* rec = cursor.Next(id);
+        std::fill(chosen.begin(), chosen.end(), nullptr);
+        std::fill(virt_present.begin(), virt_present.end(), 0);
+        scratch.clear();
+        const std::string* first_unknown = nullptr;
+        bool bad_field = false;
+        for (const auto& [fname, value] : rec->fields) {
+          auto it = src_actions.find(fname);
+          if (it == src_actions.end()) {
+            bad_field = true;
+            break;
+          }
+          const SrcFieldAction& action = it->second;
+          switch (action.kind) {
+            case SrcKind::kDrop:
+              break;
+            case SrcKind::kColumn:
+              // Later source names overwrite earlier ones, exactly like
+              // the incoming-map build of the generic loop.
+              chosen[static_cast<size_t>(action.index)] = &value;
+              break;
+            case SrcKind::kVirtual:
+              virt_present[static_cast<size_t>(action.index)] = 1;
+              break;
+            case SrcKind::kUnknown:
+              if (first_unknown == nullptr || action.target < *first_unknown) {
+                first_unknown = &action.target;
+              }
+              break;
+          }
+        }
+        if (bad_field) {
+          fast_fallback = true;
+          break;
+        }
+        if (!plan_requests(id)) break;
+        // The field walk in declaration order, reading the chosen source
+        // values in place.
+        size_t col = 0;
+        int vidx = 0;
+        bool row_error = false;
+        for (const FieldDef& f : def->fields) {
+          if (f.is_virtual) {
+            if (virt_present[static_cast<size_t>(vidx)]) {
+              pending = WrapTranslate(
+                  id, type,
+                  Status::InvalidArgument("cannot store virtual field " +
+                                          def->name + "." + f.name));
+              row_error = true;
+              break;
+            }
+            ++vidx;
+            continue;
+          }
+          const Value* v = chosen[col];
+          if (v == nullptr) {
+            ptrs[col] = &f.default_value;
+          } else if (v->is_null() || v->Matches(f.type)) {
+            ptrs[col] = v;  // CoerceTo is the identity here
+          } else {
+            Result<Value> coerced = v->CoerceTo(f.type);
+            if (!coerced.ok()) {
+              pending = WrapTranslate(id, type, coerced.status());
+              row_error = true;
+              break;
+            }
+            scratch.push_back(std::move(*coerced));
+            ptrs[col] = &scratch.back();
+          }
+          ++col;
+        }
+        if (row_error) break;
+        if (first_unknown != nullptr) {
+          pending = WrapTranslate(
+              id, type,
+              Status::InvalidArgument("unknown field " + *first_unknown +
+                                      " for record type " + def->name));
+          break;
+        }
+        if (!plan_links(id)) break;
+        staged.AppendRow(id, ptrs.data());
+        staged_source.push_back(id);
+        link_ends.push_back(staged_links.size());
+      }
+      if (fast_fallback) {
+        staged = ExtentTable(target_type_upper, col_names, col_types);
+        staged_source.clear();
+        staged_links.clear();
+        link_ends.clear();
+        deferred_links.resize(deferred_baseline);
+        pending.reset();
+      }
+    }
+
+    // --- generic staging --------------------------------------------------
+    if (!fast_eligible || fast_fallback) {
+      std::vector<Value> row(col_names.size());
+      Store::ReadCursor cursor = source.raw_store().Cursor();
+      for (RecordId id : ordered) {
+        const StoredRecord* rec = cursor.Next(id);
+        FieldMap incoming;
+        for (const auto& [field, value] : rec->fields) {
+          const std::optional<std::string>& target_field = mapper.Map(field);
+          if (!target_field.has_value()) continue;
+          incoming[*target_field] = value;
+        }
+        if (spec.extra_fields) {
+          Result<FieldMap> extra = spec.extra_fields(source, id, type);
+          if (!extra.ok()) {
+            pending = extra.status();
+            break;
+          }
+          for (auto& [field, value] : *extra) {
+            incoming[ToUpper(field)] = std::move(value);
+          }
+        }
+        if (!plan_requests(id)) break;
+        // StoreRecord's target-state-independent field walk (virtual /
+        // coerce / default / unknown).
+        FieldMap fields;
+        bool row_error = false;
+        for (const FieldDef& f : def->fields) {
+          std::string fname = ToUpper(f.name);
+          auto it = incoming.find(fname);
+          if (f.is_virtual) {
+            if (it != incoming.end()) {
+              pending = WrapTranslate(
+                  id, type,
+                  Status::InvalidArgument("cannot store virtual field " +
+                                          def->name + "." + f.name));
+              row_error = true;
+              break;
+            }
+            continue;
+          }
+          if (it == incoming.end()) {
+            fields[fname] = f.default_value;
+            continue;
+          }
+          Result<Value> coerced = it->second.CoerceTo(f.type);
+          if (!coerced.ok()) {
+            pending = WrapTranslate(id, type, coerced.status());
+            row_error = true;
+            break;
+          }
+          fields[fname] = std::move(*coerced);
+          incoming.erase(it);
+        }
+        if (row_error) break;
+        if (!incoming.empty()) {
+          pending = WrapTranslate(
+              id, type,
+              Status::InvalidArgument("unknown field " +
+                                      incoming.begin()->first +
+                                      " for record type " + def->name));
+          break;
+        }
+        if (!plan_links(id)) break;
+        for (size_t c = 0; c < col_names.size(); ++c) {
+          row[c] = std::move(fields[col_names[c]]);
+        }
+        staged.AppendRow(id, row);
+        staged_source.push_back(id);
+        link_ends.push_back(staged_links.size());
+      }
+    }
+
+    // --- materialization: staged rows land through the raw store ----------
+    // The whole staged table is adopted as a columnar segment up front —
+    // rows become live records without a per-row FieldMap — and constraints
+    // then run per row against the evolving target, in the schema
+    // declaration order StoreRecord uses. Adopting before validating is
+    // observationally identical to the record engine's insert-per-row:
+    // every state-dependent check below (uniqueness, cardinality, sorted
+    // position) observes set membership or unique_seen, never bare record
+    // existence, and links still happen row by row in the original order.
+    // On a constraint failure the not-yet-validated tail is dropped again.
+    Store& store = target->mutable_store();
+    const size_t staged_rows = staged_source.size();
+    const ExtentTable& adopted = store.AdoptExtents(std::move(staged));
+    if (staged_rows > 0) loaded_any = true;
+    auto drop_rows_from = [&](size_t first_row) {
+      for (size_t rr = first_row; rr < staged_rows; ++rr) {
+        (void)store.Remove(adopted.IdAt(rr));
+      }
+    };
+    // Column positions per constraint, resolved once per type. A nonnull
+    // component that is not a stored column can never be satisfied; a
+    // uniqueness component that is not a stored column exempts every row
+    // (UniqueKeyOfRaw returns no key for an absent component).
+    struct ConstraintCols {
+      std::vector<int> cols;
+      bool component_missing = false;
+    };
+    std::vector<ConstraintCols> constraint_cols(constraints.size());
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      const ConstraintDef& c = *constraints[i].c;
+      if (c.kind == ConstraintKind::kCardinalityLimit) continue;
+      for (const std::string& f : c.fields) {
+        int col = adopted.ColumnIndex(ToUpper(f));
+        constraint_cols[i].cols.push_back(col);
+        if (col < 0) constraint_cols[i].component_missing = true;
+      }
+    }
+    std::vector<std::pair<const ConstraintDef*, std::string>> row_keys;
+    // Adopted ids are one consecutive run (AssignIds), so row r's identity
+    // is pure arithmetic — no per-row extent lookup.
+    const RecordId first_new_id = staged_rows > 0 ? adopted.IdAt(0) : 0;
+    for (size_t r = 0; r < staged_rows; ++r) {
+      const RecordId src_id = staged_source[r];
+      const RecordId new_id = first_new_id + static_cast<RecordId>(r);
+      const size_t link_begin = r == 0 ? 0 : link_ends[r - 1];
+      const size_t link_end = link_ends[r];
+      row_keys.clear();
+      FieldMap row_fields;  // built lazily; only cardinality checks need it
+      bool row_fields_built = false;
+      for (size_t ci = 0; ci < constraints.size(); ++ci) {
+        const ConstraintDef& c = *constraints[ci].c;
+        const ConstraintCols& cc = constraint_cols[ci];
+        if (c.kind == ConstraintKind::kNonNull) {
+          for (size_t k = 0; k < c.fields.size(); ++k) {
+            if (cc.cols[k] < 0 ||
+                adopted.IsNull(r, static_cast<size_t>(cc.cols[k]))) {
+              drop_rows_from(r);
+              return fail(WrapTranslate(
+                  src_id, type,
+                  Status::ConstraintViolation("field " + def->name + "." +
+                                              c.fields[k] +
+                                              " may not be null (" + c.name +
+                                              ")")));
+            }
+          }
+        } else if (c.kind == ConstraintKind::kUniqueness) {
+          if (cc.component_missing) continue;
+          std::string key;
+          bool null_component = false;
+          for (int col : cc.cols) {
+            if (adopted.IsNull(r, static_cast<size_t>(col))) {
+              null_component = true;
+              break;
+            }
+            key += adopted.At(r, static_cast<size_t>(col)).ToLiteral();
+            key += '\x1f';
+          }
+          if (null_component) continue;  // UniqueKeyOfRaw: null -> exempt
+          if (unique_seen[c.name].count(key) > 0) {
+            drop_rows_from(r);
+            return fail(WrapTranslate(
+                src_id, type,
+                Status::ConstraintViolation("duplicate key for " + c.name +
+                                            " on " + def->name)));
+          }
+          row_keys.emplace_back(&c, std::move(key));
+        } else if (c.kind == ConstraintKind::kCardinalityLimit) {
+          for (size_t li = link_begin; li < link_end; ++li) {
+            const PlannedLink& link = staged_links[li];
+            if (link.info->set != constraints[ci].set) continue;
+            if (!row_fields_built) {
+              for (size_t col = 0; col < adopted.columns(); ++col) {
+                row_fields[adopted.field_names()[col]] = adopted.At(r, col);
+              }
+              row_fields_built = true;
+            }
+            Status s = CheckCardinalityRaw(store, c, *constraints[ci].set,
+                                           link.owner, row_fields);
+            if (!s.ok()) {
+              drop_rows_from(r);
+              return fail(WrapTranslate(src_id, type, s));
+            }
+          }
+        }
+      }
+      for (size_t li = link_begin; li < link_end; ++li) {
+        const PlannedLink& link = staged_links[li];
+        TargetSetInfo& set_info = *link.info;
+        Status s;
+        if (set_info.chronological) {
+          // Chronological insertion is a pure append (SortedPositionRaw
+          // returns members.size() with no key scan), so the bound bulk
+          // linker is an exact, occurrence-table-free equivalent.
+          if (!set_info.linker.has_value()) {
+            set_info.linker.emplace(
+                store.LinkerFor(set_info.name_upper, staged_rows));
+          }
+          s = set_info.linker->LinkLast(link.owner, new_id);
+        } else {
+          s = ConnectInternalRaw(&store, *set_info.set, set_info.name_upper,
+                                 new_id, link.owner);
+        }
+        if (!s.ok()) {
+          // Roll back: unlink what was linked, drop this row and the tail.
+          for (size_t lj = link_begin; lj < li; ++lj) {
+            (void)store.Unlink(staged_links[lj].info->name_upper, new_id);
+          }
+          drop_rows_from(r);
+          return fail(WrapTranslate(src_id, type, s));
+        }
+      }
+      for (auto& [uc, key] : row_keys) {
+        unique_seen[uc->name].insert(std::move(key));
+      }
+      // Source ids arrive mostly ascending, so the end hint makes the map
+      // append-cheap; insert_or_assign keeps the record engine's last-wins
+      // behavior for an id reachable under two types.
+      id_map.insert_or_assign(id_map.end(), src_id, new_id);
+      if (mirror_ids) id_lookup.insert_or_assign(src_id, new_id);
+    }
+    if (pending.has_value()) return fail(*pending);
+  }
+  if (loaded_any) target->RebuildIndexes();
+  DBPC_RETURN_IF_ERROR(
+      ConnectDeferredLinks(source, target, spec, id_map, deferred_links));
+  return id_map;
+}
+
+}  // namespace
+
+DataCopyEngine GetDataCopyEngine() { return g_data_copy_engine; }
+
+void SetDataCopyEngine(DataCopyEngine engine) { g_data_copy_engine = engine; }
+
+Result<std::map<RecordId, RecordId>> CopyDatabase(const Database& source,
+                                                  Database* target,
+                                                  const CopySpec& spec) {
+  // extra_connects may create helper records in `target` mid-copy, which
+  // staged bulk materialization cannot interleave with; those specs take
+  // the record-at-a-time engine.
+  if (GetDataCopyEngine() == DataCopyEngine::kColumnarBulk &&
+      !spec.extra_connects) {
+    return CopyDatabaseBulk(source, target, spec);
+  }
+  return CopyDatabaseRecords(source, target, spec);
 }
 
 }  // namespace dbpc

@@ -15,6 +15,10 @@ namespace dbpc {
 /// defaults copy names/values unchanged. The copier stores records in
 /// owner-before-member order and preserves member ordering for sets that
 /// are chronological in the target.
+///
+/// Hooks must be pure functions of their arguments: the copier memoizes
+/// map_field per (type, field) and map_set per set, and the bulk engine
+/// may change how often and in which order hooks run.
 struct CopySpec {
   /// Target record type name for a source type; nullopt drops the type.
   std::function<std::optional<std::string>(const std::string& type)> map_type;
@@ -35,11 +39,46 @@ struct CopySpec {
 
   /// Additional target set connections. May create helper records in
   /// `target` (the intermediate-record transformation does). `id_map` maps
-  /// already-copied source records to target ids.
+  /// already-copied source records to target ids. Specs with this hook
+  /// always take the record-at-a-time engine: helper-record creation
+  /// cannot interleave with staged bulk materialization.
   std::function<Result<std::map<std::string, RecordId>>(
       const Database& source, RecordId id, const std::string& type,
       const std::map<RecordId, RecordId>& id_map, Database* target)>
       extra_connects;
+};
+
+/// Which engine CopyDatabase moves records with. The columnar bulk engine
+/// stages each type's rows through extent tables (storage/extent.h),
+/// materializes them through the raw store, and rebuilds the target's
+/// access-path indexes once at the end; the record-at-a-time engine calls
+/// StoreRecord per record with incremental index maintenance. The two
+/// produce identical observable results — the same id map, target
+/// records, set memberships, index state, and error statuses — which the
+/// fuzzer's --diff-columnar axis enforces.
+enum class DataCopyEngine {
+  kColumnarBulk,
+  kRecordAtATime,
+};
+
+/// Thread-local engine selection (each service worker thread picks
+/// independently; defaults to kColumnarBulk).
+DataCopyEngine GetDataCopyEngine();
+void SetDataCopyEngine(DataCopyEngine engine);
+
+/// RAII engine override for a scope (tests, differential fuzzing).
+class ScopedDataCopyEngine {
+ public:
+  explicit ScopedDataCopyEngine(DataCopyEngine engine)
+      : previous_(GetDataCopyEngine()) {
+    SetDataCopyEngine(engine);
+  }
+  ~ScopedDataCopyEngine() { SetDataCopyEngine(previous_); }
+  ScopedDataCopyEngine(const ScopedDataCopyEngine&) = delete;
+  ScopedDataCopyEngine& operator=(const ScopedDataCopyEngine&) = delete;
+
+ private:
+  DataCopyEngine previous_;
 };
 
 /// Copies every record and membership of `source` into `target` (an empty

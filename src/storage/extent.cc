@@ -1,0 +1,253 @@
+#include "storage/extent.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/store.h"
+
+namespace dbpc {
+
+ExtentColumn::ExtentColumn(FieldType declared, bool dictionary)
+    : declared_(declared),
+      dictionary_(declared == FieldType::kString && dictionary) {}
+
+void ExtentColumn::AppendPlaceholder() {
+  switch (declared_) {
+    case FieldType::kInt:
+      ints_.push_back(0);
+      break;
+    case FieldType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case FieldType::kString:
+      if (dictionary_) {
+        codes_.push_back(kNullCode);
+      } else {
+        plain_.emplace_back();
+      }
+      break;
+  }
+}
+
+void ExtentColumn::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (declared_) {
+    case FieldType::kInt:
+      if (v.is_int()) {
+        AppendInt(v.as_int());
+        return;
+      }
+      break;
+    case FieldType::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.as_double());
+        return;
+      }
+      break;
+    case FieldType::kString:
+      if (v.is_string()) {
+        AppendString(v.as_string());
+        return;
+      }
+      break;
+  }
+  const size_t row = BeginAppend();
+  // Dynamic type contradicts the declared column type; keep the value on
+  // the side so the snapshot stays faithful to the store.
+  exceptions_.emplace(row, v);
+  AppendPlaceholder();
+}
+
+Value ExtentColumn::At(size_t row) const {
+  if (IsNull(row)) return Value();
+  if (!exceptions_.empty()) {
+    auto it = exceptions_.find(row);
+    if (it != exceptions_.end()) return it->second;
+  }
+  switch (declared_) {
+    case FieldType::kInt:
+      return Value::Int(ints_[row]);
+    case FieldType::kDouble:
+      return Value::Double(doubles_[row]);
+    case FieldType::kString:
+      if (dictionary_) return Value::String(dict_[codes_[row]]);
+      return Value::String(plain_[row]);
+  }
+  return Value();
+}
+
+size_t ExtentColumn::ByteSize() const {
+  size_t bytes = null_bits_.size() * sizeof(uint64_t) +
+                 ints_.size() * sizeof(int64_t) +
+                 doubles_.size() * sizeof(double) +
+                 codes_.size() * sizeof(uint32_t);
+  for (const auto& s : plain_) bytes += sizeof(std::string) + s.size();
+  for (const auto& s : dict_) bytes += sizeof(std::string) + s.size();
+  bytes += exceptions_.size() * (sizeof(size_t) + sizeof(Value));
+  return bytes;
+}
+
+Extent::Extent(const std::vector<FieldType>& types,
+               const ExtentOptions& options)
+    : capacity_(options.extent_rows == 0 ? 1 : options.extent_rows) {
+  columns_.reserve(types.size());
+  for (FieldType t : types) {
+    columns_.emplace_back(t, options.dictionary_strings);
+  }
+  ids_.reserve(capacity_);
+}
+
+Extent::Extent(const std::vector<FieldType>& types,
+               const ExtentOptions& options,
+               const std::vector<char>& dict_enabled)
+    : capacity_(options.extent_rows == 0 ? 1 : options.extent_rows) {
+  columns_.reserve(types.size());
+  for (size_t i = 0; i < types.size(); ++i) {
+    columns_.emplace_back(types[i],
+                          options.dictionary_strings && dict_enabled[i] != 0);
+  }
+  ids_.reserve(capacity_);
+}
+
+void Extent::AppendRow(RecordId id, const Value* values, size_t n) {
+  ids_.push_back(id);
+  for (size_t i = 0; i < n; ++i) columns_[i].Append(values[i]);
+}
+
+void Extent::AppendRow(RecordId id, const Value* const* values, size_t n) {
+  ids_.push_back(id);
+  for (size_t i = 0; i < n; ++i) columns_[i].Append(*values[i]);
+}
+
+void Extent::AssignIds(RecordId first) {
+  for (size_t r = 0; r < ids_.size(); ++r) {
+    ids_[r] = first + static_cast<RecordId>(r);
+  }
+}
+
+size_t Extent::ByteSize() const {
+  size_t bytes = ids_.size() * sizeof(RecordId);
+  for (const auto& col : columns_) bytes += col.ByteSize();
+  return bytes;
+}
+
+ExtentTable::ExtentTable(std::string type,
+                         std::vector<std::string> field_names,
+                         std::vector<FieldType> field_types,
+                         ExtentOptions options)
+    : type_(std::move(type)),
+      field_names_(std::move(field_names)),
+      field_types_(std::move(field_types)),
+      options_(options),
+      dict_enabled_(field_names_.size(),
+                    options.dictionary_strings ? char{1} : char{0}) {
+  for (auto& name : field_names_) name = ToUpper(name);
+  col_index_.reserve(field_names_.size());
+  for (size_t i = 0; i < field_names_.size(); ++i) {
+    col_index_.emplace(field_names_[i], static_cast<int>(i));
+  }
+}
+
+ExtentTable ExtentTable::FromStore(const Store& store,
+                                   const std::string& type_upper,
+                                   std::vector<std::string> field_names,
+                                   std::vector<FieldType> field_types,
+                                   ExtentOptions options) {
+  ExtentTable table(type_upper, std::move(field_names),
+                    std::move(field_types), options);
+  std::vector<Value> row(table.columns());
+  for (RecordId id : store.OfType(type_upper)) {
+    const StoredRecord* rec = store.Get(id);
+    if (rec == nullptr) continue;
+    for (size_t c = 0; c < table.columns(); ++c) {
+      auto it = rec->fields.find(table.field_names_[c]);
+      row[c] = it == rec->fields.end() ? Value() : it->second;
+    }
+    table.AppendRow(id, row);
+  }
+  return table;
+}
+
+int ExtentTable::ColumnIndex(const std::string& field_upper) const {
+  auto it = col_index_.find(field_upper);
+  return it == col_index_.end() ? -1 : it->second;
+}
+
+Extent& ExtentTable::CurrentExtent() {
+  if (extents_.empty() || extents_.back().Full()) {
+    if (!extents_.empty()) ReviseDictionaries(extents_.back());
+    extents_.emplace_back(field_types_, options_, dict_enabled_);
+  }
+  return extents_.back();
+}
+
+void ExtentTable::ReviseDictionaries(const Extent& full) {
+  for (size_t c = 0; c < field_names_.size(); ++c) {
+    if (dict_enabled_[c] == 0) continue;
+    const ExtentColumn& col = full.column(c);
+    if (!col.dictionary_encoded()) continue;
+    // A dictionary holding nearly one entry per row encodes nothing; pay
+    // the plain representation in later extents instead of two copies of
+    // every distinct string.
+    if (col.dictionary().size() * 8 > col.rows() * 7) dict_enabled_[c] = 0;
+  }
+}
+
+void ExtentTable::AppendRow(RecordId id, const std::vector<Value>& values) {
+  CurrentExtent().AppendRow(id, values.data(), values.size());
+  ++rows_;
+}
+
+void ExtentTable::AppendRow(RecordId id, const Value* const* values) {
+  CurrentExtent().AppendRow(id, values, field_names_.size());
+  ++rows_;
+}
+
+Extent& ExtentTable::BeginRow(RecordId id) {
+  Extent& extent = CurrentExtent();
+  extent.BeginRow(id);
+  ++rows_;
+  return extent;
+}
+
+void ExtentTable::AssignIds(RecordId first) {
+  for (auto& extent : extents_) {
+    extent.AssignIds(first);
+    first += extent.rows();
+  }
+}
+
+Value ExtentTable::At(size_t row, size_t col) const {
+  const size_t per = options_.extent_rows == 0 ? 1 : options_.extent_rows;
+  return extents_[row / per].column(col).At(row % per);
+}
+
+RecordId ExtentTable::IdAt(size_t row) const {
+  const size_t per = options_.extent_rows == 0 ? 1 : options_.extent_rows;
+  return extents_[row / per].ids()[row % per];
+}
+
+bool ExtentTable::IsNull(size_t row, size_t col) const {
+  const size_t per = options_.extent_rows == 0 ? 1 : options_.extent_rows;
+  return extents_[row / per].column(col).IsNull(row % per);
+}
+
+void ExtentTable::Scan(
+    const std::function<void(const Extent&, size_t first_row)>& visit) const {
+  size_t first = 0;
+  for (const auto& extent : extents_) {
+    visit(extent, first);
+    first += extent.rows();
+  }
+}
+
+size_t ExtentTable::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& extent : extents_) bytes += extent.ByteSize();
+  return bytes;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,257 @@
+#ifndef DBPC_STORAGE_EXTENT_H_
+#define DBPC_STORAGE_EXTENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/record.h"
+
+namespace dbpc {
+
+class Store;
+
+/// Extent-based columnar storage, the DataSeries extent + sink pattern:
+/// fixed-size typed extents per record type, one typed column vector per
+/// field plus a null bitmap, optional dictionary encoding for string
+/// columns. Extents are the framework's bulk-data currency — the data
+/// translator stages rows through them, `Database::BulkLoad` ingests them,
+/// and full-scan consumers (statistics collection, the bridge fingerprint,
+/// the scale benches) read them column-wise instead of record-at-a-time
+/// through `Store`'s map heap. The record-at-a-time `Store` API stays
+/// authoritative for the navigational engines: an `ExtentTable` is either
+/// a staging buffer on its way into a store or a read snapshot of one, so
+/// trace semantics are untouched.
+
+struct ExtentOptions {
+  /// Rows per extent (the fixed extent size of the DataSeries pattern).
+  size_t extent_rows = 4096;
+  /// Dictionary-encode string columns: each distinct value stored once,
+  /// rows hold 32-bit codes. Repetitive bulk data (names, categories)
+  /// shrinks by the repetition factor.
+  bool dictionary_strings = true;
+};
+
+/// One typed column fragment inside an extent. Values whose dynamic type
+/// matches the declared column type live in the typed vector; nulls are a
+/// bit in the bitmap (with a placeholder keeping the vector row-aligned);
+/// the rare value whose dynamic type contradicts the declared type — odd
+/// DEFAULT values, unchecked `mutable_store()` loads — is kept row-aligned
+/// in a side table so a snapshot is always faithful to the store.
+class ExtentColumn {
+ public:
+  /// Code stored for null / exception rows of a dictionary column.
+  static constexpr uint32_t kNullCode = 0xffffffffu;
+
+  ExtentColumn(FieldType declared, bool dictionary);
+
+  FieldType declared() const { return declared_; }
+  bool dictionary_encoded() const { return dictionary_; }
+  size_t rows() const { return rows_; }
+
+  void Append(const Value& v);
+
+  // Typed appends for bulk writers that already know the value shape
+  // (e.g. staging straight from another extent). AppendInt / AppendDouble /
+  // AppendString require the matching declared type; callers that cannot
+  // guarantee it must go through Append(Value).
+  void AppendNull() {
+    const size_t row = BeginAppend();
+    null_bits_.back() |= uint64_t{1} << (row & 63u);
+    AppendPlaceholder();
+  }
+  void AppendInt(int64_t v) {
+    BeginAppend();
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    BeginAppend();
+    doubles_.push_back(v);
+  }
+  void AppendString(const std::string& s) {
+    BeginAppend();
+    if (dictionary_) {
+      // find-then-insert: emplace would allocate a node per call even for
+      // the duplicate hits a dictionary exists to absorb.
+      auto it = dict_index_.find(s);
+      if (it == dict_index_.end()) {
+        it = dict_index_.emplace(s, static_cast<uint32_t>(dict_.size())).first;
+        dict_.push_back(s);
+      }
+      codes_.push_back(it->second);
+    } else {
+      plain_.push_back(s);
+    }
+  }
+
+  bool IsNull(size_t row) const {
+    return (null_bits_[row >> 6] >> (row & 63u)) & 1u;
+  }
+
+  /// Value at `row` (cold path; scans should read the typed vectors).
+  Value At(size_t row) const;
+
+  // Typed fast paths. Each vector has exactly one entry per row; null and
+  // exception rows hold placeholders (check IsNull / exceptions()).
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  /// Dictionary codes per row (kNullCode for null / exception rows).
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  /// Distinct string values, indexed by code, in first-seen order.
+  const std::vector<std::string>& dictionary() const { return dict_; }
+  /// Row-aligned strings of a non-dictionary string column.
+  const std::vector<std::string>& plain() const { return plain_; }
+
+  bool has_exceptions() const { return !exceptions_.empty(); }
+  /// row -> value for rows whose dynamic type contradicts declared().
+  const std::map<size_t, Value>& exceptions() const { return exceptions_; }
+
+  /// Approximate heap footprint in bytes (benchmark accounting).
+  size_t ByteSize() const;
+
+ private:
+  void AppendPlaceholder();
+
+  /// Claims the next row slot and keeps the null bitmap sized; returns the
+  /// row just claimed.
+  size_t BeginAppend() {
+    const size_t row = rows_++;
+    if ((row & 63u) == 0) null_bits_.push_back(0);
+    return row;
+  }
+
+  FieldType declared_;
+  bool dictionary_;
+  size_t rows_ = 0;
+  std::vector<uint64_t> null_bits_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+  std::vector<std::string> plain_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, uint32_t> dict_index_;
+  std::map<size_t, Value> exceptions_;
+};
+
+/// A fixed-capacity chunk of rows: one ExtentColumn per field plus the
+/// row's record id (0 for staged rows that have no store identity yet).
+class Extent {
+ public:
+  Extent(const std::vector<FieldType>& types, const ExtentOptions& options);
+  /// As above with a per-column dictionary override (adaptive encoding).
+  Extent(const std::vector<FieldType>& types, const ExtentOptions& options,
+         const std::vector<char>& dict_enabled);
+
+  size_t rows() const { return ids_.size(); }
+  size_t columns() const { return columns_.size(); }
+  bool Full() const { return ids_.size() >= capacity_; }
+
+  const ExtentColumn& column(size_t i) const { return columns_[i]; }
+  const std::vector<RecordId>& ids() const { return ids_; }
+
+  /// Opens one row for column-by-column typed appends: the caller must
+  /// append exactly one value to every column before the next row opens.
+  void BeginRow(RecordId id) { ids_.push_back(id); }
+  ExtentColumn& MutableColumn(size_t i) { return columns_[i]; }
+
+  /// Appends one row; `values` must hold columns() entries.
+  void AppendRow(RecordId id, const Value* values, size_t n);
+
+  /// As above, through per-column pointers (no staged Value copies).
+  void AppendRow(RecordId id, const Value* const* values, size_t n);
+
+  /// Rewrites row ids to the consecutive run starting at `first`
+  /// (store adoption: staged rows receive their real identities).
+  void AssignIds(RecordId first);
+
+  size_t ByteSize() const;
+
+ private:
+  size_t capacity_;
+  std::vector<ExtentColumn> columns_;
+  std::vector<RecordId> ids_;
+};
+
+/// All rows of one record type as a sequence of fixed-size extents; the
+/// bulk Append / Scan API. Field names are canonicalized to upper case.
+class ExtentTable {
+ public:
+  ExtentTable(std::string type, std::vector<std::string> field_names,
+              std::vector<FieldType> field_types, ExtentOptions options = {});
+
+  /// Columnar snapshot of every live `type_upper` record of `store`, in
+  /// ascending id order, one column per entry of `field_names`. A field
+  /// missing from a record snapshots as null (the engine reads the two
+  /// identically).
+  static ExtentTable FromStore(const Store& store,
+                               const std::string& type_upper,
+                               std::vector<std::string> field_names,
+                               std::vector<FieldType> field_types,
+                               ExtentOptions options = {});
+
+  const std::string& type() const { return type_; }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+  const std::vector<FieldType>& field_types() const { return field_types_; }
+  size_t columns() const { return field_names_.size(); }
+  size_t rows() const { return rows_; }
+
+  /// Column position of `field_upper`, or -1 when absent.
+  int ColumnIndex(const std::string& field_upper) const;
+
+  /// Appends one row; `values` must hold columns() entries, in column
+  /// order. `id` is the row's store identity (0 while staging).
+  void AppendRow(RecordId id, const std::vector<Value>& values);
+
+  /// Pointer variant for hot staging paths: `values` must hold columns()
+  /// non-null entries; each pointee is appended without a copy.
+  void AppendRow(RecordId id, const Value* const* values);
+
+  /// Opens one row and hands back the extent it lives in so the caller can
+  /// drive each column's typed append itself (extent-to-extent staging).
+  /// Exactly one value must be appended to every column before the next
+  /// row opens.
+  Extent& BeginRow(RecordId id);
+
+  /// Rewrites all row ids to the consecutive run starting at `first`.
+  void AssignIds(RecordId first);
+
+  /// Random access (cold path; bulk consumers iterate extents()).
+  Value At(size_t row, size_t col) const;
+  RecordId IdAt(size_t row) const;
+  /// Null check without constructing a Value (exception rows are non-null).
+  bool IsNull(size_t row, size_t col) const;
+
+  const std::vector<Extent>& extents() const { return extents_; }
+
+  /// Bulk scan: visits each extent with the table-global index of its
+  /// first row.
+  void Scan(const std::function<void(const Extent&, size_t first_row)>&
+                visit) const;
+
+  /// Approximate heap footprint in bytes (benchmark accounting).
+  size_t ByteSize() const;
+
+ private:
+  Extent& CurrentExtent();
+  void ReviseDictionaries(const Extent& full);
+
+  std::string type_;
+  std::vector<std::string> field_names_;
+  std::vector<FieldType> field_types_;
+  ExtentOptions options_;
+  std::unordered_map<std::string, int> col_index_;
+  std::vector<Extent> extents_;
+  /// Adaptive per-column dictionary choice for the NEXT extent: a column
+  /// whose finished extent dictionary held nearly one entry per row (all
+  /// values distinct) encodes nothing, so later extents store it plain.
+  std::vector<char> dict_enabled_;
+  size_t rows_ = 0;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_STORAGE_EXTENT_H_

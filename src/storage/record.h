@@ -1,0 +1,31 @@
+#ifndef DBPC_STORAGE_RECORD_H_
+#define DBPC_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/value.h"
+
+namespace dbpc {
+
+/// Stable identifier of a stored record. Zero is never a valid id.
+using RecordId = uint64_t;
+
+/// Pseudo-owner id used for the single occurrence of a SYSTEM-owned set.
+inline constexpr RecordId kSystemOwner = static_cast<RecordId>(-1);
+
+/// Field name (canonical upper case) to value.
+using FieldMap = std::map<std::string, Value>;
+
+/// One stored record instance. Only actual (non-virtual) fields are
+/// materialized; virtual fields are resolved by the engine layer.
+struct StoredRecord {
+  RecordId id = 0;
+  std::string type;
+  FieldMap fields;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_STORAGE_RECORD_H_

@@ -1,6 +1,8 @@
 #include "storage/store.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 namespace dbpc {
 
@@ -11,14 +13,75 @@ RecordId Store::Insert(std::string type, FieldMap fields) {
   rec.type = std::move(type);
   rec.fields = std::move(fields);
   by_type_[rec.type].push_back(id);
-  records_.emplace(id, std::move(rec));
+  // Ids are monotonic, so every insert lands at the end of the map; the
+  // hint turns bulk loads from O(log n) per record into amortized O(1).
+  records_.emplace_hint(records_.end(), id, std::move(rec));
   return id;
+}
+
+const ExtentTable& Store::AdoptExtents(ExtentTable table) {
+  const RecordId first = next_id_;
+  const size_t rows = table.rows();
+  next_id_ += rows;
+  table.AssignIds(first);
+  std::vector<RecordId>& dir = by_type_[table.type()];
+  dir.reserve(dir.size() + rows);
+  for (size_t r = 0; r < rows; ++r) {
+    dir.push_back(first + static_cast<RecordId>(r));
+  }
+  ColumnarSegment seg{std::move(table), std::vector<bool>(rows, false), rows};
+  // insert_or_assign: an empty adoption leaves next_id_ unchanged, so a
+  // later adoption may legitimately reuse the key of a zero-row segment.
+  auto it = segments_.insert_or_assign(first, std::move(seg)).first;
+  columnar_live_ += rows;
+  return it->second.table;
+}
+
+std::pair<Store::ColumnarSegment*, size_t> Store::SegmentRow(
+    RecordId id) const {
+  if (segments_.empty()) return {nullptr, 0};
+  auto it = segments_.upper_bound(id);
+  if (it == segments_.begin()) return {nullptr, 0};
+  --it;
+  ColumnarSegment& seg = it->second;
+  const size_t row = static_cast<size_t>(id - it->first);
+  if (row >= seg.table.rows() || seg.vacated[row]) return {nullptr, 0};
+  return {&seg, row};
+}
+
+const StoredRecord* Store::Promote(RecordId id) const {
+  auto [seg, row] = SegmentRow(id);
+  if (seg == nullptr) return nullptr;
+  const ExtentTable& table = seg->table;
+  StoredRecord rec;
+  rec.id = id;
+  rec.type = table.type();
+  for (size_t c = 0; c < table.columns(); ++c) {
+    rec.fields.emplace(table.field_names()[c], table.At(row, c));
+  }
+  seg->vacated[row] = true;
+  --seg->live;
+  --columnar_live_;
+  return &records_.emplace(id, std::move(rec)).first->second;
 }
 
 Status Store::Remove(RecordId id) {
   auto it = records_.find(id);
   if (it == records_.end()) {
-    return Status::NotFound("record " + std::to_string(id));
+    auto [seg, row] = SegmentRow(id);
+    if (seg == nullptr) {
+      return Status::NotFound("record " + std::to_string(id));
+    }
+    auto dir = by_type_.find(seg->table.type());
+    if (dir != by_type_.end()) {
+      std::vector<RecordId>& ids = dir->second;
+      auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+      if (pos != ids.end() && *pos == id) ids.erase(pos);
+    }
+    seg->vacated[row] = true;
+    --seg->live;
+    --columnar_live_;
+    return Status::OK();
   }
   auto dir = by_type_.find(it->second.type);
   if (dir != by_type_.end()) {
@@ -30,14 +93,19 @@ Status Store::Remove(RecordId id) {
   return Status::OK();
 }
 
+bool Store::Exists(RecordId id) const {
+  if (records_.count(id) > 0) return true;
+  return SegmentRow(id).first != nullptr;
+}
+
 const StoredRecord* Store::Get(RecordId id) const {
   auto it = records_.find(id);
-  return it == records_.end() ? nullptr : &it->second;
+  if (it != records_.end()) return &it->second;
+  return Promote(id);
 }
 
 StoredRecord* Store::GetMutable(RecordId id) {
-  auto it = records_.find(id);
-  return it == records_.end() ? nullptr : &it->second;
+  return const_cast<StoredRecord*>(Get(id));
 }
 
 const std::vector<RecordId>& Store::OfType(const std::string& type) const {
@@ -47,35 +115,59 @@ const std::vector<RecordId>& Store::OfType(const std::string& type) const {
 }
 
 std::vector<RecordId> Store::AllRecords() const {
+  std::vector<RecordId> heap_ids;
+  heap_ids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) heap_ids.push_back(id);
+  if (columnar_live_ == 0) return heap_ids;
+  std::vector<RecordId> columnar_ids;
+  columnar_ids.reserve(columnar_live_);
+  for (const auto& [first, seg] : segments_) {
+    for (size_t r = 0; r < seg.table.rows(); ++r) {
+      if (!seg.vacated[r]) {
+        columnar_ids.push_back(first + static_cast<RecordId>(r));
+      }
+    }
+  }
+  // Both runs are ascending (map order; rows within a segment ascend).
   std::vector<RecordId> out;
-  out.reserve(records_.size());
-  for (const auto& [id, rec] : records_) out.push_back(id);
+  out.reserve(heap_ids.size() + columnar_ids.size());
+  std::merge(heap_ids.begin(), heap_ids.end(), columnar_ids.begin(),
+             columnar_ids.end(), std::back_inserter(out));
   return out;
+}
+
+std::vector<Store::ColumnarRun> Store::ColumnarRuns(
+    const std::string& type) const {
+  std::vector<ColumnarRun> runs;
+  for (const auto& [first, seg] : segments_) {
+    if (seg.table.type() != type) continue;
+    runs.push_back({&seg.table, first, &seg.vacated, seg.live});
+  }
+  return runs;
 }
 
 Status Store::Link(const std::string& set_name, RecordId owner,
                    RecordId member, size_t position) {
   SetIndex& idx = sets_[set_name];
-  if (idx.owner_of.count(member) > 0) {
+  // Single probe: emplace only succeeds when not yet a member.
+  if (!idx.owner_of.emplace(member, owner).second) {
     return Status::AlreadyExists("record " + std::to_string(member) +
                                  " already a member of " + set_name);
   }
   std::vector<RecordId>& members = idx.members_of[owner];
   if (position > members.size()) position = members.size();
   members.insert(members.begin() + static_cast<ptrdiff_t>(position), member);
-  idx.owner_of[member] = owner;
   return Status::OK();
 }
 
 Status Store::LinkLast(const std::string& set_name, RecordId owner,
                        RecordId member) {
   SetIndex& idx = sets_[set_name];
-  if (idx.owner_of.count(member) > 0) {
+  if (!idx.owner_of.emplace(member, owner).second) {
     return Status::AlreadyExists("record " + std::to_string(member) +
                                  " already a member of " + set_name);
   }
   idx.members_of[owner].push_back(member);
-  idx.owner_of[member] = owner;
   return Status::OK();
 }
 

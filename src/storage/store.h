@@ -5,29 +5,15 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/value.h"
+#include "storage/extent.h"
+#include "storage/record.h"
 
 namespace dbpc {
-
-/// Stable identifier of a stored record. Zero is never a valid id.
-using RecordId = uint64_t;
-
-/// Pseudo-owner id used for the single occurrence of a SYSTEM-owned set.
-inline constexpr RecordId kSystemOwner = static_cast<RecordId>(-1);
-
-/// Field name (canonical upper case) to value.
-using FieldMap = std::map<std::string, Value>;
-
-/// One stored record instance. Only actual (non-virtual) fields are
-/// materialized; virtual fields are resolved by the engine layer.
-struct StoredRecord {
-  RecordId id = 0;
-  std::string type;
-  FieldMap fields;
-};
 
 /// Untyped record heap plus owner-coupled set membership, shared by all
 /// three data-model facades. The store knows nothing about schemas; the
@@ -35,18 +21,80 @@ struct StoredRecord {
 ///
 /// Set occurrences are kept as explicit ordered member lists per owner, the
 /// in-memory analogue of 1970s chain/pointer-array set implementations.
+///
+/// Bulk loads may hand the store whole extent tables via `AdoptExtents`:
+/// the rows become live records immediately but stay columnar until a
+/// record-at-a-time accessor first touches them, at which point they are
+/// promoted (materialized) into the record heap. Record-at-a-time callers
+/// cannot tell the difference — `Get` et al. are a view over both layouts.
 class Store {
+  struct SetIndex;  // defined below; named by BulkLinker
+
  public:
   /// Inserts a record and returns its new id.
   RecordId Insert(std::string type, FieldMap fields);
+
+  /// Adopts a staged extent table as a columnar segment. Every row receives
+  /// a fresh consecutive id (readable through `ExtentTable::IdAt` on the
+  /// returned table) and becomes a live record of `table.type()`. Returns a
+  /// reference to the adopted table, stable until the store is destroyed.
+  const ExtentTable& AdoptExtents(ExtentTable table);
 
   /// Removes a record. The caller must already have disconnected it from
   /// every set (the engine's Erase handles ordering).
   Status Remove(RecordId id);
 
-  bool Exists(RecordId id) const { return records_.count(id) > 0; }
+  bool Exists(RecordId id) const;
   const StoredRecord* Get(RecordId id) const;
   StoredRecord* GetMutable(RecordId id);
+
+  /// Read cursor for bulk scans in (mostly) ascending id order: Next(id)
+  /// returns Get(id), but consecutive calls with increasing ids amortize
+  /// the heap lookup into one ordered walk. Out-of-order ids and columnar
+  /// rows fall back to Get, so any call sequence is correct.
+  class ReadCursor {
+   public:
+    const StoredRecord* Next(RecordId id) {
+      while (it_ != end_ && it_->first < id) ++it_;
+      if (it_ != end_ && it_->first == id) return &it_->second;
+      return store_->Get(id);
+    }
+
+   private:
+    friend class Store;
+    explicit ReadCursor(const Store* store)
+        : store_(store),
+          it_(store->records_.begin()),
+          end_(store->records_.end()) {}
+    const Store* store_;
+    std::map<RecordId, StoredRecord>::const_iterator it_;
+    std::map<RecordId, StoredRecord>::const_iterator end_;
+  };
+  ReadCursor Cursor() const { return ReadCursor(this); }
+
+  /// Read-side accessor bound to one set: the set index is resolved once
+  /// instead of per OwnerOf probe. An absent set binds to a null reader
+  /// (every owner is 0, like OwnerOf). The bound index node is stable
+  /// across unrelated set creation, so a reader stays valid as long as
+  /// the store does.
+  class SetReader {
+   public:
+    SetReader() = default;
+    RecordId OwnerOf(RecordId member) const {
+      if (idx_ == nullptr) return 0;
+      auto it = idx_->owner_of.find(member);
+      return it == idx_->owner_of.end() ? 0 : it->second;
+    }
+
+   private:
+    friend class Store;
+    explicit SetReader(const SetIndex* idx) : idx_(idx) {}
+    const SetIndex* idx_ = nullptr;
+  };
+  SetReader ReaderFor(const std::string& set_name_upper) const {
+    auto it = sets_.find(set_name_upper);
+    return SetReader(it == sets_.end() ? nullptr : &it->second);
+  }
 
   /// All live records of `type`, in ascending id (i.e. insertion) order.
   /// Served from a per-type directory: O(live-of-type), not a heap walk.
@@ -60,7 +108,23 @@ class Store {
   /// All live record ids in insertion order.
   std::vector<RecordId> AllRecords() const;
 
-  size_t LiveCount() const { return records_.size(); }
+  /// One adopted, not-yet-fully-promoted columnar segment of a type, as
+  /// exposed to bulk readers. Row r holds record `first_id + r` and is
+  /// live iff !(*vacated)[r]; promoted or removed rows must be read
+  /// through `Get` instead.
+  struct ColumnarRun {
+    const ExtentTable* table;
+    RecordId first_id;
+    const std::vector<bool>* vacated;
+    size_t live = 0;
+  };
+
+  /// The columnar segments holding rows of `type`, ascending by first id.
+  /// Bulk consumers that scan these directly skip per-record promotion —
+  /// the whole point of keeping adopted extents columnar.
+  std::vector<ColumnarRun> ColumnarRuns(const std::string& type) const;
+
+  size_t LiveCount() const { return records_.size() + columnar_live_; }
 
   // --- set membership -------------------------------------------------
 
@@ -75,6 +139,48 @@ class Store {
 
   /// Unlinks `member` from its occurrence of `set_name`.
   Status Unlink(const std::string& set_name, RecordId member);
+
+  /// Append-only bulk linker bound to one set: the set index is resolved
+  /// once instead of per link, and repeat owners (bulk loads link long
+  /// owner runs) hit a one-entry cache instead of the occurrence table.
+  /// LinkLast semantics, including the already-a-member failure.
+  class BulkLinker {
+   public:
+    Status LinkLast(RecordId owner, RecordId member) {
+      auto [it, inserted] = idx_->owner_of.emplace(member, owner);
+      (void)it;
+      if (!inserted) {
+        return Status::AlreadyExists("record " + std::to_string(member) +
+                                     " already a member of " + set_name_);
+      }
+      if (cached_members_ == nullptr || owner != cached_owner_) {
+        cached_owner_ = owner;
+        cached_members_ = &idx_->members_of[owner];
+      }
+      cached_members_->push_back(member);
+      return Status::OK();
+    }
+
+   private:
+    friend class Store;
+    BulkLinker(SetIndex* idx, std::string set_name)
+        : idx_(idx), set_name_(std::move(set_name)) {}
+    SetIndex* idx_;
+    std::string set_name_;
+    RecordId cached_owner_ = 0;
+    // Stable across inserts: unordered_map never moves mapped values.
+    std::vector<RecordId>* cached_members_ = nullptr;
+  };
+  /// `expected_links` (when nonzero) pre-sizes the occurrence table for
+  /// that many additional memberships, sparing bulk loads the rehashes.
+  BulkLinker LinkerFor(const std::string& set_name_upper,
+                       size_t expected_links = 0) {
+    SetIndex& idx = sets_[set_name_upper];
+    if (expected_links > 0) {
+      idx.owner_of.reserve(idx.owner_of.size() + expected_links);
+    }
+    return BulkLinker(&idx, set_name_upper);
+  }
 
   /// Owner of `member` within `set_name`, or 0 when not a member.
   RecordId OwnerOf(const std::string& set_name, RecordId member) const;
@@ -97,8 +203,30 @@ class Store {
     std::unordered_map<RecordId, std::vector<RecordId>> members_of;
   };
 
+  /// One adopted extent table, keyed in `segments_` by the id of its first
+  /// row (row r is record first_id + r). `vacated` marks rows that were
+  /// promoted into the record heap or removed outright.
+  struct ColumnarSegment {
+    ExtentTable table;
+    std::vector<bool> vacated;
+    size_t live = 0;
+  };
+
+  /// Segment and row holding `id`, or {nullptr, 0} when `id` is not a live
+  /// un-promoted columnar row. Mutable access from const methods is fine:
+  /// the columnar members exist to serve logically-const promotion.
+  std::pair<ColumnarSegment*, size_t> SegmentRow(RecordId id) const;
+
+  /// Materializes columnar row `id` into the record heap; nullptr when
+  /// `id` is not a live columnar row. Promotion never changes the set of
+  /// live records or any observable value, so it is logically const.
+  const StoredRecord* Promote(RecordId id) const;
+
   RecordId next_id_ = 1;
-  std::map<RecordId, StoredRecord> records_;
+  mutable std::map<RecordId, StoredRecord> records_;
+  mutable std::map<RecordId, ColumnarSegment> segments_;
+  /// Live rows across all segments (not yet promoted or removed).
+  mutable size_t columnar_live_ = 0;
   std::unordered_map<std::string, SetIndex> sets_;
   /// type -> live ids, ascending (ids are allocated monotonically, so
   /// appending on insert keeps each list in insertion order).

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "engine/textio.h"
+#include "storage/extent.h"
 #include "testing/fixtures.h"
 
 namespace dbpc {
@@ -127,6 +132,352 @@ TEST(CopyDatabaseTest, SelfSetsAreAllowed) {
       CopyDatabase(source, &target, CopySpec{});
   ASSERT_TRUE(map.ok()) << map.status();
   EXPECT_EQ(target.OwnerOf("MANAGES", map->at(worker)), map->at(boss));
+}
+
+/// ORG schema: an EMP self-set (MANAGES) plus an unrelated DIV type, so a
+/// raw-store link can point a deferred self-set connect at a non-EMP owner.
+Schema OrgSchema() {
+  Schema schema("ORG");
+  RecordTypeDef emp;
+  emp.name = "EMP";
+  emp.fields.push_back({.name = "NAME", .type = FieldType::kString});
+  EXPECT_TRUE(schema.AddRecordType(emp).ok());
+  RecordTypeDef div;
+  div.name = "DIV";
+  div.fields.push_back({.name = "DIV-NAME", .type = FieldType::kString});
+  EXPECT_TRUE(schema.AddRecordType(div).ok());
+  SetDef manages;
+  manages.name = "MANAGES";
+  manages.owner = "EMP";
+  manages.member = "EMP";
+  manages.insertion = InsertionClass::kManual;
+  manages.retention = RetentionClass::kOptional;
+  manages.ordering = SetOrdering::kChronological;
+  EXPECT_TRUE(schema.AddSet(manages).ok());
+  EXPECT_TRUE(schema.Validate().ok());
+  return schema;
+}
+
+TEST(CopyDatabaseTest, DeferredLinkSkipsOwnerOfIntentionallyUnmappedType) {
+  // A deferred self-set connect whose owner record belongs to a type the
+  // spec maps away is an intentional drop, not an error: the membership
+  // vanishes with the owner.
+  Database source = *Database::Create(OrgSchema());
+  RecordId worker =
+      *source.StoreRecord({"EMP", {{"NAME", Value::String("WORKER")}}, {}});
+  RecordId div = source.mutable_store().Insert(
+      "DIV", {{"DIV-NAME", Value::String("SALES")}});
+  // Raw link: a DIV record owns a MANAGES occurrence (only the raw store
+  // allows this shape; the deferred path must still handle it).
+  ASSERT_TRUE(source.mutable_store().LinkLast("MANAGES", div, worker).ok());
+  Database target = *Database::Create(OrgSchema());
+  CopySpec spec;
+  spec.map_type = [](const std::string& type) -> std::optional<std::string> {
+    if (type == "DIV") return std::nullopt;
+    return type;
+  };
+  Result<std::map<RecordId, RecordId>> map = CopyDatabase(source, &target, spec);
+  ASSERT_TRUE(map.ok()) << map.status();
+  EXPECT_EQ(target.RecordCount(), 1u);
+  EXPECT_EQ(target.OwnerOf("MANAGES", map->at(worker)), 0u);
+}
+
+TEST(CopyDatabaseTest, DeferredLinkDanglingOwnerIsAnError) {
+  // Regression: a deferred self-set connect whose owner simply was not
+  // copied (here: a dangling raw-store owner id) used to be dropped
+  // silently; it must fail exactly like the eager path does.
+  Database source = *Database::Create(OrgSchema());
+  RecordId worker =
+      *source.StoreRecord({"EMP", {{"NAME", Value::String("WORKER")}}, {}});
+  constexpr RecordId kDangling = 9999;
+  ASSERT_TRUE(
+      source.mutable_store().LinkLast("MANAGES", kDangling, worker).ok());
+  Database target = *Database::Create(OrgSchema());
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, CopySpec{});
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInternal);
+  EXPECT_NE(map.status().message().find("was not copied first"),
+            std::string::npos)
+      << map.status();
+}
+
+TEST(CopyDatabaseTest, ManyTypesCopyOwnersBeforeMembers) {
+  // Pins TopoOrderTypes over a deep ownership chain: every owner must be
+  // copied (and so assigned a target id) before its member.
+  constexpr int kTypes = 40;
+  Schema schema("CHAIN");
+  for (int i = 0; i < kTypes; ++i) {
+    RecordTypeDef t;
+    t.name = "T" + std::to_string(i);
+    t.fields.push_back({.name = "N", .type = FieldType::kInt});
+    ASSERT_TRUE(schema.AddRecordType(t).ok());
+  }
+  for (int i = 1; i < kTypes; ++i) {
+    SetDef s;
+    s.name = "S" + std::to_string(i);
+    s.owner = "T" + std::to_string(i - 1);
+    s.member = "T" + std::to_string(i);
+    s.insertion = InsertionClass::kManual;
+    s.retention = RetentionClass::kOptional;
+    s.ordering = SetOrdering::kChronological;
+    ASSERT_TRUE(schema.AddSet(s).ok());
+  }
+  ASSERT_TRUE(schema.Validate().ok());
+  Database source = *Database::Create(schema);
+  // Store members before owners so source id order contradicts topo order.
+  std::vector<RecordId> ids(kTypes);
+  for (int i = kTypes - 1; i >= 0; --i) {
+    ids[i] = *source.StoreRecord(
+        {"T" + std::to_string(i), {{"N", Value::Int(i)}}, {}});
+  }
+  for (int i = 1; i < kTypes; ++i) {
+    ASSERT_TRUE(
+        source.Connect("S" + std::to_string(i), ids[i], ids[i - 1]).ok());
+  }
+  Database target = *Database::Create(schema);
+  Result<std::map<RecordId, RecordId>> map =
+      CopyDatabase(source, &target, CopySpec{});
+  ASSERT_TRUE(map.ok()) << map.status();
+  for (int i = 1; i < kTypes; ++i) {
+    EXPECT_LT(map->at(ids[i - 1]), map->at(ids[i])) << "type T" << i;
+    EXPECT_EQ(target.OwnerOf("S" + std::to_string(i), map->at(ids[i])),
+              map->at(ids[i - 1]));
+  }
+}
+
+TEST(CopyDatabaseTest, BulkAndRecordEnginesProduceIdenticalDatabases) {
+  for (Database source :
+       {MakeCompanyDatabase(), testing::MakeSchoolDatabase()}) {
+    Database bulk_target = *Database::Create(source.schema());
+    Database record_target = *Database::Create(source.schema());
+    Result<std::map<RecordId, RecordId>> bulk_map = [&] {
+      ScopedDataCopyEngine scoped(DataCopyEngine::kColumnarBulk);
+      return CopyDatabase(source, &bulk_target, CopySpec{});
+    }();
+    Result<std::map<RecordId, RecordId>> record_map = [&] {
+      ScopedDataCopyEngine scoped(DataCopyEngine::kRecordAtATime);
+      return CopyDatabase(source, &record_target, CopySpec{});
+    }();
+    ASSERT_TRUE(bulk_map.ok()) << bulk_map.status();
+    ASSERT_TRUE(record_map.ok()) << record_map.status();
+    EXPECT_EQ(*bulk_map, *record_map);
+    EXPECT_EQ(*DumpDatabaseText(bulk_target), *DumpDatabaseText(record_target));
+  }
+}
+
+TEST(CopyDatabaseTest, BulkAndRecordEnginesAgreeOnConstraintErrors) {
+  // Same failing copy under both engines: identical status, including the
+  // record named in the message.
+  Database source = MakeCompanyDatabase();
+  Schema schema = source.schema();
+  ConstraintDef c;
+  c.name = "AGE-REQUIRED";
+  c.kind = ConstraintKind::kNonNull;
+  c.record = "EMP";
+  c.fields = {"AGE"};
+  ASSERT_TRUE(schema.AddConstraint(c).ok());
+  RecordId machinery = source.SystemMembers("ALL-DIV")[0];
+  RecordId adams = source.Members("DIV-EMP", machinery)[0];
+  ASSERT_TRUE(source.ModifyRecord(adams, {{"AGE", Value::Null()}}).ok());
+  std::vector<std::string> messages;
+  for (DataCopyEngine engine :
+       {DataCopyEngine::kColumnarBulk, DataCopyEngine::kRecordAtATime}) {
+    ScopedDataCopyEngine scoped(engine);
+    Database target = *Database::Create(schema);
+    Result<std::map<RecordId, RecordId>> map =
+        CopyDatabase(source, &target, CopySpec{});
+    ASSERT_FALSE(map.ok());
+    EXPECT_EQ(map.status().code(), StatusCode::kConstraintViolation);
+    messages.push_back(map.status().ToString());
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+}
+
+TEST(CopyDatabaseTest, BulkAndRecordEnginesAgreeOnDuplicateKeyErrors) {
+  // Duplicate unique keys smuggled in through the raw store fail the copy
+  // with the same message under both engines.
+  Database source = testing::MakeDatabase(testing::SchoolDdl());
+  source.mutable_store().Insert("COURSE",
+                                {{"CNO", Value::String("CS101")},
+                                 {"CNAME", Value::String("INTRO")}});
+  source.mutable_store().Insert("COURSE",
+                                {{"CNO", Value::String("CS101")},
+                                 {"CNAME", Value::String("INTRO AGAIN")}});
+  std::vector<std::string> messages;
+  for (DataCopyEngine engine :
+       {DataCopyEngine::kColumnarBulk, DataCopyEngine::kRecordAtATime}) {
+    ScopedDataCopyEngine scoped(engine);
+    Database target = testing::MakeDatabase(testing::SchoolDdl());
+    Result<std::map<RecordId, RecordId>> map =
+        CopyDatabase(source, &target, CopySpec{});
+    ASSERT_FALSE(map.ok());
+    EXPECT_EQ(map.status().code(), StatusCode::kConstraintViolation);
+    EXPECT_NE(map.status().message().find("duplicate key"), std::string::npos)
+        << map.status();
+    messages.push_back(map.status().ToString());
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+}
+
+// --- columnar-source staging (extent-to-extent fast path) -----------------
+
+constexpr char kColumnarDdl[] = R"(
+SCHEMA NAME IS COLSRC
+RECORD SECTION.
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC 9(2).
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  ORDER IS CHRONOLOGICAL.
+  END SET.
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  ORDER IS CHRONOLOGICAL.
+  END SET.
+END SET SECTION.
+END SCHEMA.
+)";
+
+/// A small bulk-loaded source: both types adopted as columnar segments
+/// (never promoted), with null cells in string and int columns.
+Database BuildColumnarSource() {
+  Database db = testing::MakeDatabase(kColumnarDdl);
+  Store& store = db.mutable_store();
+  ExtentTable divs("DIV", {"DIV-NAME", "DIV-LOC"},
+                   {FieldType::kString, FieldType::kString});
+  divs.AppendRow(0, {Value::String("MACHINERY"), Value::String("EAST")});
+  divs.AppendRow(0, {Value::String("AEROSPACE"), Value::Null()});
+  const ExtentTable& div_rows = store.AdoptExtents(std::move(divs));
+  EXPECT_TRUE(
+      store.LinkLast("ALL-DIV", kSystemOwner, div_rows.IdAt(0)).ok());
+  EXPECT_TRUE(
+      store.LinkLast("ALL-DIV", kSystemOwner, div_rows.IdAt(1)).ok());
+  ExtentTable emps("EMP", {"EMP-NAME", "DEPT-NAME", "AGE"},
+                   {FieldType::kString, FieldType::kString, FieldType::kInt});
+  emps.AppendRow(
+      0, {Value::String("ADAMS"), Value::String("SALES"), Value::Int(33)});
+  emps.AppendRow(0, {Value::String("BAKER"), Value::Null(), Value::Int(41)});
+  emps.AppendRow(
+      0, {Value::String("COOK"), Value::String("ADMIN"), Value::Null()});
+  const ExtentTable& emp_rows = store.AdoptExtents(std::move(emps));
+  EXPECT_TRUE(
+      store.LinkLast("DIV-EMP", div_rows.IdAt(0), emp_rows.IdAt(0)).ok());
+  EXPECT_TRUE(
+      store.LinkLast("DIV-EMP", div_rows.IdAt(0), emp_rows.IdAt(1)).ok());
+  EXPECT_TRUE(
+      store.LinkLast("DIV-EMP", div_rows.IdAt(1), emp_rows.IdAt(2)).ok());
+  db.RebuildIndexes();
+  return db;
+}
+
+/// True when no columnar row of `type` has been promoted into the record
+/// heap — i.e. the copy read the extents directly.
+bool StillFullyColumnar(const Database& db, const std::string& type) {
+  for (const Store::ColumnarRun& run : db.raw_store().ColumnarRuns(type)) {
+    if (run.live != run.table->rows()) return false;
+  }
+  return true;
+}
+
+TEST(CopyDatabaseTest, ColumnarSourceBulkMatchesRecordEngine) {
+  // Fresh source per engine: promotion is one-way, and the bulk engine
+  // must see the same columnar image the record engine promotes.
+  std::vector<std::string> dumps;
+  std::vector<std::map<RecordId, RecordId>> maps;
+  for (DataCopyEngine engine :
+       {DataCopyEngine::kColumnarBulk, DataCopyEngine::kRecordAtATime}) {
+    Database source = BuildColumnarSource();
+    Database target = testing::MakeDatabase(kColumnarDdl);
+    ScopedDataCopyEngine scoped(engine);
+    Result<std::map<RecordId, RecordId>> map =
+        CopyDatabase(source, &target, CopySpec{});
+    ASSERT_TRUE(map.ok()) << map.status();
+    maps.push_back(*map);
+    dumps.push_back(*DumpDatabaseText(target));
+    if (engine == DataCopyEngine::kColumnarBulk) {
+      // The fast path reads extents in place; nothing may be promoted.
+      EXPECT_TRUE(StillFullyColumnar(source, "DIV"));
+      EXPECT_TRUE(StillFullyColumnar(source, "EMP"));
+    }
+  }
+  EXPECT_EQ(maps[0], maps[1]);
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(CopyDatabaseTest, ColumnarChainedCopiesMatchRecordEngine) {
+  // A bulk target is itself columnar; copying it again must keep matching
+  // the record engine (copy-of-copy chain).
+  std::vector<std::string> dumps;
+  for (DataCopyEngine engine :
+       {DataCopyEngine::kColumnarBulk, DataCopyEngine::kRecordAtATime}) {
+    Database source = BuildColumnarSource();
+    Database mid = testing::MakeDatabase(kColumnarDdl);
+    Database final_target = testing::MakeDatabase(kColumnarDdl);
+    ScopedDataCopyEngine scoped(engine);
+    ASSERT_TRUE(CopyDatabase(source, &mid, CopySpec{}).ok());
+    ASSERT_TRUE(CopyDatabase(mid, &final_target, CopySpec{}).ok());
+    if (engine == DataCopyEngine::kColumnarBulk) {
+      EXPECT_TRUE(StillFullyColumnar(mid, "EMP"));
+    }
+    dumps.push_back(*DumpDatabaseText(final_target));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(CopyDatabaseTest, ColumnarSourceDroppedFieldGetsDefault) {
+  // A source column mapped away leaves the target column at its declared
+  // default; null source cells stay null (present-but-null, not default).
+  CopySpec spec;
+  spec.map_field = [](const std::string&,
+                      const std::string& field) -> std::optional<std::string> {
+    if (field == "DEPT-NAME") return std::nullopt;
+    return field;
+  };
+  std::vector<std::string> dumps;
+  for (DataCopyEngine engine :
+       {DataCopyEngine::kColumnarBulk, DataCopyEngine::kRecordAtATime}) {
+    Database source = BuildColumnarSource();
+    Database target = testing::MakeDatabase(kColumnarDdl);
+    ScopedDataCopyEngine scoped(engine);
+    ASSERT_TRUE(CopyDatabase(source, &target, spec).ok());
+    if (engine == DataCopyEngine::kColumnarBulk) {
+      EXPECT_TRUE(StillFullyColumnar(source, "EMP"));
+    }
+    dumps.push_back(*DumpDatabaseText(target));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(CopyDatabaseTest, PartiallyPromotedColumnarSourceCopiesIdentically) {
+  // Promoting even one row makes the type ineligible for the extent read
+  // path; the record-read fallback must produce the identical database.
+  std::vector<std::string> dumps;
+  for (DataCopyEngine engine :
+       {DataCopyEngine::kColumnarBulk, DataCopyEngine::kRecordAtATime}) {
+    Database source = BuildColumnarSource();
+    RecordId second_emp = source.raw_store().OfType("EMP")[1];
+    ASSERT_NE(source.raw_store().Get(second_emp), nullptr);  // promotes
+    EXPECT_FALSE(StillFullyColumnar(source, "EMP"));
+    Database target = testing::MakeDatabase(kColumnarDdl);
+    ScopedDataCopyEngine scoped(engine);
+    ASSERT_TRUE(CopyDatabase(source, &target, CopySpec{}).ok());
+    dumps.push_back(*DumpDatabaseText(target));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
 }
 
 }  // namespace

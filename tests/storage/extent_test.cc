@@ -1,0 +1,222 @@
+#include "storage/extent.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace dbpc {
+namespace {
+
+TEST(ExtentColumnTest, TypedAppendAndAt) {
+  ExtentColumn col(FieldType::kInt, /*dictionary=*/false);
+  col.Append(Value::Int(7));
+  col.Append(Value::Int(-3));
+  ASSERT_EQ(col.rows(), 2u);
+  EXPECT_EQ(col.ints(), (std::vector<int64_t>{7, -3}));
+  EXPECT_EQ(col.At(0).as_int(), 7);
+  EXPECT_EQ(col.At(1).as_int(), -3);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_FALSE(col.has_exceptions());
+}
+
+TEST(ExtentColumnTest, NullsSetBitmapAndKeepVectorsAligned) {
+  ExtentColumn col(FieldType::kDouble, /*dictionary=*/false);
+  col.Append(Value::Double(1.5));
+  col.Append(Value::Null());
+  col.Append(Value::Double(2.5));
+  ASSERT_EQ(col.rows(), 3u);
+  // Placeholder keeps the typed vector row-aligned.
+  ASSERT_EQ(col.doubles().size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_TRUE(col.At(1).is_null());
+  EXPECT_EQ(col.At(2).as_double(), 2.5);
+}
+
+TEST(ExtentColumnTest, DictionaryEncodesDistinctStringsOnce) {
+  ExtentColumn col(FieldType::kString, /*dictionary=*/true);
+  col.Append(Value::String("ACME"));
+  col.Append(Value::String("GLOBEX"));
+  col.Append(Value::String("ACME"));
+  col.Append(Value::Null());
+  col.Append(Value::String("ACME"));
+  ASSERT_EQ(col.rows(), 5u);
+  ASSERT_EQ(col.dictionary().size(), 2u);
+  EXPECT_EQ(col.dictionary()[0], "ACME");
+  EXPECT_EQ(col.dictionary()[1], "GLOBEX");
+  EXPECT_EQ(col.codes()[0], 0u);
+  EXPECT_EQ(col.codes()[1], 1u);
+  EXPECT_EQ(col.codes()[2], 0u);
+  EXPECT_EQ(col.codes()[3], ExtentColumn::kNullCode);
+  EXPECT_EQ(col.codes()[4], 0u);
+  EXPECT_EQ(col.At(2).as_string(), "ACME");
+  EXPECT_TRUE(col.At(3).is_null());
+}
+
+TEST(ExtentColumnTest, PlainStringColumnHoldsRowsDirectly) {
+  ExtentColumn col(FieldType::kString, /*dictionary=*/false);
+  col.Append(Value::String("a"));
+  col.Append(Value::String("a"));
+  EXPECT_FALSE(col.dictionary_encoded());
+  EXPECT_EQ(col.plain(), (std::vector<std::string>{"a", "a"}));
+}
+
+TEST(ExtentColumnTest, TypeMismatchGoesToExceptionSideTable) {
+  ExtentColumn col(FieldType::kInt, /*dictionary=*/false);
+  col.Append(Value::Int(1));
+  col.Append(Value::String("not an int"));
+  col.Append(Value::Int(2));
+  ASSERT_EQ(col.rows(), 3u);
+  ASSERT_TRUE(col.has_exceptions());
+  ASSERT_EQ(col.exceptions().size(), 1u);
+  // The snapshot stays faithful: At() returns the odd value verbatim.
+  EXPECT_EQ(col.At(1).as_string(), "not an int");
+  EXPECT_FALSE(col.IsNull(1));
+  EXPECT_EQ(col.At(0).as_int(), 1);
+  EXPECT_EQ(col.At(2).as_int(), 2);
+  // Placeholder keeps ints() row-aligned.
+  EXPECT_EQ(col.ints().size(), 3u);
+}
+
+TEST(ExtentColumnTest, ByteSizeGrowsWithRows) {
+  ExtentColumn col(FieldType::kInt, /*dictionary=*/false);
+  size_t empty = col.ByteSize();
+  for (int i = 0; i < 100; ++i) col.Append(Value::Int(i));
+  EXPECT_GT(col.ByteSize(), empty);
+}
+
+ExtentTable MakeTwoColumnTable(ExtentOptions options = {}) {
+  return ExtentTable("T", {"name", "age"},
+                     {FieldType::kString, FieldType::kInt}, options);
+}
+
+TEST(ExtentTableTest, CanonicalizesFieldNamesAndResolvesColumns) {
+  ExtentTable table = MakeTwoColumnTable();
+  EXPECT_EQ(table.field_names(), (std::vector<std::string>{"NAME", "AGE"}));
+  EXPECT_EQ(table.ColumnIndex("AGE"), 1);
+  EXPECT_EQ(table.ColumnIndex("MISSING"), -1);
+}
+
+TEST(ExtentTableTest, AppendRowAndRandomAccess) {
+  ExtentTable table = MakeTwoColumnTable();
+  table.AppendRow(11, {Value::String("a"), Value::Int(30)});
+  table.AppendRow(12, {Value::String("b"), Value::Null()});
+  ASSERT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.IdAt(0), 11u);
+  EXPECT_EQ(table.IdAt(1), 12u);
+  EXPECT_EQ(table.At(0, 0).as_string(), "a");
+  EXPECT_EQ(table.At(0, 1).as_int(), 30);
+  EXPECT_TRUE(table.At(1, 1).is_null());
+}
+
+TEST(ExtentTableTest, RowsSplitAcrossFixedSizeExtents) {
+  ExtentOptions options;
+  options.extent_rows = 4;
+  ExtentTable table("T", {"n"}, {FieldType::kInt}, options);
+  // One over an extent boundary: 4 + 4 + 1.
+  for (int i = 0; i < 9; ++i) {
+    table.AppendRow(static_cast<RecordId>(i + 1), {Value::Int(i)});
+  }
+  ASSERT_EQ(table.rows(), 9u);
+  ASSERT_EQ(table.extents().size(), 3u);
+  EXPECT_EQ(table.extents()[0].rows(), 4u);
+  EXPECT_EQ(table.extents()[1].rows(), 4u);
+  EXPECT_EQ(table.extents()[2].rows(), 1u);
+  EXPECT_TRUE(table.extents()[0].Full());
+  EXPECT_FALSE(table.extents()[2].Full());
+  // Random access crosses the boundary correctly.
+  for (size_t r = 0; r < 9; ++r) {
+    EXPECT_EQ(table.At(r, 0).as_int(), static_cast<int64_t>(r));
+    EXPECT_EQ(table.IdAt(r), static_cast<RecordId>(r + 1));
+  }
+}
+
+TEST(ExtentTableTest, ScanVisitsExtentsWithGlobalFirstRow) {
+  ExtentOptions options;
+  options.extent_rows = 3;
+  ExtentTable table("T", {"n"}, {FieldType::kInt}, options);
+  for (int i = 0; i < 7; ++i) table.AppendRow(0, {Value::Int(i)});
+  std::vector<size_t> first_rows;
+  size_t total = 0;
+  table.Scan([&](const Extent& extent, size_t first_row) {
+    first_rows.push_back(first_row);
+    total += extent.rows();
+  });
+  EXPECT_EQ(first_rows, (std::vector<size_t>{0, 3, 6}));
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(ExtentTableTest, FromStoreSnapshotsAscendingWithMissingFieldsAsNull) {
+  Store store;
+  RecordId a = store.Insert("T", {{"NAME", Value::String("x")},
+                                  {"AGE", Value::Int(1)}});
+  (void)store.Insert("OTHER", {{"NAME", Value::String("skip")}});
+  RecordId b = store.Insert("T", {{"NAME", Value::String("y")}});
+  ExtentTable table = ExtentTable::FromStore(
+      store, "T", {"NAME", "AGE"}, {FieldType::kString, FieldType::kInt});
+  ASSERT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.IdAt(0), a);
+  EXPECT_EQ(table.IdAt(1), b);
+  EXPECT_EQ(table.At(0, 0).as_string(), "x");
+  EXPECT_EQ(table.At(0, 1).as_int(), 1);
+  EXPECT_EQ(table.At(1, 0).as_string(), "y");
+  // Field absent from the stored map snapshots as null.
+  EXPECT_TRUE(table.At(1, 1).is_null());
+}
+
+TEST(ExtentTableTest, TypedAppendsMatchValueAppends) {
+  // BeginRow + per-column typed appends must be indistinguishable from the
+  // row-wise Append(Value) path (the bulk copy stages extent-to-extent
+  // through them).
+  ExtentTable by_value("T", {"S", "N", "D"},
+                       {FieldType::kString, FieldType::kInt,
+                        FieldType::kDouble});
+  ExtentTable typed("T", {"S", "N", "D"},
+                    {FieldType::kString, FieldType::kInt, FieldType::kDouble});
+  for (int i = 0; i < 200; ++i) {
+    const bool null_row = i % 7 == 0;
+    std::vector<Value> row = {Value::String("V" + std::to_string(i % 5)),
+                              null_row ? Value() : Value::Int(i),
+                              Value::Double(i * 0.5)};
+    by_value.AppendRow(0, row);
+    Extent& out = typed.BeginRow(0);
+    out.MutableColumn(0).AppendString(row[0].as_string());
+    if (null_row) {
+      out.MutableColumn(1).AppendNull();
+    } else {
+      out.MutableColumn(1).AppendInt(row[1].as_int());
+    }
+    out.MutableColumn(2).AppendDouble(row[2].as_double());
+  }
+  ASSERT_EQ(typed.rows(), by_value.rows());
+  for (size_t r = 0; r < typed.rows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(typed.At(r, c), by_value.At(r, c)) << r << "," << c;
+      EXPECT_EQ(typed.IsNull(r, c), by_value.IsNull(r, c)) << r << "," << c;
+    }
+  }
+  EXPECT_EQ(typed.ByteSize(), by_value.ByteSize());
+}
+
+TEST(ExtentTableTest, DictionaryShrinksRepetitiveStrings) {
+  ExtentOptions dict;
+  dict.dictionary_strings = true;
+  ExtentOptions plain;
+  plain.dictionary_strings = false;
+  ExtentTable with_dict("T", {"s"}, {FieldType::kString}, dict);
+  ExtentTable without("T", {"s"}, {FieldType::kString}, plain);
+  // Long repeated values so per-row string storage dominates.
+  const std::string v(64, 'x');
+  for (int i = 0; i < 1000; ++i) {
+    with_dict.AppendRow(0, {Value::String(v)});
+    without.AppendRow(0, {Value::String(v)});
+  }
+  EXPECT_LT(with_dict.ByteSize(), without.ByteSize());
+}
+
+}  // namespace
+}  // namespace dbpc

@@ -121,6 +121,61 @@ TEST(StoreTest, AllOfTypeKeepsInsertionOrderAcrossRemovals) {
   EXPECT_EQ(store.AllRecords(), (std::vector<RecordId>{a1, b1, a3, b2, a4}));
 }
 
+TEST(StoreTest, OfTypeReferenceSurvivesInsertsOfOtherTypes) {
+  // The reference-stability contract the extent loader leans on: the vector
+  // OfType returns lives in a node-stable map, so inserting records — even
+  // enough distinct types to rehash the per-type directory — never moves
+  // it. Only same-type inserts change its contents.
+  Store store;
+  RecordId a1 = store.Insert("A", {});
+  const std::vector<RecordId>& ref = store.OfType("A");
+  const std::vector<RecordId>* address = &ref;
+  for (int i = 0; i < 200; ++i) {
+    store.Insert("T" + std::to_string(i), {});
+  }
+  EXPECT_EQ(&store.OfType("A"), address);
+  EXPECT_EQ(ref, (std::vector<RecordId>{a1}));
+  RecordId a2 = store.Insert("A", {});
+  EXPECT_EQ(&store.OfType("A"), address);
+  EXPECT_EQ(ref, (std::vector<RecordId>{a1, a2}));
+}
+
+TEST(StoreTest, GetPointerSurvivesLaterInserts) {
+  // Record pointers are node-stable too: bulk loaders may hold a
+  // StoredRecord* across subsequent inserts.
+  Store store;
+  RecordId id = store.Insert("A", {{"F", Value::Int(7)}});
+  const StoredRecord* rec = store.Get(id);
+  for (int i = 0; i < 1000; ++i) store.Insert("A", {});
+  EXPECT_EQ(store.Get(id), rec);
+  EXPECT_EQ(rec->fields.at("F").as_int(), 7);
+}
+
+TEST(StoreTest, ColumnarRunsExposeAdoptedSegmentsByType) {
+  Store store;
+  store.Insert("A", {{"F", Value::Int(0)}});  // heap rows are not runs
+  ExtentTable a("A", {"F"}, {FieldType::kInt});
+  a.AppendRow(0, {Value::Int(1)});
+  a.AppendRow(0, {Value::Int(2)});
+  ExtentTable b("B", {"G"}, {FieldType::kInt});
+  b.AppendRow(0, {Value::Int(3)});
+  const ExtentTable& a_rows = store.AdoptExtents(std::move(a));
+  store.AdoptExtents(std::move(b));
+  std::vector<Store::ColumnarRun> runs = store.ColumnarRuns("A");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].table, &a_rows);
+  EXPECT_EQ(runs[0].first_id, a_rows.IdAt(0));
+  EXPECT_EQ(runs[0].live, 2u);
+  // Promotion vacates the row inside the run (live drops, vacated set):
+  // bulk readers can tell the run is no longer a faithful full image.
+  ASSERT_NE(store.Get(a_rows.IdAt(1)), nullptr);
+  runs = store.ColumnarRuns("A");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].live, 1u);
+  EXPECT_TRUE((*runs[0].vacated)[1]);
+  EXPECT_TRUE(store.ColumnarRuns("C").empty());
+}
+
 TEST(StoreTest, CloneIsDeep) {
   Store store;
   RecordId owner = store.Insert("O", {});

@@ -43,6 +43,9 @@ echo "== fuzz: optimizer-differential sweep (optimized vs. unoptimized) =="
 echo "== fuzz: index-differential sweep (indexes on vs. off) =="
 ./build/tools/dbpc_fuzz --diff-index --seed 1 --iterations 200
 
+echo "== fuzz: columnar-differential sweep (bulk vs. record copy engine) =="
+./build/tools/dbpc_fuzz --diff-columnar --seed 1 --iterations 200
+
 echo "== observability: span trace + provenance on the company example =="
 TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
@@ -64,6 +67,9 @@ echo "== bench: indexed access-path sanity (E11 --smoke) =="
 
 echo "== bench: daemon load sanity (E13 --smoke) =="
 ./build/bench/bench_daemon --smoke
+
+echo "== bench: columnar bulk translation sanity (E14 --smoke) =="
+./build/bench/bench_data_translation --smoke
 
 echo "== daemon: dbpcd end-to-end smoke (ephemeral port, burst, drain) =="
 rm -f "$TRACE_DIR/dbpcd.port"
@@ -105,9 +111,10 @@ echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target service_test worker_pool_test metrics_test \
-           sock_buffer_test daemon_test
+           sock_buffer_test daemon_test store_test extent_test
 (cd build-tsan/tests/service && ./worker_pool_test && ./service_test)
 (cd build-tsan/tests/common && ./metrics_test)
 (cd build-tsan/tests/daemon && ./sock_buffer_test && ./daemon_test)
+(cd build-tsan/tests/storage && ./store_test && ./extent_test)
 
 echo "== check.sh: all green =="

@@ -8,13 +8,16 @@
 // diffs each converted program optimized vs. unoptimized, checking the
 // cost-based optimizer's no-behaviour-change contract; a fifth ("index")
 // repeats every run with engine index probing disabled, checking the
-// index subsystem's trace-invisibility contract. Divergences are
-// shrunk to minimal repros.
+// index subsystem's trace-invisibility contract; a sixth ("columnar")
+// repeats data translation and the converted runs under the columnar
+// bulk copy engine vs. record-at-a-time, checking the bulk engine's
+// equivalence contract. Divergences are shrunk to minimal repros.
 //
 //   dbpc_fuzz --seed 1 --iterations 500
 //   dbpc_fuzz --strategy bridge --no-shrink --iterations 50
 //   dbpc_fuzz --diff-optimizer --iterations 500
 //   dbpc_fuzz --diff-index --iterations 500
+//   dbpc_fuzz --diff-columnar --iterations 500
 //   dbpc_fuzz --replay samples/fuzz-regressions/*.repro
 //   dbpc_fuzz --print-case 42
 //
@@ -22,10 +25,11 @@
 //   --seed <n>          base seed (default 1); per-iteration case seeds
 //                       derive deterministically from it
 //   --iterations <n>    cases to run (default 100)
-//   --strategy <name>   rewrite | emulation | bridge | optimizer | index;
-//                       repeatable, default all five
+//   --strategy <name>   rewrite | emulation | bridge | optimizer | index |
+//                       columnar; repeatable, default all six
 //   --diff-optimizer    shorthand for --strategy optimizer alone
 //   --diff-index        shorthand for --strategy index alone
+//   --diff-columnar     shorthand for --strategy columnar alone
 //   --shrink / --no-shrink
 //                       minimize failing cases (default on)
 //   --max-failures <n>  stop after this many divergences (default 5)
@@ -59,8 +63,10 @@ using namespace dbpc;
 int Usage() {
   std::fprintf(stderr,
                "usage: dbpc_fuzz [--seed <n>] [--iterations <n>] "
-               "[--strategy rewrite|emulation|bridge|optimizer|index]... "
-               "[--diff-optimizer] [--diff-index] [--shrink|"
+               "[--strategy rewrite|emulation|bridge|optimizer|index|"
+               "columnar]... "
+               "[--diff-optimizer] [--diff-index] [--diff-columnar] "
+               "[--shrink|"
                "--no-shrink] [--max-failures <n>] [--write-repros <dir>] "
                "[--trace] [--replay <file>]... [--print-case <seed>]\n");
   return 2;
@@ -157,6 +163,8 @@ int main(int argc, char** argv) {
       strategies = {FuzzStrategy::kOptimizerDiff};
     } else if (arg == "--diff-index") {
       strategies = {FuzzStrategy::kIndexDiff};
+    } else if (arg == "--diff-columnar") {
+      strategies = {FuzzStrategy::kColumnarDiff};
     } else if (arg == "--shrink") {
       options.shrink = true;
     } else if (arg == "--no-shrink") {
