@@ -1,0 +1,249 @@
+// Experiment E15 — template-level conversion cache on repeat-heavy traffic.
+//
+// Claim: an application system's programs cluster around a small number of
+// statement templates, so a conversion memo keyed on (schema pair, plan,
+// options, statistics, canonical template) pays the analyze/convert/
+// optimize pipeline once per template and serves every repeat from the
+// memo — without changing a single output byte. Method: generate T
+// distinct cacheable templates over the COMPANY schema, repeat each R
+// times, convert the whole batch through two services that differ only in
+// ServiceOptions::cache.enabled, and compare conversions/second. Every
+// outcome is then diffed pairwise (classification, generated CPL source,
+// provenance listing): a cache that is fast but not byte-identical voids
+// the measurement.
+//
+//   bench_conversion_cache            full table (32 templates x 25 repeats)
+//   bench_conversion_cache --smoke    small corpus + hard assertions; exit 1
+//                                     when the hit rate is under 90%, the
+//                                     speedup is under 2x, or any output
+//                                     byte differs cache on/off
+//
+// Like E10 this is a plain table program, not a google-benchmark loop: the
+// interesting numbers (hit rate, identity) are deterministic, and the
+// timing claim is a large ratio, not a microsecond.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "convert/provenance.h"
+#include "corpus/corpus.h"
+#include "generate/generator.h"
+#include "optimize/stats.h"
+#include "service/service.h"
+
+namespace dbpc {
+namespace {
+
+/// The cacheable corpus: every shape that converts without consulting the
+/// analyst under the Figure 4.4 plan — analyst conversions (ambiguous
+/// owner, status dependent, erase in scan, and nested navigation across
+/// the introduced level) are never memoized, so they would cap the
+/// reachable hit rate. Run-time-variable refusals stay in: refusals are
+/// memoized too.
+std::vector<Program> CacheableTemplates(int per_shape) {
+  CorpusMix mix;
+  mix.maryland_reports = per_shape;
+  mix.sorted_reports = per_shape;
+  mix.navigational_reports = per_shape;
+  mix.nested_navigational = 0;
+  mix.updates = per_shape;
+  mix.deletions = per_shape;
+  mix.stores = per_shape;
+  mix.file_reports = per_shape;
+  mix.ambiguous_owner = 0;
+  mix.status_dependent = 0;
+  mix.erase_in_scan = 0;
+  mix.runtime_variable = 1;
+  std::vector<Program> out;
+  for (CorpusProgram& entry : GenerateCompanyCorpus(mix, 1979)) {
+    out.push_back(std::move(entry.program));
+  }
+  return out;
+}
+
+struct ArmResult {
+  double seconds = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+ConversionSupervisor MakeSupervisor(
+    const Schema& schema, const std::vector<const Transformation*>& plan,
+    const StatisticsCatalog& statistics, TemplateCache* cache) {
+  SupervisorOptions options;
+  // Cost-based plan selection: the repeat-heavy production shape the memo
+  // targets — hits reuse the optimized fragment, misses pay candidate
+  // enumeration against the statistics.
+  options.statistics = &statistics;
+  options.cache = cache;
+  return bench::Value(ConversionSupervisor::Create(schema, plan, options),
+                      "create supervisor");
+}
+
+/// The timed loop: every program through the pipeline, outcomes dropped as
+/// they are produced. The arms measure the supervisor — the pipeline the
+/// memo accelerates — not the worker-pool service, which adds an identical
+/// per-job scheduling and response-building cost to both arms and would
+/// only dilute the ratio (its cache is this same TemplateCache, shared
+/// across workers). Outputs are diffed separately in an untimed pass so
+/// neither arm pays allocator pressure from the other's retained report.
+ArmResult TimeArm(const Schema& schema,
+                  const std::vector<const Transformation*>& plan,
+                  const StatisticsCatalog& statistics,
+                  const std::vector<Program>& programs, bool cache_enabled) {
+  TemplateCache cache;
+  ConversionSupervisor supervisor = MakeSupervisor(
+      schema, plan, statistics, cache_enabled ? &cache : nullptr);
+
+  ArmResult arm;
+  auto start = std::chrono::steady_clock::now();
+  for (const Program& program : programs) {
+    PipelineOutcome outcome =
+        bench::Value(supervisor.ConvertProgram(program), "convert");
+    if (outcome.conversion.converted.name.empty() && outcome.accepted) {
+      std::abort();  // unreachable; keeps the loop from being elided
+    }
+  }
+  auto stop = std::chrono::steady_clock::now();
+  arm.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  arm.hits = cache.Stats().hits;
+  arm.misses = cache.Stats().misses;
+  return arm;
+}
+
+/// The artifacts the memo promises to serve byte-identically.
+std::string OutcomeArtifacts(const PipelineOutcome& outcome) {
+  std::string text = ConvertibilityName(outcome.classification);
+  text += outcome.accepted ? " accepted\n" : " refused\n";
+  if (outcome.accepted) {
+    text += GenerateCplSource(outcome.conversion.converted);
+    text += ProvenanceListing(outcome.conversion.converted.name,
+                              outcome.conversion.source_statements,
+                              outcome.conversion.converted);
+  }
+  return text;
+}
+
+int RunAll(bool smoke) {
+  const int per_shape = smoke ? 1 : 5;  // 8 / 36 distinct templates
+  const int repeats = smoke ? 20 : 25;
+
+  Database db = bench::FilledCompany(smoke ? 4 : 10, smoke ? 8 : 20);
+  std::vector<TransformationPtr> owned;
+  owned.push_back(MakeIntroduceIntermediate(bench::Figure44Params()));
+  std::vector<const Transformation*> plan{owned[0].get()};
+  Database translated =
+      bench::Value(TranslateDatabase(db, plan), "translate database");
+  StatisticsCatalog statistics = StatisticsCatalog::Collect(translated);
+
+  std::vector<Program> templates = CacheableTemplates(per_shape);
+  std::vector<Program> batch;
+  batch.reserve(templates.size() * repeats);
+  for (int r = 0; r < repeats; ++r) {
+    for (const Program& program : templates) {
+      batch.push_back(program);
+    }
+  }
+
+  // Identity first (untimed): a divergent cache voids the timing claim.
+  bool identical = true;
+  {
+    TemplateCache cache;
+    ConversionSupervisor cached =
+        MakeSupervisor(db.schema(), plan, statistics, &cache);
+    ConversionSupervisor uncached =
+        MakeSupervisor(db.schema(), plan, statistics, nullptr);
+    SystemConversionReport on_report =
+        bench::Value(cached.ConvertSystem(batch), "cached batch");
+    SystemConversionReport off_report =
+        bench::Value(uncached.ConvertSystem(batch), "uncached batch");
+    identical = on_report.ToText() == off_report.ToText() &&
+                on_report.outcomes.size() == off_report.outcomes.size();
+    if (identical) {
+      for (size_t i = 0; i < on_report.outcomes.size(); ++i) {
+        if (OutcomeArtifacts(on_report.outcomes[i]) !=
+            OutcomeArtifacts(off_report.outcomes[i])) {
+          identical = false;
+          std::fprintf(
+              stderr, "output diverges at request %zu (%s)\n", i,
+              on_report.outcomes[i].conversion.converted.name.c_str());
+          break;
+        }
+      }
+    }
+  }
+
+  ArmResult off = TimeArm(db.schema(), plan, statistics, batch,
+                          /*cache_enabled=*/false);
+  ArmResult on = TimeArm(db.schema(), plan, statistics, batch,
+                         /*cache_enabled=*/true);
+
+  const double total = static_cast<double>(batch.size());
+  const double rate_off = total / off.seconds;
+  const double rate_on = total / on.seconds;
+  const double speedup = rate_on / rate_off;
+  const double hit_rate =
+      on.hits + on.misses == 0
+          ? 0.0
+          : static_cast<double>(on.hits) / static_cast<double>(on.hits + on.misses);
+
+  std::printf(
+      "E15 conversion cache: %zu templates x %d repeats = %zu conversions, "
+      "jobs=1\n"
+      "%-10s %14s %14s %10s %10s\n",
+      templates.size(), repeats, batch.size(), "arm", "conversions/s",
+      "batch ms", "hits", "misses");
+  std::printf("%-10s %14.0f %14.2f %10s %10s\n", "cache-off", rate_off,
+              off.seconds * 1e3, "-", "-");
+  std::printf("%-10s %14.0f %14.2f %10llu %10llu\n", "cache-on", rate_on,
+              on.seconds * 1e3, static_cast<unsigned long long>(on.hits),
+              static_cast<unsigned long long>(on.misses));
+  std::printf("speedup %.1fx, hit rate %.1f%%, outputs %s\n", speedup,
+              hit_rate * 100.0, identical ? "identical" : "DIVERGE");
+
+  if (!identical) {
+    std::fprintf(stderr, "bench_conversion_cache: FAILED (cache on/off "
+                         "outputs differ)\n");
+    return 1;
+  }
+  if (hit_rate < 0.9) {
+    std::fprintf(stderr,
+                 "bench_conversion_cache: FAILED (hit rate %.1f%%, want >= "
+                 "90%%)\n",
+                 hit_rate * 100.0);
+    return 1;
+  }
+  // The full table is the committed E15 baseline and must show the >= 3x
+  // claim; the smoke gate keeps a margin for loaded CI machines.
+  const double floor = smoke ? 2.0 : 3.0;
+  if (speedup < floor) {
+    std::fprintf(stderr,
+                 "bench_conversion_cache: FAILED (speedup %.2fx, want >= "
+                 "%.1fx)\n",
+                 speedup, floor);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbpc
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_conversion_cache [--smoke]\n");
+      return 2;
+    }
+  }
+  return dbpc::RunAll(smoke);
+}

@@ -1,0 +1,140 @@
+#include "convert/template_cache.h"
+
+#include <algorithm>
+
+namespace dbpc {
+
+uint64_t Fingerprint64(std::string_view text) {
+  // FNV-1a, 64-bit.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t MixFingerprints(uint64_t a, uint64_t b) {
+  // boost::hash_combine's 64-bit golden-ratio mix; order-dependent.
+  a ^= b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4);
+  return a;
+}
+
+std::string CanonicalProgramText(const Program& program) {
+  std::string text = program.ToSource();
+  // Drop the "PROGRAM <name>.\n" line: the name is per-program identity,
+  // not template identity, and is re-stamped on every hit.
+  size_t eol = text.find('\n');
+  return eol == std::string::npos ? std::string() : text.substr(eol + 1);
+}
+
+Status TemplateCacheOptions::Validate() const {
+  if (shards <= 0) {
+    return Status::InvalidArgument(
+        "TemplateCacheOptions::shards must be >= 1 (got " +
+        std::to_string(shards) + ")");
+  }
+  if (capacity <= 0) {
+    return Status::InvalidArgument(
+        "TemplateCacheOptions::capacity must be >= 1 (got " +
+        std::to_string(capacity) + ")");
+  }
+  return Status::OK();
+}
+
+TemplateCache::TemplateCache(TemplateCacheOptions options)
+    : options_(options) {
+  int shards = std::max(1, options_.shards);
+  per_shard_capacity_ = static_cast<size_t>(
+      std::max(1, (std::max(1, options_.capacity) + shards - 1) / shards));
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const CachedConversion> TemplateCache::Lookup(
+    uint64_t key, std::string_view prefix, std::string_view suffix,
+    const Program& program) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const CachedConversion> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      entry = it->second->second;
+    }
+  }
+  // Verification runs outside the shard lock: the entry is immutable and
+  // the shared_ptr keeps it alive past any concurrent eviction. The stored
+  // context is compared piecewise against prefix+suffix so the caller
+  // never has to concatenate them.
+  const std::string_view stored =
+      entry != nullptr ? std::string_view(entry->context) : std::string_view();
+  if (entry != nullptr && stored.size() == prefix.size() + suffix.size() &&
+      stored.substr(0, prefix.size()) == prefix &&
+      stored.substr(prefix.size()) == suffix &&
+      entry->canonical_body == program.body) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+size_t TemplateCache::Insert(uint64_t key, CachedConversion entry) {
+  auto shared = std::make_shared<const CachedConversion>(std::move(entry));
+  Shard& shard = ShardFor(key);
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh: replace the payload and promote to most recently used.
+      it->second->second = std::move(shared);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.emplace_front(key, std::move(shared));
+      shard.index[key] = shard.lru.begin();
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+size_t TemplateCache::Clear() {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->lru.size();
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+TemplateCacheStats TemplateCache::Stats() const {
+  TemplateCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace dbpc

@@ -1,0 +1,172 @@
+#ifndef DBPC_CONVERT_TEMPLATE_CACHE_H_
+#define DBPC_CONVERT_TEMPLATE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "convert/converter.h"
+#include "optimize/optimizer.h"
+
+namespace dbpc {
+
+/// The template-level conversion memo (ROADMAP "Template-level conversion
+/// caching"): at fleet scale most submitted programs share statement
+/// templates, so the full analyze/convert/optimize cost of a template is
+/// paid once and every further program with the same canonical body reuses
+/// the converted+optimized fragment.
+///
+/// Key contract (see DESIGN.md). An entry is addressed by a 64-bit
+/// fingerprint over two parts:
+///
+///  - the *conversion context*: source and target schema DDL, every
+///    restructuring plan step's name + description, the option switches
+///    that change converted output (optimizer on/off, template lifting,
+///    index configuration), and the full text of the statistics catalog.
+///    The statistics text is re-fingerprinted on every lookup, so mutating
+///    the catalog in place — or pointing a new supervisor with different
+///    options at a shared cache — can never serve a stale optimized plan.
+///  - the *canonical program body*: the program's source rendering minus
+///    its name line. `Stmt::ToSource` never renders `Provenance` and
+///    `Stmt::operator==` never compares it, so two programs differing only
+///    in name or provenance stamps share one entry by construction.
+///
+/// Hash collisions cannot serve wrong answers: each entry stores its full
+/// context string and canonical body, and a hit is only declared when both
+/// compare equal (the body via `Stmt::operator==`). A mismatch is a miss.
+///
+/// Thread safety: every method is safe to call concurrently; the service
+/// shares one instance across its whole worker pool. Internally the map is
+/// sharded by key with one mutex, one LRU list and one hash map per shard.
+
+/// FNV-1a over `text`. Stable across runs and platforms; the basis of
+/// every cache fingerprint.
+uint64_t Fingerprint64(std::string_view text);
+
+/// Order-dependent combination of two fingerprints.
+uint64_t MixFingerprints(uint64_t a, uint64_t b);
+
+/// The program body's canonical source form: `Program::ToSource()` minus
+/// the `PROGRAM <name>.` line. Provenance is excluded because ToSource
+/// never renders it (lang/ast.h).
+std::string CanonicalProgramText(const Program& program);
+
+struct TemplateCacheOptions {
+  /// Serve hits. When false the service runs rules-only (every program
+  /// pays the full pipeline); the supervisor knob is the null pointer.
+  bool enabled = true;
+  /// Lock shards. More shards cut contention across worker threads.
+  int shards = 8;
+  /// Total cached templates across all shards; least recently used
+  /// entries are evicted per shard once its share (capacity/shards,
+  /// at least 1) fills up.
+  int capacity = 4096;
+
+  Status Validate() const;
+};
+
+/// Cumulative counters, also mirrored into the supervisor's
+/// MetricsRegistry under cache.* (hits/misses/evictions/invalidations).
+struct TemplateCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  ///< entries dropped by Clear()
+  uint64_t entries = 0;        ///< currently resident
+};
+
+/// One memoized conversion. The converted program is stored with an empty
+/// name (re-stamped per program on every hit) and zeroed stage timings
+/// (a hit spends no analyzer/converter time). Provenance ids stored on
+/// `result.converted` are valid for every program that hits this entry:
+/// the canonical-body equality check guarantees statement-for-statement
+/// identical sources, so `StampSourceProvenance` would number them
+/// identically.
+struct CachedConversion {
+  std::string context;             ///< full key material, for verification
+  std::vector<Stmt> canonical_body;  ///< compared via Stmt::operator==
+  ConversionResult result;
+  OptimizerStats optimizer_stats;
+  bool accepted = false;
+};
+
+class TemplateCache {
+ public:
+  explicit TemplateCache(TemplateCacheOptions options = {});
+  TemplateCache(const TemplateCache&) = delete;
+  TemplateCache& operator=(const TemplateCache&) = delete;
+
+  /// Returns the entry for `key` after verifying that its stored context
+  /// and canonical body match (`program.body` via Stmt::operator==, which
+  /// excludes Provenance); null on miss or verification failure. The
+  /// returned entry is immutable and stays alive even if evicted
+  /// concurrently.
+  std::shared_ptr<const CachedConversion> Lookup(uint64_t key,
+                                                 std::string_view context,
+                                                 const Program& program) {
+    return Lookup(key, context, std::string_view(), program);
+  }
+
+  /// Same, with the context supplied in two pieces (`prefix` then
+  /// `suffix`, compared against the stored context without concatenating):
+  /// the supervisor's hot path passes its kilobyte Create-time prefix and
+  /// the per-call statistics text without building a combined string.
+  std::shared_ptr<const CachedConversion> Lookup(uint64_t key,
+                                                 std::string_view prefix,
+                                                 std::string_view suffix,
+                                                 const Program& program);
+
+  /// Inserts (or refreshes) `key`. Returns the number of entries evicted
+  /// to make room.
+  size_t Insert(uint64_t key, CachedConversion entry);
+
+  /// Drops every entry (explicit invalidation, e.g. after swapping the
+  /// restructuring plan wholesale). Returns the number dropped. Note that
+  /// ordinary reconfiguration never needs this: plan, options and
+  /// statistics are folded into the key, so stale entries simply stop
+  /// being addressed.
+  size_t Clear();
+
+  TemplateCacheStats Stats() const;
+  const TemplateCacheOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<uint64_t, std::shared_ptr<const CachedConversion>>>
+        lru;
+    std::unordered_map<
+        uint64_t,
+        std::list<std::pair<uint64_t,
+                            std::shared_ptr<const CachedConversion>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    return *shards_[static_cast<size_t>(key) % shards_.size()];
+  }
+
+  TemplateCacheOptions options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_CONVERT_TEMPLATE_CACHE_H_

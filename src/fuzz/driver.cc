@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "bridge/bridge.h"
+#include "convert/provenance.h"
+#include "convert/template_cache.h"
 #include "emulate/emulator.h"
 #include "engine/textio.h"
 #include "fuzz/fuzz.h"
+#include "generate/generator.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
 #include "optimize/stats.h"
@@ -33,6 +36,8 @@ const char* FuzzStrategyName(FuzzStrategy s) {
       return "index";
     case FuzzStrategy::kColumnarDiff:
       return "columnar";
+    case FuzzStrategy::kCacheDiff:
+      return "cache";
   }
   return "unknown";
 }
@@ -43,13 +48,15 @@ Result<FuzzStrategy> ParseFuzzStrategyName(const std::string& name) {
   }
   return Status::InvalidArgument(
       "unknown strategy '" + name +
-      "' (want rewrite, emulation, bridge, optimizer, index or columnar)");
+      "' (want rewrite, emulation, bridge, optimizer, index, columnar or "
+      "cache)");
 }
 
 std::vector<FuzzStrategy> AllFuzzStrategies() {
   return {FuzzStrategy::kRewrite,       FuzzStrategy::kEmulation,
           FuzzStrategy::kBridge,        FuzzStrategy::kOptimizerDiff,
-          FuzzStrategy::kIndexDiff,     FuzzStrategy::kColumnarDiff};
+          FuzzStrategy::kIndexDiff,     FuzzStrategy::kColumnarDiff,
+          FuzzStrategy::kCacheDiff};
 }
 
 namespace {
@@ -479,6 +486,216 @@ StrategyRun RunColumnarDiff(const PreparedCase& p, const Program* converted) {
   return out;
 }
 
+/// The conversion artifacts a client can observe, as one comparable text:
+/// classification, acceptance, analyst-facing notes, generated target
+/// source and the provenance listing. The cache's contract is that these
+/// are byte-identical cache on/off.
+std::string ConversionArtifacts(const PipelineOutcome& outcome) {
+  std::string out;
+  out += std::string("classification: ") +
+         ConvertibilityName(outcome.classification) + "\n";
+  out += std::string("accepted: ") + (outcome.accepted ? "true" : "false") +
+         "\n";
+  for (const std::string& note : outcome.conversion.notes) {
+    out += "note: " + note + "\n";
+  }
+  if (outcome.accepted) {
+    out += GenerateCplSource(outcome.conversion.converted);
+    out += ProvenanceListing(outcome.conversion.converted.name,
+                             outcome.conversion.source_statements,
+                             outcome.conversion.converted);
+  }
+  return out;
+}
+
+/// The cache-differential axis: every conversion artifact served from the
+/// template memo must be byte-identical to the uncached pipeline's, with
+/// per-program identity (name, provenance listing) re-stamped on hits.
+/// Four cached legs run against the uncached reference — cold, warm,
+/// warm-renamed, warm with provenance pre-stamped on the source (stamps
+/// must not split entries) — plus a traced pair (the memo bypasses itself
+/// under tracing, so span forests must match exactly), plus an execution
+/// trace diff of the converted programs when the conversion is automatic.
+/// Runs even for non-automatic cases: refusals are memoized too.
+StrategyRun RunCacheDiff(const PreparedCase& p) {
+  // Statistics from a pristine translated instance exercise the cost-based
+  // optimizer on the cached path; a plan whose data translation fails
+  // still exercises the rules-only path.
+  SupervisorOptions base;
+  StatisticsCatalog catalog;
+  Result<Database> stats_db = LoadTarget(p);
+  if (stats_db.ok()) {
+    catalog = StatisticsCatalog::Collect(*stats_db);
+    base.statistics = &catalog;
+  }
+
+  Result<ConversionSupervisor> uncached =
+      ConversionSupervisor::Create(p.source_schema, p.plan.View(), base);
+  if (!uncached.ok()) {
+    return Broken(FuzzStrategy::kCacheDiff, "uncached pipeline",
+                  uncached.status());
+  }
+  Result<PipelineOutcome> ref = uncached->ConvertProgram(p.program);
+  if (!ref.ok()) {
+    return Broken(FuzzStrategy::kCacheDiff, "uncached conversion",
+                  ref.status());
+  }
+  const std::string ref_artifacts = ConversionArtifacts(*ref);
+
+  TemplateCache cache;
+  SupervisorOptions with_cache = base;
+  with_cache.cache = &cache;
+  Result<ConversionSupervisor> cached =
+      ConversionSupervisor::Create(p.source_schema, p.plan.View(), with_cache);
+  if (!cached.ok()) {
+    return Broken(FuzzStrategy::kCacheDiff, "cached pipeline",
+                  cached.status());
+  }
+
+  // Analyst-consulting outcomes are never memoized (no analyst policy is
+  // configured here, so kNeedsAnalyst cases still log refused questions).
+  const bool cacheable = ref->classification != Convertibility::kNeedsAnalyst;
+
+  struct CachedLeg {
+    const char* name;
+    Program program;
+    bool expect_hit;
+  };
+  std::vector<CachedLeg> legs;
+  legs.push_back({"cold run", p.program, false});
+  legs.push_back({"warm run", p.program, cacheable});
+  Program renamed = p.program;
+  renamed.name += "-2";
+  legs.push_back({"warm renamed run", renamed, cacheable});
+  Program prestamped = p.program;
+  StampSourceProvenance(&prestamped, "fuzz", "prestamp");
+  legs.push_back({"warm prestamped run", prestamped, cacheable});
+
+  Result<PipelineOutcome> warm = Status::Internal("warm leg did not run");
+  for (const CachedLeg& leg : legs) {
+    Result<PipelineOutcome> got = cached->ConvertProgram(leg.program);
+    if (!got.ok()) {
+      return Broken(FuzzStrategy::kCacheDiff, leg.name, got.status());
+    }
+    if (got->cache_hit != leg.expect_hit) {
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kCacheDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = std::string(leg.name) + ": expected cache_hit=" +
+                   (leg.expect_hit ? "true" : "false") + ", got " +
+                   (got->cache_hit ? "true" : "false");
+      return out;
+    }
+    // Artifacts must match the uncached reference, with the leg's own
+    // program name re-stamped (the renamed leg checks exactly that).
+    std::string expected = ref_artifacts;
+    if (leg.program.name != p.program.name) {
+      PipelineOutcome renamed_ref = *ref;
+      renamed_ref.conversion.converted.name = leg.program.name;
+      expected = ConversionArtifacts(renamed_ref);
+    }
+    std::string got_artifacts = ConversionArtifacts(*got);
+    if (got_artifacts != expected) {
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kCacheDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = std::string(leg.name) +
+                   ": conversion artifacts differ from the uncached "
+                   "pipeline's (cached:\n" +
+                   got_artifacts + "uncached:\n" + expected + ")";
+      return out;
+    }
+    if (got->accepted && UnstampedCount(got->conversion.converted) != 0) {
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kCacheDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = std::string(leg.name) +
+                   ": served program has unstamped statements";
+      return out;
+    }
+    if (leg.name == std::string("warm run")) warm = got;
+  }
+
+  // Traced conversions bypass the memo; the span forests (timings
+  // excluded) must be byte-identical with and without a warm cache.
+  {
+    SpanCollector ref_spans;
+    SupervisorOptions traced = base;
+    traced.spans = &ref_spans;
+    SpanCollector cache_spans;
+    SupervisorOptions traced_cache = with_cache;
+    traced_cache.spans = &cache_spans;
+    Result<ConversionSupervisor> traced_ref = ConversionSupervisor::Create(
+        p.source_schema, p.plan.View(), traced);
+    Result<ConversionSupervisor> traced_cached = ConversionSupervisor::Create(
+        p.source_schema, p.plan.View(), traced_cache);
+    if (!traced_ref.ok() || !traced_cached.ok()) {
+      return Broken(FuzzStrategy::kCacheDiff, "traced pipeline",
+                    traced_ref.ok() ? traced_cached.status()
+                                    : traced_ref.status());
+    }
+    Result<PipelineOutcome> a = traced_ref->ConvertProgram(p.program);
+    Result<PipelineOutcome> b = traced_cached->ConvertProgram(p.program);
+    if (!a.ok() || !b.ok()) {
+      return Broken(FuzzStrategy::kCacheDiff, "traced conversion",
+                    a.ok() ? b.status() : a.status());
+    }
+    if (b->cache_hit) {
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kCacheDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail = "traced conversion was served from the cache";
+      return out;
+    }
+    if (ref_spans.ToText(false) != cache_spans.ToText(false)) {
+      StrategyRun out;
+      out.strategy = FuzzStrategy::kCacheDiff;
+      out.outcome = StrategyOutcome::kDivergent;
+      out.detail =
+          "traced span forests differ with a cache configured (cached:\n" +
+          cache_spans.ToText(false) + "uncached:\n" + ref_spans.ToText(false) +
+          ")";
+      return out;
+    }
+  }
+
+  // When the conversion is automatic, the memoized program's execution
+  // trace must match the uncached conversion's run for run.
+  if (ref->accepted && ref->classification == Convertibility::kAutomatic) {
+    Result<Database> ref_db = LoadTarget(p);
+    Result<Database> warm_db = LoadTarget(p);
+    if (!ref_db.ok() || !warm_db.ok()) {
+      return Broken(FuzzStrategy::kCacheDiff, "translate data",
+                    ref_db.ok() ? warm_db.status() : ref_db.status());
+    }
+    Interpreter ref_interp(&*ref_db, p.script);
+    Result<RunResult> ref_run = ref_interp.Run(ref->conversion.converted);
+    if (!ref_run.ok()) {
+      // The uncached converted program fails to run: a conversion bug the
+      // rewrite axis owns, not a cache bug.
+      return Skip(FuzzStrategy::kCacheDiff,
+                  "uncached run failed: " + ref_run.status().ToString());
+    }
+    Interpreter warm_interp(&*warm_db, p.script);
+    Result<RunResult> warm_run = warm_interp.Run(warm->conversion.converted);
+    if (!warm_run.ok()) {
+      return Broken(FuzzStrategy::kCacheDiff, "run cached program",
+                    warm_run.status());
+    }
+    StrategyRun diff =
+        Diff(FuzzStrategy::kCacheDiff, ref_run->trace, warm_run->trace);
+    if (diff.outcome == StrategyOutcome::kDivergent) {
+      diff.detail = "cached vs uncached converted run: " + diff.detail;
+      return diff;
+    }
+  }
+
+  StrategyRun out;
+  out.strategy = FuzzStrategy::kCacheDiff;
+  out.outcome = StrategyOutcome::kEquivalent;
+  return out;
+}
+
 }  // namespace
 
 CaseRun RunFuzzCase(const FuzzCase& c,
@@ -550,6 +767,10 @@ CaseRun RunFuzzCase(const FuzzCase& c,
       // program legs join in when the conversion was automatic.
       out.strategies.push_back(RunColumnarDiff(
           *prepared, automatic ? &outcome->conversion.converted : nullptr));
+    } else if (strategy == FuzzStrategy::kCacheDiff) {
+      // The memo's serve-identical-artifacts contract also binds
+      // unconditionally: refusals are memoized, analyst cases must miss.
+      out.strategies.push_back(RunCacheDiff(*prepared));
     } else if (!automatic) {
       out.strategies.push_back(
           Skip(strategy,
@@ -573,6 +794,7 @@ CaseRun RunFuzzCase(const FuzzCase& c,
           break;
         case FuzzStrategy::kIndexDiff:
         case FuzzStrategy::kColumnarDiff:
+        case FuzzStrategy::kCacheDiff:
           break;  // handled above, before the classification gate
       }
     }

@@ -83,6 +83,18 @@ enum class FuzzStrategy {
   /// equivalence contract (restructure/data_copy.h). The translate leg
   /// runs even for non-automatic cases.
   kColumnarDiff,
+  /// Converts the program through a shared conversion memo
+  /// (convert/template_cache.h) twice — cold, then warm, then warm again
+  /// under a different program name and once more with provenance
+  /// pre-stamped on the source — and diffs every leg against the uncached
+  /// pipeline: classification, generated source, provenance listings and
+  /// the converted programs' execution traces must be identical, the warm
+  /// legs must actually hit for analyst-free outcomes, and traced
+  /// conversions must produce byte-identical span forests with the cache
+  /// configured (the memo bypasses itself under tracing). The oracle is
+  /// the cache's serve-identical-artifacts contract; it runs even for
+  /// non-automatic cases (refusals are memoized too).
+  kCacheDiff,
 };
 
 const char* FuzzStrategyName(FuzzStrategy s);

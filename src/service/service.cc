@@ -50,6 +50,7 @@ Status ServiceOptions::Validate() const {
         "ServiceOptions::retries must be >= 0 (got " +
         std::to_string(retries) + ")");
   }
+  DBPC_RETURN_IF_ERROR(cache.Validate());
   return supervisor.Validate();
 }
 
@@ -64,6 +65,21 @@ Result<std::unique_ptr<ConversionService>> ConversionService::Create(
   std::unique_ptr<ConversionService> service(
       new ConversionService(std::move(options)));
   service->options_.supervisor.metrics = &service->metrics_;
+  if (service->options_.supervisor.cache == nullptr &&
+      service->options_.cache.enabled) {
+    service->cache_ =
+        std::make_unique<TemplateCache>(service->options_.cache);
+    service->options_.supervisor.cache = service->cache_.get();
+  }
+  if (service->options_.supervisor.cache != nullptr) {
+    // Register the cache.* counters up front so every metrics snapshot
+    // shows them, traffic or not.
+    for (const char* name :
+         {"cache.hits", "cache.misses", "cache.evictions",
+          "cache.invalidations", "cache.traced_bypass"}) {
+      service->metrics_.GetCounter(name);
+    }
+  }
   DBPC_ASSIGN_OR_RETURN(
       ConversionSupervisor supervisor,
       ConversionSupervisor::Create(std::move(source), std::move(plan),
@@ -71,6 +87,15 @@ Result<std::unique_ptr<ConversionService>> ConversionService::Create(
   service->supervisor_ =
       std::make_unique<ConversionSupervisor>(std::move(supervisor));
   return service;
+}
+
+void ConversionService::InvalidateCache() {
+  TemplateCache* cache = options_.supervisor.cache;
+  if (cache == nullptr) return;
+  size_t dropped = cache->Clear();
+  if (dropped > 0) {
+    metrics_.GetCounter("cache.invalidations")->Increment(dropped);
+  }
 }
 
 PipelineOutcome ConversionService::RunOne(const Program& program,

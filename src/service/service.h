@@ -33,6 +33,14 @@ struct ServiceOptions {
   /// attempt, rooted by the service with the program's batch index as the
   /// deterministic sequence and closed after the program_generator stage.
   SupervisorOptions supervisor;
+  /// The template-level conversion memo shared by every worker
+  /// (convert/template_cache.h): enabled by default, repeat-heavy traffic
+  /// pays the analyze/convert/optimize pipeline once per statement
+  /// template. `cache.enabled = false` (dbpcc/dbpcd --no-cache) is the
+  /// no-cache fallback. Ignored when `supervisor.cache` is already set by
+  /// the caller — that instance (possibly shared across services) wins.
+  /// Hit/miss/eviction counters land in metrics() under cache.*.
+  TemplateCacheOptions cache;
   /// Test seam: replaces ConversionSupervisor::ConvertProgram for every
   /// program when set (used to inject slow / throwing pipelines).
   std::function<Result<PipelineOutcome>(const Program&)> pipeline_override;
@@ -106,6 +114,16 @@ class ConversionService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// The conversion memo every worker shares; null when disabled or when
+  /// the caller supplied its own via ServiceOptions::supervisor.cache.
+  TemplateCache* cache() { return options_.supervisor.cache; }
+
+  /// Drops every memoized conversion and counts the invalidation under
+  /// cache.invalidations. Ordinary reconfiguration never needs this (plan,
+  /// options and statistics are part of the memo key); it exists for
+  /// operational cache flushes.
+  void InvalidateCache();
+
  private:
   ConversionService(ServiceOptions options);
 
@@ -122,6 +140,8 @@ class ConversionService {
 
   ServiceOptions options_;
   MetricsRegistry metrics_;
+  /// The service-owned conversion memo (null when disabled or external).
+  std::unique_ptr<TemplateCache> cache_;
   /// unique_ptr: the supervisor is created after metrics_ so its options
   /// can point at the registry.
   std::unique_ptr<ConversionSupervisor> supervisor_;

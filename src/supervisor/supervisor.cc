@@ -1,12 +1,24 @@
 #include "supervisor/supervisor.h"
 
 #include <cmath>
+#include <cstdio>
 #include <optional>
 
 #include "convert/provenance.h"
 #include "optimize/stats.h"
 
 namespace dbpc {
+
+namespace {
+
+std::string CacheKeyHex(uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
 
 AnalystPolicy ApproveAllAnalyst() {
   return [](const std::string&) { return true; };
@@ -41,8 +53,97 @@ Result<ConversionSupervisor> ConversionSupervisor::Create(
                               std::move(options));
 }
 
+ConversionSupervisor::ConversionSupervisor(
+    ProgramConverter converter, std::vector<const Transformation*> plan,
+    SupervisorOptions options)
+    : converter_(std::move(converter)),
+      plan_(std::move(plan)),
+      options_(std::move(options)) {
+  if (options_.cache == nullptr) return;
+  // Everything besides the program and the statistics that can change the
+  // converted output, rendered once. Two supervisors sharing one cache
+  // (different plans, schemas or switches) can therefore never serve each
+  // other's entries. The analyst configuration is deliberately absent:
+  // analyst-consulting conversions are never memoized.
+  std::string& prefix = cache_context_prefix_;
+  prefix = "source schema:\n" + converter_.source_schema().ToDdl();
+  prefix += "target schema:\n" + converter_.target_schema().ToDdl();
+  prefix += "plan:\n";
+  for (const Transformation* step : plan_) {
+    prefix += step->Name() + ": " + step->Describe() + "\n";
+  }
+  prefix += "options: optimizer=" + std::to_string(options_.run_optimizer) +
+            " lift=" + std::to_string(options_.analyzer.lift_templates) +
+            " index=" + std::to_string(options_.index.enabled) +
+            " auto_join=" + std::to_string(options_.index.auto_join_indexes) +
+            "\nstatistics:\n";
+  // The prefix is kilobytes (two schemas' DDL); hash it once here instead
+  // of on every conversion. The statistics text is still hashed per call —
+  // that recomputation is what invalidates entries when the catalog is
+  // mutated in place.
+  cache_context_prefix_fp_ = Fingerprint64(cache_context_prefix_);
+}
+
+std::string ExplainCacheLine(const PipelineOutcome& outcome) {
+  if (!outcome.cache_hit) return "";
+  return "  plan: cached (memo key " + outcome.cache_key +
+         "); candidate costs below were enumerated when the cache entry "
+         "was populated\n";
+}
+
 Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
     const Program& program, SpanContext span) const {
+  MetricsRegistry* metrics = options_.metrics;
+
+  // The conversion memo. Traced conversions bypass it: a hit skips the
+  // pipeline stages, so serving one under a collector would leave the span
+  // forest describing work that never ran — tracing on/off must produce
+  // identical, honest forests.
+  TemplateCache* cache = options_.cache;
+  uint64_t cache_key = 0;
+  std::string cache_context;
+  std::string cache_key_hex;
+  if (cache != nullptr) {
+    if (span.enabled() || options_.spans != nullptr) {
+      if (metrics != nullptr) {
+        metrics->GetCounter("cache.traced_bypass")->Increment();
+      }
+      cache = nullptr;
+    } else {
+      std::string statistics_text =
+          options_.statistics != nullptr ? options_.statistics->ToText() : "";
+      cache_key = MixFingerprints(
+          MixFingerprints(cache_context_prefix_fp_,
+                          Fingerprint64(statistics_text)),
+          Fingerprint64(CanonicalProgramText(program)));
+      cache_key_hex = CacheKeyHex(cache_key);
+      // Piecewise lookup: the kilobyte prefix and the statistics text are
+      // compared against the stored context without being concatenated.
+      if (std::shared_ptr<const CachedConversion> entry = cache->Lookup(
+              cache_key, cache_context_prefix_, statistics_text, program)) {
+        if (metrics != nullptr) metrics->GetCounter("cache.hits")->Increment();
+        PipelineOutcome outcome;
+        outcome.conversion = entry->result;
+        // Re-stamp the per-program identity: the memo stores the template,
+        // the name belongs to this request. Provenance ids on the cached
+        // statements are already this program's ids — the canonical-body
+        // equality check guarantees statement-for-statement identical
+        // sources, which StampSourceProvenance numbers identically.
+        outcome.conversion.converted.name = program.name;
+        outcome.classification = entry->result.outcome;
+        outcome.accepted = entry->accepted;
+        outcome.optimizer_stats = entry->optimizer_stats;
+        outcome.cache_hit = true;
+        outcome.cache_key = cache_key_hex;
+        return outcome;
+      }
+      if (metrics != nullptr) metrics->GetCounter("cache.misses")->Increment();
+      // Only a miss needs the combined context string — it becomes the
+      // stored key material of the entry memoized below.
+      cache_context = cache_context_prefix_ + statistics_text;
+    }
+  }
+
   // Self-rooting: a direct caller with only a collector configured still
   // gets one complete tree per conversion. The service passes its own root
   // (with a per-job sequence) instead and keeps it open for the generator
@@ -73,8 +174,31 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
     }
     owned_root.End();
   };
+  // Memoizes a finished outcome. Conversions the analyst participated in
+  // are never cached: the policy is an arbitrary (possibly stateful)
+  // function, so its answers are not a function of the memo key.
+  auto memoize = [&](PipelineOutcome& out) {
+    out.cache_key = cache_key_hex;
+    if (cache == nullptr) return;
+    if (out.classification == Convertibility::kNeedsAnalyst ||
+        !out.analyst_log.empty()) {
+      return;
+    }
+    CachedConversion entry;
+    entry.context = cache_context;
+    entry.canonical_body = program.body;
+    entry.result = out.conversion;
+    entry.result.converted.name.clear();  // re-stamped per hit
+    entry.result.analyze_micros = 0;      // a hit spends no stage time
+    entry.result.convert_micros = 0;
+    entry.optimizer_stats = out.optimizer_stats;
+    entry.accepted = out.accepted;
+    size_t evicted = cache->Insert(cache_key, std::move(entry));
+    if (metrics != nullptr && evicted > 0) {
+      metrics->GetCounter("cache.evictions")->Increment(evicted);
+    }
+  };
 
-  MetricsRegistry* metrics = options_.metrics;
   if (metrics != nullptr) {
     metrics->GetHistogram("stage.analyze_us")
         ->Record(outcome.conversion.analyze_micros);
@@ -87,6 +211,7 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
   switch (outcome.classification) {
     case Convertibility::kNotConvertible:
       outcome.accepted = false;
+      memoize(outcome);
       RecordOutcomeMetrics(outcome);
       finish();
       return outcome;
@@ -178,6 +303,7 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
     }
     opt_span.End();
   }
+  memoize(outcome);
   RecordOutcomeMetrics(outcome);
   finish();
   return outcome;

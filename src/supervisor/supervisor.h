@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/span.h"
 #include "convert/converter.h"
+#include "convert/template_cache.h"
 #include "engine/database.h"
 #include "optimize/optimizer.h"
 
@@ -71,6 +72,15 @@ struct SupervisorOptions {
   /// program_generator stage and a per-job sequence) owns the root
   /// instead. The collector must outlive the supervisor.
   SpanCollector* spans = nullptr;
+  /// Template-level conversion memo (convert/template_cache.h). Null runs
+  /// every program through the full pipeline (the rules-only / --no-cache
+  /// fallback). The cache may be shared by any number of supervisors —
+  /// schema pair, plan, options and statistics are all folded into the
+  /// memo key — and must outlive them all. Conversions that consult the
+  /// analyst are never memoized (policies are arbitrary functions), and
+  /// traced conversions bypass the cache so span forests stay complete
+  /// and honest.
+  TemplateCache* cache = nullptr;
 
   /// Rejects nonsensical configurations with a structured error instead of
   /// letting the pipeline silently misbehave. Called at pipeline entry
@@ -89,7 +99,21 @@ struct PipelineOutcome {
   OptimizerStats optimizer_stats;
   /// Questions asked of the analyst and the answers given.
   std::vector<std::pair<std::string, bool>> analyst_log;
+  /// True when this outcome was served from the conversion memo; the
+  /// optimizer_stats (candidate costs included) were then enumerated when
+  /// the entry was populated, not for this request — `dbpcc --explain`
+  /// marks them accordingly (ExplainCacheLine).
+  bool cache_hit = false;
+  /// Hex memo key ("0x...."), set whenever the cache was consulted (hit
+  /// or miss); empty when no cache was configured or tracing bypassed it.
+  std::string cache_key;
 };
+
+/// The `cached` marker line `dbpcc --explain` prints for a memoized
+/// outcome (empty string for a pipeline-computed one): candidate costs
+/// shown below it were enumerated when the memo entry was populated, not
+/// re-costed for this request.
+std::string ExplainCacheLine(const PipelineOutcome& outcome);
 
 /// Result of converting a whole application system (paper section 1.1:
 /// "a database application system is converted when each program actually
@@ -148,14 +172,19 @@ class ConversionSupervisor {
 
   ConversionSupervisor(ProgramConverter converter,
                        std::vector<const Transformation*> plan,
-                       SupervisorOptions options)
-      : converter_(std::move(converter)),
-        plan_(std::move(plan)),
-        options_(std::move(options)) {}
+                       SupervisorOptions options);
 
   ProgramConverter converter_;
   std::vector<const Transformation*> plan_;
   SupervisorOptions options_;
+  /// Schema pair + plan + option switches, rendered once at Create; the
+  /// statistics catalog's current text is appended per call (re-read every
+  /// conversion, so mutating the catalog in place invalidates every prior
+  /// entry).
+  std::string cache_context_prefix_;
+  /// Fingerprint64 of the prefix, precomputed at Create so the per-call
+  /// key derivation only hashes the statistics text and the program.
+  uint64_t cache_context_prefix_fp_ = 0;
 };
 
 }  // namespace dbpc

@@ -46,6 +46,9 @@ echo "== fuzz: index-differential sweep (indexes on vs. off) =="
 echo "== fuzz: columnar-differential sweep (bulk vs. record copy engine) =="
 ./build/tools/dbpc_fuzz --diff-columnar --seed 1 --iterations 200
 
+echo "== fuzz: cache-differential sweep (memoized vs. uncached pipeline) =="
+./build/tools/dbpc_fuzz --diff-cache --seed 1 --iterations 200
+
 echo "== observability: span trace + provenance on the company example =="
 TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
@@ -70,6 +73,9 @@ echo "== bench: daemon load sanity (E13 --smoke) =="
 
 echo "== bench: columnar bulk translation sanity (E14 --smoke) =="
 ./build/bench/bench_data_translation --smoke
+
+echo "== bench: conversion cache sanity (E15 --smoke) =="
+./build/bench/bench_conversion_cache --smoke
 
 echo "== daemon: dbpcd end-to-end smoke (ephemeral port, burst, drain) =="
 rm -f "$TRACE_DIR/dbpcd.port"
@@ -111,10 +117,12 @@ echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target service_test worker_pool_test metrics_test \
-           sock_buffer_test daemon_test store_test extent_test
+           sock_buffer_test daemon_test store_test extent_test \
+           template_cache_test
 (cd build-tsan/tests/service && ./worker_pool_test && ./service_test)
 (cd build-tsan/tests/common && ./metrics_test)
 (cd build-tsan/tests/daemon && ./sock_buffer_test && ./daemon_test)
 (cd build-tsan/tests/storage && ./store_test && ./extent_test)
+(cd build-tsan/tests/convert && ./template_cache_test)
 
 echo "== check.sh: all green =="

@@ -11,13 +11,17 @@
 // index subsystem's trace-invisibility contract; a sixth ("columnar")
 // repeats data translation and the converted runs under the columnar
 // bulk copy engine vs. record-at-a-time, checking the bulk engine's
-// equivalence contract. Divergences are shrunk to minimal repros.
+// equivalence contract; a seventh ("cache") converts every program
+// cold-and-warm through a shared conversion memo and requires artifacts,
+// span forests and execution traces byte-identical to the uncached
+// pipeline's. Divergences are shrunk to minimal repros.
 //
 //   dbpc_fuzz --seed 1 --iterations 500
 //   dbpc_fuzz --strategy bridge --no-shrink --iterations 50
 //   dbpc_fuzz --diff-optimizer --iterations 500
 //   dbpc_fuzz --diff-index --iterations 500
 //   dbpc_fuzz --diff-columnar --iterations 500
+//   dbpc_fuzz --diff-cache --iterations 500
 //   dbpc_fuzz --replay samples/fuzz-regressions/*.repro
 //   dbpc_fuzz --print-case 42
 //
@@ -26,10 +30,11 @@
 //                       derive deterministically from it
 //   --iterations <n>    cases to run (default 100)
 //   --strategy <name>   rewrite | emulation | bridge | optimizer | index |
-//                       columnar; repeatable, default all six
+//                       columnar | cache; repeatable, default all seven
 //   --diff-optimizer    shorthand for --strategy optimizer alone
 //   --diff-index        shorthand for --strategy index alone
 //   --diff-columnar     shorthand for --strategy columnar alone
+//   --diff-cache        shorthand for --strategy cache alone
 //   --shrink / --no-shrink
 //                       minimize failing cases (default on)
 //   --max-failures <n>  stop after this many divergences (default 5)
@@ -64,8 +69,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dbpc_fuzz [--seed <n>] [--iterations <n>] "
                "[--strategy rewrite|emulation|bridge|optimizer|index|"
-               "columnar]... "
+               "columnar|cache]... "
                "[--diff-optimizer] [--diff-index] [--diff-columnar] "
+               "[--diff-cache] "
                "[--shrink|"
                "--no-shrink] [--max-failures <n>] [--write-repros <dir>] "
                "[--trace] [--replay <file>]... [--print-case <seed>]\n");
@@ -165,6 +171,8 @@ int main(int argc, char** argv) {
       strategies = {FuzzStrategy::kIndexDiff};
     } else if (arg == "--diff-columnar") {
       strategies = {FuzzStrategy::kColumnarDiff};
+    } else if (arg == "--diff-cache") {
+      strategies = {FuzzStrategy::kCacheDiff};
     } else if (arg == "--shrink") {
       options.shrink = true;
     } else if (arg == "--no-shrink") {

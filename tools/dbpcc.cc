@@ -37,6 +37,10 @@
 //                       database (ablation: results are identical, only
 //                       access-path costs change); also priced into the
 //                       cost model via the statistics catalog
+//   --no-cache          disable the template-level conversion memo: every
+//                       program pays the full pipeline (output is
+//                       byte-identical either way); cache.* counters in
+//                       --metrics-json show hit/miss/eviction activity
 //   --emit <dialect>    cpl (default) | codasyl | sequel
 //   --target-ddl        also print the restructured schema's DDL
 //   --data <file>       load a database dump (engine/textio format) over
@@ -76,7 +80,7 @@ int Usage() {
                "usage: dbpcc --schema <ddl> --plan <plan> [--jobs <n>] "
                "[--deadline-ms <n>] [--metrics-json <file>] "
                "[--trace-json <file>] [--provenance] [--strict] "
-               "[--no-optimizer] [--no-indexes] "
+               "[--no-optimizer] [--no-indexes] [--no-cache] "
                "[--emit cpl|codasyl|sequel] [--target-ddl] "
                "[--data <dump> [--data-out <file>]] [--explain] "
                "<program>...\n");
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
   bool strict = false;
   bool optimizer = true;
   bool indexes = true;
+  bool cache = true;
   bool target_ddl = false;
   bool advise = false;
   bool explain = false;
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
       optimizer = false;
     } else if (arg == "--no-indexes") {
       indexes = false;
+    } else if (arg == "--no-cache") {
+      cache = false;
     } else if (arg == "--target-ddl") {
       target_ddl = true;
     } else if (arg == "--data" && i + 1 < argc) {
@@ -203,6 +210,7 @@ int main(int argc, char** argv) {
   if (!trace_json_path.empty()) options.supervisor.spans = &spans;
   options.supervisor.run_optimizer = optimizer;
   options.supervisor.index = index_options;
+  options.cache.enabled = cache;
   if (target_db.has_value()) options.supervisor.statistics = &catalog;
   if (strict) {
     options.supervisor.mode = AnalystMode::kStrict;
@@ -268,6 +276,10 @@ int main(int argc, char** argv) {
       if (!outcome.accepted) continue;
       std::fprintf(stderr, "explain %s:\n",
                    outcome.conversion.converted.name.c_str());
+      // A memoized outcome's candidate costs were enumerated when the
+      // entry was populated; say so instead of passing them off as fresh.
+      std::string cached_line = ExplainCacheLine(outcome);
+      if (!cached_line.empty()) std::fputs(cached_line.c_str(), stderr);
       if (os.plan_choices.empty()) {
         std::fprintf(stderr,
                      "  rules-only pass (no statistics): %d predicate(s) "

@@ -27,6 +27,9 @@
 //   --strict                 reject analyst-level conversions (default: an
 //                            approve-all analyst, like dbpcc)
 //   --no-optimizer           skip the optimizer stage
+//   --no-cache               disable the template-level conversion memo
+//                            (default: repeat-heavy traffic reuses
+//                            converted templates; METRICS exposes cache.*)
 //   --metrics-json <file>    write a final metrics snapshot on shutdown;
 //                            "-" writes to stderr
 //
@@ -64,7 +67,7 @@ int Usage() {
       "[--port <n>] [--port-file <file>] [--jobs <n>] [--deadline-ms <n>] "
       "[--queue-depth <n>] [--max-connections <n>] [--read-timeout-ms <n>] "
       "[--write-timeout-ms <n>] [--drain-grace-ms <n>] [--strict] "
-      "[--no-optimizer] [--metrics-json <file>]\n");
+      "[--no-optimizer] [--no-cache] [--metrics-json <file>]\n");
   return 2;
 }
 
@@ -127,6 +130,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--no-optimizer") {
       options.service.supervisor.run_optimizer = false;
+    } else if (arg == "--no-cache") {
+      options.service.cache.enabled = false;
     } else {
       return Usage();
     }
