@@ -11,10 +11,22 @@
 // DRAIN mid-burst and checks the drain contract: every admitted job
 // completes, late SUBMITs get backpressure, nothing is dropped.
 //
-//   bench_daemon                 full table (8..400 sessions)
+//   bench_daemon                 full table: epoll 8..2000 sessions plus
+//                                threads-model contrast rows (200, 400)
 //   bench_daemon --smoke         200 sessions only + hard assertions
+//                                (gates the epoll path in check.sh)
+//   bench_daemon --io-model <m>  restrict the table to one io-model
 //   bench_daemon --json <file>   also write the rows as JSON (the
 //                                BENCH_daemon.json baseline format)
+//
+// Session driving: up to 400 connections each session is its own client
+// thread (one blocking Submit + RESULT WAIT round trip at a time — the
+// same closed loop the seed measured). Above that, client threads would
+// distort the measurement on small hosts (2000 threads on one core is a
+// client-side collapse, not a server measurement), so 1000+ rows
+// multiplex ~25 sessions per client thread: submit one request on every
+// session, then fetch every result — still at most one outstanding
+// request per session, so the server-side shape is identical.
 //
 // Like E10/E11 this is a plain table program: google-benchmark repetition
 // would only serialize the interesting part (hundreds of live sockets).
@@ -112,7 +124,85 @@ void RunSession(int port, int index, Clock::time_point deadline,
   (*client)->Quit();
 }
 
+// Above this many connections the bench multiplexes sessions onto a small
+// pool of client threads instead of one thread per session.
+constexpr int kMuxThreshold = 400;
+constexpr int kSessionsPerMuxThread = 25;
+
+/// Multiplexed driver for the 1000+ rows: one client thread owns `count`
+/// sessions and keeps at most one outstanding request per session —
+/// submit one job on every session, then fetch every result. The server
+/// sees the same closed-loop shape as RunSession; only the client-side
+/// thread count changes.
+void RunMuxSessions(int port, int base_index, int count,
+                    Clock::time_point deadline, SessionTally* tallies) {
+  struct Slot {
+    std::unique_ptr<DaemonClient> client;
+    SessionTally* tally = nullptr;
+    uint64_t sequence = 0;
+    JobId pending_id = 0;
+    bool has_pending = false;
+    Clock::time_point start;
+  };
+  std::vector<Slot> slots(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    slots[i].tally = &tallies[i];
+    slots[i].sequence = static_cast<uint64_t>(base_index + i);
+    Result<std::unique_ptr<DaemonClient>> client = DaemonClient::Connect(
+        "127.0.0.1", port, SockBuffer::Limits{20000, 20000, 1 << 16});
+    if (!client.ok()) continue;
+    slots[i].client = std::move(*client);
+    slots[i].tally->connected = true;
+  }
+  while (Clock::now() < deadline) {
+    bool any_submitted = false;
+    for (Slot& slot : slots) {
+      if (slot.client == nullptr) continue;
+      ConversionRequest request;
+      request.source = kPayloads[++slot.sequence % 2];
+      slot.start = Clock::now();
+      Result<JobId> id = slot.client->Submit(request);
+      if (!id.ok()) {
+        slot.has_pending = false;
+        if (id.status().code() == StatusCode::kUnavailable) {
+          ++slot.tally->backpressure;
+          continue;
+        }
+        ++slot.tally->dropped;
+        slot.client.reset();
+        continue;
+      }
+      slot.pending_id = *id;
+      slot.has_pending = true;
+      any_submitted = true;
+    }
+    for (Slot& slot : slots) {
+      if (slot.client == nullptr || !slot.has_pending) continue;
+      slot.has_pending = false;
+      Result<ConversionResponse> response =
+          slot.client->Fetch(slot.pending_id, true);
+      if (!response.ok()) {
+        ++slot.tally->dropped;
+        slot.client.reset();
+        continue;
+      }
+      slot.tally->latencies_us.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                slot.start)
+              .count()));
+      ++slot.tally->completed;
+    }
+    if (!any_submitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  for (Slot& slot : slots) {
+    if (slot.client != nullptr) slot.client->Quit();
+  }
+}
+
 struct Row {
+  DaemonIoModel io_model = DaemonIoModel::kThreads;
   int connections = 0;
   double duration_s = 0;
   uint64_t completed = 0;
@@ -132,9 +222,11 @@ uint64_t PercentileUs(const std::vector<uint64_t>& sorted, double p) {
 }
 
 Result<std::unique_ptr<ConversionDaemon>> StartDaemon(
-    const Schema& schema, const RestructuringPlan& plan, int connections) {
+    const Schema& schema, const RestructuringPlan& plan, int connections,
+    DaemonIoModel io_model) {
   DaemonOptions options;
   options.port = 0;
+  options.io_model = io_model;
   options.max_connections = connections + 16;
   options.queue_depth = connections + 64;
   options.result_wait_ms = 10000;  // below the sessions' 20s read timeout
@@ -145,17 +237,25 @@ Result<std::unique_ptr<ConversionDaemon>> StartDaemon(
 }
 
 Row MeasureRow(const Schema& schema, const RestructuringPlan& plan,
-               int connections, int duration_ms) {
-  std::unique_ptr<ConversionDaemon> daemon =
-      bench::Value(StartDaemon(schema, plan, connections), "daemon start");
+               DaemonIoModel io_model, int connections, int duration_ms) {
+  std::unique_ptr<ConversionDaemon> daemon = bench::Value(
+      StartDaemon(schema, plan, connections, io_model), "daemon start");
 
   std::vector<SessionTally> tallies(connections);
   std::vector<std::thread> sessions;
   Clock::time_point start = Clock::now();
   Clock::time_point deadline = start + std::chrono::milliseconds(duration_ms);
-  for (int i = 0; i < connections; ++i) {
-    sessions.emplace_back(RunSession, daemon->port(), i, deadline,
-                          &tallies[i]);
+  if (connections > kMuxThreshold) {
+    for (int base = 0; base < connections; base += kSessionsPerMuxThread) {
+      int count = std::min(kSessionsPerMuxThread, connections - base);
+      sessions.emplace_back(RunMuxSessions, daemon->port(), base, count,
+                            deadline, &tallies[base]);
+    }
+  } else {
+    for (int i = 0; i < connections; ++i) {
+      sessions.emplace_back(RunSession, daemon->port(), i, deadline,
+                            &tallies[i]);
+    }
   }
   for (std::thread& session : sessions) session.join();
   double elapsed_s = std::chrono::duration_cast<std::chrono::duration<double>>(
@@ -164,6 +264,7 @@ Row MeasureRow(const Schema& schema, const RestructuringPlan& plan,
   daemon->Stop();
 
   Row row;
+  row.io_model = io_model;
   row.connections = connections;
   row.duration_s = elapsed_s;
   std::vector<uint64_t> latencies;
@@ -188,10 +289,11 @@ Row MeasureRow(const Schema& schema, const RestructuringPlan& plan,
 /// finishes), post-drain SUBMITs get backpressure rather than silence,
 /// and no session loses a request without a response.
 bool CheckDrainUnderTraffic(const Schema& schema,
-                            const RestructuringPlan& plan) {
+                            const RestructuringPlan& plan,
+                            DaemonIoModel io_model) {
   constexpr int kConnections = 32;
-  std::unique_ptr<ConversionDaemon> daemon =
-      bench::Value(StartDaemon(schema, plan, kConnections), "daemon start");
+  std::unique_ptr<ConversionDaemon> daemon = bench::Value(
+      StartDaemon(schema, plan, kConnections, io_model), "daemon start");
 
   std::vector<SessionTally> tallies(kConnections);
   std::vector<std::thread> sessions;
@@ -228,26 +330,57 @@ bool CheckDrainUnderTraffic(const Schema& schema,
          all_admitted_completed;
 }
 
-int RunAll(bool smoke, const std::string& json_path) {
+struct Shape {
+  DaemonIoModel io_model;
+  int connections;
+  int duration_ms;
+};
+
+int RunAll(bool smoke, bool model_given, DaemonIoModel model,
+           const std::string& json_path) {
   Schema schema = testing::MakeDatabase(testing::CompanyDdl()).schema();
   RestructuringPlan plan =
       std::move(bench::Value(ParsePlan(kPlanText), "parse plan"));
 
-  std::vector<std::pair<int, int>> shapes =  // {connections, duration_ms}
-      smoke ? std::vector<std::pair<int, int>>{{200, 1500}}
-            : std::vector<std::pair<int, int>>{
-                  {8, 2000}, {64, 2000}, {200, 2500}, {400, 3000}};
+  // Which io-model the non-row checks (drain-under-traffic) and the smoke
+  // gate run under: an explicit --io-model wins, otherwise the platform
+  // default (epoll on Linux — the model the smoke gate is meant to guard).
+  DaemonIoModel gate_model = model_given ? model : DaemonOptions{}.io_model;
 
-  std::printf("E13 daemon load: closed-loop sessions over loopback TCP\n"
-              "%12s %10s %12s %14s %9s %10s %10s %6s\n",
-              "connections", "completed", "backpressure", "conversions/s",
-              "p50(ms)", "p99(ms)", "dropped", "idle");
+  std::vector<Shape> shapes;
+  if (smoke) {
+    shapes = {{gate_model, 200, 1500}};
+  } else if (model_given) {
+    shapes = {{model, 8, 2000}, {model, 64, 2000},
+              {model, 200, 2500}, {model, 400, 3000}};
+    if (model == DaemonIoModel::kEpoll) {
+      shapes.push_back({model, 1000, 4000});
+      shapes.push_back({model, 2000, 5000});
+    }
+  } else {
+    // Threads-model contrast rows first, then the epoll ladder up to the
+    // concurrency the per-connection-thread model cannot reach.
+    shapes = {{DaemonIoModel::kThreads, 200, 2500},
+              {DaemonIoModel::kThreads, 400, 3000},
+              {DaemonIoModel::kEpoll, 8, 2000},
+              {DaemonIoModel::kEpoll, 64, 2000},
+              {DaemonIoModel::kEpoll, 200, 2500},
+              {DaemonIoModel::kEpoll, 400, 3000},
+              {DaemonIoModel::kEpoll, 1000, 4000},
+              {DaemonIoModel::kEpoll, 2000, 5000}};
+  }
+
+  std::printf("E13/E16 daemon load: closed-loop sessions over loopback TCP\n"
+              "%8s %12s %10s %12s %14s %9s %10s %10s %6s\n",
+              "io", "connections", "completed", "backpressure",
+              "conversions/s", "p50(ms)", "p99(ms)", "dropped", "idle");
   std::vector<Row> rows;
   bool sound = true;
-  for (const auto& [connections, duration_ms] : shapes) {
-    Row row = MeasureRow(schema, plan, connections, duration_ms);
-    std::printf("%12d %10llu %12llu %14.1f %9.1f %10.1f %10llu %6d\n",
-                row.connections,
+  for (const Shape& shape : shapes) {
+    Row row = MeasureRow(schema, plan, shape.io_model, shape.connections,
+                         shape.duration_ms);
+    std::printf("%8s %12d %10llu %12llu %14.1f %9.1f %10.1f %10llu %6d\n",
+                DaemonIoModelName(row.io_model), row.connections,
                 static_cast<unsigned long long>(row.completed),
                 static_cast<unsigned long long>(row.backpressure),
                 row.conversions_per_sec,
@@ -268,7 +401,7 @@ int RunAll(bool smoke, const std::string& json_path) {
                  "at >= 200 connections)\n");
     return 1;
   }
-  if (!CheckDrainUnderTraffic(schema, plan)) {
+  if (!CheckDrainUnderTraffic(schema, plan, gate_model)) {
     std::fprintf(stderr,
                  "bench_daemon: FAILED (drain-under-traffic contract)\n");
     return 1;
@@ -281,18 +414,19 @@ int RunAll(bool smoke, const std::string& json_path) {
                    json_path.c_str());
       return 1;
     }
-    out << "{\n  \"experiment\": \"E13\",\n  \"tool\": \"bench_daemon\","
+    out << "{\n  \"experiment\": \"E13/E16\",\n  \"tool\": \"bench_daemon\","
         << "\n  \"unit\": \"client-observed round-trip latency (us), "
         << "completed conversions/sec, closed loop\",\n  \"rows\": [\n";
-    char line[256];
+    char line[320];
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::snprintf(line, sizeof(line),
-                    "    {\"connections\": %d, \"completed\": %llu, "
+                    "    {\"io_model\": \"%s\", \"connections\": %d, "
+                    "\"completed\": %llu, "
                     "\"backpressure\": %llu, \"dropped\": %llu, "
                     "\"conversions_per_sec\": %.1f, \"p50_us\": %llu, "
                     "\"p99_us\": %llu}%s\n",
-                    row.connections,
+                    DaemonIoModelName(row.io_model), row.connections,
                     static_cast<unsigned long long>(row.completed),
                     static_cast<unsigned long long>(row.backpressure),
                     static_cast<unsigned long long>(row.dropped),
@@ -314,16 +448,30 @@ int RunAll(bool smoke, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool model_given = false;
+  dbpc::DaemonIoModel model = dbpc::DaemonIoModel::kThreads;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--io-model") == 0 && i + 1 < argc) {
+      dbpc::Result<dbpc::DaemonIoModel> parsed =
+          dbpc::ParseDaemonIoModel(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bench_daemon: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      model = *parsed;
+      model_given = true;
     } else {
-      std::fprintf(stderr, "usage: bench_daemon [--smoke] [--json <file>]\n");
+      std::fprintf(stderr,
+                   "usage: bench_daemon [--smoke] [--io-model threads|epoll] "
+                   "[--json <file>]\n");
       return 2;
     }
   }
-  return dbpc::RunAll(smoke, json_path);
+  return dbpc::RunAll(smoke, model_given, model, json_path);
 }

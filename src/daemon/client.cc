@@ -35,6 +35,10 @@ Result<std::unique_ptr<DaemonClient>> DaemonClient::Connect(
     return Status::Unavailable("connect " + host + ":" +
                                std::to_string(port) + ": " + strerror(err));
   }
+  // Requests are written whole (EncodeSubmit builds one string), so the
+  // client side of the request/reply exchange must not sit out Nagle
+  // either.
+  EnableTcpNoDelay(fd);
   std::unique_ptr<DaemonClient> client(
       new DaemonClient(std::make_unique<SockBuffer>(fd, limits)));
   DBPC_ASSIGN_OR_RETURN(std::string greeting, client->sock_->ReadLine());

@@ -9,11 +9,25 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
 #include <utility>
 
 #include "daemon/protocol.h"
 
 namespace dbpc {
+
+#if !defined(__linux__)
+// The epoll session state machine is compiled everywhere (the Reactor has
+// non-Linux stubs and Validate rejects io_model=epoll off Linux, so it
+// never runs); only the event-mask constants need substitutes.
+constexpr uint32_t EPOLLIN = 0x001;
+constexpr uint32_t EPOLLOUT = 0x004;
+constexpr uint32_t EPOLLERR = 0x008;
+constexpr uint32_t EPOLLHUP = 0x010;
+#endif
 
 namespace {
 
@@ -34,6 +48,17 @@ Status PositiveKnob(const char* knob, int value) {
 }
 
 }  // namespace
+
+const char* DaemonIoModelName(DaemonIoModel model) {
+  return model == DaemonIoModel::kEpoll ? "epoll" : "threads";
+}
+
+Result<DaemonIoModel> ParseDaemonIoModel(const std::string& name) {
+  if (name == "threads") return DaemonIoModel::kThreads;
+  if (name == "epoll") return DaemonIoModel::kEpoll;
+  return Status::InvalidArgument("unknown io model \"" + name +
+                                 "\" (want threads|epoll)");
+}
 
 Status DaemonOptions::Validate() const {
   if (host.empty()) {
@@ -64,6 +89,13 @@ Status DaemonOptions::Validate() const {
   DBPC_RETURN_IF_ERROR(PositiveKnob("result_wait_ms", result_wait_ms));
   DBPC_RETURN_IF_ERROR(
       PositiveKnob("max_retained_results", max_retained_results));
+  DBPC_RETURN_IF_ERROR(PositiveKnob("io_threads", io_threads));
+#if !defined(__linux__)
+  if (io_model == DaemonIoModel::kEpoll) {
+    return Status::Unsupported(
+        "DaemonOptions::io_model=epoll requires Linux; use io_model=threads");
+  }
+#endif
   return service.Validate();
 }
 
@@ -95,6 +127,14 @@ Result<std::unique_ptr<ConversionDaemon>> ConversionDaemon::Start(
   daemon->drains_ = metrics.GetCounter("daemon.drains");
   daemon->queue_wait_us_ = metrics.GetHistogram("daemon.queue_wait_us");
   daemon->request_us_ = metrics.GetHistogram("daemon.request_us");
+  if (daemon->options_.io_model == DaemonIoModel::kEpoll) {
+    for (int i = 0; i < daemon->options_.io_threads; ++i) {
+      auto shard = std::make_unique<ReactorShard>();
+      DBPC_ASSIGN_OR_RETURN(shard->reactor,
+                            Reactor::Create("dbpcd-io-" + std::to_string(i)));
+      daemon->shards_.push_back(std::move(shard));
+    }
+  }
   DBPC_RETURN_IF_ERROR(daemon->Listen());
   daemon->accept_thread_ =
       std::thread([raw = daemon.get()] { raw->AcceptLoop(); });
@@ -145,6 +185,10 @@ void ConversionDaemon::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     connections_accepted_->Increment();
+    // Replies are coalesced into one send() each; without this the kernel
+    // would still delay the segment after a previous unacked reply (Nagle
+    // vs delayed ACK — a ~40ms stall per request on loopback).
+    EnableTcpNoDelay(fd);
     SockBuffer::Limits limits{options_.read_timeout_ms,
                               options_.write_timeout_ms,
                               static_cast<size_t>(options_.max_line_bytes)};
@@ -169,9 +213,18 @@ void ConversionDaemon::AcceptLoop() {
           std::to_string(options_.max_connections) + "); retry later")));
       continue;  // sock destructor closes
     }
-    std::thread([this, raw = sock.release()] {
-      SessionLoop(std::unique_ptr<SockBuffer>(raw));
-    }).detach();
+    if (options_.io_model == DaemonIoModel::kEpoll) {
+      // Sessions are pinned to a shard for life, so all their state is
+      // loop-thread-local; the Post is the only cross-thread hop.
+      ReactorShard* shard = shards_[next_shard_++ % shards_.size()].get();
+      shard->reactor->Post([this, shard, raw = sock.release()] {
+        StartEpollSession(shard, std::unique_ptr<SockBuffer>(raw));
+      });
+    } else {
+      std::thread([this, raw = sock.release()] {
+        SessionLoop(std::unique_ptr<SockBuffer>(raw));
+      }).detach();
+    }
   }
 }
 
@@ -219,6 +272,572 @@ void ConversionDaemon::SessionLoop(std::unique_ptr<SockBuffer> sock) {
     --active_sessions_;
     sessions_cv_.notify_all();
   }
+}
+
+/// One epoll-model session. Where the threads model blocks a call stack,
+/// this is an explicit state machine: each state names what the session is
+/// waiting for, the reactor delivers the readiness/timer/wake events, and
+/// `Pump()` advances through as many states as the buffers allow without
+/// ever sleeping.
+///
+/// All methods run on the owning shard's loop thread (cross-thread wakes
+/// arrive via Reactor::Post). The wire behavior — reply bytes, teardown
+/// conditions, metric increments — deliberately mirrors SessionLoop/
+/// HandleCommand line by line; the differential tests assert the two
+/// models are byte-identical.
+class ConversionDaemon::EpollSession
+    : public std::enable_shared_from_this<ConversionDaemon::EpollSession> {
+ public:
+  EpollSession(ConversionDaemon* daemon, ReactorShard* shard,
+               std::unique_ptr<SockBuffer> sock)
+      : daemon_(daemon), shard_(shard), sock_(std::move(sock)) {}
+
+  /// Registers the fd with the reactor (parked: interest starts empty;
+  /// Pump sets it per state).
+  Status Register() {
+    auto self = shared_from_this();
+    DBPC_ASSIGN_OR_RETURN(
+        io_token_, shard_->reactor->Add(sock_->fd(), 0, [self](uint32_t ev) {
+          self->OnIoEvent(ev);
+        }));
+    return Status::OK();
+  }
+
+  /// Queues the greeting and starts the machine in its write state.
+  void Start() {
+    sock_->QueueWrite(GreetingLine());
+    state_ = State::kWrite;
+    Pump();
+  }
+
+  /// RESULT WAIT wake: the awaited job finished. Posted by RunJob; a
+  /// session that moved on (timer already answered, or it now awaits a
+  /// different job) ignores the stale wake.
+  void WakeWithResult(const std::shared_ptr<Job>& job) {
+    if (state_ != State::kAwaitResult || awaited_job_ != job) return;
+    CancelDeadline();
+    awaited_job_.reset();
+    // Safe unlocked: RunJob wrote the response before handing out the
+    // waiter under jobs_mu_, and the Post queue ordered that before us.
+    QueueReply(DataReply(EncodeResponsePayload(job->response),
+                         ResponseFields(job->response)),
+               /*close_after=*/false);
+    Pump();
+  }
+
+  /// DRAIN wake: the last pending job finished.
+  void WakeDrained() {
+    if (state_ != State::kAwaitDrain) return;
+    CancelDeadline();
+    QueueReply(DrainedReply(), /*close_after=*/false);
+    Pump();
+  }
+
+  /// Closes the session: deregisters from the reactor, drops it from the
+  /// daemon's session registry, closes the socket, and releases the
+  /// shard's strong ref. Idempotent; safe mid-dispatch (callers hold a
+  /// strong ref across the call).
+  void Teardown() {
+    if (state_ == State::kClosed) return;
+    state_ = State::kClosed;
+    CancelDeadline();
+    if (io_token_ != 0) {
+      shard_->reactor->Remove(sock_->fd(), io_token_);
+      io_token_ = 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(daemon_->sessions_mu_);
+      daemon_->session_socks_.erase(sock_.get());
+    }
+    sock_.reset();
+    {
+      std::lock_guard<std::mutex> lock(daemon_->sessions_mu_);
+      --daemon_->active_sessions_;
+      daemon_->sessions_cv_.notify_all();
+    }
+    shard_->sessions.erase(shared_from_this());
+  }
+
+ private:
+  enum class State {
+    kReadCommand,     ///< Waiting for (or consuming) a command line.
+    kReadPayload,     ///< Consuming a SUBMIT's counted payload.
+    kReadTerminator,  ///< Expecting the empty line after the payload.
+    kWrite,           ///< Flushing a queued reply.
+    kAwaitResult,     ///< Parked in RESULT ... WAIT; woken by job finish.
+    kAwaitDrain,      ///< Parked in DRAIN; woken when pending hits zero.
+    kClosed,
+  };
+
+  void OnIoEvent(uint32_t events) {
+    switch (state_) {
+      case State::kClosed:
+        return;
+      case State::kWrite:
+        if ((events & EPOLLOUT) == 0 && (events & (EPOLLERR | EPOLLHUP))) {
+          Teardown();
+          return;
+        }
+        Pump();
+        return;
+      case State::kAwaitResult:
+      case State::kAwaitDrain:
+        // Interest is empty while parked; only error/hangup gets through.
+        if (events & (EPOLLERR | EPOLLHUP)) Teardown();
+        return;
+      default: {  // reading states
+        if (events & EPOLLIN) {
+          Result<SockBuffer::IoStep> fill = sock_->FillOnce();
+          if (!fill.ok()) {
+            // Peer closed / reset: silent teardown, as in the threads
+            // model's default ReadLine-failure branch.
+            Teardown();
+            return;
+          }
+          if (*fill == SockBuffer::IoStep::kReady) Pump();
+          return;
+        }
+        if (events & (EPOLLERR | EPOLLHUP)) Teardown();
+        return;
+      }
+    }
+  }
+
+  /// Advances the state machine until it blocks (returns), parks, or
+  /// closes. Never sleeps: blocking is expressed as epoll interest plus a
+  /// deadline timer, and Pump is re-entered from the next event.
+  void Pump() {
+    while (true) {
+      switch (state_) {
+        case State::kClosed:
+        case State::kAwaitResult:
+        case State::kAwaitDrain:
+          return;
+
+        case State::kWrite: {
+          Result<SockBuffer::IoStep> step = sock_->FlushQueued();
+          if (!step.ok()) {
+            Teardown();
+            return;
+          }
+          if (*step == SockBuffer::IoStep::kNeedMore) {
+            // The peer stopped draining: wait for EPOLLOUT, bounded by
+            // the write deadline (fires once per reply, not per retry).
+            if (!deadline_armed_) {
+              ArmDeadline(daemon_->options_.write_timeout_ms,
+                          [this] { Teardown(); });
+            }
+            SetInterest(EPOLLOUT);
+            return;
+          }
+          CancelDeadline();
+          if (close_after_write_) {
+            Teardown();
+            return;
+          }
+          state_ = State::kReadCommand;
+          SetInterest(EPOLLIN);
+          continue;
+        }
+
+        case State::kReadCommand: {
+          std::string line;
+          Result<SockBuffer::IoStep> step = sock_->TryReadLine(&line);
+          if (!step.ok()) {
+            // Oversized line: framing cannot be resynchronized, so the
+            // structured error also ends the session.
+            daemon_->protocol_errors_->Increment();
+            QueueReply(ErrReplyLine(step.status()), /*close_after=*/true);
+            continue;
+          }
+          if (*step == SockBuffer::IoStep::kNeedMore) {
+            if (!deadline_armed_) {
+              ArmDeadline(daemon_->options_.read_timeout_ms, [this] {
+                QueueReply(ErrReplyLine(Status::DeadlineExceeded(
+                               "idle timeout, closing session")),
+                           /*close_after=*/true);
+                Pump();
+              });
+            }
+            SetInterest(EPOLLIN);
+            return;
+          }
+          CancelDeadline();
+          if (line.empty()) continue;  // tolerate blank keep-alive lines
+          Result<WireCommand> command = ParseCommandLine(line);
+          if (!command.ok()) {
+            daemon_->protocol_errors_->Increment();
+            QueueReply(ErrReplyLine(command.status()),
+                       /*close_after=*/false);
+            continue;
+          }
+          HandleCommand(*command);
+          continue;
+        }
+
+        case State::kReadPayload: {
+          Result<SockBuffer::IoStep> step =
+              sock_->TryReadExact(pending_command_.payload_bytes, &payload_);
+          if (!step.ok()) {
+            Teardown();
+            return;
+          }
+          if (*step == SockBuffer::IoStep::kNeedMore) {
+            if (!deadline_armed_) {
+              ArmDeadline(daemon_->options_.read_timeout_ms, [this] {
+                daemon_->protocol_errors_->Increment();
+                QueueReply(
+                    ErrReplyLine(Status::DeadlineExceeded(
+                        "payload not received in time, closing session")),
+                    /*close_after=*/true);
+                Pump();
+              });
+            }
+            SetInterest(EPOLLIN);
+            return;
+          }
+          CancelDeadline();
+          state_ = State::kReadTerminator;
+          continue;
+        }
+
+        case State::kReadTerminator: {
+          std::string line;
+          Result<SockBuffer::IoStep> step = sock_->TryReadLine(&line);
+          if (!step.ok()) {
+            // Mirrors the threads model: a failed terminator read ends
+            // the session without a reply.
+            Teardown();
+            return;
+          }
+          if (*step == SockBuffer::IoStep::kNeedMore) {
+            if (!deadline_armed_) {
+              ArmDeadline(daemon_->options_.read_timeout_ms,
+                          [this] { Teardown(); });
+            }
+            SetInterest(EPOLLIN);
+            return;
+          }
+          CancelDeadline();
+          if (!line.empty()) {
+            daemon_->protocol_errors_->Increment();
+            QueueReply(ErrReplyLine(Status::InvalidArgument(
+                           "payload must be followed by an empty line, "
+                           "closing session")),
+                       /*close_after=*/true);
+            continue;
+          }
+          FinishSubmit();
+          continue;
+        }
+      }
+    }
+  }
+
+  /// Dispatches one parsed command — the epoll twin of the daemon's
+  /// HandleCommand, with blocking waits replaced by parked states.
+  void HandleCommand(const WireCommand& command) {
+    switch (command.kind) {
+      case CommandKind::kPing:
+        QueueReply(OkReplyLine({{"pong", "1"}}), /*close_after=*/false);
+        return;
+
+      case CommandKind::kQuit:
+        QueueReply(OkReplyLine({{"bye", "1"}}), /*close_after=*/true);
+        return;
+
+      case CommandKind::kSubmit: {
+        if (command.payload_bytes >
+            static_cast<size_t>(daemon_->options_.max_payload_bytes)) {
+          daemon_->protocol_errors_->Increment();
+          QueueReply(ErrReplyLine(Status::InvalidArgument(
+                         "payload of " +
+                         std::to_string(command.payload_bytes) +
+                         " bytes exceeds limit " +
+                         std::to_string(daemon_->options_.max_payload_bytes) +
+                         ", closing session")),
+                     /*close_after=*/true);
+          return;
+        }
+        pending_command_ = command;
+        payload_.clear();
+        state_ = State::kReadPayload;
+        return;
+      }
+
+      case CommandKind::kStatus: {
+        std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
+        auto it = daemon_->jobs_.find(command.id);
+        if (it == daemon_->jobs_.end()) {
+          QueueReply(ErrReplyLine(Status::NotFound(
+                         "no such job " + std::to_string(command.id))),
+                     /*close_after=*/false);
+          return;
+        }
+        QueueReply(
+            OkReplyLine({{"id", std::to_string(command.id)},
+                         {"state", JobStateName(it->second->state)}}),
+            /*close_after=*/false);
+        return;
+      }
+
+      case CommandKind::kResult: {
+        std::shared_ptr<Job> job;
+        {
+          std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
+          auto it = daemon_->jobs_.find(command.id);
+          if (it == daemon_->jobs_.end()) {
+            QueueReply(ErrReplyLine(Status::NotFound(
+                           "no such job " + std::to_string(command.id))),
+                       /*close_after=*/false);
+            return;
+          }
+          job = it->second;
+          bool finished = job->state == JobState::kDone ||
+                          job->state == JobState::kFailed;
+          if (!finished) {
+            if (!command.wait) {
+              QueueReply(
+                  OkReplyLine({{"id", std::to_string(command.id)},
+                               {"state", JobStateName(job->state)}}),
+                  /*close_after=*/false);
+              return;
+            }
+            // Park. Registered in the same critical section that
+            // observed "not finished", so RunJob — which flips the state
+            // and collects waiters under this lock — cannot slip between
+            // the check and the registration: no lost wakeup.
+            daemon_->result_waiters_[command.id].push_back(
+                ResultWaiter{shard_->reactor.get(), weak_from_this()});
+            awaited_job_ = job;
+            state_ = State::kAwaitResult;
+          }
+        }
+        if (state_ == State::kAwaitResult) {
+          SetInterest(0);
+          ArmDeadline(daemon_->options_.result_wait_ms,
+                      [this] { OnResultWaitTimeout(); });
+          return;
+        }
+        QueueReply(DataReply(EncodeResponsePayload(job->response),
+                             ResponseFields(job->response)),
+                   /*close_after=*/false);
+        return;
+      }
+
+      case CommandKind::kMetrics: {
+        std::string payload = daemon_->service_->metrics().ToJson();
+        QueueReply(DataReply(payload, {}), /*close_after=*/false);
+        return;
+      }
+
+      case CommandKind::kTrace: {
+        bool found = false;
+        bool finished = false;
+        JobState state = JobState::kQueued;
+        std::string payload;
+        {
+          std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
+          auto it = daemon_->jobs_.find(command.id);
+          if (it != daemon_->jobs_.end()) {
+            found = true;
+            state = it->second->state;
+            finished =
+                state == JobState::kDone || state == JobState::kFailed;
+            if (finished) payload = it->second->response.trace_text;
+          }
+        }
+        if (!found) {
+          QueueReply(ErrReplyLine(Status::NotFound(
+                         "no such job " + std::to_string(command.id))),
+                     /*close_after=*/false);
+          return;
+        }
+        if (!finished) {
+          QueueReply(ErrReplyLine(Status::Unavailable(
+                         "job " + std::to_string(command.id) +
+                         " is still " + JobStateName(state))),
+                     /*close_after=*/false);
+          return;
+        }
+        if (payload.empty()) {
+          QueueReply(ErrReplyLine(Status::NotFound(
+                         "job " + std::to_string(command.id) +
+                         " was not submitted with trace=1")),
+                     /*close_after=*/false);
+          return;
+        }
+        QueueReply(
+            DataReply(payload, {{"id", std::to_string(command.id)}}),
+            /*close_after=*/false);
+        return;
+      }
+
+      case CommandKind::kDrain: {
+        bool park = false;
+        {
+          std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
+          if (!daemon_->draining_) {
+            daemon_->draining_ = true;
+            daemon_->drains_->Increment();
+          }
+          if (daemon_->pending_ > 0) {
+            daemon_->drain_waiters_.push_back(
+                ResultWaiter{shard_->reactor.get(), weak_from_this()});
+            state_ = State::kAwaitDrain;
+            park = true;
+          }
+        }
+        if (park) {
+          SetInterest(0);
+          ArmDeadline(daemon_->options_.drain_grace_ms,
+                      [this] { OnDrainTimeout(); });
+          return;
+        }
+        QueueReply(DrainedReply(), /*close_after=*/false);
+        return;
+      }
+    }
+    QueueReply(ErrReplyLine(Status::Internal("unhandled command kind")),
+               /*close_after=*/true);
+  }
+
+  void FinishSubmit() {
+    Result<JobId> id = daemon_->AdmitJob(
+        DecodeSubmit(pending_command_, std::move(payload_)));
+    payload_.clear();
+    if (!id.ok()) {
+      // Backpressure or a bad request: answered, session stays up.
+      QueueReply(ErrReplyLine(id.status()), /*close_after=*/false);
+      return;
+    }
+    QueueReply(OkReplyLine({{"id", std::to_string(*id)},
+                            {"state", "queued"}}),
+               /*close_after=*/false);
+  }
+
+  /// RESULT WAIT deadline. If the job actually finished in the race
+  /// window (wake still in flight), answer with the result; otherwise
+  /// the same `-ERR deadline` the threads model produces.
+  void OnResultWaitTimeout() {
+    if (state_ != State::kAwaitResult) return;
+    std::shared_ptr<Job> job = std::move(awaited_job_);
+    awaited_job_.reset();
+    bool finished;
+    JobState state;
+    {
+      std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
+      state = job->state;
+      finished = state == JobState::kDone || state == JobState::kFailed;
+    }
+    if (finished) {
+      QueueReply(DataReply(EncodeResponsePayload(job->response),
+                           ResponseFields(job->response)),
+                 /*close_after=*/false);
+    } else {
+      QueueReply(ErrReplyLine(Status::DeadlineExceeded(
+                     "job " + std::to_string(job->id) + " still " +
+                     JobStateName(state) + " after " +
+                     std::to_string(daemon_->options_.result_wait_ms) +
+                     "ms")),
+                 /*close_after=*/false);
+    }
+    Pump();
+  }
+
+  /// DRAIN grace deadline, mirroring Drain()'s timeout message.
+  void OnDrainTimeout() {
+    if (state_ != State::kAwaitDrain) return;
+    int pending;
+    {
+      std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
+      pending = daemon_->pending_;
+    }
+    if (pending == 0) {
+      QueueReply(DrainedReply(), /*close_after=*/false);
+    } else {
+      QueueReply(ErrReplyLine(Status::DeadlineExceeded(
+                     "drain grace of " +
+                     std::to_string(daemon_->options_.drain_grace_ms) +
+                     "ms elapsed with " + std::to_string(pending) +
+                     " jobs still pending")),
+                 /*close_after=*/false);
+    }
+    Pump();
+  }
+
+  std::string DrainedReply() {
+    return OkReplyLine(
+        {{"drained", "1"},
+         {"jobs_completed", std::to_string(daemon_->jobs_completed())}});
+  }
+
+  /// Queues a reply and moves to the write state. A close request is
+  /// sticky: once any queued reply asked to close, the session closes
+  /// after the flush.
+  void QueueReply(std::string reply, bool close_after) {
+    sock_->QueueWrite(reply);
+    close_after_write_ = close_after_write_ || close_after;
+    state_ = State::kWrite;
+  }
+
+  void SetInterest(uint32_t events) {
+    if (state_ == State::kClosed || events == current_events_) return;
+    if (shard_->reactor->SetEvents(sock_->fd(), io_token_, events).ok()) {
+      current_events_ = events;
+    } else {
+      Teardown();
+    }
+  }
+
+  /// Arms the single per-session deadline timer (one logical wait at a
+  /// time: line read, payload read, flush, result wait, or drain wait).
+  /// Capturing `this` is safe: every path to destruction runs Teardown,
+  /// which cancels the timer on the same loop thread.
+  void ArmDeadline(int ms, std::function<void()> fn) {
+    CancelDeadline();
+    deadline_armed_ = true;
+    timer_ = shard_->reactor->ScheduleAt(
+        Reactor::Clock::now() + std::chrono::milliseconds(ms),
+        [this, fn = std::move(fn)] {
+          deadline_armed_ = false;
+          timer_ = Reactor::kInvalidTimer;
+          fn();
+        });
+  }
+
+  void CancelDeadline() {
+    if (timer_ != Reactor::kInvalidTimer) {
+      shard_->reactor->CancelTimer(timer_);
+      timer_ = Reactor::kInvalidTimer;
+    }
+    deadline_armed_ = false;
+  }
+
+  ConversionDaemon* daemon_;
+  ReactorShard* shard_;
+  std::unique_ptr<SockBuffer> sock_;
+  uint64_t io_token_ = 0;
+  uint32_t current_events_ = 0;
+  State state_ = State::kWrite;
+  bool close_after_write_ = false;
+  bool deadline_armed_ = false;
+  Reactor::TimerId timer_ = Reactor::kInvalidTimer;
+  WireCommand pending_command_;  ///< The SUBMIT whose payload is read.
+  std::string payload_;
+  std::shared_ptr<Job> awaited_job_;  ///< Set while in kAwaitResult.
+};
+
+void ConversionDaemon::StartEpollSession(ReactorShard* shard,
+                                         std::unique_ptr<SockBuffer> sock) {
+  auto session =
+      std::make_shared<EpollSession>(this, shard, std::move(sock));
+  shard->sessions.insert(session);
+  if (!session->Register().ok()) {
+    session->Teardown();
+    return;
+  }
+  session->Start();
 }
 
 Status ConversionDaemon::HandleCommand(SockBuffer& sock,
@@ -322,20 +941,14 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
         }
       }
       const ConversionResponse& response = job->response;
-      std::string payload = EncodeResponsePayload(response);
-      std::string header =
-          DataReplyLine(payload.size(), ResponseFields(response));
-      DBPC_RETURN_IF_ERROR(sock.WriteAll(header));
-      DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
-      return sock.WriteAll("\n");
+      // Header + payload + terminator leave as one write: one syscall,
+      // and no Nagle/delayed-ACK stall between a reply's segments.
+      return sock.WriteAll(DataReply(EncodeResponsePayload(response),
+                                     ResponseFields(response)));
     }
 
     case CommandKind::kMetrics: {
-      std::string payload = service_->metrics().ToJson();
-      DBPC_RETURN_IF_ERROR(
-          sock.WriteAll(DataReplyLine(payload.size(), {})));
-      DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
-      return sock.WriteAll("\n");
+      return sock.WriteAll(DataReply(service_->metrics().ToJson(), {}));
     }
 
     case CommandKind::kTrace: {
@@ -371,10 +984,8 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
             "job " + std::to_string(command.id) +
             " was not submitted with trace=1")));
       }
-      DBPC_RETURN_IF_ERROR(sock.WriteAll(DataReplyLine(
-          payload.size(), {{"id", std::to_string(command.id)}})));
-      DBPC_RETURN_IF_ERROR(sock.WriteAll(payload));
-      return sock.WriteAll("\n");
+      return sock.WriteAll(
+          DataReply(payload, {{"id", std::to_string(command.id)}}));
     }
 
     case CommandKind::kDrain: {
@@ -425,6 +1036,8 @@ void ConversionDaemon::RunJob(std::shared_ptr<Job> job) {
   }
   queue_wait_us_->Record(ElapsedMicros(job->admitted_at));
   ConversionResponse response = service_->Convert(job->request, job->id);
+  std::vector<ResultWaiter> result_waiters;
+  std::vector<ResultWaiter> drain_waiters;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     job->response = std::move(response);
@@ -433,10 +1046,36 @@ void ConversionDaemon::RunJob(std::shared_ptr<Job> job) {
     ++completed_;
     completed_order_.push_back(job->id);
     EvictOldResultsLocked();
+    // Collected under the same lock that published the finished state, so
+    // every parked session either sees "finished" at registration time or
+    // is in this list — never neither (no lost wakeup).
+    auto it = result_waiters_.find(job->id);
+    if (it != result_waiters_.end()) {
+      result_waiters = std::move(it->second);
+      result_waiters_.erase(it);
+    }
+    if (draining_ && pending_ == 0 && !drain_waiters_.empty()) {
+      drain_waiters = std::move(drain_waiters_);
+      drain_waiters_.clear();
+    }
   }
   jobs_completed_counter_->Increment();
   request_us_->Record(ElapsedMicros(job->admitted_at));
   jobs_cv_.notify_all();
+  for (ResultWaiter& waiter : result_waiters) {
+    waiter.reactor->Post([session = std::move(waiter.session), job] {
+      if (std::shared_ptr<EpollSession> locked = session.lock()) {
+        locked->WakeWithResult(job);
+      }
+    });
+  }
+  for (ResultWaiter& waiter : drain_waiters) {
+    waiter.reactor->Post([session = std::move(waiter.session)] {
+      if (std::shared_ptr<EpollSession> locked = session.lock()) {
+        locked->WakeDrained();
+      }
+    });
+  }
 }
 
 void ConversionDaemon::EvictOldResultsLocked() {
@@ -510,6 +1149,24 @@ void ConversionDaemon::Stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  // Epoll shards: sweep every remaining session on its own loop thread,
+  // then join the reactors. The sweep is posted after the accept thread
+  // joined and the pool drained, so it runs after every queued session
+  // start and every queued result/drain wake (FIFO post queue) — nothing
+  // can resurrect a session behind the sweep's back.
+  for (std::unique_ptr<ReactorShard>& shard : shards_) {
+    ReactorShard* raw = shard.get();
+    raw->reactor->Post([raw] {
+      std::vector<std::shared_ptr<EpollSession>> sessions(
+          raw->sessions.begin(), raw->sessions.end());
+      for (const std::shared_ptr<EpollSession>& session : sessions) {
+        session->Teardown();
+      }
+    });
+  }
+  for (std::unique_ptr<ReactorShard>& shard : shards_) {
+    shard->reactor->Stop();
   }
   // Unblock every session read and wait for the loops to unwind.
   {

@@ -17,10 +17,29 @@
 #include "api/types.h"
 #include "common/metrics.h"
 #include "daemon/protocol.h"
+#include "daemon/reactor.h"
 #include "daemon/sock_buffer.h"
 #include "service/service.h"
 
 namespace dbpc {
+
+/// How the daemon multiplexes sessions over threads.
+enum class DaemonIoModel {
+  /// One thread per connection, blocking I/O with per-call deadlines.
+  /// Simple, portable, and correct — but thread count equals *open*
+  /// sessions, so hundreds of mostly-idle connections still cost
+  /// scheduler pressure (the 400-session collapse in BENCH_daemon.json).
+  kThreads,
+  /// A small pool of epoll reactor threads; each session is a protocol
+  /// state machine whose waiting lives in the event loop (epoll interest +
+  /// timer heap), so cost scales with *active* sessions. Linux only.
+  kEpoll,
+};
+
+/// "threads" / "epoll" (stable tokens used by --io-model and metrics).
+const char* DaemonIoModelName(DaemonIoModel model);
+/// Inverse of DaemonIoModelName; kInvalidArgument for unknown tokens.
+Result<DaemonIoModel> ParseDaemonIoModel(const std::string& name);
 
 /// Network daemon configuration. The embedded ServiceOptions configure the
 /// conversion pipeline itself (worker count, default deadline, retries,
@@ -60,6 +79,18 @@ struct DaemonOptions {
   /// Completed jobs retained for RESULT/TRACE queries; older results are
   /// evicted FIFO (their RESULT then answers `-ERR not-found`).
   int max_retained_results = 8192;
+  /// Session multiplexing strategy. The epoll reactor is the default where
+  /// it exists; `--io-model=threads` keeps the one-thread-per-connection
+  /// model for comparison and as the portable fallback.
+#if defined(__linux__)
+  DaemonIoModel io_model = DaemonIoModel::kEpoll;
+#else
+  DaemonIoModel io_model = DaemonIoModel::kThreads;
+#endif
+  /// Reactor threads (I/O shards) under kEpoll; sessions are assigned
+  /// round-robin at accept and stay on their shard for life. Ignored under
+  /// kThreads.
+  int io_threads = 2;
   /// The conversion pipeline configuration shared with in-process use.
   ServiceOptions service;
 
@@ -133,11 +164,38 @@ class ConversionDaemon {
     std::chrono::steady_clock::time_point admitted_at;
   };
 
+  /// One session under the epoll io-model: an explicit protocol state
+  /// machine (read-command → read-payload → read-terminator → write, with
+  /// parked await-result / await-drain states) driven by reactor events.
+  /// Defined in daemon.cc; lives on exactly one reactor shard.
+  class EpollSession;
+
+  /// One reactor thread plus its loop-thread-owned session set.
+  struct ReactorShard {
+    std::unique_ptr<Reactor> reactor;
+    /// Strong refs keeping sessions alive; mutated only on the loop
+    /// thread (Teardown, StartEpollSession, Stop's final sweep).
+    std::set<std::shared_ptr<EpollSession>> sessions;
+  };
+
+  /// A parked epoll session waiting for a job (RESULT WAIT) or for the
+  /// drain to complete (DRAIN). Registered under jobs_mu_; woken with a
+  /// Post to its shard's reactor. The weak_ptr makes a torn-down session's
+  /// wake a no-op.
+  struct ResultWaiter {
+    Reactor* reactor = nullptr;
+    std::weak_ptr<EpollSession> session;
+  };
+
   explicit ConversionDaemon(DaemonOptions options);
 
   Status Listen();
   void AcceptLoop();
   void SessionLoop(std::unique_ptr<SockBuffer> sock);
+  /// Loop-thread entry: registers an accepted socket as an EpollSession on
+  /// `shard` and starts its state machine.
+  void StartEpollSession(ReactorShard* shard,
+                         std::unique_ptr<SockBuffer> sock);
   /// Dispatches one parsed command; returns a non-OK status only for I/O
   /// failures that end the session (protocol-level errors are answered on
   /// the wire and keep the session alive).
@@ -157,6 +215,11 @@ class ConversionDaemon {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
+  /// Epoll io-model only: the reactor shards. Created in Start, torn down
+  /// in Stop (sessions closed via a posted sweep, then reactors joined).
+  std::vector<std::unique_ptr<ReactorShard>> shards_;
+  size_t next_shard_ = 0;  ///< Round-robin accept assignment (accept thread).
+
   // Sessions: detached threads tracked by count; their SockBuffers are
   // registered here so Stop() can shut them down and unblock reads.
   mutable std::mutex sessions_mu_;
@@ -168,6 +231,13 @@ class ConversionDaemon {
   mutable std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;
   std::map<JobId, std::shared_ptr<Job>> jobs_;
+  /// Epoll sessions parked in RESULT WAIT, keyed by the awaited job;
+  /// RunJob moves a job's waiters out under jobs_mu_ — the same critical
+  /// section that marks the job finished — so a session that checked
+  /// "not finished" and registered atomically cannot miss its wake.
+  std::map<JobId, std::vector<ResultWaiter>> result_waiters_;
+  /// Epoll sessions parked in DRAIN, woken when pending_ reaches zero.
+  std::vector<ResultWaiter> drain_waiters_;
   std::deque<JobId> completed_order_;
   JobId next_id_ = 1;
   int pending_ = 0;

@@ -259,6 +259,14 @@ std::string ErrReplyLine(const Status& status) {
          OneLine(status.message()) + "\n";
 }
 
+std::string DataReply(const std::string& payload, const WireFields& fields) {
+  std::string reply = DataReplyLine(payload.size(), fields);
+  reply.reserve(reply.size() + payload.size() + 1);
+  reply += payload;
+  reply += '\n';
+  return reply;
+}
+
 std::string GreetingLine() {
   return OkReplyLine({{"server", "dbpcd"},
                       {"proto", std::to_string(kProtocolVersion)}});

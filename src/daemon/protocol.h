@@ -83,6 +83,11 @@ std::string DataReplyLine(size_t payload_bytes, const WireFields& fields);
 /// "-ERR <wire-error> <message>\n" (newlines in the message are replaced
 /// so the reply stays one line).
 std::string ErrReplyLine(const Status& status);
+/// A complete +DATA reply — header line, counted payload, and the '\n'
+/// terminator — as one string, so the session layer can hand the whole
+/// reply to one write instead of three (one syscall, and no
+/// Nagle/delayed-ACK stall between a reply's segments).
+std::string DataReply(const std::string& payload, const WireFields& fields);
 /// The connection greeting: "+OK dbpcd proto=1 ...".
 std::string GreetingLine();
 

@@ -1,0 +1,139 @@
+#ifndef DBPC_DAEMON_REACTOR_H_
+#define DBPC_DAEMON_REACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbpc {
+
+/// A single-threaded epoll event loop: fd readiness callbacks, one-shot
+/// timers, and a cross-thread `Post` queue, all dispatched on one loop
+/// thread. The daemon runs a small pool of these (one per I/O shard); each
+/// session lives on exactly one reactor for its whole life, so session
+/// state needs no locking — only the Post queue is cross-thread.
+///
+/// Threading contract:
+///  - `Post` and `Stop` may be called from any thread.
+///  - `Add` / `SetEvents` / `Remove` / `ScheduleAt` / `CancelTimer` must be
+///    called on the loop thread (assert via `on_loop_thread()`); cross-
+///    thread callers reach the loop with `Post` first.
+///  - Callbacks (I/O handlers, timers, posted functions) run on the loop
+///    thread, one at a time.
+///
+/// Registration is keyed by a generation token, not the fd: the kernel can
+/// reuse an fd number the instant it is closed, and a stale event already
+/// harvested by `epoll_wait` must not be dispatched to the fd's new owner.
+/// `Add` returns the token; events whose token no longer matches are
+/// dropped.
+///
+/// `Stop` is idempotent, joins the loop thread, and runs a final drain of
+/// the posted queue, so a `Post` that happened-before `Stop` is guaranteed
+/// to execute.
+class Reactor {
+ public:
+  using IoHandler = std::function<void(uint32_t events)>;
+  using Clock = std::chrono::steady_clock;
+  using TimerId = uint64_t;
+
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// Creates the epoll instance, the wakeup eventfd, and the loop thread.
+  /// `name` labels the loop thread in diagnostics.
+  static Result<std::unique_ptr<Reactor>> Create(std::string name);
+
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Stops the loop and joins the thread. Safe from any thread except the
+  /// loop thread itself; idempotent.
+  void Stop();
+
+  /// Enqueues `fn` to run on the loop thread and wakes the loop. Safe from
+  /// any thread, including the loop thread (runs later in the same
+  /// iteration's drain, not recursively).
+  void Post(std::function<void()> fn);
+
+  // --- Loop-thread-only operations ---
+
+  /// Registers `fd` for `events` (level-triggered). Returns the generation
+  /// token that future `SetEvents`/`Remove` calls must present.
+  Result<uint64_t> Add(int fd, uint32_t events, IoHandler handler);
+
+  /// Changes the interest mask. `events == 0` parks the fd (EPOLLERR and
+  /// EPOLLHUP are still delivered by the kernel regardless).
+  Status SetEvents(int fd, uint64_t token, uint32_t events);
+
+  /// Deregisters the fd. Safe to call with a stale token (no-op). Does not
+  /// close the fd — the owner does.
+  void Remove(int fd, uint64_t token);
+
+  /// Schedules `fn` to run once at `when`. Returns an id for CancelTimer.
+  TimerId ScheduleAt(Clock::time_point when, std::function<void()> fn);
+
+  /// Cancels a pending timer; a fired or unknown id is a no-op.
+  void CancelTimer(TimerId id);
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+
+ private:
+  struct Registration {
+    int fd = -1;
+    std::shared_ptr<IoHandler> handler;
+  };
+  struct TimerEntry {
+    Clock::time_point when;
+    TimerId id = kInvalidTimer;
+    bool operator>(const TimerEntry& other) const {
+      // Earlier deadline first; id breaks ties so ordering is total.
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  Reactor() = default;
+
+  void Run();
+  void DrainPosted();
+  void FireDueTimers();
+  int NextTimeoutMs() const;
+
+  std::string name_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread loop_;
+  std::thread::id loop_thread_id_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // Loop-thread-only state below (no locking needed). Keyed by generation
+  // token — the identity that survives kernel fd-number reuse.
+  std::map<uint64_t, Registration> registrations_;
+  uint64_t next_token_ = 1;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timer_heap_;
+  std::map<TimerId, std::function<void()>> timer_callbacks_;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace dbpc
+
+#endif  // DBPC_DAEMON_REACTOR_H_

@@ -34,9 +34,10 @@ END PLAN.
       .value();
 }
 
-DaemonOptions TestOptions() {
+DaemonOptions TestOptions(DaemonIoModel io_model) {
   DaemonOptions options;
   options.port = 0;
+  options.io_model = io_model;
   options.read_timeout_ms = 2000;
   options.write_timeout_ms = 2000;
   options.result_wait_ms = 5000;
@@ -52,7 +53,7 @@ struct Fixture {
   RestructuringPlan plan = Figure44Plan();
   std::unique_ptr<ConversionDaemon> daemon;
 
-  explicit Fixture(DaemonOptions options = TestOptions()) {
+  explicit Fixture(DaemonOptions options) {
     Schema schema = testing::MakeDatabase(testing::CompanyDdl()).schema();
     Result<std::unique_ptr<ConversionDaemon>> started =
         ConversionDaemon::Start(schema, plan.View(), std::move(options));
@@ -68,8 +69,13 @@ struct Fixture {
   }
 };
 
-TEST(DaemonTest, GreetingAdvertisesServerAndProtocol) {
-  Fixture fixture;
+/// Every behavioral test runs under both io-models: one thread per
+/// connection ("threads") and the epoll reactor ("epoll"). The daemon's
+/// protocol contract must be indistinguishable between them.
+class DaemonTest : public ::testing::TestWithParam<DaemonIoModel> {};
+
+TEST_P(DaemonTest, GreetingAdvertisesServerAndProtocol) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
   EXPECT_EQ(client->greeting().at("server"), "dbpcd");
   EXPECT_EQ(client->greeting().at("proto"),
@@ -77,8 +83,8 @@ TEST(DaemonTest, GreetingAdvertisesServerAndProtocol) {
   EXPECT_TRUE(client->Ping().ok());
 }
 
-TEST(DaemonTest, SubmitStatusResultRoundTrip) {
-  Fixture fixture;
+TEST_P(DaemonTest, SubmitStatusResultRoundTrip) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
 
   ConversionRequest request;
@@ -107,8 +113,8 @@ TEST(DaemonTest, SubmitStatusResultRoundTrip) {
   EXPECT_EQ(again->converted_source, response->converted_source);
 }
 
-TEST(DaemonTest, ParseFailureIsAFailedJobNotASessionError) {
-  Fixture fixture;
+TEST_P(DaemonTest, ParseFailureIsAFailedJobNotASessionError) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
 
   ConversionRequest request;
@@ -122,8 +128,8 @@ TEST(DaemonTest, ParseFailureIsAFailedJobNotASessionError) {
   EXPECT_TRUE(client->Ping().ok());
 }
 
-TEST(DaemonTest, MalformedCommandsKeepTheSessionAlive) {
-  Fixture fixture;
+TEST_P(DaemonTest, MalformedCommandsKeepTheSessionAlive) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
 
   for (const char* bad :
@@ -137,8 +143,8 @@ TEST(DaemonTest, MalformedCommandsKeepTheSessionAlive) {
   EXPECT_TRUE(client->Ping().ok());
 }
 
-TEST(DaemonTest, OversizedLineTearsDownTheSessionStructurally) {
-  Fixture fixture;
+TEST_P(DaemonTest, OversizedLineTearsDownTheSessionStructurally) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
   // No newline within the daemon's max_line_bytes: the session must reply
   // -ERR and close, not hang or crash.
@@ -153,8 +159,8 @@ TEST(DaemonTest, OversizedLineTearsDownTheSessionStructurally) {
   EXPECT_TRUE(fixture.Connect()->Ping().ok());
 }
 
-TEST(DaemonTest, OversizedPayloadIsRefusedBeforeReading) {
-  DaemonOptions options = TestOptions();
+TEST_P(DaemonTest, OversizedPayloadIsRefusedBeforeReading) {
+  DaemonOptions options = TestOptions(GetParam());
   options.max_payload_bytes = 128;
   Fixture fixture(std::move(options));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
@@ -164,8 +170,8 @@ TEST(DaemonTest, OversizedPayloadIsRefusedBeforeReading) {
   EXPECT_EQ(reply->rfind("-ERR bad-request", 0), 0u) << *reply;
 }
 
-TEST(DaemonTest, MidRequestDisconnectAdmitsNothing) {
-  Fixture fixture;
+TEST_P(DaemonTest, MidRequestDisconnectAdmitsNothing) {
+  Fixture fixture(TestOptions(GetParam()));
   {
     std::unique_ptr<DaemonClient> client = fixture.Connect();
     // Promise 1000 payload bytes, deliver 10, vanish.
@@ -180,16 +186,16 @@ TEST(DaemonTest, MidRequestDisconnectAdmitsNothing) {
   EXPECT_TRUE(fixture.Connect()->Ping().ok());
 }
 
-TEST(DaemonTest, ResultForUnknownJobIsNotFound) {
-  Fixture fixture;
+TEST_P(DaemonTest, ResultForUnknownJobIsNotFound) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
   Result<ConversionResponse> response = client->Fetch(777, /*wait=*/false);
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
 }
 
-TEST(DaemonTest, BackpressureWhenQueueIsFull) {
-  DaemonOptions options = TestOptions();
+TEST_P(DaemonTest, BackpressureWhenQueueIsFull) {
+  DaemonOptions options = TestOptions(GetParam());
   options.queue_depth = 1;
   options.service.jobs = 1;
   // A pipeline that blocks until released, so the queue stays provably
@@ -228,8 +234,8 @@ TEST(DaemonTest, BackpressureWhenQueueIsFull) {
   EXPECT_TRUE(client->Submit(request).ok());
 }
 
-TEST(DaemonTest, PerRequestDeadlineDegradesToRefused) {
-  DaemonOptions options = TestOptions();
+TEST_P(DaemonTest, PerRequestDeadlineDegradesToRefused) {
+  DaemonOptions options = TestOptions(GetParam());
   options.service.retries = 0;
   // Every attempt takes ~40ms; a 1ms per-request deadline is always
   // overrun, so the job must degrade to a refused-but-answered conversion
@@ -260,8 +266,8 @@ TEST(DaemonTest, PerRequestDeadlineDegradesToRefused) {
   EXPECT_TRUE(response->accepted);
 }
 
-TEST(DaemonTest, TraceIsServedOnlyForTracedJobs) {
-  Fixture fixture;
+TEST_P(DaemonTest, TraceIsServedOnlyForTracedJobs) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
 
   ConversionRequest untraced;
@@ -282,8 +288,8 @@ TEST(DaemonTest, TraceIsServedOnlyForTracedJobs) {
   EXPECT_NE(trace->find("convert SENIORS"), std::string::npos) << *trace;
 }
 
-TEST(DaemonTest, TraceOnAnUnfinishedJobIsAnsweredNotRaced) {
-  DaemonOptions options = TestOptions();
+TEST_P(DaemonTest, TraceOnAnUnfinishedJobIsAnsweredNotRaced) {
+  DaemonOptions options = TestOptions(GetParam());
   options.service.jobs = 1;
   // The only worker blocks until released, so the job is provably
   // unfinished while TRACE probes it. Before the fix the TRACE handler
@@ -336,7 +342,7 @@ TEST(DaemonTest, TraceOnAnUnfinishedJobIsAnsweredNotRaced) {
   EXPECT_TRUE(prober->Ping().ok());
 }
 
-TEST(DaemonTest, StartFailureIsACleanErrorNotACrash) {
+TEST_P(DaemonTest, StartFailureIsACleanErrorNotACrash) {
   // This plan parses but cannot apply to the company schema (no such
   // set), so ConversionService::Create fails after DaemonOptions already
   // validated. Start must return that error; destroying the partially
@@ -351,13 +357,13 @@ END PLAN.
                               .value();
   Schema schema = testing::MakeDatabase(testing::CompanyDdl()).schema();
   Result<std::unique_ptr<ConversionDaemon>> started =
-      ConversionDaemon::Start(schema, bad.View(), TestOptions());
+      ConversionDaemon::Start(schema, bad.View(), TestOptions(GetParam()));
   ASSERT_FALSE(started.ok());
   EXPECT_FALSE(started.status().message().empty());
 }
 
-TEST(DaemonTest, MetricsSnapshotIsServed) {
-  Fixture fixture;
+TEST_P(DaemonTest, MetricsSnapshotIsServed) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
   ConversionRequest request;
   request.source = kSeniorsCpl;
@@ -368,8 +374,8 @@ TEST(DaemonTest, MetricsSnapshotIsServed) {
   EXPECT_NE(metrics->find("daemon.request_us"), std::string::npos);
 }
 
-TEST(DaemonTest, DrainFinishesAdmittedJobsAndRefusesNewOnes) {
-  Fixture fixture;
+TEST_P(DaemonTest, DrainFinishesAdmittedJobsAndRefusesNewOnes) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
 
   ConversionRequest request;
@@ -394,8 +400,8 @@ TEST(DaemonTest, DrainFinishesAdmittedJobsAndRefusesNewOnes) {
   EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
 }
 
-TEST(DaemonTest, DoubleDrainIsIdempotent) {
-  Fixture fixture;
+TEST_P(DaemonTest, DoubleDrainIsIdempotent) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
   ConversionRequest request;
   request.source = kSeniorsCpl;
@@ -410,8 +416,8 @@ TEST(DaemonTest, DoubleDrainIsIdempotent) {
             fixture.daemon->jobs_completed());
 }
 
-TEST(DaemonTest, StopTearsDownIdleSessions) {
-  Fixture fixture;
+TEST_P(DaemonTest, StopTearsDownIdleSessions) {
+  Fixture fixture(TestOptions(GetParam()));
   std::unique_ptr<DaemonClient> client = fixture.Connect();
   ASSERT_TRUE(client->Ping().ok());
   // Stop must not wait out the idle session's read timeout.
@@ -424,8 +430,8 @@ TEST(DaemonTest, StopTearsDownIdleSessions) {
   EXPECT_EQ(fixture.daemon->active_sessions(), 0);
 }
 
-TEST(DaemonTest, ConcurrentSessionsAllComplete) {
-  Fixture fixture;
+TEST_P(DaemonTest, ConcurrentSessionsAllComplete) {
+  Fixture fixture(TestOptions(GetParam()));
   constexpr int kSessions = 8;
   constexpr int kPerSession = 4;
   std::atomic<int> completed{0};
@@ -447,6 +453,23 @@ TEST(DaemonTest, ConcurrentSessionsAllComplete) {
   EXPECT_EQ(fixture.daemon->jobs_completed(),
             static_cast<uint64_t>(kSessions * kPerSession));
 }
+
+#if defined(__linux__)
+INSTANTIATE_TEST_SUITE_P(IoModels, DaemonTest,
+                         ::testing::Values(DaemonIoModel::kThreads,
+                                           DaemonIoModel::kEpoll),
+                         [](const ::testing::TestParamInfo<DaemonIoModel>&
+                                info) {
+                           return std::string(DaemonIoModelName(info.param));
+                         });
+#else
+INSTANTIATE_TEST_SUITE_P(IoModels, DaemonTest,
+                         ::testing::Values(DaemonIoModel::kThreads),
+                         [](const ::testing::TestParamInfo<DaemonIoModel>&
+                                info) {
+                           return std::string(DaemonIoModelName(info.param));
+                         });
+#endif
 
 }  // namespace
 }  // namespace dbpc

@@ -199,6 +199,131 @@ TEST(SockBufferTest, WriteAllDeliversEverything) {
   EXPECT_EQ(received, blob);
 }
 
+TEST(SockBufferTest, TryReadLineReportsNeedMoreWithoutBlocking) {
+  Pair pair(FastLimits());
+  // Nothing buffered: kNeedMore immediately, no waiting.
+  auto start = std::chrono::steady_clock::now();
+  Result<SockBuffer::IoStep> step = pair.reader->TryReadLine(nullptr);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kNeedMore);
+  EXPECT_LT(elapsed, 100);
+
+  // A partial line stays kNeedMore; completing it flips to kReady.
+  pair.Send("PI");
+  ASSERT_TRUE(pair.reader->FillOnce().ok());
+  step = pair.reader->TryReadLine(nullptr);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kNeedMore);
+
+  pair.Send("NG\r\nNEXT\n");
+  ASSERT_TRUE(pair.reader->FillOnce().ok());
+  std::string line;
+  step = pair.reader->TryReadLine(&line);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kReady);
+  EXPECT_EQ(line, "PING");
+  // The second pipelined line is already buffered — consumable with no
+  // further fill.
+  step = pair.reader->TryReadLine(&line);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kReady);
+  EXPECT_EQ(line, "NEXT");
+}
+
+TEST(SockBufferTest, TryReadExactAccumulatesAcrossFills) {
+  Pair pair(FastLimits());
+  pair.Send("abcd");
+  ASSERT_TRUE(pair.reader->FillOnce().ok());
+  std::string payload;
+  Result<SockBuffer::IoStep> step = pair.reader->TryReadExact(10, &payload);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kNeedMore);
+
+  pair.Send("efghij");
+  ASSERT_TRUE(pair.reader->FillOnce().ok());
+  step = pair.reader->TryReadExact(10, &payload);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kReady);
+  EXPECT_EQ(payload, "abcdefghij");
+}
+
+TEST(SockBufferTest, QueuedWritesCoalesceIntoOneFlush) {
+  Pair pair(FastLimits());
+  // A multi-part reply (status line + payload + terminator) queued piece
+  // by piece must reach the peer as one contiguous byte stream.
+  pair.reader->QueueWrite("DATA 5\n");
+  pair.reader->QueueWrite("hello");
+  pair.reader->QueueWrite("\n");
+  EXPECT_EQ(pair.reader->queued_write_bytes(), 13u);
+  Result<SockBuffer::IoStep> step = pair.reader->FlushQueued();
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kReady);
+  EXPECT_EQ(pair.reader->queued_write_bytes(), 0u);
+
+  char chunk[64];
+  ssize_t n = ::recv(pair.peer_fd, chunk, sizeof(chunk), 0);
+  ASSERT_EQ(n, 13);
+  EXPECT_EQ(std::string(chunk, 13), "DATA 5\nhello\n");
+}
+
+TEST(SockBufferTest, FlushQueuedReportsNeedMoreOnFullSocketAndResumes) {
+  Pair pair(FastLimits());
+  // Shrink both kernel buffers so a modest blob overfills them while the
+  // peer is not reading: FlushQueued must park at kNeedMore (the epoll
+  // session re-arms EPOLLOUT on this), then complete once the peer drains.
+  int small = 4096;
+  ASSERT_EQ(::setsockopt(pair.reader->fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+  ASSERT_EQ(::setsockopt(pair.peer_fd, SOL_SOCKET, SO_RCVBUF, &small,
+                         sizeof(small)),
+            0);
+  std::string blob(512 * 1024, 'w');
+  pair.reader->QueueWrite(blob);
+  Result<SockBuffer::IoStep> step = pair.reader->FlushQueued();
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(*step, SockBuffer::IoStep::kNeedMore);
+  EXPECT_GT(pair.reader->queued_write_bytes(), 0u);
+
+  std::string received;
+  std::thread drainer([&] {
+    char chunk[4096];
+    while (received.size() < blob.size()) {
+      ssize_t n = ::recv(pair.peer_fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      received.append(chunk, static_cast<size_t>(n));
+    }
+  });
+  // Keep flushing as the peer drains (what the reactor does on EPOLLOUT).
+  while (pair.reader->queued_write_bytes() > 0) {
+    step = pair.reader->FlushQueued();
+    ASSERT_TRUE(step.ok()) << step.status();
+    if (*step == SockBuffer::IoStep::kNeedMore) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  drainer.join();
+  EXPECT_EQ(received, blob);
+}
+
+TEST(SockBufferTest, DestroyedBuffersAreRecycledThroughThePool) {
+  size_t before = SockBuffer::RecycledBufferPoolSize();
+  {
+    Pair pair(FastLimits());
+    pair.Send("PING\n");
+    ASSERT_TRUE(pair.reader->ReadLine().ok());
+  }  // reader destroyed: its input/output buffers return to the free list
+  size_t after = SockBuffer::RecycledBufferPoolSize();
+  EXPECT_GT(after, before);
+
+  // A fresh session draws from the pool rather than growing it further.
+  Pair reuse(FastLimits());
+  EXPECT_LT(SockBuffer::RecycledBufferPoolSize(), after);
+}
+
 TEST(SockBufferTest, WriteToStalledPeerTimesOut) {
   Pair pair(FastLimits());
   // Nobody reads peer_fd: once both socket buffers fill, WriteAll must

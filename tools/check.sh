@@ -68,7 +68,7 @@ echo "== bench: cost-based optimizer sanity (E10 --smoke) =="
 echo "== bench: indexed access-path sanity (E11 --smoke) =="
 ./build/bench/bench_index_paths --smoke
 
-echo "== bench: daemon load sanity (E13 --smoke) =="
+echo "== bench: daemon load sanity (E13/E16 --smoke, epoll reactor) =="
 ./build/bench/bench_daemon --smoke
 
 echo "== bench: columnar bulk translation sanity (E14 --smoke) =="
@@ -77,51 +77,67 @@ echo "== bench: columnar bulk translation sanity (E14 --smoke) =="
 echo "== bench: conversion cache sanity (E15 --smoke) =="
 ./build/bench/bench_conversion_cache --smoke
 
-echo "== daemon: dbpcd end-to-end smoke (ephemeral port, burst, drain) =="
-rm -f "$TRACE_DIR/dbpcd.port"
-./build/tools/dbpcd --schema samples/company.ddl --plan samples/fig44.plan \
-  --port 0 --port-file "$TRACE_DIR/dbpcd.port" --jobs 4 \
-  --metrics-json "$TRACE_DIR/dbpcd.metrics.json" \
-  2> "$TRACE_DIR/dbpcd.log" &
-DBPCD_PID=$!
-PORT=""
-for _ in $(seq 1 100); do
-  [ -s "$TRACE_DIR/dbpcd.port" ] && { PORT="$(cat "$TRACE_DIR/dbpcd.port")"; break; }
-  sleep 0.1
-done
-if [ -z "$PORT" ]; then
-  echo "dbpcd smoke: daemon did not report a port"
-  cat "$TRACE_DIR/dbpcd.log"
-  kill "$DBPCD_PID" 2>/dev/null || true
-  exit 1
-fi
-# A short mixed burst (10% malformed payloads exercise the failed-job
-# path); dbpc_load exits nonzero if any request went unanswered.
-./build/tools/dbpc_load --port "$PORT" --connections 16 --duration-ms 1000 \
-  --malformed-pct 10 --trace-pct 5 --quiet \
-  --report "$TRACE_DIR/dbpc_load.json"
-# Graceful shutdown under SIGTERM must drain every admitted job (exit 0).
-kill -TERM "$DBPCD_PID"
-wait "$DBPCD_PID"
-grep -q "drained" "$TRACE_DIR/dbpcd.log"
-# The metrics snapshot and the load report must both be valid JSON.
-python3 - "$TRACE_DIR/dbpcd.metrics.json" "$TRACE_DIR/dbpc_load.json" <<'EOF'
+# The end-to-end smoke runs once per io-model: the epoll reactor (the
+# Linux default) and the thread-per-connection fallback must both serve a
+# mixed burst and drain cleanly on SIGTERM. The epoll pass adds an
+# open-loop (fixed offered rate) dbpc_load leg, which measures latency
+# from each request's scheduled send instant — the coordinated-omission-
+# corrected view.
+for IO_MODEL in threads epoll; do
+  echo "== daemon: dbpcd end-to-end smoke (io-model=$IO_MODEL) =="
+  rm -f "$TRACE_DIR/dbpcd.port"
+  ./build/tools/dbpcd --schema samples/company.ddl --plan samples/fig44.plan \
+    --port 0 --port-file "$TRACE_DIR/dbpcd.port" --jobs 4 \
+    --io-model "$IO_MODEL" \
+    --metrics-json "$TRACE_DIR/dbpcd.metrics.json" \
+    2> "$TRACE_DIR/dbpcd.log" &
+  DBPCD_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    [ -s "$TRACE_DIR/dbpcd.port" ] && { PORT="$(cat "$TRACE_DIR/dbpcd.port")"; break; }
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "dbpcd smoke: daemon did not report a port (io-model=$IO_MODEL)"
+    cat "$TRACE_DIR/dbpcd.log"
+    kill "$DBPCD_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # A short mixed burst (10% malformed payloads exercise the failed-job
+  # path); dbpc_load exits nonzero if any request went unanswered.
+  ./build/tools/dbpc_load --port "$PORT" --connections 16 --duration-ms 1000 \
+    --malformed-pct 10 --trace-pct 5 --quiet \
+    --report "$TRACE_DIR/dbpc_load.json"
+  if [ "$IO_MODEL" = "epoll" ]; then
+    ./build/tools/dbpc_load --port "$PORT" --connections 8 \
+      --duration-ms 1000 --rps 200 --open-loop --quiet \
+      --report "$TRACE_DIR/dbpc_load_open.json"
+  fi
+  # Graceful shutdown under SIGTERM must drain every admitted job (exit 0).
+  kill -TERM "$DBPCD_PID"
+  wait "$DBPCD_PID"
+  grep -q "drained" "$TRACE_DIR/dbpcd.log"
+  grep -q "io=$IO_MODEL" "$TRACE_DIR/dbpcd.log"
+  # The metrics snapshot and the load report must both be valid JSON.
+  python3 - "$TRACE_DIR/dbpcd.metrics.json" "$TRACE_DIR/dbpc_load.json" <<'EOF'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as f:
         json.load(f)
 print("daemon smoke: metrics and load report parse as JSON")
 EOF
+done
 
 echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target service_test worker_pool_test metrics_test \
-           sock_buffer_test daemon_test store_test extent_test \
-           template_cache_test
+           sock_buffer_test daemon_test reactor_test store_test \
+           extent_test template_cache_test
 (cd build-tsan/tests/service && ./worker_pool_test && ./service_test)
 (cd build-tsan/tests/common && ./metrics_test)
-(cd build-tsan/tests/daemon && ./sock_buffer_test && ./daemon_test)
+(cd build-tsan/tests/daemon && ./sock_buffer_test && ./daemon_test \
+  && ./reactor_test)
 (cd build-tsan/tests/storage && ./store_test && ./extent_test)
 (cd build-tsan/tests/convert && ./template_cache_test)
 

@@ -16,6 +16,12 @@
 //   --connections <n>      concurrent sessions (default 8)
 //   --duration-ms <n>      how long each session submits (default 2000)
 //   --rps <n>              global submit rate cap; 0 = closed loop (default)
+//   --open-loop            open-loop mode (requires --rps > 0): latency is
+//                          measured from each request's *scheduled* arrival
+//                          time, not from when the worker got around to
+//                          sending it, so a slow server shows up as rising
+//                          latency (coordinated-omission-corrected) instead
+//                          of silently lowering the offered rate
 //   --deadline-ms <n>      per-request deadline_ms= on every SUBMIT
 //   --malformed-pct <n>    percent of payloads replaced by non-CPL garbage
 //                          (exercises the parse-error path; default 0)
@@ -91,6 +97,7 @@ struct LoadConfig {
   int connections = 8;
   int duration_ms = 2000;
   int rps = 0;
+  bool open_loop = false;
   int deadline_ms = 0;
   int malformed_pct = 0;
   int trace_pct = 0;
@@ -118,6 +125,7 @@ void RunWorker(const LoadConfig& config, int worker_index,
   // Deterministic per-worker mix (no global RNG: runs are reproducible).
   uint64_t sequence = static_cast<uint64_t>(worker_index) * 7919;
   while (Clock::now() < deadline) {
+    Clock::time_point scheduled_at = Clock::now();
     if (config.rps > 0) {
       // Global token pacing: ticket k may not be submitted before
       // start + k/rps.
@@ -127,6 +135,12 @@ void RunWorker(const LoadConfig& config, int worker_index,
                                             static_cast<uint64_t>(config.rps));
       std::this_thread::sleep_until(not_before);
       if (Clock::now() >= deadline) break;
+      // Open loop: the request "arrived" at its scheduled instant whether
+      // or not a worker was free then. Measuring from not_before charges
+      // any queueing delay inside the load generator to the server's
+      // latency — the coordinated-omission correction — so an overloaded
+      // server cannot hide behind a stalled client.
+      if (config.open_loop) scheduled_at = not_before;
     }
     ++sequence;
     ConversionRequest request;
@@ -140,7 +154,8 @@ void RunWorker(const LoadConfig& config, int worker_index,
     request.trace = config.trace_pct > 0 &&
                     (sequence + 50) % 100 <
                         static_cast<uint64_t>(config.trace_pct);
-    Clock::time_point submit_start = Clock::now();
+    Clock::time_point submit_start =
+        config.open_loop ? scheduled_at : Clock::now();
     Result<JobId> id = (*client)->Submit(request);
     ++tally->submitted;
     if (!id.ok()) {
@@ -184,9 +199,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dbpc_load --port <n> [--host <addr>] [--connections <n>] "
-      "[--duration-ms <n>] [--rps <n>] [--deadline-ms <n>] "
+      "[--duration-ms <n>] [--rps <n>] [--open-loop] [--deadline-ms <n>] "
       "[--malformed-pct <n>] [--trace-pct <n>] [--program <file>]... "
-      "[--report <file>] [--drain] [--quiet]\n");
+      "[--report <file>] [--drain] [--quiet]\n"
+      "       --open-loop requires --rps > 0 (a fixed offered rate)\n");
   return 2;
 }
 
@@ -215,6 +231,8 @@ int main(int argc, char** argv) {
       if (!next(&config.duration_ms)) return Usage();
     } else if (arg == "--rps") {
       if (!next(&config.rps)) return Usage();
+    } else if (arg == "--open-loop") {
+      config.open_loop = true;
     } else if (arg == "--deadline-ms") {
       if (!next(&config.deadline_ms)) return Usage();
     } else if (arg == "--malformed-pct") {
@@ -242,7 +260,8 @@ int main(int argc, char** argv) {
   }
   if (config.port <= 0 || config.connections < 1 || config.duration_ms < 1 ||
       config.malformed_pct < 0 || config.malformed_pct > 100 ||
-      config.trace_pct < 0 || config.trace_pct > 100) {
+      config.trace_pct < 0 || config.trace_pct > 100 ||
+      (config.open_loop && config.rps <= 0)) {
     return Usage();
   }
   if (config.payloads.empty()) {
@@ -292,6 +311,8 @@ int main(int argc, char** argv) {
   std::snprintf(
       buffer, sizeof(buffer),
       "{\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"offered_rps\": %d,\n"
       "  \"connections\": %d,\n"
       "  \"duration_s\": %.3f,\n"
       "  \"submitted\": %llu,\n"
@@ -306,6 +327,7 @@ int main(int argc, char** argv) {
       "  \"p99_us\": %llu,\n"
       "  \"drain\": \"%s\"\n"
       "}\n",
+      config.open_loop ? "open-loop" : "closed-loop", config.rps,
       config.connections, elapsed_s,
       static_cast<unsigned long long>(total.submitted),
       static_cast<unsigned long long>(total.accepted),

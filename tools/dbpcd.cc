@@ -24,6 +24,11 @@
 //   --write-timeout-ms <n>   per-reply session deadline (default 10000)
 //   --drain-grace-ms <n>     how long a drain waits for admitted jobs
 //                            (default 30000)
+//   --io-model <m>           session multiplexing: "epoll" (a small pool
+//                            of reactor threads; default on Linux) or
+//                            "threads" (one thread per connection)
+//   --io-threads <n>         reactor threads under --io-model epoll
+//                            (default 2)
 //   --strict                 reject analyst-level conversions (default: an
 //                            approve-all analyst, like dbpcc)
 //   --no-optimizer           skip the optimizer stage
@@ -66,7 +71,8 @@ int Usage() {
       "usage: dbpcd --schema <ddl> --plan <plan> [--host <addr>] "
       "[--port <n>] [--port-file <file>] [--jobs <n>] [--deadline-ms <n>] "
       "[--queue-depth <n>] [--max-connections <n>] [--read-timeout-ms <n>] "
-      "[--write-timeout-ms <n>] [--drain-grace-ms <n>] [--strict] "
+      "[--write-timeout-ms <n>] [--drain-grace-ms <n>] "
+      "[--io-model threads|epoll] [--io-threads <n>] [--strict] "
       "[--no-optimizer] [--no-cache] [--metrics-json <file>]\n");
   return 2;
 }
@@ -126,6 +132,12 @@ int main(int argc, char** argv) {
       if (!next(&options.write_timeout_ms)) return Usage();
     } else if (arg == "--drain-grace-ms") {
       if (!next(&options.drain_grace_ms)) return Usage();
+    } else if (arg == "--io-model" && i + 1 < argc) {
+      Result<DaemonIoModel> model = ParseDaemonIoModel(argv[++i]);
+      if (!model.ok()) return Fail(model.status(), "--io-model");
+      options.io_model = *model;
+    } else if (arg == "--io-threads") {
+      if (!next(&options.io_threads)) return Usage();
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--no-optimizer") {
@@ -165,9 +177,10 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
 
-  std::fprintf(stderr, "dbpcd: listening on %s:%d (proto=%d, jobs=%d)\n",
+  std::fprintf(stderr,
+               "dbpcd: listening on %s:%d (proto=%d, jobs=%d, io=%s)\n",
                options.host.c_str(), (*daemon)->port(), kProtocolVersion,
-               options.service.jobs);
+               options.service.jobs, DaemonIoModelName(options.io_model));
   if (!port_file.empty()) {
     std::ofstream out(port_file);
     if (!out) {
