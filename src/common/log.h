@@ -1,0 +1,162 @@
+#ifndef DBPC_COMMON_LOG_H_
+#define DBPC_COMMON_LOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dbpc {
+
+/// Severity levels, ordered. kOff is a filter setting, never a line level.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-sensitive).
+/// Returns false (and leaves *out alone) on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// One typed key=value pair on a log line. Values keep their type so the
+/// JSONL sink can emit bare numbers/booleans while logfmt prints them as
+/// tokens.
+struct LogField {
+  enum class Kind { kString, kInt, kUint, kFloat, kBool };
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v == nullptr ? "" : v) {}
+  LogField(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+  LogField(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, long v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, long long v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, unsigned long v)
+      : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, unsigned long long v)
+      : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, double v)
+      : key(k), kind(Kind::kFloat), f(v) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  int64_t i = 0;
+  uint64_t u = 0;
+  double f = 0.0;
+  bool b = false;
+};
+
+/// A token bucket guarding one log call site: `rate` tokens/sec refill up to
+/// `burst`. Denied calls are counted; the next admitted line carries the
+/// count so suppression is visible in the stream. Thread-safe.
+class LogRateLimiter {
+ public:
+  LogRateLimiter(double tokens_per_sec, double burst);
+
+  bool Admit() { return AdmitAt(std::chrono::steady_clock::now()); }
+  /// Deterministic seam for tests: admit against an explicit clock reading.
+  bool AdmitAt(std::chrono::steady_clock::time_point now);
+
+  /// Denials since the last call; resets the count.
+  uint64_t TakeSuppressed();
+
+ private:
+  std::mutex mu_;
+  double tokens_per_sec_;
+  double burst_;
+  double tokens_;
+  bool primed_ = false;
+  std::chrono::steady_clock::time_point last_;
+  uint64_t suppressed_ = 0;
+};
+
+/// A leveled, thread-safe structured logger. Each line is one event with
+/// typed fields, rendered as logfmt (`ts=... level=info event=submit k=v`)
+/// or JSONL. Lines are written atomically (one sink call per line) under a
+/// mutex; level filtering is a single relaxed atomic load, so disabled
+/// call sites cost nothing but the check.
+class Logger {
+ public:
+  /// Receives one complete line, newline included.
+  using Sink = std::function<void(std::string_view line)>;
+
+  struct Options {
+    LogLevel level = LogLevel::kInfo;
+    bool json = false;  ///< JSONL instead of logfmt
+    Sink sink;          ///< null: write to stderr
+  };
+
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void Configure(Options options);
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return level != LogLevel::kOff && level >= this->level();
+  }
+
+  /// Formats and emits one line. `suppressed`, when nonzero, is appended as
+  /// a `suppressed=<n>` field (rate-limited call sites report drops).
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {},
+           uint64_t suppressed = 0);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::mutex mu_;  ///< guards json_/sink_ and serializes sink writes
+  bool json_ = false;
+  Sink sink_;
+};
+
+/// The process-wide logger every component logs through. Tools configure it
+/// from --log-level/--log-json; tests may swap in a capturing sink.
+Logger& GlobalLogger();
+
+}  // namespace dbpc
+
+/// Logs unconditionally (subject to level filtering).
+#define DBPC_LOG(level_, event_, ...)                               \
+  do {                                                              \
+    ::dbpc::Logger& dbpc_logger_ = ::dbpc::GlobalLogger();          \
+    if (dbpc_logger_.Enabled(level_)) {                             \
+      dbpc_logger_.Log((level_), (event_), {__VA_ARGS__});          \
+    }                                                               \
+  } while (0)
+
+/// Logs through a per-call-site token bucket (`per_sec_` refill, `burst_`
+/// capacity). Suppressed lines surface as a suppressed=<n> field on the
+/// next admitted line from this site.
+#define DBPC_LOG_RATELIMITED(level_, per_sec_, burst_, event_, ...)     \
+  do {                                                                  \
+    ::dbpc::Logger& dbpc_logger_ = ::dbpc::GlobalLogger();              \
+    if (dbpc_logger_.Enabled(level_)) {                                 \
+      static ::dbpc::LogRateLimiter dbpc_limiter_((per_sec_), (burst_)); \
+      if (dbpc_limiter_.Admit()) {                                      \
+        dbpc_logger_.Log((level_), (event_), {__VA_ARGS__},             \
+                         dbpc_limiter_.TakeSuppressed());               \
+      }                                                                 \
+    }                                                                   \
+  } while (0)
+
+#endif  // DBPC_COMMON_LOG_H_

@@ -15,6 +15,8 @@
 
 #include <utility>
 
+#include "common/log.h"
+#include "common/string_util.h"
 #include "daemon/protocol.h"
 
 namespace dbpc {
@@ -90,6 +92,16 @@ Status DaemonOptions::Validate() const {
   DBPC_RETURN_IF_ERROR(
       PositiveKnob("max_retained_results", max_retained_results));
   DBPC_RETURN_IF_ERROR(PositiveKnob("io_threads", io_threads));
+  if (admin_port < -1 || admin_port > 65535) {
+    return Status::InvalidArgument(
+        "DaemonOptions::admin_port must be in [-1, 65535] (got " +
+        std::to_string(admin_port) + ")");
+  }
+  if (slow_request_ms < 0) {
+    return Status::InvalidArgument(
+        "DaemonOptions::slow_request_ms must be >= 0 (got " +
+        std::to_string(slow_request_ms) + ")");
+  }
 #if !defined(__linux__)
   if (io_model == DaemonIoModel::kEpoll) {
     return Status::Unsupported(
@@ -127,6 +139,11 @@ Result<std::unique_ptr<ConversionDaemon>> ConversionDaemon::Start(
   daemon->drains_ = metrics.GetCounter("daemon.drains");
   daemon->queue_wait_us_ = metrics.GetHistogram("daemon.queue_wait_us");
   daemon->request_us_ = metrics.GetHistogram("daemon.request_us");
+  daemon->queue_depth_gauge_ = metrics.GetGauge("daemon.queue_depth");
+  daemon->inflight_gauge_ = metrics.GetGauge("daemon.inflight_jobs");
+  daemon->active_sessions_gauge_ = metrics.GetGauge("daemon.active_sessions");
+  daemon->parked_sessions_gauge_ = metrics.GetGauge("daemon.parked_sessions");
+  daemon->started_at_ = std::chrono::steady_clock::now();
   if (daemon->options_.io_model == DaemonIoModel::kEpoll) {
     for (int i = 0; i < daemon->options_.io_threads; ++i) {
       auto shard = std::make_unique<ReactorShard>();
@@ -136,9 +153,63 @@ Result<std::unique_ptr<ConversionDaemon>> ConversionDaemon::Start(
     }
   }
   DBPC_RETURN_IF_ERROR(daemon->Listen());
+  DBPC_RETURN_IF_ERROR(daemon->StartAdmin());
   daemon->accept_thread_ =
       std::thread([raw = daemon.get()] { raw->AcceptLoop(); });
+  DBPC_LOG(LogLevel::kInfo, "daemon_started",
+           LogField("host", daemon->options_.host),
+           LogField("port", daemon->port_),
+           LogField("io_model", DaemonIoModelName(daemon->options_.io_model)),
+           LogField("admin_port", daemon->admin_port()),
+           LogField("jobs", daemon->options_.service.jobs));
   return daemon;
+}
+
+Status ConversionDaemon::StartAdmin() {
+  if (options_.admin_port < 0) return Status::OK();
+  AdminOptions admin_options;
+  admin_options.host = options_.host;
+  admin_options.port = options_.admin_port;
+  AdminHooks hooks;
+  hooks.metrics = &service_->metrics();
+  hooks.ready = [this] {
+    return !draining() && !stopping_.load(std::memory_order_relaxed);
+  };
+  hooks.varz_json = [this] { return VarzJson(); };
+  hooks.refresh = [this] { RefreshGauges(); };
+  Reactor* reactor = shards_.empty() ? nullptr : shards_[0]->reactor.get();
+  DBPC_ASSIGN_OR_RETURN(admin_,
+                        AdminServer::Start(admin_options, hooks, reactor));
+  return Status::OK();
+}
+
+void ConversionDaemon::RefreshGauges() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    active_sessions_gauge_->Set(active_sessions_);
+  }
+  service_->RefreshGauges();
+}
+
+std::string ConversionDaemon::VarzJson() {
+  uint64_t uptime_s = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  std::string out = "{\"server\":\"dbpcd\",\"io_model\":\"";
+  out += DaemonIoModelName(options_.io_model);
+  out += "\",\"port\":" + std::to_string(port_);
+  out += ",\"uptime_s\":" + std::to_string(uptime_s);
+  out += ",\"draining\":";
+  out += draining() ? "true" : "false";
+  out += ",\"active_sessions\":" + std::to_string(active_sessions());
+  out += ",\"jobs_admitted\":" + std::to_string(jobs_admitted());
+  out += ",\"jobs_completed\":" + std::to_string(jobs_completed());
+  out += ",\"build\":{\"compiler\":\"" + EscapeJsonString(__VERSION__) +
+         "\",\"cpp\":" + std::to_string(__cplusplus) + "}";
+  out += ",\"metrics\":" + service_->metrics().ToJson();
+  out += "}";
+  return out;
 }
 
 Status ConversionDaemon::Listen() {
@@ -200,6 +271,7 @@ void ConversionDaemon::AcceptLoop() {
         reject = true;
       } else {
         ++active_sessions_;
+        active_sessions_gauge_->Set(active_sessions_);
         session_socks_.insert(sock.get());
       }
     }
@@ -208,27 +280,32 @@ void ConversionDaemon::AcceptLoop() {
       // of dropping the connection on the floor. Written outside the
       // sessions lock — a peer that won't read must not stall teardown.
       connections_rejected_->Increment();
+      DBPC_LOG_RATELIMITED(LogLevel::kWarn, 1.0, 5.0, "connection_rejected",
+                           LogField("limit", options_.max_connections));
       sock->WriteAll(ErrReplyLine(Status::Unavailable(
           "too many connections (limit " +
           std::to_string(options_.max_connections) + "); retry later")));
       continue;  // sock destructor closes
     }
+    uint64_t session_id = next_session_id_++;
     if (options_.io_model == DaemonIoModel::kEpoll) {
       // Sessions are pinned to a shard for life, so all their state is
       // loop-thread-local; the Post is the only cross-thread hop.
       ReactorShard* shard = shards_[next_shard_++ % shards_.size()].get();
-      shard->reactor->Post([this, shard, raw = sock.release()] {
-        StartEpollSession(shard, std::unique_ptr<SockBuffer>(raw));
+      shard->reactor->Post([this, shard, session_id, raw = sock.release()] {
+        StartEpollSession(shard, std::unique_ptr<SockBuffer>(raw),
+                          session_id);
       });
     } else {
-      std::thread([this, raw = sock.release()] {
-        SessionLoop(std::unique_ptr<SockBuffer>(raw));
+      std::thread([this, session_id, raw = sock.release()] {
+        SessionLoop(std::unique_ptr<SockBuffer>(raw), session_id);
       }).detach();
     }
   }
 }
 
-void ConversionDaemon::SessionLoop(std::unique_ptr<SockBuffer> sock) {
+void ConversionDaemon::SessionLoop(std::unique_ptr<SockBuffer> sock,
+                                   uint64_t session_id) {
   sock->WriteAll(GreetingLine());
   bool quit = false;
   while (!quit && !stopping_.load(std::memory_order_relaxed)) {
@@ -260,7 +337,7 @@ void ConversionDaemon::SessionLoop(std::unique_ptr<SockBuffer> sock) {
       if (!sock->WriteAll(ErrReplyLine(command.status())).ok()) break;
       continue;
     }
-    if (!HandleCommand(*sock, *command, &quit).ok()) break;
+    if (!HandleCommand(*sock, *command, session_id, &quit).ok()) break;
   }
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -270,6 +347,7 @@ void ConversionDaemon::SessionLoop(std::unique_ptr<SockBuffer> sock) {
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     --active_sessions_;
+    active_sessions_gauge_->Set(active_sessions_);
     sessions_cv_.notify_all();
   }
 }
@@ -289,8 +367,11 @@ class ConversionDaemon::EpollSession
     : public std::enable_shared_from_this<ConversionDaemon::EpollSession> {
  public:
   EpollSession(ConversionDaemon* daemon, ReactorShard* shard,
-               std::unique_ptr<SockBuffer> sock)
-      : daemon_(daemon), shard_(shard), sock_(std::move(sock)) {}
+               std::unique_ptr<SockBuffer> sock, uint64_t session_id)
+      : daemon_(daemon),
+        shard_(shard),
+        sock_(std::move(sock)),
+        session_id_(session_id) {}
 
   /// Registers the fd with the reactor (parked: interest starts empty;
   /// Pump sets it per state).
@@ -316,6 +397,7 @@ class ConversionDaemon::EpollSession
   void WakeWithResult(const std::shared_ptr<Job>& job) {
     if (state_ != State::kAwaitResult || awaited_job_ != job) return;
     CancelDeadline();
+    MarkUnparked();
     awaited_job_.reset();
     // Safe unlocked: RunJob wrote the response before handing out the
     // waiter under jobs_mu_, and the Post queue ordered that before us.
@@ -329,6 +411,7 @@ class ConversionDaemon::EpollSession
   void WakeDrained() {
     if (state_ != State::kAwaitDrain) return;
     CancelDeadline();
+    MarkUnparked();
     QueueReply(DrainedReply(), /*close_after=*/false);
     Pump();
   }
@@ -339,6 +422,7 @@ class ConversionDaemon::EpollSession
   /// strong ref across the call).
   void Teardown() {
     if (state_ == State::kClosed) return;
+    MarkUnparked();
     state_ = State::kClosed;
     CancelDeadline();
     if (io_token_ != 0) {
@@ -353,6 +437,7 @@ class ConversionDaemon::EpollSession
     {
       std::lock_guard<std::mutex> lock(daemon_->sessions_mu_);
       --daemon_->active_sessions_;
+      daemon_->active_sessions_gauge_->Set(daemon_->active_sessions_);
       daemon_->sessions_cv_.notify_all();
     }
     shard_->sessions.erase(shared_from_this());
@@ -614,6 +699,7 @@ class ConversionDaemon::EpollSession
           }
         }
         if (state_ == State::kAwaitResult) {
+          MarkParked();
           SetInterest(0);
           ArmDeadline(daemon_->options_.result_wait_ms,
                       [this] { OnResultWaitTimeout(); });
@@ -680,6 +766,8 @@ class ConversionDaemon::EpollSession
           if (!daemon_->draining_) {
             daemon_->draining_ = true;
             daemon_->drains_->Increment();
+            DBPC_LOG(LogLevel::kInfo, "drain_started",
+                     LogField("pending", daemon_->pending_));
           }
           if (daemon_->pending_ > 0) {
             daemon_->drain_waiters_.push_back(
@@ -689,6 +777,7 @@ class ConversionDaemon::EpollSession
           }
         }
         if (park) {
+          MarkParked();
           SetInterest(0);
           ArmDeadline(daemon_->options_.drain_grace_ms,
                       [this] { OnDrainTimeout(); });
@@ -704,7 +793,7 @@ class ConversionDaemon::EpollSession
 
   void FinishSubmit() {
     Result<JobId> id = daemon_->AdmitJob(
-        DecodeSubmit(pending_command_, std::move(payload_)));
+        DecodeSubmit(pending_command_, std::move(payload_)), session_id_);
     payload_.clear();
     if (!id.ok()) {
       // Backpressure or a bad request: answered, session stays up.
@@ -721,6 +810,7 @@ class ConversionDaemon::EpollSession
   /// the same `-ERR deadline` the threads model produces.
   void OnResultWaitTimeout() {
     if (state_ != State::kAwaitResult) return;
+    MarkUnparked();
     std::shared_ptr<Job> job = std::move(awaited_job_);
     awaited_job_.reset();
     bool finished;
@@ -748,6 +838,7 @@ class ConversionDaemon::EpollSession
   /// DRAIN grace deadline, mirroring Drain()'s timeout message.
   void OnDrainTimeout() {
     if (state_ != State::kAwaitDrain) return;
+    MarkUnparked();
     int pending;
     {
       std::lock_guard<std::mutex> lock(daemon_->jobs_mu_);
@@ -814,9 +905,25 @@ class ConversionDaemon::EpollSession
     deadline_armed_ = false;
   }
 
+  /// Parked-session gauge bookkeeping (kAwaitResult / kAwaitDrain). The
+  /// flag keeps Add/Sub balanced no matter which of wake, timeout and
+  /// teardown runs first.
+  void MarkParked() {
+    if (parked_) return;
+    parked_ = true;
+    daemon_->parked_sessions_gauge_->Add(1);
+  }
+  void MarkUnparked() {
+    if (!parked_) return;
+    parked_ = false;
+    daemon_->parked_sessions_gauge_->Sub(1);
+  }
+
   ConversionDaemon* daemon_;
   ReactorShard* shard_;
   std::unique_ptr<SockBuffer> sock_;
+  uint64_t session_id_ = 0;
+  bool parked_ = false;  ///< Counted in daemon.parked_sessions.
   uint64_t io_token_ = 0;
   uint32_t current_events_ = 0;
   State state_ = State::kWrite;
@@ -829,9 +936,10 @@ class ConversionDaemon::EpollSession
 };
 
 void ConversionDaemon::StartEpollSession(ReactorShard* shard,
-                                         std::unique_ptr<SockBuffer> sock) {
-  auto session =
-      std::make_shared<EpollSession>(this, shard, std::move(sock));
+                                         std::unique_ptr<SockBuffer> sock,
+                                         uint64_t session_id) {
+  auto session = std::make_shared<EpollSession>(this, shard, std::move(sock),
+                                                session_id);
   shard->sessions.insert(session);
   if (!session->Register().ok()) {
     session->Teardown();
@@ -842,7 +950,7 @@ void ConversionDaemon::StartEpollSession(ReactorShard* shard,
 
 Status ConversionDaemon::HandleCommand(SockBuffer& sock,
                                        const WireCommand& command,
-                                       bool* quit) {
+                                       uint64_t session_id, bool* quit) {
   switch (command.kind) {
     case CommandKind::kPing:
       return sock.WriteAll(OkReplyLine({{"pong", "1"}}));
@@ -884,8 +992,8 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
             "payload must be followed by an empty line, closing session")));
         return Status::InvalidArgument("bad payload terminator");
       }
-      Result<JobId> id =
-          AdmitJob(DecodeSubmit(command, std::move(payload).value()));
+      Result<JobId> id = AdmitJob(
+          DecodeSubmit(command, std::move(payload).value()), session_id);
       if (!id.ok()) {
         // Backpressure (queue full, draining) or a bad request: answered
         // on the wire, session stays up so the client can retry.
@@ -923,9 +1031,13 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
                  job->state == JobState::kFailed;
         };
         if (!finished() && command.wait) {
+          // The blocked wait is this model's equivalent of the epoll
+          // kAwaitResult park; count it in the same gauge.
+          parked_sessions_gauge_->Add(1);
           jobs_cv_.wait_for(lock,
                             std::chrono::milliseconds(options_.result_wait_ms),
                             finished);
+          parked_sessions_gauge_->Sub(1);
         }
         if (!finished()) {
           std::string state = JobStateName(job->state);
@@ -989,7 +1101,9 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
     }
 
     case CommandKind::kDrain: {
+      parked_sessions_gauge_->Add(1);
       Status drained = Drain();
+      parked_sessions_gauge_->Sub(1);
       if (!drained.ok()) return sock.WriteAll(ErrReplyLine(drained));
       return sock.WriteAll(OkReplyLine(
           {{"drained", "1"},
@@ -999,7 +1113,8 @@ Status ConversionDaemon::HandleCommand(SockBuffer& sock,
   return Status::Internal("unhandled command kind");
 }
 
-Result<JobId> ConversionDaemon::AdmitJob(ConversionRequest request) {
+Result<JobId> ConversionDaemon::AdmitJob(ConversionRequest request,
+                                         uint64_t session_id) {
   auto job = std::make_shared<Job>();
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -1009,17 +1124,23 @@ Result<JobId> ConversionDaemon::AdmitJob(ConversionRequest request) {
     }
     if (pending_ >= options_.queue_depth) {
       submits_rejected_->Increment();
+      DBPC_LOG_RATELIMITED(LogLevel::kWarn, 1.0, 5.0, "submit_rejected",
+                           LogField("session", session_id),
+                           LogField("pending", pending_),
+                           LogField("queue_depth", options_.queue_depth));
       return Status::Unavailable(
           "queue full (" + std::to_string(pending_) +
           " jobs pending, depth " + std::to_string(options_.queue_depth) +
           "); retry later");
     }
     job->id = next_id_++;
+    job->session_id = session_id;
     job->request = std::move(request);
     job->admitted_at = std::chrono::steady_clock::now();
     jobs_[job->id] = job;
     ++pending_;
     ++admitted_;
+    queue_depth_gauge_->Add(1);
     // Submitted under jobs_mu_ so that once Drain() sets draining_ (same
     // lock) no further task can slip into the pool — Stop()'s pool Wait
     // then provably covers every admitted job.
@@ -1034,7 +1155,10 @@ void ConversionDaemon::RunJob(std::shared_ptr<Job> job) {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     job->state = JobState::kRunning;
   }
-  queue_wait_us_->Record(ElapsedMicros(job->admitted_at));
+  queue_depth_gauge_->Sub(1);
+  inflight_gauge_->Add(1);
+  uint64_t queue_wait_us = ElapsedMicros(job->admitted_at);
+  queue_wait_us_->Record(queue_wait_us);
   ConversionResponse response = service_->Convert(job->request, job->id);
   std::vector<ResultWaiter> result_waiters;
   std::vector<ResultWaiter> drain_waiters;
@@ -1059,8 +1183,23 @@ void ConversionDaemon::RunJob(std::shared_ptr<Job> job) {
       drain_waiters_.clear();
     }
   }
+  inflight_gauge_->Sub(1);
   jobs_completed_counter_->Increment();
-  request_us_->Record(ElapsedMicros(job->admitted_at));
+  uint64_t total_us = ElapsedMicros(job->admitted_at);
+  request_us_->Record(total_us);
+  if (options_.slow_request_ms > 0 &&
+      total_us >= static_cast<uint64_t>(options_.slow_request_ms) * 1000) {
+    // job->response is stable here: this thread is its only writer and it
+    // was published (with the state flip) under jobs_mu_ above.
+    DBPC_LOG(LogLevel::kWarn, "slow_request", LogField("job", job->id),
+             LogField("session", job->session_id),
+             LogField("program", job->response.program_name),
+             LogField("queue_wait_us", queue_wait_us),
+             LogField("convert_us", job->response.latency_us),
+             LogField("total_us", total_us),
+             LogField("outcome", JobStateName(job->state)),
+             LogField("accepted", job->response.accepted));
+  }
   jobs_cv_.notify_all();
   for (ResultWaiter& waiter : result_waiters) {
     waiter.reactor->Post([session = std::move(waiter.session), job] {
@@ -1092,6 +1231,8 @@ Status ConversionDaemon::Drain() {
     if (!draining_) {
       draining_ = true;
       drains_->Increment();
+      DBPC_LOG(LogLevel::kInfo, "drain_started",
+               LogField("pending", pending_));
     }
     bool drained = jobs_cv_.wait_for(
         lock, std::chrono::milliseconds(options_.drain_grace_ms),
@@ -1150,6 +1291,10 @@ void ConversionDaemon::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // The admin endpoint outlives the drain window (so /readyz is scrapeable
+  // as 503 while jobs finish) but must stop before the reactors: its
+  // reactor-mode teardown is posted to shard 0's loop.
+  if (admin_) admin_->Stop();
   // Epoll shards: sweep every remaining session on its own loop thread,
   // then join the reactors. The sweep is posted after the accept thread
   // joined and the pool drained, so it runs after every queued session
@@ -1174,6 +1319,9 @@ void ConversionDaemon::Stop() {
     for (SockBuffer* sock : session_socks_) sock->Shutdown();
     sessions_cv_.wait(lock, [this] { return active_sessions_ == 0; });
   }
+  DBPC_LOG(LogLevel::kInfo, "daemon_stopped",
+           LogField("jobs_admitted", jobs_admitted()),
+           LogField("jobs_completed", jobs_completed()));
 }
 
 }  // namespace dbpc

@@ -16,6 +16,7 @@
 
 #include "api/types.h"
 #include "common/metrics.h"
+#include "daemon/admin.h"
 #include "daemon/protocol.h"
 #include "daemon/reactor.h"
 #include "daemon/sock_buffer.h"
@@ -91,6 +92,16 @@ struct DaemonOptions {
   /// round-robin at accept and stay on their shard for life. Ignored under
   /// kThreads.
   int io_threads = 2;
+  /// HTTP admin endpoint (GET /metrics, /healthz, /readyz, /varz) on the
+  /// listen host. -1 disables it; 0 binds an ephemeral port
+  /// (ConversionDaemon::admin_port() reports the actual one). Under the
+  /// epoll io-model the endpoint is served by the first reactor shard;
+  /// under threads it gets a dedicated accept thread.
+  int admin_port = -1;
+  /// Log one structured warn line for every request whose total latency
+  /// (admission to completion) is at least this many milliseconds. 0
+  /// disables the slow-request log.
+  int slow_request_ms = 0;
   /// The conversion pipeline configuration shared with in-process use.
   ServiceOptions service;
 
@@ -130,6 +141,9 @@ class ConversionDaemon {
   /// The actual bound port (== options.port unless that was 0).
   int port() const { return port_; }
 
+  /// The admin endpoint's bound port; -1 when the endpoint is disabled.
+  int admin_port() const { return admin_ ? admin_->port() : -1; }
+
   const DaemonOptions& options() const { return options_; }
 
   /// Shared metrics registry: pipeline metrics (stage latencies,
@@ -158,6 +172,7 @@ class ConversionDaemon {
  private:
   struct Job {
     JobId id = 0;
+    uint64_t session_id = 0;  ///< The submitting session (slow-request log).
     JobState state = JobState::kQueued;
     ConversionRequest request;
     ConversionResponse response;
@@ -190,30 +205,45 @@ class ConversionDaemon {
   explicit ConversionDaemon(DaemonOptions options);
 
   Status Listen();
+  /// Starts the admin endpoint when options_.admin_port >= 0 (no-op
+  /// otherwise). Under epoll it rides shards_[0]'s reactor.
+  Status StartAdmin();
   void AcceptLoop();
-  void SessionLoop(std::unique_ptr<SockBuffer> sock);
+  void SessionLoop(std::unique_ptr<SockBuffer> sock, uint64_t session_id);
   /// Loop-thread entry: registers an accepted socket as an EpollSession on
   /// `shard` and starts its state machine.
-  void StartEpollSession(ReactorShard* shard,
-                         std::unique_ptr<SockBuffer> sock);
+  void StartEpollSession(ReactorShard* shard, std::unique_ptr<SockBuffer> sock,
+                         uint64_t session_id);
   /// Dispatches one parsed command; returns a non-OK status only for I/O
   /// failures that end the session (protocol-level errors are answered on
   /// the wire and keep the session alive).
   Status HandleCommand(SockBuffer& sock, const WireCommand& command,
-                       bool* quit);
-  Result<JobId> AdmitJob(ConversionRequest request);
+                       uint64_t session_id, bool* quit);
+  Result<JobId> AdmitJob(ConversionRequest request, uint64_t session_id);
   void RunJob(std::shared_ptr<Job> job);
   /// Evicts completed results beyond max_retained_results. Caller holds
   /// jobs_mu_.
   void EvictOldResultsLocked();
+  /// Brings sampled gauges current (active sessions, cache entries); the
+  /// admin endpoint calls this before every /metrics and /varz render.
+  void RefreshGauges();
+  /// The /varz body: server identity, uptime, build info and the full
+  /// metrics snapshot as one JSON object.
+  std::string VarzJson();
 
   DaemonOptions options_;
   std::unique_ptr<ConversionService> service_;
   int listen_fd_ = -1;
   int port_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+
+  /// The HTTP admin endpoint (null when options_.admin_port < 0). Stopped
+  /// by Stop() before the reactors: its teardown runs on shard 0's loop.
+  std::unique_ptr<AdminServer> admin_;
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  uint64_t next_session_id_ = 1;  ///< Accept-thread only.
 
   /// Epoll io-model only: the reactor shards. Created in Start, torn down
   /// in Stop (sessions closed via a posted sweep, then reactors joined).
@@ -255,6 +285,10 @@ class ConversionDaemon {
   Counter* drains_ = nullptr;
   Histogram* queue_wait_us_ = nullptr;
   Histogram* request_us_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;      ///< admitted, not yet running
+  Gauge* inflight_gauge_ = nullptr;         ///< currently converting
+  Gauge* active_sessions_gauge_ = nullptr;  ///< open protocol sessions
+  Gauge* parked_sessions_gauge_ = nullptr;  ///< RESULT WAIT / DRAIN parks
 };
 
 }  // namespace dbpc

@@ -10,6 +10,8 @@
 
 #include <utility>
 
+#include "common/log.h"
+
 namespace dbpc {
 
 Result<std::unique_ptr<Reactor>> Reactor::Create(std::string name) {
@@ -160,7 +162,11 @@ void Reactor::Run() {
     int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, NextTimeoutMs());
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;  // unexpected epoll failure: shut the loop down
+      // Unexpected epoll failure: shut the loop down, but say why first.
+      DBPC_LOG(LogLevel::kError, "reactor_epoll_failed",
+               LogField("reactor", name_), LogField("errno", errno),
+               LogField("error", strerror(errno)));
+      break;
     }
     for (int i = 0; i < n; ++i) {
       uint64_t token = events[i].data.u64;

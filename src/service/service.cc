@@ -5,6 +5,7 @@
 #include <exception>
 #include <utility>
 
+#include "common/log.h"
 #include "generate/generator.h"
 #include "lang/parser.h"
 
@@ -79,7 +80,13 @@ Result<std::unique_ptr<ConversionService>> ConversionService::Create(
           "cache.invalidations", "cache.traced_bypass"}) {
       service->metrics_.GetCounter(name);
     }
+    service->cache_entries_gauge_ =
+        service->metrics_.GetGauge("cache.entries");
   }
+  service->conversions_rate_ =
+      service->metrics_.GetRate("service.conversions");
+  service->pool_->SetBusyGauge(
+      service->metrics_.GetGauge("service.workers_busy"));
   DBPC_ASSIGN_OR_RETURN(
       ConversionSupervisor supervisor,
       ConversionSupervisor::Create(std::move(source), std::move(plan),
@@ -87,6 +94,16 @@ Result<std::unique_ptr<ConversionService>> ConversionService::Create(
   service->supervisor_ =
       std::make_unique<ConversionSupervisor>(std::move(supervisor));
   return service;
+}
+
+void ConversionService::RefreshGauges() {
+  if (cache_entries_gauge_ != nullptr) {
+    TemplateCache* cache = options_.supervisor.cache;
+    if (cache != nullptr) {
+      cache_entries_gauge_->Set(
+          static_cast<int64_t>(cache->Stats().entries));
+    }
+  }
 }
 
 void ConversionService::InvalidateCache() {
@@ -170,6 +187,10 @@ PipelineOutcome ConversionService::RunOne(const Program& program,
     root.End();
   }
   metrics_.GetCounter("service.degraded")->Increment();
+  DBPC_LOG_RATELIMITED(LogLevel::kWarn, 5.0, 10.0, "conversion_degraded",
+                       LogField("program", program.name),
+                       LogField("attempts", attempts),
+                       LogField("diagnostic", diagnostic));
   return DegradedOutcome(
       program, diagnostic + " after " + std::to_string(attempts) +
                    (attempts == 1 ? " attempt" : " attempts"));
@@ -220,6 +241,7 @@ ConversionResponse ConversionService::Convert(const ConversionRequest& request,
   if (request.trace) response.trace_text = local_spans.ToText();
   response.latency_us = ElapsedMicros(start);
   metrics_.GetCounter("service.requests")->Increment();
+  if (conversions_rate_ != nullptr) conversions_rate_->Tick();
   return response;
 }
 
@@ -293,6 +315,9 @@ Result<SystemConversionReport> ConversionService::ConvertSystem(
     report.outcomes.push_back(std::move(outcome));
   }
   metrics_.GetCounter("service.batches")->Increment();
+  if (conversions_rate_ != nullptr) {
+    conversions_rate_->Tick(static_cast<uint64_t>(requests.size()));
+  }
   return report;
 }
 

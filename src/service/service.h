@@ -103,6 +103,10 @@ class ConversionService {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Brings sampled gauges (currently `cache.entries`) current. Called by
+  /// metrics exporters before a snapshot; cheap and thread-safe.
+  void RefreshGauges();
+
   /// The underlying serial pipeline (for database translation, target
   /// schema access and single-program conversion).
   const ConversionSupervisor& supervisor() const { return *supervisor_; }
@@ -140,6 +144,9 @@ class ConversionService {
 
   ServiceOptions options_;
   MetricsRegistry metrics_;
+  /// Hot-path telemetry handles, resolved once in Create().
+  RollingRate* conversions_rate_ = nullptr;
+  Gauge* cache_entries_gauge_ = nullptr;
   /// The service-owned conversion memo (null when disabled or external).
   std::unique_ptr<TemplateCache> cache_;
   /// unique_ptr: the supervisor is created after metrics_ so its options

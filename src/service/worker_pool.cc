@@ -48,7 +48,10 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    Gauge* busy = busy_gauge_.load(std::memory_order_acquire);
+    if (busy) busy->Add(1);
     task();
+    if (busy) busy->Sub(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -1,12 +1,15 @@
 #ifndef DBPC_SERVICE_WORKER_POOL_H_
 #define DBPC_SERVICE_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/metrics.h"
 
 namespace dbpc {
 
@@ -30,9 +33,16 @@ class WorkerPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  /// Attaches a gauge tracking how many workers are executing a task right
+  /// now. The gauge must outlive the pool; null detaches.
+  void SetBusyGauge(Gauge* gauge) {
+    busy_gauge_.store(gauge, std::memory_order_release);
+  }
+
  private:
   void WorkerLoop();
 
+  std::atomic<Gauge*> busy_gauge_{nullptr};
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

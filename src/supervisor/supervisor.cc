@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "common/log.h"
 #include "convert/provenance.h"
 #include "optimize/stats.h"
 
@@ -211,6 +212,10 @@ Result<PipelineOutcome> ConversionSupervisor::ConvertProgram(
   switch (outcome.classification) {
     case Convertibility::kNotConvertible:
       outcome.accepted = false;
+      DBPC_LOG_RATELIMITED(
+          LogLevel::kDebug, 10.0, 20.0, "program_refused",
+          LogField("program", program.name),
+          LogField("issues", outcome.conversion.analysis.issues.size()));
       memoize(outcome);
       RecordOutcomeMetrics(outcome);
       finish();

@@ -85,10 +85,12 @@ echo "== bench: conversion cache sanity (E15 --smoke) =="
 # corrected view.
 for IO_MODEL in threads epoll; do
   echo "== daemon: dbpcd end-to-end smoke (io-model=$IO_MODEL) =="
-  rm -f "$TRACE_DIR/dbpcd.port"
+  rm -f "$TRACE_DIR/dbpcd.port" "$TRACE_DIR/dbpcd.admin.port"
   ./build/tools/dbpcd --schema samples/company.ddl --plan samples/fig44.plan \
     --port 0 --port-file "$TRACE_DIR/dbpcd.port" --jobs 4 \
     --io-model "$IO_MODEL" \
+    --admin-port 0 --admin-port-file "$TRACE_DIR/dbpcd.admin.port" \
+    --slow-request-ms 2000 --drain-linger-ms 2000 \
     --metrics-json "$TRACE_DIR/dbpcd.metrics.json" \
     2> "$TRACE_DIR/dbpcd.log" &
   DBPCD_PID=$!
@@ -103,21 +105,34 @@ for IO_MODEL in threads epoll; do
     kill "$DBPCD_PID" 2>/dev/null || true
     exit 1
   fi
+  ADMIN_PORT="$(cat "$TRACE_DIR/dbpcd.admin.port")"
   # A short mixed burst (10% malformed payloads exercise the failed-job
-  # path); dbpc_load exits nonzero if any request went unanswered.
+  # path); dbpc_load exits nonzero if any request went unanswered, and the
+  # --scrape-url leg folds the daemon-side queue depth and conversions/sec
+  # into its report.
   ./build/tools/dbpc_load --port "$PORT" --connections 16 --duration-ms 1000 \
     --malformed-pct 10 --trace-pct 5 --quiet \
+    --scrape-url "http://127.0.0.1:$ADMIN_PORT" \
     --report "$TRACE_DIR/dbpc_load.json"
   if [ "$IO_MODEL" = "epoll" ]; then
     ./build/tools/dbpc_load --port "$PORT" --connections 8 \
       --duration-ms 1000 --rps 200 --open-loop --quiet \
       --report "$TRACE_DIR/dbpc_load_open.json"
   fi
-  # Graceful shutdown under SIGTERM must drain every admitted job (exit 0).
+  # The admin plane serves well-formed Prometheus exposition with every
+  # operational family, a healthy /healthz + /readyz, and JSON /varz.
+  python3 tools/validate_metrics.py --base "http://127.0.0.1:$ADMIN_PORT"
+  # Graceful shutdown under SIGTERM must drain every admitted job (exit 0)
+  # and keep /readyz scrapeable — answering 503 — through the
+  # --drain-linger-ms lame-duck window.
   kill -TERM "$DBPCD_PID"
+  python3 tools/validate_metrics.py --base "http://127.0.0.1:$ADMIN_PORT" \
+    --readyz-only --readyz-expect 503 --retries 40
   wait "$DBPCD_PID"
   grep -q "drained" "$TRACE_DIR/dbpcd.log"
   grep -q "io=$IO_MODEL" "$TRACE_DIR/dbpcd.log"
+  grep -q "daemon_started" "$TRACE_DIR/dbpcd.log"
+  grep -q "drain_started" "$TRACE_DIR/dbpcd.log"
   # The metrics snapshot and the load report must both be valid JSON.
   python3 - "$TRACE_DIR/dbpcd.metrics.json" "$TRACE_DIR/dbpc_load.json" <<'EOF'
 import json, sys
@@ -131,13 +146,13 @@ done
 echo "== tsan: service tests under -DDBPC_SANITIZE=thread (build-tsan/) =="
 cmake -B build-tsan -S . -DDBPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target service_test worker_pool_test metrics_test \
-           sock_buffer_test daemon_test reactor_test store_test \
+  --target service_test worker_pool_test metrics_test log_test \
+           sock_buffer_test daemon_test reactor_test admin_test store_test \
            extent_test template_cache_test
 (cd build-tsan/tests/service && ./worker_pool_test && ./service_test)
-(cd build-tsan/tests/common && ./metrics_test)
+(cd build-tsan/tests/common && ./metrics_test && ./log_test)
 (cd build-tsan/tests/daemon && ./sock_buffer_test && ./daemon_test \
-  && ./reactor_test)
+  && ./reactor_test && ./admin_test)
 (cd build-tsan/tests/storage && ./store_test && ./extent_test)
 (cd build-tsan/tests/convert && ./template_cache_test)
 

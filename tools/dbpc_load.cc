@@ -30,11 +30,17 @@
 //                          Without it, two embedded company-schema
 //                          programs are used.
 //   --report <file>        write the summary as JSON ("-" for stdout)
+//   --scrape-url <url>     dbpcd admin endpoint (http://host:port or
+//                          host:port); /metrics is scraped before and
+//                          after the run and the daemon-side queue depth
+//                          and conversions/sec land in the JSON report
+//                          next to the client-observed numbers
 //   --drain                finish by sending DRAIN and checking it succeeds
 //   --quiet                suppress the human-readable summary
 //
 // Exit status: 0 when every submitted request got a response (even an
-// error one) and any --drain succeeded; 1 otherwise; 2 on usage errors.
+// error one), any --drain succeeded, and any --scrape-url answered both
+// scrapes; 1 otherwise; 2 on usage errors.
 
 #include <algorithm>
 #include <atomic>
@@ -103,6 +109,57 @@ struct LoadConfig {
   int trace_pct = 0;
   std::vector<std::string> payloads;
 };
+
+/// Splits "http://host:port" (or bare "host:port") into its parts.
+bool ParseScrapeUrl(const std::string& url, std::string* host, int* port) {
+  std::string rest = url;
+  const std::string scheme = "http://";
+  if (rest.rfind(scheme, 0) == 0) rest = rest.substr(scheme.size());
+  size_t slash = rest.find('/');
+  if (slash != std::string::npos) rest = rest.substr(0, slash);
+  size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = rest.substr(0, colon);
+  *port = std::atoi(rest.c_str() + colon + 1);
+  return *port > 0 && *port <= 65535;
+}
+
+/// The value of one exposition line ("<series> <value>"), or -1 when the
+/// series is absent. Series names are matched at line starts only, so
+/// "# TYPE <series> gauge" headers never shadow the sample.
+double SeriesValue(const std::string& body, const std::string& series) {
+  std::string needle = series + " ";
+  size_t at;
+  if (body.rfind(needle, 0) == 0) {
+    at = 0;
+  } else {
+    at = body.find("\n" + needle);
+    if (at == std::string::npos) return -1.0;
+    ++at;
+  }
+  return std::atof(body.c_str() + at + needle.size());
+}
+
+/// One /metrics scrape reduced to the numbers the report records.
+struct ScrapeSample {
+  bool ok = false;
+  double queue_depth = 0.0;
+  double conversions_total = 0.0;
+  double conversions_per_sec_10s = 0.0;
+};
+
+ScrapeSample ScrapeDaemon(const std::string& host, int port) {
+  ScrapeSample sample;
+  Result<HttpResponse> response = HttpGet(host, port, "/metrics");
+  if (!response.ok() || response->status_code != 200) return sample;
+  sample.ok = true;
+  sample.queue_depth = SeriesValue(response->body, "dbpc_daemon_queue_depth");
+  sample.conversions_total =
+      SeriesValue(response->body, "dbpc_service_conversions_total");
+  sample.conversions_per_sec_10s = SeriesValue(
+      response->body, "dbpc_service_conversions_per_sec{window=\"10s\"}");
+  return sample;
+}
 
 uint64_t PercentileUs(std::vector<uint64_t>& sorted, double p) {
   if (sorted.empty()) return 0;
@@ -201,7 +258,8 @@ int Usage() {
       "usage: dbpc_load --port <n> [--host <addr>] [--connections <n>] "
       "[--duration-ms <n>] [--rps <n>] [--open-loop] [--deadline-ms <n>] "
       "[--malformed-pct <n>] [--trace-pct <n>] [--program <file>]... "
-      "[--report <file>] [--drain] [--quiet]\n"
+      "[--report <file>] [--scrape-url <http://host:port>] [--drain] "
+      "[--quiet]\n"
       "       --open-loop requires --rps > 0 (a fixed offered rate)\n");
   return 2;
 }
@@ -211,6 +269,7 @@ int Usage() {
 int main(int argc, char** argv) {
   LoadConfig config;
   std::string report_path;
+  std::string scrape_url;
   bool drain = false;
   bool quiet = false;
 
@@ -250,6 +309,8 @@ int main(int argc, char** argv) {
       config.payloads.push_back(buffer.str());
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--scrape-url" && i + 1 < argc) {
+      scrape_url = argv[++i];
     } else if (arg == "--drain") {
       drain = true;
     } else if (arg == "--quiet") {
@@ -266,6 +327,23 @@ int main(int argc, char** argv) {
   }
   if (config.payloads.empty()) {
     config.payloads = {kSeniorsCpl, kSalesRptCpl};
+  }
+
+  std::string scrape_host;
+  int scrape_port = 0;
+  if (!scrape_url.empty() &&
+      !ParseScrapeUrl(scrape_url, &scrape_host, &scrape_port)) {
+    std::fprintf(stderr, "dbpc_load: cannot parse --scrape-url \"%s\"\n",
+                 scrape_url.c_str());
+    return 2;
+  }
+  ScrapeSample scrape_before;
+  if (!scrape_url.empty()) {
+    scrape_before = ScrapeDaemon(scrape_host, scrape_port);
+    if (!scrape_before.ok) {
+      std::fprintf(stderr, "dbpc_load: initial scrape of %s failed\n",
+                   scrape_url.c_str());
+    }
   }
 
   std::vector<WorkerTally> tallies(config.connections);
@@ -300,6 +378,11 @@ int main(int argc, char** argv) {
   double rps_done =
       elapsed_s > 0 ? static_cast<double>(latencies.size()) / elapsed_s : 0;
 
+  // Scraped before any --drain, while the 10s rate window still covers the
+  // load interval.
+  ScrapeSample scrape_after;
+  if (!scrape_url.empty()) scrape_after = ScrapeDaemon(scrape_host, scrape_port);
+
   Status drained = Status::OK();
   if (drain) {
     Result<std::unique_ptr<DaemonClient>> client =
@@ -307,7 +390,30 @@ int main(int argc, char** argv) {
     drained = client.ok() ? (*client)->Drain() : client.status();
   }
 
-  char buffer[1024];
+  std::string daemon_json;
+  if (!scrape_url.empty()) {
+    char scrape_buffer[512];
+    if (scrape_before.ok && scrape_after.ok) {
+      std::snprintf(
+          scrape_buffer, sizeof(scrape_buffer),
+          "  \"daemon\": {\n"
+          "    \"queue_depth_before\": %.0f,\n"
+          "    \"queue_depth_after\": %.0f,\n"
+          "    \"conversions_total_before\": %.0f,\n"
+          "    \"conversions_total_after\": %.0f,\n"
+          "    \"conversions_per_sec_10s\": %.1f\n"
+          "  },\n",
+          scrape_before.queue_depth, scrape_after.queue_depth,
+          scrape_before.conversions_total, scrape_after.conversions_total,
+          scrape_after.conversions_per_sec_10s);
+    } else {
+      std::snprintf(scrape_buffer, sizeof(scrape_buffer),
+                    "  \"daemon\": \"scrape failed\",\n");
+    }
+    daemon_json = scrape_buffer;
+  }
+
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\n"
@@ -325,6 +431,7 @@ int main(int argc, char** argv) {
       "  \"conversions_per_sec\": %.1f,\n"
       "  \"p50_us\": %llu,\n"
       "  \"p99_us\": %llu,\n"
+      "%s"
       "  \"drain\": \"%s\"\n"
       "}\n",
       config.open_loop ? "open-loop" : "closed-loop", config.rps,
@@ -337,7 +444,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total.dropped),
       static_cast<unsigned long long>(total.connect_errors),
       rps_done, static_cast<unsigned long long>(p50),
-      static_cast<unsigned long long>(p99),
+      static_cast<unsigned long long>(p99), daemon_json.c_str(),
       drain ? drained.ToString().c_str() : "not requested");
 
   if (!quiet) std::fputs(buffer, stderr);
@@ -355,6 +462,7 @@ int main(int argc, char** argv) {
     }
   }
   bool clean = total.dropped == 0 && total.connect_errors == 0 &&
-               (!drain || drained.ok());
+               (!drain || drained.ok()) &&
+               (scrape_url.empty() || (scrape_before.ok && scrape_after.ok));
   return clean ? 0 : 1;
 }

@@ -37,6 +37,20 @@
 //                            converted templates; METRICS exposes cache.*)
 //   --metrics-json <file>    write a final metrics snapshot on shutdown;
 //                            "-" writes to stderr
+//   --admin-port <n>         HTTP admin endpoint (GET /metrics /healthz
+//                            /readyz /varz); 0 picks an ephemeral port,
+//                            omit to disable (DAEMON.md "Admin endpoint")
+//   --admin-port-file <file> write the bound admin port to <file>
+//   --log-level <l>          structured-log threshold: debug|info|warn|
+//                            error|off (default info)
+//   --log-json               emit log lines as JSONL instead of logfmt
+//   --slow-request-ms <n>    log one warn line per job slower than <n> ms
+//                            end-to-end (0 = off)
+//   --drain-linger-ms <n>    after a signal-triggered drain completes, keep
+//                            serving (sessions + admin plane) this long
+//                            before exiting, so orchestrators observe the
+//                            503 /readyz before the listener vanishes
+//                            (default 0)
 //
 // Shutdown: SIGTERM or SIGINT triggers a graceful drain — new SUBMITs are
 // refused, every admitted job completes (bounded by --drain-grace-ms),
@@ -73,7 +87,10 @@ int Usage() {
       "[--queue-depth <n>] [--max-connections <n>] [--read-timeout-ms <n>] "
       "[--write-timeout-ms <n>] [--drain-grace-ms <n>] "
       "[--io-model threads|epoll] [--io-threads <n>] [--strict] "
-      "[--no-optimizer] [--no-cache] [--metrics-json <file>]\n");
+      "[--no-optimizer] [--no-cache] [--metrics-json <file>] "
+      "[--admin-port <n>] [--admin-port-file <file>] "
+      "[--log-level debug|info|warn|error|off] [--log-json] "
+      "[--slow-request-ms <n>] [--drain-linger-ms <n>]\n");
   return 2;
 }
 
@@ -95,9 +112,13 @@ int Fail(const Status& status, const std::string& what) {
 
 int main(int argc, char** argv) {
   std::string schema_path, plan_path, port_file, metrics_json_path;
+  std::string admin_port_file;
   DaemonOptions options;
   options.service.jobs = 4;
   bool strict = false;
+  int drain_linger_ms = 0;
+  Logger::Options log_options;
+  log_options.level = LogLevel::kInfo;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -144,11 +165,29 @@ int main(int argc, char** argv) {
       options.service.supervisor.run_optimizer = false;
     } else if (arg == "--no-cache") {
       options.service.cache.enabled = false;
+    } else if (arg == "--admin-port") {
+      if (!next(&options.admin_port)) return Usage();
+    } else if (arg == "--admin-port-file" && i + 1 < argc) {
+      admin_port_file = argv[++i];
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      if (!ParseLogLevel(argv[++i], &log_options.level)) {
+        std::fprintf(stderr, "dbpcd: unknown --log-level \"%s\"\n", argv[i]);
+        return Usage();
+      }
+    } else if (arg == "--log-json") {
+      log_options.json = true;
+    } else if (arg == "--slow-request-ms") {
+      if (!next(&options.slow_request_ms)) return Usage();
+    } else if (arg == "--drain-linger-ms") {
+      if (!next(&drain_linger_ms)) return Usage();
     } else {
       return Usage();
     }
   }
   if (schema_path.empty() || plan_path.empty()) return Usage();
+  if (drain_linger_ms < 0) return Usage();
+
+  GlobalLogger().Configure(log_options);
 
   if (strict) {
     options.service.supervisor.mode = AnalystMode::kStrict;
@@ -188,6 +227,19 @@ int main(int argc, char** argv) {
     }
     out << (*daemon)->port() << "\n";
   }
+  if (!admin_port_file.empty()) {
+    if ((*daemon)->admin_port() < 0) {
+      return Fail(
+          Status::InvalidArgument("--admin-port-file requires --admin-port"),
+          admin_port_file);
+    }
+    std::ofstream out(admin_port_file);
+    if (!out) {
+      return Fail(Status::NotFound("cannot write " + admin_port_file),
+                  admin_port_file);
+    }
+    out << (*daemon)->admin_port() << "\n";
+  }
 
   while (g_signal.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -196,6 +248,11 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "dbpcd: %s received, draining...\n",
                g_signal.load() == SIGTERM ? "SIGTERM" : "SIGINT");
   Status drained = (*daemon)->Drain();
+  if (drain_linger_ms > 0) {
+    // Lame-duck window: drained but still serving, so health checkers see
+    // /readyz answer 503 (instead of connection-refused) before exit.
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_linger_ms));
+  }
   (*daemon)->Stop();
   std::fprintf(stderr,
                "dbpcd: drained (%llu jobs admitted, %llu completed): %s\n",
